@@ -1,0 +1,73 @@
+// bench_defense.cpp — extension: the attack against deployed defenses.
+//
+// Two practical countermeasures to memory fault injection, evaluated
+// against the ℓ0 and ℓ2 fault sneaking attacks on the same spec:
+//
+//  * ChecksumGuard — CRC32 blocks over the parameter memory. Detects ANY
+//    modification; the question is localization vs overhead, and that the
+//    ℓ0 attack (few touched words) trips far fewer blocks — cheaper for
+//    an attacker to dodge if the defender only samples blocks.
+//  * RangeGuard — per-group value-range sanitization. Cheap, but blind to
+//    in-range modifications; we measure how much of each attack SURVIVES
+//    clamping (faults still injected after sanitization).
+#include <cstdio>
+
+#include "core/attack_metrics.h"
+#include "defense/checksum_guard.h"
+#include "defense/range_guard.h"
+#include "eval/attack_bench.h"
+#include "eval/table.h"
+#include "tensor/ops.h"
+
+int main() {
+  using namespace fsa;
+  models::ModelZoo zoo;
+  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
+  const core::AttackSpec spec = bench.spec(2, 100, /*seed=*/9600);
+  const Tensor theta0 = bench.attack().theta0();
+
+  const defense::ChecksumGuard checksum(theta0, /*block_params=*/64);
+  const defense::RangeGuard range(theta0, /*group_params=*/201, /*slack=*/0.10);
+
+  eval::Table table("Extension: fault sneaking attack vs deployed defenses (S=2, R=100)");
+  table.header({"attack", "l0", "checksum blocks flagged", "range violations",
+                "faults after clamping", "acc after clamping"});
+
+  for (const core::NormKind norm : {core::NormKind::kL0, core::NormKind::kL2}) {
+    core::FaultSneakingConfig cfg;
+    cfg.admm.norm = norm;
+    const core::FaultSneakingResult res = bench.attack().run(spec, cfg);
+
+    Tensor attacked = theta0;
+    attacked += res.delta;
+    const auto check = checksum.verify(attacked);
+
+    Tensor sanitized = attacked;
+    const auto ranges = range.sanitize(sanitized);
+    // Effective modification surviving sanitization:
+    Tensor survived = sanitized;
+    survived -= theta0;
+    const auto [hit, kept] = core::with_delta(bench.attack(), survived, [&] {
+      const Tensor logits = zoo.digits().net.forward_from(bench.attack().cut(), spec.features);
+      return core::count_satisfied(logits, spec);
+    });
+    const double acc = bench.test_accuracy_with(survived);
+
+    table.row({norm == core::NormKind::kL0 ? "l0 attack" : "l2 attack", std::to_string(res.l0),
+               std::to_string(check.blocks_flagged) + "/" + std::to_string(checksum.block_count()),
+               std::to_string(ranges.out_of_range),
+               std::to_string(hit) + "/" + std::to_string(spec.S), eval::pct(acc)});
+    std::printf("[defense] %s: flagged %lld blocks, %lld range hits, faults %lld/%lld survive\n",
+                norm == core::NormKind::kL0 ? "l0" : "l2",
+                static_cast<long long>(check.blocks_flagged),
+                static_cast<long long>(ranges.out_of_range), static_cast<long long>(hit),
+                static_cast<long long>(spec.S));
+  }
+  table.print();
+  table.write_csv(zoo.cache_dir() + "/results_defense.csv");
+  std::printf(
+      "\nChecksums detect everything but localize differently; range sanitization\n"
+      "only bites when the attack leaves the trained value envelope — the l2\n"
+      "attack's small modifications typically survive it intact.\n");
+  return 0;
+}

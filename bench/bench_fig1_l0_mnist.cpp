@@ -1,0 +1,48 @@
+// bench_fig1_l0_mnist.cpp — regenerates the paper's Figure 1.
+//
+// Series: ℓ0 norm of the modification to the last FC layer vs S, one curve
+// per R ∈ {50, 100, 200, 500, 1000} on the MNIST stand-in. Paper claims:
+// (a) ℓ0 grows with S at fixed R; (b) for small S (1–4) the ℓ0 tends to
+// SHRINK as R grows — more maintain images anchor the model closer to the
+// original, so fewer parameters need to move; (c) the effect disappears
+// for large S where the model runs out of slack.
+#include <cstdio>
+
+#include "eval/attack_bench.h"
+#include "eval/stopwatch.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace fsa;
+  eval::Stopwatch total;
+  models::ModelZoo zoo;
+  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
+
+  const std::vector<std::int64_t> s_sweep = {1, 2, 4, 8, 16};
+  const std::vector<std::int64_t> r_sweep = {50, 100, 200, 500, 1000};
+
+  eval::Table table("Figure 1: l0 norm vs S, one series per R (digits, last FC layer)");
+  std::vector<std::string> header = {"R \\ S"};
+  for (auto s : s_sweep) header.push_back("S=" + std::to_string(s));
+  table.header(header);
+
+  for (const std::int64_t r : r_sweep) {
+    std::vector<std::string> row = {"R=" + std::to_string(r)};
+    for (const std::int64_t s : s_sweep) {
+      const core::AttackSpec spec =
+          bench.spec(s, r, 3000 + static_cast<std::uint64_t>(s * 7919 + r));
+      const core::FaultSneakingResult res = bench.attack().run(spec);
+      row.push_back(std::to_string(res.l0) + (res.all_targets_hit ? "" : "*"));
+      std::printf("[fig1] S=%lld R=%lld: l0=%lld targets %lld/%lld (%.1fs)\n",
+                  static_cast<long long>(s), static_cast<long long>(r),
+                  static_cast<long long>(res.l0), static_cast<long long>(res.targets_hit),
+                  static_cast<long long>(s), res.seconds);
+    }
+    table.row(row);
+  }
+  table.print();
+  table.write_csv(zoo.cache_dir() + "/results_fig1.csv");
+  std::printf("\n(\"*\" marks runs where not all S faults could be injected.)\n");
+  std::printf("[fig1] total %.1fs\n", total.seconds());
+  return 0;
+}

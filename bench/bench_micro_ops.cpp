@@ -1,0 +1,128 @@
+// bench_micro_ops.cpp — google-benchmark microbenchmarks of the kernels
+// the attack spends its time in: GEMM, conv forward, margin evaluation,
+// proximal operators, and a full ADMM iteration on the paper-sized head.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/admm.h"
+#include "core/prox.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace fsa;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape({n, n}), rng);
+  const Tensor b = Tensor::randn(Shape({n, n}), rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmHeadShape(benchmark::State& state) {
+  // The fc3 head at R=1000: [1000, 200] · [200, 10].
+  Rng rng(2);
+  const Tensor feats = Tensor::randn(Shape({1000, 200}), rng);
+  const Tensor w = Tensor::randn(Shape({200, 10}), rng);
+  for (auto _ : state) {
+    Tensor logits = ops::matmul(feats, w);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_GemmHeadShape);
+
+void BM_ConvForward(benchmark::State& state) {
+  const auto batch = state.range(0);
+  Rng rng(3);
+  nn::Conv2D conv("conv", 32, 32, 3, rng);
+  const Tensor x = Tensor::randn(Shape({batch, 32, 26, 26}), rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward)->Arg(1)->Arg(16);
+
+void BM_MaxPoolForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::MaxPool2D pool("pool", 2);
+  const Tensor x = Tensor::randn(Shape({16, 32, 24, 24}), rng);
+  for (auto _ : state) {
+    Tensor y = pool.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MaxPoolForward);
+
+void BM_ProxL0(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor v = Tensor::randn(Shape({state.range(0)}), rng);
+  for (auto _ : state) {
+    Tensor z = core::prox_l0(v, 200.0);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_ProxL0)->Arg(2010)->Arg(205000);
+
+void BM_ProxL2(benchmark::State& state) {
+  Rng rng(6);
+  const Tensor v = Tensor::randn(Shape({state.range(0)}), rng);
+  for (auto _ : state) {
+    Tensor z = core::prox_l2(v, 200.0);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_ProxL2)->Arg(2010)->Arg(205000);
+
+void BM_MarginEval(benchmark::State& state) {
+  const auto r = state.range(0);
+  Rng rng(7);
+  core::AttackSpec spec;
+  spec.S = 4;
+  spec.features = Tensor::randn(Shape({r, 200}), rng);
+  spec.labels.assign(static_cast<std::size_t>(r), 3);
+  const Tensor logits = Tensor::randn(Shape({r, 10}), rng);
+  for (auto _ : state) {
+    auto e = core::eval_margin(logits, spec);
+    benchmark::DoNotOptimize(e.total_g);
+  }
+}
+BENCHMARK(BM_MarginEval)->Arg(10)->Arg(1000);
+
+/// One full ADMM iteration on a paper-sized fc3 head (200→10, R images):
+/// z-prox + batched forward/backward + δ/s updates.
+void BM_AdmmIteration(benchmark::State& state) {
+  const auto r = state.range(0);
+  Rng rng(8);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Dense>("fc3", 200, 10, rng));
+  const core::ParamMask mask = core::ParamMask::make(net, {"fc3"});
+  core::AdmmSolver solver(net, mask);
+  core::AttackSpec spec;
+  spec.S = 2;
+  spec.features = Tensor::randn(Shape({r, 200}), rng);
+  spec.labels.assign(static_cast<std::size_t>(r), 0);
+  for (std::int64_t i = 0; i < spec.S; ++i) spec.labels[static_cast<std::size_t>(i)] = 5;
+  core::AdmmConfig cfg;
+  cfg.iterations = 1;
+  cfg.check_every = 0;
+  for (auto _ : state) {
+    auto res = solver.solve(spec, cfg);
+    benchmark::DoNotOptimize(res.delta.data());
+  }
+}
+BENCHMARK(BM_AdmmIteration)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

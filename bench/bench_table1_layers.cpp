@@ -1,0 +1,50 @@
+// bench_table1_layers.cpp — regenerates the paper's Table 1.
+//
+// Paper claim: the ℓ0 norm (number of modified parameters) grows with the
+// number of faults S = R, and the LAST fully connected layer needs far
+// fewer modifications than fc1/fc2 because it acts on the logits directly.
+// Paper numbers (MNIST): fc1 205000 params → 14016/40649/120597 modified
+// for S=R=1/4/16; fc2 40200 → 5390/14086/34069; fc3 2010 → 222/682/1755.
+// We match the TREND (monotone in S, fc3 ≪ fc2 ≪ fc1 relative to size),
+// not the absolute counts — the trained weights differ.
+#include <cstdio>
+
+#include "eval/attack_bench.h"
+#include "eval/stopwatch.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace fsa;
+  eval::Stopwatch total;
+  models::ModelZoo zoo;
+  models::ZooModel& digits = zoo.digits();
+
+  const std::vector<std::int64_t> sweep = {1, 4, 16};
+  const std::vector<std::string> layers = {"fc1", "fc2", "fc3"};
+
+  eval::Table table("Table 1: l0 norm of modifications per FC layer (digits, S=R)");
+  table.header({"layer", "total params", "l0 S=1,R=1", "l0 S=4,R=4", "l0 S=16,R=16",
+                "success S=16"});
+
+  for (const auto& layer : layers) {
+    eval::AttackBench bench(digits, zoo.cache_dir(), {layer});
+    std::vector<std::string> row = {layer, std::to_string(bench.attack().mask().size())};
+    std::string success16;
+    for (const std::int64_t s : sweep) {
+      const core::AttackSpec spec = bench.spec(s, s, /*seed=*/1000 + static_cast<std::uint64_t>(s));
+      core::FaultSneakingConfig cfg;
+      const core::FaultSneakingResult res = bench.attack().run(spec, cfg);
+      row.push_back(std::to_string(res.l0));
+      if (s == 16) success16 = eval::pct(res.success_rate);
+      std::printf("[table1] %s S=R=%lld: l0=%lld targets %lld/%lld (%.1fs)\n", layer.c_str(),
+                  static_cast<long long>(s), static_cast<long long>(res.l0),
+                  static_cast<long long>(res.targets_hit), static_cast<long long>(s), res.seconds);
+    }
+    row.push_back(success16);
+    table.row(row);
+  }
+  table.print();
+  table.write_csv(zoo.cache_dir() + "/results_table1.csv");
+  std::printf("\n[table1] total %.1fs\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// hardware_campaign.cpp — the full kill chain, algorithm to silicon.
+//
+// The paper's §2.3 argues the ℓ0 objective matters because physical fault
+// injection (laser on SRAM, row hammer on DRAM) pays per modified bit.
+// This example walks the whole chain once:
+//   1. solve the attack (ℓ0, S=2 faults, 100 anchors, last FC layer);
+//   2. lower δ to an IEEE-754 bit-flip plan against a simulated DRAM
+//      layout of the parameter array;
+//   3. run Monte-Carlo campaigns for a laser injector and a row-hammer
+//      injector and report the projected effort.
+//
+// Run from the repository root:  ./build/examples/hardware_campaign
+#include <cstdio>
+
+#include "eval/attack_bench.h"
+#include "eval/table.h"
+#include "faultsim/campaign.h"
+
+int main() {
+  using namespace fsa;
+  models::ModelZoo zoo;
+  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
+
+  // ---- 1. the algorithmic attack --------------------------------------------
+  const core::AttackSpec spec = bench.spec(2, 100, /*seed=*/1337);
+  const core::FaultSneakingResult res = bench.attack().run(spec);
+  std::printf("\nAttack solved: %lld/%lld faults, %lld/%lld anchors kept, l0=%lld, l2=%.3f\n",
+              static_cast<long long>(res.targets_hit), 2LL,
+              static_cast<long long>(res.maintained), 98LL, static_cast<long long>(res.l0),
+              res.l2);
+
+  // ---- 2. lower to bit flips --------------------------------------------------
+  faultsim::MemoryLayout layout;  // 8 KiB DRAM rows, float32 parameters
+  const faultsim::BitFlipPlan plan =
+      faultsim::plan_bit_flips(bench.attack().theta0(), res.delta, layout);
+  eval::Table plan_table("bit-flip plan for δ (last FC layer in simulated DRAM)");
+  plan_table.header({"quantity", "value"})
+      .row({"parameters to rewrite", std::to_string(plan.params_modified)})
+      .row({"total bit flips", std::to_string(plan.total_bit_flips)})
+      .row({"DRAM rows touched", std::to_string(plan.rows_touched)})
+      .row({"sign bits", std::to_string(plan.sign_bit_flips)})
+      .row({"exponent bits", std::to_string(plan.exponent_bit_flips)})
+      .row({"mantissa bits", std::to_string(plan.mantissa_bit_flips)});
+  plan_table.print();
+
+  // ---- 3. simulate the injectors ---------------------------------------------
+  faultsim::LaserParams laser_params;
+  const faultsim::CampaignReport laser = faultsim::simulate_laser(plan, laser_params, layout);
+  faultsim::RowHammerParams rh_params;
+  Rng rng(99);
+  const faultsim::CampaignReport hammer =
+      faultsim::simulate_rowhammer(plan, rh_params, layout, rng);
+
+  eval::Table campaign("projected injection campaigns");
+  campaign.header({"injector", "bits flipped", "attempts", "massages", "time", "complete"});
+  auto dur = [](double s) {
+    return s < 3600 ? eval::fmt(s / 60.0, 1) + " min" : eval::fmt(s / 3600.0, 2) + " h";
+  };
+  campaign.row({"laser (SRAM)", std::to_string(laser.bits_flipped), "-", "-", dur(laser.seconds),
+                laser.success ? "yes" : "no"});
+  campaign.row({"row hammer (DRAM)", std::to_string(hammer.bits_flipped),
+                std::to_string(hammer.hammer_attempts), std::to_string(hammer.massages),
+                dur(hammer.seconds), hammer.success ? "yes" : "no"});
+  campaign.print();
+
+  std::printf(
+      "\nEvery parameter the solver left untouched is beam time / hammer time the\n"
+      "attacker never spends — which is why the framework minimizes ‖δ‖₀ and not\n"
+      "just some differentiable surrogate (paper §2.3, §3.1).\n");
+  return 0;
+}

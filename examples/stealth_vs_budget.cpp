@@ -1,0 +1,49 @@
+// stealth_vs_budget.cpp — how many camouflage images does stealth cost?
+//
+// The paper's central mechanism (§3, Table 4): the R − S "maintain" images
+// act as anchors — constraints that pin the perturbed model to the
+// original everywhere except the S designated faults. This example fixes
+// S = 4 faults and sweeps the anchor budget, answering the operational
+// question an adversary (or a defender sizing the risk) actually has:
+// how much data must the attacker collect for the attack to stay hidden?
+//
+// Run from the repository root:  ./build/examples/stealth_vs_budget
+#include <cstdio>
+
+#include "eval/attack_bench.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace fsa;
+  models::ModelZoo zoo;
+  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
+  const double clean = bench.clean_test_accuracy();
+  std::printf("\nClean test accuracy: %s. Injecting S=4 faults with growing anchor sets.\n",
+              eval::pct(clean).c_str());
+
+  const std::int64_t S = 4;
+  eval::Table table("stealth vs anchor budget (S=4 faults, digits, fc3)");
+  table.header({"R (anchors = R-4)", "faults in", "l0", "test acc after", "drop", "verdict"});
+
+  for (const std::int64_t r : {4L, 10L, 50L, 100L, 500L, 1000L}) {
+    const core::AttackSpec spec = bench.spec(S, r, /*seed=*/777);
+    const core::FaultSneakingResult res = bench.attack().run(spec);
+    const double acc = bench.test_accuracy_with(res.delta);
+    const double drop = clean - acc;
+    const char* verdict = drop < 0.02   ? "invisible"
+                          : drop < 0.05 ? "subtle"
+                          : drop < 0.15 ? "suspicious"
+                                        : "obvious";
+    table.row({std::to_string(r), std::to_string(res.targets_hit) + "/4",
+               std::to_string(res.l0), eval::pct(acc),
+               eval::fmt(drop * 100.0, 1) + " pts", verdict});
+    std::printf("[sweep] R=%lld: acc %s (drop %.1f pts)\n", static_cast<long long>(r),
+                eval::pct(acc).c_str(), drop * 100.0);
+  }
+  table.print();
+  std::printf(
+      "\nWith no anchors the same 4 faults wreck the model; with ~1000 the damage\n"
+      "is within noise of the clean model. Stealth is literally purchased with\n"
+      "unlabeled data — the adversary never needs the training set (paper §3).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// targeted_misclassification.cpp — the scenario from the paper's intro:
+// an adversary wants SPECIFIC inputs misrouted (think: one face accepted
+// as another identity, one malware sample whitelisted) without touching
+// the model's visible quality.
+//
+// This example injects S = 3 designated faults with chosen target labels,
+// runs BOTH norm variants of the attack, and inspects the result at the
+// parameter level: which images moved, which stayed, and how the two
+// variants spend their modification budget differently.
+//
+// Run from the repository root:  ./build/examples/targeted_misclassification
+#include <cstdio>
+
+#include "eval/attack_bench.h"
+#include "eval/table.h"
+#include "tensor/ops.h"
+
+namespace {
+
+void describe_delta(const char* tag, const fsa::Tensor& delta) {
+  using namespace fsa;
+  // Budget profile: how large are the modifications the attack makes?
+  float max_abs = 0.0f;
+  std::int64_t tiny = 0, small = 0, large = 0;
+  for (float v : delta.span()) {
+    const float a = std::fabs(v);
+    max_abs = std::max(max_abs, a);
+    if (a == 0.0f) continue;
+    if (a < 0.05f)
+      ++tiny;
+    else if (a < 0.3f)
+      ++small;
+    else
+      ++large;
+  }
+  std::printf("  %s: l0=%lld l2=%.3f max|δ|=%.3f (entries: %lld <0.05, %lld <0.3, %lld ≥0.3)\n",
+              tag, static_cast<long long>(ops::l0_norm(delta)), ops::l2_norm(delta), max_abs,
+              static_cast<long long>(tiny), static_cast<long long>(small),
+              static_cast<long long>(large));
+}
+
+}  // namespace
+
+int main() {
+  using namespace fsa;
+  models::ModelZoo zoo;
+  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
+
+  // Three designated faults among 200 images the model currently gets right.
+  const std::int64_t S = 3, R = 200;
+  const core::AttackSpec spec = bench.spec(S, R, /*seed=*/4242);
+  std::printf("\nDesignated faults (digit → attacker's target):\n");
+  // Recover the original predictions for display: the maintain labels ARE
+  // the original predictions; for the S fault rows we re-predict.
+  {
+    const Tensor logits = zoo.digits().net.forward_from(bench.attack().cut(),
+                                                        spec.features.slice0(0, S));
+    const auto pred = ops::argmax_rows(logits);
+    for (std::int64_t i = 0; i < S; ++i)
+      std::printf("  image %lld: classified %lld → must become %lld\n",
+                  static_cast<long long>(i), static_cast<long long>(pred[static_cast<std::size_t>(i)]),
+                  static_cast<long long>(spec.labels[static_cast<std::size_t>(i)]));
+  }
+
+  eval::Table table("targeted misclassification: l0 vs l2 attack (S=3, R=200, fc3)");
+  table.header({"variant", "faults in", "kept", "l0", "l2", "test acc after"});
+  for (const core::NormKind norm : {core::NormKind::kL0, core::NormKind::kL2}) {
+    core::FaultSneakingConfig cfg;
+    cfg.admm.norm = norm;
+    const core::FaultSneakingResult res = bench.attack().run(spec, cfg);
+    const double acc = bench.test_accuracy_with(res.delta);
+    const char* tag = norm == core::NormKind::kL0 ? "l0 attack" : "l2 attack";
+    table.row({tag, std::to_string(res.targets_hit) + "/" + std::to_string(S),
+               std::to_string(res.maintained) + "/" + std::to_string(R - S),
+               std::to_string(res.l0), eval::fmt(res.l2, 3), eval::pct(acc)});
+    describe_delta(tag, res.delta);
+  }
+  table.print();
+  std::printf(
+      "\nReading the table: the l0 variant concentrates its budget on few large\n"
+      "modifications (fewer memory words to corrupt); the l2 variant smears a\n"
+      "gentler modification across more parameters. Both keep the score sheet\n"
+      "clean — that is the \"sneaking\" part.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "baseline/gda.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace fsa::baseline {
+
+namespace {
+/// Spec with only the fault rows (GDA ignores the maintained images).
+core::AttackSpec faults_only(const core::AttackSpec& spec) {
+  core::AttackSpec out;
+  out.S = spec.S;
+  out.features = spec.features.slice0(0, spec.S);
+  out.labels.assign(spec.labels.begin(), spec.labels.begin() + spec.S);
+  if (!spec.c.empty()) out.c.assign(spec.c.begin(), spec.c.begin() + spec.S);
+  return out;
+}
+}  // namespace
+
+bool GradientDescentAttack::feasible(const Tensor& delta, const core::AttackSpec& spec,
+                                     double eps) {
+  core::HeadGradient grad(*net_, *mask_);
+  Tensor theta = theta0_;
+  theta += delta;
+  const Tensor logits = grad.logits_at(theta, spec);
+  const core::MarginEval e = core::eval_margin(logits, spec, 0.0);
+  for (std::int64_t i = 0; i < spec.S; ++i)
+    if (e.margins[static_cast<std::size_t>(i)] > -eps) return false;
+  return true;
+}
+
+GdaResult GradientDescentAttack::run(const core::AttackSpec& spec, const GdaConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::AttackSpec faults = faults_only(spec);
+  core::HeadGradient grad(*net_, *mask_);
+
+  // ---- phase 1: plain gradient descent on the fault hinge loss -------------
+  Tensor delta = Tensor::zeros(Shape({mask_->size()}));
+  Tensor theta = theta0_;
+  for (std::int64_t step = 0; step < cfg.gd_steps; ++step) {
+    auto res = grad.eval(theta, faults, /*c_scale=*/1.0, /*kappa=*/cfg.eps, /*want_grad=*/true);
+    if (res.eval.total_g == 0.0) break;  // every fault holds with margin eps
+    const double lr = cfg.lr / std::sqrt(1.0 + static_cast<double>(step) / 50.0);
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      delta[i] -= static_cast<float>(lr * res.grad[i]);
+      theta[i] = theta0_[i] + delta[i];
+    }
+  }
+
+  // ---- phase 2: modification compression -----------------------------------
+  // Zero the smallest-|δ| entries in shrinking chunks, keeping a zeroing only
+  // if the faults remain feasible.
+  if (feasible(delta, faults, cfg.eps * 0.5)) {
+    double fraction = cfg.compress_fraction;
+    for (std::int64_t round = 0; round < cfg.max_compress_rounds; ++round) {
+      std::vector<std::size_t> support;
+      for (std::size_t i = 0; i < delta.size(); ++i)
+        if (delta[i] != 0.0f) support.push_back(i);
+      if (support.empty()) break;
+      std::sort(support.begin(), support.end(), [&](std::size_t a, std::size_t b) {
+        return std::fabs(delta[a]) < std::fabs(delta[b]);
+      });
+      const auto chunk =
+          std::max<std::size_t>(1, static_cast<std::size_t>(fraction * static_cast<double>(support.size())));
+      Tensor trial = delta;
+      for (std::size_t k = 0; k < chunk && k < support.size(); ++k) trial[support[k]] = 0.0f;
+      if (feasible(trial, faults, cfg.eps * 0.5)) {
+        delta = trial;
+      } else if (chunk == 1) {
+        break;  // even the single smallest entry is load-bearing
+      } else {
+        fraction *= 0.5;  // too greedy — try a smaller chunk next round
+      }
+      if (cfg.verbose)
+        std::printf("[gda] compress round %lld: l0=%lld\n", static_cast<long long>(round),
+                    static_cast<long long>(ops::l0_norm(delta)));
+    }
+  }
+
+  // ---- measure ---------------------------------------------------------------
+  theta = theta0_;
+  theta += delta;
+  const Tensor logits = grad.logits_at(theta, faults);
+  const auto [hit, kept] = core::count_satisfied(logits, faults);
+  (void)kept;
+  mask_->scatter_values(theta0_);
+
+  GdaResult out;
+  out.delta = std::move(delta);
+  out.l0 = ops::l0_norm(out.delta);
+  out.l2 = ops::l2_norm(out.delta);
+  out.targets_hit = hit;
+  out.success = hit == faults.S;
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return out;
+}
+
+}  // namespace fsa::baseline

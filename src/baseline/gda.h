@@ -1,0 +1,57 @@
+// gda.h — Gradient Descent Attack baseline (Liu et al., ICCAD 2017, §"GDA").
+//
+// GDA perturbs a chosen parameter subset by plain gradient descent on the
+// misclassification loss of the fault images, then COMPRESSES the
+// modification: repeatedly zero the smallest-magnitude entries of δ and
+// keep the zeroing only if the attack still succeeds (their "feasibility
+// check"). Two structural differences from the fault sneaking attack that
+// the paper calls out:
+//   * no stealth term — nothing constrains the other images, so accuracy
+//     collapses faster (the §5.4 comparison);
+//   * compression is a greedy heuristic around a differentiable loss — it
+//     cannot optimize the ℓ0 norm directly the way the ADMM prox does.
+#pragma once
+
+#include "core/attack_spec.h"
+#include "core/head_gradient.h"
+#include "core/param_mask.h"
+
+namespace fsa::baseline {
+
+struct GdaConfig {
+  std::int64_t gd_steps = 400;
+  double lr = 2e-2;
+  double eps = 0.1;             ///< success confidence margin during descent
+  std::int64_t max_compress_rounds = 40;
+  double compress_fraction = 0.25;  ///< initial fraction of support zeroed per try
+  bool verbose = false;
+};
+
+struct GdaResult {
+  Tensor delta;                 ///< flat modification over the mask
+  std::int64_t l0 = 0;
+  double l2 = 0.0;
+  std::int64_t targets_hit = 0;
+  bool success = false;         ///< all S faults classified as targets
+  double seconds = 0.0;
+};
+
+class GradientDescentAttack {
+ public:
+  GradientDescentAttack(nn::Sequential& net, const core::ParamMask& mask)
+      : net_(&net), mask_(&mask), theta0_(mask.gather_values()) {}
+
+  /// Attack the first `spec.S` images (maintained rows, if any, are ignored
+  /// — GDA has no stealth constraint). Network restored to θ0 on return.
+  GdaResult run(const core::AttackSpec& spec, const GdaConfig& cfg = {});
+
+ private:
+  /// True if all S faults hold with margin `eps` at θ0 + delta.
+  bool feasible(const Tensor& delta, const core::AttackSpec& spec, double eps);
+
+  nn::Sequential* net_;
+  const core::ParamMask* mask_;
+  Tensor theta0_;
+};
+
+}  // namespace fsa::baseline

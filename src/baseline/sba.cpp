@@ -1,0 +1,38 @@
+#include "baseline/sba.h"
+
+#include <stdexcept>
+
+#include "nn/dense.h"
+
+namespace fsa::baseline {
+
+SbaResult single_bias_attack(nn::Sequential& net, const std::string& final_layer,
+                             const Tensor& features, std::int64_t target, double eps) {
+  const std::size_t li = net.index_of(final_layer);
+  auto* dense = dynamic_cast<nn::Dense*>(&net.layer(li));
+  if (dense == nullptr)
+    throw std::invalid_argument("single_bias_attack: '" + final_layer + "' is not a Dense layer");
+  if (features.shape().rank() != 2 || features.dim(0) != 1 ||
+      features.dim(1) != dense->in_features())
+    throw std::invalid_argument("single_bias_attack: features must be [1, in_features]");
+  if (target < 0 || target >= dense->out_features())
+    throw std::invalid_argument("single_bias_attack: target out of range");
+
+  const Tensor logits = net.forward_from(li, features, /*train=*/false);
+  // Required bias lift: make Z_target exceed the strongest other logit by eps.
+  float strongest_other = -1e30f;
+  for (std::int64_t j = 0; j < dense->out_features(); ++j)
+    if (j != target) strongest_other = std::max(strongest_other, logits.at2(0, j));
+  const float need = strongest_other - logits.at2(0, target) + static_cast<float>(eps);
+
+  SbaResult out;
+  out.bias_index = target;
+  out.old_value = dense->bias().value()[static_cast<std::size_t>(target)];
+  out.new_value = out.old_value + std::max(need, 0.0f);
+  out.modification = std::max(need, 0.0f);
+  dense->bias().value()[static_cast<std::size_t>(target)] = out.new_value;
+  out.success = true;
+  return out;
+}
+
+}  // namespace fsa::baseline

@@ -1,0 +1,34 @@
+// sba.h — Single Bias Attack baseline (Liu et al., ICCAD 2017, §"SBA").
+//
+// SBA misclassifies ONE input by enlarging a single bias of an output
+// neuron: raising b_t until Z_t leads. It is the cheapest possible fault
+// (ℓ0 = 1) but, as the fault-sneaking paper stresses, it has no stealth
+// mechanism — the raised bias lifts Z_t for EVERY input, so test accuracy
+// collapses toward the target class. We reproduce it to regenerate the
+// paper's §5.4 comparison (SBA loses 3.86% MNIST accuracy vs our 0.8%)
+// and Table 2's point that bias-only attacks cannot scale past 1–2 faults.
+#pragma once
+
+#include "core/attack_spec.h"
+#include "core/param_mask.h"
+#include "nn/sequential.h"
+
+namespace fsa::baseline {
+
+struct SbaResult {
+  bool success = false;
+  std::int64_t bias_index = -1;  ///< output-class index whose bias was changed
+  float old_value = 0.0f;
+  float new_value = 0.0f;
+  double modification = 0.0;     ///< |new − old| (the ℓ2 norm; ℓ0 is 1)
+};
+
+/// Make the single image with cut-point activations `features` ([1, F])
+/// classify as `target` by raising the target's bias in the FINAL dense
+/// layer, with a confidence margin `eps`. Mutates the network (callers
+/// snapshot/restore via ParamMask if needed). Fails only if the final
+/// layer has no bias for `target`.
+SbaResult single_bias_attack(nn::Sequential& net, const std::string& final_layer,
+                             const Tensor& features, std::int64_t target, double eps = 0.1);
+
+}  // namespace fsa::baseline

@@ -1,0 +1,95 @@
+#include "core/admm.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/prox.h"
+#include "tensor/ops.h"
+
+namespace fsa::core {
+
+AdmmResult AdmmSolver::solve(const AttackSpec& spec, const AdmmConfig& cfg) {
+  if (cfg.rho <= 0.0) throw std::invalid_argument("AdmmSolver: rho must be positive");
+  if (cfg.iterations <= 0) throw std::invalid_argument("AdmmSolver: iterations must be positive");
+  const ParamMask& mask = grad_.mask();
+  const std::int64_t d = mask.size();
+  const std::int64_t r = spec.R();
+  const double alpha = cfg.alpha > 0.0 ? cfg.alpha : cfg.rho / static_cast<double>(std::max<std::int64_t>(r, 1));
+  const double denom = alpha * static_cast<double>(r) + cfg.rho;
+
+  const Tensor theta0 = mask.gather_values();
+  Tensor delta = Tensor::zeros(Shape({d}));
+  Tensor z = Tensor::zeros(Shape({d}));
+  Tensor s = Tensor::zeros(Shape({d}));
+  Tensor theta = theta0;  // scratch: θ0 + δ
+
+  AdmmResult out;
+  out.g_history.reserve(static_cast<std::size_t>(cfg.iterations));
+  std::int64_t satisfied_checks = 0;
+
+  for (std::int64_t k = 0; k < cfg.iterations; ++k) {
+    // ---- z-step (eq. 13): prox of D at v = δᵏ − sᵏ -------------------------
+    Tensor v = delta;
+    v -= s;
+    switch (cfg.norm) {
+      case NormKind::kL0:
+        z = prox_l0(v, cfg.rho);
+        break;
+      case NormKind::kL2:
+        z = prox_l2(v, cfg.rho);
+        break;
+      case NormKind::kL1:
+        z = prox_l1(v, cfg.rho);
+        break;
+    }
+
+    // ---- δ-step (eq. 22) ----------------------------------------------------
+    theta = theta0;
+    theta += delta;
+    auto res = grad_.eval(theta, spec, cfg.c, cfg.kappa, /*want_grad=*/true, cfg.anchor_weight);
+    out.g_history.push_back(res.eval.total_g);
+    // δ ← (ρ(z+s) + αRδ − Σ∇g) / (αR+ρ), computed in place.
+    for (std::int64_t i = 0; i < d; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const double num = cfg.rho * (static_cast<double>(z[ui]) + s[ui]) +
+                         alpha * static_cast<double>(r) * delta[ui] -
+                         static_cast<double>(res.grad[ui]);
+      delta[ui] = static_cast<float>(num / denom);
+    }
+
+    // ---- s-step (eq. 12) ------------------------------------------------------
+    s += z;
+    s -= delta;
+
+    out.iterations_run = k + 1;
+
+    // ---- early stop: the SPARSE candidate must satisfy the constraints ------
+    if (cfg.check_every > 0 && (k + 1) % cfg.check_every == 0) {
+      theta = theta0;
+      theta += z;
+      const Tensor logits = grad_.logits_at(theta, spec);
+      const auto [hit, kept] = count_satisfied(logits, spec);
+      if (cfg.verbose)
+        std::printf("[admm] iter %4lld: g=%.3f targets %lld/%lld kept %lld/%lld l0(z)=%lld\n",
+                    static_cast<long long>(k + 1), res.eval.total_g, static_cast<long long>(hit),
+                    static_cast<long long>(spec.S), static_cast<long long>(kept),
+                    static_cast<long long>(r - spec.S),
+                    static_cast<long long>(ops::l0_norm(z)));
+      if (hit == spec.S && kept == r - spec.S) {
+        if (++satisfied_checks >= cfg.patience) {
+          out.early_stopped = true;
+          break;
+        }
+      } else {
+        satisfied_checks = 0;
+      }
+    }
+  }
+
+  mask.scatter_values(theta0);  // leave the network unmodified
+  out.delta = std::move(delta);
+  out.z = std::move(z);
+  return out;
+}
+
+}  // namespace fsa::core

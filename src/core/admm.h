@@ -1,0 +1,83 @@
+// admm.h — the paper's general linearized-ADMM framework (§4).
+//
+// Solves   min_δ D(δ) + G(θ+δ, X, T, L)   via the splitting z = δ:
+//
+//   zᵏ⁺¹ = prox_{D/ρ}(δᵏ − sᵏ)                        (eq. 13, 16/18)
+//   δᵏ⁺¹ = (ρ(zᵏ⁺¹+sᵏ) + αRδᵏ − Σᵢ∇gᵢ(θ+δᵏ)) / (αR+ρ) (eq. 21/22)
+//   sᵏ⁺¹ = sᵏ + zᵏ⁺¹ − δᵏ⁺¹                            (eq. 12)
+//
+// The δ-step uses the linearization H = αI, so both steps are closed-form —
+// the "systematic application of ADMM with analytical solutions" the paper
+// contrasts against the heuristic ICCAD'17 attack. The same loop serves the
+// ℓ0 and ℓ2 objectives; only the prox operator differs.
+#pragma once
+
+#include <vector>
+
+#include "core/head_gradient.h"
+
+namespace fsa::core {
+
+enum class NormKind {
+  kL0,  ///< number of modified parameters (paper eq. 16)
+  kL2,  ///< modification magnitude (paper eq. 18)
+  kL1,  ///< extension: convex sparse surrogate (soft threshold)
+};
+
+struct AdmmConfig {
+  NormKind norm = NormKind::kL0;
+  double rho = 2000.0;   ///< augmented-Lagrangian weight; also sets the ℓ0
+                         ///< keep-threshold √(2/ρ) and ℓ2 shrink radius 1/ρ.
+                         ///< The ablation bench shows ρ is the sparsity/
+                         ///< magnitude knob: at S=2, R=50 on the digits
+                         ///< model, ρ=25 → ℓ0≈1324, ℓ2≈475 while ρ=3200 →
+                         ///< ℓ0≈265, ℓ2≈1.9, both at 100% success. The
+                         ///< default sits near the sparse end, matching the
+                         ///< paper's reported ℓ0 scale on the last FC layer.
+  double alpha = -1.0;   ///< Bregman H = αI; ≤ 0 selects the auto rule α = ρ/R
+                         ///< (balances the gradient and proximal pulls)
+  double c = 10.0;       ///< uniform scale on the per-image weights cᵢ.
+                         ///< Must satisfy c·|feature| ≳ √(2ρ) or the hinge
+                         ///< gradient cannot push any coordinate of δ past
+                         ///< the ℓ0 keep-threshold and the solver stalls at
+                         ///< δ = 0 (the dual fixed point is s = ∇g/ρ, so a
+                         ///< coordinate survives the prox only when
+                         ///< |∇g_i| > √(2ρ)). The driver escalates c when
+                         ///< faults remain unmet.
+  double kappa = 0.05;   ///< hinge confidence margin (paper: 0; a small
+                         ///< cushion keeps the hard-thresholded z feasible)
+  double anchor_weight = 0.1;  ///< cᵢ scale for maintained rows (the paper's
+                               ///< per-image weights): anchors only need
+                               ///< corrective pressure, so damping them keeps
+                               ///< hundreds of (rarely violated) maintain
+                               ///< hinges from drowning the fault gradient at
+                               ///< large R
+  std::int64_t iterations = 600;
+  std::int64_t check_every = 25;  ///< evaluate the sparse candidate θ0+z
+  std::int64_t patience = 2;      ///< consecutive satisfied checks → early stop
+  bool verbose = false;
+};
+
+struct AdmmResult {
+  Tensor delta;  ///< dense final iterate δᴷ
+  Tensor z;      ///< proximal copy — exactly sparse under ℓ0
+  std::int64_t iterations_run = 0;
+  bool early_stopped = false;
+  std::vector<double> g_history;  ///< Σcᵢgᵢ at each iteration (diagnostics)
+};
+
+class AdmmSolver {
+ public:
+  /// `net`/`mask` must outlive the solver. The solver restores the
+  /// network's original masked parameters before returning from solve().
+  AdmmSolver(nn::Sequential& net, const ParamMask& mask) : grad_(net, mask) {}
+
+  AdmmResult solve(const AttackSpec& spec, const AdmmConfig& cfg);
+
+  [[nodiscard]] HeadGradient& gradient() { return grad_; }
+
+ private:
+  HeadGradient grad_;
+};
+
+}  // namespace fsa::core

@@ -1,0 +1,22 @@
+// attack_metrics.h — measurement helpers around an attack result.
+#pragma once
+
+#include <utility>
+
+#include "core/fault_sneaking.h"
+
+namespace fsa::core {
+
+/// Run `fn` with `delta` applied to the network, then restore θ0.
+/// Exception-safe: the modification is reverted even if `fn` throws.
+template <typename Fn>
+auto with_delta(FaultSneakingAttack& attack, const Tensor& delta, Fn&& fn) {
+  attack.apply(delta);
+  struct Revert {
+    FaultSneakingAttack* a;
+    ~Revert() { a->revert(); }
+  } revert{&attack};
+  return std::forward<Fn>(fn)();
+}
+
+}  // namespace fsa::core

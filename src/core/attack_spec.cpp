@@ -1,0 +1,63 @@
+#include "core/attack_spec.h"
+
+#include <algorithm>
+
+namespace fsa::core {
+
+AttackSpec make_spec(const Tensor& pool_features, const std::vector<std::int64_t>& pool_labels,
+                     const std::vector<std::int64_t>& pool_preds, std::int64_t S, std::int64_t R,
+                     std::int64_t num_classes, std::uint64_t seed, TargetPolicy policy) {
+  if (pool_features.shape().rank() < 2)
+    throw std::invalid_argument("make_spec: pool_features must be batch-first, rank >= 2");
+  const std::int64_t n = pool_features.dim(0);
+  if (static_cast<std::int64_t>(pool_labels.size()) != n ||
+      static_cast<std::int64_t>(pool_preds.size()) != n)
+    throw std::invalid_argument("make_spec: pool metadata count mismatch");
+  if (S < 0 || S > R) throw std::invalid_argument("make_spec: need 0 <= S <= R");
+
+  // Eligible = correctly classified by the original model.
+  std::vector<std::int64_t> eligible;
+  for (std::int64_t i = 0; i < n; ++i)
+    if (pool_preds[static_cast<std::size_t>(i)] == pool_labels[static_cast<std::size_t>(i)])
+      eligible.push_back(i);
+  if (static_cast<std::int64_t>(eligible.size()) < R)
+    throw std::runtime_error("make_spec: pool has only " + std::to_string(eligible.size()) +
+                             " correctly classified images, need R=" + std::to_string(R));
+
+  Rng rng(seed);
+  // Deterministic shuffle so different seeds give different image subsets.
+  for (std::size_t i = eligible.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_int(i));
+    std::swap(eligible[i - 1], eligible[j]);
+  }
+
+  const std::int64_t f = pool_features.numel() / std::max<std::int64_t>(n, 1);
+  AttackSpec spec;
+  spec.S = S;
+  std::vector<std::int64_t> dims = pool_features.shape().dims();
+  dims[0] = R;
+  spec.features = Tensor(Shape(dims));
+  spec.labels.resize(static_cast<std::size_t>(R));
+  for (std::int64_t k = 0; k < R; ++k) {
+    const std::int64_t src = eligible[static_cast<std::size_t>(k)];
+    std::copy(pool_features.data() + src * f, pool_features.data() + (src + 1) * f,
+              spec.features.data() + k * f);
+    const std::int64_t pred = pool_preds[static_cast<std::size_t>(src)];
+    if (k < S) {
+      std::int64_t target = pred;
+      if (policy == TargetPolicy::kNextLabel) {
+        target = (pred + 1) % num_classes;
+      } else {
+        while (target == pred)
+          target = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(num_classes)));
+      }
+      spec.labels[static_cast<std::size_t>(k)] = target;
+    } else {
+      spec.labels[static_cast<std::size_t>(k)] = pred;  // maintain
+    }
+  }
+  spec.validate(num_classes);
+  return spec;
+}
+
+}  // namespace fsa::core

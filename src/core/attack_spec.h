@@ -1,0 +1,68 @@
+// attack_spec.h — the attack problem instance (the paper's X, T, L, S, R).
+//
+// An AttackSpec carries everything image-related the solver needs, already
+// reduced to the cut point: `features` row i is the cached activation of
+// image xᵢ at the input of the first attacked layer. Rows [0, S) are the
+// fault images to be driven to `labels[i]` (their TARGET tᵢ); rows [S, R)
+// are the sneak/camouflage images whose `labels[i]` is the classification
+// to MAINTAIN (the original model's prediction — the paper's stealthiness
+// constraint uses predictions, not ground truth, since the adversary is
+// not assumed to know the data labels).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fsa::core {
+
+struct AttackSpec {
+  /// Activations at the cut, batch-first: [R, F] for a dense cut, or the
+  /// natural [R, C, H, W] when the first attacked layer is convolutional.
+  Tensor features;
+  std::vector<std::int64_t> labels;  ///< [R]: targets for i<S, keep-labels for i≥S
+  std::int64_t S = 0;                ///< number of injected faults
+  std::vector<double> c;             ///< per-image weight cᵢ (eq. 5/6); empty = all 1
+
+  [[nodiscard]] std::int64_t R() const { return features.dim(0); }
+
+  void validate(std::int64_t num_classes) const {
+    if (features.shape().rank() < 2)
+      throw std::invalid_argument("AttackSpec: features must be batch-first, rank >= 2");
+    if (static_cast<std::int64_t>(labels.size()) != R())
+      throw std::invalid_argument("AttackSpec: label count != R");
+    if (S < 0 || S > R()) throw std::invalid_argument("AttackSpec: S out of range");
+    for (auto l : labels)
+      if (l < 0 || l >= num_classes) throw std::invalid_argument("AttackSpec: label out of range");
+    if (!c.empty() && static_cast<std::int64_t>(c.size()) != R())
+      throw std::invalid_argument("AttackSpec: c count != R");
+  }
+
+  [[nodiscard]] double weight(std::int64_t i) const {
+    return c.empty() ? 1.0 : c[static_cast<std::size_t>(i)];
+  }
+};
+
+/// How fault targets tᵢ are chosen.
+enum class TargetPolicy {
+  kRandom,    ///< uniform over labels ≠ current prediction (paper default:
+              ///< "flexibility to specify any target labels")
+  kNextLabel  ///< (pred + 1) mod classes — deterministic, used in tests
+};
+
+/// Build a spec from pooled candidates.
+///
+/// `pool_features` [N, F] / `pool_preds` are the adversary's images pushed
+/// through the frozen prefix and the original model. Only images the model
+/// currently classifies as `pool_labels` (i.e. correctly) are eligible, so
+/// "maintain" and "fault" are both well defined. Throws if fewer than R
+/// eligible images exist.
+AttackSpec make_spec(const Tensor& pool_features, const std::vector<std::int64_t>& pool_labels,
+                     const std::vector<std::int64_t>& pool_preds, std::int64_t S, std::int64_t R,
+                     std::int64_t num_classes, std::uint64_t seed,
+                     TargetPolicy policy = TargetPolicy::kRandom);
+
+}  // namespace fsa::core

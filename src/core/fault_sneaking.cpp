@@ -1,0 +1,119 @@
+#include "core/fault_sneaking.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/ops.h"
+
+namespace fsa::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+void FaultSneakingAttack::apply(const Tensor& delta) {
+  Tensor theta = theta0_;
+  theta += delta;
+  mask_.scatter_values(theta);
+}
+
+Tensor FaultSneakingAttack::refine(const Tensor& delta, const AttackSpec& spec,
+                                   const FaultSneakingConfig& cfg) {
+  HeadGradient grad(*net_, mask_);
+  // Freeze the support: only coordinates already nonzero may move. This is
+  // what keeps refinement from undoing the sparsity the z-step bought.
+  std::vector<std::size_t> support;
+  for (std::size_t i = 0; i < delta.size(); ++i)
+    if (delta[i] != 0.0f) support.push_back(i);
+  if (support.empty()) return delta;
+
+  Tensor cur = delta;
+  Tensor theta = theta0_;
+  theta += cur;
+  for (std::int64_t step = 0; step < cfg.refine_steps; ++step) {
+    auto res = grad.eval(theta, spec, /*c_scale=*/1.0, cfg.refine_kappa, /*want_grad=*/true,
+                         cfg.admm.anchor_weight);
+    if (res.eval.targets_hit == spec.S && res.eval.maintained == spec.R() - spec.S &&
+        res.eval.total_g == 0.0)
+      break;  // all constraints hold with the demanded confidence margin
+    const double lr = cfg.refine_lr / std::sqrt(1.0 + static_cast<double>(step) / 50.0);
+    for (std::size_t i : support) {
+      cur[i] -= static_cast<float>(lr * res.grad[i]);
+      theta[i] = theta0_[i] + cur[i];
+    }
+  }
+  return cur;
+}
+
+FaultSneakingResult FaultSneakingAttack::run(const AttackSpec& spec,
+                                             const FaultSneakingConfig& cfg) {
+  const auto t0 = Clock::now();
+  AdmmSolver solver(*net_, mask_);
+  HeadGradient grad(*net_, mask_);
+
+  FaultSneakingResult best;
+  best.delta = Tensor::zeros(Shape({mask_.size()}));
+  bool have_best = false;
+
+  AdmmConfig admm_cfg = cfg.admm;
+  for (std::int64_t attempt = 0; attempt <= cfg.escalations; ++attempt) {
+    // Re-establish θ0 in the live network: the previous attempt's
+    // refinement/measurement evaluations leave θ0 + δ scattered into the
+    // masked parameters, and solve() gathers whatever the network holds as
+    // its starting point.
+    mask_.scatter_values(theta0_);
+    const AdmmResult admm = solver.solve(spec, admm_cfg);
+    // Sparse candidate → refinement on its support.
+    Tensor delta = refine(admm.z, spec, cfg);
+
+    // Measure the candidate.
+    Tensor theta = theta0_;
+    theta += delta;
+    const Tensor logits = grad.logits_at(theta, spec);
+    const auto [hit, kept] = count_satisfied(logits, spec);
+
+    FaultSneakingResult cand;
+    cand.delta = delta;
+    cand.l0 = ops::l0_norm(delta);
+    cand.l2 = ops::l2_norm(delta);
+    cand.targets_hit = hit;
+    cand.maintained = kept;
+    cand.success_rate = spec.S == 0 ? 1.0 : static_cast<double>(hit) / static_cast<double>(spec.S);
+    cand.all_targets_hit = hit == spec.S;
+    cand.all_maintained = kept == spec.R() - spec.S;
+    cand.admm_iterations = admm.iterations_run;
+    cand.attempts = attempt + 1;
+
+    if (cfg.verbose)
+      std::printf("[fsa] attempt %lld (c=%.1f): targets %lld/%lld kept %lld/%lld l0=%lld l2=%.3f\n",
+                  static_cast<long long>(attempt + 1), admm_cfg.c,
+                  static_cast<long long>(cand.targets_hit), static_cast<long long>(spec.S),
+                  static_cast<long long>(cand.maintained),
+                  static_cast<long long>(spec.R() - spec.S), static_cast<long long>(cand.l0),
+                  cand.l2);
+
+    // Prefer more targets hit; break ties with more maintained, then lower ℓ0.
+    const auto better = [&](const FaultSneakingResult& a, const FaultSneakingResult& b) {
+      if (a.targets_hit != b.targets_hit) return a.targets_hit > b.targets_hit;
+      if (a.maintained != b.maintained) return a.maintained > b.maintained;
+      return a.l0 < b.l0;
+    };
+    if (!have_best || better(cand, best)) {
+      best = cand;
+      have_best = true;
+    }
+    if (best.all_targets_hit && best.all_maintained) break;
+    admm_cfg.c *= cfg.c_growth;  // escalate and try again
+  }
+
+  mask_.scatter_values(theta0_);  // leave the network clean
+  best.seconds = seconds_since(t0);
+  return best;
+}
+
+}  // namespace fsa::core

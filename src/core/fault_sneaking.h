@@ -1,0 +1,82 @@
+// fault_sneaking.h — the fault sneaking attack driver (the paper's system).
+//
+// Wraps the ADMM solver with the practical outer machinery a real attack
+// needs:
+//   1. escalation — if the sparse solution misses some of the S faults,
+//      retry with the per-image weights cᵢ scaled up (warm-started), the
+//      standard C&W-style balance search; Fig 3's tolerance knee appears
+//      where escalation stops helping;
+//   2. support-restricted refinement — the ℓ0 prox zeroes coordinates,
+//      which can perturb constraints; a short projected-gradient phase on
+//      the surviving support re-satisfies them without growing ‖δ‖₀
+//      (mirrors the feasibility check in the ICCAD'17 baseline);
+//   3. measurement — ℓ0/ℓ2 norms of the applied modification, fault
+//      success rate, sneak (maintain) rate, wall time.
+//
+// The driver never leaves the network perturbed: run() restores θ0, and
+// callers opt in to the modification with apply()/revert().
+#pragma once
+
+#include <optional>
+
+#include "core/admm.h"
+
+namespace fsa::core {
+
+struct FaultSneakingConfig {
+  AdmmConfig admm;
+  std::int64_t escalations = 3;     ///< extra attempts with c ×= c_growth
+  double c_growth = 8.0;
+  std::int64_t refine_steps = 400;  ///< projected-gradient budget per attempt
+  double refine_lr = 5e-3;
+  double refine_kappa = 0.05;       ///< confidence demanded during refinement
+  bool verbose = false;
+};
+
+struct FaultSneakingResult {
+  Tensor delta;                     ///< applied modification (flat mask space)
+  std::int64_t l0 = 0;              ///< ‖δ‖₀ — number of modified parameters
+  double l2 = 0.0;                  ///< ‖δ‖₂ — modification magnitude
+  std::int64_t targets_hit = 0;     ///< faults injected successfully (of S)
+  std::int64_t maintained = 0;      ///< sneak images kept (of R−S)
+  double success_rate = 0.0;        ///< targets_hit / S (1.0 when S = 0)
+  bool all_targets_hit = false;
+  bool all_maintained = false;
+  std::int64_t admm_iterations = 0;
+  std::int64_t attempts = 0;        ///< escalation attempts used
+  double seconds = 0.0;
+};
+
+class FaultSneakingAttack {
+ public:
+  /// Attack the named layers of `net` (weights and/or biases).
+  FaultSneakingAttack(nn::Sequential& net, const std::vector<std::string>& layers,
+                      bool include_weights = true, bool include_biases = true)
+      : net_(&net),
+        mask_(ParamMask::make(net, layers, include_weights, include_biases)),
+        theta0_(mask_.gather_values()) {}
+
+  /// Solve the attack problem; the network is restored to θ0 on return.
+  FaultSneakingResult run(const AttackSpec& spec, const FaultSneakingConfig& cfg = {});
+
+  /// Commit a modification (e.g. result.delta) into the live network.
+  void apply(const Tensor& delta);
+
+  /// Restore the original parameters.
+  void revert() { mask_.scatter_values(theta0_); }
+
+  [[nodiscard]] const ParamMask& mask() const { return mask_; }
+  [[nodiscard]] std::size_t cut() const { return mask_.cut(); }
+  [[nodiscard]] const Tensor& theta0() const { return theta0_; }
+
+ private:
+  /// Projected gradient descent restricted to support(delta); returns the
+  /// refined delta (same support or smaller).
+  Tensor refine(const Tensor& delta, const AttackSpec& spec, const FaultSneakingConfig& cfg);
+
+  nn::Sequential* net_;
+  ParamMask mask_;
+  Tensor theta0_;
+};
+
+}  // namespace fsa::core

@@ -1,0 +1,26 @@
+#include "core/head_gradient.h"
+
+namespace fsa::core {
+
+Tensor HeadGradient::logits_at(const Tensor& theta, const AttackSpec& spec) {
+  mask_->scatter_values(theta);
+  return net_->forward_from(mask_->cut(), spec.features, /*train=*/false);
+}
+
+HeadGradient::Result HeadGradient::eval(const Tensor& theta, const AttackSpec& spec, double c_scale,
+                                        double kappa, bool want_grad, double anchor_weight) {
+  const Tensor logits = logits_at(theta, spec);
+  Result out;
+  out.eval = eval_margin(logits, spec, kappa, anchor_weight);
+  out.eval.total_g *= c_scale;
+  if (want_grad) {
+    mask_->zero_head_grads(*net_);
+    Tensor gl = out.eval.grad_logits;
+    if (c_scale != 1.0) gl *= static_cast<float>(c_scale);
+    net_->backward_to(mask_->cut(), gl);
+    out.grad = mask_->gather_grads();
+  }
+  return out;
+}
+
+}  // namespace fsa::core

@@ -1,0 +1,48 @@
+// head_gradient.h — batched evaluation of G(θ+δ) and Σᵢ cᵢ∇gᵢ.
+//
+// The solver's only interaction with the network: scatter a candidate
+// flat parameter vector into the masked parameters, run the head
+// [cut, end) over the cached features, form the hinge-loss logits
+// gradient (margin_loss.h), and pull Σ∇g back through ONE batched
+// backward pass. This is the step that makes the paper's "surprisingly
+// much less expensive analytical solutions" concrete: per ADMM iteration
+// the cost is a single small-dense-network forward+backward, independent
+// of how many parameters the full model has.
+#pragma once
+
+#include "core/attack_spec.h"
+#include "core/margin_loss.h"
+#include "core/param_mask.h"
+#include "nn/sequential.h"
+
+namespace fsa::core {
+
+class HeadGradient {
+ public:
+  /// Binds to the network and mask; the network must outlive this object.
+  HeadGradient(nn::Sequential& net, const ParamMask& mask) : net_(&net), mask_(&mask) {}
+
+  struct Result {
+    MarginEval eval;  ///< margins / satisfaction counts at θ
+    Tensor grad;      ///< Σᵢ c_scale·cᵢ·∇gᵢ over the masked space (if requested)
+  };
+
+  /// Evaluate at the flat parameter vector `theta` (θ0 + δ).
+  /// Leaves the network holding `theta` — callers that need the original
+  /// parameters back must re-scatter them (AdmmSolver does).
+  /// `anchor_weight` scales the maintained rows' cᵢ (see eval_margin).
+  Result eval(const Tensor& theta, const AttackSpec& spec, double c_scale, double kappa,
+              bool want_grad, double anchor_weight = 1.0);
+
+  /// Logits of the head at `theta` over the spec's features.
+  Tensor logits_at(const Tensor& theta, const AttackSpec& spec);
+
+  [[nodiscard]] const ParamMask& mask() const { return *mask_; }
+  [[nodiscard]] nn::Sequential& net() const { return *net_; }
+
+ private:
+  nn::Sequential* net_;
+  const ParamMask* mask_;
+};
+
+}  // namespace fsa::core

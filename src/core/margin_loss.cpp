@@ -1,0 +1,46 @@
+#include "core/margin_loss.h"
+
+#include <stdexcept>
+
+namespace fsa::core {
+
+MarginEval eval_margin(const Tensor& logits, const AttackSpec& spec, double kappa,
+                       double anchor_weight) {
+  if (logits.shape().rank() != 2 || logits.dim(0) != spec.R())
+    throw std::invalid_argument("eval_margin: logits shape mismatch");
+  const std::int64_t r = logits.dim(0), classes = logits.dim(1);
+  MarginEval out;
+  out.grad_logits = Tensor(Shape({r, classes}));
+  out.margins.resize(static_cast<std::size_t>(r));
+  for (std::int64_t i = 0; i < r; ++i) {
+    const float* z = logits.data() + i * classes;
+    const std::int64_t label = spec.labels[static_cast<std::size_t>(i)];
+    // Strongest class other than the desired label.
+    std::int64_t jstar = label == 0 ? 1 : 0;
+    for (std::int64_t j = 0; j < classes; ++j)
+      if (j != label && z[j] > z[jstar]) jstar = j;
+    const double margin = static_cast<double>(z[jstar]) - static_cast<double>(z[label]);
+    out.margins[static_cast<std::size_t>(i)] = margin;
+    const double ci = spec.weight(i) * (i < spec.S ? 1.0 : anchor_weight);
+    if (margin + kappa > 0.0) {
+      out.total_g += ci * (margin + kappa);
+      out.grad_logits.at2(i, jstar) = static_cast<float>(ci);
+      out.grad_logits.at2(i, label) = static_cast<float>(-ci);
+    }
+    if (margin < 0.0) {
+      if (i < spec.S)
+        ++out.targets_hit;
+      else
+        ++out.maintained;
+    }
+  }
+  return out;
+}
+
+std::pair<std::int64_t, std::int64_t> count_satisfied(const Tensor& logits,
+                                                      const AttackSpec& spec) {
+  const MarginEval e = eval_margin(logits, spec, 0.0);
+  return {e.targets_hit, e.maintained};
+}
+
+}  // namespace fsa::core

@@ -1,0 +1,47 @@
+// margin_loss.h — the paper's g function (eq. 3–6) on a batch of logits.
+//
+// For fault images (i < S):      gᵢ = max( max_{j≠tᵢ} Zⱼ − Z_{tᵢ}, 0 )
+// For maintained images (i ≥ S): gᵢ = max( max_{j≠lᵢ} Zⱼ − Z_{lᵢ}, 0 )
+// — identical formulas with the label column swapped, which is why
+// AttackSpec stores one `labels` vector. gᵢ = 0 exactly when image i is
+// classified as desired; its subgradient is eⱼ* − e_{label} otherwise
+// (j* the strongest wrong class), giving the grad-logits matrix that one
+// batched backward pass turns into Σᵢ cᵢ ∇gᵢ over the masked parameters.
+#pragma once
+
+#include "core/attack_spec.h"
+#include "tensor/tensor.h"
+
+namespace fsa::core {
+
+struct MarginEval {
+  double total_g = 0.0;               ///< Σᵢ cᵢ gᵢ
+  std::int64_t targets_hit = 0;       ///< fault images currently at their target
+  std::int64_t maintained = 0;        ///< sneak images currently at their keep-label
+  Tensor grad_logits;                 ///< [R, classes] — ∂(Σ cᵢ gᵢ)/∂Z
+  std::vector<double> margins;        ///< per-image max_{j≠label} Zⱼ − Z_label
+};
+
+/// Evaluate g and its logits-gradient for a batch.
+///
+/// `kappa ≥ 0` demands a confidence margin: the hinge becomes
+/// max(margin + kappa, 0), so an image only counts as settled once its
+/// desired logit leads by kappa. The paper uses kappa = 0; the attack
+/// driver's refinement phase uses a small positive kappa so the sparse
+/// solution is robust to the final thresholding.
+///
+/// `anchor_weight` additionally scales cᵢ for the maintained rows (i ≥ S).
+/// This is the paper's cᵢ freedom made operational: with hundreds of
+/// anchors and a handful of faults, uniform weights let the (rarely
+/// active) anchor hinges drown the fault gradient and the solver can
+/// stall; anchors only need CORRECTIVE pressure, so a fraction of the
+/// fault weight suffices.
+MarginEval eval_margin(const Tensor& logits, const AttackSpec& spec, double kappa = 0.0,
+                       double anchor_weight = 1.0);
+
+/// Count of images whose argmax equals their spec label (strict argmax,
+/// no kappa) — the success measure used in the paper's tables.
+std::pair<std::int64_t, std::int64_t> count_satisfied(const Tensor& logits,
+                                                      const AttackSpec& spec);
+
+}  // namespace fsa::core

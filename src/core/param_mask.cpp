@@ -1,0 +1,66 @@
+#include "core/param_mask.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fsa::core {
+
+ParamMask ParamMask::make(nn::Sequential& net, const std::vector<std::string>& layer_names,
+                          bool include_weights, bool include_biases) {
+  if (!include_weights && !include_biases)
+    throw std::invalid_argument("ParamMask: must include weights, biases, or both");
+  ParamMask mask;
+  mask.cut_ = std::numeric_limits<std::size_t>::max();
+  for (const auto& name : layer_names) {
+    const std::size_t li = net.index_of(name);  // throws on unknown name
+    for (auto* p : net.layer(li).params()) {
+      const bool is_weight = p->kind() == nn::Parameter::Kind::kWeight;
+      if ((is_weight && !include_weights) || (!is_weight && !include_biases)) continue;
+      mask.segments_.push_back(Segment{p, li, mask.size_});
+      mask.size_ += p->numel();
+      mask.cut_ = std::min(mask.cut_, li);
+    }
+  }
+  if (mask.segments_.empty()) throw std::invalid_argument("ParamMask: empty selection");
+  std::string kinds = include_weights && include_biases ? "weights+biases"
+                      : include_weights                 ? "weights"
+                                                        : "biases";
+  std::string joined;
+  for (const auto& n : layer_names) joined += (joined.empty() ? "" : ",") + n;
+  mask.label_ = joined + "[" + kinds + "] (" + std::to_string(mask.size_) + " params)";
+  return mask;
+}
+
+Tensor ParamMask::gather_values() const {
+  Tensor flat(Shape({size_}));
+  for (const auto& seg : segments_) {
+    const auto& v = seg.param->value();
+    std::copy(v.data(), v.data() + v.numel(), flat.data() + seg.offset);
+  }
+  return flat;
+}
+
+void ParamMask::scatter_values(const Tensor& flat) const {
+  if (flat.numel() != size_) throw std::invalid_argument("ParamMask::scatter_values: size mismatch");
+  for (const auto& seg : segments_) {
+    auto& v = seg.param->value();
+    std::copy(flat.data() + seg.offset, flat.data() + seg.offset + v.numel(), v.data());
+  }
+}
+
+Tensor ParamMask::gather_grads() const {
+  Tensor flat(Shape({size_}));
+  for (const auto& seg : segments_) {
+    const auto& g = seg.param->grad();
+    std::copy(g.data(), g.data() + g.numel(), flat.data() + seg.offset);
+  }
+  return flat;
+}
+
+void ParamMask::zero_head_grads(nn::Sequential& net) const {
+  for (std::size_t i = cut_; i < net.size(); ++i) net.layer(i).zero_grad();
+}
+
+std::string ParamMask::describe() const { return label_; }
+
+}  // namespace fsa::core

@@ -1,0 +1,65 @@
+// param_mask.h — selection of the attackable parameter subset.
+//
+// The paper's θ "has the flexibility of specifying either all the DNN
+// parameters or only a portion of the parameters, e.g., weight parameters
+// of the specific layer(s)" (§3). ParamMask is that portion: an ordered
+// list of (layer, parameter) segments with gather/scatter between the
+// model's parameter tensors and the flat vector space the ADMM solver
+// works in. Table 1 masks each FC layer in turn; Table 2 masks only the
+// weights or only the biases of the last FC layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace fsa::core {
+
+class ParamMask {
+ public:
+  struct Segment {
+    nn::Parameter* param = nullptr;
+    std::size_t layer_index = 0;   ///< index of the owning layer in the net
+    std::int64_t offset = 0;       ///< start offset in the flat vector
+  };
+
+  /// Select parameters of the named layers, filtered by kind.
+  /// Throws if the selection is empty or a layer name is unknown.
+  static ParamMask make(nn::Sequential& net, const std::vector<std::string>& layer_names,
+                        bool include_weights = true, bool include_biases = true);
+
+  /// Flat dimension of the masked space (the paper's dim(δ)).
+  [[nodiscard]] std::int64_t size() const { return size_; }
+
+  /// Lowest layer index among the selected parameters — the network "cut":
+  /// activations below it are unaffected by any masked modification, so
+  /// they can be cached (see models::FeatureCache).
+  [[nodiscard]] std::size_t cut() const { return cut_; }
+
+  [[nodiscard]] const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Copy current model values into a flat vector (the attack's θ).
+  [[nodiscard]] Tensor gather_values() const;
+
+  /// Write a flat vector back into the model parameters (θ + δ).
+  void scatter_values(const Tensor& flat) const;
+
+  /// Copy current accumulated gradients into a flat vector.
+  [[nodiscard]] Tensor gather_grads() const;
+
+  /// Zero the gradients of every layer at or above the cut (sufficient for
+  /// head-only backward passes, cheaper than zeroing the whole model).
+  void zero_head_grads(nn::Sequential& net) const;
+
+  /// Human-readable description, e.g. "fc3[weights+biases] (2010 params)".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<Segment> segments_;
+  std::int64_t size_ = 0;
+  std::size_t cut_ = 0;
+  std::string label_;
+};
+
+}  // namespace fsa::core

@@ -1,0 +1,40 @@
+#include "core/prox.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace fsa::core {
+
+Tensor prox_l0(const Tensor& v, double rho) {
+  if (rho <= 0.0) throw std::invalid_argument("prox_l0: rho must be positive");
+  const double threshold2 = 2.0 / rho;
+  Tensor z(v.shape());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double vi = v[i];
+    z[i] = (vi * vi > threshold2) ? v[i] : 0.0f;
+  }
+  return z;
+}
+
+Tensor prox_l1(const Tensor& v, double rho) {
+  if (rho <= 0.0) throw std::invalid_argument("prox_l1: rho must be positive");
+  const float t = static_cast<float>(1.0 / rho);
+  Tensor z(v.shape());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const float vi = v[i];
+    z[i] = vi > t ? vi - t : (vi < -t ? vi + t : 0.0f);
+  }
+  return z;
+}
+
+Tensor prox_l2(const Tensor& v, double rho) {
+  if (rho <= 0.0) throw std::invalid_argument("prox_l2: rho must be positive");
+  const double norm = ops::l2_norm(v);
+  if (norm < 1.0 / rho) return Tensor::zeros(v.shape());
+  const float shrink = static_cast<float>(1.0 - 1.0 / (rho * norm));
+  return ops::scale(v, shrink);
+}
+
+}  // namespace fsa::core

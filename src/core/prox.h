@@ -1,0 +1,27 @@
+// prox.h — proximal operators for the ADMM z-step (paper eq. 15–18).
+//
+// The z-step is  min_z D(z) + (ρ/2)‖z − v‖²  with v = δᵏ − sᵏ:
+//  * D = ‖·‖₀ → elementwise hard threshold: keep vᵢ iff vᵢ² > 2/ρ (eq. 16)
+//  * D = ‖·‖₂ → block soft threshold: shrink v toward 0 by 1/(ρ‖v‖₂),
+//               or collapse to 0 when ‖v‖₂ < 1/ρ (eq. 18)
+// These closed forms are exactly why the paper's framework handles the
+// non-differentiable ℓ0 norm that the ICCAD'17 baseline cannot.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace fsa::core {
+
+/// prox_{‖·‖₀/ρ}(v): elementwise hard threshold (eq. 16).
+Tensor prox_l0(const Tensor& v, double rho);
+
+/// prox_{‖·‖₂/ρ}(v): block soft threshold (eq. 18).
+Tensor prox_l2(const Tensor& v, double rho);
+
+/// prox_{‖·‖₁/ρ}(v): elementwise soft threshold at 1/ρ. Not in the paper's
+/// evaluation, but its framework explicitly generalizes over D(·) — ℓ1 is
+/// the standard convex surrogate sitting between the two published norms
+/// (sparse like ℓ0, convex like ℓ2), exposed as an extension.
+Tensor prox_l1(const Tensor& v, double rho);
+
+}  // namespace fsa::core

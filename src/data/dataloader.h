@@ -1,0 +1,59 @@
+// dataloader.h — shuffled mini-batch iteration over a Dataset.
+#pragma once
+
+#include <numeric>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace fsa::data {
+
+class DataLoader {
+ public:
+  /// `shuffle` reshuffles indices at the start of every epoch using `rng`.
+  DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle, Rng rng)
+      : ds_(&dataset), batch_(batch_size), shuffle_(shuffle), rng_(rng) {
+    if (batch_ <= 0) throw std::invalid_argument("DataLoader: batch_size must be positive");
+    order_.resize(static_cast<std::size_t>(ds_->size()));
+    std::iota(order_.begin(), order_.end(), 0);
+  }
+
+  /// Number of batches per epoch (last partial batch included).
+  [[nodiscard]] std::int64_t batches_per_epoch() const {
+    return (ds_->size() + batch_ - 1) / batch_;
+  }
+
+  /// Reset to the start of an epoch (reshuffles if enabled).
+  void start_epoch() {
+    cursor_ = 0;
+    if (shuffle_) {
+      // Fisher-Yates with our deterministic Rng.
+      for (std::size_t i = order_.size(); i > 1; --i) {
+        const std::size_t j = static_cast<std::size_t>(rng_.uniform_int(i));
+        std::swap(order_[i - 1], order_[j]);
+      }
+    }
+  }
+
+  /// Fetch the next batch; returns false at epoch end.
+  bool next(Batch& out) {
+    if (cursor_ >= ds_->size()) return false;
+    const std::int64_t n = std::min(batch_, ds_->size() - cursor_);
+    std::vector<std::int64_t> idx(order_.begin() + cursor_, order_.begin() + cursor_ + n);
+    const Dataset sub = ds_->subset(idx);
+    out.images = sub.images();
+    out.labels = sub.labels();
+    cursor_ += n;
+    return true;
+  }
+
+ private:
+  const Dataset* ds_;
+  std::int64_t batch_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace fsa::data

@@ -1,0 +1,27 @@
+#include "data/dataset.h"
+
+namespace fsa::data {
+
+Dataset Dataset::subset(const std::vector<std::int64_t>& indices) const {
+  const std::int64_t c = images_.dim(1), h = images_.dim(2), w = images_.dim(3);
+  const std::int64_t img_elems = c * h * w;
+  Tensor out(Shape({static_cast<std::int64_t>(indices.size()), c, h, w}));
+  std::vector<std::int64_t> lbl;
+  lbl.reserve(indices.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::int64_t i = indices[k];
+    if (i < 0 || i >= size()) throw std::out_of_range("Dataset::subset index");
+    std::copy(images_.data() + i * img_elems, images_.data() + (i + 1) * img_elems,
+              out.data() + static_cast<std::int64_t>(k) * img_elems);
+    lbl.push_back(labels_[static_cast<std::size_t>(i)]);
+  }
+  return Dataset(std::move(out), std::move(lbl), num_classes_);
+}
+
+Batch Dataset::head(std::int64_t n) const {
+  if (n < 0 || n > size()) throw std::out_of_range("Dataset::head");
+  return Batch{images_.slice0(0, n),
+               std::vector<std::int64_t>(labels_.begin(), labels_.begin() + n)};
+}
+
+}  // namespace fsa::data

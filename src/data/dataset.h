@@ -1,0 +1,61 @@
+// dataset.h — in-memory labeled image datasets.
+//
+// Both synthetic datasets in this library materialize fully in memory
+// (tens of MB), which keeps epoch iteration allocation-free and makes the
+// attack's image subsets (the paper's X = {x₁..x_R}) trivial to slice out.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fsa::data {
+
+/// A mini-batch: images [N, C, H, W] plus integer class labels.
+struct Batch {
+  Tensor images;
+  std::vector<std::int64_t> labels;
+
+  [[nodiscard]] std::int64_t size() const { return images.dim(0); }
+};
+
+/// A fully materialized dataset.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor images, std::vector<std::int64_t> labels, std::int64_t num_classes)
+      : images_(std::move(images)), labels_(std::move(labels)), num_classes_(num_classes) {
+    if (images_.shape().rank() != 4)
+      throw std::invalid_argument("Dataset: images must be [N, C, H, W]");
+    if (images_.dim(0) != static_cast<std::int64_t>(labels_.size()))
+      throw std::invalid_argument("Dataset: image/label count mismatch");
+    for (auto l : labels_)
+      if (l < 0 || l >= num_classes_) throw std::invalid_argument("Dataset: label out of range");
+  }
+
+  [[nodiscard]] std::int64_t size() const { return images_.dim(0); }
+  [[nodiscard]] std::int64_t num_classes() const { return num_classes_; }
+  [[nodiscard]] const Tensor& images() const { return images_; }
+  [[nodiscard]] const std::vector<std::int64_t>& labels() const { return labels_; }
+
+  /// One image as a [1, C, H, W] batch tensor.
+  [[nodiscard]] Tensor image(std::int64_t i) const { return images_.slice0(i, i + 1); }
+  [[nodiscard]] std::int64_t label(std::int64_t i) const {
+    return labels_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Materialize a subset in the given index order.
+  [[nodiscard]] Dataset subset(const std::vector<std::int64_t>& indices) const;
+
+  /// First-n prefix as a Batch (used to build the attack's image set X).
+  [[nodiscard]] Batch head(std::int64_t n) const;
+
+ private:
+  Tensor images_;
+  std::vector<std::int64_t> labels_;
+  std::int64_t num_classes_ = 0;
+};
+
+}  // namespace fsa::data

@@ -1,0 +1,122 @@
+#include "data/synth_digits.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace fsa::data {
+
+namespace {
+
+constexpr std::int64_t kSide = 28;
+
+struct Pt {
+  double x, y;
+};
+
+// Seven-segment layout in glyph coordinates ([0,1]² box, y down):
+//      --0--
+//     1     2
+//      --3--
+//     4     5
+//      --6--
+constexpr double kL = 0.28, kR = 0.72, kT = 0.12, kM = 0.50, kB = 0.88;
+const std::array<std::pair<Pt, Pt>, 7> kSegments = {{
+    {{kL, kT}, {kR, kT}},  // 0 top
+    {{kL, kT}, {kL, kM}},  // 1 top-left
+    {{kR, kT}, {kR, kM}},  // 2 top-right
+    {{kL, kM}, {kR, kM}},  // 3 middle
+    {{kL, kM}, {kL, kB}},  // 4 bottom-left
+    {{kR, kM}, {kR, kB}},  // 5 bottom-right
+    {{kL, kB}, {kR, kB}},  // 6 bottom
+}};
+
+// Which segments light up for each digit (classic seven-segment encoding).
+constexpr std::array<std::uint8_t, 10> kDigitMask = {
+    0b1110111,  // 0: top, tl, tr, bl, br, bottom
+    0b0100100,  // 1: tr, br
+    0b1101011,  // 2: top, tr, mid, bl, bottom
+    0b1101101,  // 3: top, tr, mid, br, bottom
+    0b0111100,  // 4: tl, tr, mid, br
+    0b1011101,  // 5: top, tl, mid, br, bottom
+    0b1011111,  // 6: top, tl, mid, bl, br, bottom
+    0b1100100,  // 7: top, tr, br
+    0b1111111,  // 8: all
+    0b1111101,  // 9: top, tl, tr, mid, br, bottom
+};
+
+double dist_to_segment(double px, double py, const Pt& a, const Pt& b) {
+  const double vx = b.x - a.x, vy = b.y - a.y;
+  const double wx = px - a.x, wy = py - a.y;
+  const double len2 = vx * vx + vy * vy;
+  double t = len2 > 0 ? (wx * vx + wy * vy) / len2 : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const double dx = px - (a.x + t * vx), dy = py - (a.y + t * vy);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+Tensor render_digit(std::int64_t digit, Rng& rng, const SynthDigitsConfig& cfg) {
+  if (digit < 0 || digit > 9) throw std::invalid_argument("render_digit: digit out of range");
+  // Sample the pose once per image.
+  const double theta = rng.uniform(-cfg.max_rotation, cfg.max_rotation);
+  const double scale = rng.uniform(cfg.min_scale, cfg.max_scale);
+  const double tx = rng.uniform(-cfg.max_translate, cfg.max_translate);
+  const double ty = rng.uniform(-cfg.max_translate, cfg.max_translate);
+  const double stroke = rng.uniform(0.9, 1.7);  // pixels
+  const double intensity = rng.uniform(0.75, 1.0);
+  const double ct = std::cos(theta), st = std::sin(theta);
+
+  // Transform active segment endpoints into pixel coordinates.
+  std::vector<std::pair<Pt, Pt>> segs;
+  const std::uint8_t mask = kDigitMask[static_cast<std::size_t>(digit)];
+  for (std::size_t s = 0; s < kSegments.size(); ++s) {
+    if (!(mask >> s & 1)) continue;
+    auto xf = [&](const Pt& p) -> Pt {
+      const double gx = (p.x - 0.5) * scale, gy = (p.y - 0.5) * scale;
+      return {(gx * ct - gy * st + 0.5) * kSide + tx, (gx * st + gy * ct + 0.5) * kSide + ty};
+    };
+    segs.push_back({xf(kSegments[s].first), xf(kSegments[s].second)});
+  }
+
+  Tensor img(Shape({1, 1, kSide, kSide}));
+  float* px = img.data();
+  for (std::int64_t y = 0; y < kSide; ++y) {
+    for (std::int64_t x = 0; x < kSide; ++x) {
+      double d = 1e9;
+      for (const auto& [a, b] : segs)
+        d = std::min(d, dist_to_segment(static_cast<double>(x), static_cast<double>(y), a, b));
+      // Soft-edged stroke: full intensity inside, smooth 1px falloff.
+      const double v = intensity * std::clamp(1.0 - (d - stroke * 0.5) / 1.0, 0.0, 1.0);
+      px[y * kSide + x] = static_cast<float>(v);
+    }
+  }
+  // Distractor speckles (small bright dots that are not part of the glyph).
+  for (int s = 0; s < cfg.distractor_speckles; ++s) {
+    const auto sx = static_cast<std::int64_t>(rng.uniform_int(kSide));
+    const auto sy = static_cast<std::int64_t>(rng.uniform_int(kSide));
+    px[sy * kSide + sx] =
+        std::min(1.0f, px[sy * kSide + sx] + static_cast<float>(rng.uniform(0.1, 0.45)));
+  }
+  // Additive Gaussian noise, clamped to [0, 1].
+  for (std::int64_t i = 0; i < kSide * kSide; ++i)
+    px[i] = std::clamp(px[i] + static_cast<float>(rng.normal(0.0, cfg.noise_stddev)), 0.0f, 1.0f);
+  return img;
+}
+
+Dataset make_synth_digits(const SynthDigitsConfig& cfg) {
+  Rng rng(cfg.seed);
+  Tensor images(Shape({cfg.count, 1, kSide, kSide}));
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(cfg.count));
+  const std::int64_t img_elems = kSide * kSide;
+  for (std::int64_t i = 0; i < cfg.count; ++i) {
+    const std::int64_t digit = static_cast<std::int64_t>(rng.uniform_int(10));
+    const Tensor img = render_digit(digit, rng, cfg);
+    std::copy(img.data(), img.data() + img_elems, images.data() + i * img_elems);
+    labels[static_cast<std::size_t>(i)] = digit;
+  }
+  return Dataset(std::move(images), std::move(labels), 10);
+}
+
+}  // namespace fsa::data

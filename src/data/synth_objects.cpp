@@ -1,0 +1,145 @@
+#include "data/synth_objects.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace fsa::data {
+
+namespace {
+
+constexpr std::int64_t kSide = 32;
+
+// Class color priors (RGB in [0,1]); deliberately overlapping so color alone
+// does not solve the task.
+constexpr std::array<std::array<double, 3>, 10> kColor = {{
+    {0.85, 0.25, 0.25},  // 0 circle
+    {0.25, 0.65, 0.85},  // 1 square
+    {0.30, 0.80, 0.35},  // 2 triangle
+    {0.85, 0.75, 0.25},  // 3 cross
+    {0.70, 0.35, 0.80},  // 4 ring
+    {0.85, 0.50, 0.20},  // 5 diamond
+    {0.45, 0.45, 0.85},  // 6 h-stripes
+    {0.60, 0.80, 0.70},  // 7 v-stripes
+    {0.80, 0.40, 0.55},  // 8 checker
+    {0.55, 0.65, 0.30},  // 9 star
+}};
+
+/// Signed membership of point (u,v) in shape `cls`, in shape-local
+/// coordinates (unit box centred at origin). Returns 1 inside, 0 outside,
+/// with soft edges left to the caller.
+double shape_mask(std::int64_t cls, double u, double v) {
+  const double au = std::fabs(u), av = std::fabs(v);
+  switch (cls) {
+    case 0:  // circle
+      return (u * u + v * v <= 0.40 * 0.40) ? 1.0 : 0.0;
+    case 1:  // square
+      return (au <= 0.36 && av <= 0.36) ? 1.0 : 0.0;
+    case 2:  // triangle (upward)
+      return (v >= -0.38 && v <= 0.40 && au <= 0.42 * (0.40 - v) / 0.78 * 2.0) ? 1.0 : 0.0;
+    case 3:  // cross
+      return ((au <= 0.14 && av <= 0.44) || (av <= 0.14 && au <= 0.44)) ? 1.0 : 0.0;
+    case 4: {  // ring
+      const double r2 = u * u + v * v;
+      return (r2 <= 0.42 * 0.42 && r2 >= 0.22 * 0.22) ? 1.0 : 0.0;
+    }
+    case 5:  // diamond
+      return (au + av <= 0.48) ? 1.0 : 0.0;
+    case 6:  // horizontal stripes
+      return (au <= 0.42 && av <= 0.42 && std::fmod(v + 2.0, 0.24) < 0.12) ? 1.0 : 0.0;
+    case 7:  // vertical stripes
+      return (au <= 0.42 && av <= 0.42 && std::fmod(u + 2.0, 0.24) < 0.12) ? 1.0 : 0.0;
+    case 8:  // checker
+      return (au <= 0.42 && av <= 0.42 &&
+              (static_cast<int>(std::floor((u + 2.0) / 0.21)) +
+               static_cast<int>(std::floor((v + 2.0) / 0.21))) % 2 == 0)
+                 ? 1.0
+                 : 0.0;
+    case 9: {  // five-point star (angular modulated radius)
+      const double r = std::sqrt(u * u + v * v);
+      const double a = std::atan2(v, u);
+      const double rim = 0.24 + 0.18 * std::cos(5.0 * a);
+      return (r <= rim) ? 1.0 : 0.0;
+    }
+    default:
+      throw std::invalid_argument("shape_mask: class out of range");
+  }
+}
+
+}  // namespace
+
+Tensor render_object(std::int64_t cls, Rng& rng, const SynthObjectsConfig& cfg) {
+  if (cls < 0 || cls > 9) throw std::invalid_argument("render_object: class out of range");
+  const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+  const double scale = rng.uniform(0.75, 1.25);
+  const double tx = rng.uniform(-5.0, 5.0), ty = rng.uniform(-5.0, 5.0);
+  const double ct = std::cos(theta), st = std::sin(theta);
+
+  // Jittered foreground color and random background color.
+  std::array<double, 3> fg{}, bg{};
+  for (int c = 0; c < 3; ++c) {
+    fg[static_cast<std::size_t>(c)] =
+        std::clamp(kColor[static_cast<std::size_t>(cls)][static_cast<std::size_t>(c)] +
+                       rng.uniform(-cfg.color_jitter, cfg.color_jitter),
+                   0.0, 1.0);
+    bg[static_cast<std::size_t>(c)] = rng.uniform(0.05, 0.65);
+  }
+  // Low-frequency background clutter phase.
+  const double phx = rng.uniform(0.0, 6.28), phy = rng.uniform(0.0, 6.28);
+  const double fqx = rng.uniform(0.15, 0.45), fqy = rng.uniform(0.15, 0.45);
+
+  Tensor img(Shape({1, 3, kSide, kSide}));
+  float* px = img.data();
+  for (std::int64_t y = 0; y < kSide; ++y) {
+    for (std::int64_t x = 0; x < kSide; ++x) {
+      // Pixel → shape-local coordinates (rotation is only meaningful for
+      // anisotropic shapes; stripes/checker rotate too, adding pose noise).
+      const double cxp = (static_cast<double>(x) - kSide / 2.0 - tx) / (kSide * 0.5 * scale);
+      const double cyp = (static_cast<double>(y) - kSide / 2.0 - ty) / (kSide * 0.5 * scale);
+      const double u = cxp * ct + cyp * st;
+      const double v = -cxp * st + cyp * ct;
+      const double inside = shape_mask(cls, u, v);
+      const double tex = cfg.background_texture *
+                         std::sin(fqx * static_cast<double>(x) + phx) *
+                         std::cos(fqy * static_cast<double>(y) + phy);
+      for (int c = 0; c < 3; ++c) {
+        const double base = inside > 0.5 ? fg[static_cast<std::size_t>(c)]
+                                         : bg[static_cast<std::size_t>(c)] + tex;
+        px[(c * kSide + y) * kSide + x] = static_cast<float>(std::clamp(base, 0.0, 1.0));
+      }
+    }
+  }
+  // Random occluding bar (drawn over the object) — a major difficulty source.
+  if (rng.bernoulli(cfg.occlusion_prob)) {
+    const bool horizontal = rng.bernoulli(0.5);
+    const auto pos = static_cast<std::int64_t>(rng.uniform_int(kSide));
+    const auto thick = static_cast<std::int64_t>(2 + rng.uniform_int(4));
+    const float shade = static_cast<float>(rng.uniform(0.0, 0.9));
+    for (std::int64_t t = 0; t < thick; ++t) {
+      const std::int64_t line = std::clamp<std::int64_t>(pos + t, 0, kSide - 1);
+      for (std::int64_t k = 0; k < kSide; ++k)
+        for (int c = 0; c < 3; ++c)
+          px[(c * kSide + (horizontal ? line : k)) * kSide + (horizontal ? k : line)] = shade;
+    }
+  }
+  // Heavy additive noise.
+  for (std::int64_t i = 0; i < 3 * kSide * kSide; ++i)
+    px[i] = std::clamp(px[i] + static_cast<float>(rng.normal(0.0, cfg.noise_stddev)), 0.0f, 1.0f);
+  return img;
+}
+
+Dataset make_synth_objects(const SynthObjectsConfig& cfg) {
+  Rng rng(cfg.seed);
+  Tensor images(Shape({cfg.count, 3, kSide, kSide}));
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(cfg.count));
+  const std::int64_t img_elems = 3 * kSide * kSide;
+  for (std::int64_t i = 0; i < cfg.count; ++i) {
+    const std::int64_t cls = static_cast<std::int64_t>(rng.uniform_int(10));
+    const Tensor img = render_object(cls, rng, cfg);
+    std::copy(img.data(), img.data() + img_elems, images.data() + i * img_elems);
+    labels[static_cast<std::size_t>(i)] = cls;
+  }
+  return Dataset(std::move(images), std::move(labels), 10);
+}
+
+}  // namespace fsa::data

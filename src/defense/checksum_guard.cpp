@@ -1,0 +1,61 @@
+#include "defense/checksum_guard.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace fsa::defense {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i)
+    crc = crc_table()[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+ChecksumGuard::ChecksumGuard(const Tensor& params, std::int64_t block_params)
+    : total_params_(params.numel()), block_params_(block_params) {
+  if (block_params <= 0) throw std::invalid_argument("ChecksumGuard: block_params must be > 0");
+  for (std::int64_t begin = 0; begin < total_params_; begin += block_params_) {
+    const std::int64_t len = std::min(block_params_, total_params_ - begin);
+    reference_.push_back(crc32(params.data() + begin, static_cast<std::size_t>(len) * 4));
+  }
+}
+
+ChecksumGuard::VerifyResult ChecksumGuard::verify(const Tensor& params) const {
+  if (params.numel() != total_params_)
+    throw std::invalid_argument("ChecksumGuard::verify: parameter count changed");
+  VerifyResult out;
+  for (std::int64_t b = 0; b < block_count(); ++b) {
+    const std::int64_t begin = b * block_params_;
+    const std::int64_t len = std::min(block_params_, total_params_ - begin);
+    if (crc32(params.data() + begin, static_cast<std::size_t>(len) * 4) !=
+        reference_[static_cast<std::size_t>(b)]) {
+      out.detected = true;
+      ++out.blocks_flagged;
+      out.flagged.push_back(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace fsa::defense

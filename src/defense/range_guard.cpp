@@ -1,0 +1,52 @@
+#include "defense/range_guard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fsa::defense {
+
+RangeGuard::RangeGuard(const Tensor& params, std::int64_t group_params, double slack)
+    : total_params_(params.numel()), group_params_(group_params) {
+  if (group_params <= 0) throw std::invalid_argument("RangeGuard: group_params must be > 0");
+  if (slack < 0.0) throw std::invalid_argument("RangeGuard: slack must be >= 0");
+  for (std::int64_t begin = 0; begin < total_params_; begin += group_params_) {
+    const std::int64_t end = std::min(total_params_, begin + group_params_);
+    float lo = params[static_cast<std::size_t>(begin)];
+    float hi = lo;
+    for (std::int64_t i = begin; i < end; ++i) {
+      lo = std::min(lo, params[static_cast<std::size_t>(i)]);
+      hi = std::max(hi, params[static_cast<std::size_t>(i)]);
+    }
+    // Widen by a relative slack so benign numerical drift never alarms.
+    const float pad = static_cast<float>(slack) * std::max(std::fabs(lo), std::fabs(hi));
+    lo_.push_back(lo - pad);
+    hi_.push_back(hi + pad);
+  }
+}
+
+RangeGuard::SanitizeResult RangeGuard::sanitize(Tensor& params, bool clamp) const {
+  if (params.numel() != total_params_)
+    throw std::invalid_argument("RangeGuard::sanitize: parameter count changed");
+  SanitizeResult out;
+  for (std::int64_t b = 0; b < group_count(); ++b) {
+    const std::int64_t begin = b * group_params_;
+    const std::int64_t end = std::min(total_params_, begin + group_params_);
+    const float lo = lo_[static_cast<std::size_t>(b)];
+    const float hi = hi_[static_cast<std::size_t>(b)];
+    for (std::int64_t i = begin; i < end; ++i) {
+      float& v = params[static_cast<std::size_t>(i)];
+      if (v < lo || v > hi) {
+        ++out.out_of_range;
+        out.alarm = true;
+        if (clamp) {
+          v = std::clamp(v, lo, hi);
+          ++out.clamped;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fsa::defense

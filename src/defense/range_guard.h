@@ -1,0 +1,49 @@
+// range_guard.h — sanitization defense: clamp parameters to trained ranges.
+//
+// A cheaper countermeasure than integrity hashing: record per-parameter-
+// group value ranges at deployment (with a slack factor) and clamp or
+// alarm on out-of-range values at load/inference time. It costs two floats
+// per group and no re-hashing — but unlike ChecksumGuard it only catches
+// modifications that LEAVE the trained range. The defense bench quantifies
+// how much of the fault sneaking attack survives sanitization: the ℓ2
+// attack's small modifications typically slip under it entirely, which is
+// the interesting (and sobering) result.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fsa::defense {
+
+class RangeGuard {
+ public:
+  /// Snapshot per-group [min, max] of `params`, split into contiguous
+  /// groups of `group_params` values, widened by `slack` (relative).
+  RangeGuard(const Tensor& params, std::int64_t group_params, double slack = 0.10);
+
+  struct SanitizeResult {
+    std::int64_t out_of_range = 0;  ///< entries outside their group range
+    std::int64_t clamped = 0;       ///< == out_of_range when clamping enabled
+    bool alarm = false;             ///< any violation seen
+  };
+
+  /// Check `params` against the recorded ranges; if `clamp` is true,
+  /// project violating entries back onto the range boundary in place.
+  SanitizeResult sanitize(Tensor& params, bool clamp = true) const;
+
+  [[nodiscard]] std::int64_t group_count() const {
+    return static_cast<std::int64_t>(lo_.size());
+  }
+
+  /// Defense storage overhead in bytes (two floats per group).
+  [[nodiscard]] std::int64_t overhead_bytes() const { return group_count() * 8; }
+
+ private:
+  std::int64_t total_params_;
+  std::int64_t group_params_;
+  std::vector<float> lo_, hi_;
+};
+
+}  // namespace fsa::defense

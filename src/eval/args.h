@@ -1,0 +1,74 @@
+// args.h — minimal command-line argument parsing for the tools/CLI.
+//
+// Supports `--key value` and `--flag` forms after an optional positional
+// subcommand. Deliberately tiny: no external dependency, strict about
+// unknown keys so typos fail loudly instead of silently running the wrong
+// experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fsa::eval {
+
+class Args {
+ public:
+  /// Parse argv after the program name. The first non--- token (if any) is
+  /// the subcommand; everything else must be `--key value` or `--flag`.
+  static Args parse(int argc, const char* const* argv) {
+    Args out;
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') out.command_ = argv[i++];
+    for (; i < argc; ++i) {
+      std::string tok = argv[i];
+      if (tok.rfind("--", 0) != 0)
+        throw std::invalid_argument("unexpected positional argument: " + tok);
+      tok = tok.substr(2);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        out.values_[tok] = argv[++i];
+      } else {
+        out.flags_.insert(tok);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::string& command() const { return command_; }
+  [[nodiscard]] bool has_flag(const std::string& name) const { return flags_.count(name) > 0; }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return std::stoll(it->second);
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return std::stod(it->second);
+  }
+
+  /// Throw if any provided key/flag is not in `known` (catches typos).
+  void expect_only(const std::set<std::string>& known) const {
+    for (const auto& [k, v] : values_)
+      if (known.count(k) == 0) throw std::invalid_argument("unknown option --" + k);
+    for (const auto& f : flags_)
+      if (known.count(f) == 0) throw std::invalid_argument("unknown flag --" + f);
+  }
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+};
+
+}  // namespace fsa::eval

@@ -1,0 +1,54 @@
+// attack_bench.h — shared harness context for the paper's experiments.
+//
+// Every table/figure regeneration does the same dance: get a trained model
+// from the zoo, choose the attacked layers (which fixes the network cut),
+// push the adversary's image pool and the test set through the frozen
+// prefix once (disk-cached), and then run many (S, R) attack instances.
+// AttackBench packages that so each bench binary is just its sweep loop.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attack_metrics.h"
+#include "core/fault_sneaking.h"
+#include "models/feature_cache.h"
+#include "models/model_zoo.h"
+
+namespace fsa::eval {
+
+class AttackBench {
+ public:
+  /// `layers` / weight/bias flags define the attack surface (and the cut).
+  AttackBench(models::ZooModel& model, const std::string& cache_dir,
+              const std::vector<std::string>& layers, bool weights = true, bool biases = true);
+
+  /// Build the attack problem: R correctly-classified pool images, the
+  /// first S retargeted (seeded random targets ≠ current prediction).
+  [[nodiscard]] core::AttackSpec spec(std::int64_t S, std::int64_t R, std::uint64_t seed,
+                                      core::TargetPolicy policy = core::TargetPolicy::kRandom) const;
+
+  /// Full-test-set accuracy with `delta` applied (head evaluation over the
+  /// cached test features — numerically identical to running the whole net).
+  double test_accuracy_with(const Tensor& delta);
+
+  /// Clean (unmodified) test accuracy at this cut.
+  [[nodiscard]] double clean_test_accuracy() const { return clean_test_accuracy_; }
+
+  core::FaultSneakingAttack& attack() { return *attack_; }
+  models::ZooModel& model() { return *model_; }
+  [[nodiscard]] const Tensor& pool_features() const { return pool_features_; }
+  [[nodiscard]] const std::vector<std::int64_t>& pool_preds() const { return pool_preds_; }
+  [[nodiscard]] const Tensor& test_features() const { return test_features_; }
+
+ private:
+  models::ZooModel* model_;
+  std::unique_ptr<core::FaultSneakingAttack> attack_;
+  Tensor pool_features_;
+  std::vector<std::int64_t> pool_preds_;
+  Tensor test_features_;
+  double clean_test_accuracy_ = 0.0;
+};
+
+}  // namespace fsa::eval

@@ -1,0 +1,73 @@
+#include "eval/detect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fsa::eval {
+
+namespace {
+
+std::pair<double, double> mean_std(const Tensor& t) {
+  if (t.numel() == 0) return {0.0, 0.0};
+  double mean = 0.0;
+  for (float v : t.span()) mean += v;
+  mean /= static_cast<double>(t.numel());
+  double var = 0.0;
+  for (float v : t.span()) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(t.numel());
+  return {mean, std::sqrt(var)};
+}
+
+}  // namespace
+
+AuditReport audit_weights(const Tensor& before, const Tensor& after) {
+  if (before.shape() != after.shape())
+    throw std::invalid_argument("audit_weights: shape mismatch");
+  AuditReport rep;
+  std::int64_t changed = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const double d = std::fabs(static_cast<double>(after[i]) - before[i]);
+    if (d > 0.0) ++changed;
+    rep.max_abs_change = std::max(rep.max_abs_change, d);
+  }
+  rep.changed_fraction =
+      before.numel() == 0 ? 0.0 : static_cast<double>(changed) / static_cast<double>(before.numel());
+
+  const auto [mb, sb] = mean_std(before);
+  const auto [ma, sa] = mean_std(after);
+  rep.mean_shift = std::fabs(ma - mb);
+  rep.std_ratio = sb > 0.0 ? sa / sb : 1.0;
+
+  // Two-sample KS statistic over the sorted weight values.
+  std::vector<float> a(before.span().begin(), before.span().end());
+  std::vector<float> b(after.span().begin(), after.span().end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const std::size_t n = a.size();
+  std::size_t ia = 0, ib = 0;
+  double ks = 0.0;
+  while (ia < n && ib < n) {
+    const float x = std::min(a[ia], b[ib]);
+    while (ia < n && a[ia] <= x) ++ia;
+    while (ib < n && b[ib] <= x) ++ib;
+    ks = std::max(ks, std::fabs(static_cast<double>(ia) - static_cast<double>(ib)) /
+                          static_cast<double>(n));
+  }
+  rep.ks_statistic = ks;
+  return rep;
+}
+
+double anomaly_score(const AuditReport& report) {
+  // Normalize each channel to a rough [0, 1] and take the max: a defender
+  // alarms on the loudest signal, not the average.
+  const double frac = std::min(report.changed_fraction * 2.0, 1.0);   // >50% changed = certain
+  const double mag = std::min(report.max_abs_change / 2.0, 1.0);      // |δw| ≥ 2 = certain
+  const double mean = std::min(report.mean_shift / 0.1, 1.0);
+  const double spread = std::min(std::fabs(report.std_ratio - 1.0) / 0.5, 1.0);
+  const double ks = std::min(report.ks_statistic / 0.2, 1.0);
+  return std::max({frac, mag, mean, spread, ks});
+}
+
+}  // namespace fsa::eval

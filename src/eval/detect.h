@@ -1,0 +1,35 @@
+// detect.h — the defender's view: is a modified parameter tensor detectable?
+//
+// The paper's stealth constraint hides the attack from the most natural
+// detector — a test-accuracy check. A more careful defender can audit the
+// PARAMETERS themselves (e.g. a periodic hash or distribution check over
+// memory). This extension quantifies how visible an attack δ is to such
+// audits, which in turn motivates why attacks should also bound max|δ|:
+//
+//  * changed_fraction  — share of parameters that differ (hash-level audit)
+//  * max_abs_change    — the single most suspicious weight
+//  * mean/std shift    — first-moment drift of the distribution
+//  * ks_statistic      — Kolmogorov–Smirnov distance between the original
+//                        and modified empirical weight distributions
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace fsa::eval {
+
+struct AuditReport {
+  double changed_fraction = 0.0;
+  double max_abs_change = 0.0;
+  double mean_shift = 0.0;     ///< |mean(after) − mean(before)|
+  double std_ratio = 1.0;      ///< std(after) / std(before)
+  double ks_statistic = 0.0;   ///< sup-norm distance of empirical CDFs
+};
+
+/// Compare a parameter vector before/after modification.
+AuditReport audit_weights(const Tensor& before, const Tensor& after);
+
+/// A crude single-number anomaly score in [0, 1]: max of the normalized
+/// audit channels. 0 = indistinguishable, 1 = screaming.
+double anomaly_score(const AuditReport& report);
+
+}  // namespace fsa::eval

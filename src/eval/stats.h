@@ -1,0 +1,43 @@
+// stats.h — small sample-statistics helpers for multi-seed experiment
+// aggregation (the paper reports single runs; the harness can average).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fsa::eval {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n−1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t n = 0;
+};
+
+/// Summarize a non-empty sample. Throws on empty input.
+inline Summary summarize(std::vector<double> xs) {
+  if (xs.empty()) throw std::invalid_argument("summarize: empty sample");
+  Summary s;
+  s.n = xs.size();
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
+  std::sort(xs.begin(), xs.end());
+  s.median = s.n % 2 == 1 ? xs[s.n / 2] : 0.5 * (xs[s.n / 2 - 1] + xs[s.n / 2]);
+  return s;
+}
+
+}  // namespace fsa::eval

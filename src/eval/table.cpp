@@ -1,0 +1,69 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fsa::eval {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string Table::str() const {
+  // Column widths over header + rows.
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream os;
+  os << "\n== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << " " << cell << std::string(width[c] - std::min(width[c], cell.size()), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < width.size(); ++c) os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (f) f << csv();
+}
+
+}  // namespace fsa::eval

@@ -1,0 +1,51 @@
+// table.h — aligned console/markdown tables + CSV for the experiment
+// harnesses. Every bench prints its paper table/figure series through this
+// so EXPERIMENTS.md rows can be pasted straight from bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsa::eval {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cols) {
+    header_ = std::move(cols);
+    return *this;
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Render as an aligned markdown-style table.
+  [[nodiscard]] std::string str() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  /// Comma-separated form (header + rows).
+  [[nodiscard]] std::string csv() const;
+
+  /// Also write the CSV next to the process (ignored on failure — bench
+  /// output is the primary artifact).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double → string (e.g. fmt(0.987654, 3) == "0.988").
+std::string fmt(double v, int precision = 3);
+
+/// Percent with one decimal (0.9876 → "98.8%").
+std::string pct(double fraction);
+
+}  // namespace fsa::eval

@@ -1,0 +1,50 @@
+#include "faultsim/bitflip.h"
+
+#include <bit>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+
+namespace fsa::faultsim {
+
+std::uint32_t float_bits(float v) {
+  std::uint32_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+float bits_to_float(std::uint32_t bits) {
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+BitFlipPlan plan_bit_flips(const Tensor& theta0, const Tensor& delta, const MemoryLayout& layout) {
+  if (theta0.shape() != delta.shape())
+    throw std::invalid_argument("plan_bit_flips: shape mismatch");
+  BitFlipPlan plan;
+  std::set<std::uint64_t> rows;
+  for (std::int64_t i = 0; i < theta0.numel(); ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (delta[ui] == 0.0f) continue;
+    const std::uint32_t before = float_bits(theta0[ui]);
+    const std::uint32_t after = float_bits(theta0[ui] + delta[ui]);
+    const std::uint32_t diff = before ^ after;
+    if (diff == 0) continue;  // δ too small to change the stored float
+    ParamFlip f;
+    f.param_index = i;
+    f.xor_mask = diff;
+    f.bit_count = std::popcount(diff);
+    plan.flips.push_back(f);
+    plan.total_bit_flips += f.bit_count;
+    ++plan.params_modified;
+    rows.insert(layout.row_of(i));
+    plan.sign_bit_flips += (diff >> 31) & 1;
+    plan.exponent_bit_flips += std::popcount((diff >> 23) & 0xFFu);
+    plan.mantissa_bit_flips += std::popcount(diff & 0x7FFFFFu);
+  }
+  plan.rows_touched = static_cast<std::int64_t>(rows.size());
+  return plan;
+}
+
+}  // namespace fsa::faultsim

@@ -1,0 +1,44 @@
+// bitflip.h — the bit-level cost of a parameter modification.
+//
+// Turns an attack's δ into the exact set of IEEE-754 bit flips a memory
+// fault injector must realize: for every modified parameter, XOR the
+// float32 bit patterns of the original and modified values. This is the
+// bridge between the paper's abstract ‖δ‖₀ objective and the §2.3
+// hardware cost discussion — two attacks with the same ℓ0 can demand very
+// different numbers of physical flips.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faultsim/memory_layout.h"
+#include "tensor/tensor.h"
+
+namespace fsa::faultsim {
+
+struct ParamFlip {
+  std::int64_t param_index = 0;  ///< flat index into the masked space
+  std::uint32_t xor_mask = 0;    ///< which of the 32 bits change
+  int bit_count = 0;             ///< popcount(xor_mask)
+};
+
+struct BitFlipPlan {
+  std::vector<ParamFlip> flips;       ///< one entry per modified parameter
+  std::int64_t total_bit_flips = 0;
+  std::int64_t params_modified = 0;   ///< == ‖δ‖₀
+  std::int64_t rows_touched = 0;      ///< distinct DRAM rows (given a layout)
+  std::int64_t sign_bit_flips = 0;    ///< bit 31
+  std::int64_t exponent_bit_flips = 0;  ///< bits 23..30
+  std::int64_t mantissa_bit_flips = 0;  ///< bits 0..22
+};
+
+/// Build the plan for moving `theta0` to `theta0 + delta` (same shapes).
+BitFlipPlan plan_bit_flips(const Tensor& theta0, const Tensor& delta, const MemoryLayout& layout);
+
+/// Bit pattern of a float (little-endian platforms).
+std::uint32_t float_bits(float v);
+
+/// Inverse of float_bits.
+float bits_to_float(std::uint32_t bits);
+
+}  // namespace fsa::faultsim

@@ -1,0 +1,57 @@
+#include "faultsim/campaign.h"
+
+#include <set>
+
+namespace fsa::faultsim {
+
+CampaignReport simulate_rowhammer(const BitFlipPlan& plan, const RowHammerParams& params,
+                                  const MemoryLayout& layout, Rng& rng) {
+  (void)layout;
+  CampaignReport report;
+  report.bits_requested = plan.total_bit_flips;
+  report.success = true;
+  for (const auto& flip : plan.flips) {
+    for (int bit = 0; bit < 32; ++bit) {
+      if (!((flip.xor_mask >> bit) & 1u)) continue;
+      // Is this cell hammer-vulnerable in place? If not, massage memory
+      // until a vulnerable aggressor/victim alignment is found.
+      if (!rng.bernoulli(params.vulnerable_frac)) {
+        ++report.massages;
+        report.seconds += params.massage_seconds;
+      }
+      bool flipped = false;
+      for (std::int64_t attempt = 0; attempt < params.max_attempts_per_bit; ++attempt) {
+        ++report.hammer_attempts;
+        report.seconds += params.seconds_per_attempt;
+        if (rng.bernoulli(params.flip_success_prob)) {
+          flipped = true;
+          break;
+        }
+      }
+      if (flipped) {
+        ++report.bits_flipped;
+      } else {
+        report.success = false;  // campaign gives up on this bit
+      }
+    }
+  }
+  return report;
+}
+
+CampaignReport simulate_laser(const BitFlipPlan& plan, const LaserParams& params,
+                              const MemoryLayout& layout) {
+  CampaignReport report;
+  report.bits_requested = plan.total_bit_flips;
+  report.bits_flipped = plan.total_bit_flips;
+  report.success = true;
+  std::set<std::uint64_t> rows;
+  for (const auto& flip : plan.flips) {
+    rows.insert(layout.row_of(flip.param_index));
+    report.seconds += params.locate_seconds;  // position on the word once
+    report.seconds += params.shot_seconds * flip.bit_count;
+  }
+  report.seconds += params.per_row_setup_seconds * static_cast<double>(rows.size());
+  return report;
+}
+
+}  // namespace fsa::faultsim

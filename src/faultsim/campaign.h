@@ -1,0 +1,57 @@
+// campaign.h — Monte-Carlo simulators of physical fault-injection campaigns.
+//
+// Two injector models from the paper's §2.3:
+//
+//  * RowHammerSim (DRAM, Kim et al. ISCA'14 / Drammer): a required bit can
+//    only be flipped by hammering if its cell is vulnerable in the needed
+//    direction; non-vulnerable target bits force a memory-massaging step
+//    (relocating the victim page so a vulnerable cell lines up — the
+//    expensive, time-consuming part noted in the paper). Each hammer
+//    attempt succeeds with some probability; attempts repeat until success.
+//
+//  * LaserSim (SRAM, Selmke et al.): every bit is reachable but each shot
+//    needs per-target beam positioning/tuning time; cost is essentially
+//    linear in the number of bit flips.
+//
+// Both are parameterized cost models, not device physics — the point is to
+// expose how ‖δ‖₀ (and bit composition) dominates real campaign time,
+// which is the paper's argument for minimizing ℓ0.
+#pragma once
+
+#include "faultsim/bitflip.h"
+#include "tensor/rng.h"
+
+namespace fsa::faultsim {
+
+struct RowHammerParams {
+  double flip_success_prob = 0.25;   ///< per hammer attempt on a vulnerable cell
+  double vulnerable_frac = 0.02;     ///< fraction of cells flippable in place
+  double seconds_per_attempt = 0.12; ///< one double-sided hammer burst
+  double massage_seconds = 45.0;     ///< relocate page so a vulnerable cell aligns
+  std::int64_t max_attempts_per_bit = 200;
+};
+
+struct LaserParams {
+  double locate_seconds = 20.0;  ///< position/tune the beam onto a new target
+  double shot_seconds = 0.002;
+  double per_row_setup_seconds = 5.0;  ///< refocus when moving to a new row
+};
+
+struct CampaignReport {
+  bool success = false;
+  std::int64_t bits_requested = 0;
+  std::int64_t bits_flipped = 0;
+  std::int64_t hammer_attempts = 0;   ///< row-hammer only
+  std::int64_t massages = 0;          ///< row-hammer only
+  double seconds = 0.0;
+};
+
+/// Simulate realizing `plan` with row hammer; deterministic given `rng`.
+CampaignReport simulate_rowhammer(const BitFlipPlan& plan, const RowHammerParams& params,
+                                  const MemoryLayout& layout, Rng& rng);
+
+/// Simulate realizing `plan` with a laser injector (deterministic).
+CampaignReport simulate_laser(const BitFlipPlan& plan, const LaserParams& params,
+                              const MemoryLayout& layout);
+
+}  // namespace fsa::faultsim

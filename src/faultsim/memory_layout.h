@@ -1,0 +1,31 @@
+// memory_layout.h — where the attacked parameters live in (simulated) DRAM.
+//
+// The paper motivates the ℓ0 objective with the cost of physical fault
+// injection (§2.3): laser shots flip chosen SRAM bits, row hammer flips
+// DRAM bits row by row, and both scale with the number of modified
+// parameters. This substrate gives each flat parameter index a concrete
+// byte address so campaign simulators can count rows, pages, and per-bit
+// work for a given modification δ.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace fsa::faultsim {
+
+struct MemoryLayout {
+  std::uint64_t base_address = 0x7f0000000000ULL;  ///< where θ[0] starts
+  std::uint64_t row_bytes = 8192;                  ///< DRAM row (page) size
+  std::uint64_t bytes_per_param = 4;               ///< float32 storage
+
+  [[nodiscard]] std::uint64_t address_of(std::int64_t param_index) const {
+    if (param_index < 0) throw std::invalid_argument("MemoryLayout: negative index");
+    return base_address + static_cast<std::uint64_t>(param_index) * bytes_per_param;
+  }
+
+  [[nodiscard]] std::uint64_t row_of(std::int64_t param_index) const {
+    return address_of(param_index) / row_bytes;
+  }
+};
+
+}  // namespace fsa::faultsim

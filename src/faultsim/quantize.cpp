@@ -1,0 +1,96 @@
+#include "faultsim/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "faultsim/bitflip.h"
+
+namespace fsa::faultsim {
+
+namespace {
+
+/// Round a float32 to bfloat16 (round-to-nearest-even on the mantissa cut).
+float to_bfloat16(float v) {
+  std::uint32_t bits = float_bits(v);
+  const std::uint32_t lsb = (bits >> 16) & 1u;
+  bits += 0x7FFFu + lsb;  // RNE
+  bits &= 0xFFFF0000u;
+  return bits_to_float(bits);
+}
+
+/// Round a float32 to IEEE float16 and back (saturating, RNE).
+float to_float16(float v) {
+  if (std::isnan(v)) return v;
+  const float kMax = 65504.0f;
+  v = std::clamp(v, -kMax, kMax);
+  const std::uint32_t bits = float_bits(v);
+  const std::uint32_t sign = bits & 0x80000000u;
+  const std::int32_t exp = static_cast<std::int32_t>((bits >> 23) & 0xFF) - 127;
+  if (exp < -24) return bits_to_float(sign);  // below half subnormals → ±0
+  if (exp < -14) {
+    // Subnormal half: quantize the magnitude to multiples of 2^-24.
+    const float step = std::ldexp(1.0f, -24);
+    const float q = std::nearbyint(v / step) * step;
+    return q;
+  }
+  // Normal half: keep 10 mantissa bits with RNE.
+  std::uint32_t b = bits;
+  const std::uint32_t lsb = (b >> 13) & 1u;
+  b += 0xFFFu + lsb;
+  b &= 0xFFFFE000u;
+  return bits_to_float(b);
+}
+
+}  // namespace
+
+float int8_scale(const Tensor& theta) {
+  float max_abs = 0.0f;
+  for (float v : theta.span()) max_abs = std::max(max_abs, std::fabs(v));
+  return max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+}
+
+float quantize_value(float v, StorageFormat format, float scale) {
+  switch (format) {
+    case StorageFormat::kFloat32:
+      return v;
+    case StorageFormat::kBfloat16:
+      return to_bfloat16(v);
+    case StorageFormat::kFloat16:
+      return to_float16(v);
+    case StorageFormat::kInt8: {
+      const float q = std::nearbyint(v / scale);
+      return std::clamp(q, -127.0f, 127.0f) * scale;
+    }
+  }
+  return v;
+}
+
+Tensor realize_in_format(const Tensor& theta0, const Tensor& delta, StorageFormat format) {
+  if (theta0.shape() != delta.shape())
+    throw std::invalid_argument("realize_in_format: shape mismatch");
+  const float scale = format == StorageFormat::kInt8 ? int8_scale(theta0) : 1.0f;
+  Tensor out(delta.shape());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    const float before = quantize_value(theta0[i], format, scale);
+    const float after = quantize_value(theta0[i] + delta[i], format, scale);
+    out[i] = after - before;
+  }
+  return out;
+}
+
+const char* format_name(StorageFormat format) {
+  switch (format) {
+    case StorageFormat::kFloat32:
+      return "float32";
+    case StorageFormat::kBfloat16:
+      return "bfloat16";
+    case StorageFormat::kFloat16:
+      return "float16";
+    case StorageFormat::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+}  // namespace fsa::faultsim

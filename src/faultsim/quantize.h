@@ -1,0 +1,41 @@
+// quantize.h — precision-aware realization of a parameter modification.
+//
+// The paper's threat model allows the adversary to write "any value that
+// is in the valid range of the used arithmetic format" (§3). Deployed
+// models are often stored in narrower formats than float32; this module
+// answers the follow-up question the paper leaves open: does the solved δ
+// survive being written into a coarser grid? It rounds θ0 + δ to the
+// target storage format and returns the EFFECTIVE modification — which the
+// caller re-validates against the attack spec (see bench_ablation_quantize).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace fsa::faultsim {
+
+enum class StorageFormat {
+  kFloat32,   ///< full precision — identity
+  kBfloat16,  ///< truncate mantissa to 7 bits (round-to-nearest-even)
+  kFloat16,   ///< IEEE half precision (round-to-nearest-even, saturating)
+  kInt8,      ///< symmetric per-tensor affine quantization, 8 bits
+};
+
+/// Round one value to the format's representable grid. For kInt8 the
+/// `scale` is the per-tensor quantization step (max|θ|/127 typically).
+float quantize_value(float v, StorageFormat format, float scale = 1.0f);
+
+/// Effective modification after storing θ0 + δ in `format`:
+/// returns  quantize(θ0 + δ) − quantize(θ0)  elementwise, i.e. what the
+/// network actually sees. Entries whose modification is absorbed by
+/// rounding come back exactly 0, shrinking the realized ‖δ‖₀.
+Tensor realize_in_format(const Tensor& theta0, const Tensor& delta, StorageFormat format);
+
+/// Per-tensor int8 scale for a parameter vector (max-abs / 127).
+float int8_scale(const Tensor& theta);
+
+/// Human-readable format name.
+const char* format_name(StorageFormat format);
+
+}  // namespace fsa::faultsim

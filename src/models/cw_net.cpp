@@ -1,0 +1,41 @@
+#include "models/cw_net.h"
+
+#include <memory>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+
+namespace fsa::models {
+
+std::int64_t cw_fc1_inputs(const CwNetConfig& cfg) {
+  // Two valid 3×3 convs shrink by 4, pool halves; twice.
+  const std::int64_t after1 = (cfg.side - 4) / 2;
+  const std::int64_t after2 = (after1 - 4) / 2;
+  return 64 * after2 * after2;
+}
+
+nn::Sequential make_cw_net(const CwNetConfig& cfg) {
+  using namespace fsa::nn;
+  Rng rng(cfg.init_seed);
+  Sequential net;
+  net.add(std::make_unique<Conv2D>("conv1", cfg.in_channels, 32, 3, rng));
+  net.add(std::make_unique<ReLU>("relu1"));
+  net.add(std::make_unique<Conv2D>("conv2", 32, 32, 3, rng));
+  net.add(std::make_unique<ReLU>("relu2"));
+  net.add(std::make_unique<MaxPool2D>("pool1", 2));
+  net.add(std::make_unique<Conv2D>("conv3", 32, 64, 3, rng));
+  net.add(std::make_unique<ReLU>("relu3"));
+  net.add(std::make_unique<Conv2D>("conv4", 64, 64, 3, rng));
+  net.add(std::make_unique<ReLU>("relu4"));
+  net.add(std::make_unique<MaxPool2D>("pool2", 2));
+  net.add(std::make_unique<Flatten>("flatten"));
+  net.add(std::make_unique<Dense>("fc1", cw_fc1_inputs(cfg), cfg.fc_width, rng));
+  net.add(std::make_unique<ReLU>("relu5"));
+  net.add(std::make_unique<Dense>("fc2", cfg.fc_width, cfg.fc_width, rng));
+  net.add(std::make_unique<ReLU>("relu6"));
+  net.add(std::make_unique<Dense>("fc3", cfg.fc_width, cfg.classes, rng));
+  return net;
+}
+
+}  // namespace fsa::models

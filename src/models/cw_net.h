@@ -1,0 +1,32 @@
+// cw_net.h — the Carlini & Wagner convnet used by the paper.
+//
+// The paper trains one architecture for both datasets: four conv layers,
+// two max-pools, two hidden FC layers and a final FC classifier (the
+// softmax lives in the loss / evaluation code; the attack consumes
+// logits). With 28×28×1 input the three FC layers hold exactly the
+// 205 000 / 40 200 / 2 010 parameters reported in the paper's Table 1.
+//
+// Layer names (used by ParamMask and the experiment harnesses):
+//   conv1 relu1 conv2 relu2 pool1 conv3 relu3 conv4 relu4 pool2 flatten
+//   fc1 relu5 fc2 relu6 fc3
+#pragma once
+
+#include "nn/sequential.h"
+
+namespace fsa::models {
+
+struct CwNetConfig {
+  std::int64_t in_channels = 1;  ///< 1 for digits, 3 for objects
+  std::int64_t side = 28;        ///< input height = width
+  std::int64_t classes = 10;
+  std::int64_t fc_width = 200;
+  std::uint64_t init_seed = 42;
+};
+
+/// Build the network (randomly initialized, ready to train).
+nn::Sequential make_cw_net(const CwNetConfig& cfg);
+
+/// Flattened feature width at the input of fc1 for the given config.
+std::int64_t cw_fc1_inputs(const CwNetConfig& cfg);
+
+}  // namespace fsa::models

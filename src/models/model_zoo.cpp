@@ -1,0 +1,97 @@
+#include "models/model_zoo.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/synth_digits.h"
+#include "data/synth_objects.h"
+#include "models/cw_net.h"
+#include "optim/adam.h"
+#include "optim/trainer.h"
+#include "tensor/serialize.h"
+
+namespace fsa::models {
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("FSA_CACHE_DIR"); env != nullptr && *env != '\0') return env;
+  return ".fsa_cache";
+}
+
+ModelZoo::ModelZoo(ZooConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.cache_dir.empty()) cfg_.cache_dir = default_cache_dir();
+}
+
+ZooModel& ModelZoo::digits() {
+  if (!digits_) digits_ = std::make_unique<ZooModel>(build("digits"));
+  return *digits_;
+}
+
+ZooModel& ModelZoo::objects() {
+  if (!objects_) objects_ = std::make_unique<ZooModel>(build("objects"));
+  return *objects_;
+}
+
+ZooModel ModelZoo::build(const std::string& name) {
+  const bool is_digits = name == "digits";
+  ZooModel m;
+  m.name = name;
+
+  // --- data (three disjoint deterministic seeds per dataset) ---------------
+  if (is_digits) {
+    data::SynthDigitsConfig dc;
+    dc.count = cfg_.train_count;
+    dc.seed = 101;
+    m.train = data::make_synth_digits(dc);
+    dc.count = cfg_.test_count;
+    dc.seed = 102;
+    m.test = data::make_synth_digits(dc);
+    dc.count = cfg_.pool_count;
+    dc.seed = 103;
+    m.attack_pool = data::make_synth_digits(dc);
+  } else {
+    data::SynthObjectsConfig oc;
+    oc.count = cfg_.train_count;
+    oc.seed = 201;
+    m.train = data::make_synth_objects(oc);
+    oc.count = cfg_.test_count;
+    oc.seed = 202;
+    m.test = data::make_synth_objects(oc);
+    oc.count = cfg_.pool_count;
+    oc.seed = 203;
+    m.attack_pool = data::make_synth_objects(oc);
+  }
+
+  // --- model ----------------------------------------------------------------
+  CwNetConfig nc;
+  nc.in_channels = is_digits ? 1 : 3;
+  nc.side = is_digits ? 28 : 32;
+  nc.init_seed = is_digits ? 42 : 43;
+  m.net = make_cw_net(nc);
+
+  const std::string param_path = cfg_.cache_dir + "/" + name + "_cwnet.bin";
+  if (io::file_exists(param_path)) {
+    m.net.load_params(param_path);
+  } else {
+    if (cfg_.verbose) std::printf("[zoo] training %s model (cached at %s)...\n", name.c_str(), param_path.c_str());
+    optim::Adam opt(m.net.params(), 1e-3);
+    optim::Trainer trainer(m.net, opt);
+    optim::TrainConfig tc;
+    tc.epochs = is_digits ? cfg_.digits_epochs : cfg_.objects_epochs;
+    tc.batch_size = 32;
+    tc.shuffle_seed = is_digits ? 7 : 8;
+    tc.lr_schedule = [](std::int64_t epoch) { return 1e-3 * std::pow(0.7, static_cast<double>(epoch)); };
+    if (cfg_.verbose)
+      tc.on_epoch = [&](const optim::EpochStats& s) {
+        std::printf("[zoo]   epoch %lld: loss %.4f, train acc %.4f\n",
+                    static_cast<long long>(s.epoch), s.train_loss, s.train_accuracy);
+      };
+    trainer.fit(m.train, tc);
+    m.net.save_params(param_path);
+  }
+  m.test_accuracy = optim::Trainer::accuracy(m.net, m.test);
+  if (cfg_.verbose)
+    std::printf("[zoo] %s model ready: test accuracy %.4f\n", name.c_str(), m.test_accuracy);
+  return m;
+}
+
+}  // namespace fsa::models

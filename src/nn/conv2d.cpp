@@ -1,0 +1,150 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace fsa::nn {
+
+Conv2D::Conv2D(std::string name, std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, Rng& rng, std::int64_t stride, std::int64_t padding)
+    : name_(std::move(name)),
+      in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      weight_(name_ + ".weight",
+              kaiming_normal(Shape({in_channels * kernel * kernel, out_channels}),
+                             in_channels * kernel * kernel, rng),
+              Parameter::Kind::kWeight),
+      bias_(name_ + ".bias", Tensor::zeros(Shape({out_channels})), Parameter::Kind::kBias) {
+  if (kernel <= 0 || stride <= 0 || padding < 0)
+    throw std::invalid_argument(name_ + ": bad conv geometry");
+}
+
+Shape Conv2D::output_shape(const Shape& input) const {
+  if (input.rank() != 4 || input.dim(1) != in_c_)
+    throw std::invalid_argument(name_ + ": expected [N, " + std::to_string(in_c_) +
+                                ", H, W], got " + input.str());
+  const std::int64_t oh = (input.dim(2) + 2 * pad_ - k_) / stride_ + 1;
+  const std::int64_t ow = (input.dim(3) + 2 * pad_ - k_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument(name_ + ": input too small for kernel");
+  return Shape({input.dim(0), out_c_, oh, ow});
+}
+
+Tensor Conv2D::im2col(const Tensor& input) const {
+  const Shape out_shape = output_shape(input.shape());
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::int64_t oh = out_shape.dim(2), ow = out_shape.dim(3);
+  const std::int64_t patch = in_c_ * k_ * k_;
+  Tensor cols(Shape({n * oh * ow, patch}));
+  float* dst = cols.data();
+  const float* src = input.data();
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float* row = dst + ((img * oh + oy) * ow + ox) * patch;
+        const std::int64_t iy0 = oy * stride_ - pad_;
+        const std::int64_t ix0 = ox * stride_ - pad_;
+        std::int64_t idx = 0;
+        for (std::int64_t c = 0; c < in_c_; ++c) {
+          const float* plane = src + (img * in_c_ + c) * h * w;
+          for (std::int64_t ky = 0; ky < k_; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            for (std::int64_t kx = 0; kx < k_; ++kx, ++idx) {
+              const std::int64_t ix = ix0 + kx;
+              row[idx] = (iy >= 0 && iy < h && ix >= 0 && ix < w) ? plane[iy * w + ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor Conv2D::col2im(const Tensor& cols, const Shape& input_shape) const {
+  const Shape out_shape = output_shape(input_shape);
+  const std::int64_t n = input_shape.dim(0), h = input_shape.dim(2), w = input_shape.dim(3);
+  const std::int64_t oh = out_shape.dim(2), ow = out_shape.dim(3);
+  const std::int64_t patch = in_c_ * k_ * k_;
+  Tensor out(input_shape);
+  float* dst = out.data();
+  const float* src = cols.data();
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float* row = src + ((img * oh + oy) * ow + ox) * patch;
+        const std::int64_t iy0 = oy * stride_ - pad_;
+        const std::int64_t ix0 = ox * stride_ - pad_;
+        std::int64_t idx = 0;
+        for (std::int64_t c = 0; c < in_c_; ++c) {
+          float* plane = dst + (img * in_c_ + c) * h * w;
+          for (std::int64_t ky = 0; ky < k_; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            for (std::int64_t kx = 0; kx < k_; ++kx, ++idx) {
+              const std::int64_t ix = ix0 + kx;
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) plane[iy * w + ix] += row[idx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
+  const Shape out_shape = output_shape(input.shape());
+  cached_input_shape_ = input.shape();
+  cached_cols_ = im2col(input);
+  // [N·OH·OW, patch] · [patch, out_c] → [N·OH·OW, out_c]
+  Tensor flat = ops::matmul(cached_cols_, weight_.value());
+  ops::add_row_bias(flat, bias_.value());
+  // Rearrange [N·OH·OW, out_c] → [N, out_c, OH, OW].
+  const std::int64_t n = out_shape.dim(0), oh = out_shape.dim(2), ow = out_shape.dim(3);
+  Tensor out(out_shape);
+  const float* src = flat.data();
+  float* dst = out.data();
+  for (std::int64_t img = 0; img < n; ++img)
+    for (std::int64_t oy = 0; oy < oh; ++oy)
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float* row = src + ((img * oh + oy) * ow + ox) * out_c_;
+        for (std::int64_t c = 0; c < out_c_; ++c)
+          dst[((img * out_c_ + c) * oh + oy) * ow + ox] = row[c];
+      }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const Shape out_shape = output_shape(cached_input_shape_);
+  if (grad_output.shape() != out_shape)
+    throw std::invalid_argument(name_ + ": backward shape mismatch " + grad_output.shape().str());
+  const std::int64_t n = out_shape.dim(0), oh = out_shape.dim(2), ow = out_shape.dim(3);
+  // Rearrange dy to the flat [N·OH·OW, out_c] layout used in forward.
+  Tensor flat(Shape({n * oh * ow, out_c_}));
+  {
+    const float* src = grad_output.data();
+    float* dst = flat.data();
+    for (std::int64_t img = 0; img < n; ++img)
+      for (std::int64_t c = 0; c < out_c_; ++c)
+        for (std::int64_t oy = 0; oy < oh; ++oy)
+          for (std::int64_t ox = 0; ox < ow; ++ox)
+            dst[((img * oh + oy) * ow + ox) * out_c_ + c] =
+                src[((img * out_c_ + c) * oh + oy) * ow + ox];
+  }
+  // dW = colsᵀ · dy_flat ; db = column sums ; dcols = dy_flat · Wᵀ.
+  weight_.grad() += ops::matmul_tn(cached_cols_, flat);
+  {
+    float* bg = bias_.grad().data();
+    const float* src = flat.data();
+    const std::int64_t rows = flat.dim(0);
+    for (std::int64_t r = 0; r < rows; ++r)
+      for (std::int64_t c = 0; c < out_c_; ++c) bg[c] += src[r * out_c_ + c];
+  }
+  const Tensor dcols = ops::matmul_nt(flat, weight_.value());
+  return col2im(dcols, cached_input_shape_);
+}
+
+}  // namespace fsa::nn

@@ -1,0 +1,47 @@
+// conv2d.h — 2-D convolution over NCHW batches via im2col + GEMM.
+//
+// The C&W network's four convolutional layers are never themselves
+// attacked (the paper modifies FC parameters only) but they must be
+// trained and evaluated faithfully: the attack's feasible region is shaped
+// by the feature representation the conv stack produces. im2col turns each
+// convolution into one large GEMM, which is the only way CPU training of
+// the 32/32/64/64-channel stack finishes in minutes on a single core.
+#pragma once
+
+#include "nn/init.h"
+#include "nn/layer.h"
+
+namespace fsa::nn {
+
+class Conv2D final : public Layer {
+ public:
+  /// Valid (no padding) convolution by default, matching the C&W net.
+  Conv2D(std::string name, std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, Rng& rng, std::int64_t stride = 1, std::int64_t padding = 0);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Parameter*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+
+  [[nodiscard]] std::int64_t in_channels() const { return in_c_; }
+  [[nodiscard]] std::int64_t out_channels() const { return out_c_; }
+  [[nodiscard]] std::int64_t kernel() const { return k_; }
+
+ private:
+  /// Unfold input [N,C,H,W] into a matrix [N·OH·OW, C·k·k].
+  Tensor im2col(const Tensor& input) const;
+  /// Fold a column-matrix gradient back to input layout (adjoint of im2col).
+  Tensor col2im(const Tensor& cols, const Shape& input_shape) const;
+
+  std::string name_;
+  std::int64_t in_c_, out_c_, k_, stride_, pad_;
+  Parameter weight_;  // [C·k·k, out_c] — GEMM-ready layout
+  Parameter bias_;    // [out_c]
+  Tensor cached_cols_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace fsa::nn

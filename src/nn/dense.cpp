@@ -1,0 +1,38 @@
+#include "nn/dense.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace fsa::nn {
+
+Shape Dense::output_shape(const Shape& input) const {
+  if (input.rank() != 2 || input.dim(1) != in_)
+    throw std::invalid_argument(name_ + ": expected [N, " + std::to_string(in_) + "], got " +
+                                input.str());
+  return Shape({input.dim(0), out_});
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*train*/) {
+  (void)output_shape(input.shape());  // validates
+  cached_input_ = input;
+  Tensor out = ops::matmul(input, weight_.value());
+  ops::add_row_bias(out, bias_.value());
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (grad_output.dim(0) != cached_input_.dim(0) || grad_output.dim(1) != out_)
+    throw std::invalid_argument(name_ + ": backward shape mismatch " + grad_output.shape().str());
+  // dW[in, out] += xᵀ · dy ; db[out] += column sums of dy ; dx = dy · Wᵀ.
+  weight_.grad() += ops::matmul_tn(cached_input_, grad_output);
+  const std::int64_t n = grad_output.dim(0);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* row = grad_output.data() + r * out_;
+    float* bg = bias_.grad().data();
+    for (std::int64_t c = 0; c < out_; ++c) bg[c] += row[c];
+  }
+  return ops::matmul_nt(grad_output, weight_.value());
+}
+
+}  // namespace fsa::nn

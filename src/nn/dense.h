@@ -1,0 +1,45 @@
+// dense.h — fully connected layer, y = x·W + b.
+//
+// The three FC layers at the end of the C&W network are the attack surface
+// in every experiment of the paper (its Table 1 shows the last FC layer is
+// the cheapest to attack), so this layer is the most important one for the
+// reproduction: the attack engine reads and perturbs its W and b directly.
+#pragma once
+
+#include "nn/init.h"
+#include "nn/layer.h"
+
+namespace fsa::nn {
+
+class Dense final : public Layer {
+ public:
+  /// W is stored [in, out] so forward is a plain GEMM on row-major batches.
+  Dense(std::string name, std::int64_t in_features, std::int64_t out_features, Rng& rng)
+      : name_(std::move(name)),
+        in_(in_features),
+        out_(out_features),
+        weight_(name_ + ".weight", kaiming_normal(Shape({in_features, out_features}), in_features, rng),
+                Parameter::Kind::kWeight),
+        bias_(name_ + ".bias", Tensor::zeros(Shape({out_features})), Parameter::Kind::kBias) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Parameter*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+
+  [[nodiscard]] std::int64_t in_features() const { return in_; }
+  [[nodiscard]] std::int64_t out_features() const { return out_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::string name_;
+  std::int64_t in_, out_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;  // [N, in], kept for the backward pass
+};
+
+}  // namespace fsa::nn

@@ -1,0 +1,20 @@
+#include "nn/init.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fsa::nn {
+
+Tensor kaiming_normal(Shape shape, std::int64_t fan_in, Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("kaiming_normal: fan_in must be positive");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::randn(std::move(shape), rng, 0.0f, stddev);
+}
+
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  if (fan_in <= 0 || fan_out <= 0) throw std::invalid_argument("xavier_uniform: bad fans");
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::rand_uniform(std::move(shape), rng, -limit, limit);
+}
+
+}  // namespace fsa::nn

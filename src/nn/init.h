@@ -1,0 +1,16 @@
+// init.h — weight initialization schemes.
+#pragma once
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fsa::nn {
+
+/// Kaiming/He normal initialization for ReLU networks:
+/// N(0, sqrt(2 / fan_in)). `fan_in` is the number of inputs feeding one unit.
+Tensor kaiming_normal(Shape shape, std::int64_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform initialization: U(±sqrt(6/(fan_in+fan_out))).
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out, Rng& rng);
+
+}  // namespace fsa::nn

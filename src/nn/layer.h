@@ -1,0 +1,52 @@
+// layer.h — the layer interface.
+//
+// A Layer maps a batch tensor to a batch tensor and can push a gradient
+// back through itself. forward() caches whatever the backward pass needs;
+// backward() must be called after the forward() whose activations it uses
+// (standard tape-free reverse mode, sufficient for sequential models).
+//
+// Parameter gradients ACCUMULATE across backward() calls until zero_grad(),
+// which is what both mini-batch training and the attack's per-image
+// gradient sums rely on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace fsa::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Batch forward pass. `train` toggles behaviours like dropout (none of
+  /// the layers in this library currently differ, but the flag keeps the
+  /// interface honest for extensions).
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Push `grad_output` (d loss / d output) back; returns d loss / d input
+  /// and accumulates parameter gradients.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Non-owning pointers to this layer's trainable parameters (possibly empty).
+  virtual std::vector<Parameter*> params() { return {}; }
+
+  /// Short diagnostic name, e.g. "conv1".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Output shape for a given input shape (batch dim preserved). Used to
+  /// validate architectures before running data through them.
+  [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;
+
+  void zero_grad() {
+    for (auto* p : params()) p->zero_grad();
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace fsa::nn

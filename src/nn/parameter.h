@@ -1,0 +1,41 @@
+// parameter.h — a trainable tensor with its gradient buffer.
+//
+// Parameters are owned by layers; optimizers and the attack engine access
+// them through non-owning pointers returned by Layer::params(). The attack
+// additionally distinguishes weight-like from bias-like parameters (the
+// paper's Table 2 compares attacking each kind), so every Parameter carries
+// a Kind tag.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace fsa::nn {
+
+class Parameter {
+ public:
+  enum class Kind { kWeight, kBias };
+
+  Parameter(std::string name, Tensor value, Kind kind)
+      : name_(std::move(name)), value_(std::move(value)), grad_(value_.shape()), kind_(kind) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  Tensor& value() { return value_; }
+  [[nodiscard]] const Tensor& value() const { return value_; }
+  Tensor& grad() { return grad_; }
+  [[nodiscard]] const Tensor& grad() const { return grad_; }
+
+  void zero_grad() { grad_.fill(0.0f); }
+  [[nodiscard]] std::int64_t numel() const { return value_.numel(); }
+
+ private:
+  std::string name_;
+  Tensor value_;
+  Tensor grad_;
+  Kind kind_;
+};
+
+}  // namespace fsa::nn

@@ -1,0 +1,74 @@
+#include "nn/pool.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace fsa::nn {
+
+Shape MaxPool2D::output_shape(const Shape& input) const {
+  if (input.rank() != 4) throw std::invalid_argument(name_ + ": expected NCHW, got " + input.str());
+  const std::int64_t oh = (input.dim(2) - win_) / stride_ + 1;
+  const std::int64_t ow = (input.dim(3) - win_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument(name_ + ": input too small for window");
+  return Shape({input.dim(0), input.dim(1), oh, ow});
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool /*train*/) {
+  const Shape out_shape = output_shape(input.shape());
+  cached_input_shape_ = input.shape();
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const std::int64_t oh = out_shape.dim(2), ow = out_shape.dim(3);
+  Tensor out(out_shape);
+  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  const float* src = input.data();
+  float* dst = out.data();
+  std::size_t oi = 0;
+  for (std::int64_t img = 0; img < n; ++img)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = src + (img * c + ch) * h * w;
+      const std::int64_t plane_off = (img * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy)
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < win_; ++ky)
+            for (std::int64_t kx = 0; kx < win_; ++kx) {
+              const std::int64_t iy = oy * stride_ + ky, ix = ox * stride_ + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_off + iy * w + ix;
+              }
+            }
+          dst[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+    }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (static_cast<std::size_t>(grad_output.numel()) != argmax_.size())
+    throw std::invalid_argument(name_ + ": backward before forward, or shape mismatch");
+  Tensor gin(cached_input_shape_);
+  float* dst = gin.data();
+  const float* src = grad_output.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i)
+    dst[static_cast<std::size_t>(argmax_[i])] += src[i];
+  return gin;
+}
+
+Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
+  mask_ = ops::relu_mask(input);
+  return ops::relu(input);
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (grad_output.shape() != mask_.shape())
+    throw std::invalid_argument(name_ + ": backward shape mismatch");
+  return ops::mul(grad_output, mask_);
+}
+
+}  // namespace fsa::nn

@@ -1,0 +1,71 @@
+// pool.h — 2×2 (configurable) max pooling over NCHW batches.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fsa::nn {
+
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(std::string name, std::int64_t window = 2, std::int64_t stride = -1)
+      : name_(std::move(name)), win_(window), stride_(stride < 0 ? window : stride) {
+    if (win_ <= 0 || stride_ <= 0) throw std::invalid_argument(name_ + ": bad pool geometry");
+  }
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+
+ private:
+  std::string name_;
+  std::int64_t win_, stride_;
+  Shape cached_input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index of each pooled max
+};
+
+/// Flatten [N, ...] → [N, prod(...)]; no parameters.
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string name) : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& input, bool train) override {
+    (void)train;
+    cached_shape_ = input.shape();
+    return input.reshape(output_shape(input.shape()));
+  }
+
+  Tensor backward(const Tensor& grad_output) override { return grad_output.reshape(cached_shape_); }
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] Shape output_shape(const Shape& input) const override {
+    if (input.rank() < 1) throw std::invalid_argument(name_ + ": rank-0 input");
+    return Shape({input.dim(0), input.numel() / std::max<std::int64_t>(input.dim(0), 1)});
+  }
+
+ private:
+  std::string name_;
+  Shape cached_shape_;
+};
+
+/// Elementwise rectified linear unit.
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name) : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override { return input; }
+
+ private:
+  std::string name_;
+  Tensor mask_;
+};
+
+}  // namespace fsa::nn

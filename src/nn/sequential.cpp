@@ -1,0 +1,72 @@
+#include "nn/sequential.h"
+
+#include <stdexcept>
+
+#include "tensor/serialize.h"
+
+namespace fsa::nn {
+
+std::size_t Sequential::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    if (layers_[i]->name() == name) return i;
+  throw std::out_of_range("Sequential: no layer named '" + name + "'");
+}
+
+Tensor Sequential::forward_from(std::size_t from, const Tensor& input, bool train) {
+  if (from > layers_.size()) throw std::out_of_range("Sequential::forward_from");
+  Tensor x = input;
+  for (std::size_t i = from; i < layers_.size(); ++i) x = layers_[i]->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward_to(std::size_t to, const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (std::size_t i = layers_.size(); i-- > to;) g = layers_[i]->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Sequential::params() { return params_from(0); }
+
+std::vector<Parameter*> Sequential::params_from(std::size_t from) {
+  std::vector<Parameter*> out;
+  for (std::size_t i = from; i < layers_.size(); ++i)
+    for (auto* p : layers_[i]->params()) out.push_back(p);
+  return out;
+}
+
+std::int64_t Sequential::param_count() {
+  std::int64_t n = 0;
+  for (auto* p : params()) n += p->numel();
+  return n;
+}
+
+void Sequential::zero_grad() {
+  for (auto& l : layers_) l->zero_grad();
+}
+
+Shape Sequential::output_shape(const Shape& input) const {
+  Shape s = input;
+  for (const auto& l : layers_) s = l->output_shape(s);
+  return s;
+}
+
+void Sequential::save_params(const std::string& path) {
+  std::vector<Tensor> values;
+  for (auto* p : params()) values.push_back(p->value());
+  io::save_tensors(path, values);
+}
+
+void Sequential::load_params(const std::string& path) {
+  const std::vector<Tensor> values = io::load_tensors(path);
+  auto ps = params();
+  if (values.size() != ps.size())
+    throw std::runtime_error("Sequential::load_params: expected " + std::to_string(ps.size()) +
+                             " tensors, file has " + std::to_string(values.size()));
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (values[i].shape() != ps[i]->value().shape())
+      throw std::runtime_error("Sequential::load_params: shape mismatch for " + ps[i]->name());
+    ps[i]->value() = values[i];
+  }
+}
+
+}  // namespace fsa::nn

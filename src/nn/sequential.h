@@ -1,0 +1,71 @@
+// sequential.h — ordered layer container.
+//
+// Beyond the usual forward/backward, Sequential supports running *suffixes*
+// of the network: forward_from(k) evaluates layers [k, end). The attack
+// engine relies on this — conv activations are computed once and cached,
+// and the ADMM loop then only ever evaluates the small FC "head", which is
+// what makes R=1000 parameter-space attacks tractable on a single core.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fsa::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns its index.
+  std::size_t add(LayerPtr layer) {
+    layers_.push_back(std::move(layer));
+    return layers_.size() - 1;
+  }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Index of the layer with the given name; throws if absent.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  /// Full forward pass (logits out — no softmax layer; the paper's g
+  /// function works on logits, eq. 3).
+  Tensor forward(const Tensor& input, bool train = false) { return forward_from(0, input, train); }
+
+  /// Forward through layers [from, end).
+  Tensor forward_from(std::size_t from, const Tensor& input, bool train = false);
+
+  /// Backward through all layers (after a full forward).
+  Tensor backward(const Tensor& grad_logits) { return backward_to(0, grad_logits); }
+
+  /// Backward through layers [to, end) in reverse (after forward_from(to)).
+  Tensor backward_to(std::size_t to, const Tensor& grad_logits);
+
+  /// All trainable parameters in layer order.
+  [[nodiscard]] std::vector<Parameter*> params();
+
+  /// Parameters of layers [from, end) only — the attackable subset when the
+  /// network is cut at `from`.
+  [[nodiscard]] std::vector<Parameter*> params_from(std::size_t from);
+
+  [[nodiscard]] std::int64_t param_count();
+
+  void zero_grad();
+
+  /// Output shape for a given input shape (validates the whole stack).
+  [[nodiscard]] Shape output_shape(const Shape& input) const;
+
+  /// Serialize parameter values (architecture is reconstructed by the
+  /// caller; see models::ModelZoo).
+  void save_params(const std::string& path);
+  void load_params(const std::string& path);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace fsa::nn

@@ -1,0 +1,39 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace fsa::optim {
+
+Adam::Adam(std::vector<nn::Parameter*> params, double lr, double beta1, double beta2, double eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto* p : params_) {
+    m_.emplace_back(p->value().shape());
+    v_.emplace_back(p->value().shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float alpha = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  const float b1 = static_cast<float>(beta1_), b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(eps_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = params_[i]->value();
+    const auto& grad = params_[i]->grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const float g = grad[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * g;
+      v[j] = b2 * v[j] + (1.0f - b2) * g * g;
+      value[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+}  // namespace fsa::optim

@@ -1,0 +1,22 @@
+// adam.h — Adam optimizer (Kingma & Ba, 2015), used to train the C&W nets.
+#pragma once
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace fsa::optim {
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<nn::Parameter*> params, double lr = 1e-3, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+
+  void step() override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace fsa::optim

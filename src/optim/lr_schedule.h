@@ -1,0 +1,41 @@
+// lr_schedule.h — learning-rate schedules for the trainer.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace fsa::optim {
+
+/// Piecewise-exponential decay: lr = base · decay^(epoch / step).
+class StepDecay {
+ public:
+  StepDecay(double base_lr, double decay, std::int64_t step_epochs)
+      : base_(base_lr), decay_(decay), step_(std::max<std::int64_t>(step_epochs, 1)) {}
+
+  [[nodiscard]] double at_epoch(std::int64_t epoch) const {
+    return base_ * std::pow(decay_, static_cast<double>(epoch / step_));
+  }
+
+ private:
+  double base_, decay_;
+  std::int64_t step_;
+};
+
+/// Cosine annealing from base_lr to min_lr over total_epochs.
+class CosineDecay {
+ public:
+  CosineDecay(double base_lr, double min_lr, std::int64_t total_epochs)
+      : base_(base_lr), min_(min_lr), total_(std::max<std::int64_t>(total_epochs, 1)) {}
+
+  [[nodiscard]] double at_epoch(std::int64_t epoch) const {
+    const double t = std::min<double>(static_cast<double>(epoch) / static_cast<double>(total_), 1.0);
+    return min_ + 0.5 * (base_ - min_) * (1.0 + std::cos(3.14159265358979323846 * t));
+  }
+
+ private:
+  double base_, min_;
+  std::int64_t total_;
+};
+
+}  // namespace fsa::optim

@@ -1,0 +1,34 @@
+// optimizer.h — first-order optimizers over a fixed parameter set.
+//
+// An Optimizer binds to the Parameter pointers of a model at construction
+// (per-parameter state like Adam moments is indexed positionally) and
+// applies one update per step() from the accumulated gradients.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace fsa::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the currently accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (auto* p : params_) p->zero_grad();
+  }
+
+  [[nodiscard]] double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<nn::Parameter*> params_;
+  double lr_ = 1e-3;
+};
+
+}  // namespace fsa::optim

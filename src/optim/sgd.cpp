@@ -1,0 +1,32 @@
+#include "optim/sgd.h"
+
+namespace fsa::optim {
+
+SGD::SGD(std::vector<nn::Parameter*> params, double lr, double momentum, double weight_decay)
+    : Optimizer(std::move(params)), momentum_(momentum), weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (auto* p : params_) velocity_.emplace_back(p->value().shape());
+}
+
+void SGD::step() {
+  const float lr = static_cast<float>(lr_);
+  const float mom = static_cast<float>(momentum_);
+  const float wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = params_[i]->value();
+    const auto& grad = params_[i]->grad();
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const float g = grad[j] + wd * value[j];
+      if (mom != 0.0f) {
+        vel[j] = mom * vel[j] + g;
+        value[j] -= lr * vel[j];
+      } else {
+        value[j] -= lr * g;
+      }
+    }
+  }
+}
+
+}  // namespace fsa::optim

@@ -1,0 +1,22 @@
+// sgd.h — stochastic gradient descent with optional momentum and weight decay.
+#pragma once
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace fsa::optim {
+
+class SGD final : public Optimizer {
+ public:
+  SGD(std::vector<nn::Parameter*> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+
+  void step() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;  // one buffer per parameter, lazily shaped
+};
+
+}  // namespace fsa::optim

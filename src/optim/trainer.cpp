@@ -1,0 +1,54 @@
+#include "optim/trainer.h"
+
+#include "tensor/ops.h"
+
+namespace fsa::optim {
+
+EpochStats Trainer::fit(const data::Dataset& train, const TrainConfig& cfg) {
+  data::DataLoader loader(train, cfg.batch_size, /*shuffle=*/true, Rng(cfg.shuffle_seed));
+  EpochStats stats;
+  for (std::int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (cfg.lr_schedule) opt_->set_lr(cfg.lr_schedule(epoch));
+    loader.start_epoch();
+    double loss_sum = 0.0;
+    std::int64_t correct = 0, seen = 0, batches = 0;
+    data::Batch batch;
+    while (loader.next(batch)) {
+      opt_->zero_grad();
+      const Tensor logits = model_->forward(batch.images, /*train=*/true);
+      loss_sum += ops::cross_entropy(logits, batch.labels);
+      const auto pred = ops::argmax_rows(logits);
+      for (std::size_t i = 0; i < pred.size(); ++i)
+        if (pred[i] == batch.labels[i]) ++correct;
+      seen += batch.size();
+      ++batches;
+      model_->backward(ops::cross_entropy_grad(logits, batch.labels));
+      opt_->step();
+    }
+    stats = EpochStats{epoch, loss_sum / static_cast<double>(std::max<std::int64_t>(batches, 1)),
+                       static_cast<double>(correct) / static_cast<double>(std::max<std::int64_t>(seen, 1))};
+    if (cfg.on_epoch) cfg.on_epoch(stats);
+  }
+  return stats;
+}
+
+std::pair<double, double> Trainer::evaluate(nn::Sequential& model, const data::Dataset& ds,
+                                            std::int64_t batch_size) {
+  double loss_sum = 0.0;
+  std::int64_t correct = 0, batches = 0;
+  for (std::int64_t begin = 0; begin < ds.size(); begin += batch_size) {
+    const std::int64_t end = std::min(ds.size(), begin + batch_size);
+    const Tensor images = ds.images().slice0(begin, end);
+    const std::vector<std::int64_t> labels(ds.labels().begin() + begin, ds.labels().begin() + end);
+    const Tensor logits = model.forward(images, /*train=*/false);
+    loss_sum += ops::cross_entropy(logits, labels);
+    const auto pred = ops::argmax_rows(logits);
+    for (std::size_t i = 0; i < pred.size(); ++i)
+      if (pred[i] == labels[i]) ++correct;
+    ++batches;
+  }
+  return {loss_sum / static_cast<double>(std::max<std::int64_t>(batches, 1)),
+          static_cast<double>(correct) / static_cast<double>(std::max<std::int64_t>(ds.size(), 1))};
+}
+
+}  // namespace fsa::optim

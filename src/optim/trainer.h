@@ -1,0 +1,56 @@
+// trainer.h — mini-batch training loop for Sequential models.
+//
+// Trains with softmax cross-entropy (the networks output logits; the
+// softmax lives in the loss, matching the paper's use of logits in its
+// attack objective). Reports per-epoch loss/accuracy so the model zoo can
+// verify the substitute datasets land in the paper's accuracy regimes.
+#pragma once
+
+#include <functional>
+
+#include "data/dataloader.h"
+#include "nn/sequential.h"
+#include "optim/optimizer.h"
+
+namespace fsa::optim {
+
+struct EpochStats {
+  std::int64_t epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+struct TrainConfig {
+  std::int64_t epochs = 4;
+  std::int64_t batch_size = 32;
+  std::uint64_t shuffle_seed = 7;
+  /// Optional per-epoch learning rate (epoch index → lr); nullptr keeps the
+  /// optimizer's current lr.
+  std::function<double(std::int64_t)> lr_schedule;
+  /// Optional progress callback (e.g. logging from examples).
+  std::function<void(const EpochStats&)> on_epoch;
+};
+
+class Trainer {
+ public:
+  Trainer(nn::Sequential& model, Optimizer& opt) : model_(&model), opt_(&opt) {}
+
+  /// Run the full loop; returns stats of the final epoch.
+  EpochStats fit(const data::Dataset& train, const TrainConfig& cfg);
+
+  /// Mean loss + accuracy of `model` on a dataset (no parameter updates).
+  static std::pair<double, double> evaluate(nn::Sequential& model, const data::Dataset& ds,
+                                            std::int64_t batch_size = 64);
+
+  /// Accuracy only.
+  static double accuracy(nn::Sequential& model, const data::Dataset& ds,
+                         std::int64_t batch_size = 64) {
+    return evaluate(model, ds, batch_size).second;
+  }
+
+ private:
+  nn::Sequential* model_;
+  Optimizer* opt_;
+};
+
+}  // namespace fsa::optim

@@ -1,0 +1,256 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fsa::ops {
+
+namespace {
+
+void check2d(const Tensor& t, const char* who) {
+  if (t.shape().rank() != 2)
+    throw std::invalid_argument(std::string(who) + ": expected rank-2, got " + t.shape().str());
+}
+
+void check_same(const Tensor& a, const Tensor& b, const char* who) {
+  if (a.shape() != b.shape())
+    throw std::invalid_argument(std::string(who) + ": shape mismatch " + a.shape().str() + " vs " +
+                                b.shape().str());
+}
+
+}  // namespace
+
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  check2d(a, "matmul");
+  check2d(b, "matmul");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k)
+    throw std::invalid_argument("matmul: inner dims " + a.shape().str() + " · " + b.shape().str());
+  if (c.dim(0) != m || c.dim(1) != n) throw std::invalid_argument("matmul: bad output shape");
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  // i-k-j order: the j loop streams contiguously over B and C and
+  // auto-vectorizes; A[i*k+p] is a scalar hoisted out of it.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* Ci = C + i * n;
+    const float* Ai = A + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float aip = Ai[p];
+      if (aip == 0.0f) continue;  // sparse δ rows are common in the attack
+      const float* Bp = B + p * n;
+      for (std::int64_t j = 0; j < n; ++j) Ci[j] += aip * Bp[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(Shape({a.dim(0), b.dim(1)}));
+  matmul_acc(a, b, c);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check2d(a, "matmul_tn");
+  check2d(b, "matmul_tn");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul_tn: inner dims mismatch");
+  Tensor c(Shape({m, n}));
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  // Cᵢⱼ = Σ_p A[p][i] B[p][j]; p outermost keeps both reads streaming.
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* Ap = A + p * m;
+    const float* Bp = B + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float api = Ap[i];
+      if (api == 0.0f) continue;
+      float* Ci = C + i * n;
+      for (std::int64_t j = 0; j < n; ++j) Ci[j] += api * Bp[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check2d(a, "matmul_nt");
+  check2d(b, "matmul_nt");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dims mismatch");
+  Tensor c(Shape({m, n}));
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* Ai = A + i * k;
+    float* Ci = C + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* Bj = B + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += Ai[p] * Bj[p];
+      Ci[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  check2d(a, "transpose2d");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape({n, m}));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) out.at2(j, i) = a.at2(i, j);
+  return out;
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "mul");
+  Tensor out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out = a;
+  for (auto& v : out.span()) v = std::max(v, 0.0f);
+  return out;
+}
+
+Tensor relu_mask(const Tensor& a) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] > 0.0f ? 1.0f : 0.0f;
+  return out;
+}
+
+void add_row_bias(Tensor& m, const Tensor& bias) {
+  check2d(m, "add_row_bias");
+  const std::int64_t rows = m.dim(0), cols = m.dim(1);
+  if (bias.numel() != cols) throw std::invalid_argument("add_row_bias: bias length mismatch");
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = m.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] += bias[static_cast<std::size_t>(c)];
+  }
+}
+
+double sum(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.span()) acc += v;
+  return acc;
+}
+
+double mean(const Tensor& a) { return a.numel() == 0 ? 0.0 : sum(a) / static_cast<double>(a.numel()); }
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (float v : a.span()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::int64_t argmax(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("argmax of empty tensor");
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < a.numel(); ++i)
+    if (a[static_cast<std::size_t>(i)] > a[static_cast<std::size_t>(best)]) best = i;
+  return best;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  check2d(a, "argmax_rows");
+  const std::int64_t rows = a.dim(0), cols = a.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = a.data() + r * cols;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c)
+      if (row[c] > row[best]) best = c;
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+double l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.span()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+std::int64_t l0_norm(const Tensor& a, float tol) {
+  std::int64_t n = 0;
+  for (float v : a.span())
+    if (std::fabs(v) > tol) ++n;
+  return n;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  check2d(logits, "softmax_rows");
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+double cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  check2d(logits, "cross_entropy");
+  const std::int64_t rows = logits.dim(0);
+  if (static_cast<std::int64_t>(labels.size()) != rows)
+    throw std::invalid_argument("cross_entropy: label count mismatch");
+  const Tensor p = softmax_rows(logits);
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float pr = p.at2(r, labels[static_cast<std::size_t>(r)]);
+    loss -= std::log(std::max(pr, 1e-12f));
+  }
+  return loss / static_cast<double>(rows);
+}
+
+Tensor cross_entropy_grad(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  const std::int64_t rows = logits.dim(0);
+  Tensor g = softmax_rows(logits);
+  const float inv_n = 1.0f / static_cast<float>(rows);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    g.at2(r, labels[static_cast<std::size_t>(r)]) -= 1.0f;
+  }
+  g *= inv_n;
+  return g;
+}
+
+}  // namespace fsa::ops

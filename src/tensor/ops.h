@@ -1,0 +1,83 @@
+// ops.h — numeric kernels over Tensors.
+//
+// Free functions rather than members: layers and the attack engine compose
+// these kernels, and keeping them out of Tensor keeps the class small.
+// All kernels are single-threaded; the GEMM uses an i-k-j loop order with
+// a registered accumulator row so GCC auto-vectorizes the inner loop, which
+// is what makes CPU training of the C&W network practical on one core.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fsa::ops {
+
+// ---- linear algebra ---------------------------------------------------------
+
+/// C = A(m×k) · B(k×n). Shapes are validated.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C += A(m×k) · B(k×n) into an existing output buffer.
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = Aᵀ(k×m becomes m-major) · B — i.e. matmul(transpose(a), b) without
+/// materializing the transpose.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A · Bᵀ without materializing the transpose.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose.
+Tensor transpose2d(const Tensor& a);
+
+/// Dot product of two same-shape tensors (flattened).
+double dot(const Tensor& a, const Tensor& b);
+
+// ---- elementwise ------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);  ///< Hadamard product.
+Tensor scale(const Tensor& a, float s);
+
+/// Elementwise max(a, 0).
+Tensor relu(const Tensor& a);
+
+/// Mask of a > 0 (1.0f / 0.0f), used for the ReLU backward pass.
+Tensor relu_mask(const Tensor& a);
+
+/// Add a length-n bias vector to every row of an (m×n) matrix.
+void add_row_bias(Tensor& m, const Tensor& bias);
+
+// ---- reductions -------------------------------------------------------------
+
+double sum(const Tensor& a);
+double mean(const Tensor& a);
+float max_abs(const Tensor& a);
+
+/// Index of the largest element (first on ties).
+std::int64_t argmax(const Tensor& a);
+
+/// Per-row argmax of a 2-D tensor.
+std::vector<std::int64_t> argmax_rows(const Tensor& a);
+
+/// Euclidean norm of the flattened tensor.
+double l2_norm(const Tensor& a);
+
+/// Number of entries with |x| > tol — the paper's ℓ0 measure of δ.
+std::int64_t l0_norm(const Tensor& a, float tol = 1e-8f);
+
+// ---- softmax ----------------------------------------------------------------
+
+/// Row-wise numerically-stable softmax of a 2-D logits tensor.
+Tensor softmax_rows(const Tensor& logits);
+
+/// Mean cross-entropy of row-wise softmax vs integer labels.
+double cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+/// Gradient of mean cross-entropy w.r.t. logits: (softmax − onehot)/N.
+Tensor cross_entropy_grad(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace fsa::ops

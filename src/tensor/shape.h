@@ -1,0 +1,72 @@
+// shape.h — dense tensor shapes for the fault-sneaking-attack library.
+//
+// A Shape is an ordered list of non-negative extents. Tensors in this
+// library are contiguous row-major float32 buffers, so the shape alone
+// determines the memory layout; strides are derived, never stored.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fsa {
+
+/// Ordered list of tensor extents (row-major, outermost first).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) { validate(); }
+
+  /// Number of dimensions (0 for a scalar-shaped tensor).
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+
+  /// Extent of dimension `i`; negative `i` counts from the back.
+  [[nodiscard]] std::int64_t dim(std::int64_t i) const {
+    const auto r = static_cast<std::int64_t>(dims_.size());
+    if (i < 0) i += r;
+    if (i < 0 || i >= r) throw std::out_of_range("Shape::dim index " + std::to_string(i));
+    return dims_[static_cast<std::size_t>(i)];
+  }
+
+  /// Total number of elements (1 for rank-0).
+  [[nodiscard]] std::int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                           [](std::int64_t a, std::int64_t b) { return a * b; });
+  }
+
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Row-major strides (in elements, not bytes).
+  [[nodiscard]] std::vector<std::int64_t> strides() const {
+    std::vector<std::int64_t> s(dims_.size(), 1);
+    for (std::size_t i = dims_.size(); i-- > 1;) s[i - 1] = s[i] * dims_[i];
+    return s;
+  }
+
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  /// Human-readable form, e.g. "[32, 1, 28, 28]".
+  [[nodiscard]] std::string str() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  void validate() const {
+    for (auto d : dims_)
+      if (d < 0) throw std::invalid_argument("Shape: negative extent in " + str());
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace fsa

@@ -1,0 +1,63 @@
+#include "tensor/tensor.h"
+
+namespace fsa {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape())
+    throw std::invalid_argument(std::string("Tensor::") + op + ": shape mismatch " +
+                                a.shape().str() + " vs " + b.shape().str());
+}
+}  // namespace
+
+Tensor Tensor::slice0(std::int64_t begin, std::int64_t end) const {
+  if (shape_.rank() == 0) throw std::invalid_argument("Tensor::slice0 on rank-0 tensor");
+  const std::int64_t n = shape_.dim(0);
+  if (begin < 0 || end > n || begin > end)
+    throw std::out_of_range("Tensor::slice0 [" + std::to_string(begin) + ", " +
+                            std::to_string(end) + ") of " + shape_.str());
+  std::vector<std::int64_t> dims = shape_.dims();
+  dims[0] = end - begin;
+  const std::int64_t row_elems = (n == 0) ? 0 : numel() / n;
+  Tensor out{Shape(dims)};
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * row_elems),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * row_elems), out.data_.begin());
+  return out;
+}
+
+Tensor Tensor::row(std::int64_t i) const {
+  Tensor s = slice0(i, i + 1);
+  std::vector<std::int64_t> dims(shape_.dims().begin() + 1, shape_.dims().end());
+  if (dims.empty()) dims = {1};
+  return s.reshape(Shape(dims));
+}
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  check_same_shape(*this, o, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  check_same_shape(*this, o, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+  return *this;
+}
+
+Tensor& Tensor::axpy(float alpha, const Tensor& o) {
+  check_same_shape(*this, o, "axpy");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * o.data_[i];
+  return *this;
+}
+
+}  // namespace fsa

@@ -1,0 +1,149 @@
+// tensor.h — contiguous row-major float32 tensor.
+//
+// This is the numeric workhorse of the library: activations, parameters,
+// gradients, images, and attack perturbations are all Tensors. The design
+// is deliberately simple — a Shape plus an owning std::vector<float> —
+// because the fault-sneaking workloads are dominated by GEMM inside
+// conv/dense layers (see ops.h), not by tensor bookkeeping.
+//
+// Copying a Tensor copies its data (value semantics). Views are not
+// supported; slices materialize. This keeps aliasing reasoning trivial in
+// the attack code, where the same parameter vector is read by many images.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/shape.h"
+
+namespace fsa {
+
+class Tensor {
+ public:
+  /// Empty rank-1 tensor of size 0.
+  Tensor() : shape_({0}) {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value)
+      : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), value) {}
+
+  /// Tensor adopting an existing buffer; `data.size()` must match the shape.
+  Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)), data_(std::move(data)) {
+    if (static_cast<std::int64_t>(data_.size()) != shape_.numel())
+      throw std::invalid_argument("Tensor: buffer size " + std::to_string(data_.size()) +
+                                  " does not match shape " + shape_.str());
+  }
+
+  // ---- factories ----------------------------------------------------------
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+
+  /// I.i.d. N(mean, stddev²) entries.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f) {
+    Tensor t(std::move(shape));
+    for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+    return t;
+  }
+
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f) {
+    Tensor t(std::move(shape));
+    for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+  }
+
+  /// Rank-1 tensor from explicit values.
+  static Tensor from_vector(std::vector<float> values) {
+    const auto n = static_cast<std::int64_t>(values.size());
+    return Tensor(Shape({n}), std::move(values));
+  }
+
+  // ---- structure -----------------------------------------------------------
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const { return shape_.numel(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::int64_t dim(std::int64_t i) const { return shape_.dim(i); }
+
+  /// Same data, new shape (element count must match).
+  [[nodiscard]] Tensor reshape(Shape new_shape) const {
+    if (new_shape.numel() != shape_.numel())
+      throw std::invalid_argument("Tensor::reshape: cannot reshape " + shape_.str() + " to " +
+                                  new_shape.str());
+    Tensor out = *this;
+    out.shape_ = std::move(new_shape);
+    return out;
+  }
+
+  /// Materialized copy of rows [begin, end) along dimension 0.
+  [[nodiscard]] Tensor slice0(std::int64_t begin, std::int64_t end) const;
+
+  /// Materialized copy of row `i` along dimension 0 (rank reduced by 1).
+  [[nodiscard]] Tensor row(std::int64_t i) const;
+
+  // ---- element access ------------------------------------------------------
+
+  float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::span<float> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Checked flat access.
+  float& at(std::int64_t i) {
+    if (i < 0 || i >= numel()) throw std::out_of_range("Tensor::at " + std::to_string(i));
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] float at(std::int64_t i) const {
+    if (i < 0 || i >= numel()) throw std::out_of_range("Tensor::at " + std::to_string(i));
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2-D indexed access (rank must be 2).
+  float& at2(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * shape_.dim(1) + c)];
+  }
+  [[nodiscard]] float at2(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * shape_.dim(1) + c)];
+  }
+
+  /// NCHW indexed access (rank must be 4).
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    const auto C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+    return data_[static_cast<std::size_t>(((n * C + c) * H + h) * W + w)];
+  }
+  [[nodiscard]] float at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    const auto C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+    return data_[static_cast<std::size_t>(((n * C + c) * H + h) * W + w)];
+  }
+
+  // ---- in-place arithmetic --------------------------------------------------
+
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+  Tensor& operator*=(float s);
+  Tensor& fill(float v);
+
+  /// this += alpha * o  (BLAS axpy).
+  Tensor& axpy(float alpha, const Tensor& o);
+
+  bool operator==(const Tensor& o) const { return shape_ == o.shape_ && data_ == o.data_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fsa

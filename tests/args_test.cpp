@@ -1,0 +1,64 @@
+// args_test.cpp — the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include "eval/args.h"
+
+namespace fsa::eval {
+namespace {
+
+Args parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, EmptyIsValid) {
+  const Args a = parse({});
+  EXPECT_EQ(a.command(), "");
+  EXPECT_EQ(a.get("x", "d"), "d");
+}
+
+TEST(Args, SubcommandAndValues) {
+  const Args a = parse({"attack", "--dataset", "digits", "--s", "4"});
+  EXPECT_EQ(a.command(), "attack");
+  EXPECT_EQ(a.get("dataset", ""), "digits");
+  EXPECT_EQ(a.get_int("s", 0), 4);
+}
+
+TEST(Args, FlagsWithoutValues) {
+  const Args a = parse({"run", "--verbose", "--n", "3"});
+  EXPECT_TRUE(a.has_flag("verbose"));
+  EXPECT_FALSE(a.has_flag("quiet"));
+  EXPECT_EQ(a.get_int("n", 0), 3);
+}
+
+TEST(Args, TrailingFlag) {
+  const Args a = parse({"--dry-run"});
+  EXPECT_TRUE(a.has_flag("dry-run"));
+  EXPECT_EQ(a.command(), "");
+}
+
+TEST(Args, DoublesParsed) {
+  const Args a = parse({"--rho", "12.5"});
+  EXPECT_DOUBLE_EQ(a.get_double("rho", 0.0), 12.5);
+  EXPECT_DOUBLE_EQ(a.get_double("alpha", 0.25), 0.25);
+}
+
+TEST(Args, UnexpectedPositionalThrows) {
+  EXPECT_THROW(parse({"cmd", "stray"}), std::invalid_argument);
+}
+
+TEST(Args, ExpectOnlyCatchesTypos) {
+  const Args a = parse({"attack", "--datset", "digits"});
+  EXPECT_THROW(a.expect_only({"dataset", "s", "r"}), std::invalid_argument);
+  const Args good = parse({"attack", "--dataset", "digits"});
+  EXPECT_NO_THROW(good.expect_only({"dataset"}));
+}
+
+TEST(Args, NegativeNumberValuesAreRejectedLoudly) {
+  // Documented limitation: values starting with '-' are not supported —
+  // the parser rejects them instead of silently misreading the command.
+  EXPECT_THROW(parse({"--x", "-3"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsa::eval

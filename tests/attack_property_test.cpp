@@ -1,0 +1,122 @@
+// attack_property_test.cpp — parameterized invariants of the full attack
+// over an (S, R, norm) grid on the blob substrate. These are the contracts
+// the bench harnesses rely on for every cell of the paper's sweeps.
+#include <gtest/gtest.h>
+
+#include "core/attack_metrics.h"
+#include "models/feature_cache.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace fsa::core {
+namespace {
+
+struct AttackCase {
+  std::int64_t s, r;
+  NormKind norm;
+};
+
+struct SharedModel {
+  data::Dataset train = testutil::make_blobs(700, 51);
+  data::Dataset pool = testutil::make_blobs(500, 53);
+  nn::Sequential net = testutil::make_blob_net(23);
+  Tensor pool_feats;
+  std::vector<std::int64_t> pool_preds;
+
+  SharedModel() {
+    const data::Dataset test = testutil::make_blobs(100, 52);
+    testutil::train_blob_net(net, train, test);
+    const std::size_t cut = net.index_of("fc2");
+    pool_feats = models::compute_features(net, cut, pool.images());
+    pool_preds = models::head_predictions(net, cut, pool_feats);
+  }
+};
+
+SharedModel& shared() {
+  static SharedModel m;
+  return m;
+}
+
+class AttackSweep : public ::testing::TestWithParam<AttackCase> {
+ protected:
+  AttackSpec spec() const {
+    const auto p = GetParam();
+    return make_spec(shared().pool_feats, shared().pool.labels(), shared().pool_preds, p.s, p.r,
+                     10, 100 + static_cast<std::uint64_t>(p.s * 31 + p.r));
+  }
+
+  FaultSneakingConfig config() const {
+    FaultSneakingConfig cfg;
+    cfg.admm.norm = GetParam().norm;
+    return cfg;
+  }
+};
+
+TEST_P(AttackSweep, RunRestoresThenApplyMatchesReportedCounts) {
+  auto& m = shared();
+  FaultSneakingAttack attack(m.net, {"fc2"});
+  const AttackSpec sp = spec();
+  const Tensor theta_before = attack.mask().gather_values();
+  const FaultSneakingResult res = attack.run(sp, config());
+
+  // 1. the network is untouched after run()
+  EXPECT_EQ(attack.mask().gather_values(), theta_before);
+
+  // 2. reported norms match the delta
+  EXPECT_EQ(res.l0, ops::l0_norm(res.delta));
+  EXPECT_NEAR(res.l2, ops::l2_norm(res.delta), 1e-9);
+  EXPECT_LE(res.l0, attack.mask().size());
+
+  // 3. counts bounded by the problem
+  EXPECT_LE(res.targets_hit, sp.S);
+  EXPECT_LE(res.maintained, sp.R() - sp.S);
+  EXPECT_GE(res.attempts, 1);
+
+  // 4. reported counts are reproduced by an INDEPENDENT evaluation with
+  //    delta applied (argmax over head logits).
+  const auto verified = with_delta(attack, res.delta, [&] {
+    const Tensor logits = m.net.forward_from(attack.cut(), sp.features);
+    return count_satisfied(logits, sp);
+  });
+  EXPECT_EQ(verified.first, res.targets_hit);
+  EXPECT_EQ(verified.second, res.maintained);
+}
+
+TEST_P(AttackSweep, DeterministicAcrossRepeatedRuns) {
+  auto& m = shared();
+  FaultSneakingAttack attack(m.net, {"fc2"});
+  const AttackSpec sp = spec();
+  const FaultSneakingResult a = attack.run(sp, config());
+  const FaultSneakingResult b = attack.run(sp, config());
+  EXPECT_EQ(a.delta, b.delta);
+  EXPECT_EQ(a.targets_hit, b.targets_hit);
+  EXPECT_EQ(a.maintained, b.maintained);
+}
+
+TEST_P(AttackSweep, SmallProblemsFullysucceed) {
+  // On this easy substrate every cell with S ≤ 4 must fully succeed —
+  // failures here would poison every bench sweep.
+  const auto p = GetParam();
+  if (p.s > 4) GTEST_SKIP() << "only asserting the easy regime";
+  auto& m = shared();
+  FaultSneakingAttack attack(m.net, {"fc2"});
+  const FaultSneakingResult res = attack.run(spec(), config());
+  EXPECT_TRUE(res.all_targets_hit);
+  EXPECT_GE(res.maintained, (p.r - p.s) * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AttackSweep,
+    ::testing::Values(AttackCase{1, 1, NormKind::kL0}, AttackCase{1, 10, NormKind::kL0},
+                      AttackCase{1, 10, NormKind::kL2}, AttackCase{2, 20, NormKind::kL0},
+                      AttackCase{2, 20, NormKind::kL2}, AttackCase{4, 40, NormKind::kL0},
+                      AttackCase{4, 8, NormKind::kL0}, AttackCase{8, 60, NormKind::kL0},
+                      AttackCase{8, 60, NormKind::kL2}),
+    [](const ::testing::TestParamInfo<AttackCase>& info) {
+      const auto& p = info.param;
+      return std::string("S") + std::to_string(p.s) + "_R" + std::to_string(p.r) + "_" +
+             (p.norm == NormKind::kL0 ? "l0" : "l2");
+    });
+
+}  // namespace
+}  // namespace fsa::core

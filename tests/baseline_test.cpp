@@ -1,0 +1,159 @@
+// baseline_test.cpp — the ICCAD'17 SBA and GDA baselines.
+#include <gtest/gtest.h>
+
+#include "baseline/gda.h"
+#include "baseline/sba.h"
+#include "models/feature_cache.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace fsa::baseline {
+namespace {
+
+struct Fixture {
+  data::Dataset train = testutil::make_blobs(600, 31);
+  data::Dataset test = testutil::make_blobs(300, 32);
+  data::Dataset pool = testutil::make_blobs(200, 33);
+  nn::Sequential net = testutil::make_blob_net(13);
+  Tensor pool_feats, test_feats;
+  std::vector<std::int64_t> pool_preds;
+
+  Fixture() {
+    testutil::train_blob_net(net, train, test);
+    const std::size_t cut = net.index_of("fc2");
+    pool_feats = models::compute_features(net, cut, pool.images());
+    test_feats = models::compute_features(net, cut, test.images());
+    pool_preds = models::head_predictions(net, cut, pool_feats);
+  }
+
+  core::AttackSpec spec(std::int64_t s, std::int64_t r, std::uint64_t seed) {
+    return core::make_spec(pool_feats, pool.labels(), pool_preds, s, r, 10, seed);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(Sba, MisclassifiesTheTargetImage) {
+  auto& f = fixture();
+  const core::ParamMask mask = core::ParamMask::make(f.net, {"fc2"});
+  const Tensor theta0 = mask.gather_values();
+  const core::AttackSpec spec = f.spec(1, 1, 1);
+  const Tensor feat = spec.features.slice0(0, 1);
+  const std::int64_t target = spec.labels[0];
+
+  const SbaResult res = single_bias_attack(f.net, "fc2", feat, target);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.bias_index, target);
+  EXPECT_GE(res.new_value, res.old_value);
+  const Tensor logits = f.net.forward_from(f.net.index_of("fc2"), feat);
+  EXPECT_EQ(ops::argmax_rows(logits)[0], target);
+  mask.scatter_values(theta0);
+}
+
+TEST(Sba, ModifiesExactlyOneParameter) {
+  auto& f = fixture();
+  const core::ParamMask mask = core::ParamMask::make(f.net, {"fc2"});
+  const Tensor theta0 = mask.gather_values();
+  const core::AttackSpec spec = f.spec(1, 1, 2);
+  single_bias_attack(f.net, "fc2", spec.features.slice0(0, 1), spec.labels[0]);
+  const Tensor delta = ops::sub(mask.gather_values(), theta0);
+  EXPECT_LE(ops::l0_norm(delta), 1);
+  mask.scatter_values(theta0);
+}
+
+TEST(Sba, CollapsesGlobalAccuracy) {
+  // The paper's criticism: SBA has no stealth — the raised bias drags many
+  // other images into the target class.
+  auto& f = fixture();
+  const core::ParamMask mask = core::ParamMask::make(f.net, {"fc2"});
+  const Tensor theta0 = mask.gather_values();
+  const std::size_t cut = f.net.index_of("fc2");
+  const double before = models::head_accuracy(f.net, cut, f.test_feats, f.test.labels());
+  const core::AttackSpec spec = f.spec(1, 1, 3);
+  single_bias_attack(f.net, "fc2", spec.features.slice0(0, 1), spec.labels[0]);
+  const double after = models::head_accuracy(f.net, cut, f.test_feats, f.test.labels());
+  EXPECT_LT(after, before - 0.02);  // visibly degraded
+  mask.scatter_values(theta0);
+}
+
+TEST(Sba, RejectsNonDenseAndBadShapes) {
+  auto& f = fixture();
+  EXPECT_THROW(single_bias_attack(f.net, "relu1", Tensor(Shape({1, 32})), 0),
+               std::invalid_argument);
+  EXPECT_THROW(single_bias_attack(f.net, "fc2", Tensor(Shape({1, 3})), 0),
+               std::invalid_argument);
+  EXPECT_THROW(single_bias_attack(f.net, "fc2", Tensor(Shape({1, 32})), 99),
+               std::invalid_argument);
+}
+
+TEST(Gda, InjectsFaults) {
+  auto& f = fixture();
+  const core::ParamMask mask = core::ParamMask::make(f.net, {"fc2"});
+  GradientDescentAttack gda(f.net, mask);
+  const core::AttackSpec spec = f.spec(2, 10, 4);
+  const GdaResult res = gda.run(spec);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.targets_hit, 2);
+  EXPECT_GT(res.l0, 0);
+}
+
+TEST(Gda, RestoresNetwork) {
+  auto& f = fixture();
+  const core::ParamMask mask = core::ParamMask::make(f.net, {"fc2"});
+  const Tensor before = mask.gather_values();
+  GradientDescentAttack gda(f.net, mask);
+  gda.run(f.spec(1, 4, 5));
+  EXPECT_EQ(mask.gather_values(), before);
+}
+
+TEST(Gda, CompressionShrinksSupport) {
+  auto& f = fixture();
+  const core::ParamMask mask = core::ParamMask::make(f.net, {"fc2"});
+  GradientDescentAttack gda(f.net, mask);
+  const core::AttackSpec spec = f.spec(1, 4, 6);
+  GdaConfig no_compress;
+  no_compress.max_compress_rounds = 0;
+  GdaConfig compress;
+  const GdaResult raw = gda.run(spec, no_compress);
+  const GdaResult packed = gda.run(spec, compress);
+  EXPECT_TRUE(raw.success);
+  EXPECT_TRUE(packed.success);
+  EXPECT_LT(packed.l0, raw.l0);
+}
+
+TEST(Gda, CompressedDeltaStillSucceedsWhenApplied) {
+  auto& f = fixture();
+  const core::ParamMask mask = core::ParamMask::make(f.net, {"fc2"});
+  GradientDescentAttack gda(f.net, mask);
+  const core::AttackSpec spec = f.spec(2, 6, 7);
+  const GdaResult res = gda.run(spec);
+  ASSERT_TRUE(res.success);
+  const Tensor theta0 = mask.gather_values();
+  Tensor theta = theta0;
+  theta += res.delta;
+  mask.scatter_values(theta);
+  const Tensor logits = f.net.forward_from(f.net.index_of("fc2"), spec.features.slice0(0, 2));
+  const auto preds = ops::argmax_rows(logits);
+  EXPECT_EQ(preds[0], spec.labels[0]);
+  EXPECT_EQ(preds[1], spec.labels[1]);
+  mask.scatter_values(theta0);
+}
+
+TEST(Gda, IgnoresMaintainImages) {
+  // GDA optimizes only the S faults; feeding extra maintain rows must not
+  // change the fault outcome (they are sliced away).
+  auto& f = fixture();
+  const core::ParamMask mask = core::ParamMask::make(f.net, {"fc2"});
+  GradientDescentAttack gda(f.net, mask);
+  core::AttackSpec small = f.spec(1, 1, 8);
+  core::AttackSpec padded = f.spec(1, 20, 8);
+  const GdaResult a = gda.run(small);
+  const GdaResult b = gda.run(padded);
+  EXPECT_EQ(a.success, b.success);
+}
+
+}  // namespace
+}  // namespace fsa::baseline

@@ -1,0 +1,85 @@
+// campaign_property_test.cpp — parameterized monotonicity properties of the
+// hardware campaign simulators: cost can only grow with work, and the
+// degenerate parameter settings behave exactly as documented.
+#include <gtest/gtest.h>
+
+#include "faultsim/campaign.h"
+#include "tensor/ops.h"
+
+namespace fsa::faultsim {
+namespace {
+
+BitFlipPlan plan_of_size(std::int64_t params, std::uint64_t seed) {
+  Rng rng(seed);
+  const Tensor theta0 = Tensor::randn(Shape({std::max<std::int64_t>(params, 1)}), rng);
+  Tensor delta = Tensor::zeros(theta0.shape());
+  for (std::int64_t i = 0; i < params; ++i)
+    delta[static_cast<std::size_t>(i)] = static_cast<float>(rng.normal(0.0, 0.4));
+  return plan_bit_flips(theta0, delta, MemoryLayout{});
+}
+
+struct SizeCase {
+  std::int64_t small, large;
+  std::uint64_t seed;
+};
+
+class CampaignSweep : public ::testing::TestWithParam<SizeCase> {};
+
+TEST_P(CampaignSweep, LaserCostMonotoneInPlanSize) {
+  const auto p = GetParam();
+  const auto a = simulate_laser(plan_of_size(p.small, p.seed), LaserParams{}, MemoryLayout{});
+  const auto b = simulate_laser(plan_of_size(p.large, p.seed), LaserParams{}, MemoryLayout{});
+  EXPECT_LE(a.seconds, b.seconds);
+  EXPECT_LE(a.bits_flipped, b.bits_flipped);
+  EXPECT_TRUE(a.success);
+  EXPECT_TRUE(b.success);
+}
+
+TEST_P(CampaignSweep, RowHammerCostMonotoneInPlanSize) {
+  const auto p = GetParam();
+  Rng r1(p.seed), r2(p.seed);
+  const auto a =
+      simulate_rowhammer(plan_of_size(p.small, p.seed), RowHammerParams{}, MemoryLayout{}, r1);
+  const auto b =
+      simulate_rowhammer(plan_of_size(p.large, p.seed), RowHammerParams{}, MemoryLayout{}, r2);
+  EXPECT_LE(a.seconds, b.seconds);
+  EXPECT_LE(a.hammer_attempts, b.hammer_attempts);
+}
+
+TEST_P(CampaignSweep, HigherVulnerabilityNeverCostsMore) {
+  const auto p = GetParam();
+  const BitFlipPlan plan = plan_of_size(p.large, p.seed);
+  RowHammerParams scarce;
+  scarce.vulnerable_frac = 0.01;
+  RowHammerParams abundant;
+  abundant.vulnerable_frac = 0.90;
+  Rng r1(p.seed), r2(p.seed);
+  const auto hard = simulate_rowhammer(plan, scarce, MemoryLayout{}, r1);
+  const auto easy = simulate_rowhammer(plan, abundant, MemoryLayout{}, r2);
+  EXPECT_GE(hard.massages, easy.massages);
+  EXPECT_GE(hard.seconds, easy.seconds);
+}
+
+TEST_P(CampaignSweep, ReportAccounting) {
+  // bits_flipped + unfixable ≤ requested; attempts ≥ flips (rowhammer).
+  const auto p = GetParam();
+  const BitFlipPlan plan = plan_of_size(p.large, p.seed);
+  Rng rng(p.seed);
+  const auto rep = simulate_rowhammer(plan, RowHammerParams{}, MemoryLayout{}, rng);
+  EXPECT_LE(rep.bits_flipped, rep.bits_requested);
+  EXPECT_GE(rep.hammer_attempts, rep.bits_flipped);
+  EXPECT_EQ(rep.bits_requested, plan.total_bit_flips);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CampaignSweep,
+                         ::testing::Values(SizeCase{0, 4, 1}, SizeCase{2, 16, 2},
+                                           SizeCase{8, 64, 3}, SizeCase{32, 256, 4},
+                                           SizeCase{100, 1000, 5}),
+                         [](const ::testing::TestParamInfo<SizeCase>& info) {
+                           return "s" + std::to_string(info.param.small) + "_l" +
+                                  std::to_string(info.param.large) + "_seed" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace fsa::faultsim

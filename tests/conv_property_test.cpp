@@ -1,0 +1,146 @@
+// conv_property_test.cpp — parameterized geometry sweep for Conv2D and
+// MaxPool2D. The key invariant is ADJOINTNESS: for the linear part of the
+// convolution (bias = 0), backward is the transpose of forward, so
+// ⟨conv(x), gy⟩ = ⟨x, conv_backward(gy)⟩ must hold for every geometry.
+// A broken im2col/col2im index shows up here immediately.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv2d.h"
+#include "nn/pool.h"
+#include "tensor/ops.h"
+
+namespace fsa::nn {
+namespace {
+
+struct ConvCase {
+  std::int64_t in_c, out_c, kernel, stride, pad, side, batch;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, OutputShapeFormula) {
+  const auto p = GetParam();
+  Rng rng(1);
+  Conv2D conv("c", p.in_c, p.out_c, p.kernel, rng, p.stride, p.pad);
+  const Shape out = conv.output_shape(Shape({p.batch, p.in_c, p.side, p.side}));
+  const std::int64_t expect = (p.side + 2 * p.pad - p.kernel) / p.stride + 1;
+  EXPECT_EQ(out, Shape({p.batch, p.out_c, expect, expect}));
+}
+
+TEST_P(ConvSweep, ForwardBackwardAdjointness) {
+  const auto p = GetParam();
+  Rng rng(2);
+  Conv2D conv("c", p.in_c, p.out_c, p.kernel, rng, p.stride, p.pad);
+  conv.params()[1]->value().fill(0.0f);  // zero bias → purely linear map
+  Rng xr(3), yr(4);
+  const Tensor x = Tensor::randn(Shape({p.batch, p.in_c, p.side, p.side}), xr);
+  const Shape out_shape = conv.output_shape(x.shape());
+  const Tensor gy = Tensor::randn(out_shape, yr);
+  const Tensor y = conv.forward(x, true);
+  conv.zero_grad();
+  const Tensor gx = conv.backward(gy);
+  const double lhs = ops::dot(y, gy);
+  const double rhs = ops::dot(x, gx);
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (std::fabs(lhs) + 1.0));
+}
+
+TEST_P(ConvSweep, WeightGradientIsAdjointInWeights) {
+  // ⟨conv_W(x), gy⟩ = ⟨W, dW⟩ for the linear-in-W map at fixed x.
+  const auto p = GetParam();
+  Rng rng(5);
+  Conv2D conv("c", p.in_c, p.out_c, p.kernel, rng, p.stride, p.pad);
+  conv.params()[1]->value().fill(0.0f);
+  Rng xr(6), yr(7);
+  const Tensor x = Tensor::randn(Shape({p.batch, p.in_c, p.side, p.side}), xr);
+  const Tensor gy = Tensor::randn(conv.output_shape(x.shape()), yr);
+  const Tensor y = conv.forward(x, true);
+  conv.zero_grad();
+  conv.backward(gy);
+  const double lhs = ops::dot(y, gy);
+  const double rhs = ops::dot(conv.params()[0]->value(), conv.params()[0]->grad());
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (std::fabs(lhs) + 1.0));
+}
+
+TEST_P(ConvSweep, ZeroInputGivesBiasOnlyOutput) {
+  const auto p = GetParam();
+  Rng rng(8);
+  Conv2D conv("c", p.in_c, p.out_c, p.kernel, rng, p.stride, p.pad);
+  conv.params()[1]->value().fill(0.75f);
+  const Tensor x = Tensor::zeros(Shape({p.batch, p.in_c, p.side, p.side}));
+  const Tensor y = conv.forward(x, false);
+  for (float v : y.span()) EXPECT_FLOAT_EQ(v, 0.75f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 5, 1},   // pointwise
+                      ConvCase{1, 4, 3, 1, 0, 8, 2},   // valid 3×3
+                      ConvCase{3, 2, 3, 1, 1, 7, 1},   // same-ish padding
+                      ConvCase{2, 3, 5, 1, 2, 9, 2},   // big kernel
+                      ConvCase{2, 2, 3, 2, 0, 9, 1},   // strided
+                      ConvCase{4, 8, 3, 2, 1, 10, 3},  // strided + padded
+                      ConvCase{32, 16, 3, 1, 0, 6, 2}  // many channels
+                      ),
+    [](const ::testing::TestParamInfo<ConvCase>& info) {
+      const auto& p = info.param;
+      return "ic" + std::to_string(p.in_c) + "_oc" + std::to_string(p.out_c) + "_k" +
+             std::to_string(p.kernel) + "_s" + std::to_string(p.stride) + "_p" +
+             std::to_string(p.pad) + "_side" + std::to_string(p.side) + "_n" +
+             std::to_string(p.batch);
+    });
+
+struct PoolCase {
+  std::int64_t window, stride, side, channels;
+};
+
+class PoolSweep : public ::testing::TestWithParam<PoolCase> {};
+
+TEST_P(PoolSweep, BackwardConservesGradientMass) {
+  // Every output gradient lands on exactly one input cell.
+  const auto p = GetParam();
+  MaxPool2D pool("p", p.window, p.stride);
+  Rng rng(9);
+  Tensor x = Tensor::randn(Shape({2, p.channels, p.side, p.side}), rng);
+  const Tensor y = pool.forward(x, true);
+  Rng gr(10);
+  const Tensor gy = Tensor::rand_uniform(y.shape(), gr, 0.5f, 1.5f);
+  const Tensor gx = pool.backward(gy);
+  EXPECT_NEAR(ops::sum(gx), ops::sum(gy), 1e-3);
+}
+
+TEST_P(PoolSweep, OutputsAreWindowMaxima) {
+  const auto p = GetParam();
+  MaxPool2D pool("p", p.window, p.stride);
+  Rng rng(11);
+  const Tensor x = Tensor::randn(Shape({1, p.channels, p.side, p.side}), rng);
+  const Tensor y = pool.forward(x, false);
+  // Every pooled value must exist somewhere in the input plane and be ≥
+  // every member of its window (checked indirectly: y values are inputs).
+  for (std::int64_t c = 0; c < p.channels; ++c)
+    for (std::int64_t oy = 0; oy < y.dim(2); ++oy)
+      for (std::int64_t ox = 0; ox < y.dim(3); ++ox) {
+        const float v = y.at4(0, c, oy, ox);
+        float window_max = -1e30f;
+        for (std::int64_t ky = 0; ky < p.window; ++ky)
+          for (std::int64_t kx = 0; kx < p.window; ++kx)
+            window_max =
+                std::max(window_max, x.at4(0, c, oy * p.stride + ky, ox * p.stride + kx));
+        EXPECT_FLOAT_EQ(v, window_max);
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, PoolSweep,
+                         ::testing::Values(PoolCase{2, 2, 8, 1}, PoolCase{2, 2, 9, 3},
+                                           PoolCase{3, 3, 9, 2}, PoolCase{2, 1, 6, 2},
+                                           PoolCase{3, 2, 11, 1}),
+                         [](const ::testing::TestParamInfo<PoolCase>& info) {
+                           const auto& p = info.param;
+                           return "w" + std::to_string(p.window) + "_s" +
+                                  std::to_string(p.stride) + "_side" + std::to_string(p.side) +
+                                  "_c" + std::to_string(p.channels);
+                         });
+
+}  // namespace
+}  // namespace fsa::nn

@@ -1,0 +1,198 @@
+// data_test.cpp — datasets, loaders, and the synthetic generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataloader.h"
+#include "data/synth_digits.h"
+#include "data/synth_objects.h"
+#include "tensor/ops.h"
+
+namespace fsa::data {
+namespace {
+
+TEST(Dataset, ValidatesConstruction) {
+  Tensor images(Shape({2, 1, 2, 2}));
+  EXPECT_THROW(Dataset(images, {0}, 2), std::invalid_argument);        // count mismatch
+  EXPECT_THROW(Dataset(images, {0, 5}, 2), std::invalid_argument);     // label range
+  EXPECT_THROW(Dataset(Tensor(Shape({2, 4})), {0, 1}, 2), std::invalid_argument);  // rank
+}
+
+TEST(Dataset, SubsetReordersAndCopies) {
+  Tensor images(Shape({3, 1, 1, 1}));
+  images[0] = 10.0f;
+  images[1] = 20.0f;
+  images[2] = 30.0f;
+  Dataset ds(images, {0, 1, 2}, 3);
+  const Dataset sub = ds.subset({2, 0});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.images()[0], 30.0f);
+  EXPECT_EQ(sub.images()[1], 10.0f);
+  EXPECT_EQ(sub.label(0), 2);
+  EXPECT_EQ(sub.label(1), 0);
+}
+
+TEST(Dataset, HeadReturnsPrefixBatch) {
+  Tensor images(Shape({3, 1, 1, 1}));
+  Dataset ds(images, {0, 1, 2}, 3);
+  const Batch b = ds.head(2);
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(b.labels[1], 1);
+  EXPECT_THROW(ds.head(4), std::out_of_range);
+}
+
+TEST(DataLoader, CoversEveryImageOncePerEpoch) {
+  Tensor images(Shape({10, 1, 1, 1}));
+  for (std::int64_t i = 0; i < 10; ++i) images[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  Dataset ds(images, std::vector<std::int64_t>(10, 0), 1);
+  DataLoader loader(ds, 3, /*shuffle=*/true, Rng(1));
+  loader.start_epoch();
+  std::multiset<float> seen;
+  Batch b;
+  std::int64_t batches = 0;
+  while (loader.next(b)) {
+    ++batches;
+    for (std::int64_t i = 0; i < b.size(); ++i) seen.insert(b.images[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(batches, loader.batches_per_epoch());
+  EXPECT_EQ(seen.size(), 10u);
+  for (std::int64_t i = 0; i < 10; ++i) EXPECT_EQ(seen.count(static_cast<float>(i)), 1u);
+}
+
+TEST(DataLoader, ShuffleChangesOrderDeterministically) {
+  Tensor images(Shape({8, 1, 1, 1}));
+  for (std::int64_t i = 0; i < 8; ++i) images[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  Dataset ds(images, std::vector<std::int64_t>(8, 0), 1);
+  auto first_batch = [&](std::uint64_t seed) {
+    DataLoader loader(ds, 8, true, Rng(seed));
+    loader.start_epoch();
+    Batch b;
+    loader.next(b);
+    return b.images;
+  };
+  EXPECT_EQ(first_batch(1), first_batch(1));  // deterministic
+  EXPECT_NE(first_batch(1), first_batch(2));  // seed-dependent
+}
+
+TEST(SynthDigits, ShapesLabelsAndDeterminism) {
+  SynthDigitsConfig cfg;
+  cfg.count = 64;
+  cfg.seed = 9;
+  const Dataset a = make_synth_digits(cfg);
+  const Dataset b = make_synth_digits(cfg);
+  EXPECT_EQ(a.images().shape(), Shape({64, 1, 28, 28}));
+  EXPECT_EQ(a.num_classes(), 10);
+  EXPECT_EQ(a.images(), b.images());
+  EXPECT_EQ(a.labels(), b.labels());
+  cfg.seed = 10;
+  const Dataset c = make_synth_digits(cfg);
+  EXPECT_NE(a.images(), c.images());
+}
+
+TEST(SynthDigits, PixelsInUnitRange) {
+  SynthDigitsConfig cfg;
+  cfg.count = 32;
+  const Dataset ds = make_synth_digits(cfg);
+  for (float v : ds.images().span()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SynthDigits, AllTenClassesAppear) {
+  SynthDigitsConfig cfg;
+  cfg.count = 400;
+  const Dataset ds = make_synth_digits(cfg);
+  std::set<std::int64_t> classes(ds.labels().begin(), ds.labels().end());
+  EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(SynthDigits, GlyphsAreBrighterThanBackground) {
+  // A digit image must contain a meaningful number of lit pixels.
+  SynthDigitsConfig cfg;
+  cfg.count = 16;
+  const Dataset ds = make_synth_digits(cfg);
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    const Tensor img = ds.image(i);
+    std::int64_t lit = 0;
+    for (float v : img.span())
+      if (v > 0.5f) ++lit;
+    EXPECT_GT(lit, 15) << "image " << i << " looks empty";
+    EXPECT_LT(lit, 28 * 28 / 2) << "image " << i << " looks saturated";
+  }
+}
+
+TEST(SynthDigits, DistinctDigitsProduceDistinctGlyphs) {
+  // Same rng state, different digit → visibly different images.
+  SynthDigitsConfig cfg;
+  cfg.noise_stddev = 0.0;
+  cfg.distractor_speckles = 0;
+  cfg.max_rotation = 0.0;
+  cfg.max_translate = 0.0;
+  cfg.min_scale = cfg.max_scale = 1.0;
+  Rng r1(5), r2(5);
+  const Tensor one = render_digit(1, r1, cfg);
+  const Tensor eight = render_digit(8, r2, cfg);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < one.size(); ++i) diff += std::fabs(one[i] - eight[i]);
+  EXPECT_GT(diff, 20.0);
+}
+
+TEST(SynthObjects, ShapesLabelsAndDeterminism) {
+  SynthObjectsConfig cfg;
+  cfg.count = 48;
+  cfg.seed = 21;
+  const Dataset a = make_synth_objects(cfg);
+  const Dataset b = make_synth_objects(cfg);
+  EXPECT_EQ(a.images().shape(), Shape({48, 3, 32, 32}));
+  EXPECT_EQ(a.images(), b.images());
+  EXPECT_EQ(a.num_classes(), 10);
+}
+
+TEST(SynthObjects, PixelsInUnitRange) {
+  SynthObjectsConfig cfg;
+  cfg.count = 16;
+  const Dataset ds = make_synth_objects(cfg);
+  for (float v : ds.images().span()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SynthObjects, AllTenClassesAppear) {
+  SynthObjectsConfig cfg;
+  cfg.count = 400;
+  const Dataset ds = make_synth_objects(cfg);
+  std::set<std::int64_t> classes(ds.labels().begin(), ds.labels().end());
+  EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(SynthObjects, RenderAllClassesWithoutNoiseDiffer) {
+  SynthObjectsConfig cfg;
+  cfg.noise_stddev = 0.0;
+  cfg.occlusion_prob = 0.0;
+  cfg.color_jitter = 0.0;
+  cfg.background_texture = 0.0;
+  std::vector<Tensor> renders;
+  for (std::int64_t cls = 0; cls < 10; ++cls) {
+    Rng rng(77);  // identical pose for every class
+    renders.push_back(render_object(cls, rng, cfg));
+  }
+  for (std::size_t a = 0; a < renders.size(); ++a)
+    for (std::size_t b = a + 1; b < renders.size(); ++b) {
+      double diff = 0.0;
+      for (std::size_t i = 0; i < renders[a].size(); ++i)
+        diff += std::fabs(renders[a][i] - renders[b][i]);
+      EXPECT_GT(diff, 10.0) << "classes " << a << " and " << b << " render identically";
+    }
+}
+
+TEST(SynthObjects, InvalidClassThrows) {
+  SynthObjectsConfig cfg;
+  Rng rng(1);
+  EXPECT_THROW(render_object(10, rng, cfg), std::invalid_argument);
+  EXPECT_THROW(render_object(-1, rng, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsa::data

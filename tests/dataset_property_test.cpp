@@ -1,0 +1,135 @@
+// dataset_property_test.cpp — parameterized invariants of the synthetic
+// data generators across seeds and sizes: these must hold for EVERY seed
+// the benches might use, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synth_digits.h"
+#include "data/synth_objects.h"
+#include "tensor/ops.h"
+
+namespace fsa::data {
+namespace {
+
+struct GenCase {
+  std::uint64_t seed;
+  std::int64_t count;
+};
+
+class DigitsSweep : public ::testing::TestWithParam<GenCase> {
+ protected:
+  Dataset make() const {
+    SynthDigitsConfig cfg;
+    cfg.seed = GetParam().seed;
+    cfg.count = GetParam().count;
+    return make_synth_digits(cfg);
+  }
+};
+
+TEST_P(DigitsSweep, ShapeAndLabelInvariants) {
+  const Dataset ds = make();
+  EXPECT_EQ(ds.images().shape(), Shape({GetParam().count, 1, 28, 28}));
+  EXPECT_EQ(ds.num_classes(), 10);
+  for (auto l : ds.labels()) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 10);
+  }
+}
+
+TEST_P(DigitsSweep, PixelRangeAndEnergy) {
+  const Dataset ds = make();
+  for (float v : ds.images().span()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  // Mean brightness must sit in a sane band: not black, not washed out.
+  const double mean = ops::mean(ds.images());
+  EXPECT_GT(mean, 0.02);
+  EXPECT_LT(mean, 0.5);
+}
+
+TEST_P(DigitsSweep, DeterministicAndSeedSensitive) {
+  const Dataset a = make();
+  const Dataset b = make();
+  EXPECT_EQ(a.images(), b.images());
+  SynthDigitsConfig other;
+  other.seed = GetParam().seed + 1;
+  other.count = GetParam().count;
+  EXPECT_NE(make_synth_digits(other).images(), a.images());
+}
+
+TEST_P(DigitsSweep, RoughClassBalance) {
+  const Dataset ds = make();
+  if (ds.size() < 200) GTEST_SKIP() << "balance only meaningful for larger samples";
+  std::array<std::int64_t, 10> counts{};
+  for (auto l : ds.labels()) ++counts[static_cast<std::size_t>(l)];
+  for (auto c : counts) {
+    EXPECT_GT(c, ds.size() / 25);  // no class starved
+    EXPECT_LT(c, ds.size() / 4);   // no class dominant
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DigitsSweep,
+                         ::testing::Values(GenCase{1, 64}, GenCase{101, 256}, GenCase{102, 256},
+                                           GenCase{103, 400}, GenCase{999, 32}),
+                         [](const ::testing::TestParamInfo<GenCase>& info) {
+                           return "seed" + std::to_string(info.param.seed) + "_n" +
+                                  std::to_string(info.param.count);
+                         });
+
+class ObjectsSweep : public ::testing::TestWithParam<GenCase> {
+ protected:
+  Dataset make() const {
+    SynthObjectsConfig cfg;
+    cfg.seed = GetParam().seed;
+    cfg.count = GetParam().count;
+    return make_synth_objects(cfg);
+  }
+};
+
+TEST_P(ObjectsSweep, ShapeAndLabelInvariants) {
+  const Dataset ds = make();
+  EXPECT_EQ(ds.images().shape(), Shape({GetParam().count, 3, 32, 32}));
+  EXPECT_EQ(ds.num_classes(), 10);
+  for (auto l : ds.labels()) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 10);
+  }
+}
+
+TEST_P(ObjectsSweep, PixelRangeAndColorVariance) {
+  const Dataset ds = make();
+  for (float v : ds.images().span()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  // The generator must actually produce colorful, varied images: the
+  // per-dataset pixel variance cannot collapse.
+  const double mean = ops::mean(ds.images());
+  double var = 0.0;
+  for (float v : ds.images().span()) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(ds.images().numel());
+  EXPECT_GT(var, 0.01);
+}
+
+TEST_P(ObjectsSweep, DeterministicAndSeedSensitive) {
+  const Dataset a = make();
+  const Dataset b = make();
+  EXPECT_EQ(a.images(), b.images());
+  SynthObjectsConfig other;
+  other.seed = GetParam().seed + 1;
+  other.count = GetParam().count;
+  EXPECT_NE(make_synth_objects(other).images(), a.images());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectsSweep,
+                         ::testing::Values(GenCase{2, 48}, GenCase{201, 128}, GenCase{202, 128},
+                                           GenCase{203, 200}, GenCase{888, 32}),
+                         [](const ::testing::TestParamInfo<GenCase>& info) {
+                           return "seed" + std::to_string(info.param.seed) + "_n" +
+                                  std::to_string(info.param.count);
+                         });
+
+}  // namespace
+}  // namespace fsa::data

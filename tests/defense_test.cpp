@@ -1,0 +1,150 @@
+// defense_test.cpp — integrity and sanitization guards.
+#include <gtest/gtest.h>
+
+#include "defense/checksum_guard.h"
+#include "defense/range_guard.h"
+#include "tensor/ops.h"
+
+namespace fsa::defense {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(ChecksumGuard, CleanParamsPass) {
+  Rng rng(1);
+  const Tensor params = Tensor::randn(Shape({1000}), rng);
+  const ChecksumGuard guard(params, 64);
+  const auto res = guard.verify(params);
+  EXPECT_FALSE(res.detected);
+  EXPECT_EQ(res.blocks_flagged, 0);
+}
+
+TEST(ChecksumGuard, AnySingleChangeDetected) {
+  Rng rng(2);
+  const Tensor params = Tensor::randn(Shape({512}), rng);
+  const ChecksumGuard guard(params, 64);
+  for (std::size_t i : {std::size_t{0}, std::size_t{63}, std::size_t{64}, std::size_t{511}}) {
+    Tensor tampered = params;
+    tampered[i] += 1e-4f;
+    const auto res = guard.verify(tampered);
+    EXPECT_TRUE(res.detected) << "change at " << i << " slipped through";
+    EXPECT_EQ(res.blocks_flagged, 1);
+    EXPECT_EQ(res.flagged[0], static_cast<std::int64_t>(i) / 64);
+  }
+}
+
+TEST(ChecksumGuard, FlagsLocalizeTampering) {
+  Rng rng(3);
+  const Tensor params = Tensor::randn(Shape({640}), rng);
+  const ChecksumGuard guard(params, 64);
+  Tensor tampered = params;
+  tampered[70] += 1.0f;   // block 1
+  tampered[400] += 1.0f;  // block 6
+  const auto res = guard.verify(tampered);
+  EXPECT_EQ(res.blocks_flagged, 2);
+  EXPECT_EQ(res.flagged[0], 1);
+  EXPECT_EQ(res.flagged[1], 6);
+}
+
+TEST(ChecksumGuard, GranularityTradesOverheadForLocalization) {
+  Rng rng(4);
+  const Tensor params = Tensor::randn(Shape({2010}), rng);
+  const ChecksumGuard fine(params, 16);
+  const ChecksumGuard coarse(params, 1024);
+  EXPECT_GT(fine.overhead_bytes(), coarse.overhead_bytes());
+  EXPECT_EQ(coarse.block_count(), 2);
+  EXPECT_EQ(fine.block_count(), (2010 + 15) / 16);
+}
+
+TEST(ChecksumGuard, LastPartialBlockCovered) {
+  Rng rng(5);
+  const Tensor params = Tensor::randn(Shape({100}), rng);
+  const ChecksumGuard guard(params, 64);  // blocks: 64 + 36
+  Tensor tampered = params;
+  tampered[99] *= 2.0f;
+  EXPECT_TRUE(guard.verify(tampered).detected);
+}
+
+TEST(ChecksumGuard, RejectsBadConfigAndSize) {
+  Rng rng(6);
+  const Tensor params = Tensor::randn(Shape({10}), rng);
+  EXPECT_THROW(ChecksumGuard(params, 0), std::invalid_argument);
+  const ChecksumGuard guard(params, 4);
+  EXPECT_THROW(guard.verify(Tensor(Shape({11}))), std::invalid_argument);
+}
+
+TEST(RangeGuard, CleanParamsPass) {
+  Rng rng(7);
+  Tensor params = Tensor::randn(Shape({256}), rng);
+  const RangeGuard guard(params, 64);
+  const auto res = guard.sanitize(params);
+  EXPECT_FALSE(res.alarm);
+  EXPECT_EQ(res.out_of_range, 0);
+}
+
+TEST(RangeGuard, SlackToleratesSmallDrift) {
+  Tensor params = Tensor::from_vector({-1.0f, 0.0f, 1.0f, 0.5f});
+  const RangeGuard guard(params, 4, /*slack=*/0.10);
+  Tensor drifted = params;
+  drifted[2] = 1.05f;  // inside the 10% widened range
+  EXPECT_FALSE(guard.sanitize(drifted).alarm);
+}
+
+TEST(RangeGuard, ClampsOutOfRangeValues) {
+  Tensor params = Tensor::from_vector({-1.0f, 0.0f, 1.0f, 0.5f});
+  const RangeGuard guard(params, 4, 0.0);
+  Tensor attacked = params;
+  attacked[0] = -5.0f;
+  attacked[3] = 9.0f;
+  const auto res = guard.sanitize(attacked);
+  EXPECT_TRUE(res.alarm);
+  EXPECT_EQ(res.out_of_range, 2);
+  EXPECT_EQ(res.clamped, 2);
+  EXPECT_FLOAT_EQ(attacked[0], -1.0f);
+  EXPECT_FLOAT_EQ(attacked[3], 1.0f);
+}
+
+TEST(RangeGuard, DetectOnlyModeLeavesValues) {
+  Tensor params = Tensor::from_vector({0.0f, 1.0f});
+  const RangeGuard guard(params, 2, 0.0);
+  Tensor attacked = params;
+  attacked[0] = -3.0f;
+  const auto res = guard.sanitize(attacked, /*clamp=*/false);
+  EXPECT_TRUE(res.alarm);
+  EXPECT_EQ(res.clamped, 0);
+  EXPECT_FLOAT_EQ(attacked[0], -3.0f);
+}
+
+TEST(RangeGuard, InRangeModificationsInvisible) {
+  // The defense's blind spot: modifications inside the trained range pass.
+  Rng rng(8);
+  Tensor params = Tensor::randn(Shape({128}), rng);
+  const RangeGuard guard(params, 128, 0.0);
+  Tensor attacked = params;
+  attacked[5] = attacked[6];  // swap-in another in-range value
+  EXPECT_FALSE(guard.sanitize(attacked).alarm);
+}
+
+TEST(RangeGuard, PerGroupRangesAreIndependent) {
+  // Group 0 in [0, 1], group 1 in [10, 11]: a 10 inside group 0 must alarm.
+  Tensor params = Tensor::from_vector({0.0f, 1.0f, 10.0f, 11.0f});
+  const RangeGuard guard(params, 2, 0.0);
+  Tensor attacked = params;
+  attacked[1] = 10.0f;
+  EXPECT_TRUE(guard.sanitize(attacked).alarm);
+}
+
+TEST(RangeGuard, RejectsBadConfig) {
+  Tensor params = Tensor::from_vector({0.0f});
+  EXPECT_THROW(RangeGuard(params, 0), std::invalid_argument);
+  EXPECT_THROW(RangeGuard(params, 1, -0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsa::defense

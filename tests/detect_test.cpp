@@ -1,0 +1,79 @@
+// detect_test.cpp — the weight-audit detector.
+#include <gtest/gtest.h>
+
+#include "eval/detect.h"
+#include "tensor/ops.h"
+
+namespace fsa::eval {
+namespace {
+
+TEST(Audit, IdenticalTensorsScoreZero) {
+  Rng rng(1);
+  const Tensor w = Tensor::randn(Shape({512}), rng);
+  const AuditReport rep = audit_weights(w, w);
+  EXPECT_EQ(rep.changed_fraction, 0.0);
+  EXPECT_EQ(rep.max_abs_change, 0.0);
+  EXPECT_EQ(rep.mean_shift, 0.0);
+  EXPECT_DOUBLE_EQ(rep.std_ratio, 1.0);
+  EXPECT_EQ(rep.ks_statistic, 0.0);
+  EXPECT_EQ(anomaly_score(rep), 0.0);
+}
+
+TEST(Audit, SingleHugeChangeIsLoud) {
+  Rng rng(2);
+  const Tensor before = Tensor::randn(Shape({512}), rng, 0.0f, 0.1f);
+  Tensor after = before;
+  after[7] += 5.0f;
+  const AuditReport rep = audit_weights(before, after);
+  EXPECT_NEAR(rep.changed_fraction, 1.0 / 512.0, 1e-9);
+  EXPECT_NEAR(rep.max_abs_change, 5.0, 1e-5);
+  EXPECT_GE(anomaly_score(rep), 1.0);  // max-magnitude channel saturates
+}
+
+TEST(Audit, ManyTinyChangesShowInChangedFraction) {
+  Rng rng(3);
+  const Tensor before = Tensor::randn(Shape({1000}), rng, 0.0f, 0.1f);
+  Tensor after = before;
+  for (std::size_t i = 0; i < after.size(); ++i) after[i] += 1e-4f;
+  const AuditReport rep = audit_weights(before, after);
+  EXPECT_DOUBLE_EQ(rep.changed_fraction, 1.0);
+  EXPECT_LT(rep.max_abs_change, 1e-3);
+  EXPECT_GE(anomaly_score(rep), 1.0);  // hash-style audit catches it
+}
+
+TEST(Audit, MeanShiftDetected) {
+  Rng rng(4);
+  const Tensor before = Tensor::randn(Shape({2000}), rng, 0.0f, 0.1f);
+  Tensor after = before;
+  for (auto& v : after.span()) v += 0.2f;
+  const AuditReport rep = audit_weights(before, after);
+  EXPECT_NEAR(rep.mean_shift, 0.2, 1e-3);
+  EXPECT_GT(rep.ks_statistic, 0.5);
+}
+
+TEST(Audit, KsZeroForPermutation) {
+  // A permutation of the same values is distribution-identical: KS = 0
+  // even though every position changed — the audit channels are distinct.
+  const Tensor before = Tensor::from_vector({1, 2, 3, 4, 5, 6});
+  const Tensor after = Tensor::from_vector({6, 5, 4, 3, 2, 1});
+  const AuditReport rep = audit_weights(before, after);
+  EXPECT_EQ(rep.ks_statistic, 0.0);
+  EXPECT_EQ(rep.changed_fraction, 1.0);
+}
+
+TEST(Audit, ShapeMismatchThrows) {
+  EXPECT_THROW(audit_weights(Tensor(Shape({2})), Tensor(Shape({3}))), std::invalid_argument);
+}
+
+TEST(Audit, ScoreMonotoneInMagnitude) {
+  Rng rng(5);
+  const Tensor before = Tensor::randn(Shape({256}), rng, 0.0f, 0.1f);
+  Tensor small = before, large = before;
+  small[0] += 0.3f;
+  large[0] += 1.4f;
+  EXPECT_LT(anomaly_score(audit_weights(before, small)),
+            anomaly_score(audit_weights(before, large)));
+}
+
+}  // namespace
+}  // namespace fsa::eval

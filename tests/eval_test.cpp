@@ -1,0 +1,72 @@
+// eval_test.cpp — table formatting helpers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "eval/stopwatch.h"
+#include "eval/table.h"
+
+namespace fsa::eval {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(0.987654, 3), "0.988");
+  EXPECT_EQ(fmt(1.0, 1), "1.0");
+  EXPECT_EQ(fmt(-2.5, 0), "-2");
+}
+
+TEST(Pct, OneDecimalPercent) {
+  EXPECT_EQ(pct(0.995), "99.5%");
+  EXPECT_EQ(pct(0.0), "0.0%");
+  EXPECT_EQ(pct(1.0), "100.0%");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("demo");
+  t.header({"name", "value"}).row({"alpha", "1"}).row({"beta", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("| beta "), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t("ragged");
+  t.header({"a", "b", "c"}).row({"only-one"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t("csv");
+  t.header({"s", "r", "l0"}).row({"1", "10", "42"});
+  EXPECT_EQ(t.csv(), "s,r,l0\n1,10,42\n");
+}
+
+TEST(Table, WriteCsvCreatesFile) {
+  Table t("file");
+  t.header({"x"}).row({"7"});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fsa_eval_table.csv").string();
+  t.write_csv(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+  std::filesystem::remove(path);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  const double a = sw.seconds();
+  EXPECT_GE(a, 0.0);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+  EXPECT_LT(sw.seconds(), 5.0);
+}
+
+}  // namespace
+}  // namespace fsa::eval

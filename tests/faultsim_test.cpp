@@ -1,0 +1,189 @@
+// faultsim_test.cpp — memory layout, bit-flip planning, campaign models.
+#include <gtest/gtest.h>
+
+#include "faultsim/campaign.h"
+#include "tensor/ops.h"
+
+namespace fsa::faultsim {
+namespace {
+
+TEST(MemoryLayout, AddressesAreContiguousFloats) {
+  MemoryLayout layout;
+  EXPECT_EQ(layout.address_of(0), layout.base_address);
+  EXPECT_EQ(layout.address_of(1), layout.base_address + 4);
+  EXPECT_EQ(layout.address_of(100), layout.base_address + 400);
+  EXPECT_THROW(layout.address_of(-1), std::invalid_argument);
+}
+
+TEST(MemoryLayout, RowBoundaries) {
+  MemoryLayout layout;
+  layout.base_address = 0;
+  layout.row_bytes = 16;  // 4 floats per row
+  EXPECT_EQ(layout.row_of(0), 0u);
+  EXPECT_EQ(layout.row_of(3), 0u);
+  EXPECT_EQ(layout.row_of(4), 1u);
+}
+
+TEST(FloatBits, RoundTripAndKnownPatterns) {
+  EXPECT_EQ(float_bits(0.0f), 0u);
+  EXPECT_EQ(float_bits(1.0f), 0x3F800000u);
+  EXPECT_EQ(float_bits(-2.0f), 0xC0000000u);
+  for (float v : {0.5f, -3.25f, 1e-10f, 1e10f}) EXPECT_EQ(bits_to_float(float_bits(v)), v);
+}
+
+TEST(BitFlipPlan, ZeroDeltaNeedsNothing) {
+  const Tensor theta0 = Tensor::from_vector({1.0f, 2.0f, 3.0f});
+  const Tensor delta = Tensor::zeros(Shape({3}));
+  const BitFlipPlan plan = plan_bit_flips(theta0, delta, MemoryLayout{});
+  EXPECT_EQ(plan.params_modified, 0);
+  EXPECT_EQ(plan.total_bit_flips, 0);
+  EXPECT_EQ(plan.rows_touched, 0);
+}
+
+TEST(BitFlipPlan, SignFlipIsOneBit) {
+  const Tensor theta0 = Tensor::from_vector({1.5f});
+  const Tensor delta = Tensor::from_vector({-3.0f});  // 1.5 → −1.5
+  const BitFlipPlan plan = plan_bit_flips(theta0, delta, MemoryLayout{});
+  ASSERT_EQ(plan.params_modified, 1);
+  EXPECT_EQ(plan.total_bit_flips, 1);
+  EXPECT_EQ(plan.sign_bit_flips, 1);
+  EXPECT_EQ(plan.exponent_bit_flips, 0);
+  EXPECT_EQ(plan.mantissa_bit_flips, 0);
+}
+
+TEST(BitFlipPlan, DoublingTwoIsOneExponentBit) {
+  // 2.0 (exp 128 = 1000'0000) → 4.0 (exp 129 = 1000'0001): one bit.
+  const Tensor theta0 = Tensor::from_vector({2.0f});
+  const Tensor delta = Tensor::from_vector({2.0f});
+  const BitFlipPlan plan = plan_bit_flips(theta0, delta, MemoryLayout{});
+  EXPECT_EQ(plan.total_bit_flips, 1);
+  EXPECT_EQ(plan.exponent_bit_flips, 1);
+}
+
+TEST(BitFlipPlan, DoublingOneCrossesExponentCarry) {
+  // 1.0 (exp 127 = 0111'1111) → 2.0 (exp 128 = 1000'0000): all 8 bits flip —
+  // the carry effect that makes some "small" float changes expensive.
+  const Tensor theta0 = Tensor::from_vector({1.0f});
+  const Tensor delta = Tensor::from_vector({1.0f});
+  const BitFlipPlan plan = plan_bit_flips(theta0, delta, MemoryLayout{});
+  EXPECT_EQ(plan.exponent_bit_flips, 8);
+}
+
+TEST(BitFlipPlan, CountsMatchPopcount) {
+  Rng rng(1);
+  const Tensor theta0 = Tensor::randn(Shape({128}), rng);
+  Tensor delta = Tensor::zeros(Shape({128}));
+  Rng drng(2);
+  for (std::size_t i = 0; i < delta.size(); i += 3)
+    delta[i] = static_cast<float>(drng.normal(0.0, 0.5));
+  const BitFlipPlan plan = plan_bit_flips(theta0, delta, MemoryLayout{});
+  std::int64_t sum = 0;
+  for (const auto& f : plan.flips) {
+    EXPECT_EQ(f.bit_count, std::popcount(f.xor_mask));
+    EXPECT_EQ(f.bit_count,
+              plan.sign_bit_flips == 0 ? f.bit_count : f.bit_count);  // structural sanity
+    sum += f.bit_count;
+  }
+  EXPECT_EQ(sum, plan.total_bit_flips);
+  EXPECT_EQ(plan.sign_bit_flips + plan.exponent_bit_flips + plan.mantissa_bit_flips,
+            plan.total_bit_flips);
+  EXPECT_LE(plan.params_modified, ops::l0_norm(delta));
+}
+
+TEST(BitFlipPlan, TinyDeltaThatDoesNotChangeStoredFloatIsDropped) {
+  const Tensor theta0 = Tensor::from_vector({1.0e8f});
+  const Tensor delta = Tensor::from_vector({1.0f});  // below float32 resolution at 1e8
+  const BitFlipPlan plan = plan_bit_flips(theta0, delta, MemoryLayout{});
+  EXPECT_EQ(plan.params_modified, 0);
+}
+
+TEST(BitFlipPlan, RowsTouchedRespectsLayout) {
+  MemoryLayout layout;
+  layout.base_address = 0;
+  layout.row_bytes = 8;  // 2 floats per row
+  const Tensor theta0 = Tensor::zeros(Shape({6}));
+  Tensor delta = Tensor::zeros(Shape({6}));
+  delta[0] = 1.0f;  // row 0
+  delta[1] = 1.0f;  // row 0
+  delta[4] = 1.0f;  // row 2
+  const BitFlipPlan plan = plan_bit_flips(theta0, delta, layout);
+  EXPECT_EQ(plan.rows_touched, 2);
+}
+
+TEST(BitFlipPlan, ShapeMismatchThrows) {
+  EXPECT_THROW(plan_bit_flips(Tensor(Shape({2})), Tensor(Shape({3})), MemoryLayout{}),
+               std::invalid_argument);
+}
+
+BitFlipPlan small_plan(std::int64_t params, std::uint64_t seed) {
+  Rng rng(seed);
+  const Tensor theta0 = Tensor::randn(Shape({params}), rng);
+  Tensor delta = Tensor::zeros(Shape({params}));
+  for (std::size_t i = 0; i < delta.size(); ++i)
+    delta[i] = static_cast<float>(rng.normal(0.0, 0.3));
+  return plan_bit_flips(theta0, delta, MemoryLayout{});
+}
+
+TEST(RowHammer, DeterministicGivenSeed) {
+  const BitFlipPlan plan = small_plan(32, 3);
+  Rng r1(7), r2(7);
+  const CampaignReport a = simulate_rowhammer(plan, RowHammerParams{}, MemoryLayout{}, r1);
+  const CampaignReport b = simulate_rowhammer(plan, RowHammerParams{}, MemoryLayout{}, r2);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.hammer_attempts, b.hammer_attempts);
+  EXPECT_EQ(a.massages, b.massages);
+}
+
+TEST(RowHammer, TimeGrowsWithBits) {
+  const BitFlipPlan small = small_plan(8, 4);
+  const BitFlipPlan large = small_plan(256, 4);
+  Rng r1(9), r2(9);
+  const CampaignReport a = simulate_rowhammer(small, RowHammerParams{}, MemoryLayout{}, r1);
+  const CampaignReport b = simulate_rowhammer(large, RowHammerParams{}, MemoryLayout{}, r2);
+  EXPECT_LT(a.seconds, b.seconds);
+}
+
+TEST(RowHammer, PerfectInjectorNeedsNoMassaging) {
+  const BitFlipPlan plan = small_plan(16, 5);
+  RowHammerParams params;
+  params.vulnerable_frac = 1.0;
+  params.flip_success_prob = 1.0;
+  Rng rng(11);
+  const CampaignReport rep = simulate_rowhammer(plan, params, MemoryLayout{}, rng);
+  EXPECT_TRUE(rep.success);
+  EXPECT_EQ(rep.massages, 0);
+  EXPECT_EQ(rep.bits_flipped, plan.total_bit_flips);
+  EXPECT_EQ(rep.hammer_attempts, plan.total_bit_flips);
+}
+
+TEST(RowHammer, HopelessInjectorFails) {
+  const BitFlipPlan plan = small_plan(4, 6);
+  RowHammerParams params;
+  params.flip_success_prob = 0.0;
+  params.max_attempts_per_bit = 3;
+  Rng rng(12);
+  const CampaignReport rep = simulate_rowhammer(plan, params, MemoryLayout{}, rng);
+  EXPECT_FALSE(rep.success);
+  EXPECT_EQ(rep.bits_flipped, 0);
+}
+
+TEST(Laser, CostLinearInTargets) {
+  const BitFlipPlan one = small_plan(2, 7);
+  const BitFlipPlan many = small_plan(64, 7);
+  const CampaignReport a = simulate_laser(one, LaserParams{}, MemoryLayout{});
+  const CampaignReport b = simulate_laser(many, LaserParams{}, MemoryLayout{});
+  EXPECT_TRUE(a.success);
+  EXPECT_TRUE(b.success);
+  EXPECT_LT(a.seconds, b.seconds);
+  EXPECT_EQ(b.bits_flipped, many.total_bit_flips);
+}
+
+TEST(Laser, EmptyPlanIsFree) {
+  BitFlipPlan empty;
+  const CampaignReport rep = simulate_laser(empty, LaserParams{}, MemoryLayout{});
+  EXPECT_TRUE(rep.success);
+  EXPECT_EQ(rep.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace fsa::faultsim

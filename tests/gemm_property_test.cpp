@@ -1,0 +1,92 @@
+// gemm_property_test.cpp — algebraic identities of the GEMM kernels over a
+// shape sweep. These hold exactly in exact arithmetic; in float32 we check
+// them to a norm-scaled tolerance. They pin down the kernel family against
+// each other (matmul / matmul_tn / matmul_nt share no code path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace fsa::ops {
+namespace {
+
+struct GemmCase {
+  std::int64_t m, k, n;
+  std::uint64_t seed;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {
+ protected:
+  Tensor A, B, C;
+
+  void SetUp() override {
+    const auto p = GetParam();
+    Rng rng(p.seed);
+    A = Tensor::randn(Shape({p.m, p.k}), rng);
+    B = Tensor::randn(Shape({p.k, p.n}), rng);
+    C = Tensor::randn(Shape({p.k, p.n}), rng);
+  }
+
+  static double rel_err(const Tensor& got, const Tensor& want) {
+    double num = 0.0, den = 1e-12;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      num += std::fabs(static_cast<double>(got[i]) - want[i]);
+      den += std::fabs(want[i]);
+    }
+    return num / den;
+  }
+};
+
+TEST_P(GemmSweep, RightDistributivity) {
+  // A(B + C) = AB + AC.
+  const Tensor lhs = matmul(A, add(B, C));
+  const Tensor rhs = add(matmul(A, B), matmul(A, C));
+  EXPECT_LT(rel_err(lhs, rhs), 1e-4);
+}
+
+TEST_P(GemmSweep, ScalarCommutes) {
+  // (sA)B = s(AB).
+  const Tensor lhs = matmul(scale(A, 2.5f), B);
+  const Tensor rhs = scale(matmul(A, B), 2.5f);
+  EXPECT_LT(rel_err(lhs, rhs), 1e-4);
+}
+
+TEST_P(GemmSweep, TnAgreesWithExplicitTranspose) {
+  const Tensor at = transpose2d(A);  // [k, m]
+  const Tensor lhs = matmul_tn(at, B);  // (atᵀ)B = AB
+  const Tensor rhs = matmul(A, B);
+  EXPECT_LT(rel_err(lhs, rhs), 1e-4);
+}
+
+TEST_P(GemmSweep, NtAgreesWithExplicitTranspose) {
+  const Tensor bt = transpose2d(B);  // [n, k]
+  const Tensor lhs = matmul_nt(A, bt);  // A(btᵀ) = AB
+  const Tensor rhs = matmul(A, B);
+  EXPECT_LT(rel_err(lhs, rhs), 1e-4);
+}
+
+TEST_P(GemmSweep, TraceIdentity) {
+  // ⟨AB, D⟩ = ⟨A, DBᵀ⟩ for any D of the output shape — the adjoint identity
+  // the Dense backward pass is built on.
+  const auto p = GetParam();
+  Rng rng(p.seed + 99);
+  const Tensor D = Tensor::randn(Shape({p.m, p.n}), rng);
+  const double lhs = dot(matmul(A, B), D);
+  const double rhs = dot(A, matmul_nt(D, B));
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (std::fabs(lhs) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmCase{1, 1, 1, 1}, GemmCase{1, 64, 1, 2}, GemmCase{7, 3, 5, 3},
+                      GemmCase{16, 16, 16, 4}, GemmCase{33, 17, 9, 5}, GemmCase{2, 200, 10, 6},
+                      GemmCase{64, 9, 32, 7}, GemmCase{100, 1024, 3, 8}),
+    [](const ::testing::TestParamInfo<GemmCase>& info) {
+      const auto& p = info.param;
+      return "m" + std::to_string(p.m) + "_k" + std::to_string(p.k) + "_n" +
+             std::to_string(p.n);
+    });
+
+}  // namespace
+}  // namespace fsa::ops

@@ -1,0 +1,197 @@
+// margin_loss_test.cpp — the paper's g function and its logits gradient.
+#include <gtest/gtest.h>
+
+#include "core/margin_loss.h"
+
+namespace fsa::core {
+namespace {
+
+AttackSpec spec_with(Tensor features, std::vector<std::int64_t> labels, std::int64_t s) {
+  AttackSpec spec;
+  spec.features = std::move(features);
+  spec.labels = std::move(labels);
+  spec.S = s;
+  return spec;
+}
+
+TEST(MarginLoss, SatisfiedImageContributesZero) {
+  // One image, target label 1, logit 1 leads by 3 → g = 0, no gradient.
+  Tensor logits(Shape({1, 3}));
+  logits.at2(0, 1) = 3.0f;
+  const auto spec = spec_with(Tensor(Shape({1, 2})), {1}, 1);
+  const MarginEval e = eval_margin(logits, spec);
+  EXPECT_DOUBLE_EQ(e.total_g, 0.0);
+  EXPECT_EQ(e.targets_hit, 1);
+  for (std::size_t i = 0; i < e.grad_logits.size(); ++i) EXPECT_EQ(e.grad_logits[i], 0.0f);
+  EXPECT_NEAR(e.margins[0], -3.0, 1e-6);
+}
+
+TEST(MarginLoss, ViolatedImageGetsHingeAndGradient) {
+  // Target 2 but logit 0 leads by 5 → g = 5, grad +1 at j*=0, −1 at t=2.
+  Tensor logits(Shape({1, 3}));
+  logits.at2(0, 0) = 5.0f;
+  const auto spec = spec_with(Tensor(Shape({1, 2})), {2}, 1);
+  const MarginEval e = eval_margin(logits, spec);
+  EXPECT_DOUBLE_EQ(e.total_g, 5.0);
+  EXPECT_EQ(e.targets_hit, 0);
+  EXPECT_FLOAT_EQ(e.grad_logits.at2(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(e.grad_logits.at2(0, 2), -1.0f);
+  EXPECT_FLOAT_EQ(e.grad_logits.at2(0, 1), 0.0f);
+}
+
+TEST(MarginLoss, PerImageWeightsScaleLossAndGrad) {
+  Tensor logits(Shape({1, 2}));
+  logits.at2(0, 0) = 2.0f;  // label 1 loses by 2
+  auto spec = spec_with(Tensor(Shape({1, 2})), {1}, 1);
+  spec.c = {3.0};
+  const MarginEval e = eval_margin(logits, spec);
+  EXPECT_DOUBLE_EQ(e.total_g, 6.0);
+  EXPECT_FLOAT_EQ(e.grad_logits.at2(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(e.grad_logits.at2(0, 1), -3.0f);
+}
+
+TEST(MarginLoss, KappaDemandsConfidence) {
+  // Label leads by 0.5; with kappa=1 the hinge is still active.
+  Tensor logits(Shape({1, 2}));
+  logits.at2(0, 1) = 0.5f;
+  const auto spec = spec_with(Tensor(Shape({1, 2})), {1}, 1);
+  const MarginEval relaxed = eval_margin(logits, spec, 0.0);
+  EXPECT_DOUBLE_EQ(relaxed.total_g, 0.0);
+  const MarginEval strict = eval_margin(logits, spec, 1.0);
+  EXPECT_NEAR(strict.total_g, 0.5, 1e-6);
+  // But argmax-level success still counts under kappa.
+  EXPECT_EQ(strict.targets_hit, 1);
+}
+
+TEST(MarginLoss, SplitsTargetsAndMaintained) {
+  // 3 images, S = 1: image 0 should be class 1 (it is), images 1-2 should
+  // keep class 0 (image 2 does not).
+  Tensor logits(Shape({3, 2}));
+  logits.at2(0, 1) = 1.0f;   // hit
+  logits.at2(1, 0) = 1.0f;   // maintained
+  logits.at2(2, 1) = 1.0f;   // drifted
+  const auto spec = spec_with(Tensor(Shape({3, 2})), {1, 0, 0}, 1);
+  const MarginEval e = eval_margin(logits, spec);
+  EXPECT_EQ(e.targets_hit, 1);
+  EXPECT_EQ(e.maintained, 1);
+  const auto [hit, kept] = count_satisfied(logits, spec);
+  EXPECT_EQ(hit, 1);
+  EXPECT_EQ(kept, 1);
+}
+
+TEST(MarginLoss, GradMatchesFiniteDifferenceOfHinge) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn(Shape({4, 5}), rng);
+  auto spec = spec_with(Tensor(Shape({4, 2})), {1, 2, 3, 0}, 2);
+  spec.c = {1.5, 0.5, 2.0, 1.0};
+  const MarginEval e = eval_margin(logits, spec);
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor plus = logits, minus = logits;
+    plus[static_cast<std::size_t>(i)] += static_cast<float>(eps);
+    minus[static_cast<std::size_t>(i)] -= static_cast<float>(eps);
+    const double fd =
+        (eval_margin(plus, spec).total_g - eval_margin(minus, spec).total_g) / (2 * eps);
+    EXPECT_NEAR(e.grad_logits[static_cast<std::size_t>(i)], fd, 5e-3) << "logit " << i;
+  }
+}
+
+TEST(MarginLoss, AnchorWeightScalesOnlyMaintainRows) {
+  // 2 images, S = 1: both violated. The fault row keeps full weight; the
+  // maintain row is damped by anchor_weight.
+  Tensor logits(Shape({2, 2}));
+  logits.at2(0, 0) = 2.0f;  // fault wants label 1, loses by 2
+  logits.at2(1, 1) = 3.0f;  // anchor wants label 0, loses by 3
+  const auto spec = spec_with(Tensor(Shape({2, 2})), {1, 0}, 1);
+  const MarginEval full = eval_margin(logits, spec, 0.0, 1.0);
+  const MarginEval damped = eval_margin(logits, spec, 0.0, 0.1);
+  EXPECT_DOUBLE_EQ(full.total_g, 2.0 + 3.0);
+  EXPECT_NEAR(damped.total_g, 2.0 + 0.3, 1e-9);
+  // Fault-row gradient unchanged, anchor-row gradient scaled.
+  EXPECT_FLOAT_EQ(damped.grad_logits.at2(0, 0), full.grad_logits.at2(0, 0));
+  EXPECT_NEAR(damped.grad_logits.at2(1, 1), 0.1f * full.grad_logits.at2(1, 1), 1e-6f);
+  // Satisfaction counts are weight-independent.
+  EXPECT_EQ(damped.targets_hit, full.targets_hit);
+  EXPECT_EQ(damped.maintained, full.maintained);
+}
+
+TEST(MarginLoss, AnchorWeightComposesWithPerImageC) {
+  Tensor logits(Shape({2, 2}));
+  logits.at2(0, 0) = 1.0f;
+  logits.at2(1, 1) = 1.0f;
+  auto spec = spec_with(Tensor(Shape({2, 2})), {1, 0}, 1);
+  spec.c = {2.0, 4.0};
+  const MarginEval e = eval_margin(logits, spec, 0.0, 0.5);
+  // fault: 2.0·1 ·margin(1) + anchor: 4.0·0.5 ·margin(1).
+  EXPECT_DOUBLE_EQ(e.total_g, 2.0 + 2.0);
+}
+
+TEST(MarginLoss, ShapeMismatchThrows) {
+  const auto spec = spec_with(Tensor(Shape({2, 3})), {0, 1}, 1);
+  EXPECT_THROW(eval_margin(Tensor(Shape({3, 3})), spec), std::invalid_argument);
+}
+
+TEST(AttackSpecValidate, CatchesBadInstances) {
+  AttackSpec spec;
+  spec.features = Tensor(Shape({2, 4}));
+  spec.labels = {0, 1};
+  spec.S = 1;
+  EXPECT_NO_THROW(spec.validate(10));
+  spec.S = 3;
+  EXPECT_THROW(spec.validate(10), std::invalid_argument);
+  spec.S = 1;
+  spec.labels = {0, 11};
+  EXPECT_THROW(spec.validate(10), std::invalid_argument);
+  spec.labels = {0};
+  EXPECT_THROW(spec.validate(10), std::invalid_argument);
+}
+
+TEST(MakeSpec, SelectsCorrectlyClassifiedAndAssignsTargets) {
+  // 6 pool images, 2 misclassified; ask for R=4, S=2.
+  Tensor feats(Shape({6, 3}));
+  for (std::int64_t i = 0; i < 18; ++i) feats[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  const std::vector<std::int64_t> labels = {0, 1, 2, 3, 4, 5};
+  const std::vector<std::int64_t> preds = {0, 9, 2, 3, 9, 5};  // 1 and 4 wrong
+  const AttackSpec spec = make_spec(feats, labels, preds, 2, 4, 10, 7);
+  EXPECT_EQ(spec.R(), 4);
+  EXPECT_EQ(spec.S, 2);
+  // Fault targets differ from the (correct) predictions.
+  // We can't know which images were picked, but every label must be valid
+  // and the maintained labels must be one of the correct classes.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(spec.labels[i], 0);
+    EXPECT_LT(spec.labels[i], 10);
+  }
+}
+
+TEST(MakeSpec, NextLabelPolicyIsDeterministic) {
+  Tensor feats(Shape({3, 2}));
+  const std::vector<std::int64_t> labels = {4, 5, 6};
+  const std::vector<std::int64_t> preds = {4, 5, 6};
+  const AttackSpec a = make_spec(feats, labels, preds, 3, 3, 10, 1, TargetPolicy::kNextLabel);
+  for (std::size_t i = 0; i < 3; ++i) {
+    // Target must be (pred+1)%10 of whichever image landed in slot i.
+    EXPECT_TRUE(a.labels[i] == 5 || a.labels[i] == 6 || a.labels[i] == 7);
+  }
+}
+
+TEST(MakeSpec, InsufficientPoolThrows) {
+  Tensor feats(Shape({3, 2}));
+  const std::vector<std::int64_t> labels = {0, 1, 2};
+  const std::vector<std::int64_t> preds = {0, 9, 9};  // only 1 correct
+  EXPECT_THROW(make_spec(feats, labels, preds, 1, 2, 10, 1), std::runtime_error);
+}
+
+TEST(MakeSpec, SeedChangesSelection) {
+  Tensor feats(Shape({40, 2}));
+  Rng rng(9);
+  feats = Tensor::randn(Shape({40, 2}), rng);
+  std::vector<std::int64_t> labels(40, 3);
+  std::vector<std::int64_t> preds(40, 3);
+  const AttackSpec a = make_spec(feats, labels, preds, 1, 5, 10, 1);
+  const AttackSpec b = make_spec(feats, labels, preds, 1, 5, 10, 2);
+  EXPECT_NE(a.features, b.features);
+}
+
+}  // namespace
+}  // namespace fsa::core

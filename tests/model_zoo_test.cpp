@@ -1,0 +1,89 @@
+// model_zoo_test.cpp — the train-once/cache-forever contract, exercised
+// with a deliberately tiny configuration so it runs in seconds.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "models/model_zoo.h"
+#include "optim/trainer.h"
+
+namespace fsa::models {
+namespace {
+
+ZooConfig tiny_config(const std::string& dir) {
+  ZooConfig cfg;
+  cfg.cache_dir = dir;
+  cfg.train_count = 120;
+  cfg.test_count = 60;
+  cfg.pool_count = 60;
+  cfg.digits_epochs = 1;
+  cfg.objects_epochs = 1;
+  cfg.verbose = false;
+  return cfg;
+}
+
+std::string temp_dir() {
+  const auto dir = std::filesystem::temp_directory_path() / "fsa_zoo_test";
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(ModelZoo, TrainsCachesAndReloadsIdentically) {
+  const std::string dir = temp_dir();
+  double first_acc = 0.0;
+  std::vector<Tensor> first_params;
+  {
+    ModelZoo zoo(tiny_config(dir));
+    ZooModel& m = zoo.digits();
+    EXPECT_EQ(m.name, "digits");
+    EXPECT_EQ(m.train.size(), 120);
+    EXPECT_EQ(m.test.size(), 60);
+    EXPECT_EQ(m.attack_pool.size(), 60);
+    first_acc = m.test_accuracy;
+    for (auto* p : m.net.params()) first_params.push_back(p->value());
+    EXPECT_TRUE(std::filesystem::exists(dir + "/digits_cwnet.bin"));
+  }
+  {
+    // Second zoo must LOAD (bit-identical parameters, same accuracy).
+    ModelZoo zoo(tiny_config(dir));
+    ZooModel& m = zoo.digits();
+    EXPECT_DOUBLE_EQ(m.test_accuracy, first_acc);
+    const auto params = m.net.params();
+    ASSERT_EQ(params.size(), first_params.size());
+    for (std::size_t i = 0; i < params.size(); ++i)
+      EXPECT_EQ(params[i]->value(), first_params[i]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelZoo, DatasetsAreDisjointAcrossRoles) {
+  const std::string dir = temp_dir();
+  ModelZoo zoo(tiny_config(dir));
+  ZooModel& m = zoo.digits();
+  // Different seeds → the three image sets must differ.
+  EXPECT_NE(m.train.images(), m.test.images().slice0(0, m.test.size()).reshape(
+                                   m.test.images().shape()));
+  EXPECT_NE(m.test.images(), m.attack_pool.images());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelZoo, SameInstanceIsMemoized) {
+  const std::string dir = temp_dir();
+  ModelZoo zoo(tiny_config(dir));
+  ZooModel& a = zoo.digits();
+  ZooModel& b = zoo.digits();
+  EXPECT_EQ(&a, &b);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DefaultCacheDir, HonorsEnvironment) {
+  // Without the env var → the documented default.
+  unsetenv("FSA_CACHE_DIR");
+  EXPECT_EQ(default_cache_dir(), ".fsa_cache");
+  setenv("FSA_CACHE_DIR", "/tmp/fsa_custom_cache", 1);
+  EXPECT_EQ(default_cache_dir(), "/tmp/fsa_custom_cache");
+  unsetenv("FSA_CACHE_DIR");
+}
+
+}  // namespace
+}  // namespace fsa::models

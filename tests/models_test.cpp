@@ -1,0 +1,132 @@
+// models_test.cpp — the C&W architecture and the feature cache.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "models/cw_net.h"
+#include "models/feature_cache.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace fsa::models {
+namespace {
+
+TEST(CwNet, Fc1InputWidthMatchesGeometry) {
+  CwNetConfig mnist;
+  EXPECT_EQ(cw_fc1_inputs(mnist), 1024);  // 64·4·4 for 28×28
+  CwNetConfig cifar;
+  cifar.in_channels = 3;
+  cifar.side = 32;
+  EXPECT_EQ(cw_fc1_inputs(cifar), 1600);  // 64·5·5 for 32×32
+}
+
+TEST(CwNet, OutputShapeIsLogits) {
+  CwNetConfig cfg;
+  nn::Sequential net = make_cw_net(cfg);
+  EXPECT_EQ(net.output_shape(Shape({3, 1, 28, 28})), Shape({3, 10}));
+}
+
+TEST(CwNet, LayerNamesAreStable) {
+  CwNetConfig cfg;
+  nn::Sequential net = make_cw_net(cfg);
+  EXPECT_NO_THROW(net.index_of("conv1"));
+  EXPECT_NO_THROW(net.index_of("pool2"));
+  EXPECT_NO_THROW(net.index_of("fc1"));
+  EXPECT_NO_THROW(net.index_of("fc3"));
+  EXPECT_EQ(net.index_of("fc3"), net.size() - 1);
+}
+
+TEST(CwNet, TotalParameterCount) {
+  // conv1: 1·3·3·32+32; conv2: 32·3·3·32+32; conv3: 32·3·3·64+64;
+  // conv4: 64·3·3·64+64; fc1: 1024·200+200; fc2: 200·200+200; fc3: 200·10+10.
+  CwNetConfig cfg;
+  nn::Sequential net = make_cw_net(cfg);
+  const std::int64_t expected = (288 + 32) + (9216 + 32) + (18432 + 64) + (36864 + 64) +
+                                205000 + 40200 + 2010;
+  EXPECT_EQ(net.param_count(), expected);
+}
+
+TEST(CwNet, ForwardRunsOnBothGeometries) {
+  CwNetConfig mnist;
+  nn::Sequential m = make_cw_net(mnist);
+  Rng rng(1);
+  EXPECT_EQ(m.forward(Tensor::randn(Shape({2, 1, 28, 28}), rng)).shape(), Shape({2, 10}));
+  CwNetConfig cifar;
+  cifar.in_channels = 3;
+  cifar.side = 32;
+  cifar.init_seed = 9;
+  nn::Sequential c = make_cw_net(cifar);
+  EXPECT_EQ(c.forward(Tensor::randn(Shape({2, 3, 32, 32}), rng)).shape(), Shape({2, 10}));
+}
+
+TEST(FeatureCache, CutPlusHeadEqualsFullForward) {
+  nn::Sequential net = testutil::make_blob_net(7);
+  Rng rng(2);
+  const Tensor images = Tensor::randn(Shape({5, 1, 1, testutil::kBlobDim}), rng);
+  const Tensor full = net.forward(images);
+  const std::size_t cut = net.index_of("fc2");
+  const Tensor feats = compute_features(net, cut, images, /*batch_size=*/2);
+  const Tensor resumed = net.forward_from(cut, feats);
+  ASSERT_EQ(resumed.shape(), full.shape());
+  for (std::size_t i = 0; i < full.size(); ++i) EXPECT_NEAR(resumed[i], full[i], 1e-5f);
+}
+
+TEST(FeatureCache, CutZeroReturnsImagesVerbatim) {
+  // A cut at layer 0 means the whole network is the head: the "features"
+  // are the raw images in their natural batch-first shape.
+  nn::Sequential net = testutil::make_blob_net(8);
+  Rng rng(3);
+  const Tensor images = Tensor::randn(Shape({4, 1, 1, testutil::kBlobDim}), rng);
+  const Tensor feats = compute_features(net, 0, images);
+  EXPECT_EQ(feats, images);
+}
+
+TEST(FeatureCache, DiskCacheRoundTrip) {
+  nn::Sequential net = testutil::make_blob_net(9);
+  Rng rng(4);
+  const Tensor images = Tensor::randn(Shape({6, 1, 1, testutil::kBlobDim}), rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fsa_featcache_test.bin").string();
+  std::filesystem::remove(path);
+  const std::size_t cut = net.index_of("fc2");
+  const Tensor first = cached_features(net, cut, images, path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  const Tensor second = cached_features(net, cut, images, path);
+  EXPECT_EQ(first, second);
+  std::filesystem::remove(path);
+}
+
+TEST(FeatureCache, HeadPredictionsMatchFullArgmax) {
+  nn::Sequential net = testutil::make_blob_net(10);
+  Rng rng(5);
+  const Tensor images = Tensor::randn(Shape({8, 1, 1, testutil::kBlobDim}), rng);
+  const std::size_t cut = net.index_of("fc2");
+  const Tensor feats = compute_features(net, cut, images);
+  const auto head = head_predictions(net, cut, feats);
+  const auto full = ops::argmax_rows(net.forward(images));
+  EXPECT_EQ(head, full);
+}
+
+TEST(FeatureCache, HeadAccuracyMatchesManual) {
+  const data::Dataset ds = testutil::make_blobs(100, 6);
+  nn::Sequential net = testutil::make_blob_net(11);
+  const std::size_t cut = net.index_of("fc2");
+  const Tensor feats = compute_features(net, cut, ds.images());
+  const double acc = head_accuracy(net, cut, feats, ds.labels());
+  const auto preds = head_predictions(net, cut, feats);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == ds.labels()[i]) ++correct;
+  EXPECT_NEAR(acc, static_cast<double>(correct) / 100.0, 1e-12);
+}
+
+TEST(FeatureCache, LabelMismatchThrows) {
+  nn::Sequential net = testutil::make_blob_net(12);
+  Rng rng(7);
+  const Tensor images = Tensor::randn(Shape({4, 1, 1, testutil::kBlobDim}), rng);
+  const Tensor feats = compute_features(net, net.index_of("fc2"), images);
+  EXPECT_THROW(head_accuracy(net, net.index_of("fc2"), feats, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsa::models

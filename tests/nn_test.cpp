@@ -1,0 +1,240 @@
+// nn_test.cpp — layer shape semantics, parameter wiring, Sequential.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+
+namespace fsa::nn {
+namespace {
+
+Rng make_rng() { return Rng(99); }
+
+TEST(Dense, ForwardMatchesHandComputation) {
+  Rng rng = make_rng();
+  Dense d("fc", 2, 3, rng);
+  // Overwrite with known values: W = [[1,2,3],[4,5,6]], b = [0.5, -0.5, 0].
+  d.weight().value() = Tensor::from_vector({1, 2, 3, 4, 5, 6}).reshape(Shape({2, 3}));
+  d.bias().value() = Tensor::from_vector({0.5f, -0.5f, 0.0f});
+  const Tensor x = Tensor::from_vector({1, 1}).reshape(Shape({1, 2}));
+  const Tensor y = d.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 5.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 6.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 2), 9.0f);
+}
+
+TEST(Dense, OutputShapeValidatesInput) {
+  Rng rng = make_rng();
+  Dense d("fc", 4, 2, rng);
+  EXPECT_EQ(d.output_shape(Shape({7, 4})), Shape({7, 2}));
+  EXPECT_THROW(d.output_shape(Shape({7, 5})), std::invalid_argument);
+  EXPECT_THROW(d.output_shape(Shape({7})), std::invalid_argument);
+}
+
+TEST(Dense, ParamsExposeWeightAndBiasKinds) {
+  Rng rng = make_rng();
+  Dense d("fc", 3, 2, rng);
+  auto ps = d.params();
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0]->kind(), Parameter::Kind::kWeight);
+  EXPECT_EQ(ps[1]->kind(), Parameter::Kind::kBias);
+  EXPECT_EQ(ps[0]->name(), "fc.weight");
+  EXPECT_EQ(ps[0]->numel(), 6);
+}
+
+TEST(Dense, GradAccumulatesAcrossBackwardCalls) {
+  Rng rng = make_rng();
+  Dense d("fc", 2, 2, rng);
+  const Tensor x = Tensor::ones(Shape({1, 2}));
+  const Tensor gy = Tensor::ones(Shape({1, 2}));
+  d.forward(x, true);
+  d.backward(gy);
+  const float first = d.weight().grad()[0];
+  d.forward(x, true);
+  d.backward(gy);
+  EXPECT_FLOAT_EQ(d.weight().grad()[0], 2.0f * first);
+  d.zero_grad();
+  EXPECT_FLOAT_EQ(d.weight().grad()[0], 0.0f);
+}
+
+TEST(Conv2D, OutputShapeValidConvolution) {
+  Rng rng = make_rng();
+  Conv2D c("conv", 1, 8, 3, rng);
+  EXPECT_EQ(c.output_shape(Shape({2, 1, 28, 28})), Shape({2, 8, 26, 26}));
+  EXPECT_THROW(c.output_shape(Shape({2, 3, 28, 28})), std::invalid_argument);
+}
+
+TEST(Conv2D, OutputShapeWithStrideAndPadding) {
+  Rng rng = make_rng();
+  Conv2D c("conv", 1, 4, 3, rng, /*stride=*/2, /*padding=*/1);
+  EXPECT_EQ(c.output_shape(Shape({1, 1, 8, 8})), Shape({1, 4, 4, 4}));
+}
+
+TEST(Conv2D, IdentityKernelReproducesInput) {
+  Rng rng = make_rng();
+  Conv2D c("conv", 1, 1, 1, rng);  // 1×1 kernel, 1 channel
+  c.params()[0]->value() = Tensor::ones(Shape({1, 1}));
+  c.params()[1]->value() = Tensor::zeros(Shape({1}));
+  Rng data_rng(3);
+  const Tensor x = Tensor::randn(Shape({2, 1, 5, 5}), data_rng);
+  const Tensor y = c.forward(x, false);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-6f);
+}
+
+TEST(Conv2D, AveragingKernelMatchesHand) {
+  Rng rng = make_rng();
+  Conv2D c("conv", 1, 1, 2, rng);
+  c.params()[0]->value() = Tensor::full(Shape({4, 1}), 0.25f);
+  c.params()[1]->value() = Tensor::zeros(Shape({1}));
+  const Tensor x = Tensor::from_vector({1, 2, 3, 4}).reshape(Shape({1, 1, 2, 2}));
+  const Tensor y = c.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(MaxPool, ForwardPicksWindowMaxima) {
+  MaxPool2D p("pool", 2);
+  const Tensor x =
+      Tensor::from_vector({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+          .reshape(Shape({1, 1, 4, 4}));
+  const Tensor y = p.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 0), 14.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 16.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  MaxPool2D p("pool", 2);
+  const Tensor x =
+      Tensor::from_vector({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+          .reshape(Shape({1, 1, 4, 4}));
+  p.forward(x, true);
+  const Tensor gy = Tensor::ones(Shape({1, 1, 2, 2}));
+  const Tensor gx = p.backward(gy);
+  // Only the four maxima (6, 8, 14, 16 at flat indices 5, 7, 13, 15) get grad.
+  EXPECT_FLOAT_EQ(gx[5], 1.0f);
+  EXPECT_FLOAT_EQ(gx[7], 1.0f);
+  EXPECT_FLOAT_EQ(gx[13], 1.0f);
+  EXPECT_FLOAT_EQ(gx[15], 1.0f);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_NEAR(ops::sum(gx), 4.0, 1e-6);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten f("flatten");
+  Rng rng(4);
+  const Tensor x = Tensor::randn(Shape({2, 3, 4, 5}), rng);
+  const Tensor y = f.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 60}));
+  const Tensor gx = f.backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(ReLULayer, ZeroesNegativePathGradients) {
+  ReLU r("relu");
+  const Tensor x = Tensor::from_vector({-1, 2, -3, 4}).reshape(Shape({1, 4}));
+  const Tensor y = r.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 2.0f);
+  const Tensor gx = r.backward(Tensor::ones(Shape({1, 4})));
+  EXPECT_FLOAT_EQ(gx.at2(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gx.at2(0, 1), 1.0f);
+}
+
+TEST(Sequential, IndexOfFindsLayers) {
+  Rng rng = make_rng();
+  Sequential net;
+  net.add(std::make_unique<Dense>("fc1", 4, 3, rng));
+  net.add(std::make_unique<ReLU>("relu1"));
+  net.add(std::make_unique<Dense>("fc2", 3, 2, rng));
+  EXPECT_EQ(net.index_of("fc2"), 2u);
+  EXPECT_THROW(net.index_of("nope"), std::out_of_range);
+}
+
+TEST(Sequential, ForwardFromSkipsPrefix) {
+  Rng rng = make_rng();
+  Sequential net;
+  net.add(std::make_unique<Dense>("fc1", 4, 3, rng));
+  net.add(std::make_unique<ReLU>("relu1"));
+  net.add(std::make_unique<Dense>("fc2", 3, 2, rng));
+  Rng data_rng(5);
+  const Tensor x = Tensor::randn(Shape({2, 4}), data_rng);
+  const Tensor full = net.forward(x);
+  // Manually compute the cut features and resume from layer 2.
+  Tensor mid = net.layer(0).forward(x, false);
+  mid = net.layer(1).forward(mid, false);
+  const Tensor resumed = net.forward_from(2, mid);
+  ASSERT_EQ(resumed.shape(), full.shape());
+  for (std::size_t i = 0; i < full.size(); ++i) EXPECT_NEAR(resumed[i], full[i], 1e-6f);
+}
+
+TEST(Sequential, ParamsFromRestrictsToSuffix) {
+  Rng rng = make_rng();
+  Sequential net;
+  net.add(std::make_unique<Dense>("fc1", 4, 3, rng));
+  net.add(std::make_unique<Dense>("fc2", 3, 2, rng));
+  EXPECT_EQ(net.params().size(), 4u);
+  EXPECT_EQ(net.params_from(1).size(), 2u);
+  EXPECT_EQ(net.params_from(1)[0]->name(), "fc2.weight");
+}
+
+TEST(Sequential, ParamCountMatchesArchitecture) {
+  Rng rng = make_rng();
+  Sequential net;
+  net.add(std::make_unique<Dense>("fc1", 10, 5, rng));
+  net.add(std::make_unique<Dense>("fc2", 5, 2, rng));
+  EXPECT_EQ(net.param_count(), 10 * 5 + 5 + 5 * 2 + 2);
+}
+
+TEST(Sequential, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fsa_seq_params.bin").string();
+  Rng rng = make_rng();
+  Sequential net;
+  net.add(std::make_unique<Dense>("fc1", 4, 3, rng));
+  net.add(std::make_unique<Dense>("fc2", 3, 2, rng));
+  net.save_params(path);
+
+  Rng rng2(7);
+  Sequential other;
+  other.add(std::make_unique<Dense>("fc1", 4, 3, rng2));
+  other.add(std::make_unique<Dense>("fc2", 3, 2, rng2));
+  other.load_params(path);
+  for (std::size_t i = 0; i < net.params().size(); ++i)
+    EXPECT_EQ(other.params()[i]->value(), net.params()[i]->value());
+  std::filesystem::remove(path);
+}
+
+TEST(Sequential, LoadRejectsWrongArchitecture) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fsa_seq_params2.bin").string();
+  Rng rng = make_rng();
+  Sequential net;
+  net.add(std::make_unique<Dense>("fc1", 4, 3, rng));
+  net.save_params(path);
+  Sequential other;
+  other.add(std::make_unique<Dense>("fc1", 5, 3, rng));
+  EXPECT_THROW(other.load_params(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Sequential, OutputShapePropagates) {
+  Rng rng = make_rng();
+  Sequential net;
+  net.add(std::make_unique<Conv2D>("conv", 1, 8, 3, rng));
+  net.add(std::make_unique<MaxPool2D>("pool", 2));
+  net.add(std::make_unique<Flatten>("flatten"));
+  net.add(std::make_unique<Dense>("fc", 8 * 13 * 13, 10, rng));
+  EXPECT_EQ(net.output_shape(Shape({4, 1, 28, 28})), Shape({4, 10}));
+}
+
+}  // namespace
+}  // namespace fsa::nn

@@ -1,0 +1,189 @@
+// ops_test.cpp — numeric kernels: GEMM identities, reductions, softmax.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace fsa {
+namespace {
+
+Tensor make_matrix(std::int64_t rows, std::int64_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn(Shape({rows, cols}), rng);
+}
+
+TEST(Matmul, KnownSmallProduct) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4}).reshape(Shape({2, 2}));
+  const Tensor b = Tensor::from_vector({5, 6, 7, 8}).reshape(Shape({2, 2}));
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  EXPECT_THROW(ops::matmul(Tensor(Shape({2, 3})), Tensor(Shape({4, 2}))), std::invalid_argument);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  const Tensor a = make_matrix(5, 5, 1);
+  Tensor eye(Shape({5, 5}));
+  for (std::int64_t i = 0; i < 5; ++i) eye.at2(i, i) = 1.0f;
+  const Tensor c = ops::matmul(a, eye);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(c[i], a[i], 1e-6f);
+}
+
+TEST(Matmul, TnMatchesExplicitTranspose) {
+  const Tensor a = make_matrix(7, 4, 2);
+  const Tensor b = make_matrix(7, 5, 3);
+  const Tensor expect = ops::matmul(ops::transpose2d(a), b);
+  const Tensor got = ops::matmul_tn(a, b);
+  ASSERT_EQ(got.shape(), expect.shape());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], expect[i], 1e-4f);
+}
+
+TEST(Matmul, NtMatchesExplicitTranspose) {
+  const Tensor a = make_matrix(6, 4, 4);
+  const Tensor b = make_matrix(5, 4, 5);
+  const Tensor expect = ops::matmul(a, ops::transpose2d(b));
+  const Tensor got = ops::matmul_nt(a, b);
+  ASSERT_EQ(got.shape(), expect.shape());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], expect[i], 1e-4f);
+}
+
+TEST(Transpose, RoundTrip) {
+  const Tensor a = make_matrix(3, 7, 6);
+  const Tensor tt = ops::transpose2d(ops::transpose2d(a));
+  EXPECT_EQ(tt, a);
+}
+
+TEST(Elementwise, AddSubMulScale) {
+  const Tensor a = Tensor::from_vector({1, -2, 3});
+  const Tensor b = Tensor::from_vector({4, 5, -6});
+  EXPECT_FLOAT_EQ(ops::add(a, b)[0], 5.0f);
+  EXPECT_FLOAT_EQ(ops::sub(a, b)[1], -7.0f);
+  EXPECT_FLOAT_EQ(ops::mul(a, b)[2], -18.0f);
+  EXPECT_FLOAT_EQ(ops::scale(a, -1.0f)[0], -1.0f);
+}
+
+TEST(Relu, ClampsNegatives) {
+  const Tensor a = Tensor::from_vector({-1, 0, 2});
+  const Tensor r = ops::relu(a);
+  EXPECT_FLOAT_EQ(r[0], 0.0f);
+  EXPECT_FLOAT_EQ(r[1], 0.0f);
+  EXPECT_FLOAT_EQ(r[2], 2.0f);
+  const Tensor m = ops::relu_mask(a);
+  EXPECT_FLOAT_EQ(m[0], 0.0f);
+  EXPECT_FLOAT_EQ(m[2], 1.0f);
+}
+
+TEST(AddRowBias, BroadcastsOverRows) {
+  Tensor m = Tensor::from_vector({1, 2, 3, 4}).reshape(Shape({2, 2}));
+  const Tensor bias = Tensor::from_vector({10, 20});
+  ops::add_row_bias(m, bias);
+  EXPECT_FLOAT_EQ(m.at2(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(m.at2(1, 1), 24.0f);
+}
+
+TEST(Reductions, SumMeanMaxAbs) {
+  const Tensor a = Tensor::from_vector({1, -5, 4});
+  EXPECT_DOUBLE_EQ(ops::sum(a), 0.0);
+  EXPECT_DOUBLE_EQ(ops::mean(a), 0.0);
+  EXPECT_FLOAT_EQ(ops::max_abs(a), 5.0f);
+}
+
+TEST(Argmax, FirstOnTies) {
+  const Tensor a = Tensor::from_vector({1, 3, 3, 2});
+  EXPECT_EQ(ops::argmax(a), 1);
+}
+
+TEST(ArgmaxRows, PerRow) {
+  const Tensor a = Tensor::from_vector({1, 9, 2, 8, 0, 3}).reshape(Shape({2, 3}));
+  const auto idx = ops::argmax_rows(a);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Norms, L0CountsAboveTolerance) {
+  const Tensor a = Tensor::from_vector({0.0f, 1e-9f, 0.5f, -2.0f});
+  EXPECT_EQ(ops::l0_norm(a), 2);
+  EXPECT_EQ(ops::l0_norm(a, 1.0f), 1);
+}
+
+TEST(Norms, L2MatchesHand) {
+  const Tensor a = Tensor::from_vector({3, 4});
+  EXPECT_NEAR(ops::l2_norm(a), 5.0, 1e-9);
+}
+
+TEST(Dot, MatchesHand) {
+  const Tensor a = Tensor::from_vector({1, 2, 3});
+  const Tensor b = Tensor::from_vector({4, 5, 6});
+  EXPECT_DOUBLE_EQ(ops::dot(a, b), 32.0);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  const Tensor logits = make_matrix(4, 10, 9);
+  const Tensor p = ops::softmax_rows(logits);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double s = 0.0;
+    for (std::int64_t c = 0; c < 10; ++c) s += p.at2(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  const Tensor logits = Tensor::from_vector({1000.0f, 1001.0f}).reshape(Shape({1, 2}));
+  const Tensor p = ops::softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZero) {
+  Tensor logits(Shape({1, 3}));
+  logits.at2(0, 1) = 100.0f;
+  EXPECT_NEAR(ops::cross_entropy(logits, {1}), 0.0, 1e-5);
+}
+
+TEST(CrossEntropy, GradSumsToZeroPerRow) {
+  const Tensor logits = make_matrix(3, 5, 11);
+  const Tensor g = ops::cross_entropy_grad(logits, {0, 1, 2});
+  for (std::int64_t r = 0; r < 3; ++r) {
+    double s = 0.0;
+    for (std::int64_t c = 0; c < 5; ++c) s += g.at2(r, c);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, GradMatchesFiniteDifference) {
+  Tensor logits = make_matrix(2, 4, 13);
+  const std::vector<std::int64_t> labels = {1, 3};
+  const Tensor g = ops::cross_entropy_grad(logits, labels);
+  // Loss is mean over rows, so grad entries are (p − onehot)/N.
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor plus = logits, minus = logits;
+    plus[static_cast<std::size_t>(i)] += static_cast<float>(eps);
+    minus[static_cast<std::size_t>(i)] -= static_cast<float>(eps);
+    const double fd =
+        (ops::cross_entropy(plus, labels) - ops::cross_entropy(minus, labels)) / (2 * eps);
+    EXPECT_NEAR(g[static_cast<std::size_t>(i)], fd, 5e-3);
+  }
+}
+
+TEST(MatmulAcc, SkipsZeroRowsCorrectly) {
+  // The GEMM has a fast path for zero entries of A; verify it is exact.
+  Tensor a(Shape({2, 3}));
+  a.at2(0, 1) = 2.0f;  // row 0 has one nonzero; row 1 all zero
+  const Tensor b = make_matrix(3, 4, 17);
+  const Tensor c = ops::matmul(a, b);
+  for (std::int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(c.at2(0, j), 2.0f * b.at2(1, j), 1e-6f);
+    EXPECT_EQ(c.at2(1, j), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace fsa

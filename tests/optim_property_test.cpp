@@ -1,0 +1,98 @@
+// optim_property_test.cpp — parameterized convergence sweep: every
+// optimizer config the trainer exposes must decrease a convex quadratic
+// and reach the optimum given enough steps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "optim/adam.h"
+#include "optim/sgd.h"
+
+namespace fsa::optim {
+namespace {
+
+struct OptCase {
+  enum class Kind { kSgd, kMomentum, kAdam } kind;
+  double lr;
+  std::int64_t steps;
+};
+
+class OptimizerSweep : public ::testing::TestWithParam<OptCase> {
+ protected:
+  /// Anisotropic quadratic ½ Σ wᵢ(xᵢ − tᵢ)²: harder than isotropic, with
+  /// per-coordinate curvature spread over two orders of magnitude.
+  struct Problem {
+    nn::Parameter x{"x", Tensor::full(Shape({8}), 4.0f), nn::Parameter::Kind::kWeight};
+    Tensor target = Tensor::from_vector({1, -1, 2, 0, -2, 3, 0.5f, -0.5f});
+    Tensor curvature = Tensor::from_vector({0.05f, 0.1f, 0.3f, 0.5f, 1.0f, 1.5f, 2.5f, 5.0f});
+
+    double loss_and_grad() {
+      x.zero_grad();
+      double loss = 0.0;
+      for (std::size_t i = 0; i < x.value().size(); ++i) {
+        const float e = x.value()[i] - target[i];
+        x.grad()[i] = curvature[i] * e;
+        loss += 0.5 * curvature[i] * e * e;
+      }
+      return loss;
+    }
+  };
+
+  std::unique_ptr<Optimizer> make(nn::Parameter* p) const {
+    switch (GetParam().kind) {
+      case OptCase::Kind::kSgd:
+        return std::make_unique<SGD>(std::vector<nn::Parameter*>{p}, GetParam().lr);
+      case OptCase::Kind::kMomentum:
+        return std::make_unique<SGD>(std::vector<nn::Parameter*>{p}, GetParam().lr, 0.9);
+      case OptCase::Kind::kAdam:
+        return std::make_unique<Adam>(std::vector<nn::Parameter*>{p}, GetParam().lr);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(OptimizerSweep, ReachesTheOptimum) {
+  Problem prob;
+  auto opt = make(&prob.x);
+  const double initial = prob.loss_and_grad();
+  for (std::int64_t i = 0; i < GetParam().steps; ++i) {
+    prob.loss_and_grad();
+    opt->step();
+  }
+  const double final = prob.loss_and_grad();
+  EXPECT_LT(final, initial * 1e-3) << "final loss " << final;
+}
+
+TEST_P(OptimizerSweep, LossIsEventuallyMonotone) {
+  // Allow transient overshoot (momentum/Adam) but demand that the loss at
+  // checkpoints k·steps/4 is non-increasing from the halfway point on.
+  Problem prob;
+  auto opt = make(&prob.x);
+  std::vector<double> checkpoints;
+  for (std::int64_t i = 0; i < GetParam().steps; ++i) {
+    const double loss = prob.loss_and_grad();
+    if (i % (GetParam().steps / 4) == 0) checkpoints.push_back(loss);
+    opt->step();
+  }
+  ASSERT_GE(checkpoints.size(), 3u);
+  EXPECT_LE(checkpoints[checkpoints.size() - 1], checkpoints[checkpoints.size() - 2] + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, OptimizerSweep,
+    ::testing::Values(OptCase{OptCase::Kind::kSgd, 0.3, 2000},
+                      OptCase{OptCase::Kind::kSgd, 0.05, 8000},
+                      OptCase{OptCase::Kind::kMomentum, 0.05, 2000},
+                      OptCase{OptCase::Kind::kMomentum, 0.01, 6000},
+                      OptCase{OptCase::Kind::kAdam, 0.1, 2000},
+                      OptCase{OptCase::Kind::kAdam, 0.02, 8000}),
+    [](const ::testing::TestParamInfo<OptCase>& info) {
+      const char* kind = info.param.kind == OptCase::Kind::kSgd        ? "sgd"
+                         : info.param.kind == OptCase::Kind::kMomentum ? "momentum"
+                                                                       : "adam";
+      return std::string(kind) + "_lr" + std::to_string(static_cast<int>(info.param.lr * 1000));
+    });
+
+}  // namespace
+}  // namespace fsa::optim

@@ -1,0 +1,124 @@
+// param_mask_test.cpp — gather/scatter correctness and cut computation.
+#include <gtest/gtest.h>
+
+#include "core/param_mask.h"
+#include "models/cw_net.h"
+#include "test_util.h"
+
+namespace fsa::core {
+namespace {
+
+TEST(ParamMask, SizeMatchesSelectedLayers) {
+  nn::Sequential net = testutil::make_blob_net();
+  const ParamMask fc2 = ParamMask::make(net, {"fc2"});
+  EXPECT_EQ(fc2.size(), 32 * 10 + 10);
+  const ParamMask fc2w = ParamMask::make(net, {"fc2"}, true, false);
+  EXPECT_EQ(fc2w.size(), 32 * 10);
+  const ParamMask fc2b = ParamMask::make(net, {"fc2"}, false, true);
+  EXPECT_EQ(fc2b.size(), 10);
+  const ParamMask both = ParamMask::make(net, {"fc1", "fc2"});
+  EXPECT_EQ(both.size(), 12 * 32 + 32 + 32 * 10 + 10);
+}
+
+TEST(ParamMask, CwNetFcSizesMatchPaperTable1) {
+  // The paper's Table 1 reports exactly these totals for the MNIST net.
+  models::CwNetConfig cfg;
+  nn::Sequential net = models::make_cw_net(cfg);
+  EXPECT_EQ(ParamMask::make(net, {"fc1"}).size(), 205000);
+  EXPECT_EQ(ParamMask::make(net, {"fc2"}).size(), 40200);
+  EXPECT_EQ(ParamMask::make(net, {"fc3"}).size(), 2010);
+}
+
+TEST(ParamMask, CutIsLowestSelectedLayer) {
+  nn::Sequential net = testutil::make_blob_net();
+  EXPECT_EQ(ParamMask::make(net, {"fc2"}).cut(), net.index_of("fc2"));
+  EXPECT_EQ(ParamMask::make(net, {"fc1", "fc2"}).cut(), net.index_of("fc1"));
+  EXPECT_EQ(ParamMask::make(net, {"fc2", "fc1"}).cut(), net.index_of("fc1"));
+}
+
+TEST(ParamMask, UnknownLayerThrows) {
+  nn::Sequential net = testutil::make_blob_net();
+  EXPECT_THROW(ParamMask::make(net, {"fc9"}), std::out_of_range);
+}
+
+TEST(ParamMask, EmptySelectionThrows) {
+  nn::Sequential net = testutil::make_blob_net();
+  EXPECT_THROW(ParamMask::make(net, {"fc1"}, false, false), std::invalid_argument);
+  // relu has no params at all:
+  EXPECT_THROW(ParamMask::make(net, {"relu1"}), std::invalid_argument);
+}
+
+TEST(ParamMask, GatherScatterRoundTrip) {
+  nn::Sequential net = testutil::make_blob_net();
+  const ParamMask mask = ParamMask::make(net, {"fc1", "fc2"});
+  const Tensor before = mask.gather_values();
+  Tensor modified = before;
+  for (std::size_t i = 0; i < modified.size(); i += 7) modified[i] += 1.0f;
+  mask.scatter_values(modified);
+  EXPECT_EQ(mask.gather_values(), modified);
+  mask.scatter_values(before);
+  EXPECT_EQ(mask.gather_values(), before);
+}
+
+TEST(ParamMask, ScatterSizeMismatchThrows) {
+  nn::Sequential net = testutil::make_blob_net();
+  const ParamMask mask = ParamMask::make(net, {"fc2"});
+  EXPECT_THROW(mask.scatter_values(Tensor(Shape({3}))), std::invalid_argument);
+}
+
+TEST(ParamMask, ScatterOnlyTouchesSelectedParams) {
+  nn::Sequential net = testutil::make_blob_net();
+  const ParamMask fc2 = ParamMask::make(net, {"fc2"});
+  const ParamMask fc1 = ParamMask::make(net, {"fc1"});
+  const Tensor fc1_before = fc1.gather_values();
+  Tensor zeroed = Tensor::zeros(Shape({fc2.size()}));
+  fc2.scatter_values(zeroed);
+  EXPECT_EQ(fc1.gather_values(), fc1_before);
+}
+
+TEST(ParamMask, GatherGradsTracksBackward) {
+  nn::Sequential net = testutil::make_blob_net();
+  const ParamMask mask = ParamMask::make(net, {"fc2"});
+  net.zero_grad();
+  Rng rng(1);
+  const Tensor x = Tensor::randn(Shape({4, 1, 1, testutil::kBlobDim}), rng);
+  const Tensor logits = net.forward(x, true);
+  net.backward(Tensor::ones(logits.shape()));
+  const Tensor grads = mask.gather_grads();
+  // Bias grads of fc2 are the last 10 entries; each equals the batch size
+  // (grad-output of ones summed over 4 rows).
+  for (std::int64_t i = mask.size() - 10; i < mask.size(); ++i)
+    EXPECT_FLOAT_EQ(grads[static_cast<std::size_t>(i)], 4.0f);
+}
+
+TEST(ParamMask, WeightsOnlyMaskKeepsBiasesFixed) {
+  nn::Sequential net = testutil::make_blob_net();
+  const ParamMask w = ParamMask::make(net, {"fc2"}, true, false);
+  const ParamMask b = ParamMask::make(net, {"fc2"}, false, true);
+  const Tensor bias_before = b.gather_values();
+  Tensor ones = Tensor::ones(Shape({w.size()}));
+  w.scatter_values(ones);
+  EXPECT_EQ(b.gather_values(), bias_before);
+}
+
+TEST(ParamMask, DescribeMentionsSelection) {
+  nn::Sequential net = testutil::make_blob_net();
+  const std::string desc = ParamMask::make(net, {"fc2"}, true, false).describe();
+  EXPECT_NE(desc.find("fc2"), std::string::npos);
+  EXPECT_NE(desc.find("weights"), std::string::npos);
+  EXPECT_NE(desc.find("320"), std::string::npos);
+}
+
+TEST(ParamMask, SegmentsCoverFlatSpaceContiguously) {
+  nn::Sequential net = testutil::make_blob_net();
+  const ParamMask mask = ParamMask::make(net, {"fc1", "fc2"});
+  std::int64_t expected_offset = 0;
+  for (const auto& seg : mask.segments()) {
+    EXPECT_EQ(seg.offset, expected_offset);
+    expected_offset += seg.param->numel();
+  }
+  EXPECT_EQ(expected_offset, mask.size());
+}
+
+}  // namespace
+}  // namespace fsa::core

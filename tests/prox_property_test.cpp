@@ -1,0 +1,108 @@
+// prox_property_test.cpp — parameterized property sweeps over the proximal
+// operators for many (rho, seed) combinations: these are the paper's
+// closed-form z-step solutions, so they must be exact minimizers for every
+// parameter setting, not just the ones the benches happen to use.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/prox.h"
+#include "tensor/ops.h"
+
+namespace fsa::core {
+namespace {
+
+struct ProxCase {
+  double rho;
+  std::uint64_t seed;
+  std::int64_t dim;
+};
+
+class ProxSweep : public ::testing::TestWithParam<ProxCase> {
+ protected:
+  Tensor make_v() const {
+    Rng rng(GetParam().seed);
+    return Tensor::randn(Shape({GetParam().dim}), rng);
+  }
+};
+
+TEST_P(ProxSweep, L0KeepsExactlyTheAboveThresholdEntries) {
+  const auto [rho, seed, dim] = GetParam();
+  const Tensor v = make_v();
+  const Tensor z = prox_l0(v, rho);
+  const double thr2 = 2.0 / rho;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double vi = v[i];
+    if (vi * vi > thr2)
+      EXPECT_EQ(z[i], v[i]);
+    else
+      EXPECT_EQ(z[i], 0.0f);
+  }
+}
+
+TEST_P(ProxSweep, L0IsIdempotent) {
+  const auto [rho, seed, dim] = GetParam();
+  const Tensor z = prox_l0(make_v(), rho);
+  EXPECT_EQ(prox_l0(z, rho), z);
+}
+
+TEST_P(ProxSweep, L0GlobalObjectiveNotWorseThanNeighbors) {
+  const auto [rho, seed, dim] = GetParam();
+  const Tensor v = make_v();
+  const Tensor z = prox_l0(v, rho);
+  auto objective = [&](const Tensor& cand) {
+    return static_cast<double>(ops::l0_norm(cand)) +
+           0.5 * rho * std::pow(ops::l2_norm(ops::sub(cand, v)), 2);
+  };
+  const double base = objective(z);
+  // Perturbations: flip one coordinate between kept/killed.
+  for (std::size_t i = 0; i < z.size(); i += 5) {
+    Tensor alt = z;
+    alt[i] = (z[i] == 0.0f) ? v[i] : 0.0f;
+    EXPECT_GE(objective(alt) + 1e-9, base) << "coordinate " << i;
+  }
+}
+
+TEST_P(ProxSweep, L2NormShrinkIsExactlyOneOverRhoOrTotal) {
+  const auto [rho, seed, dim] = GetParam();
+  const Tensor v = make_v();
+  const Tensor z = prox_l2(v, rho);
+  const double vn = ops::l2_norm(v);
+  const double zn = ops::l2_norm(z);
+  if (vn >= 1.0 / rho)
+    EXPECT_NEAR(zn, vn - 1.0 / rho, 1e-3 * vn + 1e-6);
+  else
+    EXPECT_EQ(zn, 0.0);
+}
+
+TEST_P(ProxSweep, L2PreservesDirection) {
+  const auto [rho, seed, dim] = GetParam();
+  const Tensor v = make_v();
+  const Tensor z = prox_l2(v, rho);
+  if (ops::l2_norm(z) == 0.0) return;  // collapsed — nothing to check
+  const double cosine = ops::dot(v, z) / (ops::l2_norm(v) * ops::l2_norm(z));
+  EXPECT_NEAR(cosine, 1.0, 1e-5);
+}
+
+TEST_P(ProxSweep, SparsityMonotoneInRho) {
+  const auto [rho, seed, dim] = GetParam();
+  const Tensor v = make_v();
+  // Hard threshold √(2/ρ) falls as ρ grows → l0 never decreases in ρ.
+  const std::int64_t at = ops::l0_norm(prox_l0(v, rho));
+  const std::int64_t at2 = ops::l0_norm(prox_l0(v, rho * 4.0));
+  EXPECT_LE(at, at2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RhoSeedGrid, ProxSweep,
+    ::testing::Values(ProxCase{0.5, 1, 64}, ProxCase{0.5, 2, 257}, ProxCase{2.0, 3, 64},
+                      ProxCase{2.0, 4, 1024}, ProxCase{10.0, 5, 64}, ProxCase{10.0, 6, 333},
+                      ProxCase{100.0, 7, 64}, ProxCase{100.0, 8, 2010},
+                      ProxCase{1000.0, 9, 64}, ProxCase{1000.0, 10, 512}),
+    [](const ::testing::TestParamInfo<ProxCase>& info) {
+      return "rho" + std::to_string(static_cast<int>(info.param.rho * 10)) + "_seed" +
+             std::to_string(info.param.seed) + "_d" + std::to_string(info.param.dim);
+    });
+
+}  // namespace
+}  // namespace fsa::core

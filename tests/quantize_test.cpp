@@ -1,0 +1,105 @@
+// quantize_test.cpp — precision-aware δ realization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "faultsim/quantize.h"
+#include "tensor/ops.h"
+
+namespace fsa::faultsim {
+namespace {
+
+TEST(Quantize, Float32IsIdentity) {
+  for (float v : {0.0f, 1.5f, -3.25f, 1e-20f, 1e20f})
+    EXPECT_EQ(quantize_value(v, StorageFormat::kFloat32), v);
+}
+
+TEST(Quantize, Bfloat16KeepsCoarseValuesExactly) {
+  // Values with ≤7 mantissa bits are representable in bfloat16.
+  for (float v : {0.0f, 1.0f, -2.0f, 0.5f, 1.5f, 96.0f})
+    EXPECT_EQ(quantize_value(v, StorageFormat::kBfloat16), v);
+}
+
+TEST(Quantize, Bfloat16RoundsFineMantissa) {
+  const float v = 1.00001f;  // needs more than 7 mantissa bits
+  const float q = quantize_value(v, StorageFormat::kBfloat16);
+  EXPECT_NE(q, v);
+  EXPECT_NEAR(q, v, 0.01f);  // relative error ≤ 2^-8
+}
+
+TEST(Quantize, Float16SaturatesAtMax) {
+  EXPECT_LE(quantize_value(1e6f, StorageFormat::kFloat16), 65504.0f);
+  EXPECT_GE(quantize_value(-1e6f, StorageFormat::kFloat16), -65504.0f);
+}
+
+TEST(Quantize, Float16FlushesTinyToZero) {
+  EXPECT_EQ(quantize_value(1e-9f, StorageFormat::kFloat16), 0.0f);
+}
+
+TEST(Quantize, Float16RepresentableValuesExact) {
+  for (float v : {1.0f, -0.5f, 2048.0f, 0.125f})
+    EXPECT_EQ(quantize_value(v, StorageFormat::kFloat16), v);
+}
+
+TEST(Quantize, Int8GridIsUniform) {
+  const float scale = 0.1f;
+  EXPECT_FLOAT_EQ(quantize_value(0.34f, StorageFormat::kInt8, scale), 0.3f);
+  EXPECT_FLOAT_EQ(quantize_value(-0.26f, StorageFormat::kInt8, scale), -0.3f);
+  // Clamp at ±127·scale.
+  EXPECT_FLOAT_EQ(quantize_value(100.0f, StorageFormat::kInt8, scale), 12.7f);
+}
+
+TEST(Quantize, Int8ScaleFromMaxAbs) {
+  const Tensor t = Tensor::from_vector({0.1f, -1.27f, 0.5f});
+  EXPECT_FLOAT_EQ(int8_scale(t), 1.27f / 127.0f);
+  EXPECT_FLOAT_EQ(int8_scale(Tensor::zeros(Shape({3}))), 1.0f);
+}
+
+TEST(RealizeInFormat, Float32PreservesDelta) {
+  Rng rng(1);
+  const Tensor theta0 = Tensor::randn(Shape({64}), rng);
+  const Tensor delta = Tensor::randn(Shape({64}), rng);
+  const Tensor real = realize_in_format(theta0, delta, StorageFormat::kFloat32);
+  // (θ0+δ)−θ0 re-rounds through float32, so equality holds only to one ulp
+  // of the addition — that IS the realized modification.
+  for (std::size_t i = 0; i < real.size(); ++i)
+    EXPECT_NEAR(real[i], delta[i], 1e-6f + 1e-6f * std::fabs(theta0[i]));
+}
+
+TEST(RealizeInFormat, TinyModificationsAbsorbedByCoarseGrids) {
+  const Tensor theta0 = Tensor::from_vector({1.0f, 1.0f, 1.0f});
+  const Tensor delta = Tensor::from_vector({1e-4f, 0.5f, 0.0f});
+  const Tensor real = realize_in_format(theta0, delta, StorageFormat::kBfloat16);
+  EXPECT_EQ(real[0], 0.0f);       // 1e-4 below bf16 resolution at 1.0
+  EXPECT_NEAR(real[1], 0.5f, 1e-2f);
+  EXPECT_EQ(real[2], 0.0f);
+  EXPECT_LT(ops::l0_norm(real), ops::l0_norm(delta) + 1);
+}
+
+TEST(RealizeInFormat, RealizedDeltaLandsOnGrid) {
+  Rng rng(2);
+  const Tensor theta0 = Tensor::randn(Shape({128}), rng);
+  const Tensor delta = Tensor::randn(Shape({128}), rng);
+  const Tensor real = realize_in_format(theta0, delta, StorageFormat::kInt8);
+  const float scale = int8_scale(theta0);
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    const float q = real[i] / scale;
+    EXPECT_NEAR(q, std::nearbyint(q), 1e-3f) << "entry " << i << " is off-grid";
+  }
+}
+
+TEST(RealizeInFormat, ShapeMismatchThrows) {
+  EXPECT_THROW(realize_in_format(Tensor(Shape({2})), Tensor(Shape({3})),
+                                 StorageFormat::kBfloat16),
+               std::invalid_argument);
+}
+
+TEST(FormatName, AllNamed) {
+  EXPECT_STREQ(format_name(StorageFormat::kFloat32), "float32");
+  EXPECT_STREQ(format_name(StorageFormat::kBfloat16), "bfloat16");
+  EXPECT_STREQ(format_name(StorageFormat::kFloat16), "float16");
+  EXPECT_STREQ(format_name(StorageFormat::kInt8), "int8");
+}
+
+}  // namespace
+}  // namespace fsa::faultsim

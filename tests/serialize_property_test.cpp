@@ -1,0 +1,45 @@
+// serialize_property_test.cpp — round-trip property over many shapes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/serialize.h"
+
+namespace fsa {
+namespace {
+
+class ShapeSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ShapeSweep, StreamRoundTripIsExact) {
+  Rng rng(GetParam().numel() % 97 + 1);
+  const Tensor t = Tensor::randn(GetParam(), rng);
+  std::stringstream ss;
+  io::write_tensor(ss, t);
+  const Tensor back = io::read_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_EQ(back, t);
+}
+
+TEST_P(ShapeSweep, TwoTensorsInOneStream) {
+  Rng rng(7);
+  const Tensor a = Tensor::randn(GetParam(), rng);
+  const Tensor b = Tensor::randn(GetParam(), rng);
+  std::stringstream ss;
+  io::write_tensor(ss, a);
+  io::write_tensor(ss, b);
+  EXPECT_EQ(io::read_tensor(ss), a);
+  EXPECT_EQ(io::read_tensor(ss), b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeSweep,
+                         ::testing::Values(Shape({1}), Shape({2010}), Shape({3, 7}),
+                                           Shape({1, 1, 28, 28}), Shape({2, 3, 4, 5}),
+                                           Shape({200, 10}), Shape({0})),
+                         [](const ::testing::TestParamInfo<Shape>& info) {
+                           std::string name = "shape";
+                           for (auto d : info.param.dims()) name += "_" + std::to_string(d);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace fsa

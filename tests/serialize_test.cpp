@@ -1,0 +1,85 @@
+// serialize_test.cpp — round trips and corruption handling of tensor I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "tensor/serialize.h"
+
+namespace fsa {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, StreamRoundTrip) {
+  Rng rng(1);
+  const Tensor t = Tensor::randn(Shape({3, 4, 5}), rng);
+  std::stringstream ss;
+  io::write_tensor(ss, t);
+  const Tensor back = io::read_tensor(ss);
+  EXPECT_EQ(back, t);
+}
+
+TEST(Serialize, EmptyTensorRoundTrip) {
+  const Tensor t(Shape({0}));
+  std::stringstream ss;
+  io::write_tensor(ss, t);
+  const Tensor back = io::read_tensor(ss);
+  EXPECT_EQ(back.shape(), Shape({0}));
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "NOPExxxxxxxxxxxxxxxx";
+  EXPECT_THROW(io::read_tensor(ss), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedDataThrows) {
+  Rng rng(2);
+  const Tensor t = Tensor::randn(Shape({64}), rng);
+  std::stringstream ss;
+  io::write_tensor(ss, t);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream cut(bytes);
+  EXPECT_THROW(io::read_tensor(cut), std::runtime_error);
+}
+
+TEST(Serialize, FileListRoundTrip) {
+  Rng rng(3);
+  const std::vector<Tensor> tensors = {Tensor::randn(Shape({7}), rng),
+                                       Tensor::randn(Shape({2, 2}), rng), Tensor(Shape({1}))};
+  const std::string path = temp_path("fsa_serialize_test.bin");
+  io::save_tensors(path, tensors);
+  const auto back = io::load_tensors(path);
+  ASSERT_EQ(back.size(), tensors.size());
+  for (std::size_t i = 0; i < back.size(); ++i) EXPECT_EQ(back[i], tensors[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SaveCreatesParentDirectories) {
+  const std::string dir = temp_path("fsa_nested_dir_test");
+  const std::string path = dir + "/deep/file.bin";
+  std::filesystem::remove_all(dir);
+  io::save_tensors(path, {Tensor(Shape({2}))});
+  EXPECT_TRUE(io::file_exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(io::load_tensors(temp_path("definitely_missing_fsa.bin")), std::runtime_error);
+}
+
+TEST(Serialize, FileExists) {
+  EXPECT_FALSE(io::file_exists(temp_path("not_there_fsa.bin")));
+  const std::string path = temp_path("fsa_exists_test.bin");
+  io::save_tensors(path, {});
+  EXPECT_TRUE(io::file_exists(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fsa

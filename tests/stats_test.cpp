@@ -1,0 +1,50 @@
+// stats_test.cpp — sample statistics helper.
+#include <gtest/gtest.h>
+
+#include "eval/stats.h"
+
+namespace fsa::eval {
+namespace {
+
+TEST(Stats, SingleValue) {
+  const Summary s = summarize({3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_EQ(s.n, 1u);
+}
+
+TEST(Stats, KnownSample) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(summarize({5.0, 1.0, 3.0}).median, 3.0);
+}
+
+TEST(Stats, OrderInvariant) {
+  const Summary a = summarize({1.0, 2.0, 3.0, 10.0});
+  const Summary b = summarize({10.0, 3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+}
+
+TEST(Stats, EmptyThrows) { EXPECT_THROW(summarize({}), std::invalid_argument); }
+
+TEST(Stats, NegativeValues) {
+  const Summary s = summarize({-2.0, -4.0});
+  EXPECT_DOUBLE_EQ(s.mean, -3.0);
+  EXPECT_DOUBLE_EQ(s.min, -4.0);
+  EXPECT_DOUBLE_EQ(s.max, -2.0);
+}
+
+}  // namespace
+}  // namespace fsa::eval

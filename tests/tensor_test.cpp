@@ -1,0 +1,147 @@
+// tensor_test.cpp — Shape and Tensor invariants.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace fsa {
+namespace {
+
+TEST(Shape, RankNumelAndDims) {
+  const Shape s({2, 3, 4});
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(Shape, ScalarShapeHasNumelOne) {
+  const Shape s({});
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, StridesAreRowMajor) {
+  const Shape s({2, 3, 4});
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, NegativeExtentThrows) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, DimOutOfRangeThrows) {
+  const Shape s({2, 3});
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+  EXPECT_THROW(s.dim(-3), std::out_of_range);
+}
+
+TEST(Shape, EqualityComparesDims) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(Shape, StrPrintsDims) { EXPECT_EQ(Shape({1, 28, 28}).str(), "[1, 28, 28]"); }
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t(Shape({3, 3}));
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullFactory) {
+  const Tensor t = Tensor::full(Shape({4}), 2.5f);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, FromVector) {
+  const Tensor t = Tensor::from_vector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.shape(), Shape({3}));
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, BufferSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape({4}), std::vector<float>{1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_vector({1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshape(Shape({2, 3}));
+  EXPECT_EQ(r.at2(0, 2), 3.0f);
+  EXPECT_EQ(r.at2(1, 0), 4.0f);
+}
+
+TEST(Tensor, ReshapeBadCountThrows) {
+  Tensor t(Shape({6}));
+  EXPECT_THROW(t.reshape(Shape({4})), std::invalid_argument);
+}
+
+TEST(Tensor, Slice0CopiesRows) {
+  Tensor t = Tensor::from_vector({1, 2, 3, 4, 5, 6}).reshape(Shape({3, 2}));
+  const Tensor s = t.slice0(1, 3);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_EQ(s.at2(0, 0), 3.0f);
+  EXPECT_EQ(s.at2(1, 1), 6.0f);
+}
+
+TEST(Tensor, Slice0BoundsChecked) {
+  Tensor t(Shape({3, 2}));
+  EXPECT_THROW(t.slice0(-1, 2), std::out_of_range);
+  EXPECT_THROW(t.slice0(0, 4), std::out_of_range);
+  EXPECT_THROW(t.slice0(2, 1), std::out_of_range);
+}
+
+TEST(Tensor, RowDropsLeadingDim) {
+  Tensor t = Tensor::from_vector({1, 2, 3, 4}).reshape(Shape({2, 2}));
+  const Tensor r = t.row(1);
+  EXPECT_EQ(r.shape(), Shape({2}));
+  EXPECT_EQ(r[0], 3.0f);
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+  Tensor a = Tensor::from_vector({1, 2, 3});
+  const Tensor b = Tensor::from_vector({10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[2], 33.0f);
+  a -= b;
+  EXPECT_EQ(a[2], 3.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a[0], 2.0f);
+  a.axpy(0.5f, b);
+  EXPECT_EQ(a[1], 4.0f + 10.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a(Shape({3}));
+  const Tensor b(Shape({4}));
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a.axpy(1.0f, b), std::invalid_argument);
+}
+
+TEST(Tensor, CheckedAtThrows) {
+  Tensor t(Shape({2}));
+  EXPECT_THROW(t.at(2), std::out_of_range);
+  EXPECT_THROW(t.at(-1), std::out_of_range);
+}
+
+TEST(Tensor, At4UsesNchwLayout) {
+  Tensor t(Shape({2, 3, 4, 5}));
+  t.at4(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[static_cast<std::size_t>(((1 * 3 + 2) * 4 + 3) * 5 + 4)], 7.0f);
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  Rng r1(5), r2(5), r3(6);
+  const Tensor a = Tensor::randn(Shape({16}), r1);
+  const Tensor b = Tensor::randn(Shape({16}), r2);
+  const Tensor c = Tensor::randn(Shape({16}), r3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace fsa

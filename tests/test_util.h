@@ -1,0 +1,71 @@
+// test_util.h — shared fixtures for attack-level tests.
+//
+// The unit/integration tests must run in seconds, so instead of the full
+// C&W convnet they attack a small dense network trained on a deterministic
+// 10-class Gaussian-blobs problem. Everything about the attack pipeline
+// (masks, margins, ADMM, refinement, baselines) is exercised identically;
+// only the substrate is smaller.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+#include "nn/sequential.h"
+#include "optim/adam.h"
+#include "optim/trainer.h"
+#include "tensor/ops.h"
+
+namespace fsa::testutil {
+
+inline constexpr std::int64_t kBlobDim = 12;
+inline constexpr std::int64_t kBlobClasses = 10;
+
+/// 10 well-separated Gaussian blobs in 12-D, presented as [N, 1, 1, 12]
+/// "images" so the Dataset invariants hold.
+inline data::Dataset make_blobs(std::int64_t n, std::uint64_t seed, double spread = 0.25) {
+  Rng rng(seed);
+  // Fixed class centers: axis-aligned ± pattern, deterministic.
+  std::vector<Tensor> centers;
+  Rng center_rng(12345);
+  for (std::int64_t c = 0; c < kBlobClasses; ++c)
+    centers.push_back(Tensor::randn(Shape({kBlobDim}), center_rng, 0.0f, 1.0f));
+  Tensor images(Shape({n, 1, 1, kBlobDim}));
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<std::int64_t>(rng.uniform_int(kBlobClasses));
+    labels[static_cast<std::size_t>(i)] = cls;
+    for (std::int64_t d = 0; d < kBlobDim; ++d)
+      images[static_cast<std::size_t>(i * kBlobDim + d)] =
+          centers[static_cast<std::size_t>(cls)][static_cast<std::size_t>(d)] +
+          static_cast<float>(rng.normal(0.0, spread));
+  }
+  return data::Dataset(std::move(images), std::move(labels), kBlobClasses);
+}
+
+/// flatten → fc1(12→32) → relu → fc2(32→10). Trained to ≈100% on blobs.
+inline nn::Sequential make_blob_net(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Flatten>("flatten"));
+  net.add(std::make_unique<nn::Dense>("fc1", kBlobDim, 32, rng));
+  net.add(std::make_unique<nn::ReLU>("relu1"));
+  net.add(std::make_unique<nn::Dense>("fc2", 32, kBlobClasses, rng));
+  return net;
+}
+
+/// Train the blob net to high accuracy; returns final test accuracy.
+inline double train_blob_net(nn::Sequential& net, const data::Dataset& train,
+                             const data::Dataset& test) {
+  optim::Adam opt(net.params(), 5e-3);
+  optim::Trainer trainer(net, opt);
+  optim::TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.batch_size = 32;
+  trainer.fit(train, cfg);
+  return optim::Trainer::accuracy(net, test);
+}
+
+}  // namespace fsa::testutil

@@ -1,0 +1,186 @@
+// fsa_cli.cpp — command-line driver for the fault sneaking attack library.
+//
+// Subcommands:
+//   info                          model/accuracy overview
+//   attack    --dataset digits --layers fc3 --s 2 --r 100 --norm l0
+//             [--seed N] [--weights-only|--biases-only] [--save delta.bin]
+//   campaign  --dataset digits --layers fc3 --delta delta.bin
+//             [--injector laser|rowhammer]
+//   audit     --dataset digits --layers fc3 --delta delta.bin
+//
+// The `attack` subcommand solves one instance and prints the scorecard;
+// `campaign` lowers a saved δ to bit flips and simulates the injector;
+// `audit` runs the defender-view weight audit on a saved δ.
+#include <cstdio>
+#include <string>
+
+#include "eval/args.h"
+#include "eval/attack_bench.h"
+#include "eval/detect.h"
+#include "eval/table.h"
+#include "faultsim/campaign.h"
+#include "tensor/serialize.h"
+
+namespace {
+
+using namespace fsa;
+
+int usage() {
+  std::fputs(
+      "usage: fsa_cli <info|attack|campaign|audit> [options]\n"
+      "  info\n"
+      "  attack   --dataset digits|objects --layers fc3[,fc2...] --s N --r N\n"
+      "           [--norm l0|l2|l1] [--seed N] [--rho X] [--c X]\n"
+      "           [--weights-only] [--biases-only] [--save delta.bin] [--verbose]\n"
+      "  campaign --dataset D --layers L --delta delta.bin [--injector laser|rowhammer]\n"
+      "  audit    --dataset D --layers L --delta delta.bin\n",
+      stderr);
+  return 2;
+}
+
+std::vector<std::string> split_layers(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+struct Context {
+  models::ModelZoo zoo;
+  std::unique_ptr<eval::AttackBench> bench;
+  models::ZooModel* model = nullptr;
+
+  Context(const std::string& dataset, const std::string& layers_csv, bool weights, bool biases) {
+    model = dataset == "objects" ? &zoo.objects() : &zoo.digits();
+    bench = std::make_unique<eval::AttackBench>(*model, zoo.cache_dir(),
+                                                split_layers(layers_csv), weights, biases);
+  }
+};
+
+int cmd_info() {
+  models::ModelZoo zoo;
+  eval::Table table("models");
+  table.header({"model", "test accuracy", "params", "fc3 params"});
+  for (auto* m : {&zoo.digits(), &zoo.objects()}) {
+    const auto mask = core::ParamMask::make(m->net, {"fc3"});
+    table.row({m->name, eval::pct(m->test_accuracy), std::to_string(m->net.param_count()),
+               std::to_string(mask.size())});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_attack(const eval::Args& args) {
+  args.expect_only({"dataset", "layers", "s", "r", "norm", "seed", "rho", "c", "weights-only",
+                    "biases-only", "save", "verbose"});
+  Context ctx(args.get("dataset", "digits"), args.get("layers", "fc3"),
+              !args.has_flag("biases-only"), !args.has_flag("weights-only"));
+  const std::int64_t s = args.get_int("s", 1);
+  const std::int64_t r = args.get_int("r", 100);
+  const core::AttackSpec spec = ctx.bench->spec(s, r, args.get_int("seed", 1));
+
+  core::FaultSneakingConfig cfg;
+  const std::string norm = args.get("norm", "l0");
+  cfg.admm.norm = norm == "l2"   ? core::NormKind::kL2
+                  : norm == "l1" ? core::NormKind::kL1
+                                 : core::NormKind::kL0;
+  cfg.admm.rho = args.get_double("rho", cfg.admm.rho);
+  cfg.admm.c = args.get_double("c", cfg.admm.c);
+  cfg.verbose = cfg.admm.verbose = args.has_flag("verbose");
+
+  const core::FaultSneakingResult res = ctx.bench->attack().run(spec, cfg);
+  const double acc = ctx.bench->test_accuracy_with(res.delta);
+
+  eval::Table table("attack result (" + norm + ", " +
+                    ctx.bench->attack().mask().describe() + ")");
+  table.header({"metric", "value"})
+      .row({"faults injected", std::to_string(res.targets_hit) + "/" + std::to_string(s)})
+      .row({"anchors kept", std::to_string(res.maintained) + "/" + std::to_string(r - s)})
+      .row({"l0", std::to_string(res.l0)})
+      .row({"l2", eval::fmt(res.l2)})
+      .row({"test acc before", eval::pct(ctx.bench->clean_test_accuracy())})
+      .row({"test acc after", eval::pct(acc)})
+      .row({"wall time", eval::fmt(res.seconds, 2) + " s"});
+  table.print();
+
+  if (const std::string path = args.get("save", ""); !path.empty()) {
+    io::save_tensors(path, {res.delta});
+    std::printf("delta saved to %s (load with `fsa_cli campaign --delta %s ...`)\n",
+                path.c_str(), path.c_str());
+  }
+  return res.all_targets_hit ? 0 : 1;
+}
+
+Tensor load_delta(const eval::Args& args, const Context& ctx) {
+  const std::string path = args.get("delta", "");
+  if (path.empty()) throw std::invalid_argument("--delta is required");
+  auto tensors = io::load_tensors(path);
+  if (tensors.size() != 1 || tensors[0].numel() != ctx.bench->attack().mask().size())
+    throw std::runtime_error("delta file does not match the selected attack surface");
+  return tensors[0];
+}
+
+int cmd_campaign(const eval::Args& args) {
+  args.expect_only({"dataset", "layers", "delta", "injector"});
+  Context ctx(args.get("dataset", "digits"), args.get("layers", "fc3"), true, true);
+  const Tensor delta = load_delta(args, ctx);
+
+  const faultsim::MemoryLayout layout;
+  const auto plan = faultsim::plan_bit_flips(ctx.bench->attack().theta0(), delta, layout);
+  std::printf("plan: %lld params, %lld bit flips, %lld rows\n",
+              static_cast<long long>(plan.params_modified),
+              static_cast<long long>(plan.total_bit_flips),
+              static_cast<long long>(plan.rows_touched));
+  const std::string injector = args.get("injector", "laser");
+  if (injector == "rowhammer") {
+    Rng rng(7);
+    const auto rep = faultsim::simulate_rowhammer(plan, faultsim::RowHammerParams{}, layout, rng);
+    std::printf("rowhammer: %lld/%lld bits, %lld attempts, %lld massages, %.2f h, %s\n",
+                static_cast<long long>(rep.bits_flipped),
+                static_cast<long long>(rep.bits_requested),
+                static_cast<long long>(rep.hammer_attempts),
+                static_cast<long long>(rep.massages), rep.seconds / 3600.0,
+                rep.success ? "complete" : "INCOMPLETE");
+  } else {
+    const auto rep = faultsim::simulate_laser(plan, faultsim::LaserParams{}, layout);
+    std::printf("laser: %lld bits, %.2f h\n", static_cast<long long>(rep.bits_flipped),
+                rep.seconds / 3600.0);
+  }
+  return 0;
+}
+
+int cmd_audit(const eval::Args& args) {
+  args.expect_only({"dataset", "layers", "delta"});
+  Context ctx(args.get("dataset", "digits"), args.get("layers", "fc3"), true, true);
+  const Tensor delta = load_delta(args, ctx);
+  Tensor after = ctx.bench->attack().theta0();
+  after += delta;
+  const eval::AuditReport rep = eval::audit_weights(ctx.bench->attack().theta0(), after);
+  std::printf("audit: changed %s, max|dw| %.4f, mean shift %.5f, std ratio %.4f, KS %.4f\n",
+              eval::pct(rep.changed_fraction).c_str(), rep.max_abs_change, rep.mean_shift,
+              rep.std_ratio, rep.ks_statistic);
+  std::printf("anomaly score: %.2f\n", eval::anomaly_score(rep));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const eval::Args args = eval::Args::parse(argc, argv);
+    if (args.command() == "info") return cmd_info();
+    if (args.command() == "attack") return cmd_attack(args);
+    if (args.command() == "campaign") return cmd_campaign(args);
+    if (args.command() == "audit") return cmd_audit(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fsa_cli: %s\n", e.what());
+    return 2;
+  }
+}
