@@ -1,6 +1,12 @@
 // bench_micro_ops.cpp — google-benchmark microbenchmarks of the kernels
 // the attack spends its time in: GEMM, conv forward, margin evaluation,
 // proximal operators, and a full ADMM iteration on the paper-sized head.
+//
+// The GEMM section pins the speedup story: BM_GemmSeedSerial is a frozen
+// copy of the seed repo's serial i-k-j kernel; BM_Gemm runs the blocked
+// backend at 1/2/4 threads (second arg). Run via tools/run_benches.sh to
+// get the machine-readable BENCH_micro_ops.json trajectory; speedup =
+// seed-kernel time / backend time at matching sizes.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -11,13 +17,59 @@
 #include "nn/dense.h"
 #include "nn/pool.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace {
 
 using namespace fsa;
 
+double gemm_gflops(const benchmark::State& state, std::int64_t m, std::int64_t k,
+                   std::int64_t n) {
+  (void)state;
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) * static_cast<double>(n) * 1e-9;
+}
+
+/// The seed repo's serial GEMM (i-k-j, zero-skip), kept verbatim as the
+/// baseline the backend's acceptance speedup is measured against.
+void seed_matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* Ci = C + i * n;
+    const float* Ai = A + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float aip = Ai[p];
+      if (aip == 0.0f) continue;
+      const float* Bp = B + p * n;
+      for (std::int64_t j = 0; j < n; ++j) Ci[j] += aip * Bp[j];
+    }
+  }
+}
+
+void BM_GemmSeedSerial(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape({n, n}), rng);
+  const Tensor b = Tensor::randn(Shape({n, n}), rng);
+  Tensor c(Shape({n, n}));
+  for (auto _ : state) {
+    c.fill(0.0f);
+    seed_matmul_acc(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(gemm_gflops(state, n, n, n), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmSeedSerial)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+// Backend GEMM; Args are {size, threads}. The 1-thread rows isolate the
+// blocking/tiling win, the 2/4-thread rows add the pool on top.
 void BM_Gemm(benchmark::State& state) {
   const auto n = state.range(0);
+  const auto threads = static_cast<int>(state.range(1));
+  set_num_threads(threads);
   Rng rng(1);
   const Tensor a = Tensor::randn(Shape({n, n}), rng);
   const Tensor b = Tensor::randn(Shape({n, n}), rng);
@@ -25,9 +77,14 @@ void BM_Gemm(benchmark::State& state) {
     Tensor c = ops::matmul(a, b);
     benchmark::DoNotOptimize(c.data());
   }
+  set_num_threads(0);
+  state.counters["GFLOPS"] =
+      benchmark::Counter(gemm_gflops(state, n, n, n), benchmark::Counter::kIsIterationInvariantRate);
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)
+    ->ArgsProduct({{64, 128, 256, 512}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GemmHeadShape(benchmark::State& state) {
   // The fc3 head at R=1000: [1000, 200] · [200, 10].
@@ -41,8 +98,12 @@ void BM_GemmHeadShape(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmHeadShape);
 
+// Args are {batch, threads}; the workspace-reusing im2col plus the blocked
+// GEMM make this the conv half of the speedup story.
 void BM_ConvForward(benchmark::State& state) {
   const auto batch = state.range(0);
+  const auto threads = static_cast<int>(state.range(1));
+  set_num_threads(threads);
   Rng rng(3);
   nn::Conv2D conv("conv", 32, 32, 3, rng);
   const Tensor x = Tensor::randn(Shape({batch, 32, 26, 26}), rng);
@@ -50,8 +111,9 @@ void BM_ConvForward(benchmark::State& state) {
     Tensor y = conv.forward(x, false);
     benchmark::DoNotOptimize(y.data());
   }
+  set_num_threads(0);
 }
-BENCHMARK(BM_ConvForward)->Arg(1)->Arg(16);
+BENCHMARK(BM_ConvForward)->ArgsProduct({{1, 16}, {1, 2, 4}});
 
 void BM_MaxPoolForward(benchmark::State& state) {
   Rng rng(4);
@@ -122,6 +184,32 @@ void BM_AdmmIteration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AdmmIteration)->Arg(10)->Arg(100)->Arg(1000);
+
+// Full ADMM iteration at R=1000 across thread counts — the end-to-end
+// number the parallel backend exists to improve.
+void BM_AdmmIterationThreads(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  set_num_threads(threads);
+  Rng rng(8);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Dense>("fc3", 200, 10, rng));
+  const core::ParamMask mask = core::ParamMask::make(net, {"fc3"});
+  core::AdmmSolver solver(net, mask);
+  core::AttackSpec spec;
+  spec.S = 2;
+  spec.features = Tensor::randn(Shape({1000, 200}), rng);
+  spec.labels.assign(1000, 0);
+  for (std::int64_t i = 0; i < spec.S; ++i) spec.labels[static_cast<std::size_t>(i)] = 5;
+  core::AdmmConfig cfg;
+  cfg.iterations = 1;
+  cfg.check_every = 0;
+  for (auto _ : state) {
+    auto res = solver.solve(spec, cfg);
+    benchmark::DoNotOptimize(res.delta.data());
+  }
+  set_num_threads(0);
+}
+BENCHMARK(BM_AdmmIterationThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 
 #include "core/prox.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace fsa::core {
 
@@ -48,18 +49,26 @@ AdmmResult AdmmSolver::solve(const AttackSpec& spec, const AdmmConfig& cfg) {
     theta += delta;
     auto res = grad_.eval(theta, spec, cfg.c, cfg.kappa, /*want_grad=*/true, cfg.anchor_weight);
     out.g_history.push_back(res.eval.total_g);
-    // δ ← (ρ(z+s) + αRδ − Σ∇g) / (αR+ρ), computed in place.
-    for (std::int64_t i = 0; i < d; ++i) {
-      const auto ui = static_cast<std::size_t>(i);
-      const double num = cfg.rho * (static_cast<double>(z[ui]) + s[ui]) +
-                         alpha * static_cast<double>(r) * delta[ui] -
-                         static_cast<double>(res.grad[ui]);
-      delta[ui] = static_cast<float>(num / denom);
-    }
+    // δ ← (ρ(z+s) + αRδ − Σ∇g) / (αR+ρ), computed in place. Elementwise,
+    // so the pool shards it exactly.
+    parallel_for(0, d, 8192, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const double num = cfg.rho * (static_cast<double>(z[ui]) + s[ui]) +
+                           alpha * static_cast<double>(r) * delta[ui] -
+                           static_cast<double>(res.grad[ui]);
+        delta[ui] = static_cast<float>(num / denom);
+      }
+    });
 
-    // ---- s-step (eq. 12) ------------------------------------------------------
-    s += z;
-    s -= delta;
+    // ---- s-step (eq. 12): s ← s + z − δ, elementwise ------------------------
+    parallel_for(0, d, 8192, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        s[ui] += z[ui];
+        s[ui] -= delta[ui];
+      }
+    });
 
     out.iterations_run = k + 1;
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace fsa::core {
 
@@ -11,10 +12,14 @@ Tensor prox_l0(const Tensor& v, double rho) {
   if (rho <= 0.0) throw std::invalid_argument("prox_l0: rho must be positive");
   const double threshold2 = 2.0 / rho;
   Tensor z(v.shape());
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    const double vi = v[i];
-    z[i] = (vi * vi > threshold2) ? v[i] : 0.0f;
-  }
+  parallel_for(0, static_cast<std::int64_t>(v.size()), 16384,
+               [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const double vi = v[ui];
+      z[ui] = (vi * vi > threshold2) ? v[ui] : 0.0f;
+    }
+  });
   return z;
 }
 
@@ -22,10 +27,14 @@ Tensor prox_l1(const Tensor& v, double rho) {
   if (rho <= 0.0) throw std::invalid_argument("prox_l1: rho must be positive");
   const float t = static_cast<float>(1.0 / rho);
   Tensor z(v.shape());
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    const float vi = v[i];
-    z[i] = vi > t ? vi - t : (vi < -t ? vi + t : 0.0f);
-  }
+  parallel_for(0, static_cast<std::int64_t>(v.size()), 16384,
+               [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const float vi = v[ui];
+      z[ui] = vi > t ? vi - t : (vi < -t ? vi + t : 0.0f);
+    }
+  });
   return z;
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "tensor/parallel.h"
+
 namespace fsa::eval {
 
 namespace {
@@ -26,12 +28,30 @@ AuditReport audit_weights(const Tensor& before, const Tensor& after) {
   if (before.shape() != after.shape())
     throw std::invalid_argument("audit_weights: shape mismatch");
   AuditReport rep;
-  std::int64_t changed = 0;
-  for (std::size_t i = 0; i < before.size(); ++i) {
-    const double d = std::fabs(static_cast<double>(after[i]) - before[i]);
-    if (d > 0.0) ++changed;
-    rep.max_abs_change = std::max(rep.max_abs_change, d);
-  }
+  // Count + max are order-independent, so the parallel scan is exact.
+  struct Scan {
+    std::int64_t changed = 0;
+    double max_abs = 0.0;
+  };
+  const Scan scan = parallel_reduce(
+      0, before.numel(), 1 << 16, Scan{},
+      [&](std::int64_t b, std::int64_t e) {
+        Scan s;
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto ui = static_cast<std::size_t>(i);
+          const double d = std::fabs(static_cast<double>(after[ui]) - before[ui]);
+          if (d > 0.0) ++s.changed;
+          s.max_abs = std::max(s.max_abs, d);
+        }
+        return s;
+      },
+      [](Scan acc, const Scan& s) {
+        acc.changed += s.changed;
+        acc.max_abs = std::max(acc.max_abs, s.max_abs);
+        return acc;
+      });
+  const std::int64_t changed = scan.changed;
+  rep.max_abs_change = scan.max_abs;
   rep.changed_fraction =
       before.numel() == 0 ? 0.0 : static_cast<double>(changed) / static_cast<double>(before.numel());
 

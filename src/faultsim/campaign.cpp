@@ -1,8 +1,60 @@
 #include "faultsim/campaign.h"
 
 #include <set>
+#include <vector>
+
+#include "tensor/parallel.h"
 
 namespace fsa::faultsim {
+
+namespace {
+
+// Per-flip slice of a campaign, merged serially in flip order so double
+// accumulation (seconds) is deterministic for any thread count.
+struct FlipOutcome {
+  std::int64_t bits_flipped = 0;
+  std::int64_t hammer_attempts = 0;
+  std::int64_t massages = 0;
+  double seconds = 0.0;
+  bool all_flipped = true;
+};
+
+FlipOutcome hammer_one_flip(const ParamFlip& flip, const RowHammerParams& params, Rng& rng) {
+  FlipOutcome o;
+  for (int bit = 0; bit < 32; ++bit) {
+    if (!((flip.xor_mask >> bit) & 1u)) continue;
+    // Is this cell hammer-vulnerable in place? If not, massage memory
+    // (relocate the victim page) until a vulnerable aggressor/victim
+    // alignment is found or the retry budget is exhausted.
+    bool aligned = rng.bernoulli(params.vulnerable_frac);
+    for (std::int64_t mi = 0; !aligned && mi < params.max_massages_per_bit; ++mi) {
+      ++o.massages;
+      o.seconds += params.massage_seconds;
+      aligned = rng.bernoulli(params.massage_success_prob);
+    }
+    if (!aligned) {
+      o.all_flipped = false;  // no vulnerable cell found; don't hammer blind
+      continue;
+    }
+    bool flipped = false;
+    for (std::int64_t attempt = 0; attempt < params.max_attempts_per_bit; ++attempt) {
+      ++o.hammer_attempts;
+      o.seconds += params.seconds_per_attempt;
+      if (rng.bernoulli(params.flip_success_prob)) {
+        flipped = true;
+        break;
+      }
+    }
+    if (flipped) {
+      ++o.bits_flipped;
+    } else {
+      o.all_flipped = false;  // campaign gives up on this bit
+    }
+  }
+  return o;
+}
+
+}  // namespace
 
 CampaignReport simulate_rowhammer(const BitFlipPlan& plan, const RowHammerParams& params,
                                   const MemoryLayout& layout, Rng& rng) {
@@ -10,36 +62,33 @@ CampaignReport simulate_rowhammer(const BitFlipPlan& plan, const RowHammerParams
   CampaignReport report;
   report.bits_requested = plan.total_bit_flips;
   report.success = true;
-  for (const auto& flip : plan.flips) {
-    for (int bit = 0; bit < 32; ++bit) {
-      if (!((flip.xor_mask >> bit) & 1u)) continue;
-      // Is this cell hammer-vulnerable in place? If not, massage memory
-      // until a vulnerable aggressor/victim alignment is found.
-      if (!rng.bernoulli(params.vulnerable_frac)) {
-        ++report.massages;
-        report.seconds += params.massage_seconds;
-      }
-      bool flipped = false;
-      for (std::int64_t attempt = 0; attempt < params.max_attempts_per_bit; ++attempt) {
-        ++report.hammer_attempts;
-        report.seconds += params.seconds_per_attempt;
-        if (rng.bernoulli(params.flip_success_prob)) {
-          flipped = true;
-          break;
-        }
-      }
-      if (flipped) {
-        ++report.bits_flipped;
-      } else {
-        report.success = false;  // campaign gives up on this bit
-      }
+  const std::int64_t nflips = static_cast<std::int64_t>(plan.flips.size());
+  // Fork one stream per flip serially, then sweep flips in parallel — the
+  // flips are independent Monte-Carlo trials.
+  std::vector<Rng> streams;
+  streams.reserve(plan.flips.size());
+  for (std::int64_t i = 0; i < nflips; ++i) streams.push_back(rng.fork());
+  std::vector<FlipOutcome> outcomes(plan.flips.size());
+  parallel_for(0, nflips, 8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      outcomes[ui] = hammer_one_flip(plan.flips[ui], params, streams[ui]);
     }
+  });
+  for (const FlipOutcome& o : outcomes) {
+    report.bits_flipped += o.bits_flipped;
+    report.hammer_attempts += o.hammer_attempts;
+    report.massages += o.massages;
+    report.seconds += o.seconds;
+    if (!o.all_flipped) report.success = false;
   }
   return report;
 }
 
 CampaignReport simulate_laser(const BitFlipPlan& plan, const LaserParams& params,
                               const MemoryLayout& layout) {
+  // Deterministic cost model with nanoseconds of work per flip — the row
+  // merge dominates, so this stays serial rather than waking the pool.
   CampaignReport report;
   report.bits_requested = plan.total_bit_flips;
   report.bits_flipped = plan.total_bit_flips;

@@ -28,7 +28,9 @@ struct RowHammerParams {
   double vulnerable_frac = 0.02;     ///< fraction of cells flippable in place
   double seconds_per_attempt = 0.12; ///< one double-sided hammer burst
   double massage_seconds = 45.0;     ///< relocate page so a vulnerable cell aligns
+  double massage_success_prob = 0.7; ///< a relocation lands on a vulnerable cell
   std::int64_t max_attempts_per_bit = 200;
+  std::int64_t max_massages_per_bit = 8;  ///< relocations before giving up on a bit
 };
 
 struct LaserParams {
@@ -46,7 +48,12 @@ struct CampaignReport {
   double seconds = 0.0;
 };
 
-/// Simulate realizing `plan` with row hammer; deterministic given `rng`.
+/// Simulate realizing `plan` with row hammer; deterministic given `rng`
+/// (one pseudo-random stream is forked per flip up front, so the result is
+/// also independent of how the sweep is sharded across threads). A bit
+/// whose cell is not vulnerable in place is massaged until a vulnerable
+/// alignment is found, up to max_massages_per_bit relocations; a bit that
+/// never aligns is abandoned without hammering and fails the campaign.
 CampaignReport simulate_rowhammer(const BitFlipPlan& plan, const RowHammerParams& params,
                                   const MemoryLayout& layout, Rng& rng);
 

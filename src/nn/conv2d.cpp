@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace fsa::nn {
 
@@ -33,16 +34,21 @@ Shape Conv2D::output_shape(const Shape& input) const {
   return Shape({input.dim(0), out_c_, oh, ow});
 }
 
-Tensor Conv2D::im2col(const Tensor& input) const {
+void Conv2D::im2col_into(const Tensor& input, Tensor& cols) const {
   const Shape out_shape = output_shape(input.shape());
   const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
   const std::int64_t oh = out_shape.dim(2), ow = out_shape.dim(3);
   const std::int64_t patch = in_c_ * k_ * k_;
-  Tensor cols(Shape({n * oh * ow, patch}));
+  const Shape cols_shape({n * oh * ow, patch});
+  if (cols.shape() != cols_shape) cols = Tensor(cols_shape);
   float* dst = cols.data();
   const float* src = input.data();
-  for (std::int64_t img = 0; img < n; ++img) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
+  // Every output row (img, oy) pair is written by exactly one index, and
+  // every element of `cols` is assigned (padding included), so the reused
+  // workspace never leaks stale values.
+  parallel_for(0, n * oh, 8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t io = b; io < e; ++io) {
+      const std::int64_t img = io / oh, oy = io % oh;
       for (std::int64_t ox = 0; ox < ow; ++ox) {
         float* row = dst + ((img * oh + oy) * ow + ox) * patch;
         const std::int64_t iy0 = oy * stride_ - pad_;
@@ -60,8 +66,7 @@ Tensor Conv2D::im2col(const Tensor& input) const {
         }
       }
     }
-  }
-  return cols;
+  });
 }
 
 Tensor Conv2D::col2im(const Tensor& cols, const Shape& input_shape) const {
@@ -72,48 +77,57 @@ Tensor Conv2D::col2im(const Tensor& cols, const Shape& input_shape) const {
   Tensor out(input_shape);
   float* dst = out.data();
   const float* src = cols.data();
-  for (std::int64_t img = 0; img < n; ++img) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        const float* row = src + ((img * oh + oy) * ow + ox) * patch;
-        const std::int64_t iy0 = oy * stride_ - pad_;
-        const std::int64_t ix0 = ox * stride_ - pad_;
-        std::int64_t idx = 0;
-        for (std::int64_t c = 0; c < in_c_; ++c) {
-          float* plane = dst + (img * in_c_ + c) * h * w;
-          for (std::int64_t ky = 0; ky < k_; ++ky) {
-            const std::int64_t iy = iy0 + ky;
-            for (std::int64_t kx = 0; kx < k_; ++kx, ++idx) {
-              const std::int64_t ix = ix0 + kx;
-              if (iy >= 0 && iy < h && ix >= 0 && ix < w) plane[iy * w + ix] += row[idx];
+  // Overlapping windows within one image scatter-add into the same plane,
+  // so the parallel split is per image (disjoint planes).
+  parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t img = b; img < e; ++img) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float* row = src + ((img * oh + oy) * ow + ox) * patch;
+          const std::int64_t iy0 = oy * stride_ - pad_;
+          const std::int64_t ix0 = ox * stride_ - pad_;
+          std::int64_t idx = 0;
+          for (std::int64_t c = 0; c < in_c_; ++c) {
+            float* plane = dst + (img * in_c_ + c) * h * w;
+            for (std::int64_t ky = 0; ky < k_; ++ky) {
+              const std::int64_t iy = iy0 + ky;
+              for (std::int64_t kx = 0; kx < k_; ++kx, ++idx) {
+                const std::int64_t ix = ix0 + kx;
+                if (iy >= 0 && iy < h && ix >= 0 && ix < w) plane[iy * w + ix] += row[idx];
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return out;
 }
 
 Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
   const Shape out_shape = output_shape(input.shape());
   cached_input_shape_ = input.shape();
-  cached_cols_ = im2col(input);
+  im2col_into(input, cached_cols_);
   // [N·OH·OW, patch] · [patch, out_c] → [N·OH·OW, out_c]
-  Tensor flat = ops::matmul(cached_cols_, weight_.value());
-  ops::add_row_bias(flat, bias_.value());
+  const Shape flat_shape({cached_cols_.dim(0), out_c_});
+  if (flat_ws_.shape() != flat_shape) flat_ws_ = Tensor(flat_shape);
+  flat_ws_.fill(0.0f);
+  ops::matmul_acc(cached_cols_, weight_.value(), flat_ws_);
+  ops::add_row_bias(flat_ws_, bias_.value());
   // Rearrange [N·OH·OW, out_c] → [N, out_c, OH, OW].
   const std::int64_t n = out_shape.dim(0), oh = out_shape.dim(2), ow = out_shape.dim(3);
   Tensor out(out_shape);
-  const float* src = flat.data();
+  const float* src = flat_ws_.data();
   float* dst = out.data();
-  for (std::int64_t img = 0; img < n; ++img)
-    for (std::int64_t oy = 0; oy < oh; ++oy)
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        const float* row = src + ((img * oh + oy) * ow + ox) * out_c_;
-        for (std::int64_t c = 0; c < out_c_; ++c)
-          dst[((img * out_c_ + c) * oh + oy) * ow + ox] = row[c];
-      }
+  parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t img = b; img < e; ++img)
+      for (std::int64_t oy = 0; oy < oh; ++oy)
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float* row = src + ((img * oh + oy) * ow + ox) * out_c_;
+          for (std::int64_t c = 0; c < out_c_; ++c)
+            dst[((img * out_c_ + c) * oh + oy) * ow + ox] = row[c];
+        }
+  });
   return out;
 }
 
@@ -127,12 +141,14 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   {
     const float* src = grad_output.data();
     float* dst = flat.data();
-    for (std::int64_t img = 0; img < n; ++img)
-      for (std::int64_t c = 0; c < out_c_; ++c)
-        for (std::int64_t oy = 0; oy < oh; ++oy)
-          for (std::int64_t ox = 0; ox < ow; ++ox)
-            dst[((img * oh + oy) * ow + ox) * out_c_ + c] =
-                src[((img * out_c_ + c) * oh + oy) * ow + ox];
+    parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t img = b; img < e; ++img)
+        for (std::int64_t c = 0; c < out_c_; ++c)
+          for (std::int64_t oy = 0; oy < oh; ++oy)
+            for (std::int64_t ox = 0; ox < ow; ++ox)
+              dst[((img * oh + oy) * ow + ox) * out_c_ + c] =
+                  src[((img * out_c_ + c) * oh + oy) * ow + ox];
+    });
   }
   // dW = colsᵀ · dy_flat ; db = column sums ; dcols = dy_flat · Wᵀ.
   weight_.grad() += ops::matmul_tn(cached_cols_, flat);

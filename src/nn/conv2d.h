@@ -31,8 +31,10 @@ class Conv2D final : public Layer {
   [[nodiscard]] std::int64_t kernel() const { return k_; }
 
  private:
-  /// Unfold input [N,C,H,W] into a matrix [N·OH·OW, C·k·k].
-  Tensor im2col(const Tensor& input) const;
+  /// Unfold input [N,C,H,W] into `cols` [N·OH·OW, C·k·k]. `cols` is a
+  /// reusable workspace: it is only reallocated when the shape changes, so
+  /// steady-state forward passes do no im2col allocation.
+  void im2col_into(const Tensor& input, Tensor& cols) const;
   /// Fold a column-matrix gradient back to input layout (adjoint of im2col).
   Tensor col2im(const Tensor& cols, const Shape& input_shape) const;
 
@@ -40,7 +42,8 @@ class Conv2D final : public Layer {
   std::int64_t in_c_, out_c_, k_, stride_, pad_;
   Parameter weight_;  // [C·k·k, out_c] — GEMM-ready layout
   Parameter bias_;    // [out_c]
-  Tensor cached_cols_;
+  Tensor cached_cols_;  // im2col workspace, also read by backward
+  Tensor flat_ws_;      // [N·OH·OW, out_c] GEMM output workspace
   Shape cached_input_shape_;
 };
 

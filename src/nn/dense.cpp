@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace fsa::nn {
 
@@ -27,11 +28,17 @@ Tensor Dense::backward(const Tensor& grad_output) {
   // dW[in, out] += xᵀ · dy ; db[out] += column sums of dy ; dx = dy · Wᵀ.
   weight_.grad() += ops::matmul_tn(cached_input_, grad_output);
   const std::int64_t n = grad_output.dim(0);
-  for (std::int64_t r = 0; r < n; ++r) {
-    const float* row = grad_output.data() + r * out_;
-    float* bg = bias_.grad().data();
-    for (std::int64_t c = 0; c < out_; ++c) bg[c] += row[c];
-  }
+  // Each bias column sums only its own slice of dy, so the column split is
+  // exact for any thread count; rows stay outermost so dy streams.
+  float* bg = bias_.grad().data();
+  const float* dy = grad_output.data();
+  parallel_for(0, out_, std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(n, 1)),
+               [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t r = 0; r < n; ++r) {
+      const float* row = dy + r * out_;
+      for (std::int64_t c = c0; c < c1; ++c) bg[c] += row[c];
+    }
+  });
   return ops::matmul_nt(grad_output, weight_.value());
 }
 

@@ -1,0 +1,238 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "tensor/parallel.h"
+
+namespace fsa::gemm {
+
+namespace {
+
+constexpr std::int64_t kMR = Blocking::mr;
+
+// Below this many flops a GEMM is not worth waking the pool for; the grain
+// passed to parallel_for keeps at least this much work per chunk.
+constexpr double kSerialFlops = 1 << 19;
+
+std::int64_t tile_grain(std::int64_t k, std::int64_t n) {
+  const double flops_per_tile = 2.0 * kMR * static_cast<double>(k) * static_cast<double>(n);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(kSerialFlops / std::max(flops_per_tile, 1.0)));
+}
+
+std::int64_t row_nnz(const float* a, std::int64_t k) {
+  std::int64_t nz = 0;
+  for (std::int64_t p = 0; p < k; ++p) nz += a[p] != 0.0f;
+  return nz;
+}
+
+// The seed kernel, one row at a time: skips zero A entries, which is the
+// fast path for the attack's sparse δ rows and the tail/mixed-tile path.
+void row_nn(const float* ai, const float* b, float* ci, std::int64_t k, std::int64_t n) {
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float aip = ai[p];
+    if (aip == 0.0f) continue;
+    const float* bp = b + p * n;
+    for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+  }
+}
+
+// Dense 4×nr register block: the C sub-block lives in vector registers for
+// the whole k loop (one load and one store per element total), each
+// streamed B stripe feeds four C rows, and the four accumulator rows give
+// the FMA units independent chains. FetchA abstracts the A layout — row
+// pointers for NN, a contiguous 4-column group for TN — and inlines away.
+template <typename FetchA>
+inline void block_rows_4(FetchA&& fetch_a, const float* b, float* c, std::int64_t i0,
+                         std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t nr = Blocking::nr;
+  float* c0 = c + (i0 + 0) * n;
+  float* c1 = c + (i0 + 1) * n;
+  float* c2 = c + (i0 + 2) * n;
+  float* c3 = c + (i0 + 3) * n;
+  std::int64_t j0 = 0;
+  for (; j0 + nr <= n; j0 += nr) {
+    float acc0[nr], acc1[nr], acc2[nr], acc3[nr];
+    for (std::int64_t j = 0; j < nr; ++j) {
+      acc0[j] = c0[j0 + j];
+      acc1[j] = c1[j0 + j];
+      acc2[j] = c2[j0 + j];
+      acc3[j] = c3[j0 + j];
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      float x0, x1, x2, x3;
+      fetch_a(p, x0, x1, x2, x3);
+      if (x0 == 0.0f && x1 == 0.0f && x2 == 0.0f && x3 == 0.0f) continue;
+      const float* bp = b + p * n + j0;
+      for (std::int64_t j = 0; j < nr; ++j) {
+        const float bj = bp[j];
+        acc0[j] += x0 * bj;
+        acc1[j] += x1 * bj;
+        acc2[j] += x2 * bj;
+        acc3[j] += x3 * bj;
+      }
+    }
+    for (std::int64_t j = 0; j < nr; ++j) {
+      c0[j0 + j] = acc0[j];
+      c1[j0 + j] = acc1[j];
+      c2[j0 + j] = acc2[j];
+      c3[j0 + j] = acc3[j];
+    }
+  }
+  if (j0 < n) {  // ≤ nr-1 tail columns: stream C instead of blocking it
+    for (std::int64_t p = 0; p < k; ++p) {
+      float x0, x1, x2, x3;
+      fetch_a(p, x0, x1, x2, x3);
+      if (x0 == 0.0f && x1 == 0.0f && x2 == 0.0f && x3 == 0.0f) continue;
+      const float* bp = b + p * n;
+      for (std::int64_t j = j0; j < n; ++j) {
+        const float bj = bp[j];
+        c0[j] += x0 * bj;
+        c1[j] += x1 * bj;
+        c2[j] += x2 * bj;
+        c3[j] += x3 * bj;
+      }
+    }
+  }
+}
+
+void tile_nn_4(const float* a, const float* b, float* c, std::int64_t i0, std::int64_t k,
+               std::int64_t n) {
+  const float* a0 = a + (i0 + 0) * k;
+  const float* a1 = a + (i0 + 1) * k;
+  const float* a2 = a + (i0 + 2) * k;
+  const float* a3 = a + (i0 + 3) * k;
+  block_rows_4(
+      [&](std::int64_t p, float& x0, float& x1, float& x2, float& x3) {
+        x0 = a0[p];
+        x1 = a1[p];
+        x2 = a2[p];
+        x3 = a3[p];
+      },
+      b, c, i0, k, n);
+}
+
+// TN: A is (k×m); the four needed A entries per k-step are contiguous.
+void tile_tn_4(const float* a, const float* b, float* c, std::int64_t i0, std::int64_t m,
+               std::int64_t k, std::int64_t n) {
+  block_rows_4(
+      [&](std::int64_t p, float& x0, float& x1, float& x2, float& x3) {
+        const float* ap = a + p * m + i0;
+        x0 = ap[0];
+        x1 = ap[1];
+        x2 = ap[2];
+        x3 = ap[3];
+      },
+      b, c, i0, k, n);
+}
+
+void row_tn(const float* a, const float* b, float* ci, std::int64_t i, std::int64_t m,
+            std::int64_t k, std::int64_t n) {
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float aip = a[p * m + i];
+    if (aip == 0.0f) continue;
+    const float* bp = b + p * n;
+    for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+  }
+}
+
+// NT 4×4 tile: sixteen independent dot-product chains over contiguous A
+// and B rows; the ILP hides the serial (reassociation-free) k recurrence.
+void tile_nt_4x4(const float* a, const float* b, float* c, std::int64_t i0, std::int64_t j0,
+                 std::int64_t k, std::int64_t n) {
+  const float* a0 = a + (i0 + 0) * k;
+  const float* a1 = a + (i0 + 1) * k;
+  const float* a2 = a + (i0 + 2) * k;
+  const float* a3 = a + (i0 + 3) * k;
+  const float* b0 = b + (j0 + 0) * k;
+  const float* b1 = b + (j0 + 1) * k;
+  const float* b2 = b + (j0 + 2) * k;
+  const float* b3 = b + (j0 + 3) * k;
+  float s00 = 0, s01 = 0, s02 = 0, s03 = 0;
+  float s10 = 0, s11 = 0, s12 = 0, s13 = 0;
+  float s20 = 0, s21 = 0, s22 = 0, s23 = 0;
+  float s30 = 0, s31 = 0, s32 = 0, s33 = 0;
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float x0 = a0[p], x1 = a1[p], x2 = a2[p], x3 = a3[p];
+    const float y0 = b0[p], y1 = b1[p], y2 = b2[p], y3 = b3[p];
+    s00 += x0 * y0; s01 += x0 * y1; s02 += x0 * y2; s03 += x0 * y3;
+    s10 += x1 * y0; s11 += x1 * y1; s12 += x1 * y2; s13 += x1 * y3;
+    s20 += x2 * y0; s21 += x2 * y1; s22 += x2 * y2; s23 += x2 * y3;
+    s30 += x3 * y0; s31 += x3 * y1; s32 += x3 * y2; s33 += x3 * y3;
+  }
+  float* c0 = c + (i0 + 0) * n + j0;
+  float* c1 = c + (i0 + 1) * n + j0;
+  float* c2 = c + (i0 + 2) * n + j0;
+  float* c3 = c + (i0 + 3) * n + j0;
+  c0[0] += s00; c0[1] += s01; c0[2] += s02; c0[3] += s03;
+  c1[0] += s10; c1[1] += s11; c1[2] += s12; c1[3] += s13;
+  c2[0] += s20; c2[1] += s21; c2[2] += s22; c2[3] += s23;
+  c3[0] += s30; c3[1] += s31; c3[2] += s32; c3[3] += s33;
+}
+
+}  // namespace
+
+void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  const std::int64_t tiles = (m + kMR - 1) / kMR;
+  parallel_for(0, tiles, tile_grain(k, n), [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t i0 = t * kMR;
+      const std::int64_t ib = std::min(kMR, m - i0);
+      // A tile goes through the dense micro-kernel only if every row is
+      // dense; sparse δ-like rows (and tails) keep the zero-skip path.
+      bool all_dense = ib == kMR;
+      for (std::int64_t r = 0; all_dense && r < ib; ++r)
+        all_dense = row_nnz(a + (i0 + r) * k, k) * 8 >= k;
+      if (all_dense) {
+        tile_nn_4(a, b, c, i0, k, n);
+      } else {
+        for (std::int64_t r = 0; r < ib; ++r)
+          row_nn(a + (i0 + r) * k, b, c + (i0 + r) * n, k, n);
+      }
+    }
+  });
+}
+
+void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  const std::int64_t tiles = (m + kMR - 1) / kMR;
+  parallel_for(0, tiles, tile_grain(k, n), [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t i0 = t * kMR;
+      const std::int64_t ib = std::min(kMR, m - i0);
+      if (ib == kMR) {
+        tile_tn_4(a, b, c, i0, m, k, n);
+      } else {
+        for (std::int64_t r = 0; r < ib; ++r) row_tn(a, b, c + (i0 + r) * n, i0 + r, m, k, n);
+      }
+    }
+  });
+}
+
+void gemm_nt_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n) {
+  if (m <= 0 || n <= 0) return;  // k == 0 is a valid empty contraction
+  const std::int64_t tiles = (m + kMR - 1) / kMR;
+  parallel_for(0, tiles, tile_grain(k, n), [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t i0 = t * kMR;
+      const std::int64_t ib = std::min(kMR, m - i0);
+      std::int64_t j0 = 0;
+      for (; ib == kMR && j0 + kMR <= n; j0 += kMR) tile_nt_4x4(a, b, c, i0, j0, k, n);
+      for (std::int64_t r = 0; r < ib; ++r) {
+        const float* ai = a + (i0 + r) * k;
+        float* ci = c + (i0 + r) * n;
+        for (std::int64_t j = j0; j < n; ++j) {
+          const float* bj = b + j * k;
+          float acc = 0.0f;
+          for (std::int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+          ci[j] += acc;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace fsa::gemm

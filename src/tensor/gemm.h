@@ -1,0 +1,41 @@
+// gemm.h — cache-blocked, register-tiled GEMM kernels.
+//
+// The attack's wall-clock lives in three GEMM variants: NN (forward),
+// TN (weight gradients), NT (input gradients). All three kernels here
+// accumulate (C += …) over row-major contiguous buffers and tile the
+// output into mr×nr register blocks: the C block stays in vector registers
+// for the whole k loop, so each output element costs one load and one
+// store total while every streamed B stripe feeds mr rows at once.
+// Work is sharded across the parallel.h thread pool by output-row tile;
+// tile boundaries depend only on the shapes, and every output element is
+// accumulated in ascending-k order by exactly one thread, so results are
+// bit-identical for any thread count.
+//
+// The NN kernel keeps the seed's sparse-row fast path: rows that are
+// mostly zeros (δ rows in the attack) skip their zero entries instead of
+// multiplying through.
+#pragma once
+
+#include <cstdint>
+
+namespace fsa::gemm {
+
+/// Tiling parameters, exposed so tests can pick shapes that straddle them.
+struct Blocking {
+  static constexpr std::int64_t mr = 4;   ///< C rows per register block
+  static constexpr std::int64_t nr = 32;  ///< C columns per register block
+};
+
+/// C(m×n) += A(m×k) · B(k×n).
+void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n);
+
+/// C(m×n) += Aᵀ · B where A is stored (k×m) — no materialized transpose.
+void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n);
+
+/// C(m×n) += A · Bᵀ where B is stored (n×k) — no materialized transpose.
+void gemm_nt_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n);
+
+}  // namespace fsa::gemm

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/gemm.h"
+#include "tensor/parallel.h"
+
 namespace fsa::ops {
 
 namespace {
@@ -28,21 +31,7 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
   if (b.dim(0) != k)
     throw std::invalid_argument("matmul: inner dims " + a.shape().str() + " · " + b.shape().str());
   if (c.dim(0) != m || c.dim(1) != n) throw std::invalid_argument("matmul: bad output shape");
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  // i-k-j order: the j loop streams contiguously over B and C and
-  // auto-vectorizes; A[i*k+p] is a scalar hoisted out of it.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* Ci = C + i * n;
-    const float* Ai = A + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float aip = Ai[p];
-      if (aip == 0.0f) continue;  // sparse δ rows are common in the attack
-      const float* Bp = B + p * n;
-      for (std::int64_t j = 0; j < n; ++j) Ci[j] += aip * Bp[j];
-    }
-  }
+  gemm::gemm_nn_acc(a.data(), b.data(), c.data(), m, k, n);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -57,20 +46,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul_tn: inner dims mismatch");
   Tensor c(Shape({m, n}));
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  // Cᵢⱼ = Σ_p A[p][i] B[p][j]; p outermost keeps both reads streaming.
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* Ap = A + p * m;
-    const float* Bp = B + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float api = Ap[i];
-      if (api == 0.0f) continue;
-      float* Ci = C + i * n;
-      for (std::int64_t j = 0; j < n; ++j) Ci[j] += api * Bp[j];
-    }
-  }
+  gemm::gemm_tn_acc(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -80,19 +56,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dims mismatch");
   Tensor c(Shape({m, n}));
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* Ai = A + i * k;
-    float* Ci = C + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* Bj = B + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += Ai[p] * Bj[p];
-      Ci[j] = acc;
-    }
-  }
+  gemm::gemm_nt_acc(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -113,12 +77,14 @@ double dot(const Tensor& a, const Tensor& b) {
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "add");
   Tensor out = a;
   out += b;
   return out;
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "sub");
   Tensor out = a;
   out -= b;
   return out;
@@ -212,19 +178,23 @@ Tensor softmax_rows(const Tensor& logits) {
   check2d(logits, "softmax_rows");
   const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
   Tensor out(logits.shape());
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* in = logits.data() + r * cols;
-    float* o = out.data() + r * cols;
-    float mx = in[0];
-    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      o[c] = std::exp(in[c] - mx);
-      denom += o[c];
+  // Rows are independent, so sharding them over the pool is exact.
+  parallel_for(0, rows, std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(cols, 1)),
+               [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* in = logits.data() + r * cols;
+      float* o = out.data() + r * cols;
+      float mx = in[0];
+      for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+      double denom = 0.0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        o[c] = std::exp(in[c] - mx);
+        denom += o[c];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
-  }
+  });
   return out;
 }
 
@@ -243,13 +213,21 @@ double cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labe
 }
 
 Tensor cross_entropy_grad(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  check2d(logits, "cross_entropy_grad");
   const std::int64_t rows = logits.dim(0);
+  const std::int64_t cols = logits.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != rows)
+    throw std::invalid_argument("cross_entropy_grad: label count mismatch");
   Tensor g = softmax_rows(logits);
   const float inv_n = 1.0f / static_cast<float>(rows);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    g.at2(r, labels[static_cast<std::size_t>(r)]) -= 1.0f;
-  }
-  g *= inv_n;
+  parallel_for(0, rows, std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(cols, 1)),
+               [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float* row = g.data() + r * cols;
+      row[labels[static_cast<std::size_t>(r)]] -= 1.0f;
+      for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv_n;
+    }
+  });
   return g;
 }
 

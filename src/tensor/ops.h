@@ -2,9 +2,11 @@
 //
 // Free functions rather than members: layers and the attack engine compose
 // these kernels, and keeping them out of Tensor keeps the class small.
-// All kernels are single-threaded; the GEMM uses an i-k-j loop order with
-// a registered accumulator row so GCC auto-vectorizes the inner loop, which
-// is what makes CPU training of the C&W network practical on one core.
+// The GEMM variants route through the blocked, register-tiled kernels in
+// gemm.h, and the row-parallel kernels (softmax, cross-entropy gradient)
+// shard over the parallel.h thread pool. Every kernel is deterministic for
+// any thread count: each output element is produced by exactly one thread
+// in a fixed accumulation order (see parallel.h for the contract).
 #pragma once
 
 #include <cstdint>

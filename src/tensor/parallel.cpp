@@ -1,0 +1,192 @@
+#include "tensor/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace fsa {
+
+namespace {
+
+// Workers run on the thread pool; the submitting thread also executes
+// chunks, so a pool of N threads means N-1 spawned workers. One job runs at
+// a time (a nested parallel_for from inside a worker falls back to serial).
+thread_local bool tl_inside_pool = false;
+
+int default_thread_count() {
+  if (const char* env = std::getenv("FSA_NUM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+// Each submission gets its own heap-allocated state. A worker that wakes up
+// late (or lingers after the caller returned) only ever touches the job it
+// holds a shared_ptr to, whose chunk counter is already exhausted — it can
+// never bleed into the next submission.
+struct Job {
+  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+  std::int64_t begin = 0, end = 0, chunk = 0, nchunks = 0;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+
+  // Returns once no chunks remain to claim. The caller's `body` outlives
+  // every execution: the submitter blocks until done == nchunks, and done
+  // is only incremented after body returns.
+  void work() {
+    for (;;) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) return;
+      const std::int64_t b = begin + c * chunk;
+      const std::int64_t e = std::min(end, b + chunk);
+      try {
+        (*body)(b, e);
+      } catch (...) {
+        std::lock_guard lk(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == nchunks) {
+        std::lock_guard lk(mu);  // pairs with the submitter's wait
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void wait() {
+    std::unique_lock lk(mu);
+    done_cv.wait(lk, [&] { return done.load(std::memory_order_acquire) == nchunks; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  int threads() const { return threads_; }
+
+  void set_threads(int n) {
+    if (n <= 0) n = default_thread_count();
+    std::lock_guard submit_lock(submit_mu_);
+    if (n == threads_) return;
+    stop_workers();
+    threads_ = n;
+    start_workers();
+  }
+
+  void run(const std::shared_ptr<Job>& job) {
+    std::lock_guard submit_lock(submit_mu_);
+    {
+      std::lock_guard lk(mu_);
+      job_ = job;
+      ++generation_;
+    }
+    cv_.notify_all();
+    // The submitting thread is pool member #0. While it executes chunks it
+    // must count as inside the pool, or a nested parallel_for in the body
+    // would re-enter run() and self-deadlock on submit_mu_.
+    const bool was_inside = tl_inside_pool;
+    tl_inside_pool = true;
+    job->work();
+    tl_inside_pool = was_inside;
+    job->wait();
+    std::lock_guard lk(mu_);
+    job_ = nullptr;
+  }
+
+ private:
+  ThreadPool() : threads_(default_thread_count()) { start_workers(); }
+
+  ~ThreadPool() { stop_workers(); }
+
+  void start_workers() {
+    stopping_ = false;
+    for (int i = 0; i < threads_ - 1; ++i) workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard lk(mu_);
+      stopping_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+  }
+
+  void worker_loop() {
+    tl_inside_pool = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return stopping_ || generation_ != seen; });
+        seen = generation_;
+        if (stopping_) return;
+        job = job_;
+      }
+      if (job) job->work();
+    }
+  }
+
+  int threads_;
+  std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  // serializes run()/set_threads() callers
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  std::shared_ptr<Job> job_;
+};
+
+}  // namespace
+
+int num_threads() { return ThreadPool::instance().threads(); }
+
+void set_num_threads(int n) { ThreadPool::instance().set_threads(n); }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t total = end - begin;
+  ThreadPool& pool = ThreadPool::instance();
+  const int nt = pool.threads();
+  if (total <= grain || nt == 1 || tl_inside_pool) {
+    body(begin, end);
+    return;
+  }
+  // ~4 chunks per thread for load balance, but never below the grain.
+  std::int64_t chunk = (total + nt * 4 - 1) / (nt * 4);
+  chunk = std::max(chunk, grain);
+  const std::int64_t nchunks = (total + chunk - 1) / chunk;
+  if (nchunks == 1) {
+    body(begin, end);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->begin = begin;
+  job->end = end;
+  job->chunk = chunk;
+  job->nchunks = nchunks;
+  pool.run(job);
+}
+
+}  // namespace fsa

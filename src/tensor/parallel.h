@@ -1,0 +1,60 @@
+// parallel.h — the shared thread-pool behind every hot kernel.
+//
+// One process-wide pool of worker threads executes index ranges submitted
+// through parallel_for. The worker count defaults to the hardware thread
+// count, can be pinned with the FSA_NUM_THREADS environment variable, and
+// can be changed at runtime with set_num_threads (tests use this to prove
+// 1-thread and N-thread runs agree bit-for-bit).
+//
+// Determinism contract: parallel_for may split [begin, end) into chunks in
+// a thread-count-dependent way, so the BODY must compute each index's
+// result independently of where chunk boundaries fall (true for every
+// kernel in this library: each output element is produced by exactly one
+// index). parallel_reduce instead fixes its chunk boundaries from `grain`
+// alone and folds the per-chunk partials in chunk order, so floating-point
+// reductions are identical for any number of threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fsa {
+
+/// Current worker count (≥ 1). First call reads FSA_NUM_THREADS.
+int num_threads();
+
+/// Override the worker count; n ≤ 0 restores the environment default.
+void set_num_threads(int n);
+
+/// Run body(b, e) over disjoint subranges covering [begin, end). `grain` is
+/// the minimum number of indices per chunk; ranges at or below it (or a
+/// 1-thread pool) run serially on the calling thread. Exceptions thrown by
+/// the body are rethrown on the caller.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// Deterministic parallel reduction: chunk boundaries depend only on
+/// `grain`, partials are combined serially in ascending chunk order.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(std::int64_t begin, std::int64_t end, std::int64_t grain, T init,
+                  const Body& body, const Combine& combine) {
+  if (end <= begin) return init;
+  if (grain < 1) grain = 1;
+  const std::int64_t total = end - begin;
+  const std::int64_t nchunks = (total + grain - 1) / grain;
+  if (nchunks == 1) return combine(init, body(begin, end));
+  std::vector<T> parts(static_cast<std::size_t>(nchunks), init);
+  parallel_for(0, nchunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      const std::int64_t b = begin + c * grain;
+      const std::int64_t e = std::min(end, b + grain);
+      parts[static_cast<std::size_t>(c)] = body(b, e);
+    }
+  });
+  T acc = init;
+  for (const T& p : parts) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace fsa

@@ -6,10 +6,32 @@
 
 #include <cmath>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace fsa::ops {
 namespace {
+
+/// Textbook i-j-p triple loop, double accumulator — the reference the
+/// blocked/tiled/parallel kernels are checked against.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c(Shape({m, n}));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a.at2(i, p)) * b.at2(p, j);
+      c.at2(i, j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+/// Restores the pool to the environment default when a test body returns.
+struct ThreadGuard {
+  ~ThreadGuard() { set_num_threads(0); }
+};
 
 struct GemmCase {
   std::int64_t m, k, n;
@@ -87,6 +109,113 @@ INSTANTIATE_TEST_SUITE_P(
       return "m" + std::to_string(p.m) + "_k" + std::to_string(p.k) + "_n" +
              std::to_string(p.n);
     });
+
+// ---- parity of the blocked/parallel backend against the naive reference ----
+
+class GemmParity : public ::testing::TestWithParam<GemmCase> {
+ protected:
+  static double rel_err(const Tensor& got, const Tensor& want) {
+    double num = 0.0, den = 1e-12;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      num += std::fabs(static_cast<double>(got[i]) - want[i]);
+      den += std::fabs(want[i]);
+    }
+    return num / den;
+  }
+};
+
+TEST_P(GemmParity, AllVariantsMatchNaive) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  const Tensor A = Tensor::randn(Shape({p.m, p.k}), rng);
+  const Tensor B = Tensor::randn(Shape({p.k, p.n}), rng);
+  const Tensor want = naive_matmul(A, B);
+  EXPECT_LT(rel_err(matmul(A, B), want), 1e-4);
+  EXPECT_LT(rel_err(matmul_tn(transpose2d(A), B), want), 1e-4);
+  EXPECT_LT(rel_err(matmul_nt(A, transpose2d(B)), want), 1e-4);
+}
+
+TEST_P(GemmParity, SparseDeltaRowsMatchNaive) {
+  // δ-like inputs: most rows all-zero, a few rows with a handful of spikes.
+  // Exercises the sparse-row fast path and the mixed sparse/dense tiles.
+  const auto p = GetParam();
+  Rng rng(p.seed + 1000);
+  Tensor A = Tensor::zeros(Shape({p.m, p.k}));
+  for (std::int64_t i = 0; i < p.m; i += 3)
+    for (std::int64_t t = 0; t < std::max<std::int64_t>(p.k / 16, 1); ++t)
+      A.at2(i, static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(p.k)))) =
+          static_cast<float>(rng.normal());
+  const Tensor B = Tensor::randn(Shape({p.k, p.n}), rng);
+  EXPECT_LT(rel_err(matmul(A, B), naive_matmul(A, B)), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParity,
+    ::testing::Values(
+        // degenerate and single-row shapes
+        GemmCase{1, 1, 1, 11}, GemmCase{1, 300, 7, 12}, GemmCase{5, 1, 5, 13},
+        // odd shapes that straddle the mr=4 row tile
+        GemmCase{3, 17, 9, 14}, GemmCase{33, 17, 9, 15}, GemmCase{66, 129, 35, 16},
+        // shapes that cross the kc=256 and nc=1024 panel boundaries
+        GemmCase{9, 520, 33, 17}, GemmCase{18, 70, 1040, 18}, GemmCase{70, 300, 1030, 19},
+        // paper head shapes
+        GemmCase{1000, 200, 10, 20}, GemmCase{200, 1000, 10, 21}),
+    [](const ::testing::TestParamInfo<GemmCase>& info) {
+      const auto& p = info.param;
+      return "m" + std::to_string(p.m) + "_k" + std::to_string(p.k) + "_n" +
+             std::to_string(p.n);
+    });
+
+TEST(GemmEdge, KZeroIsEmptyContraction) {
+  const Tensor A(Shape({3, 0}));
+  const Tensor B(Shape({0, 4}));
+  const Tensor C = matmul(A, B);
+  ASSERT_EQ(C.dim(0), 3);
+  ASSERT_EQ(C.dim(1), 4);
+  for (float v : C.span()) EXPECT_EQ(v, 0.0f);
+  const Tensor Cnt = matmul_nt(A, Tensor(Shape({4, 0})));
+  for (float v : Cnt.span()) EXPECT_EQ(v, 0.0f);
+}
+
+// ---- determinism: 1 thread and N threads must agree bit-for-bit ------------
+
+TEST(GemmDeterminism, ThreadCountInvariant) {
+  ThreadGuard guard;
+  const GemmCase cases[] = {{1, 1, 1, 31},      {7, 3, 5, 32},      {33, 17, 9, 33},
+                            {66, 129, 35, 34},  {9, 520, 33, 35},   {70, 300, 1030, 36},
+                            {1000, 200, 10, 37}};
+  for (const auto& p : cases) {
+    Rng rng(p.seed);
+    const Tensor A = Tensor::randn(Shape({p.m, p.k}), rng);
+    const Tensor B = Tensor::randn(Shape({p.k, p.n}), rng);
+    const Tensor At = transpose2d(A);
+    const Tensor Bt = transpose2d(B);
+    set_num_threads(1);
+    const Tensor nn1 = matmul(A, B);
+    const Tensor tn1 = matmul_tn(At, B);
+    const Tensor nt1 = matmul_nt(A, Bt);
+    for (int threads : {2, 4, 7}) {
+      set_num_threads(threads);
+      EXPECT_TRUE(matmul(A, B) == nn1) << "NN differs at " << threads << " threads";
+      EXPECT_TRUE(matmul_tn(At, B) == tn1) << "TN differs at " << threads << " threads";
+      EXPECT_TRUE(matmul_nt(A, Bt) == nt1) << "NT differs at " << threads << " threads";
+    }
+  }
+}
+
+TEST(GemmDeterminism, RowParallelOpsThreadCountInvariant) {
+  ThreadGuard guard;
+  Rng rng(99);
+  const Tensor logits = Tensor::randn(Shape({513, 10}), rng);
+  std::vector<std::int64_t> labels(513);
+  for (auto& l : labels) l = static_cast<std::int64_t>(rng.uniform_int(10));
+  set_num_threads(1);
+  const Tensor sm1 = softmax_rows(logits);
+  const Tensor ce1 = cross_entropy_grad(logits, labels);
+  set_num_threads(4);
+  EXPECT_TRUE(softmax_rows(logits) == sm1);
+  EXPECT_TRUE(cross_entropy_grad(logits, labels) == ce1);
+}
 
 }  // namespace
 }  // namespace fsa::ops

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# run_benches.sh — build Release, run the micro-op benchmarks, and write the
+# machine-readable BENCH_micro_ops.json trajectory at the repo root.
+#
+#   tools/run_benches.sh [extra benchmark args...]
+#
+# Extra args are forwarded to bench_micro_ops (e.g. --benchmark_filter=Gemm
+# or --benchmark_min_time=2). If python3 is available, a serial-vs-parallel
+# speedup summary for the GEMM sizes is printed from the JSON.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+out_json="$repo_root/BENCH_micro_ops.json"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j --target bench_micro_ops
+
+"$build_dir/bench_micro_ops" \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $out_json"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out_json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+times = {b["name"]: b["real_time"] for b in data.get("benchmarks", [])}
+print("\nGEMM speedup vs seed serial kernel (real time):")
+for size in (256, 512):
+    seed = times.get(f"BM_GemmSeedSerial/{size}")
+    if seed is None:
+        continue
+    for threads in (1, 2, 4):
+        backend = times.get(f"BM_Gemm/{size}/{threads}")
+        if backend:
+            print(f"  {size}x{size}x{size} @ {threads} thread(s): {seed / backend:.2f}x")
+EOF
+fi
