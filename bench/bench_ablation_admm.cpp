@@ -8,59 +8,91 @@
 //   2. support-restricted refinement — repairs the constraint violations
 //      hard-thresholding introduces; without it success drops;
 //   3. c-escalation — rescues instances the first c cannot solve.
+//
+// Every ablation point is an independent instance with its own
+// pre-configured FsaAttacker, so ALL eleven points run as one concurrent
+// sweep (per-instance attacker overrides are exactly what the engine's
+// SweepSpec::attacker hook is for).
 #include <cstdio>
+#include <memory>
 
-#include "eval/attack_bench.h"
+#include "engine/attackers.h"
+#include "engine/sweep.h"
 #include "eval/table.h"
 
 int main() {
   using namespace fsa;
   models::ModelZoo zoo;
-  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
-  const core::AttackSpec spec = bench.spec(2, 50, /*seed=*/9100);
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
 
-  // ---- 1. ρ sweep -----------------------------------------------------------
-  eval::Table rho_table("Ablation 1: rho sweep (S=2, R=50, digits fc3)");
-  rho_table.header({"rho", "l0", "l2", "success", "maintained", "attempts"});
-  for (const double rho : {25.0, 100.0, 400.0, 1000.0, 2000.0, 4000.0, 16000.0}) {
+  engine::Sweep sweep;
+  auto add_point = [&](std::string tag, std::int64_t s, std::int64_t r, std::uint64_t seed,
+                       const core::FaultSneakingConfig& cfg) {
+    engine::SweepSpec spec;
+    spec.layers = {"fc3"};
+    spec.S = s;
+    spec.R = r;
+    spec.seed = seed;
+    spec.tag = std::move(tag);
+    spec.attacker = std::make_shared<engine::FsaAttacker>(cfg);
+    spec.measure_accuracy = false;
+    sweep.add(spec);
+  };
+
+  // ---- 1. ρ sweep (S=2, R=50) ------------------------------------------------
+  const std::vector<double> rhos = {25.0, 100.0, 400.0, 1000.0, 2000.0, 4000.0, 16000.0};
+  for (const double rho : rhos) {
     core::FaultSneakingConfig cfg;
     cfg.admm.rho = rho;
-    const auto res = bench.attack().run(spec, cfg);
-    rho_table.row({eval::fmt(rho, 0), std::to_string(res.l0), eval::fmt(res.l2, 2),
-                   eval::pct(res.success_rate),
-                   std::to_string(res.maintained) + "/" + std::to_string(spec.R() - spec.S),
-                   std::to_string(res.attempts)});
-    std::printf("[ablation] rho=%.0f: l0=%lld success=%s\n", rho,
-                static_cast<long long>(res.l0), eval::pct(res.success_rate).c_str());
+    add_point("rho=" + eval::fmt(rho, 0), 2, 50, 9100, cfg);
   }
-  rho_table.print();
 
-  // ---- 2. refinement on/off ---------------------------------------------------
-  eval::Table ref_table("Ablation 2: support-restricted refinement (S=4, R=100)");
-  ref_table.header({"refinement", "l0", "success", "maintained"});
-  const core::AttackSpec spec4 = bench.spec(4, 100, /*seed=*/9200);
+  // ---- 2. refinement on/off (S=4, R=100) --------------------------------------
   for (const bool refine : {true, false}) {
     core::FaultSneakingConfig cfg;
     cfg.refine_steps = refine ? cfg.refine_steps : 0;
     cfg.escalations = 0;  // isolate the refinement effect
-    const auto res = bench.attack().run(spec4, cfg);
-    ref_table.row({refine ? "on" : "off", std::to_string(res.l0), eval::pct(res.success_rate),
-                   std::to_string(res.maintained) + "/" + std::to_string(spec4.R() - spec4.S)});
+    add_point(refine ? "refine=on" : "refine=off", 4, 100, 9200, cfg);
   }
-  ref_table.print();
 
-  // ---- 3. c escalation on/off -------------------------------------------------
-  eval::Table esc_table("Ablation 3: c-escalation on a hard instance (S=12, R=100)");
-  esc_table.header({"escalation", "targets hit", "success", "attempts"});
-  const core::AttackSpec hard = bench.spec(12, 100, /*seed=*/9300);
+  // ---- 3. c escalation on/off (S=12, R=100) -----------------------------------
   for (const bool escalate : {true, false}) {
     core::FaultSneakingConfig cfg;
     cfg.admm.c = 1.0;  // start weak so escalation has something to do
     cfg.escalations = escalate ? 4 : 0;
-    const auto res = bench.attack().run(hard, cfg);
+    add_point(escalate ? "escalation=on" : "escalation=off", 12, 100, 9300, cfg);
+  }
+
+  const engine::SweepResult result = runner.run(sweep);
+  result.write_json(zoo.cache_dir() + "/results_ablation_admm.json");
+
+  eval::Table rho_table("Ablation 1: rho sweep (S=2, R=50, digits fc3)");
+  rho_table.header({"rho", "l0", "l2", "success", "maintained", "attempts"});
+  for (const double rho : rhos) {
+    const auto& rep = result.row_tagged("rho=" + eval::fmt(rho, 0)).report;
+    rho_table.row({eval::fmt(rho, 0), std::to_string(rep.l0), eval::fmt(rep.l2, 2),
+                   eval::pct(rep.success_rate),
+                   std::to_string(rep.maintained) + "/" + std::to_string(rep.R - rep.S),
+                   std::to_string(rep.attempts)});
+  }
+  rho_table.print();
+
+  eval::Table ref_table("Ablation 2: support-restricted refinement (S=4, R=100)");
+  ref_table.header({"refinement", "l0", "success", "maintained"});
+  for (const bool refine : {true, false}) {
+    const auto& rep = result.row_tagged(refine ? "refine=on" : "refine=off").report;
+    ref_table.row({refine ? "on" : "off", std::to_string(rep.l0), eval::pct(rep.success_rate),
+                   std::to_string(rep.maintained) + "/" + std::to_string(rep.R - rep.S)});
+  }
+  ref_table.print();
+
+  eval::Table esc_table("Ablation 3: c-escalation on a hard instance (S=12, R=100)");
+  esc_table.header({"escalation", "targets hit", "success", "attempts"});
+  for (const bool escalate : {true, false}) {
+    const auto& rep = result.row_tagged(escalate ? "escalation=on" : "escalation=off").report;
     esc_table.row({escalate ? "on" : "off",
-                   std::to_string(res.targets_hit) + "/" + std::to_string(hard.S),
-                   eval::pct(res.success_rate), std::to_string(res.attempts)});
+                   std::to_string(rep.targets_hit) + "/" + std::to_string(rep.S),
+                   eval::pct(rep.success_rate), std::to_string(rep.attempts)});
   }
   esc_table.print();
 

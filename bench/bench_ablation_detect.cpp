@@ -5,57 +5,42 @@
 // ℓ0 attack leaves few-but-large modifications (loud to a max-|Δw| check,
 // quiet to a distribution check), the ℓ2 attack leaves many-but-small ones
 // (the reverse), and the SBA baseline's single huge bias is the loudest of
-// all. This harness runs all three on the same fault and prints the audit.
+// all. This harness runs all three as one sweep and prints the audit of
+// each row's δ.
 #include <cstdio>
 
-#include "baseline/sba.h"
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/detect.h"
 #include "eval/table.h"
 
 int main() {
   using namespace fsa;
   models::ModelZoo zoo;
-  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
-  const core::AttackSpec spec = bench.spec(1, 100, /*seed=*/9500);
-  const Tensor theta0 = bench.attack().theta0();
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
 
+  engine::Sweep sweep;
+  sweep.methods({"fsa-l0", "fsa-l2", "sba"}).layers({"fc3"}).sr_pairs({{1, 100}}).seeds({9500});
+  const engine::SweepResult result = runner.run(sweep);
+  result.write_json(zoo.cache_dir() + "/results_detect.json");
+
+  const Tensor theta0 = runner.bench({"fc3"}).attack().theta0();
   eval::Table table("Extension: weight-audit detectability (S=1, R=100, fc3)");
   table.header({"attack", "changed frac", "max |dw|", "KS stat", "anomaly score",
                 "behavioral acc"});
 
-  auto add_row = [&](const char* tag, const Tensor& delta) {
+  const std::vector<std::pair<std::string, std::string>> rows = {
+      {"fsa-l0", "fault sneaking (l0)"}, {"fsa-l2", "fault sneaking (l2)"}, {"sba", "SBA [16]"}};
+  for (const auto& [method, label] : rows) {
+    const auto& rep = result.row(method, 1, 100).report;
     Tensor after = theta0;
-    after += delta;
-    const eval::AuditReport rep = eval::audit_weights(theta0, after);
-    const double acc = bench.test_accuracy_with(delta);
-    table.row({tag, eval::pct(rep.changed_fraction), eval::fmt(rep.max_abs_change, 3),
-               eval::fmt(rep.ks_statistic, 4), eval::fmt(eval::anomaly_score(rep), 2),
-               eval::pct(acc)});
-    std::printf("[detect] %s: changed=%s max|dw|=%.3f score=%.2f\n", tag,
-                eval::pct(rep.changed_fraction).c_str(), rep.max_abs_change,
-                eval::anomaly_score(rep));
-  };
-
-  // ℓ0 and ℓ2 fault sneaking attacks.
-  for (const core::NormKind norm : {core::NormKind::kL0, core::NormKind::kL2}) {
-    core::FaultSneakingConfig cfg;
-    cfg.admm.norm = norm;
-    const core::FaultSneakingResult res = bench.attack().run(spec, cfg);
-    add_row(norm == core::NormKind::kL0 ? "fault sneaking (l0)" : "fault sneaking (l2)",
-            res.delta);
-  }
-
-  // SBA baseline: one bias, raised a lot.
-  {
-    const core::ParamMask mask = core::ParamMask::make(zoo.digits().net, {"fc3"});
-    baseline::single_bias_attack(zoo.digits().net, "fc3", spec.features.slice0(0, 1),
-                                 spec.labels[0]);
-    const Tensor after = mask.gather_values();
-    mask.scatter_values(theta0);
-    Tensor delta = after;
-    delta -= theta0;
-    add_row("SBA [16]", delta);
+    after += rep.delta;
+    const eval::AuditReport audit = eval::audit_weights(theta0, after);
+    table.row({label, eval::pct(audit.changed_fraction), eval::fmt(audit.max_abs_change, 3),
+               eval::fmt(audit.ks_statistic, 4), eval::fmt(eval::anomaly_score(audit), 2),
+               eval::pct(rep.test_accuracy)});
+    std::printf("[detect] %s: changed=%s max|dw|=%.3f score=%.2f\n", label.c_str(),
+                eval::pct(audit.changed_fraction).c_str(), audit.max_abs_change,
+                eval::anomaly_score(audit));
   }
 
   table.print();

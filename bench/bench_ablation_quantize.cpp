@@ -2,17 +2,17 @@
 //
 // The paper's threat model writes arbitrary float32 values; real
 // deployments often store parameters in bfloat16/float16/int8. This
-// harness solves the attack once in float32, then REALIZES the
-// modification in each storage format (rounding θ0 + δ to the grid) and
-// re-checks (a) the injected faults, (b) the maintained images, and
-// (c) the realized ‖δ‖₀. Expected shape: bf16/fp16 absorb a few tiny
-// modifications but the attack survives; aggressive int8 rounding starts
-// to eat it — which tells the attacker to demand a confidence margin κ
-// matched to the storage grid.
+// harness solves the attack once in float32 (through the engine), then
+// REALIZES the modification in each storage format (rounding θ0 + δ to
+// the grid) and re-checks (a) the injected faults, (b) the maintained
+// images, and (c) the realized ‖δ‖₀. Expected shape: bf16/fp16 absorb a
+// few tiny modifications but the attack survives; aggressive int8
+// rounding starts to eat it — which tells the attacker to demand a
+// confidence margin κ matched to the storage grid.
 #include <cstdio>
 
 #include "core/attack_metrics.h"
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/table.h"
 #include "faultsim/quantize.h"
 #include "tensor/ops.h"
@@ -20,12 +20,17 @@
 int main() {
   using namespace fsa;
   models::ModelZoo zoo;
-  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
-  const core::AttackSpec spec = bench.spec(2, 100, /*seed=*/9400);
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
 
-  const core::FaultSneakingResult res = bench.attack().run(spec);
+  engine::Sweep sweep;
+  sweep.layers({"fc3"}).sr_pairs({{2, 100}}).seeds({9400}).measure_accuracy(false);
+  const engine::SweepResult result = runner.run(sweep);
+  const auto& rep = result.rows.front().report;
   std::printf("\nFloat32 attack: %lld/2 faults, l0=%lld, l2=%.3f\n",
-              static_cast<long long>(res.targets_hit), static_cast<long long>(res.l0), res.l2);
+              static_cast<long long>(rep.targets_hit), static_cast<long long>(rep.l0), rep.l2);
+
+  eval::AttackBench& bench = runner.bench({"fc3"});
+  const core::AttackSpec spec = bench.spec(2, 100, /*seed=*/9400);
 
   eval::Table table("Extension: the same δ realized in narrower storage formats");
   table.header({"format", "realized l0", "faults kept", "anchors kept", "test acc"});
@@ -34,7 +39,7 @@ int main() {
        {faultsim::StorageFormat::kFloat32, faultsim::StorageFormat::kBfloat16,
         faultsim::StorageFormat::kFloat16, faultsim::StorageFormat::kInt8}) {
     const Tensor realized =
-        faultsim::realize_in_format(bench.attack().theta0(), res.delta, format);
+        faultsim::realize_in_format(bench.attack().theta0(), rep.delta, format);
     const auto [hit, kept] = core::with_delta(bench.attack(), realized, [&] {
       const Tensor logits =
           zoo.digits().net.forward_from(bench.attack().cut(), spec.features);

@@ -4,14 +4,13 @@
 //
 // Paper numbers (one fault): fault sneaking attack loses 0.8% (MNIST) /
 // 1.0% (CIFAR) of test accuracy; Liu et al. lose 3.86% / 2.35% in the
-// BEST case. We run our attack (S=1, R=1000), SBA (single bias), and GDA
-// (gradient descent + compression, no stealth term) on the same fault and
-// report the drop. Expected shape: ours ≪ GDA ≤ SBA.
+// BEST case. We run our attack (S=1, R=1000), GDA (gradient descent +
+// compression, no stealth term), and SBA (single bias) on the same fault
+// — one sweep, three methods from the registry — and report the drop.
+// Expected shape: ours ≪ GDA ≤ SBA.
 #include <cstdio>
 
-#include "baseline/gda.h"
-#include "baseline/sba.h"
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/table.h"
 
 namespace {
@@ -19,46 +18,29 @@ namespace {
 void run_dataset(fsa::models::ZooModel& model, const std::string& cache_dir, const char* tag,
                  fsa::eval::Table& table) {
   using namespace fsa;
-  eval::AttackBench bench(model, cache_dir, {"fc3"});
-  const double clean = bench.clean_test_accuracy();
-  const std::size_t cut = bench.attack().cut();
+  engine::SweepRunner runner(model, cache_dir);
 
-  // One shared fault: the same image and target for all three methods.
-  const core::AttackSpec rich_spec = bench.spec(1, 1000, /*seed=*/8101);
+  // One shared fault: the same seed (→ the same image and target) for all
+  // three methods, 999 maintain images available to those that use them.
+  engine::Sweep sweep;
+  sweep.methods({"fsa-l0", "gda", "sba"}).layers({"fc3"}).sr_pairs({{1, 1000}}).seeds({8101});
+  const engine::SweepResult result = runner.run(sweep);
+  result.write_json(cache_dir + "/results_baseline_" + tag + ".json");
 
-  // ---- fault sneaking attack (ours): S=1 with 999 maintain images ---------
-  const core::FaultSneakingResult ours = bench.attack().run(rich_spec);
-  const double ours_acc = bench.test_accuracy_with(ours.delta);
-
-  // ---- GDA: same fault, no stealth images ----------------------------------
-  const core::ParamMask mask = core::ParamMask::make(model.net, {"fc3"});
-  baseline::GradientDescentAttack gda(model.net, mask);
-  const baseline::GdaResult gda_res = gda.run(rich_spec);
-  const Tensor theta0 = mask.gather_values();
-  Tensor theta = theta0;
-  theta += gda_res.delta;
-  mask.scatter_values(theta);
-  const double gda_acc = models::head_accuracy(model.net, cut, bench.test_features(),
-                                               model.test.labels());
-  mask.scatter_values(theta0);
-
-  // ---- SBA: raise one bias until the image flips ----------------------------
-  const baseline::SbaResult sba_res = baseline::single_bias_attack(
-      model.net, "fc3", rich_spec.features.slice0(0, 1), rich_spec.labels[0]);
-  const double sba_acc = models::head_accuracy(model.net, cut, bench.test_features(),
-                                               model.test.labels());
-  mask.scatter_values(theta0);
-
+  const double clean = runner.bench({"fc3"}).clean_test_accuracy();
   auto drop = [&](double acc) { return eval::fmt((clean - acc) * 100.0, 2) + " pts"; };
-  table.row({std::string(tag) + " / fault sneaking (ours)", std::to_string(ours.l0),
-             eval::pct(ours_acc), drop(ours_acc), ours.all_targets_hit ? "yes" : "no"});
-  table.row({std::string(tag) + " / GDA [16]", std::to_string(gda_res.l0), eval::pct(gda_acc),
-             drop(gda_acc), gda_res.success ? "yes" : "no"});
-  table.row({std::string(tag) + " / SBA [16]", "1", eval::pct(sba_acc), drop(sba_acc),
-             sba_res.success ? "yes" : "no"});
+  const std::vector<std::pair<std::string, std::string>> rows = {
+      {"fsa-l0", " / fault sneaking (ours)"}, {"gda", " / GDA [16]"}, {"sba", " / SBA [16]"}};
+  for (const auto& [method, label] : rows) {
+    const auto& rep = result.row(method, 1, 1000).report;
+    table.row({tag + label, std::to_string(rep.l0), eval::pct(rep.test_accuracy),
+               drop(rep.test_accuracy), rep.all_targets_hit ? "yes" : "no"});
+  }
   std::printf("[baseline/%s] clean %s | ours %s | gda %s | sba %s\n", tag,
-              eval::pct(clean).c_str(), eval::pct(ours_acc).c_str(), eval::pct(gda_acc).c_str(),
-              eval::pct(sba_acc).c_str());
+              eval::pct(clean).c_str(),
+              eval::pct(result.row("fsa-l0", 1, 1000).report.test_accuracy).c_str(),
+              eval::pct(result.row("gda", 1, 1000).report.test_accuracy).c_str(),
+              eval::pct(result.row("sba", 1, 1000).report.test_accuracy).c_str());
 }
 
 }  // namespace

@@ -10,19 +10,32 @@
 //  * RangeGuard — per-group value-range sanitization. Cheap, but blind to
 //    in-range modifications; we measure how much of each attack SURVIVES
 //    clamping (faults still injected after sanitization).
+//
+// The two solves run through the sweep engine; the defense post-processing
+// consumes each row's δ from the unified report.
 #include <cstdio>
 
 #include "core/attack_metrics.h"
 #include "defense/checksum_guard.h"
 #include "defense/range_guard.h"
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/table.h"
 #include "tensor/ops.h"
 
 int main() {
   using namespace fsa;
   models::ModelZoo zoo;
-  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
+
+  engine::Sweep sweep;
+  sweep.methods({"fsa-l0", "fsa-l2"})
+      .layers({"fc3"})
+      .sr_pairs({{2, 100}})
+      .seeds({9600})
+      .measure_accuracy(false);
+  const engine::SweepResult result = runner.run(sweep);
+
+  eval::AttackBench& bench = runner.bench({"fc3"});
   const core::AttackSpec spec = bench.spec(2, 100, /*seed=*/9600);
   const Tensor theta0 = bench.attack().theta0();
 
@@ -33,13 +46,11 @@ int main() {
   table.header({"attack", "l0", "checksum blocks flagged", "range violations",
                 "faults after clamping", "acc after clamping"});
 
-  for (const core::NormKind norm : {core::NormKind::kL0, core::NormKind::kL2}) {
-    core::FaultSneakingConfig cfg;
-    cfg.admm.norm = norm;
-    const core::FaultSneakingResult res = bench.attack().run(spec, cfg);
+  for (const char* method : {"fsa-l0", "fsa-l2"}) {
+    const auto& rep = result.row(method, 2, 100).report;
 
     Tensor attacked = theta0;
-    attacked += res.delta;
+    attacked += rep.delta;
     const auto check = checksum.verify(attacked);
 
     Tensor sanitized = attacked;
@@ -53,13 +64,12 @@ int main() {
     });
     const double acc = bench.test_accuracy_with(survived);
 
-    table.row({norm == core::NormKind::kL0 ? "l0 attack" : "l2 attack", std::to_string(res.l0),
+    table.row({method, std::to_string(rep.l0),
                std::to_string(check.blocks_flagged) + "/" + std::to_string(checksum.block_count()),
                std::to_string(ranges.out_of_range),
                std::to_string(hit) + "/" + std::to_string(spec.S), eval::pct(acc)});
     std::printf("[defense] %s: flagged %lld blocks, %lld range hits, faults %lld/%lld survive\n",
-                norm == core::NormKind::kL0 ? "l0" : "l2",
-                static_cast<long long>(check.blocks_flagged),
+                method, static_cast<long long>(check.blocks_flagged),
                 static_cast<long long>(ranges.out_of_range), static_cast<long long>(hit),
                 static_cast<long long>(spec.S));
   }

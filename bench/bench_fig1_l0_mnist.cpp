@@ -6,9 +6,12 @@
 // SHRINK as R grows — more maintain images anchor the model closer to the
 // original, so fewer parameters need to move; (c) the effect disappears
 // for large S where the model runs out of slack.
+//
+// All 25 grid cells are independent instances; the sweep engine solves
+// them concurrently instead of the former serial double loop.
 #include <cstdio>
 
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/stopwatch.h"
 #include "eval/table.h"
 
@@ -16,10 +19,21 @@ int main() {
   using namespace fsa;
   eval::Stopwatch total;
   models::ModelZoo zoo;
-  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
 
   const std::vector<std::int64_t> s_sweep = {1, 2, 4, 8, 16};
   const std::vector<std::int64_t> r_sweep = {50, 100, 200, 500, 1000};
+
+  engine::Sweep sweep;
+  sweep.layers({"fc3"})
+      .s_values(s_sweep)
+      .r_values(r_sweep)
+      .seed_fn([](std::int64_t s, std::int64_t r) {
+        return 3000 + static_cast<std::uint64_t>(s * 7919 + r);
+      })
+      .measure_accuracy(false);
+  const engine::SweepResult result = runner.run(sweep);
+  result.write_json(zoo.cache_dir() + "/results_fig1.json");
 
   eval::Table table("Figure 1: l0 norm vs S, one series per R (digits, last FC layer)");
   std::vector<std::string> header = {"R \\ S"};
@@ -29,20 +43,14 @@ int main() {
   for (const std::int64_t r : r_sweep) {
     std::vector<std::string> row = {"R=" + std::to_string(r)};
     for (const std::int64_t s : s_sweep) {
-      const core::AttackSpec spec =
-          bench.spec(s, r, 3000 + static_cast<std::uint64_t>(s * 7919 + r));
-      const core::FaultSneakingResult res = bench.attack().run(spec);
-      row.push_back(std::to_string(res.l0) + (res.all_targets_hit ? "" : "*"));
-      std::printf("[fig1] S=%lld R=%lld: l0=%lld targets %lld/%lld (%.1fs)\n",
-                  static_cast<long long>(s), static_cast<long long>(r),
-                  static_cast<long long>(res.l0), static_cast<long long>(res.targets_hit),
-                  static_cast<long long>(s), res.seconds);
+      const auto& rep = result.row("fsa-l0", s, r).report;
+      row.push_back(std::to_string(rep.l0) + (rep.all_targets_hit ? "" : "*"));
     }
     table.row(row);
   }
   table.print();
   table.write_csv(zoo.cache_dir() + "/results_fig1.csv");
   std::printf("\n(\"*\" marks runs where not all S faults could be injected.)\n");
-  std::printf("[fig1] total %.1fs\n", total.seconds());
+  std::printf("[fig1] total %.1fs on %d worker(s)\n", total.seconds(), result.workers);
   return 0;
 }

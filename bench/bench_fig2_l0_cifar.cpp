@@ -6,7 +6,7 @@
 // with less slack to hide faults (the R-monotone shrink fades earlier).
 #include <cstdio>
 
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/stopwatch.h"
 #include "eval/table.h"
 
@@ -14,10 +14,21 @@ int main() {
   using namespace fsa;
   eval::Stopwatch total;
   models::ModelZoo zoo;
-  eval::AttackBench bench(zoo.objects(), zoo.cache_dir(), {"fc3"});
+  engine::SweepRunner runner(zoo.objects(), zoo.cache_dir());
 
   const std::vector<std::int64_t> s_sweep = {1, 2, 4, 8, 16};
   const std::vector<std::int64_t> r_sweep = {50, 100, 200, 500, 1000};
+
+  engine::Sweep sweep;
+  sweep.layers({"fc3"})
+      .s_values(s_sweep)
+      .r_values(r_sweep)
+      .seed_fn([](std::int64_t s, std::int64_t r) {
+        return 4000 + static_cast<std::uint64_t>(s * 7919 + r);
+      })
+      .measure_accuracy(false);
+  const engine::SweepResult result = runner.run(sweep);
+  result.write_json(zoo.cache_dir() + "/results_fig2.json");
 
   eval::Table table("Figure 2: l0 norm vs S, one series per R (objects, last FC layer)");
   std::vector<std::string> header = {"R \\ S"};
@@ -27,20 +38,14 @@ int main() {
   for (const std::int64_t r : r_sweep) {
     std::vector<std::string> row = {"R=" + std::to_string(r)};
     for (const std::int64_t s : s_sweep) {
-      const core::AttackSpec spec =
-          bench.spec(s, r, 4000 + static_cast<std::uint64_t>(s * 7919 + r));
-      const core::FaultSneakingResult res = bench.attack().run(spec);
-      row.push_back(std::to_string(res.l0) + (res.all_targets_hit ? "" : "*"));
-      std::printf("[fig2] S=%lld R=%lld: l0=%lld targets %lld/%lld (%.1fs)\n",
-                  static_cast<long long>(s), static_cast<long long>(r),
-                  static_cast<long long>(res.l0), static_cast<long long>(res.targets_hit),
-                  static_cast<long long>(s), res.seconds);
+      const auto& rep = result.row("fsa-l0", s, r).report;
+      row.push_back(std::to_string(rep.l0) + (rep.all_targets_hit ? "" : "*"));
     }
     table.row(row);
   }
   table.print();
   table.write_csv(zoo.cache_dir() + "/results_fig2.csv");
   std::printf("\n(\"*\" marks runs where not all S faults could be injected.)\n");
-  std::printf("[fig2] total %.1fs\n", total.seconds());
+  std::printf("[fig2] total %.1fs on %d worker(s)\n", total.seconds(), result.workers);
   return 0;
 }

@@ -7,34 +7,36 @@
 // of how many are requested.
 #include <cstdio>
 
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/stopwatch.h"
 #include "eval/table.h"
 
 namespace {
 
+const std::vector<std::int64_t> kSSweep = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+
 void run_series(fsa::models::ZooModel& model, const std::string& cache_dir, const char* tag,
                 fsa::eval::Table& table) {
   using namespace fsa;
-  eval::AttackBench bench(model, cache_dir, {"fc3"});
+  engine::SweepRunner runner(model, cache_dir);
   // The paper sweeps S to ~2× its tolerance knee (~10 on its nets). Our
   // substitute models tolerate more, so the sweep extends until the knee
-  // is visible (bounded by the attack pool size).
-  const std::vector<std::int64_t> s_sweep = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
-  const std::int64_t maintain = 100;  // sneak images on top of the S faults
+  // is visible (bounded by the attack pool size). R = S + 100 sneak images.
+  engine::Sweep sweep;
+  sweep.layers({"fc3"})
+      .s_values(kSSweep)
+      .r_offset(100)
+      .seed_fn([](std::int64_t s, std::int64_t) { return 7000 + static_cast<std::uint64_t>(s); })
+      .measure_accuracy(false);
+  const engine::SweepResult result = runner.run(sweep);
+  result.write_json(cache_dir + "/results_fig3_" + tag + ".json");
 
   std::vector<std::string> rate_row = {std::string(tag) + " success"};
   std::vector<std::string> count_row = {std::string(tag) + " injected"};
-  for (const std::int64_t s : s_sweep) {
-    const core::AttackSpec spec =
-        bench.spec(s, s + maintain, 7000 + static_cast<std::uint64_t>(s));
-    const core::FaultSneakingResult res = bench.attack().run(spec);
-    rate_row.push_back(eval::pct(res.success_rate));
-    count_row.push_back(std::to_string(res.targets_hit));
-    std::printf("[fig3/%s] S=%lld (R=%lld): injected %lld (%s) l0=%lld (%.1fs)\n", tag,
-                static_cast<long long>(s), static_cast<long long>(s + maintain),
-                static_cast<long long>(res.targets_hit), eval::pct(res.success_rate).c_str(),
-                static_cast<long long>(res.l0), res.seconds);
+  for (const std::int64_t s : kSSweep) {
+    const auto& rep = result.row("fsa-l0", s, s + 100).report;
+    rate_row.push_back(eval::pct(rep.success_rate));
+    count_row.push_back(std::to_string(rep.targets_hit));
   }
   table.row(rate_row);
   table.row(count_row);
@@ -49,8 +51,7 @@ int main() {
 
   eval::Table table("Figure 3: fault success rate vs S (last FC layer, R = S + 100)");
   std::vector<std::string> header = {"series"};
-  for (std::int64_t s : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512})
-    header.push_back("S=" + std::to_string(s));
+  for (std::int64_t s : kSSweep) header.push_back("S=" + std::to_string(s));
   table.header(header);
 
   run_series(zoo.digits(), zoo.cache_dir(), "digits", table);

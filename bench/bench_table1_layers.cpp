@@ -7,9 +7,13 @@
 // for S=R=1/4/16; fc2 40200 → 5390/14086/34069; fc3 2010 → 222/682/1755.
 // We match the TREND (monotone in S, fc3 ≪ fc2 ≪ fc1 relative to size),
 // not the absolute counts — the trained weights differ.
+//
+// The 3 layers × 3 instances are independent, so the sweep engine runs all
+// nine concurrently on the thread pool (FSA_NUM_THREADS workers); the
+// serial per-instance loop this bench used to hand-roll is gone.
 #include <cstdio>
 
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/stopwatch.h"
 #include "eval/table.h"
 
@@ -17,34 +21,43 @@ int main() {
   using namespace fsa;
   eval::Stopwatch total;
   models::ModelZoo zoo;
-  models::ZooModel& digits = zoo.digits();
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
 
-  const std::vector<std::int64_t> sweep = {1, 4, 16};
+  const std::vector<std::int64_t> sweep_s = {1, 4, 16};
   const std::vector<std::string> layers = {"fc1", "fc2", "fc3"};
+
+  engine::Sweep sweep;
+  sweep.layer_sets({{"fc1"}, {"fc2"}, {"fc3"}})
+      .s_values(sweep_s)
+      .r_equals_s()
+      .seed_fn([](std::int64_t s, std::int64_t) { return 1000 + static_cast<std::uint64_t>(s); })
+      .measure_accuracy(false);
+  const engine::SweepResult result = runner.run(sweep);
+  result.write_json(zoo.cache_dir() + "/results_table1.json");
 
   eval::Table table("Table 1: l0 norm of modifications per FC layer (digits, S=R)");
   table.header({"layer", "total params", "l0 S=1,R=1", "l0 S=4,R=4", "l0 S=16,R=16",
                 "success S=16"});
-
   for (const auto& layer : layers) {
-    eval::AttackBench bench(digits, zoo.cache_dir(), {layer});
-    std::vector<std::string> row = {layer, std::to_string(bench.attack().mask().size())};
+    std::vector<std::string> row = {layer,
+                                    std::to_string(runner.bench({layer}).attack().mask().size())};
     std::string success16;
-    for (const std::int64_t s : sweep) {
-      const core::AttackSpec spec = bench.spec(s, s, /*seed=*/1000 + static_cast<std::uint64_t>(s));
-      core::FaultSneakingConfig cfg;
-      const core::FaultSneakingResult res = bench.attack().run(spec, cfg);
-      row.push_back(std::to_string(res.l0));
-      if (s == 16) success16 = eval::pct(res.success_rate);
-      std::printf("[table1] %s S=R=%lld: l0=%lld targets %lld/%lld (%.1fs)\n", layer.c_str(),
-                  static_cast<long long>(s), static_cast<long long>(res.l0),
-                  static_cast<long long>(res.targets_hit), static_cast<long long>(s), res.seconds);
+    for (const std::int64_t s : sweep_s) {
+      // Rows are matched by surface via the tagless lookup: all three layer
+      // sweeps share (method, S, R), so scan for the matching surface key.
+      for (const auto& r : result.rows)
+        if (r.spec.layers == std::vector<std::string>{layer} && r.spec.S == s) {
+          row.push_back(std::to_string(r.report.l0));
+          if (s == 16) success16 = eval::pct(r.report.success_rate);
+        }
     }
     row.push_back(success16);
     table.row(row);
   }
   table.print();
   table.write_csv(zoo.cache_dir() + "/results_table1.csv");
-  std::printf("\n[table1] total %.1fs\n", total.seconds());
+  std::printf("\n[table1] total %.1fs on %d worker(s) (batched; re-run with FSA_NUM_THREADS=1\n"
+              "for the serial baseline — identical numbers, longer wall clock)\n",
+              total.seconds(), result.workers);
   return 0;
 }

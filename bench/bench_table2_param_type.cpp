@@ -6,40 +6,47 @@
 // shared offsets cannot separate many images; attacking the 2000 weights
 // always succeeds. This is the paper's case against the ICCAD'17 single
 // bias attack.
+//
+// The weights-only and bias-only surfaces differ per instance, so this
+// sweep is expressed as explicit SweepSpecs (same seed per S → identical
+// image/target draws on both surfaces, which share a cut).
 #include <cstdio>
 
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/table.h"
 
 int main() {
   using namespace fsa;
   models::ModelZoo zoo;
-  models::ZooModel& digits = zoo.digits();
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
 
-  eval::AttackBench weights(digits, zoo.cache_dir(), {"fc3"}, /*weights=*/true, /*biases=*/false);
-  eval::AttackBench biases(digits, zoo.cache_dir(), {"fc3"}, /*weights=*/false, /*biases=*/true);
+  const std::vector<std::int64_t> sweep_s = {1, 2, 4, 8};
+  engine::Sweep sweep;
+  for (const std::int64_t s : sweep_s) {
+    engine::SweepSpec spec;
+    spec.layers = {"fc3"};
+    spec.S = spec.R = s;
+    spec.seed = 2000 + static_cast<std::uint64_t>(s);
+    spec.measure_accuracy = false;
+    spec.weights = true;
+    spec.biases = false;
+    spec.tag = "weights";
+    sweep.add(spec);
+    spec.weights = false;
+    spec.biases = true;
+    spec.tag = "bias";
+    sweep.add(spec);
+  }
+  const engine::SweepResult result = runner.run(sweep);
+  result.write_json(zoo.cache_dir() + "/results_table2.json");
 
-  const std::vector<std::int64_t> sweep = {1, 2, 4, 8};
   eval::Table table("Table 2: weights-only vs bias-only in the last FC layer (digits, S=R)");
   table.header({"S=R", "l0 (weights)", "success (weights)", "l0 (bias)", "success (bias)"});
-
-  for (const std::int64_t s : sweep) {
-    // Identical image/target draws for both surfaces (same cut → same seed
-    // stream). Spread targets so bias-only saturation is visible.
-    const std::uint64_t seed = 2000 + static_cast<std::uint64_t>(s);
-    const core::AttackSpec wspec = weights.spec(s, s, seed);
-    const core::AttackSpec bspec = biases.spec(s, s, seed);
-
-    core::FaultSneakingConfig cfg;
-    const auto wres = weights.attack().run(wspec, cfg);
-    const auto bres = biases.attack().run(bspec, cfg);
-    std::printf("[table2] S=R=%lld: weights l0=%lld (%s), bias l0=%lld (%s)\n",
-                static_cast<long long>(s), static_cast<long long>(wres.l0),
-                eval::pct(wres.success_rate).c_str(), static_cast<long long>(bres.l0),
-                eval::pct(bres.success_rate).c_str());
-    table.row({std::to_string(s), std::to_string(wres.l0), eval::pct(wres.success_rate),
-               bres.all_targets_hit ? std::to_string(bres.l0) : "-",
-               eval::pct(bres.success_rate)});
+  for (const std::int64_t s : sweep_s) {
+    const auto& w = result.row("fsa-l0", s, s, "weights").report;
+    const auto& b = result.row("fsa-l0", s, s, "bias").report;
+    table.row({std::to_string(s), std::to_string(w.l0), eval::pct(w.success_rate),
+               b.all_targets_hit ? std::to_string(b.l0) : "-", eval::pct(b.success_rate)});
   }
   table.print();
   table.write_csv(zoo.cache_dir() + "/results_table2.csv");

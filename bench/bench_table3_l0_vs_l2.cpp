@@ -6,47 +6,42 @@
 // parameters but with LARGER total magnitude; the ℓ2 attack spreads a
 // smaller-magnitude modification over more parameters. Paper numbers
 // (MNIST, fc3): e.g. S=1,R=10: ℓ0-attack (1026, 863) vs ℓ2-attack
-// (1431, 393) as (l0, l2) pairs.
+// (1431, 393) as (l0, l2) pairs. The ℓ1 extension (convex sparse
+// surrogate) rides along as a third method row.
 #include <cstdio>
 
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/table.h"
 
 int main() {
   using namespace fsa;
   models::ModelZoo zoo;
-  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
 
-  struct Config {
-    std::int64_t s, r;
-  };
-  const std::vector<Config> configs = {{1, 10}, {5, 10}, {5, 20}};
+  const std::vector<std::pair<std::int64_t, std::int64_t>> configs = {{1, 10}, {5, 10}, {5, 20}};
+  const std::vector<std::pair<std::string, std::string>> methods = {
+      {"fsa-l0", "l0 attack"}, {"fsa-l2", "l2 attack"}, {"fsa-l1", "l1 attack (ext)"}};
+
+  engine::Sweep sweep;
+  sweep.methods({"fsa-l0", "fsa-l2", "fsa-l1"})
+      .layers({"fc3"})
+      .sr_pairs(configs)
+      .seed_fn([](std::int64_t s, std::int64_t r) {
+        return 5000 + static_cast<std::uint64_t>(s * 100 + r);
+      })
+      .measure_accuracy(false);
+  const engine::SweepResult result = runner.run(sweep);
+  result.write_json(zoo.cache_dir() + "/results_table3.json");
 
   eval::Table table("Table 3: l0- vs l2-based attacks (digits, last FC layer)");
   table.header({"attack", "S=1,R=10 l0", "S=1,R=10 l2", "S=5,R=10 l0", "S=5,R=10 l2",
                 "S=5,R=20 l0", "S=5,R=20 l2"});
-
-  // The two published norms plus the ℓ1 extension (convex sparse surrogate).
-  for (const core::NormKind norm :
-       {core::NormKind::kL0, core::NormKind::kL2, core::NormKind::kL1}) {
-    std::vector<std::string> row = {norm == core::NormKind::kL0   ? "l0 attack"
-                                    : norm == core::NormKind::kL2 ? "l2 attack"
-                                                                  : "l1 attack (ext)"};
+  for (const auto& [method, label] : methods) {
+    std::vector<std::string> row = {label};
     for (const auto& [s, r] : configs) {
-      const core::AttackSpec spec =
-          bench.spec(s, r, 5000 + static_cast<std::uint64_t>(s * 100 + r));
-      core::FaultSneakingConfig cfg;
-      cfg.admm.norm = norm;
-      const core::FaultSneakingResult res = bench.attack().run(spec, cfg);
-      row.push_back(std::to_string(res.l0) + (res.all_targets_hit ? "" : "*"));
-      row.push_back(eval::fmt(res.l2, 2));
-      std::printf("[table3] %s S=%lld R=%lld: l0=%lld l2=%.2f targets %lld/%lld\n",
-                  norm == core::NormKind::kL0   ? "l0"
-                  : norm == core::NormKind::kL2 ? "l2"
-                                                : "l1",
-                  static_cast<long long>(s),
-                  static_cast<long long>(r), static_cast<long long>(res.l0), res.l2,
-                  static_cast<long long>(res.targets_hit), static_cast<long long>(s));
+      const auto& rep = result.row(method, s, r).report;
+      row.push_back(std::to_string(rep.l0) + (rep.all_targets_hit ? "" : "*"));
+      row.push_back(eval::fmt(rep.l2, 2));
     }
     table.row(row);
   }

@@ -8,9 +8,12 @@
 // model is ≈0.8% (MNIST) / ≈1.0% (CIFAR), far below the ICCAD'17
 // baseline's 3.86% / 2.35%; (d) small-R cells collapse (e.g. 29.7% MNIST
 // at S=16, R=50).
+//
+// 25 independent cells per dataset — the heaviest grid in the repo, and
+// the one that gains most from the batched sweep engine.
 #include <cstdio>
 
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/stopwatch.h"
 #include "eval/table.h"
 
@@ -18,12 +21,20 @@ namespace {
 
 void run_grid(fsa::models::ZooModel& model, const std::string& cache_dir, const char* tag) {
   using namespace fsa;
-  eval::AttackBench bench(model, cache_dir, {"fc3"});
+  engine::SweepRunner runner(model, cache_dir);
   const std::vector<std::int64_t> s_sweep = {1, 2, 4, 8, 16};
   const std::vector<std::int64_t> r_sweep = {50, 100, 200, 500, 1000};
 
+  engine::Sweep sweep;
+  sweep.layers({"fc3"}).s_values(s_sweep).r_values(r_sweep).seed_fn(
+      [](std::int64_t s, std::int64_t r) {
+        return 6000 + static_cast<std::uint64_t>(s * 7919 + r);
+      });
+  const engine::SweepResult result = runner.run(sweep);
+  result.write_json(cache_dir + "/results_table4_" + tag + ".json");
+
   eval::Table table(std::string("Table 4 (") + tag + "): test accuracy after attack, clean = " +
-                    eval::pct(bench.clean_test_accuracy()));
+                    eval::pct(runner.bench({"fc3"}).clean_test_accuracy()));
   std::vector<std::string> header = {"R \\ S"};
   for (auto s : s_sweep) header.push_back("S=" + std::to_string(s));
   table.header(header);
@@ -31,20 +42,13 @@ void run_grid(fsa::models::ZooModel& model, const std::string& cache_dir, const 
   for (const std::int64_t r : r_sweep) {
     std::vector<std::string> row = {"R=" + std::to_string(r)};
     for (const std::int64_t s : s_sweep) {
-      const core::AttackSpec spec =
-          bench.spec(s, r, 6000 + static_cast<std::uint64_t>(s * 7919 + r));
-      const core::FaultSneakingResult res = bench.attack().run(spec);
-      const double acc = bench.test_accuracy_with(res.delta);
-      row.push_back(eval::pct(acc) + (res.all_targets_hit ? "" : "*"));
-      std::printf("[table4/%s] S=%lld R=%lld: acc %s, targets %lld/%lld (%.1fs)\n", tag,
-                  static_cast<long long>(s), static_cast<long long>(r), eval::pct(acc).c_str(),
-                  static_cast<long long>(res.targets_hit), static_cast<long long>(s),
-                  res.seconds);
+      const auto& rep = result.row("fsa-l0", s, r).report;
+      row.push_back(eval::pct(rep.test_accuracy) + (rep.all_targets_hit ? "" : "*"));
     }
     table.row(row);
   }
   table.print();
-  table.write_csv(cache_dir + "/results_table4_" + tag + ".csv");
+  table.write_csv(cache_dir + "/results_table4_" + std::string(tag) + ".csv");
 }
 
 }  // namespace

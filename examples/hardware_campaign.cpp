@@ -12,6 +12,7 @@
 // Run from the repository root:  ./build/examples/hardware_campaign
 #include <cstdio>
 
+#include "engine/registry.h"
 #include "eval/attack_bench.h"
 #include "eval/table.h"
 #include "faultsim/campaign.h"
@@ -23,7 +24,8 @@ int main() {
 
   // ---- 1. the algorithmic attack --------------------------------------------
   const core::AttackSpec spec = bench.spec(2, 100, /*seed=*/1337);
-  const core::FaultSneakingResult res = bench.attack().run(spec);
+  const engine::AttackReport res =
+      engine::make_attacker("fsa-l0")->run(zoo.digits().net, bench.attack().mask(), spec);
   std::printf("\nAttack solved: %lld/%lld faults, %lld/%lld anchors kept, l0=%lld, l2=%.3f\n",
               static_cast<long long>(res.targets_hit), 2LL,
               static_cast<long long>(res.maintained), 98LL, static_cast<long long>(res.l0),

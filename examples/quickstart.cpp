@@ -12,6 +12,7 @@
 // Run from the repository root:  ./build/examples/quickstart
 #include <cstdio>
 
+#include "engine/registry.h"
 #include "eval/attack_bench.h"
 #include "eval/table.h"
 
@@ -34,12 +35,14 @@ int main() {
               bench.attack().mask().describe().c_str());
 
   // ---- 3. run the ℓ0 fault sneaking attack ---------------------------------
-  core::FaultSneakingConfig cfg;  // defaults: ℓ0 norm, ADMM + refinement
-  const core::FaultSneakingResult res = bench.attack().run(spec, cfg);
+  // Methods are picked from the engine registry by name — swap "fsa-l0" for
+  // "fsa-l2", "gda" or "sba" to run a different attack on the same problem.
+  const engine::AttackerPtr attacker = engine::make_attacker("fsa-l0");
+  const engine::AttackReport res = attacker->run(digits.net, bench.attack().mask(), spec);
 
   // ---- 4. report -------------------------------------------------------------
   const double acc_after = bench.test_accuracy_with(res.delta);
-  eval::Table table("quickstart: ℓ0 fault sneaking attack on fc3");
+  eval::Table table("quickstart: " + attacker->name() + " fault sneaking attack on fc3");
   table.header({"metric", "value"})
       .row({"faults injected", std::to_string(res.targets_hit) + " / " + std::to_string(S)})
       .row({"sneak images kept", std::to_string(res.maintained) + " / " + std::to_string(R - S)})

@@ -7,38 +7,43 @@
 // question an adversary (or a defender sizing the risk) actually has:
 // how much data must the attacker collect for the attack to stay hidden?
 //
+// The six budgets are independent attack instances, so the sweep engine
+// solves them concurrently (FSA_NUM_THREADS workers, identical results
+// for any worker count).
+//
 // Run from the repository root:  ./build/examples/stealth_vs_budget
 #include <cstdio>
 
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/table.h"
 
 int main() {
   using namespace fsa;
   models::ModelZoo zoo;
-  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
-  const double clean = bench.clean_test_accuracy();
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
+  const double clean = runner.bench({"fc3"}).clean_test_accuracy();
   std::printf("\nClean test accuracy: %s. Injecting S=4 faults with growing anchor sets.\n",
               eval::pct(clean).c_str());
 
   const std::int64_t S = 4;
+  const std::vector<std::int64_t> r_sweep = {4, 10, 50, 100, 500, 1000};
+
+  engine::Sweep sweep;
+  sweep.layers({"fc3"}).s_values({S}).r_values(r_sweep).seeds({777});
+  const engine::SweepResult result = runner.run(sweep);
+
   eval::Table table("stealth vs anchor budget (S=4 faults, digits, fc3)");
   table.header({"R (anchors = R-4)", "faults in", "l0", "test acc after", "drop", "verdict"});
-
-  for (const std::int64_t r : {4L, 10L, 50L, 100L, 500L, 1000L}) {
-    const core::AttackSpec spec = bench.spec(S, r, /*seed=*/777);
-    const core::FaultSneakingResult res = bench.attack().run(spec);
-    const double acc = bench.test_accuracy_with(res.delta);
-    const double drop = clean - acc;
+  for (const std::int64_t r : r_sweep) {
+    const auto& rep = result.row("fsa-l0", S, r).report;
+    const double drop = clean - rep.test_accuracy;
     const char* verdict = drop < 0.02   ? "invisible"
                           : drop < 0.05 ? "subtle"
                           : drop < 0.15 ? "suspicious"
                                         : "obvious";
-    table.row({std::to_string(r), std::to_string(res.targets_hit) + "/4",
-               std::to_string(res.l0), eval::pct(acc),
+    table.row({std::to_string(r), std::to_string(rep.targets_hit) + "/4",
+               std::to_string(rep.l0), eval::pct(rep.test_accuracy),
                eval::fmt(drop * 100.0, 1) + " pts", verdict});
-    std::printf("[sweep] R=%lld: acc %s (drop %.1f pts)\n", static_cast<long long>(r),
-                eval::pct(acc).c_str(), drop * 100.0);
   }
   table.print();
   std::printf(

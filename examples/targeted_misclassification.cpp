@@ -11,7 +11,7 @@
 // Run from the repository root:  ./build/examples/targeted_misclassification
 #include <cstdio>
 
-#include "eval/attack_bench.h"
+#include "engine/sweep.h"
 #include "eval/table.h"
 #include "tensor/ops.h"
 
@@ -44,7 +44,8 @@ void describe_delta(const char* tag, const fsa::Tensor& delta) {
 int main() {
   using namespace fsa;
   models::ModelZoo zoo;
-  eval::AttackBench bench(zoo.digits(), zoo.cache_dir(), {"fc3"});
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
+  eval::AttackBench& bench = runner.bench({"fc3"});
 
   // Three designated faults among 200 images the model currently gets right.
   const std::int64_t S = 3, R = 200;
@@ -62,18 +63,22 @@ int main() {
                   static_cast<long long>(spec.labels[static_cast<std::size_t>(i)]));
   }
 
+  // Both norm variants are independent instances — one declarative sweep,
+  // solved concurrently by the engine.
+  engine::Sweep sweep_cfg;
+  sweep_cfg.methods({"fsa-l0", "fsa-l2"}).layers({"fc3"}).sr_pairs({{S, R}}).seeds({4242});
+  const engine::SweepResult result = runner.run(sweep_cfg);
+
   eval::Table table("targeted misclassification: l0 vs l2 attack (S=3, R=200, fc3)");
   table.header({"variant", "faults in", "kept", "l0", "l2", "test acc after"});
-  for (const core::NormKind norm : {core::NormKind::kL0, core::NormKind::kL2}) {
-    core::FaultSneakingConfig cfg;
-    cfg.admm.norm = norm;
-    const core::FaultSneakingResult res = bench.attack().run(spec, cfg);
-    const double acc = bench.test_accuracy_with(res.delta);
-    const char* tag = norm == core::NormKind::kL0 ? "l0 attack" : "l2 attack";
-    table.row({tag, std::to_string(res.targets_hit) + "/" + std::to_string(S),
-               std::to_string(res.maintained) + "/" + std::to_string(R - S),
-               std::to_string(res.l0), eval::fmt(res.l2, 3), eval::pct(acc)});
-    describe_delta(tag, res.delta);
+  for (const auto& [method, tag] :
+       std::vector<std::pair<std::string, const char*>>{{"fsa-l0", "l0 attack"},
+                                                        {"fsa-l2", "l2 attack"}}) {
+    const auto& rep = result.row(method, S, R).report;
+    table.row({tag, std::to_string(rep.targets_hit) + "/" + std::to_string(S),
+               std::to_string(rep.maintained) + "/" + std::to_string(R - S),
+               std::to_string(rep.l0), eval::fmt(rep.l2, 3), eval::pct(rep.test_accuracy)});
+    describe_delta(tag, rep.delta);
   }
   table.print();
   std::printf(

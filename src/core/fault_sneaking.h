@@ -52,9 +52,11 @@ class FaultSneakingAttack {
   /// Attack the named layers of `net` (weights and/or biases).
   FaultSneakingAttack(nn::Sequential& net, const std::vector<std::string>& layers,
                       bool include_weights = true, bool include_biases = true)
-      : net_(&net),
-        mask_(ParamMask::make(net, layers, include_weights, include_biases)),
-        theta0_(mask_.gather_values()) {}
+      : FaultSneakingAttack(net, ParamMask::make(net, layers, include_weights, include_biases)) {}
+
+  /// Attack through an existing mask (must be bound to `net`'s parameters).
+  FaultSneakingAttack(nn::Sequential& net, ParamMask mask)
+      : net_(&net), mask_(std::move(mask)), theta0_(mask_.gather_values()) {}
 
   /// Solve the attack problem; the network is restored to θ0 on return.
   FaultSneakingResult run(const AttackSpec& spec, const FaultSneakingConfig& cfg = {});

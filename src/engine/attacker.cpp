@@ -1,0 +1,58 @@
+#include "engine/attacker.h"
+
+namespace fsa::engine {
+
+eval::Json AttackReport::to_json() const {
+  eval::Json j = eval::Json::object();
+  j.set("method", eval::Json::string(method));
+  j.set("surface", eval::Json::string(surface));
+  j.set("S", eval::Json::number(S));
+  j.set("R", eval::Json::number(R));
+  // Seeds are 64-bit and must survive the round trip exactly; JSON numbers
+  // are doubles (2^53), so serialize as a string.
+  j.set("seed", eval::Json::string(std::to_string(seed)));
+  j.set("l0", eval::Json::number(l0));
+  j.set("l2", eval::Json::number(l2));
+  j.set("targets_hit", eval::Json::number(targets_hit));
+  j.set("maintained", eval::Json::number(maintained));
+  j.set("success_rate", eval::Json::number(success_rate));
+  j.set("all_targets_hit", eval::Json::boolean(all_targets_hit));
+  j.set("all_maintained", eval::Json::boolean(all_maintained));
+  j.set("attempts", eval::Json::number(attempts));
+  j.set("iterations", eval::Json::number(iterations));
+  j.set("seconds", eval::Json::number(seconds));
+  j.set("test_accuracy",
+        test_accuracy < 0.0 ? eval::Json::null() : eval::Json::number(test_accuracy));
+  j.set("clean_accuracy",
+        clean_accuracy < 0.0 ? eval::Json::null() : eval::Json::number(clean_accuracy));
+  return j;
+}
+
+AttackReport AttackReport::from_json(const eval::Json& j) {
+  AttackReport r;
+  r.method = j.get_string("method", "");
+  r.surface = j.get_string("surface", "");
+  r.S = j.get_int("S", 0);
+  r.R = j.get_int("R", 0);
+  if (j.has("seed") && !j.at("seed").is_null()) {
+    const eval::Json& s = j.at("seed");
+    r.seed = s.type() == eval::Json::Type::kString
+                 ? std::stoull(s.as_string())
+                 : static_cast<std::uint64_t>(s.as_number());
+  }
+  r.l0 = j.get_int("l0", 0);
+  r.l2 = j.get_number("l2", 0.0);
+  r.targets_hit = j.get_int("targets_hit", 0);
+  r.maintained = j.get_int("maintained", 0);
+  r.success_rate = j.get_number("success_rate", 1.0);
+  r.all_targets_hit = j.get_bool("all_targets_hit", false);
+  r.all_maintained = j.get_bool("all_maintained", false);
+  r.attempts = j.get_int("attempts", 0);
+  r.iterations = j.get_int("iterations", 0);
+  r.seconds = j.get_number("seconds", 0.0);
+  r.test_accuracy = j.get_number("test_accuracy", -1.0);
+  r.clean_accuracy = j.get_number("clean_accuracy", -1.0);
+  return r;
+}
+
+}  // namespace fsa::engine

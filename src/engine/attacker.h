@@ -1,0 +1,75 @@
+// attacker.h — the unified attack-engine interface.
+//
+// The paper's experiments all reduce to "solve many independent (S, R)
+// attack instances and tabulate", but the three attack methods in this
+// repo (the ADMM fault sneaking attack, the ICCAD'17 GDA baseline, and
+// the single bias attack) historically exposed incompatible Config/Result
+// structs, so every bench hand-rolled its own loop. Attacker is the common
+// seam: one virtual run() that takes a network + attack surface + problem
+// instance and returns one AttackReport, regardless of method. Benches,
+// the CLI, and the SweepRunner consume only this interface; methods are
+// selected at runtime through the string registry (registry.h).
+//
+// Thread-safety contract: run() is const and an Attacker instance holds
+// only configuration, so ONE attacker may serve many concurrent run()
+// calls — provided each call gets its own network (the SweepRunner clones
+// the model per instance; run() mutates `net` while solving and restores
+// the surface's original parameters before returning).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/attack_spec.h"
+#include "core/param_mask.h"
+#include "eval/json.h"
+
+namespace fsa::engine {
+
+/// Unified result of one attack instance, independent of method.
+struct AttackReport {
+  std::string method;            ///< registry key ("fsa-l0", "gda", ...)
+  std::string surface;           ///< mask description, e.g. "fc3[weights+biases] (2010 params)"
+  std::int64_t S = 0;            ///< faults requested
+  std::int64_t R = 0;            ///< total images (faults + anchors)
+  std::uint64_t seed = 0;        ///< spec seed (0 when the caller built the spec directly)
+  std::int64_t l0 = 0;           ///< ‖δ‖₀ — parameters modified
+  double l2 = 0.0;               ///< ‖δ‖₂ — modification magnitude
+  std::int64_t targets_hit = 0;  ///< faults injected successfully (of S)
+  std::int64_t maintained = 0;   ///< anchor images kept (of R−S)
+  double success_rate = 1.0;     ///< targets_hit / S (1.0 when S = 0)
+  bool all_targets_hit = false;
+  bool all_maintained = false;
+  std::int64_t attempts = 0;     ///< escalation/retry attempts (method-specific)
+  std::int64_t iterations = 0;   ///< inner solver iterations (method-specific)
+  double seconds = 0.0;          ///< solve wall time
+  double test_accuracy = -1.0;   ///< full-test-set accuracy with δ applied; < 0 = not measured
+  double clean_accuracy = -1.0;  ///< clean accuracy at the same cut; < 0 = not measured
+  Tensor delta;                  ///< modification over the surface's flat space (not serialized)
+
+  /// Scalar fields as a JSON object (`delta` is intentionally excluded —
+  /// reports are metrics; tensors go through io::save_tensors).
+  [[nodiscard]] eval::Json to_json() const;
+
+  /// Inverse of to_json (delta left empty, unknown keys ignored).
+  static AttackReport from_json(const eval::Json& j);
+};
+
+/// A fault-injection attack method, selectable at runtime.
+class Attacker {
+ public:
+  virtual ~Attacker() = default;
+
+  /// Registry key of this method.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Solve one instance. `mask` must be bound to `net`'s parameters, and
+  /// `spec.features` must be activations at `mask.cut()`. The network is
+  /// mutated during the solve and restored (over the mask) before return.
+  [[nodiscard]] virtual AttackReport run(nn::Sequential& net, const core::ParamMask& mask,
+                                         const core::AttackSpec& spec) const = 0;
+};
+
+using AttackerPtr = std::unique_ptr<Attacker>;
+
+}  // namespace fsa::engine

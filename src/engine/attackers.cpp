@@ -1,0 +1,147 @@
+#include "engine/attackers.h"
+
+#include <chrono>
+
+#include "baseline/sba.h"
+#include "core/head_gradient.h"
+#include "nn/dense.h"
+#include "tensor/ops.h"
+
+namespace fsa::engine {
+
+namespace {
+
+/// Shared AttackReport scaffolding: problem identity + constraint counts.
+AttackReport base_report(const std::string& method, const core::ParamMask& mask,
+                         const core::AttackSpec& spec) {
+  AttackReport r;
+  r.method = method;
+  r.surface = mask.describe();
+  r.S = spec.S;
+  r.R = spec.R();
+  return r;
+}
+
+void fill_satisfaction(AttackReport& r, std::int64_t hit, std::int64_t kept) {
+  r.targets_hit = hit;
+  r.maintained = kept;
+  r.success_rate = r.S == 0 ? 1.0 : static_cast<double>(hit) / static_cast<double>(r.S);
+  r.all_targets_hit = hit == r.S;
+  r.all_maintained = kept == r.R - r.S;
+}
+
+}  // namespace
+
+// ---- FsaAttacker -------------------------------------------------------------
+
+std::string FsaAttacker::default_name(core::NormKind norm) {
+  switch (norm) {
+    case core::NormKind::kL0: return "fsa-l0";
+    case core::NormKind::kL2: return "fsa-l2";
+    case core::NormKind::kL1: return "fsa-l1";
+  }
+  return "fsa";
+}
+
+AttackReport FsaAttacker::run(nn::Sequential& net, const core::ParamMask& mask,
+                              const core::AttackSpec& spec) const {
+  core::FaultSneakingAttack attack(net, mask);
+  const core::FaultSneakingResult res = attack.run(spec, cfg_);
+
+  AttackReport r = base_report(name_, mask, spec);
+  r.delta = res.delta;
+  r.l0 = res.l0;
+  r.l2 = res.l2;
+  fill_satisfaction(r, res.targets_hit, res.maintained);
+  r.attempts = res.attempts;
+  r.iterations = res.admm_iterations;
+  r.seconds = res.seconds;
+  return r;
+}
+
+// ---- GdaAttacker -------------------------------------------------------------
+
+AttackReport GdaAttacker::run(nn::Sequential& net, const core::ParamMask& mask,
+                              const core::AttackSpec& spec) const {
+  baseline::GradientDescentAttack gda(net, mask);
+  const baseline::GdaResult res = gda.run(spec, cfg_);
+
+  AttackReport r = base_report("gda", mask, spec);
+  r.delta = res.delta;
+  r.l0 = res.l0;
+  r.l2 = res.l2;
+  r.seconds = res.seconds;
+  r.attempts = 1;
+
+  // GDA only optimizes the S fault rows; measure the whole spec (faults AND
+  // anchors) so its report is comparable with the stealth-aware methods.
+  const Tensor theta0 = mask.gather_values();
+  core::HeadGradient grad(net, mask);
+  Tensor theta = theta0;
+  theta += res.delta;
+  const Tensor logits = grad.logits_at(theta, spec);
+  const auto [hit, kept] = core::count_satisfied(logits, spec);
+  mask.scatter_values(theta0);
+  fill_satisfaction(r, hit, kept);
+  return r;
+}
+
+// ---- SbaAttacker -------------------------------------------------------------
+
+AttackReport SbaAttacker::run(nn::Sequential& net, const core::ParamMask& mask,
+                              const core::AttackSpec& spec) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (spec.S < 1)
+    throw std::invalid_argument("sba: needs at least one fault image (S >= 1)");
+
+  // SBA modifies one bias of the network's final Dense layer. Locate it and
+  // require it to be inside the surface, so δ lives in the mask space.
+  std::size_t li = net.size();
+  nn::Dense* final_dense = nullptr;
+  for (std::size_t i = net.size(); i-- > 0;) {
+    if (auto* d = dynamic_cast<nn::Dense*>(&net.layer(i))) {
+      li = i;
+      final_dense = d;
+      break;
+    }
+  }
+  if (final_dense == nullptr) throw std::invalid_argument("sba: network has no Dense layer");
+  const bool bias_in_mask = [&] {
+    for (const auto& seg : mask.segments())
+      if (seg.param == &final_dense->bias()) return true;
+    return false;
+  }();
+  if (!bias_in_mask)
+    throw std::invalid_argument(
+        "sba: attack surface must include the final Dense layer's biases (layer '" +
+        final_dense->name() + "')");
+
+  const Tensor theta0 = mask.gather_values();
+
+  // Lift the first fault image's cut-point activations to the final layer's
+  // input (identity when the surface IS the final layer).
+  Tensor f = spec.features.slice0(0, 1);
+  for (std::size_t i = mask.cut(); i < li; ++i) f = net.layer(i).forward(f, /*train=*/false);
+
+  const baseline::SbaResult res =
+      baseline::single_bias_attack(net, final_dense->name(), f, spec.labels[0], eps_);
+
+  // Express the modification as a δ over the mask and measure the full spec.
+  Tensor after = mask.gather_values();
+  Tensor delta = after;
+  delta -= theta0;
+  const Tensor logits = net.forward_from(mask.cut(), spec.features, /*train=*/false);
+  const auto [hit, kept] = core::count_satisfied(logits, spec);
+  mask.scatter_values(theta0);
+
+  AttackReport r = base_report("sba", mask, spec);
+  r.delta = std::move(delta);
+  r.l0 = ops::l0_norm(r.delta);
+  r.l2 = ops::l2_norm(r.delta);
+  fill_satisfaction(r, hit, kept);
+  r.attempts = 1;
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return r;
+}
+
+}  // namespace fsa::engine

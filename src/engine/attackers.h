@@ -1,0 +1,70 @@
+// attackers.h — the built-in Attacker adapters.
+//
+// Each adapter wraps one of the repo's attack implementations behind the
+// unified engine interface, translating its bespoke Config/Result structs
+// into an AttackReport. Concrete classes are exposed (not just the
+// registry) so ablation benches can pre-configure a method — e.g. a ρ
+// sweep builds seven FsaAttackers with different AdmmConfigs and hands
+// them to the SweepRunner as per-instance overrides.
+#pragma once
+
+#include "baseline/gda.h"
+#include "core/fault_sneaking.h"
+#include "engine/attacker.h"
+
+namespace fsa::engine {
+
+/// The paper's fault sneaking attack (ADMM + refinement + c-escalation).
+/// Registry keys "fsa-l0" / "fsa-l2" / "fsa-l1" are this adapter with the
+/// corresponding NormKind baked into the config.
+class FsaAttacker final : public Attacker {
+ public:
+  explicit FsaAttacker(core::FaultSneakingConfig cfg = {}, std::string name = "")
+      : cfg_(cfg), name_(name.empty() ? default_name(cfg.admm.norm) : std::move(name)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] AttackReport run(nn::Sequential& net, const core::ParamMask& mask,
+                                 const core::AttackSpec& spec) const override;
+
+  [[nodiscard]] const core::FaultSneakingConfig& config() const { return cfg_; }
+
+  static std::string default_name(core::NormKind norm);
+
+ private:
+  core::FaultSneakingConfig cfg_;
+  std::string name_;
+};
+
+/// ICCAD'17 Gradient Descent Attack baseline (no stealth constraint; the
+/// maintained rows of the spec are reported but never optimized for).
+class GdaAttacker final : public Attacker {
+ public:
+  explicit GdaAttacker(baseline::GdaConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "gda"; }
+  [[nodiscard]] AttackReport run(nn::Sequential& net, const core::ParamMask& mask,
+                                 const core::AttackSpec& spec) const override;
+
+  [[nodiscard]] const baseline::GdaConfig& config() const { return cfg_; }
+
+ private:
+  baseline::GdaConfig cfg_;
+};
+
+/// ICCAD'17 Single Bias Attack baseline: misclassify the first fault image
+/// by raising one output bias. Requires the surface to include the biases
+/// of a final Dense layer (throws a clear error otherwise) so the
+/// modification is expressible as a δ over the mask like every other method.
+class SbaAttacker final : public Attacker {
+ public:
+  explicit SbaAttacker(double eps = 0.1) : eps_(eps) {}
+
+  [[nodiscard]] std::string name() const override { return "sba"; }
+  [[nodiscard]] AttackReport run(nn::Sequential& net, const core::ParamMask& mask,
+                                 const core::AttackSpec& spec) const override;
+
+ private:
+  double eps_;
+};
+
+}  // namespace fsa::engine

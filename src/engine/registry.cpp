@@ -1,0 +1,75 @@
+#include "engine/registry.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "engine/attackers.h"
+
+namespace fsa::engine {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, AttackerFactory> factories;
+
+  Registry() {
+    auto fsa_with = [](core::NormKind norm) {
+      return [norm] {
+        core::FaultSneakingConfig cfg;
+        cfg.admm.norm = norm;
+        return std::make_unique<FsaAttacker>(cfg);
+      };
+    };
+    factories["fsa-l0"] = fsa_with(core::NormKind::kL0);
+    factories["fsa-l2"] = fsa_with(core::NormKind::kL2);
+    factories["fsa-l1"] = fsa_with(core::NormKind::kL1);
+    factories["gda"] = [] { return std::make_unique<GdaAttacker>(); };
+    factories["sba"] = [] { return std::make_unique<SbaAttacker>(); };
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+void register_attacker(const std::string& name, AttackerFactory factory) {
+  if (name.empty()) throw std::invalid_argument("register_attacker: empty name");
+  if (!factory) throw std::invalid_argument("register_attacker: null factory");
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  r.factories[name] = std::move(factory);
+}
+
+AttackerPtr make_attacker(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  const auto it = r.factories.find(name);
+  if (it == r.factories.end()) {
+    std::string known;
+    for (const auto& [k, v] : r.factories) known += (known.empty() ? "" : ", ") + k;
+    throw std::invalid_argument("unknown attack method \"" + name + "\" (known: " + known + ")");
+  }
+  return it->second();
+}
+
+bool has_attacker(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  return r.factories.count(name) > 0;
+}
+
+std::vector<std::string> attacker_names() {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.factories.size());
+  for (const auto& [k, v] : r.factories) out.push_back(k);
+  return out;
+}
+
+}  // namespace fsa::engine

@@ -1,0 +1,34 @@
+// registry.h — string-keyed attack method registry.
+//
+// Benches, the CLI, and sweep configs select attack methods by name at
+// runtime ("fsa-l0", "fsa-l2", "fsa-l1", "gda", "sba"), so adding a method
+// means registering one factory — no bench needs to know concrete types.
+// Registration is explicit and lazy (seeded on first lookup) rather than
+// via static initializers, which the linker would dead-strip out of a
+// static library.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/attacker.h"
+
+namespace fsa::engine {
+
+using AttackerFactory = std::function<AttackerPtr()>;
+
+/// Register (or replace) a method under `name`.
+void register_attacker(const std::string& name, AttackerFactory factory);
+
+/// Instantiate the method registered under `name`. Throws
+/// std::invalid_argument listing the known methods when `name` is unknown.
+AttackerPtr make_attacker(const std::string& name);
+
+/// True if `name` is registered.
+bool has_attacker(const std::string& name);
+
+/// All registered method names, sorted.
+std::vector<std::string> attacker_names();
+
+}  // namespace fsa::engine

@@ -1,0 +1,333 @@
+#include "engine/sweep.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "engine/registry.h"
+#include "eval/stopwatch.h"
+#include "models/feature_cache.h"
+#include "tensor/parallel.h"
+
+namespace fsa::engine {
+
+// ---- SweepSpec ---------------------------------------------------------------
+
+std::string SweepSpec::surface_key() const {
+  std::string key;
+  for (const auto& l : layers) key += (key.empty() ? "" : ",") + l;
+  if (weights && biases) return key;
+  return key + (weights ? "[w]" : "[b]");
+}
+
+// ---- Sweep builder -----------------------------------------------------------
+
+Sweep& Sweep::methods(std::vector<std::string> ms) {
+  if (ms.empty()) throw std::invalid_argument("Sweep: empty method list");
+  methods_ = std::move(ms);
+  cartesian_touched_ = true;
+  return *this;
+}
+
+Sweep& Sweep::layer_sets(std::vector<std::vector<std::string>> sets) {
+  if (sets.empty()) throw std::invalid_argument("Sweep: empty layer-set list");
+  layer_sets_ = std::move(sets);
+  cartesian_touched_ = true;
+  return *this;
+}
+
+Sweep& Sweep::weights_only() {
+  weights_ = true;
+  biases_ = false;
+  cartesian_touched_ = true;
+  return *this;
+}
+
+Sweep& Sweep::biases_only() {
+  weights_ = false;
+  biases_ = true;
+  cartesian_touched_ = true;
+  return *this;
+}
+
+Sweep& Sweep::s_values(std::vector<std::int64_t> ss) {
+  if (ss.empty()) throw std::invalid_argument("Sweep: empty S list");
+  s_values_ = std::move(ss);
+  cartesian_touched_ = true;
+  return *this;
+}
+
+Sweep& Sweep::r_values(std::vector<std::int64_t> rs) {
+  if (rs.empty()) throw std::invalid_argument("Sweep: empty R list");
+  r_values_ = std::move(rs);
+  r_mode_ = RMode::kList;
+  cartesian_touched_ = true;
+  return *this;
+}
+
+Sweep& Sweep::sr_pairs(std::vector<std::pair<std::int64_t, std::int64_t>> pairs) {
+  if (pairs.empty()) throw std::invalid_argument("Sweep: empty (S,R) pair list");
+  sr_pairs_ = std::move(pairs);
+  r_mode_ = RMode::kPairs;
+  cartesian_touched_ = true;
+  return *this;
+}
+
+Sweep& Sweep::r_equals_s() {
+  r_mode_ = RMode::kEqualsS;
+  cartesian_touched_ = true;
+  return *this;
+}
+
+Sweep& Sweep::r_offset(std::int64_t offset) {
+  r_mode_ = RMode::kOffset;
+  r_offset_ = offset;
+  cartesian_touched_ = true;
+  return *this;
+}
+
+Sweep& Sweep::seeds(std::vector<std::uint64_t> seeds) {
+  if (seeds.empty()) throw std::invalid_argument("Sweep: empty seed list");
+  seeds_ = std::move(seeds);
+  seed_fn_ = nullptr;
+  cartesian_touched_ = true;
+  return *this;
+}
+
+Sweep& Sweep::seed_fn(std::function<std::uint64_t(std::int64_t, std::int64_t)> fn) {
+  seed_fn_ = std::move(fn);
+  cartesian_touched_ = true;
+  return *this;
+}
+
+// policy/attacker/measure_accuracy are per-instance OPTIONS, not grid
+// dimensions: setting one must not conjure a default cartesian cell when the
+// sweep is otherwise built from explicit add() calls.
+Sweep& Sweep::policy(core::TargetPolicy p) {
+  policy_ = p;
+  return *this;
+}
+
+Sweep& Sweep::attacker(std::shared_ptr<const Attacker> a) {
+  attacker_ = std::move(a);
+  return *this;
+}
+
+Sweep& Sweep::measure_accuracy(bool m) {
+  measure_accuracy_ = m;
+  return *this;
+}
+
+Sweep& Sweep::add(SweepSpec spec) {
+  explicit_.push_back(std::move(spec));
+  return *this;
+}
+
+std::vector<SweepSpec> Sweep::build() const {
+  std::vector<SweepSpec> out;
+  if (cartesian_touched_ || explicit_.empty()) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+    switch (r_mode_) {
+      case RMode::kPairs: pairs = sr_pairs_; break;
+      case RMode::kEqualsS:
+        for (auto s : s_values_) pairs.emplace_back(s, s);
+        break;
+      case RMode::kOffset:
+        for (auto s : s_values_) pairs.emplace_back(s, s + r_offset_);
+        break;
+      case RMode::kList:
+        for (auto r : r_values_)
+          for (auto s : s_values_) pairs.emplace_back(s, r);
+        break;
+    }
+    // seed_fn replaces the seeds list: one instance per cell, seeded by (S, R).
+    const std::vector<std::uint64_t> seeds = seed_fn_ ? std::vector<std::uint64_t>{0} : seeds_;
+    for (const auto& method : methods_)
+      for (const auto& layers : layer_sets_)
+        for (const auto& [s, r] : pairs)
+          for (const auto seed : seeds) {
+            SweepSpec spec;
+            spec.method = method;
+            spec.layers = layers;
+            spec.weights = weights_;
+            spec.biases = biases_;
+            spec.S = s;
+            spec.R = r;
+            spec.seed = seed_fn_ ? seed_fn_(s, r) : seed;
+            spec.policy = policy_;
+            spec.attacker = attacker_;
+            spec.measure_accuracy = measure_accuracy_;
+            out.push_back(std::move(spec));
+          }
+  }
+  out.insert(out.end(), explicit_.begin(), explicit_.end());
+  return out;
+}
+
+// ---- SweepResult -------------------------------------------------------------
+
+const SweepRow& SweepResult::row(const std::string& method, std::int64_t S, std::int64_t R,
+                                 const std::string& tag) const {
+  for (const auto& r : rows)
+    if (r.report.method == method && r.spec.S == S && r.spec.R == R &&
+        (tag.empty() || r.spec.tag == tag))
+      return r;
+  throw std::out_of_range("SweepResult: no row for method=" + method + " S=" + std::to_string(S) +
+                          " R=" + std::to_string(R) + (tag.empty() ? "" : " tag=" + tag));
+}
+
+const SweepRow& SweepResult::row_tagged(const std::string& tag) const {
+  for (const auto& r : rows)
+    if (r.spec.tag == tag) return r;
+  throw std::out_of_range("SweepResult: no row tagged \"" + tag + "\"");
+}
+
+eval::Json SweepResult::to_json() const {
+  eval::Json j = eval::Json::object();
+  j.set("model", eval::Json::string(model));
+  j.set("workers", eval::Json::number(static_cast<std::int64_t>(workers)));
+  j.set("seconds", eval::Json::number(seconds));
+  eval::Json arr = eval::Json::array();
+  for (const auto& r : rows) {
+    eval::Json obj = r.report.to_json();
+    if (!r.spec.tag.empty()) obj.set("tag", eval::Json::string(r.spec.tag));
+    arr.push_back(std::move(obj));
+  }
+  j.set("rows", std::move(arr));
+  return j;
+}
+
+void SweepResult::write_json(const std::string& path) const {
+  try {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+    std::ofstream os(path);
+    os << to_json().dump(2) << "\n";
+  } catch (const std::exception&) {
+    // Like Table::write_csv: stdout is the primary artifact.
+  }
+}
+
+eval::Table SweepResult::table(const std::string& title) const {
+  eval::Table t(title);
+  t.header({"method", "surface", "S", "R", "seed", "l0", "l2", "faults", "anchors", "test acc",
+            "time"});
+  for (const auto& r : rows) {
+    const auto& rep = r.report;
+    t.row({rep.method + (r.spec.tag.empty() ? "" : " (" + r.spec.tag + ")"), r.spec.surface_key(),
+           std::to_string(rep.S), std::to_string(rep.R), std::to_string(r.spec.seed),
+           std::to_string(rep.l0), eval::fmt(rep.l2, 2),
+           std::to_string(rep.targets_hit) + "/" + std::to_string(rep.S),
+           std::to_string(rep.maintained) + "/" + std::to_string(rep.R - rep.S),
+           rep.test_accuracy < 0.0 ? "-" : eval::pct(rep.test_accuracy),
+           eval::fmt(rep.seconds, 1) + "s"});
+  }
+  return t;
+}
+
+// ---- SweepRunner -------------------------------------------------------------
+
+SweepRunner::SweepRunner(models::ZooModel& model, std::string cache_dir, bool verbose)
+    : model_(&model), cache_dir_(std::move(cache_dir)), verbose_(verbose) {}
+
+eval::AttackBench& SweepRunner::bench(const std::vector<std::string>& layers, bool weights,
+                                      bool biases) {
+  SweepSpec key_spec;
+  key_spec.layers = layers;
+  key_spec.weights = weights;
+  key_spec.biases = biases;
+  const std::string key = key_spec.surface_key();
+  auto it = benches_.find(key);
+  if (it == benches_.end())
+    it = benches_
+             .emplace(key, std::make_unique<eval::AttackBench>(*model_, cache_dir_, layers,
+                                                               weights, biases))
+             .first;
+  return *it->second;
+}
+
+SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
+  if (specs.empty()) throw std::invalid_argument("SweepRunner: empty sweep");
+  const std::int64_t n = static_cast<std::int64_t>(specs.size());
+  const eval::Stopwatch total;
+
+  // Serial prologue: per-surface benches (feature caches hit disk), attack
+  // problem instances, and one shared Attacker per method. Everything the
+  // parallel phase touches after this point is either task-local (network
+  // clones) or read-only (features, specs, configs).
+  struct Task {
+    const SweepSpec* spec = nullptr;
+    eval::AttackBench* bench = nullptr;
+    std::shared_ptr<const Attacker> attacker;
+    core::AttackSpec problem;
+  };
+  std::vector<Task> tasks(static_cast<std::size_t>(n));
+  std::map<std::string, std::shared_ptr<const Attacker>> method_cache;
+  for (std::int64_t i = 0; i < n; ++i) {
+    Task& t = tasks[static_cast<std::size_t>(i)];
+    t.spec = &specs[static_cast<std::size_t>(i)];
+    t.bench = &bench(t.spec->layers, t.spec->weights, t.spec->biases);
+    if (t.spec->attacker) {
+      t.attacker = t.spec->attacker;
+    } else {
+      auto& cached = method_cache[t.spec->method];
+      if (!cached) cached = make_attacker(t.spec->method);  // throws on unknown name
+      t.attacker = cached;
+    }
+    t.problem = t.bench->spec(t.spec->S, t.spec->R, t.spec->seed, t.spec->policy);
+  }
+
+  // Parallel phase: one task per instance, each on its own network clone.
+  // Results land at their instance index, so row order (and content — the
+  // solves are deterministic given the spec) is independent of scheduling.
+  // Instances are claimed one at a time from an atomic queue rather than
+  // pre-chunked: parallel_for's ~4-chunks-per-thread sizing would batch
+  // several minutes-long solves into one unstealable chunk and leave
+  // workers idle behind a straggler.
+  SweepResult result;
+  result.model = model_->name;
+  result.workers = num_threads();
+  result.rows.resize(static_cast<std::size_t>(n));
+  std::atomic<std::int64_t> next{0};
+  const std::int64_t lanes = std::min<std::int64_t>(n, num_threads());
+  parallel_for(0, lanes, 1, [&](std::int64_t, std::int64_t) {
+    for (std::int64_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      const Task& t = tasks[static_cast<std::size_t>(i)];
+      nn::Sequential net = t.bench->model().net.clone();
+      const core::ParamMask mask =
+          core::ParamMask::make(net, t.spec->layers, t.spec->weights, t.spec->biases);
+      AttackReport rep = t.attacker->run(net, mask, t.problem);
+      rep.seed = t.spec->seed;
+      rep.clean_accuracy = t.bench->clean_test_accuracy();
+      if (t.spec->measure_accuracy) {
+        Tensor theta = mask.gather_values();  // == θ0: run() restored the surface
+        theta += rep.delta;
+        mask.scatter_values(theta);
+        rep.test_accuracy = models::head_accuracy(net, mask.cut(), t.bench->test_features(),
+                                                  t.bench->model().test.labels());
+      }
+      if (verbose_)
+        std::printf("[sweep %lld/%lld] %s %s S=%lld R=%lld seed=%llu: l0=%lld targets %lld/%lld"
+                    " (%.1fs)\n",
+                    static_cast<long long>(i + 1), static_cast<long long>(n),
+                    rep.method.c_str(), t.spec->surface_key().c_str(),
+                    static_cast<long long>(rep.S), static_cast<long long>(rep.R),
+                    static_cast<unsigned long long>(rep.seed), static_cast<long long>(rep.l0),
+                    static_cast<long long>(rep.targets_hit), static_cast<long long>(rep.S),
+                    rep.seconds);
+      SweepRow& row = result.rows[static_cast<std::size_t>(i)];
+      row.spec = *t.spec;
+      row.report = std::move(rep);
+    }
+  });
+
+  result.seconds = total.seconds();
+  if (verbose_)
+    std::printf("[sweep] %lld instance(s) in %.1fs on %d worker(s)\n", static_cast<long long>(n),
+                result.seconds, result.workers);
+  return result;
+}
+
+}  // namespace fsa::engine

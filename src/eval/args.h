@@ -15,6 +15,23 @@
 
 namespace fsa::eval {
 
+/// Split a comma-separated value ("fc1,fc2,fc3" → {"fc1","fc2","fc3"}).
+/// Empty segments are dropped, so ",fc3," and "fc3" parse the same — the
+/// shared helper behind every CSV-valued CLI flag (--layers, --s-list,
+/// --seeds, ...).
+inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
 class Args {
  public:
   /// Parse argv after the program name. The first non--- token (if any) is
@@ -55,6 +72,28 @@ class Args {
     const auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     return std::stod(it->second);
+  }
+
+  /// CSV-valued option as a string list (fallback is also CSV).
+  [[nodiscard]] std::vector<std::string> get_list(const std::string& key,
+                                                  const std::string& fallback) const {
+    return split_csv(get(key, fallback));
+  }
+
+  /// CSV-valued option as integers, e.g. --s-list 1,4,16.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(const std::string& key,
+                                                       const std::string& fallback) const {
+    std::vector<std::int64_t> out;
+    for (const auto& tok : get_list(key, fallback)) out.push_back(std::stoll(tok));
+    return out;
+  }
+
+  /// CSV-valued option as unsigned 64-bit seeds.
+  [[nodiscard]] std::vector<std::uint64_t> get_u64_list(const std::string& key,
+                                                        const std::string& fallback) const {
+    std::vector<std::uint64_t> out;
+    for (const auto& tok : get_list(key, fallback)) out.push_back(std::stoull(tok));
+    return out;
   }
 
   /// Throw if any provided key/flag is not in `known` (catches typos).

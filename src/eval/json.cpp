@@ -1,0 +1,262 @@
+#include "eval/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace fsa::eval {
+
+namespace {
+
+void dump_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no inf/nan; reports use null for "not measured"
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    os << static_cast<std::int64_t>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("Json::parse: " + why + " at offset " + std::to_string(pos));
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text.compare(pos, n, lit) == 0) {
+      pos += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          for (std::size_t k = 0; k < 4; ++k)
+            if (!std::isxdigit(static_cast<unsigned char>(text[pos + k]))) fail("bad \\u escape");
+          const unsigned code = static_cast<unsigned>(std::stoul(text.substr(pos, 4), nullptr, 16));
+          pos += 4;
+          // Reports only emit ASCII control escapes; encode BMP as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_value() {
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      if (peek() == '}') {
+        ++pos;
+        return obj;
+      }
+      while (true) {
+        std::string key = (skip_ws(), parse_string());
+        expect(':');
+        obj.set(key, parse_value());
+        const char d = peek();
+        if (d == ',') {
+          ++pos;
+          continue;
+        }
+        if (d == '}') {
+          ++pos;
+          return obj;
+        }
+        fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      if (peek() == ']') {
+        ++pos;
+        return arr;
+      }
+      while (true) {
+        arr.push_back(parse_value());
+        const char d = peek();
+        if (d == ',') {
+          ++pos;
+          continue;
+        }
+        if (d == ']') {
+          ++pos;
+          return arr;
+        }
+        fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') return Json::string(parse_string());
+    skip_ws();
+    if (consume_literal("true")) return Json::boolean(true);
+    if (consume_literal("false")) return Json::boolean(false);
+    if (consume_literal("null")) return Json::null();
+    // number
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '-' || text[pos] == '+'))
+      ++pos;
+    if (pos == start) fail("unexpected character");
+    const std::string token = text.substr(start, pos - start);
+    try {
+      std::size_t consumed = 0;
+      const double v = std::stod(token, &consumed);
+      if (consumed != token.size()) fail("bad number");  // e.g. "1.2.3", "1-2"
+      return Json::number(v);
+    } catch (const std::invalid_argument&) {
+      fail("bad number");
+    } catch (const std::out_of_range&) {
+      fail("number out of range");
+    }
+  }
+};
+
+void dump_value(std::ostream& os, const Json& j, int indent, int depth) {
+  const std::string pad = indent >= 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ') : "";
+  const std::string close_pad = indent >= 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  const char* nl = indent >= 0 ? "\n" : "";
+  const char* kv_sep = indent >= 0 ? ": " : ":";
+  switch (j.type()) {
+    case Json::Type::kNull: os << "null"; break;
+    case Json::Type::kBool: os << (j.as_bool() ? "true" : "false"); break;
+    case Json::Type::kNumber: dump_number(os, j.as_number()); break;
+    case Json::Type::kString: dump_string(os, j.as_string()); break;
+    case Json::Type::kArray: {
+      if (j.items().empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[' << nl;
+      bool first = true;
+      for (const auto& item : j.items()) {
+        if (!first) os << ',' << nl;
+        first = false;
+        os << pad;
+        dump_value(os, item, indent, depth + 1);
+      }
+      os << nl << close_pad << ']';
+      break;
+    }
+    case Json::Type::kObject: {
+      if (j.members().empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{' << nl;
+      bool first = true;
+      for (const auto& [k, v] : j.members()) {
+        if (!first) os << ',' << nl;
+        first = false;
+        os << pad;
+        dump_string(os, k);
+        os << kv_sep;
+        dump_value(os, v, indent, depth + 1);
+      }
+      os << nl << close_pad << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  dump_value(os, *this, indent, 0);
+  return os.str();
+}
+
+Json Json::parse(const std::string& text) {
+  Parser p{text};
+  Json out = p.parse_value();
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing characters");
+  return out;
+}
+
+}  // namespace fsa::eval

@@ -1,0 +1,173 @@
+// json.h — minimal JSON value type for structured experiment reports.
+//
+// The sweep engine emits machine-readable reports (one object per attack
+// instance) alongside the human-facing Table CSV, so downstream tooling —
+// plotting scripts, regression diffing, the run_benches.sh trajectory —
+// can consume results without screen-scraping. This is a deliberately
+// small implementation: objects, arrays, strings, numbers, booleans and
+// null, preserved insertion order, no external dependency. It round-trips
+// everything it emits (see engine_test), which is all the repo needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fsa::eval {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  // ---- factories ----------------------------------------------------------
+
+  static Json null() { return Json(); }
+  static Json boolean(bool b) {
+    Json j;
+    j.type_ = Type::kBool;
+    j.bool_ = b;
+    return j;
+  }
+  static Json number(double v) {
+    Json j;
+    j.type_ = Type::kNumber;
+    j.num_ = v;
+    return j;
+  }
+  static Json number(std::int64_t v) { return number(static_cast<double>(v)); }
+  static Json string(std::string s) {
+    Json j;
+    j.type_ = Type::kString;
+    j.str_ = std::move(s);
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  // ---- inspection ----------------------------------------------------------
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+
+  [[nodiscard]] bool as_bool() const {
+    expect(Type::kBool, "bool");
+    return bool_;
+  }
+  [[nodiscard]] double as_number() const {
+    expect(Type::kNumber, "number");
+    return num_;
+  }
+  [[nodiscard]] std::int64_t as_int() const { return static_cast<std::int64_t>(as_number()); }
+  [[nodiscard]] const std::string& as_string() const {
+    expect(Type::kString, "string");
+    return str_;
+  }
+
+  /// Array element count / object member count.
+  [[nodiscard]] std::size_t size() const {
+    if (type_ == Type::kArray) return items_.size();
+    if (type_ == Type::kObject) return members_.size();
+    throw std::runtime_error("Json: size() on non-container");
+  }
+
+  /// Array element access (throws on out-of-range).
+  [[nodiscard]] const Json& at(std::size_t i) const {
+    expect(Type::kArray, "array");
+    if (i >= items_.size()) throw std::out_of_range("Json: array index " + std::to_string(i));
+    return items_[i];
+  }
+
+  /// Object member access (throws if absent).
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    expect(Type::kObject, "object");
+    for (const auto& [k, v] : members_)
+      if (k == key) return v;
+    throw std::out_of_range("Json: no member \"" + key + "\"");
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    if (type_ != Type::kObject) return false;
+    for (const auto& [k, v] : members_)
+      if (k == key) return true;
+    return false;
+  }
+
+  /// Object member with fallback when absent or null.
+  [[nodiscard]] double get_number(const std::string& key, double fallback) const {
+    return has(key) && !at(key).is_null() ? at(key).as_number() : fallback;
+  }
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    return static_cast<std::int64_t>(get_number(key, static_cast<double>(fallback)));
+  }
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback) const {
+    return has(key) && !at(key).is_null() ? at(key).as_string() : fallback;
+  }
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const {
+    return has(key) && !at(key).is_null() ? at(key).as_bool() : fallback;
+  }
+
+  // ---- mutation ------------------------------------------------------------
+
+  /// Set an object member (replaces an existing key, preserves order otherwise).
+  Json& set(const std::string& key, Json value) {
+    expect(Type::kObject, "object");
+    for (auto& [k, v] : members_)
+      if (k == key) {
+        v = std::move(value);
+        return *this;
+      }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  Json& push_back(Json value) {
+    expect(Type::kArray, "array");
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const {
+    expect(Type::kObject, "object");
+    return members_;
+  }
+  [[nodiscard]] const std::vector<Json>& items() const {
+    expect(Type::kArray, "array");
+    return items_;
+  }
+
+  // ---- (de)serialization ---------------------------------------------------
+
+  /// Render as JSON text. `indent < 0` → compact single line; otherwise
+  /// pretty-printed with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parse JSON text (throws std::runtime_error on malformed input).
+  static Json parse(const std::string& text);
+
+ private:
+  void expect(Type t, const char* what) const {
+    if (type_ != t) throw std::runtime_error(std::string("Json: value is not a ") + what);
+  }
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace fsa::eval

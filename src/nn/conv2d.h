@@ -25,6 +25,9 @@ class Conv2D final : public Layer {
   std::vector<Parameter*> params() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv2D>(*this);
+  }
 
   [[nodiscard]] std::int64_t in_channels() const { return in_c_; }
   [[nodiscard]] std::int64_t out_channels() const { return out_c_; }

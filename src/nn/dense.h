@@ -28,6 +28,9 @@ class Dense final : public Layer {
   std::vector<Parameter*> params() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dense>(*this);
+  }
 
   [[nodiscard]] std::int64_t in_features() const { return in_; }
   [[nodiscard]] std::int64_t out_features() const { return out_; }

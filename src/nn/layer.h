@@ -35,6 +35,12 @@ class Layer {
   /// Non-owning pointers to this layer's trainable parameters (possibly empty).
   virtual std::vector<Parameter*> params() { return {}; }
 
+  /// Deep copy of this layer (parameters, gradients, and caches). Tensor
+  /// members have value semantics, so a cloned layer shares no storage with
+  /// the original — the attack engine clones whole networks to run
+  /// independent solves concurrently without racing on parameters.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
   /// Short diagnostic name, e.g. "conv1".
   [[nodiscard]] virtual std::string name() const = 0;
 

@@ -19,6 +19,9 @@ class MaxPool2D final : public Layer {
 
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2D>(*this);
+  }
 
  private:
   std::string name_;
@@ -47,6 +50,10 @@ class Flatten final : public Layer {
     return Shape({input.dim(0), input.numel() / std::max<std::int64_t>(input.dim(0), 1)});
   }
 
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
+
  private:
   std::string name_;
   Shape cached_shape_;
@@ -62,6 +69,9 @@ class ReLU final : public Layer {
 
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] Shape output_shape(const Shape& input) const override { return input; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>(*this);
+  }
 
  private:
   std::string name_;

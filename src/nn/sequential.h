@@ -32,6 +32,16 @@ class Sequential {
   /// Index of the layer with the given name; throws if absent.
   [[nodiscard]] std::size_t index_of(const std::string& name) const;
 
+  /// Deep copy of the whole stack. The clone shares no storage with this
+  /// network, so it can be forwarded/backwarded/perturbed from another
+  /// thread while the original keeps serving — the sweep engine gives every
+  /// concurrent attack instance its own clone.
+  [[nodiscard]] Sequential clone() const {
+    Sequential out;
+    for (const auto& l : layers_) out.add(l->clone());
+    return out;
+  }
+
   /// Full forward pass (logits out — no softmax layer; the paper's g
   /// function works on logits, eq. 3).
   Tensor forward(const Tensor& input, bool train = false) { return forward_from(0, input, train); }

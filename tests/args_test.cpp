@@ -60,5 +60,22 @@ TEST(Args, NegativeNumberValuesAreRejectedLoudly) {
   EXPECT_THROW(parse({"--x", "-3"}), std::invalid_argument);
 }
 
+TEST(Args, SplitCsv) {
+  EXPECT_EQ(split_csv("fc1,fc2,fc3"), (std::vector<std::string>{"fc1", "fc2", "fc3"}));
+  EXPECT_EQ(split_csv("fc3"), (std::vector<std::string>{"fc3"}));
+  EXPECT_EQ(split_csv(""), (std::vector<std::string>{}));
+  // Empty segments are dropped — ",fc3," parses like "fc3".
+  EXPECT_EQ(split_csv(",fc3,"), (std::vector<std::string>{"fc3"}));
+  EXPECT_EQ(split_csv("a,,b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Args, CsvValuedOptions) {
+  const Args a = parse({"sweep", "--s-list", "1,4,16", "--seeds", "7,8"});
+  EXPECT_EQ(a.get_int_list("s-list", "0"), (std::vector<std::int64_t>{1, 4, 16}));
+  EXPECT_EQ(a.get_u64_list("seeds", "1"), (std::vector<std::uint64_t>{7, 8}));
+  EXPECT_EQ(a.get_int_list("r-list", "50,100"), (std::vector<std::int64_t>{50, 100}));
+  EXPECT_EQ(a.get_list("layers", "fc3"), (std::vector<std::string>{"fc3"}));
+}
+
 }  // namespace
 }  // namespace fsa::eval

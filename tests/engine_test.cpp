@@ -1,0 +1,358 @@
+// engine_test.cpp — the unified attack engine: registry, report JSON,
+// attacker adapters, network cloning, and the SweepRunner determinism
+// contract (bitwise-identical rows for 1 and N workers).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "engine/attackers.h"
+#include "engine/registry.h"
+#include "engine/sweep.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+#include "test_util.h"
+
+namespace fsa::engine {
+namespace {
+
+// ---- fixture: a ZooModel around the fast blob substrate ----------------------
+
+struct Fixture {
+  models::ZooModel model;
+  std::string cache_dir;
+
+  Fixture() {
+    cache_dir = ::testing::TempDir() + "fsa_engine_test";
+    std::filesystem::remove_all(cache_dir);
+    model.name = "blobs";
+    model.net = testutil::make_blob_net(6);
+    model.train = testutil::make_blobs(600, 21);
+    model.test = testutil::make_blobs(300, 22);
+    model.attack_pool = testutil::make_blobs(400, 23);
+    model.test_accuracy = testutil::train_blob_net(model.net, model.train, model.test);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+core::AttackSpec blob_spec(eval::AttackBench& bench, std::int64_t s, std::int64_t r,
+                           std::uint64_t seed) {
+  return bench.spec(s, r, seed);
+}
+
+// ---- registry -----------------------------------------------------------------
+
+TEST(Registry, BuiltinsAreRegistered) {
+  const auto names = attacker_names();
+  for (const char* expected : {"fsa-l0", "fsa-l2", "fsa-l1", "gda", "sba"})
+    EXPECT_TRUE(has_attacker(expected)) << expected;
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_EQ(make_attacker("fsa-l0")->name(), "fsa-l0");
+  EXPECT_EQ(make_attacker("gda")->name(), "gda");
+}
+
+TEST(Registry, UnknownNameThrowsListingKnown) {
+  try {
+    make_attacker("does-not-exist");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("does-not-exist"), std::string::npos);
+    EXPECT_NE(msg.find("fsa-l0"), std::string::npos);  // lists known methods
+  }
+}
+
+TEST(Registry, CustomRegistrationWins) {
+  register_attacker("custom-test", [] {
+    core::FaultSneakingConfig cfg;
+    return std::make_unique<FsaAttacker>(cfg, "custom-test");
+  });
+  EXPECT_TRUE(has_attacker("custom-test"));
+  EXPECT_EQ(make_attacker("custom-test")->name(), "custom-test");
+}
+
+// ---- AttackReport JSON ---------------------------------------------------------
+
+TEST(AttackReport, JsonRoundTrip) {
+  AttackReport r;
+  r.method = "fsa-l0";
+  r.surface = "fc2[weights+biases] (330 params)";
+  r.S = 3;
+  r.R = 50;
+  r.seed = 9007199254740993ULL;  // > 2^53: must not squeeze through a double
+  r.l0 = 17;
+  r.l2 = 1.2345678901234567;
+  r.targets_hit = 2;
+  r.maintained = 47;
+  r.success_rate = 2.0 / 3.0;
+  r.all_targets_hit = false;
+  r.all_maintained = true;
+  r.attempts = 2;
+  r.iterations = 601;
+  r.seconds = 0.125;
+  r.test_accuracy = 0.9875;
+  r.clean_accuracy = 0.995;
+
+  const std::string text = r.to_json().dump(2);
+  const AttackReport back = AttackReport::from_json(eval::Json::parse(text));
+  EXPECT_EQ(back.method, r.method);
+  EXPECT_EQ(back.surface, r.surface);
+  EXPECT_EQ(back.S, r.S);
+  EXPECT_EQ(back.R, r.R);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.l0, r.l0);
+  EXPECT_EQ(back.l2, r.l2);  // %.17g round-trips doubles exactly
+  EXPECT_EQ(back.targets_hit, r.targets_hit);
+  EXPECT_EQ(back.maintained, r.maintained);
+  EXPECT_EQ(back.success_rate, r.success_rate);
+  EXPECT_EQ(back.all_targets_hit, r.all_targets_hit);
+  EXPECT_EQ(back.all_maintained, r.all_maintained);
+  EXPECT_EQ(back.attempts, r.attempts);
+  EXPECT_EQ(back.iterations, r.iterations);
+  EXPECT_EQ(back.seconds, r.seconds);
+  EXPECT_EQ(back.test_accuracy, r.test_accuracy);
+  EXPECT_EQ(back.clean_accuracy, r.clean_accuracy);
+}
+
+TEST(AttackReport, UnmeasuredAccuracySerializesAsNull) {
+  AttackReport r;  // test_accuracy defaults to -1 (not measured)
+  const eval::Json j = r.to_json();
+  EXPECT_TRUE(j.at("test_accuracy").is_null());
+  EXPECT_DOUBLE_EQ(AttackReport::from_json(j).test_accuracy, -1.0);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_THROW(eval::Json::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(eval::Json::parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW(eval::Json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(eval::Json::parse("1.2.3"), std::runtime_error);
+  EXPECT_THROW(eval::Json::parse("1-2"), std::runtime_error);
+  EXPECT_THROW(eval::Json::parse("\"\\uzzzz\""), std::runtime_error);
+  EXPECT_THROW(eval::Json::parse("\"\\u00g1\""), std::runtime_error);
+}
+
+TEST(Json, EscapesRoundTrip) {
+  eval::Json j = eval::Json::object();
+  j.set("s", eval::Json::string("a\"b\\c\nd\te"));
+  const eval::Json back = eval::Json::parse(j.dump());
+  EXPECT_EQ(back.at("s").as_string(), "a\"b\\c\nd\te");
+}
+
+// ---- network cloning ------------------------------------------------------------
+
+TEST(Clone, IsDeepAndEquivalent) {
+  auto& f = fixture();
+  nn::Sequential clone = f.model.net.clone();
+  ASSERT_EQ(clone.size(), f.model.net.size());
+
+  // Same forward behaviour...
+  const Tensor x = f.model.test.images().slice0(0, 8);
+  const Tensor y0 = f.model.net.forward(x);
+  const Tensor y1 = clone.forward(x);
+  EXPECT_EQ(y0, y1);
+
+  // ...but fully independent storage: perturbing the clone leaves the
+  // original untouched.
+  const core::ParamMask clone_mask = core::ParamMask::make(clone, {"fc2"});
+  Tensor theta = clone_mask.gather_values();
+  const Tensor original = core::ParamMask::make(f.model.net, {"fc2"}).gather_values();
+  theta *= 2.0f;
+  clone_mask.scatter_values(theta);
+  EXPECT_EQ(core::ParamMask::make(f.model.net, {"fc2"}).gather_values(), original);
+  EXPECT_NE(clone_mask.gather_values(), original);
+}
+
+// ---- attacker adapters ----------------------------------------------------------
+
+TEST(Attackers, FsaAdapterMatchesDirectRunAndRestoresNet) {
+  auto& f = fixture();
+  eval::AttackBench bench(f.model, fixture().cache_dir, {"fc2"});
+  const core::AttackSpec spec = blob_spec(bench, 1, 10, 31);
+  const Tensor before = bench.attack().mask().gather_values();
+
+  core::FaultSneakingConfig cfg;
+  const FsaAttacker adapter(cfg);
+  const AttackReport rep = adapter.run(f.model.net, bench.attack().mask(), spec);
+  EXPECT_EQ(bench.attack().mask().gather_values(), before);  // net restored
+
+  core::FaultSneakingAttack direct(f.model.net, {"fc2"});
+  const core::FaultSneakingResult res = direct.run(spec, cfg);
+  EXPECT_EQ(rep.delta, res.delta);  // adapter is a faithful wrapper
+  EXPECT_EQ(rep.l0, res.l0);
+  EXPECT_EQ(rep.targets_hit, res.targets_hit);
+  EXPECT_EQ(rep.maintained, res.maintained);
+  EXPECT_EQ(rep.S, spec.S);
+  EXPECT_EQ(rep.R, spec.R());
+}
+
+TEST(Attackers, SbaAdapterFlipsOneBias) {
+  auto& f = fixture();
+  eval::AttackBench bench(f.model, fixture().cache_dir, {"fc2"});
+  const core::AttackSpec spec = blob_spec(bench, 1, 10, 32);
+  const Tensor before = bench.attack().mask().gather_values();
+
+  const SbaAttacker sba;
+  const AttackReport rep = sba.run(f.model.net, bench.attack().mask(), spec);
+  EXPECT_EQ(bench.attack().mask().gather_values(), before);
+  EXPECT_LE(rep.l0, 1);  // one bias (0 if the target already led)
+  EXPECT_TRUE(rep.all_targets_hit);
+  EXPECT_EQ(rep.method, "sba");
+}
+
+TEST(Attackers, SbaRequiresBiasesInSurface) {
+  auto& f = fixture();
+  eval::AttackBench bench(f.model, fixture().cache_dir, {"fc2"}, /*weights=*/true,
+                          /*biases=*/false);
+  const core::AttackSpec spec = blob_spec(bench, 1, 5, 33);
+  const SbaAttacker sba;
+  EXPECT_THROW((void)sba.run(f.model.net, bench.attack().mask(), spec), std::invalid_argument);
+}
+
+TEST(Attackers, GdaAdapterReportsWholeSpec) {
+  auto& f = fixture();
+  eval::AttackBench bench(f.model, fixture().cache_dir, {"fc2"});
+  const core::AttackSpec spec = blob_spec(bench, 1, 12, 34);
+  const Tensor before = bench.attack().mask().gather_values();
+
+  const GdaAttacker gda;
+  const AttackReport rep = gda.run(f.model.net, bench.attack().mask(), spec);
+  EXPECT_EQ(bench.attack().mask().gather_values(), before);
+  EXPECT_EQ(rep.R, 12);  // maintained rows measured even though GDA ignores them
+  EXPECT_GE(rep.maintained, 0);
+  EXPECT_EQ(rep.l0, ops::l0_norm(rep.delta));
+}
+
+// ---- Sweep builder ---------------------------------------------------------------
+
+TEST(SweepBuilder, CartesianProductAndSeedFn) {
+  Sweep sweep;
+  sweep.methods({"fsa-l0", "gda"})
+      .layer_sets({{"fc1"}, {"fc2"}})
+      .sr_pairs({{1, 10}, {2, 20}, {3, 30}})
+      .seed_fn([](std::int64_t s, std::int64_t r) { return static_cast<std::uint64_t>(100 * s + r); });
+  const auto specs = sweep.build();
+  ASSERT_EQ(specs.size(), 2u * 2u * 3u);
+  EXPECT_EQ(specs[0].method, "fsa-l0");
+  EXPECT_EQ(specs[0].seed, 110u);  // 100·1 + 10
+  EXPECT_EQ(specs.back().method, "gda");
+  EXPECT_EQ(specs.back().seed, 330u);
+
+  // seed_fn REPLACES the seeds list — no duplicate instances per cell.
+  sweep.seeds({1, 2, 3});
+  sweep.seed_fn([](std::int64_t s, std::int64_t r) { return static_cast<std::uint64_t>(s + r); });
+  EXPECT_EQ(sweep.build().size(), 2u * 2u * 3u);
+}
+
+TEST(SweepBuilder, RModesAndExplicitSpecs) {
+  Sweep equal;
+  equal.s_values({1, 4}).r_equals_s();
+  const auto eq_specs = equal.build();
+  ASSERT_EQ(eq_specs.size(), 2u);
+  EXPECT_EQ(eq_specs[1].S, 4);
+  EXPECT_EQ(eq_specs[1].R, 4);
+
+  Sweep offset;
+  offset.s_values({2}).r_offset(100);
+  EXPECT_EQ(offset.build()[0].R, 102);
+
+  Sweep only_explicit;
+  SweepSpec spec;
+  spec.tag = "point";
+  // Per-instance OPTIONS (accuracy/policy/attacker) must not conjure a
+  // phantom default cartesian cell next to explicitly added specs.
+  only_explicit.measure_accuracy(false);
+  only_explicit.add(spec);
+  const auto ex = only_explicit.build();
+  ASSERT_EQ(ex.size(), 1u);  // no cartesian expansion when only add() was used
+  EXPECT_EQ(ex[0].tag, "point");
+}
+
+// ---- SweepRunner ------------------------------------------------------------------
+
+Sweep small_sweep() {
+  Sweep sweep;
+  sweep.methods({"fsa-l0", "gda", "sba"}).layers({"fc2"}).sr_pairs({{1, 8}, {2, 12}}).seeds({3});
+  return sweep;
+}
+
+TEST(SweepRunner, RowsMatchRequestOrderAndLookupWorks) {
+  auto& f = fixture();
+  SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+  const SweepResult result = runner.run(small_sweep());
+  ASSERT_EQ(result.rows.size(), 6u);
+  EXPECT_EQ(result.rows[0].report.method, "fsa-l0");
+  EXPECT_EQ(result.rows[0].spec.S, 1);
+  EXPECT_EQ(result.rows[5].report.method, "sba");
+  EXPECT_EQ(result.rows[5].spec.R, 12);
+  EXPECT_EQ(&result.row("gda", 2, 12), &result.rows[3]);
+  EXPECT_THROW(result.row("fsa-l0", 99, 99), std::out_of_range);
+  EXPECT_THROW(result.row_tagged("missing"), std::out_of_range);
+  for (const auto& row : result.rows) {
+    EXPECT_GE(row.report.test_accuracy, 0.0);  // measured by default
+    EXPECT_EQ(row.report.l0, ops::l0_norm(row.report.delta));
+  }
+}
+
+TEST(SweepRunner, BitwiseIdenticalRowsForOneAndManyWorkers) {
+  auto& f = fixture();
+  set_num_threads(1);
+  SweepRunner serial_runner(f.model, f.cache_dir, /*verbose=*/false);
+  const SweepResult serial = serial_runner.run(small_sweep());
+
+  set_num_threads(4);
+  SweepRunner parallel_runner(f.model, f.cache_dir, /*verbose=*/false);
+  const SweepResult parallel = parallel_runner.run(small_sweep());
+  set_num_threads(0);  // restore the environment default
+
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    const AttackReport& a = serial.rows[i].report;
+    const AttackReport& b = parallel.rows[i].report;
+    EXPECT_EQ(a.method, b.method) << "row " << i;
+    EXPECT_EQ(a.delta, b.delta) << "row " << i;  // bitwise: Tensor== compares floats exactly
+    EXPECT_EQ(a.l0, b.l0) << "row " << i;
+    EXPECT_EQ(a.l2, b.l2) << "row " << i;
+    EXPECT_EQ(a.targets_hit, b.targets_hit) << "row " << i;
+    EXPECT_EQ(a.maintained, b.maintained) << "row " << i;
+    EXPECT_EQ(a.test_accuracy, b.test_accuracy) << "row " << i;
+    EXPECT_EQ(a.attempts, b.attempts) << "row " << i;
+  }
+}
+
+TEST(SweepRunner, JsonReportCarriesAllRows) {
+  auto& f = fixture();
+  SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+  Sweep sweep;
+  sweep.layers({"fc2"}).sr_pairs({{1, 6}}).seeds({5}).measure_accuracy(false);
+  const SweepResult result = runner.run(sweep);
+  const eval::Json j = eval::Json::parse(result.to_json().dump(2));
+  EXPECT_EQ(j.get_string("model", ""), "blobs");
+  ASSERT_EQ(j.at("rows").size(), 1u);
+  const AttackReport back = AttackReport::from_json(j.at("rows").at(0));
+  EXPECT_EQ(back.method, "fsa-l0");
+  EXPECT_EQ(back.l0, result.rows[0].report.l0);
+  EXPECT_EQ(back.seed, 5u);
+}
+
+TEST(SweepRunner, EmptySweepThrows) {
+  auto& f = fixture();
+  SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+  EXPECT_THROW(runner.run(std::vector<SweepSpec>{}), std::invalid_argument);
+}
+
+TEST(SweepRunner, UnknownMethodThrowsBeforeSolving) {
+  auto& f = fixture();
+  SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+  SweepSpec spec;
+  spec.method = "no-such-method";
+  spec.layers = {"fc2"};
+  spec.S = 1;
+  spec.R = 4;
+  EXPECT_THROW(runner.run({spec}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsa::engine

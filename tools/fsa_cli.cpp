@@ -2,18 +2,29 @@
 //
 // Subcommands:
 //   info                          model/accuracy overview
-//   attack    --dataset digits --layers fc3 --s 2 --r 100 --norm l0
-//             [--seed N] [--weights-only|--biases-only] [--save delta.bin]
+//   methods                       list registered attack methods
+//   attack    --dataset digits --layers fc3 --s 2 --r 100 --method fsa-l0
+//             [--norm l0|l2|l1] [--seed N] [--rho X] [--c X]
+//             [--weights-only|--biases-only] [--save delta.bin]
+//   sweep     --dataset digits --layers fc3 --method fsa-l0,gda
+//             --s-list 1,2,4 --r-list 50,100 [--seeds 1,2]
+//             [--json out.json] [--csv out.csv] [--no-acc]
 //   campaign  --dataset digits --layers fc3 --delta delta.bin
 //             [--injector laser|rowhammer]
 //   audit     --dataset digits --layers fc3 --delta delta.bin
 //
-// The `attack` subcommand solves one instance and prints the scorecard;
-// `campaign` lowers a saved δ to bit flips and simulates the injector;
-// `audit` runs the defender-view weight audit on a saved δ.
+// `attack` solves one instance through the engine registry and prints the
+// scorecard; `sweep` expands method × S × R × seed and runs all instances
+// concurrently on the thread pool (FSA_NUM_THREADS controls the worker
+// count; results are identical for any value); `campaign` lowers a saved δ
+// to bit flips and simulates the injector; `audit` runs the defender-view
+// weight audit on a saved δ.
 #include <cstdio>
 #include <string>
 
+#include "engine/attackers.h"
+#include "engine/registry.h"
+#include "engine/sweep.h"
 #include "eval/args.h"
 #include "eval/attack_bench.h"
 #include "eval/detect.h"
@@ -27,28 +38,41 @@ using namespace fsa;
 
 int usage() {
   std::fputs(
-      "usage: fsa_cli <info|attack|campaign|audit> [options]\n"
+      "usage: fsa_cli <info|methods|attack|sweep|campaign|audit> [options]\n"
       "  info\n"
+      "  methods\n"
       "  attack   --dataset digits|objects --layers fc3[,fc2...] --s N --r N\n"
-      "           [--norm l0|l2|l1] [--seed N] [--rho X] [--c X]\n"
-      "           [--weights-only] [--biases-only] [--save delta.bin] [--verbose]\n"
+      "           [--method fsa-l0|fsa-l2|fsa-l1|gda|sba] [--norm l0|l2|l1]\n"
+      "           [--seed N] [--rho X] [--c X] [--weights-only|--biases-only]\n"
+      "           [--save delta.bin] [--verbose]\n"
+      "  sweep    --dataset D --layers L --s-list 1,2,4 --r-list 50,100\n"
+      "           [--method M1,M2,...] [--seeds 1,2,...] [--norm l0|l2|l1]\n"
+      "           [--weights-only|--biases-only] [--json out.json] [--csv out.csv]\n"
+      "           [--no-acc] [--quiet]\n"
       "  campaign --dataset D --layers L --delta delta.bin [--injector laser|rowhammer]\n"
       "  audit    --dataset D --layers L --delta delta.bin\n",
       stderr);
   return 2;
 }
 
-std::vector<std::string> split_layers(const std::string& csv) {
-  std::vector<std::string> out;
-  std::size_t begin = 0;
-  while (begin <= csv.size()) {
-    const std::size_t comma = csv.find(',', begin);
-    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
-    if (end > begin) out.push_back(csv.substr(begin, end - begin));
-    if (comma == std::string::npos) break;
-    begin = comma + 1;
-  }
-  return out;
+/// Weights/biases selection with conflict detection: `--weights-only
+/// --biases-only` would silently select nothing, so it is an error.
+std::pair<bool, bool> surface_flags(const eval::Args& args) {
+  const bool weights_only = args.has_flag("weights-only");
+  const bool biases_only = args.has_flag("biases-only");
+  if (weights_only && biases_only)
+    throw std::invalid_argument(
+        "--weights-only and --biases-only conflict (omit both to attack weights AND biases)");
+  return {!biases_only, !weights_only};
+}
+
+/// Map --norm (validated) and --method onto a registry key. --method wins;
+/// --norm is the historical spelling for the fsa variants.
+std::string method_name(const eval::Args& args) {
+  const std::string norm = args.get("norm", "");
+  if (!norm.empty() && norm != "l0" && norm != "l2" && norm != "l1")
+    throw std::invalid_argument("unknown --norm \"" + norm + "\" (expected l0, l2 or l1)");
+  return args.get("method", "fsa-" + (norm.empty() ? "l0" : norm));
 }
 
 struct Context {
@@ -57,9 +81,12 @@ struct Context {
   models::ZooModel* model = nullptr;
 
   Context(const std::string& dataset, const std::string& layers_csv, bool weights, bool biases) {
+    if (dataset != "digits" && dataset != "objects")
+      throw std::invalid_argument("unknown --dataset \"" + dataset +
+                                  "\" (expected digits or objects)");
     model = dataset == "objects" ? &zoo.objects() : &zoo.digits();
     bench = std::make_unique<eval::AttackBench>(*model, zoo.cache_dir(),
-                                                split_layers(layers_csv), weights, biases);
+                                                eval::split_csv(layers_csv), weights, biases);
   }
 };
 
@@ -76,45 +103,99 @@ int cmd_info() {
   return 0;
 }
 
+int cmd_methods() {
+  std::printf("registered attack methods:\n");
+  for (const auto& name : engine::attacker_names()) std::printf("  %s\n", name.c_str());
+  return 0;
+}
+
+/// The attacker for one CLI invocation: fsa variants honor --rho/--c/
+/// --verbose solver overrides; everything else comes from the registry.
+std::shared_ptr<const engine::Attacker> cli_attacker(const eval::Args& args,
+                                                     const std::string& method) {
+  if (method.rfind("fsa-", 0) == 0 && engine::has_attacker(method)) {
+    core::FaultSneakingConfig cfg;
+    cfg.admm.norm = method == "fsa-l2"   ? core::NormKind::kL2
+                    : method == "fsa-l1" ? core::NormKind::kL1
+                                         : core::NormKind::kL0;
+    cfg.admm.rho = args.get_double("rho", cfg.admm.rho);
+    cfg.admm.c = args.get_double("c", cfg.admm.c);
+    cfg.verbose = cfg.admm.verbose = args.has_flag("verbose");
+    return std::make_shared<engine::FsaAttacker>(cfg);
+  }
+  return engine::make_attacker(method);  // throws with the known-name list
+}
+
 int cmd_attack(const eval::Args& args) {
-  args.expect_only({"dataset", "layers", "s", "r", "norm", "seed", "rho", "c", "weights-only",
-                    "biases-only", "save", "verbose"});
-  Context ctx(args.get("dataset", "digits"), args.get("layers", "fc3"),
-              !args.has_flag("biases-only"), !args.has_flag("weights-only"));
+  args.expect_only({"dataset", "layers", "s", "r", "method", "norm", "seed", "rho", "c",
+                    "weights-only", "biases-only", "save", "verbose"});
+  const auto [weights, biases] = surface_flags(args);
+  const std::string method = method_name(args);
+  const auto attacker = cli_attacker(args, method);
+
+  Context ctx(args.get("dataset", "digits"), args.get("layers", "fc3"), weights, biases);
   const std::int64_t s = args.get_int("s", 1);
   const std::int64_t r = args.get_int("r", 100);
   const core::AttackSpec spec = ctx.bench->spec(s, r, args.get_int("seed", 1));
 
-  core::FaultSneakingConfig cfg;
-  const std::string norm = args.get("norm", "l0");
-  cfg.admm.norm = norm == "l2"   ? core::NormKind::kL2
-                  : norm == "l1" ? core::NormKind::kL1
-                                 : core::NormKind::kL0;
-  cfg.admm.rho = args.get_double("rho", cfg.admm.rho);
-  cfg.admm.c = args.get_double("c", cfg.admm.c);
-  cfg.verbose = cfg.admm.verbose = args.has_flag("verbose");
+  engine::AttackReport rep = attacker->run(ctx.model->net, ctx.bench->attack().mask(), spec);
+  const double acc = ctx.bench->test_accuracy_with(rep.delta);
 
-  const core::FaultSneakingResult res = ctx.bench->attack().run(spec, cfg);
-  const double acc = ctx.bench->test_accuracy_with(res.delta);
-
-  eval::Table table("attack result (" + norm + ", " +
-                    ctx.bench->attack().mask().describe() + ")");
+  eval::Table table("attack result (" + attacker->name() + ", " + rep.surface + ")");
   table.header({"metric", "value"})
-      .row({"faults injected", std::to_string(res.targets_hit) + "/" + std::to_string(s)})
-      .row({"anchors kept", std::to_string(res.maintained) + "/" + std::to_string(r - s)})
-      .row({"l0", std::to_string(res.l0)})
-      .row({"l2", eval::fmt(res.l2)})
+      .row({"faults injected", std::to_string(rep.targets_hit) + "/" + std::to_string(s)})
+      .row({"anchors kept", std::to_string(rep.maintained) + "/" + std::to_string(r - s)})
+      .row({"l0", std::to_string(rep.l0)})
+      .row({"l2", eval::fmt(rep.l2)})
       .row({"test acc before", eval::pct(ctx.bench->clean_test_accuracy())})
       .row({"test acc after", eval::pct(acc)})
-      .row({"wall time", eval::fmt(res.seconds, 2) + " s"});
+      .row({"wall time", eval::fmt(rep.seconds, 2) + " s"});
   table.print();
 
   if (const std::string path = args.get("save", ""); !path.empty()) {
-    io::save_tensors(path, {res.delta});
+    io::save_tensors(path, {rep.delta});
     std::printf("delta saved to %s (load with `fsa_cli campaign --delta %s ...`)\n",
                 path.c_str(), path.c_str());
   }
-  return res.all_targets_hit ? 0 : 1;
+  return rep.all_targets_hit ? 0 : 1;
+}
+
+int cmd_sweep(const eval::Args& args) {
+  args.expect_only({"dataset", "layers", "method", "norm", "s-list", "r-list", "seeds",
+                    "weights-only", "biases-only", "json", "csv", "no-acc", "quiet"});
+  const auto [weights, biases] = surface_flags(args);
+
+  models::ModelZoo zoo;
+  const std::string dataset = args.get("dataset", "digits");
+  if (dataset != "digits" && dataset != "objects")
+    throw std::invalid_argument("unknown --dataset \"" + dataset +
+                                "\" (expected digits or objects)");
+  models::ZooModel& model = dataset == "objects" ? zoo.objects() : zoo.digits();
+
+  engine::Sweep sweep;
+  sweep.methods(args.get_list("method", method_name(args)))
+      .layers(args.get_list("layers", "fc3"))
+      .s_values(args.get_int_list("s-list", "1"))
+      .r_values(args.get_int_list("r-list", "100"))
+      .seeds(args.get_u64_list("seeds", "1"))
+      .measure_accuracy(!args.has_flag("no-acc"));
+  if (!weights) sweep.biases_only();
+  if (!biases) sweep.weights_only();
+
+  engine::SweepRunner runner(model, zoo.cache_dir(), /*verbose=*/!args.has_flag("quiet"));
+  const engine::SweepResult result = runner.run(sweep);
+
+  result.table("sweep (" + dataset + ", " + std::to_string(result.workers) + " workers)").print();
+  if (const std::string path = args.get("json", ""); !path.empty()) {
+    result.write_json(path);
+    std::printf("json report written to %s\n", path.c_str());
+  }
+  if (const std::string path = args.get("csv", ""); !path.empty())
+    result.table("sweep").write_csv(path);
+
+  for (const auto& row : result.rows)
+    if (!row.report.all_targets_hit) return 1;
+  return 0;
 }
 
 Tensor load_delta(const eval::Args& args, const Context& ctx) {
@@ -147,10 +228,13 @@ int cmd_campaign(const eval::Args& args) {
                 static_cast<long long>(rep.hammer_attempts),
                 static_cast<long long>(rep.massages), rep.seconds / 3600.0,
                 rep.success ? "complete" : "INCOMPLETE");
-  } else {
+  } else if (injector == "laser") {
     const auto rep = faultsim::simulate_laser(plan, faultsim::LaserParams{}, layout);
     std::printf("laser: %lld bits, %.2f h\n", static_cast<long long>(rep.bits_flipped),
                 rep.seconds / 3600.0);
+  } else {
+    throw std::invalid_argument("unknown --injector \"" + injector +
+                                "\" (expected laser or rowhammer)");
   }
   return 0;
 }
@@ -175,7 +259,9 @@ int main(int argc, char** argv) {
   try {
     const eval::Args args = eval::Args::parse(argc, argv);
     if (args.command() == "info") return cmd_info();
+    if (args.command() == "methods") return cmd_methods();
     if (args.command() == "attack") return cmd_attack(args);
+    if (args.command() == "sweep") return cmd_sweep(args);
     if (args.command() == "campaign") return cmd_campaign(args);
     if (args.command() == "audit") return cmd_audit(args);
     return usage();
