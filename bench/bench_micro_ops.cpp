@@ -3,14 +3,20 @@
 // proximal operators, and a full ADMM iteration on the paper-sized head.
 //
 // The GEMM section pins the speedup story: BM_GemmSeedSerial is a frozen
-// copy of the seed repo's serial i-k-j kernel; BM_Gemm runs the blocked
-// backend at 1/2/4 threads (second arg). Run via tools/run_benches.sh to
-// get the machine-readable BENCH_micro_ops.json trajectory; speedup =
-// seed-kernel time / backend time at matching sizes.
+// copy of the seed repo's serial i-k-j kernel; BM_Gemm runs the active
+// backend at 1/2/4 threads (second arg); BM_GemmBackend/<name>/<size>
+// emits one comparison row per registered compute backend at 512³
+// (L2-resident) and 2048³ (L2-spilling — where the packed backend's panel
+// packing shows up). Every GEMM row reports GFLOP/s alongside wall time.
+// Run via tools/run_benches.sh to get the machine-readable
+// BENCH_micro_ops.json trajectory; speedup = seed-kernel time / backend
+// time at matching sizes.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
+#include "backend/compute_backend.h"
 #include "core/admm.h"
 #include "core/prox.h"
 #include "nn/conv2d.h"
@@ -95,8 +101,43 @@ void BM_GemmHeadShape(benchmark::State& state) {
     Tensor logits = ops::matmul(feats, w);
     benchmark::DoNotOptimize(logits.data());
   }
+  state.counters["GFLOPS"] = benchmark::Counter(gemm_gflops(state, 1000, 200, 10),
+                                                benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_GemmHeadShape);
+
+/// One row per registered compute backend (registered from main(), so new
+/// backends show up without a bench edit): square GEMM at 512³, which is
+/// L2-resident, and at 2048³, where B alone is 16 MiB and spills L2 — the
+/// shape the packed backend's pack-once-reuse-across-jr panels exist for.
+/// The per-run trajectory (tools/run_benches.sh) makes the packing win
+/// visible release over release.
+void register_gemm_backend_benches() {
+  for (const auto& name : fsa::backend::backend_names()) {
+    for (const std::int64_t size : {std::int64_t{512}, std::int64_t{2048}}) {
+      benchmark::RegisterBenchmark(
+          ("BM_GemmBackend/" + name + "/" + std::to_string(size)).c_str(),
+          [name, size](benchmark::State& state) {
+            const std::string saved = backend::active_name();
+            backend::set_backend(name);
+            Rng rng(1);
+            const Tensor a = Tensor::randn(Shape({size, size}), rng);
+            const Tensor b = Tensor::randn(Shape({size, size}), rng);
+            Tensor c(Shape({size, size}));
+            for (auto _ : state) {
+              c.fill(0.0f);
+              backend::active().gemm_nn_acc(a.data(), b.data(), c.data(), size, size, size);
+              benchmark::DoNotOptimize(c.data());
+            }
+            backend::set_backend(saved);
+            state.counters["GFLOPS"] = benchmark::Counter(
+                gemm_gflops(state, size, size, size),
+                benchmark::Counter::kIsIterationInvariantRate);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
 
 // Args are {batch, threads}; the workspace-reusing im2col plus the blocked
 // GEMM make this the conv half of the speedup story.
@@ -213,4 +254,12 @@ BENCHMARK(BM_AdmmIterationThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the dynamically registered per-backend GEMM rows.
+int main(int argc, char** argv) {
+  register_gemm_backend_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

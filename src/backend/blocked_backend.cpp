@@ -1,10 +1,24 @@
-#include "tensor/gemm.h"
-
+// blocked_backend.cpp — cache-blocked, register-tiled GEMM on the pool.
+//
+// The output is tiled into mr×nr register blocks: the C block stays in
+// vector registers for the whole k loop, so each output element costs one
+// load and one store total while every streamed B stripe feeds mr rows at
+// once. Work is sharded across the parallel.h thread pool by output-row
+// tile; tile boundaries depend only on the shapes, and every output
+// element is accumulated in ascending-k order by exactly one thread, so
+// results are bit-identical for any thread count.
+//
+// The NN kernel keeps the seed's sparse-row fast path: rows that are
+// mostly zeros (δ rows in the attack) skip their zero entries instead of
+// multiplying through. B is NOT packed — large surfaces re-stream it from
+// L3 once per row tile; the packed backend exists for exactly that case.
 #include <algorithm>
 
+#include "backend/compute_backend.h"
+#include "backend/tiling.h"
 #include "tensor/parallel.h"
 
-namespace fsa::gemm {
+namespace fsa::backend {
 
 namespace {
 
@@ -169,70 +183,84 @@ void tile_nt_4x4(const float* a, const float* b, float* c, std::int64_t i0, std:
   c3[0] += s30; c3[1] += s31; c3[2] += s32; c3[3] += s33;
 }
 
-}  // namespace
+class BlockedBackend final : public ComputeBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "blocked"; }
 
-void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
-                 std::int64_t n) {
-  if (m <= 0 || k <= 0 || n <= 0) return;
-  const std::int64_t tiles = (m + kMR - 1) / kMR;
-  parallel_for(0, tiles, tile_grain(k, n), [&](std::int64_t t0, std::int64_t t1) {
-    for (std::int64_t t = t0; t < t1; ++t) {
-      const std::int64_t i0 = t * kMR;
-      const std::int64_t ib = std::min(kMR, m - i0);
-      // A tile goes through the dense micro-kernel only if every row is
-      // dense; sparse δ-like rows (and tails) keep the zero-skip path.
-      bool all_dense = ib == kMR;
-      for (std::int64_t r = 0; all_dense && r < ib; ++r)
-        all_dense = row_nnz(a + (i0 + r) * k, k) * 8 >= k;
-      if (all_dense) {
-        tile_nn_4(a, b, c, i0, k, n);
-      } else {
-        for (std::int64_t r = 0; r < ib; ++r)
-          row_nn(a + (i0 + r) * k, b, c + (i0 + r) * n, k, n);
-      }
-    }
-  });
-}
-
-void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
-                 std::int64_t n) {
-  if (m <= 0 || k <= 0 || n <= 0) return;
-  const std::int64_t tiles = (m + kMR - 1) / kMR;
-  parallel_for(0, tiles, tile_grain(k, n), [&](std::int64_t t0, std::int64_t t1) {
-    for (std::int64_t t = t0; t < t1; ++t) {
-      const std::int64_t i0 = t * kMR;
-      const std::int64_t ib = std::min(kMR, m - i0);
-      if (ib == kMR) {
-        tile_tn_4(a, b, c, i0, m, k, n);
-      } else {
-        for (std::int64_t r = 0; r < ib; ++r) row_tn(a, b, c + (i0 + r) * n, i0 + r, m, k, n);
-      }
-    }
-  });
-}
-
-void gemm_nt_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
-                 std::int64_t n) {
-  if (m <= 0 || n <= 0) return;  // k == 0 is a valid empty contraction
-  const std::int64_t tiles = (m + kMR - 1) / kMR;
-  parallel_for(0, tiles, tile_grain(k, n), [&](std::int64_t t0, std::int64_t t1) {
-    for (std::int64_t t = t0; t < t1; ++t) {
-      const std::int64_t i0 = t * kMR;
-      const std::int64_t ib = std::min(kMR, m - i0);
-      std::int64_t j0 = 0;
-      for (; ib == kMR && j0 + kMR <= n; j0 += kMR) tile_nt_4x4(a, b, c, i0, j0, k, n);
-      for (std::int64_t r = 0; r < ib; ++r) {
-        const float* ai = a + (i0 + r) * k;
-        float* ci = c + (i0 + r) * n;
-        for (std::int64_t j = j0; j < n; ++j) {
-          const float* bj = b + j * k;
-          float acc = 0.0f;
-          for (std::int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-          ci[j] += acc;
+  void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    if (m <= 0 || k <= 0 || n <= 0) return;
+    const std::int64_t tiles = (m + kMR - 1) / kMR;
+    parallel_for(0, tiles, tile_grain(k, n), [&](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        const std::int64_t i0 = t * kMR;
+        const std::int64_t ib = std::min(kMR, m - i0);
+        // A tile goes through the dense micro-kernel only if every row is
+        // dense; sparse δ-like rows (and tails) keep the zero-skip path.
+        bool all_dense = ib == kMR;
+        for (std::int64_t r = 0; all_dense && r < ib; ++r)
+          all_dense = row_nnz(a + (i0 + r) * k, k) * 8 >= k;
+        if (all_dense) {
+          tile_nn_4(a, b, c, i0, k, n);
+        } else {
+          for (std::int64_t r = 0; r < ib; ++r)
+            row_nn(a + (i0 + r) * k, b, c + (i0 + r) * n, k, n);
         }
       }
-    }
-  });
+    });
+  }
+
+  void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    if (m <= 0 || k <= 0 || n <= 0) return;
+    const std::int64_t tiles = (m + kMR - 1) / kMR;
+    parallel_for(0, tiles, tile_grain(k, n), [&](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        const std::int64_t i0 = t * kMR;
+        const std::int64_t ib = std::min(kMR, m - i0);
+        if (ib == kMR) {
+          tile_tn_4(a, b, c, i0, m, k, n);
+        } else {
+          for (std::int64_t r = 0; r < ib; ++r) row_tn(a, b, c + (i0 + r) * n, i0 + r, m, k, n);
+        }
+      }
+    });
+  }
+
+  void gemm_nt_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    if (m <= 0 || n <= 0) return;  // k == 0 is a valid empty contraction
+    const std::int64_t tiles = (m + kMR - 1) / kMR;
+    parallel_for(0, tiles, tile_grain(k, n), [&](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        const std::int64_t i0 = t * kMR;
+        const std::int64_t ib = std::min(kMR, m - i0);
+        std::int64_t j0 = 0;
+        for (; ib == kMR && j0 + kMR <= n; j0 += kMR) tile_nt_4x4(a, b, c, i0, j0, k, n);
+        for (std::int64_t r = 0; r < ib; ++r) {
+          const float* ai = a + (i0 + r) * k;
+          float* ci = c + (i0 + r) * n;
+          for (std::int64_t j = j0; j < n; ++j) {
+            const float* bj = b + j * k;
+            float acc = 0.0f;
+            for (std::int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+            ci[j] += acc;
+          }
+        }
+      }
+    });
+  }
+
+  void parallel_rows(std::int64_t count, std::int64_t grain,
+                     const std::function<void(std::int64_t, std::int64_t)>& body) const override {
+    parallel_for(0, count, grain, body);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ComputeBackend> make_blocked_backend() {
+  return std::make_unique<BlockedBackend>();
 }
 
-}  // namespace fsa::gemm
+}  // namespace fsa::backend

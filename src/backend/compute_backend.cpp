@@ -1,0 +1,132 @@
+#include "backend/compute_backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace fsa::backend {
+
+std::unique_ptr<ComputeBackend> make_reference_backend();  // reference_backend.cpp
+std::unique_ptr<ComputeBackend> make_blocked_backend();    // blocked_backend.cpp
+std::unique_ptr<ComputeBackend> make_packed_backend();     // packed_backend.cpp
+
+namespace {
+
+constexpr const char* kDefaultBackend = "blocked";
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, BackendFactory> factories;
+  std::map<std::string, std::unique_ptr<ComputeBackend>> instances;
+  bool seeded = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Built-ins are seeded on first lookup (under the registry lock) rather
+/// than via static initializers, which the linker would dead-strip out of
+/// a static library.
+void seed_builtins_locked(Registry& r) {
+  if (r.seeded) return;
+  r.seeded = true;
+  r.factories.emplace("reference", make_reference_backend);
+  r.factories.emplace("blocked", make_blocked_backend);
+  r.factories.emplace("packed", make_packed_backend);
+}
+
+std::string known_names_locked(const Registry& r) {
+  std::string names;
+  for (const auto& [name, factory] : r.factories) names += (names.empty() ? "" : ", ") + name;
+  return names;
+}
+
+/// Instantiate-or-fetch under the lock; throws listing known names.
+const ComputeBackend* instance_locked(Registry& r, const std::string& name) {
+  auto it = r.instances.find(name);
+  if (it != r.instances.end()) return it->second.get();
+  const auto fit = r.factories.find(name);
+  if (fit == r.factories.end())
+    throw std::invalid_argument("unknown compute backend \"" + name + "\" (registered: " +
+                                known_names_locked(r) + ")");
+  auto backend = fit->second();
+  if (!backend) throw std::runtime_error("backend factory for \"" + name + "\" returned null");
+  return r.instances.emplace(name, std::move(backend)).first->second.get();
+}
+
+/// The selection seam: one atomic pointer, so hot kernels read it without
+/// a lock while set_backend() swaps it safely.
+std::atomic<const ComputeBackend*>& active_slot() {
+  static std::atomic<const ComputeBackend*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+void register_backend(const std::string& name, BackendFactory factory) {
+  if (name.empty()) throw std::invalid_argument("register_backend: empty name");
+  if (!factory) throw std::invalid_argument("register_backend: null factory for \"" + name + "\"");
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  seed_builtins_locked(r);
+  // A replaced factory must not serve a stale instance — and if the stale
+  // instance is the ACTIVE backend, active() must never dangle: build the
+  // replacement FIRST (a throwing or null factory leaves the old backend
+  // fully installed), retarget the slot, and only then destroy the old
+  // instance, so lock-free readers always see a live object.
+  const ComputeBackend* stale = nullptr;
+  if (const auto it = r.instances.find(name); it != r.instances.end()) stale = it->second.get();
+  r.factories[name] = std::move(factory);
+  if (stale) {
+    if (active_slot().load(std::memory_order_acquire) == stale) {
+      auto fresh = r.factories[name]();
+      if (!fresh) throw std::runtime_error("backend factory for \"" + name + "\" returned null");
+      active_slot().store(fresh.get(), std::memory_order_release);
+      r.instances[name] = std::move(fresh);  // destroys the stale instance last
+    } else {
+      r.instances.erase(name);
+    }
+  }
+}
+
+bool has_backend(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  seed_builtins_locked(r);
+  return r.factories.count(name) > 0;
+}
+
+std::vector<std::string> backend_names() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  seed_builtins_locked(r);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, factory] : r.factories) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+void set_backend(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  seed_builtins_locked(r);
+  active_slot().store(instance_locked(r, name), std::memory_order_release);
+}
+
+const ComputeBackend& active() {
+  const ComputeBackend* backend = active_slot().load(std::memory_order_acquire);
+  if (backend) return *backend;
+  // First use: initialize from the environment (or the default). Racing
+  // first calls resolve to the same instance, so the double store is benign.
+  const char* env = std::getenv("FSA_BACKEND");
+  set_backend(env && *env ? env : kDefaultBackend);
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+std::string active_name() { return active().name(); }
+
+}  // namespace fsa::backend

@@ -1,0 +1,93 @@
+// compute_backend.h — the runtime-selected compute backend seam.
+//
+// Every hot layer in the attack (ops matmuls, Conv2D/Dense, the ADMM
+// updates, the batched-rows elementwise kernels) bottoms out either in one
+// of three GEMM variants — NN (forward), TN (weight gradients), NT (input
+// gradients) — or in an embarrassingly-parallel sweep over independent
+// rows/elements. ComputeBackend is the interface both funnel through, and
+// the active implementation is chosen at runtime by name:
+//
+//   reference  the deterministic serial seed kernels — the parity oracle
+//              every other backend is tested against
+//   blocked    register-tiled (mr×nr) kernels sharded over the thread pool
+//   packed     blocked + BLIS-style A/B panel packing (kc×mc / kc×nc), for
+//              matrices that spill L2
+//
+// Selection flows through exactly one seam: active() returns the current
+// backend, initialized from the FSA_BACKEND environment variable (default
+// "blocked") and settable with set_backend(). Registration is explicit and
+// lazy like the attacker registry — no static initializers for a static
+// library to dead-strip — so a BLAS or GPU backend later is one
+// register_backend() call, with no further cross-cutting change.
+//
+// Determinism contract (all built-ins): results are bit-identical for any
+// thread count. GEMM partitions depend only on the shapes and every output
+// element is accumulated in ascending-k order by exactly one thread at a
+// time; parallel_rows bodies must compute each index independently of
+// chunk boundaries (true for every caller in this library).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fsa::backend {
+
+class ComputeBackend {
+ public:
+  virtual ~ComputeBackend() = default;
+
+  /// Registry key of this backend ("reference", "blocked", "packed", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// C(m×n) += A(m×k) · B(k×n), row-major contiguous.
+  virtual void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m,
+                           std::int64_t k, std::int64_t n) const = 0;
+
+  /// C(m×n) += Aᵀ · B where A is stored (k×m) — no materialized transpose.
+  virtual void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m,
+                           std::int64_t k, std::int64_t n) const = 0;
+
+  /// C(m×n) += A · Bᵀ where B is stored (n×k) — no materialized transpose.
+  virtual void gemm_nt_acc(const float* a, const float* b, float* c, std::int64_t m,
+                           std::int64_t k, std::int64_t n) const = 0;
+
+  /// Run body(b, e) over disjoint subranges of [0, count): the batched-rows
+  /// / elementwise hook behind softmax_rows, the CE gradient, the ADMM δ/s
+  /// updates, Conv2D's fold/unfold and Dense's bias-gradient columns.
+  /// `grain` is the minimum indices per chunk. The reference backend runs
+  /// the whole range serially on the calling thread; pooled backends shard
+  /// it over the shared thread pool.
+  virtual void parallel_rows(std::int64_t count, std::int64_t grain,
+                             const std::function<void(std::int64_t, std::int64_t)>& body) const = 0;
+};
+
+using BackendFactory = std::function<std::unique_ptr<ComputeBackend>()>;
+
+/// Register (or replace) a backend under `name`. The instance is created
+/// lazily on first selection and cached for the process lifetime.
+void register_backend(const std::string& name, BackendFactory factory);
+
+/// True if `name` is registered.
+bool has_backend(const std::string& name);
+
+/// All registered backend names, sorted.
+std::vector<std::string> backend_names();
+
+/// The active backend. First call initializes from FSA_BACKEND (default
+/// "blocked"); an unknown value throws std::invalid_argument listing the
+/// registered names. Reading is lock-free, so hot kernels may call this
+/// per operation.
+const ComputeBackend& active();
+
+/// Select the active backend by name. Throws std::invalid_argument listing
+/// the registered names when `name` is unknown. Not meant to be raced
+/// against in-flight kernels — select once, then compute.
+void set_backend(const std::string& name);
+
+/// active().name(), for reports and logs.
+std::string active_name();
+
+}  // namespace fsa::backend

@@ -1,0 +1,199 @@
+// packed_backend.cpp — panel-packed GEMM for matrices that spill L2.
+//
+// The blocked backend re-streams all of B from L2/L3 once per 4-row output
+// tile, with each nr-wide stripe touching cache lines n floats apart —
+// fine while B fits L2, ruinous past it (R ≫ 1000 heads, 2048³ benches).
+// This backend adds the classic BLIS/GotoBLAS three-loop packing on top of
+// the same mr×nr micro-kernel:
+//
+//   for jc over n by nc:                 ── B panel columns
+//     for pc over k by kc:               ── shared k panel
+//       pack B[pc:pc+kc, jc:jc+nc] → kc×nr micro-panels   (L2-resident, 1 MiB)
+//       parallel over ic blocks of mc rows:
+//         pack A[ic:ic+mc, pc:pc+kc] → mr×kc micro-panels (per-worker, 64 KiB)
+//         for jr, ir: micro-kernel on contiguous packed panels
+//
+// Pack once, reuse across every jr/ir step: the micro-kernel then reads
+// both operands as pure sequential streams (B sliver from L1, A panel from
+// L2), so the kernel stays compute-bound at any problem size. The three
+// variants differ only in the pack-time gather (NN reads A row-major, TN
+// reads A down columns, NT reads B down rows); the inner kernel is shared.
+//
+// Determinism: the pc loop is sequential and each C element belongs to
+// exactly one ic block, so every output is accumulated in ascending-k
+// order regardless of the worker count — bit-identical results for any
+// FSA_NUM_THREADS, and bitwise-or-within-1ulp of the reference oracle
+// (tests/backend_property_test.cpp). Edge tiles are zero-padded into the
+// packed panels; padded lanes compute into discarded accumulator slots, so
+// in-bounds outputs see exactly the same operation sequence.
+#include <algorithm>
+#include <vector>
+
+#include "backend/compute_backend.h"
+#include "backend/tiling.h"
+#include "tensor/parallel.h"
+
+namespace fsa::backend {
+
+namespace {
+
+constexpr std::int64_t kMR = Blocking::mr;
+constexpr std::int64_t kNR = Blocking::nr;
+constexpr std::int64_t kKC = Packing::kc;
+constexpr std::int64_t kMC = Packing::mc;
+constexpr std::int64_t kNC = Packing::nc;
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+/// mr×nr register block over packed panels: ap is mr×kb (k-major, lane r at
+/// ap[p·mr + r]), bp is kb×nr (row p contiguous). Identical accumulation
+/// structure to the blocked backend's block_rows_4, but both operand
+/// streams are now contiguous. mv×nv is the in-bounds part of the tile;
+/// full tiles load/store C directly, edge tiles go through zeroed slots
+/// that are simply not written back.
+void micro_kernel(const float* ap, const float* bp, float* c, std::int64_t ldc, std::int64_t kb,
+                  std::int64_t mv, std::int64_t nv) {
+  float acc0[kNR], acc1[kNR], acc2[kNR], acc3[kNR];
+  const bool full = mv == kMR && nv == kNR;
+  if (full) {
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      acc0[j] = c[0 * ldc + j];
+      acc1[j] = c[1 * ldc + j];
+      acc2[j] = c[2 * ldc + j];
+      acc3[j] = c[3 * ldc + j];
+    }
+  } else {
+    for (std::int64_t j = 0; j < kNR; ++j) acc0[j] = acc1[j] = acc2[j] = acc3[j] = 0.0f;
+    for (std::int64_t r = 0; r < mv; ++r) {
+      float* acc = r == 0 ? acc0 : r == 1 ? acc1 : r == 2 ? acc2 : acc3;
+      for (std::int64_t j = 0; j < nv; ++j) acc[j] = c[r * ldc + j];
+    }
+  }
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const float* a = ap + p * kMR;
+    const float x0 = a[0], x1 = a[1], x2 = a[2], x3 = a[3];
+    if (x0 == 0.0f && x1 == 0.0f && x2 == 0.0f && x3 == 0.0f) continue;
+    const float* b = bp + p * kNR;
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      const float bj = b[j];
+      acc0[j] += x0 * bj;
+      acc1[j] += x1 * bj;
+      acc2[j] += x2 * bj;
+      acc3[j] += x3 * bj;
+    }
+  }
+  if (full) {
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      c[0 * ldc + j] = acc0[j];
+      c[1 * ldc + j] = acc1[j];
+      c[2 * ldc + j] = acc2[j];
+      c[3 * ldc + j] = acc3[j];
+    }
+  } else {
+    for (std::int64_t r = 0; r < mv; ++r) {
+      const float* acc = r == 0 ? acc0 : r == 1 ? acc1 : r == 2 ? acc2 : acc3;
+      for (std::int64_t j = 0; j < nv; ++j) c[r * ldc + j] = acc[j];
+    }
+  }
+}
+
+/// The shared three-loop driver. load_a(i, p) / load_b(p, j) gather from
+/// the operands' storage layouts at pack time; everything after packing is
+/// layout-agnostic.
+template <typename LoadA, typename LoadB>
+void gemm_packed(LoadA&& load_a, LoadB&& load_b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  std::vector<float> bbuf(static_cast<std::size_t>(kKC * ceil_div(std::min(n, kNC), kNR) * kNR));
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nb = std::min(kNC, n - jc);
+    const std::int64_t jpanels = ceil_div(nb, kNR);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kb = std::min(kKC, k - pc);
+      // Pack B[pc:pc+kb, jc:jc+nb] into kb×nr micro-panels (zero-padded
+      // past nb). Panels are disjoint, so the shard is exact.
+      float* bbase = bbuf.data();
+      parallel_for(0, jpanels, 4, [&](std::int64_t g0, std::int64_t g1) {
+        for (std::int64_t jp = g0; jp < g1; ++jp) {
+          float* dst = bbase + jp * kb * kNR;
+          const std::int64_t j0 = jc + jp * kNR;
+          const std::int64_t nv = std::min(kNR, jc + nb - j0);
+          for (std::int64_t p = 0; p < kb; ++p) {
+            float* row = dst + p * kNR;
+            for (std::int64_t j = 0; j < nv; ++j) row[j] = load_b(pc + p, j0 + j);
+            for (std::int64_t j = nv; j < kNR; ++j) row[j] = 0.0f;
+          }
+        }
+      });
+      // One worker per mc-row block: pack its A panel once, then sweep the
+      // whole packed B panel (pack-once, reuse-across-jr).
+      parallel_for(0, ceil_div(m, kMC), 1, [&](std::int64_t b0, std::int64_t b1) {
+        thread_local std::vector<float> abuf;
+        abuf.resize(static_cast<std::size_t>(kMC * kKC));
+        for (std::int64_t blk = b0; blk < b1; ++blk) {
+          const std::int64_t ic = blk * kMC;
+          const std::int64_t mb = std::min(kMC, m - ic);
+          const std::int64_t ipanels = ceil_div(mb, kMR);
+          for (std::int64_t ip = 0; ip < ipanels; ++ip) {
+            float* dst = abuf.data() + ip * kb * kMR;
+            const std::int64_t i0 = ic + ip * kMR;
+            const std::int64_t mv = std::min(kMR, ic + mb - i0);
+            for (std::int64_t p = 0; p < kb; ++p) {
+              float* lane = dst + p * kMR;
+              for (std::int64_t r = 0; r < mv; ++r) lane[r] = load_a(i0 + r, pc + p);
+              for (std::int64_t r = mv; r < kMR; ++r) lane[r] = 0.0f;
+            }
+          }
+          for (std::int64_t jp = 0; jp < jpanels; ++jp) {
+            const float* bp = bbase + jp * kb * kNR;
+            const std::int64_t j0 = jc + jp * kNR;
+            const std::int64_t nv = std::min(kNR, jc + nb - j0);
+            for (std::int64_t ip = 0; ip < ipanels; ++ip) {
+              const std::int64_t i0 = ic + ip * kMR;
+              const std::int64_t mv = std::min(kMR, ic + mb - i0);
+              micro_kernel(abuf.data() + ip * kb * kMR, bp, c + i0 * n + j0, n, kb, mv, nv);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+class PackedBackend final : public ComputeBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "packed"; }
+
+  void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    gemm_packed([=](std::int64_t i, std::int64_t p) { return a[i * k + p]; },
+                [=](std::int64_t p, std::int64_t j) { return b[p * n + j]; }, c, m, k, n);
+  }
+
+  void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    // A stored (k×m): the pack-time gather walks down A's column i.
+    gemm_packed([=](std::int64_t i, std::int64_t p) { return a[p * m + i]; },
+                [=](std::int64_t p, std::int64_t j) { return b[p * n + j]; }, c, m, k, n);
+  }
+
+  void gemm_nt_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    // B stored (n×k): the pack-time gather walks down B's row j.
+    gemm_packed([=](std::int64_t i, std::int64_t p) { return a[i * k + p]; },
+                [=](std::int64_t p, std::int64_t j) { return b[j * k + p]; }, c, m, k, n);
+  }
+
+  void parallel_rows(std::int64_t count, std::int64_t grain,
+                     const std::function<void(std::int64_t, std::int64_t)>& body) const override {
+    parallel_for(0, count, grain, body);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ComputeBackend> make_packed_backend() {
+  return std::make_unique<PackedBackend>();
+}
+
+}  // namespace fsa::backend

@@ -1,0 +1,81 @@
+// reference_backend.cpp — the deterministic serial seed kernels.
+//
+// This backend is the parity oracle: every other backend must match it
+// bitwise-or-within-1ulp (tests/backend_property_test.cpp). The kernels
+// are the seed repo's originals — one row at a time, ascending k, with the
+// NN zero-skip fast path for sparse δ rows — and parallel_rows runs its
+// whole range serially on the calling thread, so everything routed
+// through the seam (GEMM, batched rows, ADMM updates, prox) executes on
+// the calling thread under "reference". (Utilities outside the seam —
+// faultsim campaigns, the detect sweep — still use parallel_for
+// directly.)
+#include "backend/compute_backend.h"
+
+namespace fsa::backend {
+
+namespace {
+
+class ReferenceBackend final : public ComputeBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "reference"; }
+
+  // The seed's serial i-k-j kernel: accumulates into C in ascending-k
+  // order, skipping zero A entries (the attack's sparse δ rows).
+  void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* ai = a + i * k;
+      float* ci = c + i * n;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float aip = ai[p];
+        if (aip == 0.0f) continue;
+        const float* bp = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  }
+
+  // Aᵀ·B with A stored (k×m): same ascending-k accumulation, the A entry
+  // for output row i read down A's column i.
+  void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* ci = c + i * n;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float aip = a[p * m + i];
+        if (aip == 0.0f) continue;
+        const float* bp = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  }
+
+  // A·Bᵀ with B stored (n×k): independent dot products, each accumulated
+  // from zero in ascending k and added to C once.
+  void gemm_nt_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* ai = a + i * k;
+      float* ci = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* bj = b + j * k;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        ci[j] += acc;
+      }
+    }
+  }
+
+  void parallel_rows(std::int64_t count, std::int64_t /*grain*/,
+                     const std::function<void(std::int64_t, std::int64_t)>& body) const override {
+    if (count > 0) body(0, count);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ComputeBackend> make_reference_backend() {
+  return std::make_unique<ReferenceBackend>();
+}
+
+}  // namespace fsa::backend

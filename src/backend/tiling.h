@@ -1,0 +1,31 @@
+// tiling.h — the GEMM tiling constants shared by the blocked and packed
+// backends (and by tests, which pick shapes that straddle every boundary).
+//
+// Register tile (both backends): the output is computed in mr×nr blocks
+// that live in vector registers for a whole k sweep.
+//
+// Cache panels (packed backend only): the BLIS-style three-loop blocking.
+// B is packed kc×nc (streamed through L2 once per (jc, pc) panel), A is
+// packed mc×kc per worker (L2-resident micro-panels), and the micro-kernel
+// consumes one kc×nr B sliver from L1 per jr step. kc·nc floats = 1 MiB,
+// sized for the common 2 MiB L2.
+#pragma once
+
+#include <cstdint>
+
+namespace fsa::backend {
+
+/// Register-tile shape of the micro-kernel.
+struct Blocking {
+  static constexpr std::int64_t mr = 4;   ///< C rows per register block
+  static constexpr std::int64_t nr = 32;  ///< C columns per register block
+};
+
+/// Cache-panel shape of the packed backend.
+struct Packing {
+  static constexpr std::int64_t kc = 256;   ///< k extent of one packed panel pair
+  static constexpr std::int64_t mc = 64;    ///< A rows packed per worker block
+  static constexpr std::int64_t nc = 1024;  ///< B columns packed per panel
+};
+
+}  // namespace fsa::backend

@@ -3,9 +3,9 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "backend/compute_backend.h"
 #include "core/prox.h"
 #include "tensor/ops.h"
-#include "tensor/parallel.h"
 
 namespace fsa::core {
 
@@ -50,8 +50,8 @@ AdmmResult AdmmSolver::solve(const AttackSpec& spec, const AdmmConfig& cfg) {
     auto res = grad_.eval(theta, spec, cfg.c, cfg.kappa, /*want_grad=*/true, cfg.anchor_weight);
     out.g_history.push_back(res.eval.total_g);
     // δ ← (ρ(z+s) + αRδ − Σ∇g) / (αR+ρ), computed in place. Elementwise,
-    // so the pool shards it exactly.
-    parallel_for(0, d, 8192, [&](std::int64_t b, std::int64_t e) {
+    // so the backend shards it exactly (serially on "reference").
+    backend::active().parallel_rows(d, 8192, [&](std::int64_t b, std::int64_t e) {
       for (std::int64_t i = b; i < e; ++i) {
         const auto ui = static_cast<std::size_t>(i);
         const double num = cfg.rho * (static_cast<double>(z[ui]) + s[ui]) +
@@ -62,7 +62,7 @@ AdmmResult AdmmSolver::solve(const AttackSpec& spec, const AdmmConfig& cfg) {
     });
 
     // ---- s-step (eq. 12): s ← s + z − δ, elementwise ------------------------
-    parallel_for(0, d, 8192, [&](std::int64_t b, std::int64_t e) {
+    backend::active().parallel_rows(d, 8192, [&](std::int64_t b, std::int64_t e) {
       for (std::int64_t i = b; i < e; ++i) {
         const auto ui = static_cast<std::size_t>(i);
         s[ui] += z[ui];

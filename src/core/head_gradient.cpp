@@ -1,5 +1,7 @@
 #include "core/head_gradient.h"
 
+#include "backend/compute_backend.h"
+
 namespace fsa::core {
 
 Tensor HeadGradient::logits_at(const Tensor& theta, const AttackSpec& spec) {
@@ -16,7 +18,15 @@ HeadGradient::Result HeadGradient::eval(const Tensor& theta, const AttackSpec& s
   if (want_grad) {
     mask_->zero_head_grads(*net_);
     Tensor gl = out.eval.grad_logits;
-    if (c_scale != 1.0) gl *= static_cast<float>(c_scale);
+    if (c_scale != 1.0) {
+      // Scale the batched logit gradient through the backend seam, like
+      // every other batched-rows elementwise kernel on this path.
+      const float cs = static_cast<float>(c_scale);
+      float* g = gl.data();
+      backend::active().parallel_rows(gl.numel(), 8192, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) g[i] *= cs;
+      });
+    }
     net_->backward_to(mask_->cut(), gl);
     out.grad = mask_->gather_grads();
   }

@@ -3,8 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "backend/compute_backend.h"
 #include "tensor/ops.h"
-#include "tensor/parallel.h"
 
 namespace fsa::core {
 
@@ -12,8 +12,10 @@ Tensor prox_l0(const Tensor& v, double rho) {
   if (rho <= 0.0) throw std::invalid_argument("prox_l0: rho must be positive");
   const double threshold2 = 2.0 / rho;
   Tensor z(v.shape());
-  parallel_for(0, static_cast<std::int64_t>(v.size()), 16384,
-               [&](std::int64_t b, std::int64_t e) {
+  // Elementwise over independent entries: the backend shards it exactly
+  // (serially on "reference") — this is the ADMM z-step's hot loop.
+  backend::active().parallel_rows(static_cast<std::int64_t>(v.size()), 16384,
+                                  [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t i = b; i < e; ++i) {
       const auto ui = static_cast<std::size_t>(i);
       const double vi = v[ui];
@@ -27,8 +29,8 @@ Tensor prox_l1(const Tensor& v, double rho) {
   if (rho <= 0.0) throw std::invalid_argument("prox_l1: rho must be positive");
   const float t = static_cast<float>(1.0 / rho);
   Tensor z(v.shape());
-  parallel_for(0, static_cast<std::int64_t>(v.size()), 16384,
-               [&](std::int64_t b, std::int64_t e) {
+  backend::active().parallel_rows(static_cast<std::int64_t>(v.size()), 16384,
+                                  [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t i = b; i < e; ++i) {
       const auto ui = static_cast<std::size_t>(i);
       const float vi = v[ui];

@@ -5,6 +5,7 @@ namespace fsa::engine {
 eval::Json AttackReport::to_json() const {
   eval::Json j = eval::Json::object();
   j.set("method", eval::Json::string(method));
+  j.set("backend", eval::Json::string(backend));
   j.set("surface", eval::Json::string(surface));
   j.set("S", eval::Json::number(S));
   j.set("R", eval::Json::number(R));
@@ -31,6 +32,7 @@ eval::Json AttackReport::to_json() const {
 AttackReport AttackReport::from_json(const eval::Json& j) {
   AttackReport r;
   r.method = j.get_string("method", "");
+  r.backend = j.get_string("backend", "");
   r.surface = j.get_string("surface", "");
   r.S = j.get_int("S", 0);
   r.R = j.get_int("R", 0);

@@ -29,6 +29,7 @@ namespace fsa::engine {
 /// Unified result of one attack instance, independent of method.
 struct AttackReport {
   std::string method;            ///< registry key ("fsa-l0", "gda", ...)
+  std::string backend;           ///< compute backend that produced the row ("" = unrecorded)
   std::string surface;           ///< mask description, e.g. "fc3[weights+biases] (2010 params)"
   std::int64_t S = 0;            ///< faults requested
   std::int64_t R = 0;            ///< total images (faults + anchors)

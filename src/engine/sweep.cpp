@@ -6,6 +6,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "backend/compute_backend.h"
 #include "engine/registry.h"
 #include "eval/stopwatch.h"
 #include "models/feature_cache.h"
@@ -187,6 +188,7 @@ const SweepRow& SweepResult::row_tagged(const std::string& tag) const {
 eval::Json SweepResult::to_json() const {
   eval::Json j = eval::Json::object();
   j.set("model", eval::Json::string(model));
+  j.set("backend", eval::Json::string(backend));
   j.set("workers", eval::Json::number(static_cast<std::int64_t>(workers)));
   j.set("seconds", eval::Json::number(seconds));
   eval::Json arr = eval::Json::array();
@@ -212,11 +214,12 @@ void SweepResult::write_json(const std::string& path) const {
 
 eval::Table SweepResult::table(const std::string& title) const {
   eval::Table t(title);
-  t.header({"method", "surface", "S", "R", "seed", "l0", "l2", "faults", "anchors", "test acc",
-            "time"});
+  t.header({"method", "backend", "surface", "S", "R", "seed", "l0", "l2", "faults", "anchors",
+            "test acc", "time"});
   for (const auto& r : rows) {
     const auto& rep = r.report;
-    t.row({rep.method + (r.spec.tag.empty() ? "" : " (" + r.spec.tag + ")"), r.spec.surface_key(),
+    t.row({rep.method + (r.spec.tag.empty() ? "" : " (" + r.spec.tag + ")"),
+           rep.backend.empty() ? "-" : rep.backend, r.spec.surface_key(),
            std::to_string(rep.S), std::to_string(rep.R), std::to_string(r.spec.seed),
            std::to_string(rep.l0), eval::fmt(rep.l2, 2),
            std::to_string(rep.targets_hit) + "/" + std::to_string(rep.S),
@@ -288,6 +291,7 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
   // workers idle behind a straggler.
   SweepResult result;
   result.model = model_->name;
+  result.backend = backend::active_name();
   result.workers = num_threads();
   result.rows.resize(static_cast<std::size_t>(n));
   std::atomic<std::int64_t> next{0};
@@ -300,6 +304,7 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
           core::ParamMask::make(net, t.spec->layers, t.spec->weights, t.spec->biases);
       AttackReport rep = t.attacker->run(net, mask, t.problem);
       rep.seed = t.spec->seed;
+      rep.backend = result.backend;  // which compute backend produced this row
       rep.clean_accuracy = t.bench->clean_test_accuracy();
       if (t.spec->measure_accuracy) {
         Tensor theta = mask.gather_values();  // == θ0: run() restored the surface

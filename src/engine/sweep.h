@@ -108,6 +108,7 @@ struct SweepRow {
 struct SweepResult {
   std::vector<SweepRow> rows;   ///< in build()/request order, independent of schedule
   std::string model;
+  std::string backend;          ///< compute backend active during the run
   double seconds = 0.0;         ///< sweep wall time
   int workers = 1;              ///< thread-pool size during the run
 
@@ -117,7 +118,7 @@ struct SweepResult {
   /// First row with the given tag. Throws if absent.
   [[nodiscard]] const SweepRow& row_tagged(const std::string& tag) const;
 
-  /// Whole sweep as JSON: {model, workers, seconds, rows: [...]}.
+  /// Whole sweep as JSON: {model, backend, workers, seconds, rows: [...]}.
   [[nodiscard]] eval::Json to_json() const;
   /// Write to_json(2) to `path` (directories created; ignored on failure,
   /// like Table::write_csv — bench stdout is the primary artifact).

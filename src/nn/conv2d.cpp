@@ -2,8 +2,8 @@
 
 #include <stdexcept>
 
+#include "backend/compute_backend.h"
 #include "tensor/ops.h"
-#include "tensor/parallel.h"
 
 namespace fsa::nn {
 
@@ -46,7 +46,7 @@ void Conv2D::im2col_into(const Tensor& input, Tensor& cols) const {
   // Every output row (img, oy) pair is written by exactly one index, and
   // every element of `cols` is assigned (padding included), so the reused
   // workspace never leaks stale values.
-  parallel_for(0, n * oh, 8, [&](std::int64_t b, std::int64_t e) {
+  backend::active().parallel_rows(n * oh, 8, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t io = b; io < e; ++io) {
       const std::int64_t img = io / oh, oy = io % oh;
       for (std::int64_t ox = 0; ox < ow; ++ox) {
@@ -79,7 +79,7 @@ Tensor Conv2D::col2im(const Tensor& cols, const Shape& input_shape) const {
   const float* src = cols.data();
   // Overlapping windows within one image scatter-add into the same plane,
   // so the parallel split is per image (disjoint planes).
-  parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+  backend::active().parallel_rows(n, 1, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t img = b; img < e; ++img) {
       for (std::int64_t oy = 0; oy < oh; ++oy) {
         for (std::int64_t ox = 0; ox < ow; ++ox) {
@@ -119,7 +119,7 @@ Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
   Tensor out(out_shape);
   const float* src = flat_ws_.data();
   float* dst = out.data();
-  parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+  backend::active().parallel_rows(n, 1, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t img = b; img < e; ++img)
       for (std::int64_t oy = 0; oy < oh; ++oy)
         for (std::int64_t ox = 0; ox < ow; ++ox) {
@@ -141,7 +141,7 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   {
     const float* src = grad_output.data();
     float* dst = flat.data();
-    parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+    backend::active().parallel_rows(n, 1, [&](std::int64_t b, std::int64_t e) {
       for (std::int64_t img = b; img < e; ++img)
         for (std::int64_t c = 0; c < out_c_; ++c)
           for (std::int64_t oy = 0; oy < oh; ++oy)

@@ -2,8 +2,8 @@
 
 #include <stdexcept>
 
+#include "backend/compute_backend.h"
 #include "tensor/ops.h"
-#include "tensor/parallel.h"
 
 namespace fsa::nn {
 
@@ -32,8 +32,9 @@ Tensor Dense::backward(const Tensor& grad_output) {
   // exact for any thread count; rows stay outermost so dy streams.
   float* bg = bias_.grad().data();
   const float* dy = grad_output.data();
-  parallel_for(0, out_, std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(n, 1)),
-               [&](std::int64_t c0, std::int64_t c1) {
+  backend::active().parallel_rows(
+      out_, std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(n, 1)),
+      [&](std::int64_t c0, std::int64_t c1) {
     for (std::int64_t r = 0; r < n; ++r) {
       const float* row = dy + r * out_;
       for (std::int64_t c = c0; c < c1; ++c) bg[c] += row[c];

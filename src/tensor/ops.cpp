@@ -4,8 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "tensor/gemm.h"
-#include "tensor/parallel.h"
+#include "backend/compute_backend.h"
 
 namespace fsa::ops {
 
@@ -31,7 +30,7 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
   if (b.dim(0) != k)
     throw std::invalid_argument("matmul: inner dims " + a.shape().str() + " · " + b.shape().str());
   if (c.dim(0) != m || c.dim(1) != n) throw std::invalid_argument("matmul: bad output shape");
-  gemm::gemm_nn_acc(a.data(), b.data(), c.data(), m, k, n);
+  backend::active().gemm_nn_acc(a.data(), b.data(), c.data(), m, k, n);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -46,7 +45,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul_tn: inner dims mismatch");
   Tensor c(Shape({m, n}));
-  gemm::gemm_tn_acc(a.data(), b.data(), c.data(), m, k, n);
+  backend::active().gemm_tn_acc(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -56,7 +55,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dims mismatch");
   Tensor c(Shape({m, n}));
-  gemm::gemm_nt_acc(a.data(), b.data(), c.data(), m, k, n);
+  backend::active().gemm_nt_acc(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -178,9 +177,11 @@ Tensor softmax_rows(const Tensor& logits) {
   check2d(logits, "softmax_rows");
   const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
   Tensor out(logits.shape());
-  // Rows are independent, so sharding them over the pool is exact.
-  parallel_for(0, rows, std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(cols, 1)),
-               [&](std::int64_t r0, std::int64_t r1) {
+  // Rows are independent, so sharding them through the backend is exact
+  // (the reference backend runs them serially, pooled backends shard).
+  backend::active().parallel_rows(
+      rows, std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(cols, 1)),
+      [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r) {
       const float* in = logits.data() + r * cols;
       float* o = out.data() + r * cols;
@@ -220,8 +221,9 @@ Tensor cross_entropy_grad(const Tensor& logits, const std::vector<std::int64_t>&
     throw std::invalid_argument("cross_entropy_grad: label count mismatch");
   Tensor g = softmax_rows(logits);
   const float inv_n = 1.0f / static_cast<float>(rows);
-  parallel_for(0, rows, std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(cols, 1)),
-               [&](std::int64_t r0, std::int64_t r1) {
+  backend::active().parallel_rows(
+      rows, std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(cols, 1)),
+      [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r) {
       float* row = g.data() + r * cols;
       row[labels[static_cast<std::size_t>(r)]] -= 1.0f;

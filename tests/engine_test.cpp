@@ -5,6 +5,7 @@
 
 #include <filesystem>
 
+#include "backend/compute_backend.h"
 #include "engine/attackers.h"
 #include "engine/registry.h"
 #include "engine/sweep.h"
@@ -79,6 +80,7 @@ TEST(Registry, CustomRegistrationWins) {
 TEST(AttackReport, JsonRoundTrip) {
   AttackReport r;
   r.method = "fsa-l0";
+  r.backend = "packed";
   r.surface = "fc2[weights+biases] (330 params)";
   r.S = 3;
   r.R = 50;
@@ -99,6 +101,7 @@ TEST(AttackReport, JsonRoundTrip) {
   const std::string text = r.to_json().dump(2);
   const AttackReport back = AttackReport::from_json(eval::Json::parse(text));
   EXPECT_EQ(back.method, r.method);
+  EXPECT_EQ(back.backend, r.backend);
   EXPECT_EQ(back.surface, r.surface);
   EXPECT_EQ(back.S, r.S);
   EXPECT_EQ(back.R, r.R);
@@ -322,6 +325,58 @@ TEST(SweepRunner, BitwiseIdenticalRowsForOneAndManyWorkers) {
   }
 }
 
+TEST(SweepRunner, IdenticalRowsAcrossAllComputeBackendsAndThreadCounts) {
+  // The acceptance contract of the backend seam: reference, blocked and
+  // packed must produce identical attack-success rows — same δ (bitwise),
+  // same hits/kept counts, same accuracy — in the determinism sweep, for
+  // any FSA_NUM_THREADS. The kernels are built to be
+  // accumulation-order-identical, so this holds exactly, not just within
+  // tolerance.
+  auto& f = fixture();
+  // RAII restore: a failing ASSERT mid-loop must not leak a non-default
+  // backend/thread count into the rest of the suite.
+  struct Restore {
+    std::string saved = backend::active_name();
+    ~Restore() {
+      backend::set_backend(saved);
+      set_num_threads(0);
+    }
+  } restore;
+  backend::set_backend("reference");
+  set_num_threads(1);
+  SweepRunner oracle_runner(f.model, f.cache_dir, /*verbose=*/false);
+  const SweepResult oracle = oracle_runner.run(small_sweep());
+  EXPECT_EQ(oracle.backend, "reference");
+
+  for (const char* name : {"reference", "blocked", "packed"}) {
+    for (int threads : {1, 4}) {
+      backend::set_backend(name);
+      set_num_threads(threads);
+      SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+      const SweepResult result = runner.run(small_sweep());
+      EXPECT_EQ(result.backend, name);
+      ASSERT_EQ(result.rows.size(), oracle.rows.size());
+      for (std::size_t i = 0; i < result.rows.size(); ++i) {
+        const AttackReport& a = oracle.rows[i].report;
+        const AttackReport& b = result.rows[i].report;
+        const std::string where =
+            std::string(name) + " @ " + std::to_string(threads) + " threads, row " +
+            std::to_string(i);
+        EXPECT_EQ(b.backend, name) << where;
+        EXPECT_EQ(a.method, b.method) << where;
+        EXPECT_EQ(a.delta, b.delta) << where;  // bitwise
+        EXPECT_EQ(a.l0, b.l0) << where;
+        EXPECT_EQ(a.l2, b.l2) << where;
+        EXPECT_EQ(a.targets_hit, b.targets_hit) << where;
+        EXPECT_EQ(a.maintained, b.maintained) << where;
+        EXPECT_EQ(a.all_targets_hit, b.all_targets_hit) << where;
+        EXPECT_EQ(a.all_maintained, b.all_maintained) << where;
+        EXPECT_EQ(a.test_accuracy, b.test_accuracy) << where;
+      }
+    }
+  }
+}
+
 TEST(SweepRunner, JsonReportCarriesAllRows) {
   auto& f = fixture();
   SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
@@ -330,9 +385,11 @@ TEST(SweepRunner, JsonReportCarriesAllRows) {
   const SweepResult result = runner.run(sweep);
   const eval::Json j = eval::Json::parse(result.to_json().dump(2));
   EXPECT_EQ(j.get_string("model", ""), "blobs");
+  EXPECT_EQ(j.get_string("backend", ""), backend::active_name());
   ASSERT_EQ(j.at("rows").size(), 1u);
   const AttackReport back = AttackReport::from_json(j.at("rows").at(0));
   EXPECT_EQ(back.method, "fsa-l0");
+  EXPECT_EQ(back.backend, backend::active_name());  // per-row attribution
   EXPECT_EQ(back.l0, result.rows[0].report.l0);
   EXPECT_EQ(back.seed, 5u);
 }

@@ -6,7 +6,6 @@
 
 #include <cmath>
 
-#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
 

@@ -3,11 +3,13 @@
 // Subcommands:
 //   info                          model/accuracy overview
 //   methods                       list registered attack methods
+//   backends                      list registered compute backends
 //   attack    --dataset digits --layers fc3 --s 2 --r 100 --method fsa-l0
-//             [--norm l0|l2|l1] [--seed N] [--rho X] [--c X]
+//             [--norm l0|l2|l1] [--backend reference|blocked|packed]
+//             [--seed N] [--rho X] [--c X]
 //             [--weights-only|--biases-only] [--save delta.bin]
 //   sweep     --dataset digits --layers fc3 --method fsa-l0,gda
-//             --s-list 1,2,4 --r-list 50,100 [--seeds 1,2]
+//             --s-list 1,2,4 --r-list 50,100 [--seeds 1,2] [--backend B]
 //             [--json out.json] [--csv out.csv] [--no-acc]
 //   campaign  --dataset digits --layers fc3 --delta delta.bin
 //             [--injector laser|rowhammer]
@@ -18,10 +20,14 @@
 // concurrently on the thread pool (FSA_NUM_THREADS controls the worker
 // count; results are identical for any value); `campaign` lowers a saved δ
 // to bit flips and simulates the injector; `audit` runs the defender-view
-// weight audit on a saved δ.
+// weight audit on a saved δ. `--backend` (default: FSA_BACKEND, else
+// "blocked") selects the compute backend that every hot kernel routes
+// through; the choice is recorded in the attack scorecard and in every
+// sweep JSON row.
 #include <cstdio>
 #include <string>
 
+#include "backend/compute_backend.h"
 #include "engine/attackers.h"
 #include "engine/registry.h"
 #include "engine/sweep.h"
@@ -38,15 +44,17 @@ using namespace fsa;
 
 int usage() {
   std::fputs(
-      "usage: fsa_cli <info|methods|attack|sweep|campaign|audit> [options]\n"
+      "usage: fsa_cli <info|methods|backends|attack|sweep|campaign|audit> [options]\n"
       "  info\n"
       "  methods\n"
+      "  backends\n"
       "  attack   --dataset digits|objects --layers fc3[,fc2...] --s N --r N\n"
       "           [--method fsa-l0|fsa-l2|fsa-l1|gda|sba] [--norm l0|l2|l1]\n"
-      "           [--seed N] [--rho X] [--c X] [--weights-only|--biases-only]\n"
-      "           [--save delta.bin] [--verbose]\n"
+      "           [--backend reference|blocked|packed] [--seed N] [--rho X] [--c X]\n"
+      "           [--weights-only|--biases-only] [--save delta.bin] [--verbose]\n"
       "  sweep    --dataset D --layers L --s-list 1,2,4 --r-list 50,100\n"
       "           [--method M1,M2,...] [--seeds 1,2,...] [--norm l0|l2|l1]\n"
+      "           [--backend reference|blocked|packed]\n"
       "           [--weights-only|--biases-only] [--json out.json] [--csv out.csv]\n"
       "           [--no-acc] [--quiet]\n"
       "  campaign --dataset D --layers L --delta delta.bin [--injector laser|rowhammer]\n"
@@ -64,6 +72,13 @@ std::pair<bool, bool> surface_flags(const eval::Args& args) {
     throw std::invalid_argument(
         "--weights-only and --biases-only conflict (omit both to attack weights AND biases)");
   return {!biases_only, !weights_only};
+}
+
+/// Select the compute backend for this invocation. Unknown names throw
+/// listing the registered backends — same strict style as --norm/--dataset.
+void select_backend(const eval::Args& args) {
+  if (const std::string name = args.get("backend", ""); !name.empty())
+    backend::set_backend(name);
 }
 
 /// Map --norm (validated) and --method onto a registry key. --method wins;
@@ -109,6 +124,26 @@ int cmd_methods() {
   return 0;
 }
 
+int cmd_backends() {
+  // Resolve FSA_BACKEND defensively: this is the very command a user runs
+  // to discover valid names, so a typo'd env var must not suppress the
+  // listing — print the names, then report the bad selection.
+  std::string current, bad_env;
+  try {
+    current = backend::active_name();
+  } catch (const std::exception& e) {
+    bad_env = e.what();
+  }
+  std::printf("registered compute backends (* = active):\n");
+  for (const auto& name : backend::backend_names())
+    std::printf("  %s%s\n", name.c_str(), name == current ? " *" : "");
+  if (!bad_env.empty()) {
+    std::fprintf(stderr, "fsa_cli: %s\n", bad_env.c_str());
+    return 2;
+  }
+  return 0;
+}
+
 /// The attacker for one CLI invocation: fsa variants honor --rho/--c/
 /// --verbose solver overrides; everything else comes from the registry.
 std::shared_ptr<const engine::Attacker> cli_attacker(const eval::Args& args,
@@ -127,8 +162,9 @@ std::shared_ptr<const engine::Attacker> cli_attacker(const eval::Args& args,
 }
 
 int cmd_attack(const eval::Args& args) {
-  args.expect_only({"dataset", "layers", "s", "r", "method", "norm", "seed", "rho", "c",
-                    "weights-only", "biases-only", "save", "verbose"});
+  args.expect_only({"dataset", "layers", "s", "r", "method", "norm", "backend", "seed", "rho",
+                    "c", "weights-only", "biases-only", "save", "verbose"});
+  select_backend(args);
   const auto [weights, biases] = surface_flags(args);
   const std::string method = method_name(args);
   const auto attacker = cli_attacker(args, method);
@@ -139,10 +175,12 @@ int cmd_attack(const eval::Args& args) {
   const core::AttackSpec spec = ctx.bench->spec(s, r, args.get_int("seed", 1));
 
   engine::AttackReport rep = attacker->run(ctx.model->net, ctx.bench->attack().mask(), spec);
+  rep.backend = backend::active_name();
   const double acc = ctx.bench->test_accuracy_with(rep.delta);
 
   eval::Table table("attack result (" + attacker->name() + ", " + rep.surface + ")");
   table.header({"metric", "value"})
+      .row({"backend", rep.backend})
       .row({"faults injected", std::to_string(rep.targets_hit) + "/" + std::to_string(s)})
       .row({"anchors kept", std::to_string(rep.maintained) + "/" + std::to_string(r - s)})
       .row({"l0", std::to_string(rep.l0)})
@@ -161,8 +199,9 @@ int cmd_attack(const eval::Args& args) {
 }
 
 int cmd_sweep(const eval::Args& args) {
-  args.expect_only({"dataset", "layers", "method", "norm", "s-list", "r-list", "seeds",
-                    "weights-only", "biases-only", "json", "csv", "no-acc", "quiet"});
+  args.expect_only({"dataset", "layers", "method", "norm", "backend", "s-list", "r-list",
+                    "seeds", "weights-only", "biases-only", "json", "csv", "no-acc", "quiet"});
+  select_backend(args);
   const auto [weights, biases] = surface_flags(args);
 
   models::ModelZoo zoo;
@@ -260,6 +299,7 @@ int main(int argc, char** argv) {
     const eval::Args args = eval::Args::parse(argc, argv);
     if (args.command() == "info") return cmd_info();
     if (args.command() == "methods") return cmd_methods();
+    if (args.command() == "backends") return cmd_backends();
     if (args.command() == "attack") return cmd_attack(args);
     if (args.command() == "sweep") return cmd_sweep(args);
     if (args.command() == "campaign") return cmd_campaign(args);

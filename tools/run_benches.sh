@@ -1,44 +1,127 @@
 #!/usr/bin/env sh
-# run_benches.sh — build Release, run the micro-op benchmarks, and write the
-# machine-readable BENCH_micro_ops.json trajectory at the repo root.
+# run_benches.sh — build Release, run the micro-op benchmarks, and APPEND a
+# per-run entry (git sha, date, backend, full google-benchmark output) to
+# the BENCH_micro_ops.json trajectory at the repo root, so successive PRs
+# accumulate a comparable perf history instead of overwriting it.
 #
 #   tools/run_benches.sh [extra benchmark args...]
 #
 # Extra args are forwarded to bench_micro_ops (e.g. --benchmark_filter=Gemm
-# or --benchmark_min_time=2). If python3 is available, a serial-vs-parallel
-# speedup summary for the GEMM sizes is printed from the JSON.
+# or --benchmark_min_time=2). After the run, the delta of every benchmark
+# against the PREVIOUS trajectory entry is printed (so perf regressions
+# surface in review), followed by the GEMM speedup and per-backend
+# comparison summaries. Appending and deltas need python3; without it the
+# script falls back to the legacy overwrite-in-place behaviour.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build"
 out_json="$repo_root/BENCH_micro_ops.json"
+run_json="$build_dir/bench_micro_ops_run.json"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j --target bench_micro_ops
 
 "$build_dir/bench_micro_ops" \
-  --benchmark_out="$out_json" \
+  --benchmark_out="$run_json" \
   --benchmark_out_format=json \
   "$@"
 
-echo "wrote $out_json"
+git_sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
+run_date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+backend=${FSA_BACKEND:-blocked}
 
-if command -v python3 >/dev/null 2>&1; then
-  python3 - "$out_json" <<'EOF'
+if ! command -v python3 >/dev/null 2>&1; then
+  # No python3, no appending — but NEVER clobber an accumulated trajectory
+  # with a single raw run.
+  if [ -f "$out_json" ] && grep -q '"runs"' "$out_json"; then
+    echo "python3 not found; $out_json holds a trajectory, leaving it untouched" >&2
+    echo "raw run output kept at $run_json" >&2
+  else
+    cp "$run_json" "$out_json"
+    echo "python3 not found: wrote raw (non-appending) $out_json"
+  fi
+  exit 0
+fi
+
+python3 - "$run_json" "$out_json" "$git_sha" "$run_date" "$backend" <<'EOF'
 import json, sys
 
-with open(sys.argv[1]) as f:
-    data = json.load(f)
+run_path, out_path, sha, date, backend = sys.argv[1:6]
 
-times = {b["name"]: b["real_time"] for b in data.get("benchmarks", [])}
+with open(run_path) as f:
+    run = json.load(f)
+
+# The trajectory file holds {"runs": [entry, ...]}, oldest first. A legacy
+# raw google-benchmark file (pre-trajectory) is absorbed as its first entry.
+try:
+    with open(out_path) as f:
+        trajectory = json.load(f)
+    if "runs" not in trajectory:
+        trajectory = {"runs": [{"sha": "legacy", "date": "", "backend": "blocked",
+                                "benchmarks": trajectory.get("benchmarks", [])}]}
+except (FileNotFoundError, json.JSONDecodeError):
+    trajectory = {"runs": []}
+
+entry = {
+    "sha": sha,
+    "date": date,
+    "backend": backend,
+    "context": run.get("context", {}),
+    "benchmarks": run.get("benchmarks", []),
+}
+# Delta against the most recent entry with the SAME backend: comparing a
+# reference run to a blocked run would flag spurious "regressions".
+previous = next((r for r in reversed(trajectory["runs"])
+                 if r.get("backend", "blocked") == backend), None)
+trajectory["runs"].append(entry)
+
+with open(out_path, "w") as f:
+    json.dump(trajectory, f, indent=1)
+    f.write("\n")
+print(f"appended run {sha} ({backend}) to {out_path} "
+      f"({len(trajectory['runs'])} run(s) in trajectory)")
+
+times = {b["name"]: b["real_time"] for b in entry["benchmarks"]}
+
+# ---- delta vs the previous trajectory entry (perf-regression review aid) ----
+if previous is not None:
+    prev_times = {b["name"]: b["real_time"] for b in previous.get("benchmarks", [])}
+    common = [n for n in times if n in prev_times and prev_times[n] > 0]
+    if common:
+        print(f"\ndelta vs previous run {previous.get('sha', '?')} "
+              f"({previous.get('backend', '?')}), real time "
+              f"(negative = faster now):")
+        for name in common:
+            change = (times[name] - prev_times[name]) / prev_times[name] * 100.0
+            flag = "  <-- regression?" if change > 10.0 else ""
+            print(f"  {name}: {prev_times[name]:.3g} -> {times[name]:.3g} "
+                  f"({change:+.1f}%){flag}")
+    else:
+        print("\n(no benchmarks in common with the previous entry; no delta)")
+else:
+    print(f"\n(no previous '{backend}' entry in the trajectory; no delta)")
+
+# ---- GEMM speedup vs the frozen seed kernel --------------------------------
 print("\nGEMM speedup vs seed serial kernel (real time):")
 for size in (256, 512):
     seed = times.get(f"BM_GemmSeedSerial/{size}")
     if seed is None:
         continue
     for threads in (1, 2, 4):
-        backend = times.get(f"BM_Gemm/{size}/{threads}")
-        if backend:
-            print(f"  {size}x{size}x{size} @ {threads} thread(s): {seed / backend:.2f}x")
+        t = times.get(f"BM_Gemm/{size}/{threads}")
+        if t:
+            print(f"  {size}x{size}x{size} @ {threads} thread(s): {seed / t:.2f}x")
+
+# ---- per-backend comparison (the packing win, L2-resident vs spilling) -----
+rows = sorted((n, t) for n, t in times.items() if n.startswith("BM_GemmBackend/"))
+if rows:
+    print("\ncompute-backend GEMM comparison (real time):")
+    for name, t in rows:
+        print(f"  {name}: {t:.3g} ms")
+    blocked = times.get("BM_GemmBackend/blocked/2048")
+    packed = times.get("BM_GemmBackend/packed/2048")
+    if blocked and packed:
+        print(f"  packed speedup over blocked at the L2-spilling 2048^3: "
+              f"{blocked / packed:.2f}x")
 EOF
-fi
