@@ -2,55 +2,48 @@
 //
 // The paper motivates minimizing ‖δ‖₀ with the §2.3 observation that
 // locating/flipping memory bits is the expensive part of a physical fault
-// attack. This harness makes that concrete: run the ℓ0 and ℓ2 attacks on
-// the same fault spec (one sweep, two methods), lower both δ's to IEEE-754
-// bit-flip plans, and simulate laser and row-hammer campaigns. Expected
-// shape: the ℓ0 attack needs a fraction of the bits/rows and an order less
-// campaign time — i.e. the ℓ0 objective is the right proxy for attack
-// implementability.
+// attack. This harness makes that concrete through the engine's campaign
+// stage: run the ℓ0 and ℓ2 attacks on the same fault spec (one sweep, two
+// methods) with Sweep::with_campaign, so every row is lowered to an
+// IEEE-754 bit-flip plan and simulated against all three injector cost
+// models on the 8-way-sharded CampaignRunner. Expected shape: the ℓ0
+// attack needs a fraction of the bits/rows and an order less campaign
+// time — i.e. the ℓ0 objective is the right proxy for implementability.
 #include <cstdio>
 
 #include "engine/sweep.h"
 #include "eval/table.h"
-#include "faultsim/campaign.h"
 
 int main() {
   using namespace fsa;
   models::ModelZoo zoo;
   engine::SweepRunner runner(zoo.digits(), zoo.cache_dir());
 
+  engine::CampaignConfig campaign;
+  campaign.injectors = {"laser", "rowhammer", "clock-glitch"};
+  campaign.shards = 8;
+
   engine::Sweep sweep;
   sweep.methods({"fsa-l0", "fsa-l2"})
       .layers({"fc3"})
       .sr_pairs({{2, 100}})
       .seeds({9001})
-      .measure_accuracy(false);
+      .measure_accuracy(false)
+      .with_campaign(campaign);
   const engine::SweepResult result = runner.run(sweep);
 
-  const Tensor theta0 = runner.bench({"fc3"}).attack().theta0();
-  eval::Table table("Ablation: hardware realization cost of the l0 vs l2 attack (S=2, R=100)");
-  table.header({"attack", "params", "bit flips", "rows", "laser time", "rowhammer time",
-                "rh massages", "campaign ok"});
+  result.table("Ablation: hardware realization cost of the l0 vs l2 attack (S=2, R=100)")
+      .print();
+  result.table("faultsim").write_csv(zoo.cache_dir() + "/results_faultsim.csv");
 
-  const faultsim::MemoryLayout layout;
   for (const char* method : {"fsa-l0", "fsa-l2"}) {
     const auto& rep = result.row(method, 2, 100).report;
-    const auto plan = faultsim::plan_bit_flips(theta0, rep.delta, layout);
-    const auto laser = faultsim::simulate_laser(plan, faultsim::LaserParams{}, layout);
-    Rng rng(42);
-    const auto hammer =
-        faultsim::simulate_rowhammer(plan, faultsim::RowHammerParams{}, layout, rng);
-    auto hours = [](double s) { return eval::fmt(s / 3600.0, 2) + " h"; };
-    table.row({method, std::to_string(plan.params_modified),
-               std::to_string(plan.total_bit_flips), std::to_string(plan.rows_touched),
-               hours(laser.seconds), hours(hammer.seconds), std::to_string(hammer.massages),
-               (laser.success && hammer.success) ? "yes" : "no"});
-    std::printf("[faultsim] %s: params=%lld bits=%lld laser=%.2fh hammer=%.2fh\n", method,
-                static_cast<long long>(plan.params_modified),
-                static_cast<long long>(plan.total_bit_flips), laser.seconds / 3600.0,
-                hammer.seconds / 3600.0);
+    const engine::CampaignSummary& cs = *rep.campaign;
+    std::printf("[faultsim] %s: params=%lld bits=%lld laser=%.2fh hammer=%.2fh glitch=%.2fh\n",
+                method, static_cast<long long>(cs.params_modified),
+                static_cast<long long>(cs.total_bit_flips),
+                cs.report("laser").seconds / 3600.0, cs.report("rowhammer").seconds / 3600.0,
+                cs.report("clock-glitch").seconds / 3600.0);
   }
-  table.print();
-  table.write_csv(zoo.cache_dir() + "/results_faultsim.csv");
   return 0;
 }

@@ -125,8 +125,9 @@ void gemm_packed(LoadA&& load_a, LoadB&& load_b, float* c, std::int64_t m, std::
           }
         }
       });
-      // One worker per mc-row block: pack its A panel once, then sweep the
-      // whole packed B panel (pack-once, reuse-across-jr).
+      // One worker per mc-row block: pack its A panel once (counting
+      // nonzeros on the way), then sweep the whole packed B panel
+      // (pack-once, reuse-across-jr).
       parallel_for(0, ceil_div(m, kMC), 1, [&](std::int64_t b0, std::int64_t b1) {
         thread_local std::vector<float> abuf;
         abuf.resize(static_cast<std::size_t>(kMC * kKC));
@@ -134,15 +135,42 @@ void gemm_packed(LoadA&& load_a, LoadB&& load_b, float* c, std::int64_t m, std::
           const std::int64_t ic = blk * kMC;
           const std::int64_t mb = std::min(kMC, m - ic);
           const std::int64_t ipanels = ceil_div(mb, kMR);
+          std::int64_t nnz = 0;
           for (std::int64_t ip = 0; ip < ipanels; ++ip) {
             float* dst = abuf.data() + ip * kb * kMR;
             const std::int64_t i0 = ic + ip * kMR;
             const std::int64_t mv = std::min(kMR, ic + mb - i0);
             for (std::int64_t p = 0; p < kb; ++p) {
               float* lane = dst + p * kMR;
-              for (std::int64_t r = 0; r < mv; ++r) lane[r] = load_a(i0 + r, pc + p);
+              for (std::int64_t r = 0; r < mv; ++r) {
+                lane[r] = load_a(i0 + r, pc + p);
+                nnz += lane[r] != 0.0f;
+              }
               for (std::int64_t r = mv; r < kMR; ++r) lane[r] = 0.0f;
             }
+          }
+          // Mostly-zero A panel (a δ-sized operand): skip the dense jr
+          // sweep and stream only the nonzero entries through the packed B
+          // panels, row by row. Each C element still accumulates in
+          // ascending-k order, so the result matches the dense path; the
+          // decision depends only on the data, never on the worker count.
+          if (nnz * 8 < mb * kb) {
+            for (std::int64_t r = 0; r < mb; ++r) {
+              const float* arow = abuf.data() + (r / kMR) * kb * kMR + (r % kMR);
+              float* crow = c + (ic + r) * n;
+              for (std::int64_t p = 0; p < kb; ++p) {
+                const float av = arow[p * kMR];
+                if (av == 0.0f) continue;
+                for (std::int64_t jp = 0; jp < jpanels; ++jp) {
+                  const float* brow = bbase + jp * kb * kNR + p * kNR;
+                  const std::int64_t j0 = jc + jp * kNR;
+                  const std::int64_t nv = std::min(kNR, jc + nb - j0);
+                  float* cj = crow + j0;
+                  for (std::int64_t j = 0; j < nv; ++j) cj[j] += av * brow[j];
+                }
+              }
+            }
+            continue;
           }
           for (std::int64_t jp = 0; jp < jpanels; ++jp) {
             const float* bp = bbase + jp * kb * kNR;

@@ -1,6 +1,40 @@
 #include "engine/attacker.h"
 
+#include <stdexcept>
+
 namespace fsa::engine {
+
+const faultsim::CampaignReport& CampaignSummary::report(const std::string& injector) const {
+  for (const auto& r : reports)
+    if (r.injector == injector) return r;
+  throw std::out_of_range("CampaignSummary: no report for injector \"" + injector + "\"");
+}
+
+eval::Json CampaignSummary::to_json() const {
+  eval::Json j = eval::Json::object();
+  j.set("format", eval::Json::string(format));
+  j.set("shards", eval::Json::number(static_cast<std::int64_t>(shards)));
+  j.set("params_modified", eval::Json::number(params_modified));
+  j.set("total_bit_flips", eval::Json::number(total_bit_flips));
+  j.set("rows_touched", eval::Json::number(rows_touched));
+  eval::Json arr = eval::Json::array();
+  for (const auto& r : reports) arr.push_back(r.to_json());
+  j.set("injectors", std::move(arr));
+  return j;
+}
+
+CampaignSummary CampaignSummary::from_json(const eval::Json& j) {
+  CampaignSummary c;
+  c.format = j.get_string("format", "float32");
+  c.shards = static_cast<int>(j.get_int("shards", 1));
+  c.params_modified = j.get_int("params_modified", 0);
+  c.total_bit_flips = j.get_int("total_bit_flips", 0);
+  c.rows_touched = j.get_int("rows_touched", 0);
+  if (j.has("injectors"))
+    for (const eval::Json& r : j.at("injectors").items())
+      c.reports.push_back(faultsim::CampaignReport::from_json(r));
+  return c;
+}
 
 eval::Json AttackReport::to_json() const {
   eval::Json j = eval::Json::object();
@@ -26,6 +60,7 @@ eval::Json AttackReport::to_json() const {
         test_accuracy < 0.0 ? eval::Json::null() : eval::Json::number(test_accuracy));
   j.set("clean_accuracy",
         clean_accuracy < 0.0 ? eval::Json::null() : eval::Json::number(clean_accuracy));
+  if (campaign) j.set("campaign", campaign->to_json());
   return j;
 }
 
@@ -54,6 +89,8 @@ AttackReport AttackReport::from_json(const eval::Json& j) {
   r.seconds = j.get_number("seconds", 0.0);
   r.test_accuracy = j.get_number("test_accuracy", -1.0);
   r.clean_accuracy = j.get_number("clean_accuracy", -1.0);
+  if (j.has("campaign") && !j.at("campaign").is_null())
+    r.campaign = CampaignSummary::from_json(j.at("campaign"));
   return r;
 }
 

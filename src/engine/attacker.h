@@ -18,13 +18,36 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/attack_spec.h"
 #include "core/param_mask.h"
 #include "eval/json.h"
+#include "faultsim/injector.h"
 
 namespace fsa::engine {
+
+/// Optional end-to-end hardware-campaign stage of an attack report: the
+/// solved δ lowered (through the configured storage format) to a bit-flip
+/// plan and simulated with one CampaignReport per configured injector.
+/// This is what connects the paper's ‖δ‖₀ objective to campaign cost in
+/// every sweep row.
+struct CampaignSummary {
+  std::string format = "float32";    ///< storage format δ was realized in
+  int shards = 1;                    ///< campaign shard count (totals are K-invariant)
+  std::int64_t params_modified = 0;  ///< plan size after format realization
+  std::int64_t total_bit_flips = 0;
+  std::int64_t rows_touched = 0;     ///< distinct DRAM rows in the plan
+  std::vector<faultsim::CampaignReport> reports;  ///< one per injector, config order
+
+  /// The report for `injector`. Throws std::out_of_range if absent.
+  [[nodiscard]] const faultsim::CampaignReport& report(const std::string& injector) const;
+
+  [[nodiscard]] eval::Json to_json() const;
+  static CampaignSummary from_json(const eval::Json& j);
+};
 
 /// Unified result of one attack instance, independent of method.
 struct AttackReport {
@@ -46,6 +69,7 @@ struct AttackReport {
   double seconds = 0.0;          ///< solve wall time
   double test_accuracy = -1.0;   ///< full-test-set accuracy with δ applied; < 0 = not measured
   double clean_accuracy = -1.0;  ///< clean accuracy at the same cut; < 0 = not measured
+  std::optional<CampaignSummary> campaign;  ///< hardware stage (when the sweep asked for one)
   Tensor delta;                  ///< modification over the surface's flat space (not serialized)
 
   /// Scalar fields as a JSON object (`delta` is intentionally excluded —

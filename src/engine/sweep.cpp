@@ -1,5 +1,6 @@
 #include "engine/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -11,6 +12,7 @@
 #include "eval/stopwatch.h"
 #include "models/feature_cache.h"
 #include "tensor/parallel.h"
+#include "tensor/rng.h"
 
 namespace fsa::engine {
 
@@ -121,6 +123,18 @@ Sweep& Sweep::measure_accuracy(bool m) {
   return *this;
 }
 
+Sweep& Sweep::with_campaign(CampaignConfig config) {
+  if (config.injectors.empty())
+    throw std::invalid_argument("Sweep: with_campaign needs at least one injector");
+  if (config.shards < 1)
+    throw std::invalid_argument("Sweep: campaign shard count must be >= 1, got " +
+                                std::to_string(config.shards));
+  // Validate every injector name now, not inside the parallel phase.
+  for (const auto& name : config.injectors) (void)faultsim::make_injector(name);
+  campaign_ = std::move(config);
+  return *this;
+}
+
 Sweep& Sweep::add(SweepSpec spec) {
   explicit_.push_back(std::move(spec));
   return *this;
@@ -164,6 +178,9 @@ std::vector<SweepSpec> Sweep::build() const {
           }
   }
   out.insert(out.end(), explicit_.begin(), explicit_.end());
+  if (campaign_)
+    for (auto& spec : out)
+      if (!spec.campaign) spec.campaign = campaign_;
   return out;
 }
 
@@ -213,19 +230,56 @@ void SweepResult::write_json(const std::string& path) const {
 }
 
 eval::Table SweepResult::table(const std::string& title) const {
+  // Campaign columns are appended only when some row carries the stage:
+  // bit-flip plan size plus, per injector, projected hours and the
+  // attempts/massages effort counters. The column set is the union of
+  // every row's injectors (explicit specs may configure different ones),
+  // in first-appearance order.
+  std::vector<std::string> injectors;
+  for (const auto& r : rows)
+    if (r.report.campaign)
+      for (const auto& c : r.report.campaign->reports)
+        if (std::find(injectors.begin(), injectors.end(), c.injector) == injectors.end())
+          injectors.push_back(c.injector);
   eval::Table t(title);
-  t.header({"method", "backend", "surface", "S", "R", "seed", "l0", "l2", "faults", "anchors",
-            "test acc", "time"});
+  std::vector<std::string> header = {"method", "backend", "surface", "S", "R", "seed", "l0",
+                                     "l2", "faults", "anchors", "test acc", "time"};
+  if (!injectors.empty()) {
+    header.push_back("bits");
+    for (const auto& name : injectors) {
+      header.push_back(name + " h");
+      header.push_back(name + " att/mass");
+    }
+  }
+  t.header(header);
   for (const auto& r : rows) {
     const auto& rep = r.report;
-    t.row({rep.method + (r.spec.tag.empty() ? "" : " (" + r.spec.tag + ")"),
-           rep.backend.empty() ? "-" : rep.backend, r.spec.surface_key(),
-           std::to_string(rep.S), std::to_string(rep.R), std::to_string(r.spec.seed),
-           std::to_string(rep.l0), eval::fmt(rep.l2, 2),
-           std::to_string(rep.targets_hit) + "/" + std::to_string(rep.S),
-           std::to_string(rep.maintained) + "/" + std::to_string(rep.R - rep.S),
-           rep.test_accuracy < 0.0 ? "-" : eval::pct(rep.test_accuracy),
-           eval::fmt(rep.seconds, 1) + "s"});
+    std::vector<std::string> cells = {
+        rep.method + (r.spec.tag.empty() ? "" : " (" + r.spec.tag + ")"),
+        rep.backend.empty() ? "-" : rep.backend, r.spec.surface_key(),
+        std::to_string(rep.S), std::to_string(rep.R), std::to_string(r.spec.seed),
+        std::to_string(rep.l0), eval::fmt(rep.l2, 2),
+        std::to_string(rep.targets_hit) + "/" + std::to_string(rep.S),
+        std::to_string(rep.maintained) + "/" + std::to_string(rep.R - rep.S),
+        rep.test_accuracy < 0.0 ? "-" : eval::pct(rep.test_accuracy),
+        eval::fmt(rep.seconds, 1) + "s"};
+    if (!injectors.empty()) {
+      cells.push_back(rep.campaign ? std::to_string(rep.campaign->total_bit_flips) : "-");
+      for (const auto& name : injectors) {
+        if (!rep.campaign) {
+          cells.push_back("-");
+          cells.push_back("-");
+          continue;
+        }
+        const faultsim::CampaignReport* c = nullptr;
+        for (const auto& cand : rep.campaign->reports)
+          if (cand.injector == name) c = &cand;
+        cells.push_back(c ? eval::fmt(c->seconds / 3600.0, 2) + (c->success ? "" : "!") : "-");
+        cells.push_back(c ? std::to_string(c->attempts) + "/" + std::to_string(c->massages)
+                          : "-");
+      }
+    }
+    t.row(cells);
   }
   return t;
 }
@@ -306,6 +360,28 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
       rep.seed = t.spec->seed;
       rep.backend = result.backend;  // which compute backend produced this row
       rep.clean_accuracy = t.bench->clean_test_accuracy();
+      if (t.spec->campaign) {
+        // Lower δ to hardware: runs BEFORE the accuracy scatter below, while
+        // the surface still holds θ0. The campaign seed mixes the config
+        // seed with the row's spec seed so rows draw independent campaigns
+        // while staying deterministic (and shard-count invariant).
+        const CampaignConfig& cfg = *t.spec->campaign;
+        const Tensor theta0 = mask.gather_values();
+        const Tensor realized = faultsim::realize_in_format(theta0, rep.delta, cfg.format);
+        const faultsim::BitFlipPlan plan =
+            faultsim::plan_bit_flips(theta0, realized, cfg.layout);
+        CampaignSummary summary;
+        summary.format = faultsim::format_name(cfg.format);
+        summary.shards = cfg.shards;
+        summary.params_modified = plan.params_modified;
+        summary.total_bit_flips = plan.total_bit_flips;
+        summary.rows_touched = plan.rows_touched;
+        const std::uint64_t campaign_seed = SplitMix64(cfg.seed ^ t.spec->seed).next();
+        const faultsim::CampaignRunner campaign_runner(cfg.shards, campaign_seed);
+        for (const std::string& injector : cfg.injectors)
+          summary.reports.push_back(campaign_runner.run(injector, plan, cfg.layout));
+        rep.campaign = std::move(summary);
+      }
       if (t.spec->measure_accuracy) {
         Tensor theta = mask.gather_values();  // == θ0: run() restored the surface
         theta += rep.delta;

@@ -27,8 +27,23 @@
 #include "engine/attacker.h"
 #include "eval/attack_bench.h"
 #include "eval/table.h"
+#include "faultsim/campaign.h"
+#include "faultsim/quantize.h"
 
 namespace fsa::engine {
+
+/// Configuration of the optional end-to-end campaign stage appended to
+/// every sweep row: δ → realize in `format` → BitFlipPlan → sharded
+/// CampaignRunner, once per configured injector. Campaign totals are
+/// bitwise identical for any `shards` (the planner's K-invariance
+/// contract), so the shard count is a throughput knob, not a result knob.
+struct CampaignConfig {
+  std::vector<std::string> injectors = {"rowhammer"};  ///< registry keys
+  int shards = 1;
+  std::uint64_t seed = 7;  ///< mixed with each row's spec seed per campaign
+  faultsim::StorageFormat format = faultsim::StorageFormat::kFloat32;
+  faultsim::MemoryLayout layout;
+};
 
 /// One attack instance, declaratively: what to run, on which surface.
 struct SweepSpec {
@@ -43,6 +58,7 @@ struct SweepSpec {
   std::string tag;                          ///< free-form row label (ablation point etc.)
   std::shared_ptr<const Attacker> attacker; ///< pre-configured method override
   bool measure_accuracy = true;             ///< evaluate full-test-set accuracy with δ
+  std::optional<CampaignConfig> campaign;   ///< lower δ to hardware campaigns per row
 
   /// Canonical surface identity, e.g. "fc1,fc2[w]" — keys the per-surface
   /// AttackBench (features/cut) shared by all instances on that surface.
@@ -76,6 +92,9 @@ class Sweep {
   /// Shared pre-configured attacker for every cartesian instance.
   Sweep& attacker(std::shared_ptr<const Attacker> a);
   Sweep& measure_accuracy(bool m);
+  /// Append the hardware-campaign stage to every instance. Injector names
+  /// are validated eagerly (throws the registry's unknown-name error).
+  Sweep& with_campaign(CampaignConfig config);
   /// Append one fully-specified instance.
   Sweep& add(SweepSpec spec);
 
@@ -95,6 +114,7 @@ class Sweep {
   core::TargetPolicy policy_ = core::TargetPolicy::kRandom;
   std::shared_ptr<const Attacker> attacker_;
   bool measure_accuracy_ = true;
+  std::optional<CampaignConfig> campaign_;
   bool cartesian_touched_ = false;
   std::vector<SweepSpec> explicit_;
 };

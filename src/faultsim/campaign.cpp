@@ -1,106 +1,123 @@
 #include "faultsim/campaign.h"
 
 #include <set>
-#include <vector>
+#include <stdexcept>
 
 #include "tensor/parallel.h"
+#include "tensor/rng.h"
 
 namespace fsa::faultsim {
 
 namespace {
 
-// Per-flip slice of a campaign, merged serially in flip order so double
-// accumulation (seconds) is deterministic for any thread count.
-struct FlipOutcome {
-  std::int64_t bits_flipped = 0;
-  std::int64_t hammer_attempts = 0;
-  std::int64_t massages = 0;
-  double seconds = 0.0;
-  bool all_flipped = true;
-};
-
-FlipOutcome hammer_one_flip(const ParamFlip& flip, const RowHammerParams& params, Rng& rng) {
-  FlipOutcome o;
-  for (int bit = 0; bit < 32; ++bit) {
-    if (!((flip.xor_mask >> bit) & 1u)) continue;
-    // Is this cell hammer-vulnerable in place? If not, massage memory
-    // (relocate the victim page) until a vulnerable aggressor/victim
-    // alignment is found or the retry budget is exhausted.
-    bool aligned = rng.bernoulli(params.vulnerable_frac);
-    for (std::int64_t mi = 0; !aligned && mi < params.max_massages_per_bit; ++mi) {
-      ++o.massages;
-      o.seconds += params.massage_seconds;
-      aligned = rng.bernoulli(params.massage_success_prob);
-    }
-    if (!aligned) {
-      o.all_flipped = false;  // no vulnerable cell found; don't hammer blind
-      continue;
-    }
-    bool flipped = false;
-    for (std::int64_t attempt = 0; attempt < params.max_attempts_per_bit; ++attempt) {
-      ++o.hammer_attempts;
-      o.seconds += params.seconds_per_attempt;
-      if (rng.bernoulli(params.flip_success_prob)) {
-        flipped = true;
-        break;
-      }
-    }
-    if (flipped) {
-      ++o.bits_flipped;
-    } else {
-      o.all_flipped = false;  // campaign gives up on this bit
-    }
+// The actual slicing, shared by the (registry-validated) planner and the
+// caller-owned-instance runner path — the injector name is only a label
+// here. Per-flip assignments are made over the WHOLE plan, in plan order,
+// before slicing: flip i's stream seed and first-touch flag depend only
+// on (campaign_seed, i) — never on K — which is what makes shard merges
+// bitwise identical to the unsharded run.
+std::vector<CampaignShard> build_shards(const std::string& injector, int shards,
+                                        std::uint64_t seed, const BitFlipPlan& plan,
+                                        const MemoryLayout& layout) {
+  const std::int64_t n = static_cast<std::int64_t>(plan.flips.size());
+  SplitMix64 sm(seed);
+  std::vector<std::uint64_t> flip_seeds(static_cast<std::size_t>(n));
+  for (auto& s : flip_seeds) s = sm.next();
+  std::set<std::uint64_t> seen_rows;
+  std::vector<CampaignShard> out(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    CampaignShard& shard = out[static_cast<std::size_t>(s)];
+    shard.injector = injector;
+    shard.index = s;
+    shard.count = shards;
+    shard.campaign_seed = seed;
   }
-  return o;
+  for (std::int64_t i = 0; i < n; ++i) {
+    ShardFlip sf;
+    sf.flip = plan.flips[static_cast<std::size_t>(i)];
+    sf.seed = flip_seeds[static_cast<std::size_t>(i)];
+    sf.new_row = seen_rows.insert(layout.row_of(sf.flip.param_index)).second;
+    // Contiguous slices: shard s holds flips [s·n/K, (s+1)·n/K).
+    const auto owner = static_cast<std::size_t>(i * shards / std::max<std::int64_t>(n, 1));
+    out[std::min(owner, out.size() - 1)].flips.push_back(sf);
+  }
+  return out;
 }
 
 }  // namespace
 
-CampaignReport simulate_rowhammer(const BitFlipPlan& plan, const RowHammerParams& params,
-                                  const MemoryLayout& layout, Rng& rng) {
-  (void)layout;
-  CampaignReport report;
-  report.bits_requested = plan.total_bit_flips;
-  report.success = true;
-  const std::int64_t nflips = static_cast<std::int64_t>(plan.flips.size());
-  // Fork one stream per flip serially, then sweep flips in parallel — the
-  // flips are independent Monte-Carlo trials.
-  std::vector<Rng> streams;
-  streams.reserve(plan.flips.size());
-  for (std::int64_t i = 0; i < nflips; ++i) streams.push_back(rng.fork());
-  std::vector<FlipOutcome> outcomes(plan.flips.size());
-  parallel_for(0, nflips, 8, [&](std::int64_t b, std::int64_t e) {
-    for (std::int64_t i = b; i < e; ++i) {
-      const auto ui = static_cast<std::size_t>(i);
-      outcomes[ui] = hammer_one_flip(plan.flips[ui], params, streams[ui]);
-    }
-  });
-  for (const FlipOutcome& o : outcomes) {
-    report.bits_flipped += o.bits_flipped;
-    report.hammer_attempts += o.hammer_attempts;
-    report.massages += o.massages;
-    report.seconds += o.seconds;
-    if (!o.all_flipped) report.success = false;
-  }
-  return report;
+// ---- CampaignPlanner ---------------------------------------------------------
+
+CampaignPlanner::CampaignPlanner(std::string injector, int shards, std::uint64_t campaign_seed)
+    : injector_(std::move(injector)), shards_(shards), seed_(campaign_seed) {
+  if (shards_ < 1)
+    throw std::invalid_argument("CampaignPlanner: shard count must be >= 1, got " +
+                                std::to_string(shards_));
+  (void)make_injector(injector_);  // throws the unknown-name error eagerly
 }
 
-CampaignReport simulate_laser(const BitFlipPlan& plan, const LaserParams& params,
-                              const MemoryLayout& layout) {
-  // Deterministic cost model with nanoseconds of work per flip — the row
-  // merge dominates, so this stays serial rather than waking the pool.
-  CampaignReport report;
-  report.bits_requested = plan.total_bit_flips;
-  report.bits_flipped = plan.total_bit_flips;
-  report.success = true;
-  std::set<std::uint64_t> rows;
-  for (const auto& flip : plan.flips) {
-    rows.insert(layout.row_of(flip.param_index));
-    report.seconds += params.locate_seconds;  // position on the word once
-    report.seconds += params.shot_seconds * flip.bit_count;
-  }
-  report.seconds += params.per_row_setup_seconds * static_cast<double>(rows.size());
-  return report;
+std::vector<CampaignShard> CampaignPlanner::shards(const BitFlipPlan& plan,
+                                                   const MemoryLayout& layout) const {
+  return build_shards(injector_, shards_, seed_, plan, layout);
+}
+
+eval::Json CampaignPlanner::manifest(const BitFlipPlan& plan, const MemoryLayout& layout) const {
+  eval::Json j = eval::Json::object();
+  j.set("injector", eval::Json::string(injector_));
+  j.set("shards", eval::Json::number(static_cast<std::int64_t>(shards_)));
+  j.set("campaign_seed", eval::Json::string(std::to_string(seed_)));
+  j.set("params_modified", eval::Json::number(plan.params_modified));
+  j.set("total_bit_flips", eval::Json::number(plan.total_bit_flips));
+  j.set("estimated_seconds", eval::Json::number(make_injector(injector_)->plan_cost(plan, layout)));
+  eval::Json arr = eval::Json::array();
+  for (const CampaignShard& s : shards(plan, layout)) arr.push_back(s.to_json());
+  j.set("shard_list", std::move(arr));
+  return j;
+}
+
+std::vector<CampaignShard> CampaignPlanner::shards_from_manifest(const eval::Json& manifest) {
+  std::vector<CampaignShard> out;
+  for (const eval::Json& s : manifest.at("shard_list").items())
+    out.push_back(CampaignShard::from_json(s));
+  return out;
+}
+
+// ---- CampaignRunner ----------------------------------------------------------
+
+CampaignRunner::CampaignRunner(int shards, std::uint64_t campaign_seed)
+    : shards_(shards), seed_(campaign_seed) {
+  if (shards_ < 1)
+    throw std::invalid_argument("CampaignRunner: shard count must be >= 1, got " +
+                                std::to_string(shards_));
+}
+
+CampaignReport CampaignRunner::run(const std::string& injector, const BitFlipPlan& plan,
+                                   const MemoryLayout& layout) const {
+  return run(*make_injector(injector), plan, layout);
+}
+
+CampaignReport CampaignRunner::run(const Injector& injector, const BitFlipPlan& plan,
+                                   const MemoryLayout& layout) const {
+  // No registry lookup: the instance is in hand, so this works for
+  // caller-owned injectors that were never register_injector()-ed.
+  return run_shards(injector, build_shards(injector.name(), shards_, seed_, plan, layout),
+                    layout);
+}
+
+CampaignReport CampaignRunner::run_shards(const Injector& injector,
+                                          const std::vector<CampaignShard>& shards,
+                                          const MemoryLayout& layout) const {
+  const std::int64_t n = static_cast<std::int64_t>(shards.size());
+  std::vector<CampaignReport> parts(shards.size());
+  // One task per shard; shard reports land at their index, and the merge
+  // is associative over integer counters, so the result is independent of
+  // scheduling (and of whether this nests under a sweep's pool fan-out).
+  parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i)
+      parts[static_cast<std::size_t>(i)] =
+          injector.simulate_shard(shards[static_cast<std::size_t>(i)], layout);
+  });
+  return injector.merge(parts);
 }
 
 }  // namespace fsa::faultsim

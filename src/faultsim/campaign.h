@@ -1,64 +1,80 @@
-// campaign.h — Monte-Carlo simulators of physical fault-injection campaigns.
+// campaign.h — deterministic campaign planning and sharded execution.
 //
-// Two injector models from the paper's §2.3:
+// A fault-injection campaign realizes a BitFlipPlan with one Injector
+// (see injector.h). CampaignPlanner splits the plan into K deterministic,
+// self-contained shards: every flip is assigned its Monte-Carlo stream
+// seed and its plan-wide first-touch row attribution BEFORE slicing, so a
+// shard can execute anywhere — another thread, another process, another
+// machine — and the merged totals are bitwise identical for any K.
+// Shards serialize to JSON (the "manifest") for exactly that purpose.
 //
-//  * RowHammerSim (DRAM, Kim et al. ISCA'14 / Drammer): a required bit can
-//    only be flipped by hammering if its cell is vulnerable in the needed
-//    direction; non-vulnerable target bits force a memory-massaging step
-//    (relocating the victim page so a vulnerable cell lines up — the
-//    expensive, time-consuming part noted in the paper). Each hammer
-//    attempt succeeds with some probability; attempts repeat until success.
-//
-//  * LaserSim (SRAM, Selmke et al.): every bit is reachable but each shot
-//    needs per-target beam positioning/tuning time; cost is essentially
-//    linear in the number of bit flips.
-//
-// Both are parameterized cost models, not device physics — the point is to
-// expose how ‖δ‖₀ (and bit composition) dominates real campaign time,
-// which is the paper's argument for minimizing ℓ0.
+// CampaignRunner executes the shards concurrently on the shared thread
+// pool and reduces the shard reports through Injector::merge. Inside a
+// sweep the runner's parallel_for nests under the sweep's own pool fan-out
+// and falls back to serial — the result is identical either way.
 #pragma once
 
-#include "faultsim/bitflip.h"
-#include "tensor/rng.h"
+#include "faultsim/injector.h"
 
 namespace fsa::faultsim {
 
-struct RowHammerParams {
-  double flip_success_prob = 0.25;   ///< per hammer attempt on a vulnerable cell
-  double vulnerable_frac = 0.02;     ///< fraction of cells flippable in place
-  double seconds_per_attempt = 0.12; ///< one double-sided hammer burst
-  double massage_seconds = 45.0;     ///< relocate page so a vulnerable cell aligns
-  double massage_success_prob = 0.7; ///< a relocation lands on a vulnerable cell
-  std::int64_t max_attempts_per_bit = 200;
-  std::int64_t max_massages_per_bit = 8;  ///< relocations before giving up on a bit
+/// Deterministically splits a BitFlipPlan into self-contained shards for
+/// one injector. The injector name is validated eagerly (throws the
+/// registry's unknown-name error).
+class CampaignPlanner {
+ public:
+  CampaignPlanner(std::string injector, int shards, std::uint64_t campaign_seed = 7);
+
+  /// The K shards: contiguous slices of the plan's flips, each flip
+  /// carrying its stream seed and global new_row flag. Trailing shards may
+  /// be empty when the plan has fewer flips than shards.
+  [[nodiscard]] std::vector<CampaignShard> shards(const BitFlipPlan& plan,
+                                                  const MemoryLayout& layout) const;
+
+  /// Whole campaign as a JSON manifest: plan summary, the injector's
+  /// expected-cost estimate, and every shard (round-trips exactly).
+  [[nodiscard]] eval::Json manifest(const BitFlipPlan& plan, const MemoryLayout& layout) const;
+
+  /// Parse the shard list back out of a manifest produced by manifest().
+  static std::vector<CampaignShard> shards_from_manifest(const eval::Json& manifest);
+
+  [[nodiscard]] const std::string& injector() const { return injector_; }
+  [[nodiscard]] int shard_count() const { return shards_; }
+  [[nodiscard]] std::uint64_t campaign_seed() const { return seed_; }
+
+ private:
+  std::string injector_;
+  int shards_;
+  std::uint64_t seed_;
 };
 
-struct LaserParams {
-  double locate_seconds = 20.0;  ///< position/tune the beam onto a new target
-  double shot_seconds = 0.002;
-  double per_row_setup_seconds = 5.0;  ///< refocus when moving to a new row
+/// Plans and executes sharded campaigns. Shards fan out over the shared
+/// thread pool; reports are merged associatively, so the totals are
+/// bitwise identical for any shard count and any FSA_NUM_THREADS.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(int shards = 1, std::uint64_t campaign_seed = 7);
+
+  /// Plan `plan` into shards for `injector` (a registry key), simulate
+  /// them concurrently, and merge.
+  [[nodiscard]] CampaignReport run(const std::string& injector, const BitFlipPlan& plan,
+                                   const MemoryLayout& layout) const;
+
+  /// Same, with a caller-owned injector instance (custom parameters).
+  [[nodiscard]] CampaignReport run(const Injector& injector, const BitFlipPlan& plan,
+                                   const MemoryLayout& layout) const;
+
+  /// Execute pre-planned shards (e.g. parsed back from a manifest).
+  [[nodiscard]] CampaignReport run_shards(const Injector& injector,
+                                          const std::vector<CampaignShard>& shards,
+                                          const MemoryLayout& layout) const;
+
+  [[nodiscard]] int shard_count() const { return shards_; }
+  [[nodiscard]] std::uint64_t campaign_seed() const { return seed_; }
+
+ private:
+  int shards_;
+  std::uint64_t seed_;
 };
-
-struct CampaignReport {
-  bool success = false;
-  std::int64_t bits_requested = 0;
-  std::int64_t bits_flipped = 0;
-  std::int64_t hammer_attempts = 0;   ///< row-hammer only
-  std::int64_t massages = 0;          ///< row-hammer only
-  double seconds = 0.0;
-};
-
-/// Simulate realizing `plan` with row hammer; deterministic given `rng`
-/// (one pseudo-random stream is forked per flip up front, so the result is
-/// also independent of how the sweep is sharded across threads). A bit
-/// whose cell is not vulnerable in place is massaged until a vulnerable
-/// alignment is found, up to max_massages_per_bit relocations; a bit that
-/// never aligns is abandoned without hammering and fails the campaign.
-CampaignReport simulate_rowhammer(const BitFlipPlan& plan, const RowHammerParams& params,
-                                  const MemoryLayout& layout, Rng& rng);
-
-/// Simulate realizing `plan` with a laser injector (deterministic).
-CampaignReport simulate_laser(const BitFlipPlan& plan, const LaserParams& params,
-                              const MemoryLayout& layout);
 
 }  // namespace fsa::faultsim

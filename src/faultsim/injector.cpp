@@ -1,0 +1,159 @@
+#include "faultsim/injector.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "faultsim/injectors.h"
+
+namespace fsa::faultsim {
+
+// ---- CampaignReport JSON -----------------------------------------------------
+
+eval::Json CampaignReport::to_json() const {
+  eval::Json j = eval::Json::object();
+  j.set("injector", eval::Json::string(injector));
+  j.set("success", eval::Json::boolean(success));
+  j.set("params_targeted", eval::Json::number(params_targeted));
+  j.set("bits_requested", eval::Json::number(bits_requested));
+  j.set("bits_flipped", eval::Json::number(bits_flipped));
+  j.set("attempts", eval::Json::number(attempts));
+  j.set("massages", eval::Json::number(massages));
+  j.set("rows_touched", eval::Json::number(rows_touched));
+  j.set("seconds", eval::Json::number(seconds));
+  return j;
+}
+
+CampaignReport CampaignReport::from_json(const eval::Json& j) {
+  CampaignReport r;
+  r.injector = j.get_string("injector", "");
+  r.success = j.get_bool("success", true);
+  r.params_targeted = j.get_int("params_targeted", 0);
+  r.bits_requested = j.get_int("bits_requested", 0);
+  r.bits_flipped = j.get_int("bits_flipped", 0);
+  r.attempts = j.get_int("attempts", 0);
+  r.massages = j.get_int("massages", 0);
+  r.rows_touched = j.get_int("rows_touched", 0);
+  r.seconds = j.get_number("seconds", 0.0);
+  return r;
+}
+
+// ---- CampaignShard JSON ------------------------------------------------------
+
+eval::Json CampaignShard::to_json() const {
+  eval::Json j = eval::Json::object();
+  j.set("injector", eval::Json::string(injector));
+  j.set("index", eval::Json::number(static_cast<std::int64_t>(index)));
+  j.set("count", eval::Json::number(static_cast<std::int64_t>(count)));
+  // 64-bit seeds must survive the round trip exactly; JSON numbers are
+  // doubles (2^53), so serialize as strings (AttackReport does the same).
+  j.set("campaign_seed", eval::Json::string(std::to_string(campaign_seed)));
+  eval::Json arr = eval::Json::array();
+  for (const auto& sf : flips) {
+    eval::Json f = eval::Json::object();
+    f.set("param_index", eval::Json::number(sf.flip.param_index));
+    f.set("xor_mask", eval::Json::number(static_cast<std::int64_t>(sf.flip.xor_mask)));
+    f.set("bit_count", eval::Json::number(static_cast<std::int64_t>(sf.flip.bit_count)));
+    f.set("seed", eval::Json::string(std::to_string(sf.seed)));
+    f.set("new_row", eval::Json::boolean(sf.new_row));
+    arr.push_back(std::move(f));
+  }
+  j.set("flips", std::move(arr));
+  return j;
+}
+
+CampaignShard CampaignShard::from_json(const eval::Json& j) {
+  CampaignShard s;
+  s.injector = j.get_string("injector", "");
+  s.index = static_cast<int>(j.get_int("index", 0));
+  s.count = static_cast<int>(j.get_int("count", 1));
+  s.campaign_seed = std::stoull(j.get_string("campaign_seed", "0"));
+  if (j.has("flips"))
+    for (const eval::Json& f : j.at("flips").items()) {
+      ShardFlip sf;
+      sf.flip.param_index = f.get_int("param_index", 0);
+      sf.flip.xor_mask = static_cast<std::uint32_t>(f.get_int("xor_mask", 0));
+      sf.flip.bit_count = static_cast<int>(f.get_int("bit_count", 0));
+      sf.seed = std::stoull(f.get_string("seed", "0"));
+      sf.new_row = f.get_bool("new_row", false);
+      s.flips.push_back(sf);
+    }
+  return s;
+}
+
+// ---- merge -------------------------------------------------------------------
+
+CampaignReport Injector::merge(const std::vector<CampaignReport>& parts) const {
+  CampaignReport total;
+  total.injector = name();
+  for (const CampaignReport& p : parts) {
+    total.success = total.success && p.success;
+    total.params_targeted += p.params_targeted;
+    total.bits_requested += p.bits_requested;
+    total.bits_flipped += p.bits_flipped;
+    total.attempts += p.attempts;
+    total.massages += p.massages;
+    total.rows_touched += p.rows_touched;
+  }
+  total.seconds = cost_seconds(total);
+  return total;
+}
+
+// ---- registry ----------------------------------------------------------------
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, InjectorFactory> factories;
+
+  Registry() {
+    factories["rowhammer"] = [] { return std::make_unique<RowHammerInjector>(); };
+    factories["laser"] = [] { return std::make_unique<LaserInjector>(); };
+    factories["clock-glitch"] = [] { return std::make_unique<ClockGlitchInjector>(); };
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+void register_injector(const std::string& name, InjectorFactory factory) {
+  if (name.empty()) throw std::invalid_argument("register_injector: empty name");
+  if (!factory) throw std::invalid_argument("register_injector: null factory");
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  r.factories[name] = std::move(factory);
+}
+
+InjectorPtr make_injector(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  const auto it = r.factories.find(name);
+  if (it == r.factories.end()) {
+    std::string known;
+    for (const auto& [k, v] : r.factories) known += (known.empty() ? "" : ", ") + k;
+    throw std::invalid_argument("unknown injector \"" + name + "\" (known: " + known + ")");
+  }
+  return it->second();
+}
+
+bool has_injector(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  return r.factories.count(name) > 0;
+}
+
+std::vector<std::string> injector_names() {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.factories.size());
+  for (const auto& [k, v] : r.factories) out.push_back(k);
+  return out;
+}
+
+}  // namespace fsa::faultsim

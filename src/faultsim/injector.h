@@ -1,0 +1,117 @@
+// injector.h — the pluggable fault-injector seam.
+//
+// The paper's §2.3 argument is that campaign cost — not solver cost —
+// dominates a real fault attack, and that the cost model depends on the
+// injection technology (row hammer pays for memory massaging, a laser pays
+// per positioned shot). Injector is the runtime seam those cost models
+// plug into, mirroring the engine's Attacker registry and the backend's
+// ComputeBackend registry: one interface, string-keyed factories, strict
+// unknown-name errors listing the known injectors.
+//
+// Sharding contract: a campaign over a BitFlipPlan is split into
+// CampaignShards (see campaign.h). Every flip carries its own Monte-Carlo
+// stream seed and a globally-attributed `new_row` flag, both assigned by
+// the planner from the whole plan BEFORE slicing — so simulate_shard is a
+// pure function of its shard and shard reports merge associatively.
+// CampaignReport totals are therefore bitwise identical for any shard
+// count: effort is accumulated in exact integer counters and `seconds` is
+// recomputed from the merged counters (cost_seconds), never summed as
+// floating point across shards.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/json.h"
+#include "faultsim/bitflip.h"
+
+namespace fsa::faultsim {
+
+/// Outcome of (part of) a fault-injection campaign. All effort counters
+/// are integers so shard merges are exact; `seconds` is derived from them
+/// by the injector's cost model.
+struct CampaignReport {
+  std::string injector;             ///< registry key that produced the report
+  bool success = true;              ///< every requested bit realized
+  std::int64_t params_targeted = 0; ///< parameters (words) the campaign visited
+  std::int64_t bits_requested = 0;
+  std::int64_t bits_flipped = 0;
+  std::int64_t attempts = 0;        ///< injection attempts (hammer bursts / shots / glitches)
+  std::int64_t massages = 0;        ///< memory-massaging relocations (row hammer only)
+  std::int64_t rows_touched = 0;    ///< distinct DRAM rows opened (first-touch attributed)
+  double seconds = 0.0;             ///< cost_seconds(counters) — never summed across shards
+
+  [[nodiscard]] eval::Json to_json() const;
+  static CampaignReport from_json(const eval::Json& j);
+};
+
+/// One flip of a shard: the bit pattern plus the planner-assigned
+/// Monte-Carlo seed and global first-touch row attribution.
+struct ShardFlip {
+  ParamFlip flip;
+  std::uint64_t seed = 0;  ///< per-flip RNG stream (derived from the campaign seed)
+  bool new_row = false;    ///< first flip in the WHOLE plan touching its DRAM row
+};
+
+/// A deterministic slice of a campaign, self-contained enough to execute
+/// in another process or on another machine (JSON round-trips exactly).
+struct CampaignShard {
+  std::string injector;           ///< registry key the shard was planned for
+  int index = 0;                  ///< ordinal in [0, count)
+  int count = 1;
+  std::uint64_t campaign_seed = 0;
+  std::vector<ShardFlip> flips;
+
+  [[nodiscard]] eval::Json to_json() const;
+  static CampaignShard from_json(const eval::Json& j);
+};
+
+/// A fault-injection technology's cost model, selectable at runtime.
+/// Implementations hold only parameters; all methods are const and
+/// thread-safe, so one instance may simulate many shards concurrently.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+
+  /// Registry key ("rowhammer", "laser", "clock-glitch", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Closed-form expected campaign seconds for `plan` — no Monte-Carlo,
+  /// used for shard budgeting and manifest cost estimates.
+  [[nodiscard]] virtual double plan_cost(const BitFlipPlan& plan,
+                                         const MemoryLayout& layout) const = 0;
+
+  /// Simulate one shard serially (shards are the unit of parallelism; the
+  /// CampaignRunner fans them out). Deterministic given the shard.
+  [[nodiscard]] virtual CampaignReport simulate_shard(const CampaignShard& shard,
+                                                      const MemoryLayout& layout) const = 0;
+
+  /// Campaign seconds implied by a report's integer effort counters.
+  [[nodiscard]] virtual double cost_seconds(const CampaignReport& report) const = 0;
+
+  /// Associative reduction of shard reports: integer counters are summed,
+  /// success is AND-ed, and seconds is recomputed from the merged counters
+  /// — so any shard grouping yields bitwise-identical totals.
+  [[nodiscard]] CampaignReport merge(const std::vector<CampaignReport>& parts) const;
+};
+
+using InjectorPtr = std::unique_ptr<Injector>;
+using InjectorFactory = std::function<InjectorPtr()>;
+
+/// Register (or replace) an injector under `name`.
+void register_injector(const std::string& name, InjectorFactory factory);
+
+/// Instantiate the injector registered under `name`. Throws
+/// std::invalid_argument listing the known injectors when `name` is
+/// unknown — same strict-validation style as --backend / --method.
+InjectorPtr make_injector(const std::string& name);
+
+/// True if `name` is registered.
+bool has_injector(const std::string& name);
+
+/// All registered injector names, sorted.
+std::vector<std::string> injector_names();
+
+}  // namespace fsa::faultsim

@@ -1,0 +1,165 @@
+#include "faultsim/injectors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace fsa::faultsim {
+
+// ---- row hammer --------------------------------------------------------------
+
+double RowHammerInjector::plan_cost(const BitFlipPlan& plan, const MemoryLayout& layout) const {
+  (void)layout;
+  // Expectation, ignoring the retry caps: a bit not vulnerable in place
+  // (probability 1−vf) needs ~1/msp relocations, and an aligned bit ~1/fsp
+  // hammer bursts.
+  const double exp_massages =
+      params_.massage_success_prob > 0.0
+          ? (1.0 - params_.vulnerable_frac) / params_.massage_success_prob
+          : static_cast<double>(params_.max_massages_per_bit);
+  const double exp_attempts = params_.flip_success_prob > 0.0
+                                  ? 1.0 / params_.flip_success_prob
+                                  : static_cast<double>(params_.max_attempts_per_bit);
+  return static_cast<double>(plan.total_bit_flips) *
+         (exp_massages * params_.massage_seconds + exp_attempts * params_.seconds_per_attempt);
+}
+
+CampaignReport RowHammerInjector::simulate_shard(const CampaignShard& shard,
+                                                 const MemoryLayout& layout) const {
+  (void)layout;
+  CampaignReport rep;
+  rep.injector = name();
+  for (const ShardFlip& sf : shard.flips) {
+    ++rep.params_targeted;
+    rep.bits_requested += sf.flip.bit_count;
+    rep.rows_touched += sf.new_row ? 1 : 0;  // plan-wide first-touch attribution
+    Rng rng(sf.seed);
+    for (int bit = 0; bit < 32; ++bit) {
+      if (!((sf.flip.xor_mask >> bit) & 1u)) continue;
+      // Is this cell hammer-vulnerable in place? If not, massage memory
+      // (relocate the victim page) until a vulnerable aggressor/victim
+      // alignment is found or the retry budget is exhausted.
+      bool aligned = rng.bernoulli(params_.vulnerable_frac);
+      for (std::int64_t mi = 0; !aligned && mi < params_.max_massages_per_bit; ++mi) {
+        ++rep.massages;
+        aligned = rng.bernoulli(params_.massage_success_prob);
+      }
+      if (!aligned) {
+        rep.success = false;  // no vulnerable cell found; don't hammer blind
+        continue;
+      }
+      bool flipped = false;
+      for (std::int64_t attempt = 0; attempt < params_.max_attempts_per_bit; ++attempt) {
+        ++rep.attempts;
+        if (rng.bernoulli(params_.flip_success_prob)) {
+          flipped = true;
+          break;
+        }
+      }
+      if (flipped) {
+        ++rep.bits_flipped;
+      } else {
+        rep.success = false;  // campaign gives up on this bit
+      }
+    }
+  }
+  rep.seconds = cost_seconds(rep);
+  return rep;
+}
+
+double RowHammerInjector::cost_seconds(const CampaignReport& report) const {
+  return params_.seconds_per_attempt * static_cast<double>(report.attempts) +
+         params_.massage_seconds * static_cast<double>(report.massages);
+}
+
+// ---- laser -------------------------------------------------------------------
+
+double LaserInjector::plan_cost(const BitFlipPlan& plan, const MemoryLayout& layout) const {
+  // The laser model is deterministic, so the estimate is exact.
+  std::set<std::uint64_t> rows;
+  for (const ParamFlip& flip : plan.flips) rows.insert(layout.row_of(flip.param_index));
+  return params_.locate_seconds * static_cast<double>(plan.flips.size()) +
+         params_.shot_seconds * static_cast<double>(plan.total_bit_flips) +
+         params_.per_row_setup_seconds * static_cast<double>(rows.size());
+}
+
+CampaignReport LaserInjector::simulate_shard(const CampaignShard& shard,
+                                             const MemoryLayout& layout) const {
+  (void)layout;
+  CampaignReport rep;
+  rep.injector = name();
+  for (const ShardFlip& sf : shard.flips) {
+    ++rep.params_targeted;
+    rep.bits_requested += sf.flip.bit_count;
+    rep.bits_flipped += sf.flip.bit_count;  // every bit is reachable
+    rep.attempts += sf.flip.bit_count;      // one shot per bit
+    // Row refocus is attributed to the plan-wide FIRST flip in each row
+    // (planner-assigned), so shard totals merge without double counting.
+    rep.rows_touched += sf.new_row ? 1 : 0;
+  }
+  rep.seconds = cost_seconds(rep);
+  return rep;
+}
+
+double LaserInjector::cost_seconds(const CampaignReport& report) const {
+  return params_.locate_seconds * static_cast<double>(report.params_targeted) +
+         params_.shot_seconds * static_cast<double>(report.attempts) +
+         params_.per_row_setup_seconds * static_cast<double>(report.rows_touched);
+}
+
+// ---- clock glitch ------------------------------------------------------------
+
+double ClockGlitchInjector::hit_prob(int bits) const {
+  if (bits <= 0) return 1.0;
+  return params_.success_prob_one_bit *
+         std::pow(params_.per_bit_decay, static_cast<double>(bits - 1));
+}
+
+double ClockGlitchInjector::plan_cost(const BitFlipPlan& plan, const MemoryLayout& layout) const {
+  (void)layout;
+  double seconds = 0.0;
+  for (const ParamFlip& flip : plan.flips) {
+    const double p = hit_prob(flip.bit_count);
+    const double exp_glitches =
+        p > 0.0 ? std::min(1.0 / p, static_cast<double>(params_.max_glitches_per_param))
+                : static_cast<double>(params_.max_glitches_per_param);
+    seconds += params_.cycle_search_seconds + params_.glitch_seconds * exp_glitches;
+  }
+  return seconds;
+}
+
+CampaignReport ClockGlitchInjector::simulate_shard(const CampaignShard& shard,
+                                                   const MemoryLayout& layout) const {
+  (void)layout;
+  CampaignReport rep;
+  rep.injector = name();
+  for (const ShardFlip& sf : shard.flips) {
+    ++rep.params_targeted;  // one cycle search per victim word
+    rep.bits_requested += sf.flip.bit_count;
+    rep.rows_touched += sf.new_row ? 1 : 0;  // plan-wide first-touch attribution
+    Rng rng(sf.seed);
+    const double p = hit_prob(sf.flip.bit_count);
+    bool landed = false;
+    for (std::int64_t g = 0; g < params_.max_glitches_per_param; ++g) {
+      ++rep.attempts;
+      if (rng.bernoulli(p)) {
+        landed = true;
+        break;
+      }
+    }
+    if (landed) {
+      rep.bits_flipped += sf.flip.bit_count;  // the whole pattern lands at once
+    } else {
+      rep.success = false;
+    }
+  }
+  rep.seconds = cost_seconds(rep);
+  return rep;
+}
+
+double ClockGlitchInjector::cost_seconds(const CampaignReport& report) const {
+  return params_.cycle_search_seconds * static_cast<double>(report.params_targeted) +
+         params_.glitch_seconds * static_cast<double>(report.attempts);
+}
+
+}  // namespace fsa::faultsim

@@ -1,0 +1,108 @@
+// injectors.h — the built-in fault-injector cost models.
+//
+// Three technologies from the paper's §2.3 threat discussion:
+//
+//  * RowHammerInjector (DRAM, Kim et al. ISCA'14 / Drammer): a required
+//    bit can only be flipped by hammering if its cell is vulnerable in the
+//    needed direction; non-vulnerable target bits force memory-massaging
+//    steps (relocating the victim page until a vulnerable cell lines up —
+//    the expensive part noted in the paper). Each hammer attempt succeeds
+//    with some probability; attempts repeat until success or budget.
+//
+//  * LaserInjector (SRAM, Selmke et al.): every bit is reachable but each
+//    targeted word needs beam positioning/tuning time and every new DRAM
+//    row a refocus; cost is deterministic and linear in the plan.
+//
+//  * ClockGlitchInjector (pipeline glitching, Barenghi et al.): underclock
+//    spikes corrupt the victim word during a write. The attacker first
+//    locates the victim write cycle (per-word search cost), then glitches
+//    until the corruption lands the exact desired pattern — wider XOR
+//    masks are exponentially less likely to land, so this model punishes
+//    multi-bit modifications hardest of the three.
+//
+// All are parameterized cost models, not device physics — the point is to
+// expose how ‖δ‖₀ (and bit composition) dominates real campaign time,
+// which is the paper's argument for minimizing ℓ0.
+#pragma once
+
+#include "faultsim/injector.h"
+#include "tensor/rng.h"
+
+namespace fsa::faultsim {
+
+struct RowHammerParams {
+  double flip_success_prob = 0.25;   ///< per hammer attempt on a vulnerable cell
+  double vulnerable_frac = 0.02;     ///< fraction of cells flippable in place
+  double seconds_per_attempt = 0.12; ///< one double-sided hammer burst
+  double massage_seconds = 45.0;     ///< relocate page so a vulnerable cell aligns
+  double massage_success_prob = 0.7; ///< a relocation lands on a vulnerable cell
+  std::int64_t max_attempts_per_bit = 200;
+  std::int64_t max_massages_per_bit = 8;  ///< relocations before giving up on a bit
+};
+
+class RowHammerInjector final : public Injector {
+ public:
+  RowHammerInjector() = default;
+  explicit RowHammerInjector(RowHammerParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "rowhammer"; }
+  [[nodiscard]] double plan_cost(const BitFlipPlan& plan,
+                                 const MemoryLayout& layout) const override;
+  [[nodiscard]] CampaignReport simulate_shard(const CampaignShard& shard,
+                                              const MemoryLayout& layout) const override;
+  [[nodiscard]] double cost_seconds(const CampaignReport& report) const override;
+
+ private:
+  RowHammerParams params_;
+};
+
+struct LaserParams {
+  double locate_seconds = 20.0;  ///< position/tune the beam onto a new target word
+  double shot_seconds = 0.002;
+  double per_row_setup_seconds = 5.0;  ///< refocus when moving to a new row
+};
+
+class LaserInjector final : public Injector {
+ public:
+  LaserInjector() = default;
+  explicit LaserInjector(LaserParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "laser"; }
+  [[nodiscard]] double plan_cost(const BitFlipPlan& plan,
+                                 const MemoryLayout& layout) const override;
+  [[nodiscard]] CampaignReport simulate_shard(const CampaignShard& shard,
+                                              const MemoryLayout& layout) const override;
+  [[nodiscard]] double cost_seconds(const CampaignReport& report) const override;
+
+ private:
+  LaserParams params_;
+};
+
+struct ClockGlitchParams {
+  double cycle_search_seconds = 8.0;  ///< locate the victim write cycle (per word)
+  double glitch_seconds = 0.05;       ///< one underclock spike + readback
+  double success_prob_one_bit = 0.2;  ///< glitch lands a single-bit pattern
+  double per_bit_decay = 0.6;         ///< multiplier per extra bit in the pattern
+  std::int64_t max_glitches_per_param = 500;
+};
+
+class ClockGlitchInjector final : public Injector {
+ public:
+  ClockGlitchInjector() = default;
+  explicit ClockGlitchInjector(ClockGlitchParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "clock-glitch"; }
+  [[nodiscard]] double plan_cost(const BitFlipPlan& plan,
+                                 const MemoryLayout& layout) const override;
+  [[nodiscard]] CampaignReport simulate_shard(const CampaignShard& shard,
+                                              const MemoryLayout& layout) const override;
+  [[nodiscard]] double cost_seconds(const CampaignReport& report) const override;
+
+  /// P(one glitch lands an exact `bits`-bit pattern).
+  [[nodiscard]] double hit_prob(int bits) const;
+
+ private:
+  ClockGlitchParams params_;
+};
+
+}  // namespace fsa::faultsim

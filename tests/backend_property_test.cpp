@@ -191,6 +191,53 @@ TEST_P(BackendParity, SparseDeltaRowsMatchReference) {
   }
 }
 
+TEST(BackendParity, PackedSparsePanelRouteMatchesReference) {
+  // δ-sized GEMMs: A panels that are almost entirely zero must take the
+  // packed backend's pack-time zero-skip route and still match the
+  // reference oracle — including when SOME mc×kc panels are dense and
+  // others sparse (the route is chosen per panel), at any thread count.
+  BackendGuard guard;
+  struct SparseCase {
+    std::int64_t m, k, n, nnz_rows;
+    bool dense_band;  // make the first mc-row block dense (mixed routing)
+  };
+  const SparseCase cases[] = {{3, 7, 9, 1, false},
+                              {Packing::mc + 2, Packing::kc + 2, 80, 2, false},
+                              {2 * Packing::mc + 5, Packing::kc + 1, Packing::nc + 2, 3, false},
+                              {2 * Packing::mc + 5, 2 * Packing::kc + 1, 90, 2, true}};
+  for (const auto& sc : cases) {
+    Rng rng(777 + sc.m);
+    Tensor A = Tensor::zeros(Shape({sc.m, sc.k}));
+    for (std::int64_t r = 0; r < sc.nnz_rows; ++r) {
+      const auto i = static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(sc.m)));
+      for (std::int64_t t = 0; t < 3; ++t)
+        A.at2(i, static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(sc.k)))) =
+            static_cast<float>(rng.normal());
+    }
+    if (sc.dense_band)  // first row block fully dense → dense micro-kernel route
+      for (std::int64_t i = 0; i < std::min<std::int64_t>(Packing::mc, sc.m); ++i)
+        for (std::int64_t p = 0; p < sc.k; ++p) A.at2(i, p) = static_cast<float>(rng.normal());
+    const Tensor B = Tensor::randn(Shape({sc.k, sc.n}), rng);
+    Tensor want(Shape({sc.m, sc.n})), got(Shape({sc.m, sc.n}));
+    want.fill(0.0f);
+    set_backend("reference");
+    active().gemm_nn_acc(A.data(), B.data(), want.data(), sc.m, sc.k, sc.n);
+    set_backend("packed");
+    Tensor first(Shape({sc.m, sc.n}));
+    for (int threads : {1, 4}) {
+      set_num_threads(threads);
+      got.fill(0.0f);
+      active().gemm_nn_acc(A.data(), B.data(), got.data(), sc.m, sc.k, sc.n);
+      EXPECT_LE(worst_ulp(got, want), 1)
+          << "packed sparse route m=" << sc.m << " at " << threads << " thread(s)";
+      if (threads == 1)
+        first = got;
+      else
+        EXPECT_TRUE(got == first) << "sparse route thread-count variance at m=" << sc.m;
+    }
+  }
+}
+
 // Shapes chosen to straddle every tiling boundary: the mr=4 / nr=32
 // register tiles, and the packed backend's kc=256 / mc=64 / nc=1024
 // panels (one below, exactly at, and one above each).

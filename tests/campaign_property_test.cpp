@@ -1,9 +1,11 @@
 // campaign_property_test.cpp — parameterized monotonicity properties of the
-// hardware campaign simulators: cost can only grow with work, and the
-// degenerate parameter settings behave exactly as documented.
+// injector cost models: cost can only grow with work, the degenerate
+// parameter settings behave exactly as documented, and the closed-form
+// plan_cost estimates are monotone like the simulations they approximate.
 #include <gtest/gtest.h>
 
 #include "faultsim/campaign.h"
+#include "faultsim/injectors.h"
 #include "tensor/ops.h"
 
 namespace fsa::faultsim {
@@ -27,8 +29,10 @@ class CampaignSweep : public ::testing::TestWithParam<SizeCase> {};
 
 TEST_P(CampaignSweep, LaserCostMonotoneInPlanSize) {
   const auto p = GetParam();
-  const auto a = simulate_laser(plan_of_size(p.small, p.seed), LaserParams{}, MemoryLayout{});
-  const auto b = simulate_laser(plan_of_size(p.large, p.seed), LaserParams{}, MemoryLayout{});
+  const CampaignRunner runner(1, p.seed);
+  const LaserInjector laser;
+  const auto a = runner.run(laser, plan_of_size(p.small, p.seed), MemoryLayout{});
+  const auto b = runner.run(laser, plan_of_size(p.large, p.seed), MemoryLayout{});
   EXPECT_LE(a.seconds, b.seconds);
   EXPECT_LE(a.bits_flipped, b.bits_flipped);
   EXPECT_TRUE(a.success);
@@ -37,13 +41,12 @@ TEST_P(CampaignSweep, LaserCostMonotoneInPlanSize) {
 
 TEST_P(CampaignSweep, RowHammerCostMonotoneInPlanSize) {
   const auto p = GetParam();
-  Rng r1(p.seed), r2(p.seed);
-  const auto a =
-      simulate_rowhammer(plan_of_size(p.small, p.seed), RowHammerParams{}, MemoryLayout{}, r1);
-  const auto b =
-      simulate_rowhammer(plan_of_size(p.large, p.seed), RowHammerParams{}, MemoryLayout{}, r2);
+  const CampaignRunner runner(1, p.seed);
+  const RowHammerInjector hammer;
+  const auto a = runner.run(hammer, plan_of_size(p.small, p.seed), MemoryLayout{});
+  const auto b = runner.run(hammer, plan_of_size(p.large, p.seed), MemoryLayout{});
   EXPECT_LE(a.seconds, b.seconds);
-  EXPECT_LE(a.hammer_attempts, b.hammer_attempts);
+  EXPECT_LE(a.attempts, b.attempts);
 }
 
 TEST_P(CampaignSweep, HigherVulnerabilityNeverCostsMore) {
@@ -53,22 +56,40 @@ TEST_P(CampaignSweep, HigherVulnerabilityNeverCostsMore) {
   scarce.vulnerable_frac = 0.01;
   RowHammerParams abundant;
   abundant.vulnerable_frac = 0.90;
-  Rng r1(p.seed), r2(p.seed);
-  const auto hard = simulate_rowhammer(plan, scarce, MemoryLayout{}, r1);
-  const auto easy = simulate_rowhammer(plan, abundant, MemoryLayout{}, r2);
+  const CampaignRunner runner(1, p.seed);
+  const auto hard = runner.run(RowHammerInjector(scarce), plan, MemoryLayout{});
+  const auto easy = runner.run(RowHammerInjector(abundant), plan, MemoryLayout{});
   EXPECT_GE(hard.massages, easy.massages);
   EXPECT_GE(hard.seconds, easy.seconds);
 }
 
 TEST_P(CampaignSweep, ReportAccounting) {
-  // bits_flipped + unfixable ≤ requested; attempts ≥ flips (rowhammer).
+  // bits_flipped + unfixable ≤ requested; attempts ≥ flips (rowhammer);
+  // seconds is exactly the cost model applied to the counters.
   const auto p = GetParam();
   const BitFlipPlan plan = plan_of_size(p.large, p.seed);
-  Rng rng(p.seed);
-  const auto rep = simulate_rowhammer(plan, RowHammerParams{}, MemoryLayout{}, rng);
+  const CampaignRunner runner(1, p.seed);
+  const RowHammerInjector hammer;
+  const auto rep = runner.run(hammer, plan, MemoryLayout{});
   EXPECT_LE(rep.bits_flipped, rep.bits_requested);
-  EXPECT_GE(rep.hammer_attempts, rep.bits_flipped);
+  EXPECT_GE(rep.attempts, rep.bits_flipped);
   EXPECT_EQ(rep.bits_requested, plan.total_bit_flips);
+  EXPECT_EQ(rep.params_targeted, static_cast<std::int64_t>(plan.flips.size()));
+  EXPECT_EQ(rep.seconds, hammer.cost_seconds(rep));
+  EXPECT_EQ(rep.injector, "rowhammer");
+}
+
+TEST_P(CampaignSweep, PlanCostEstimateMonotoneForEveryInjector) {
+  const auto p = GetParam();
+  const BitFlipPlan small = plan_of_size(p.small, p.seed);
+  const BitFlipPlan large = plan_of_size(p.large, p.seed);
+  for (const std::string& name : injector_names()) {
+    const InjectorPtr injector = make_injector(name);
+    EXPECT_LE(injector->plan_cost(small, MemoryLayout{}),
+              injector->plan_cost(large, MemoryLayout{}))
+        << name;
+    EXPECT_GE(injector->plan_cost(small, MemoryLayout{}), 0.0) << name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CampaignSweep,

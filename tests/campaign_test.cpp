@@ -1,0 +1,263 @@
+// campaign_test.cpp — the sharded campaign subsystem's contracts:
+// (a) shard-count invariance — K=1 and K=8 merges are bitwise identical
+//     for every registered injector (the acceptance contract behind
+//     `fsa_cli sweep --with-campaign --shards K`);
+// (b) shard manifests round-trip through JSON exactly (the out-of-process
+//     execution path);
+// (c) the registry rejects unknown injector names with the same strict
+//     error style as --backend / --method.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "faultsim/campaign.h"
+#include "faultsim/injectors.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace fsa::faultsim {
+namespace {
+
+BitFlipPlan make_plan(std::int64_t params, std::uint64_t seed) {
+  Rng rng(seed);
+  const Tensor theta0 = Tensor::randn(Shape({std::max<std::int64_t>(params, 1)}), rng);
+  Tensor delta = Tensor::zeros(theta0.shape());
+  for (std::int64_t i = 0; i < params; ++i)
+    delta[static_cast<std::size_t>(i)] = static_cast<float>(rng.normal(0.0, 0.4));
+  return plan_bit_flips(theta0, delta, MemoryLayout{});
+}
+
+void expect_identical(const CampaignReport& a, const CampaignReport& b, const std::string& where) {
+  EXPECT_EQ(a.injector, b.injector) << where;
+  EXPECT_EQ(a.success, b.success) << where;
+  EXPECT_EQ(a.params_targeted, b.params_targeted) << where;
+  EXPECT_EQ(a.bits_requested, b.bits_requested) << where;
+  EXPECT_EQ(a.bits_flipped, b.bits_flipped) << where;
+  EXPECT_EQ(a.attempts, b.attempts) << where;
+  EXPECT_EQ(a.massages, b.massages) << where;
+  EXPECT_EQ(a.rows_touched, b.rows_touched) << where;
+  EXPECT_EQ(a.seconds, b.seconds) << where;  // bitwise: recomputed from merged counters
+}
+
+// ---- (a) shard-count invariance ----------------------------------------------
+
+TEST(CampaignSharding, MergedTotalsAreShardCountInvariant) {
+  const BitFlipPlan plan = make_plan(200, 17);
+  const MemoryLayout layout;
+  // CI's campaign-shards matrix exports FSA_SHARDS; fold it into the
+  // tested counts so each leg genuinely exercises its shard count.
+  std::vector<int> counts = {2, 3, 8, 64};
+  if (const char* env = std::getenv("FSA_SHARDS"); env && env[0] != '\0')
+    counts.push_back(std::max(1, std::atoi(env)));
+  for (const std::string& name : injector_names()) {
+    const InjectorPtr injector = make_injector(name);
+    const CampaignReport one = CampaignRunner(1, 99).run(*injector, plan, layout);
+    for (int shards : counts) {
+      const CampaignReport many = CampaignRunner(shards, 99).run(*injector, plan, layout);
+      expect_identical(one, many, name + " @ " + std::to_string(shards) + " shards");
+    }
+  }
+}
+
+TEST(CampaignSharding, InvariantAcrossThreadCountsToo) {
+  // Shards fan out over the pool; the pool size must not matter either.
+  const BitFlipPlan plan = make_plan(120, 23);
+  const MemoryLayout layout;
+  const RowHammerInjector injector;
+  set_num_threads(1);
+  const CampaignReport serial = CampaignRunner(8, 5).run(injector, plan, layout);
+  set_num_threads(4);
+  const CampaignReport pooled = CampaignRunner(8, 5).run(injector, plan, layout);
+  set_num_threads(0);
+  expect_identical(serial, pooled, "rowhammer 8 shards, 1 vs 4 threads");
+}
+
+TEST(CampaignSharding, MoreShardsThanFlipsLeavesTrailingShardsEmpty) {
+  const BitFlipPlan plan = make_plan(3, 29);
+  const CampaignPlanner planner("laser", 8, 1);
+  const auto shards = planner.shards(plan, MemoryLayout{});
+  ASSERT_EQ(shards.size(), 8u);
+  std::int64_t covered = 0;
+  for (const auto& s : shards) covered += static_cast<std::int64_t>(s.flips.size());
+  EXPECT_EQ(covered, static_cast<std::int64_t>(plan.flips.size()));
+  const CampaignReport rep =
+      CampaignRunner(8, 1).run(LaserInjector(), plan, MemoryLayout{});
+  expect_identical(CampaignRunner(1, 1).run(LaserInjector(), plan, MemoryLayout{}), rep,
+                   "3 flips over 8 shards");
+}
+
+TEST(CampaignSharding, ShardsPartitionThePlanInOrder) {
+  const BitFlipPlan plan = make_plan(50, 31);
+  const auto shards = CampaignPlanner("rowhammer", 4, 7).shards(plan, MemoryLayout{});
+  std::size_t i = 0;
+  std::int64_t new_rows = 0;
+  for (const auto& s : shards)
+    for (const auto& sf : s.flips) {
+      ASSERT_LT(i, plan.flips.size());
+      EXPECT_EQ(sf.flip.param_index, plan.flips[i].param_index);
+      EXPECT_EQ(sf.flip.xor_mask, plan.flips[i].xor_mask);
+      new_rows += sf.new_row ? 1 : 0;
+      ++i;
+    }
+  EXPECT_EQ(i, plan.flips.size());
+  EXPECT_EQ(new_rows, plan.rows_touched);  // first-touch attribution is exact
+}
+
+TEST(CampaignSharding, MergeIsAssociative) {
+  const BitFlipPlan plan = make_plan(64, 37);
+  const MemoryLayout layout;
+  const ClockGlitchInjector injector;
+  const auto shards = CampaignPlanner("clock-glitch", 4, 11).shards(plan, layout);
+  std::vector<CampaignReport> parts;
+  for (const auto& s : shards) parts.push_back(injector.simulate_shard(s, layout));
+  // ((0+1)+(2+3)) must equal (0+1+2+3).
+  const CampaignReport left = injector.merge({parts[0], parts[1]});
+  const CampaignReport right = injector.merge({parts[2], parts[3]});
+  expect_identical(injector.merge(parts), injector.merge({left, right}), "grouped merge");
+}
+
+// ---- (b) manifest round-trip --------------------------------------------------
+
+TEST(CampaignManifest, ShardsRoundTripThroughJson) {
+  const BitFlipPlan plan = make_plan(40, 43);
+  const MemoryLayout layout;
+  const CampaignPlanner planner("rowhammer", 3, 0xDEADBEEFCAFE1234ULL);
+  const eval::Json manifest = eval::Json::parse(planner.manifest(plan, layout).dump(2));
+  EXPECT_EQ(manifest.get_string("injector", ""), "rowhammer");
+  EXPECT_EQ(manifest.get_int("shards", 0), 3);
+  EXPECT_EQ(manifest.get_int("total_bit_flips", 0), plan.total_bit_flips);
+  EXPECT_GT(manifest.get_number("estimated_seconds", -1.0), 0.0);
+
+  const auto original = planner.shards(plan, layout);
+  const auto parsed = CampaignPlanner::shards_from_manifest(manifest);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t s = 0; s < original.size(); ++s) {
+    EXPECT_EQ(parsed[s].injector, original[s].injector);
+    EXPECT_EQ(parsed[s].index, original[s].index);
+    EXPECT_EQ(parsed[s].count, original[s].count);
+    EXPECT_EQ(parsed[s].campaign_seed, original[s].campaign_seed);
+    ASSERT_EQ(parsed[s].flips.size(), original[s].flips.size());
+    for (std::size_t f = 0; f < original[s].flips.size(); ++f) {
+      EXPECT_EQ(parsed[s].flips[f].flip.param_index, original[s].flips[f].flip.param_index);
+      EXPECT_EQ(parsed[s].flips[f].flip.xor_mask, original[s].flips[f].flip.xor_mask);
+      EXPECT_EQ(parsed[s].flips[f].flip.bit_count, original[s].flips[f].flip.bit_count);
+      EXPECT_EQ(parsed[s].flips[f].seed, original[s].flips[f].seed);
+      EXPECT_EQ(parsed[s].flips[f].new_row, original[s].flips[f].new_row);
+    }
+  }
+
+  // Executing the PARSED shards reproduces the in-process campaign exactly
+  // — the whole point of the manifest.
+  const RowHammerInjector injector;
+  expect_identical(CampaignRunner(3, 0xDEADBEEFCAFE1234ULL).run(injector, plan, layout),
+                   CampaignRunner(3, 0).run_shards(injector, parsed, layout),
+                   "manifest replay");
+}
+
+TEST(CampaignManifest, ReportRoundTripsThroughJson) {
+  const BitFlipPlan plan = make_plan(25, 47);
+  const CampaignReport rep = CampaignRunner(2, 3).run("clock-glitch", plan, MemoryLayout{});
+  const CampaignReport back =
+      CampaignReport::from_json(eval::Json::parse(rep.to_json().dump()));
+  expect_identical(rep, back, "report json");
+}
+
+// ---- (c) strict registry validation -------------------------------------------
+
+TEST(InjectorRegistry, BuiltinsAreRegisteredAndSorted) {
+  const auto names = injector_names();
+  for (const char* expected : {"rowhammer", "laser", "clock-glitch"})
+    EXPECT_TRUE(has_injector(expected)) << expected;
+  EXPECT_GE(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(make_injector("rowhammer")->name(), "rowhammer");
+  EXPECT_EQ(make_injector("laser")->name(), "laser");
+  EXPECT_EQ(make_injector("clock-glitch")->name(), "clock-glitch");
+}
+
+TEST(InjectorRegistry, UnknownNameThrowsListingKnown) {
+  try {
+    (void)make_injector("thermal-drill");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("thermal-drill"), std::string::npos);
+    EXPECT_NE(msg.find("rowhammer"), std::string::npos);  // lists known injectors
+    EXPECT_NE(msg.find("laser"), std::string::npos);
+    EXPECT_NE(msg.find("clock-glitch"), std::string::npos);
+  }
+}
+
+TEST(InjectorRegistry, PlannerAndRunnerValidateEagerly) {
+  EXPECT_THROW(CampaignPlanner("nope", 2), std::invalid_argument);
+  EXPECT_THROW(CampaignPlanner("laser", 0), std::invalid_argument);
+  EXPECT_THROW(CampaignRunner(0), std::invalid_argument);
+  const BitFlipPlan plan = make_plan(4, 53);
+  EXPECT_THROW((void)CampaignRunner(1).run("nope", plan, MemoryLayout{}),
+               std::invalid_argument);
+}
+
+TEST(InjectorRegistry, CallerOwnedInstanceNeedsNoRegistration) {
+  // The run(const Injector&) overload takes the instance itself — it must
+  // not consult the registry (the name is only a shard label).
+  struct UnregisteredRig final : Injector {
+    [[nodiscard]] std::string name() const override { return "bench-rig-07"; }
+    [[nodiscard]] double plan_cost(const BitFlipPlan& plan, const MemoryLayout&) const override {
+      return static_cast<double>(plan.total_bit_flips);
+    }
+    [[nodiscard]] CampaignReport simulate_shard(const CampaignShard& shard,
+                                                const MemoryLayout&) const override {
+      CampaignReport rep;
+      rep.injector = name();
+      for (const auto& sf : shard.flips) {
+        ++rep.params_targeted;
+        rep.bits_requested += sf.flip.bit_count;
+        rep.bits_flipped += sf.flip.bit_count;
+        rep.attempts += sf.flip.bit_count;
+      }
+      rep.seconds = cost_seconds(rep);
+      return rep;
+    }
+    [[nodiscard]] double cost_seconds(const CampaignReport& r) const override {
+      return static_cast<double>(r.attempts);
+    }
+  };
+  ASSERT_FALSE(has_injector("bench-rig-07"));
+  const BitFlipPlan plan = make_plan(12, 61);
+  const CampaignReport rep = CampaignRunner(4, 2).run(UnregisteredRig(), plan, MemoryLayout{});
+  EXPECT_TRUE(rep.success);
+  EXPECT_EQ(rep.injector, "bench-rig-07");
+  EXPECT_EQ(rep.bits_flipped, plan.total_bit_flips);
+  EXPECT_EQ(rep.seconds, static_cast<double>(plan.total_bit_flips));
+}
+
+TEST(InjectorRegistry, CustomRegistrationWins) {
+  struct FreeInjector final : Injector {
+    [[nodiscard]] std::string name() const override { return "free"; }
+    [[nodiscard]] double plan_cost(const BitFlipPlan&, const MemoryLayout&) const override {
+      return 0.0;
+    }
+    [[nodiscard]] CampaignReport simulate_shard(const CampaignShard& shard,
+                                                const MemoryLayout&) const override {
+      CampaignReport rep;
+      rep.injector = name();
+      for (const auto& sf : shard.flips) {
+        ++rep.params_targeted;
+        rep.bits_requested += sf.flip.bit_count;
+        rep.bits_flipped += sf.flip.bit_count;
+      }
+      return rep;
+    }
+    [[nodiscard]] double cost_seconds(const CampaignReport&) const override { return 0.0; }
+  };
+  register_injector("free", [] { return std::make_unique<FreeInjector>(); });
+  EXPECT_TRUE(has_injector("free"));
+  const BitFlipPlan plan = make_plan(10, 59);
+  const CampaignReport rep = CampaignRunner(4, 1).run("free", plan, MemoryLayout{});
+  EXPECT_TRUE(rep.success);
+  EXPECT_EQ(rep.bits_flipped, plan.total_bit_flips);
+  EXPECT_EQ(rep.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace fsa::faultsim

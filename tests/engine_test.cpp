@@ -411,5 +411,97 @@ TEST(SweepRunner, UnknownMethodThrowsBeforeSolving) {
   EXPECT_THROW(runner.run({spec}), std::invalid_argument);
 }
 
+// ---- the campaign stage -------------------------------------------------------
+
+Sweep campaign_sweep(int shards) {
+  CampaignConfig cfg;
+  cfg.injectors = {"rowhammer", "laser"};
+  cfg.shards = shards;
+  Sweep sweep;
+  sweep.methods({"fsa-l0"})
+      .layers({"fc2"})
+      .sr_pairs({{1, 8}})
+      .seeds({3})
+      .measure_accuracy(false)
+      .with_campaign(cfg);
+  return sweep;
+}
+
+TEST(SweepCampaign, RowsCarryOneReportPerInjector) {
+  auto& f = fixture();
+  SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+  const SweepResult result = runner.run(campaign_sweep(2));
+  ASSERT_EQ(result.rows.size(), 1u);
+  const AttackReport& rep = result.rows[0].report;
+  ASSERT_TRUE(rep.campaign.has_value());
+  EXPECT_EQ(rep.campaign->shards, 2);
+  EXPECT_EQ(rep.campaign->format, "float32");
+  // float32 realization is lossless, but plan_bit_flips drops entries whose
+  // modification is below float32 resolution at θ0.
+  EXPECT_LE(rep.campaign->params_modified, rep.l0);
+  EXPECT_GT(rep.campaign->params_modified, 0);
+  ASSERT_EQ(rep.campaign->reports.size(), 2u);
+  EXPECT_EQ(rep.campaign->reports[0].injector, "rowhammer");
+  EXPECT_EQ(rep.campaign->reports[1].injector, "laser");
+  EXPECT_EQ(rep.campaign->report("laser").bits_requested, rep.campaign->total_bit_flips);
+  EXPECT_GT(rep.campaign->report("laser").seconds, 0.0);
+  // Campaign columns show up in the table alongside the attack columns.
+  const std::string csv = result.table("t").csv();
+  EXPECT_NE(csv.find("rowhammer h"), std::string::npos);
+  EXPECT_NE(csv.find("laser att/mass"), std::string::npos);
+}
+
+TEST(SweepCampaign, TotalsAreShardCountInvariant) {
+  // The CLI acceptance contract: `sweep --with-campaign --shards 8` rows
+  // are bitwise identical to `--shards 1` (modulo the shards field itself).
+  auto& f = fixture();
+  SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+  const SweepResult one = runner.run(campaign_sweep(1));
+  const SweepResult eight = runner.run(campaign_sweep(8));
+  ASSERT_EQ(one.rows.size(), eight.rows.size());
+  for (std::size_t i = 0; i < one.rows.size(); ++i) {
+    const CampaignSummary& a = *one.rows[i].report.campaign;
+    const CampaignSummary& b = *eight.rows[i].report.campaign;
+    EXPECT_EQ(a.total_bit_flips, b.total_bit_flips);
+    ASSERT_EQ(a.reports.size(), b.reports.size());
+    for (std::size_t c = 0; c < a.reports.size(); ++c) {
+      EXPECT_EQ(a.reports[c].injector, b.reports[c].injector);
+      EXPECT_EQ(a.reports[c].success, b.reports[c].success);
+      EXPECT_EQ(a.reports[c].attempts, b.reports[c].attempts);
+      EXPECT_EQ(a.reports[c].massages, b.reports[c].massages);
+      EXPECT_EQ(a.reports[c].rows_touched, b.reports[c].rows_touched);
+      EXPECT_EQ(a.reports[c].seconds, b.reports[c].seconds);  // bitwise
+    }
+  }
+}
+
+TEST(SweepCampaign, ReportJsonRoundTripsCampaign) {
+  auto& f = fixture();
+  SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+  const SweepResult result = runner.run(campaign_sweep(4));
+  const eval::Json j = eval::Json::parse(result.to_json().dump(2));
+  const AttackReport back = AttackReport::from_json(j.at("rows").at(0));
+  ASSERT_TRUE(back.campaign.has_value());
+  const CampaignSummary& orig = *result.rows[0].report.campaign;
+  EXPECT_EQ(back.campaign->shards, orig.shards);
+  EXPECT_EQ(back.campaign->total_bit_flips, orig.total_bit_flips);
+  ASSERT_EQ(back.campaign->reports.size(), orig.reports.size());
+  for (std::size_t c = 0; c < orig.reports.size(); ++c) {
+    EXPECT_EQ(back.campaign->reports[c].injector, orig.reports[c].injector);
+    EXPECT_EQ(back.campaign->reports[c].attempts, orig.reports[c].attempts);
+    EXPECT_EQ(back.campaign->reports[c].seconds, orig.reports[c].seconds);
+  }
+}
+
+TEST(SweepCampaign, UnknownInjectorThrowsAtConfigTime) {
+  CampaignConfig cfg;
+  cfg.injectors = {"warp-core"};
+  Sweep sweep;
+  EXPECT_THROW(sweep.with_campaign(cfg), std::invalid_argument);
+  CampaignConfig zero;
+  zero.shards = 0;
+  EXPECT_THROW(sweep.with_campaign(zero), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fsa::engine

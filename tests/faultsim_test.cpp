@@ -1,7 +1,8 @@
-// faultsim_test.cpp — memory layout, bit-flip planning, campaign models.
+// faultsim_test.cpp — memory layout, bit-flip planning, injector cost models.
 #include <gtest/gtest.h>
 
 #include "faultsim/campaign.h"
+#include "faultsim/injectors.h"
 #include "tensor/ops.h"
 
 namespace fsa::faultsim {
@@ -126,20 +127,22 @@ BitFlipPlan small_plan(std::int64_t params, std::uint64_t seed) {
 
 TEST(RowHammer, DeterministicGivenSeed) {
   const BitFlipPlan plan = small_plan(32, 3);
-  Rng r1(7), r2(7);
-  const CampaignReport a = simulate_rowhammer(plan, RowHammerParams{}, MemoryLayout{}, r1);
-  const CampaignReport b = simulate_rowhammer(plan, RowHammerParams{}, MemoryLayout{}, r2);
+  const CampaignRunner runner(/*shards=*/1, /*campaign_seed=*/7);
+  const RowHammerInjector injector;
+  const CampaignReport a = runner.run(injector, plan, MemoryLayout{});
+  const CampaignReport b = runner.run(injector, plan, MemoryLayout{});
   EXPECT_EQ(a.seconds, b.seconds);
-  EXPECT_EQ(a.hammer_attempts, b.hammer_attempts);
+  EXPECT_EQ(a.attempts, b.attempts);
   EXPECT_EQ(a.massages, b.massages);
 }
 
 TEST(RowHammer, TimeGrowsWithBits) {
   const BitFlipPlan small = small_plan(8, 4);
   const BitFlipPlan large = small_plan(256, 4);
-  Rng r1(9), r2(9);
-  const CampaignReport a = simulate_rowhammer(small, RowHammerParams{}, MemoryLayout{}, r1);
-  const CampaignReport b = simulate_rowhammer(large, RowHammerParams{}, MemoryLayout{}, r2);
+  const CampaignRunner runner(1, 9);
+  const RowHammerInjector injector;
+  const CampaignReport a = runner.run(injector, small, MemoryLayout{});
+  const CampaignReport b = runner.run(injector, large, MemoryLayout{});
   EXPECT_LT(a.seconds, b.seconds);
 }
 
@@ -148,12 +151,12 @@ TEST(RowHammer, PerfectInjectorNeedsNoMassaging) {
   RowHammerParams params;
   params.vulnerable_frac = 1.0;
   params.flip_success_prob = 1.0;
-  Rng rng(11);
-  const CampaignReport rep = simulate_rowhammer(plan, params, MemoryLayout{}, rng);
+  const CampaignRunner runner(1, 11);
+  const CampaignReport rep = runner.run(RowHammerInjector(params), plan, MemoryLayout{});
   EXPECT_TRUE(rep.success);
   EXPECT_EQ(rep.massages, 0);
   EXPECT_EQ(rep.bits_flipped, plan.total_bit_flips);
-  EXPECT_EQ(rep.hammer_attempts, plan.total_bit_flips);
+  EXPECT_EQ(rep.attempts, plan.total_bit_flips);
 }
 
 TEST(RowHammer, HopelessInjectorFails) {
@@ -161,8 +164,8 @@ TEST(RowHammer, HopelessInjectorFails) {
   RowHammerParams params;
   params.flip_success_prob = 0.0;
   params.max_attempts_per_bit = 3;
-  Rng rng(12);
-  const CampaignReport rep = simulate_rowhammer(plan, params, MemoryLayout{}, rng);
+  const CampaignRunner runner(1, 12);
+  const CampaignReport rep = runner.run(RowHammerInjector(params), plan, MemoryLayout{});
   EXPECT_FALSE(rep.success);
   EXPECT_EQ(rep.bits_flipped, 0);
 }
@@ -170,19 +173,43 @@ TEST(RowHammer, HopelessInjectorFails) {
 TEST(Laser, CostLinearInTargets) {
   const BitFlipPlan one = small_plan(2, 7);
   const BitFlipPlan many = small_plan(64, 7);
-  const CampaignReport a = simulate_laser(one, LaserParams{}, MemoryLayout{});
-  const CampaignReport b = simulate_laser(many, LaserParams{}, MemoryLayout{});
+  const CampaignRunner runner(1, 7);
+  const LaserInjector injector;
+  const CampaignReport a = runner.run(injector, one, MemoryLayout{});
+  const CampaignReport b = runner.run(injector, many, MemoryLayout{});
   EXPECT_TRUE(a.success);
   EXPECT_TRUE(b.success);
   EXPECT_LT(a.seconds, b.seconds);
   EXPECT_EQ(b.bits_flipped, many.total_bit_flips);
+  // The laser model is deterministic: simulation equals the estimate.
+  EXPECT_DOUBLE_EQ(b.seconds, injector.plan_cost(many, MemoryLayout{}));
 }
 
 TEST(Laser, EmptyPlanIsFree) {
   BitFlipPlan empty;
-  const CampaignReport rep = simulate_laser(empty, LaserParams{}, MemoryLayout{});
+  const CampaignRunner runner(1, 7);
+  const CampaignReport rep = runner.run(LaserInjector(), empty, MemoryLayout{});
   EXPECT_TRUE(rep.success);
   EXPECT_EQ(rep.seconds, 0.0);
+}
+
+TEST(ClockGlitch, WiderPatternsAreHarder) {
+  const ClockGlitchInjector injector;
+  EXPECT_GT(injector.hit_prob(1), injector.hit_prob(2));
+  EXPECT_GT(injector.hit_prob(2), injector.hit_prob(8));
+  EXPECT_EQ(injector.hit_prob(0), 1.0);
+}
+
+TEST(ClockGlitch, PerfectGlitcherLandsEveryWordFirstTry) {
+  const BitFlipPlan plan = small_plan(16, 8);
+  ClockGlitchParams params;
+  params.success_prob_one_bit = 1.0;
+  params.per_bit_decay = 1.0;
+  const CampaignRunner runner(1, 13);
+  const CampaignReport rep = runner.run(ClockGlitchInjector(params), plan, MemoryLayout{});
+  EXPECT_TRUE(rep.success);
+  EXPECT_EQ(rep.attempts, rep.params_targeted);  // one glitch per word
+  EXPECT_EQ(rep.bits_flipped, plan.total_bit_flips);
 }
 
 }  // namespace

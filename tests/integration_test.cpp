@@ -116,8 +116,9 @@ TEST(Integration, HardwareCampaignPrefersSparseAttack) {
   const auto plan2 = faultsim::plan_bit_flips(attack.theta0(), r2.delta, layout);
   EXPECT_EQ(plan0.params_modified, r0.l0);
   // The ℓ0 attack's sparser δ must be cheaper to realize with a laser.
-  const auto laser0 = faultsim::simulate_laser(plan0, faultsim::LaserParams{}, layout);
-  const auto laser2 = faultsim::simulate_laser(plan2, faultsim::LaserParams{}, layout);
+  const faultsim::CampaignRunner runner(/*shards=*/4, /*campaign_seed=*/5);
+  const auto laser0 = runner.run("laser", plan0, layout);
+  const auto laser2 = runner.run("laser", plan2, layout);
   EXPECT_LT(laser0.seconds, laser2.seconds);
 }
 

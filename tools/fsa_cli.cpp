@@ -4,27 +4,36 @@
 //   info                          model/accuracy overview
 //   methods                       list registered attack methods
 //   backends                      list registered compute backends
+//   injectors                     list registered fault injectors
 //   attack    --dataset digits --layers fc3 --s 2 --r 100 --method fsa-l0
 //             [--norm l0|l2|l1] [--backend reference|blocked|packed]
 //             [--seed N] [--rho X] [--c X]
 //             [--weights-only|--biases-only] [--save delta.bin]
 //   sweep     --dataset digits --layers fc3 --method fsa-l0,gda
 //             --s-list 1,2,4 --r-list 50,100 [--seeds 1,2] [--backend B]
+//             [--with-campaign] [--injector I1,I2] [--shards K]
 //             [--json out.json] [--csv out.csv] [--no-acc]
 //   campaign  --dataset digits --layers fc3 --delta delta.bin
-//             [--injector laser|rowhammer]
+//             [--injector rowhammer,laser,clock-glitch] [--shards K]
+//             [--seed N] [--manifest shards.json]
 //   audit     --dataset digits --layers fc3 --delta delta.bin
 //
 // `attack` solves one instance through the engine registry and prints the
 // scorecard; `sweep` expands method × S × R × seed and runs all instances
 // concurrently on the thread pool (FSA_NUM_THREADS controls the worker
-// count; results are identical for any value); `campaign` lowers a saved δ
-// to bit flips and simulates the injector; `audit` runs the defender-view
+// count; results are identical for any value), and `--with-campaign`
+// appends a hardware-campaign stage (δ → bit flips → sharded injector
+// simulation) to every row; `campaign` lowers a saved δ to bit flips and
+// runs the sharded campaign for each selected injector (campaign totals
+// are bitwise identical for any --shards); `audit` runs the defender-view
 // weight audit on a saved δ. `--backend` (default: FSA_BACKEND, else
 // "blocked") selects the compute backend that every hot kernel routes
-// through; the choice is recorded in the attack scorecard and in every
-// sweep JSON row.
+// through; `--injector` (default: FSA_INJECTOR, else per-command) selects
+// fault injectors the same way — unknown names fail loudly listing the
+// registry.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "backend/compute_backend.h"
@@ -44,10 +53,11 @@ using namespace fsa;
 
 int usage() {
   std::fputs(
-      "usage: fsa_cli <info|methods|backends|attack|sweep|campaign|audit> [options]\n"
+      "usage: fsa_cli <info|methods|backends|injectors|attack|sweep|campaign|audit> [options]\n"
       "  info\n"
       "  methods\n"
       "  backends\n"
+      "  injectors\n"
       "  attack   --dataset digits|objects --layers fc3[,fc2...] --s N --r N\n"
       "           [--method fsa-l0|fsa-l2|fsa-l1|gda|sba] [--norm l0|l2|l1]\n"
       "           [--backend reference|blocked|packed] [--seed N] [--rho X] [--c X]\n"
@@ -55,12 +65,26 @@ int usage() {
       "  sweep    --dataset D --layers L --s-list 1,2,4 --r-list 50,100\n"
       "           [--method M1,M2,...] [--seeds 1,2,...] [--norm l0|l2|l1]\n"
       "           [--backend reference|blocked|packed]\n"
+      "           [--with-campaign] [--injector I1,I2,...] [--shards K]\n"
       "           [--weights-only|--biases-only] [--json out.json] [--csv out.csv]\n"
       "           [--no-acc] [--quiet]\n"
-      "  campaign --dataset D --layers L --delta delta.bin [--injector laser|rowhammer]\n"
+      "  campaign --dataset D --layers L --delta delta.bin\n"
+      "           [--injector rowhammer|laser|clock-glitch,...] [--shards K]\n"
+      "           [--seed N] [--manifest shards.json]\n"
       "  audit    --dataset D --layers L --delta delta.bin\n",
       stderr);
   return 2;
+}
+
+/// Default injector list: --injector wins, then FSA_INJECTOR, then
+/// `fallback`. Names are validated against the registry (throws listing
+/// the known injectors — same strict style as --backend).
+std::vector<std::string> injector_list(const eval::Args& args, const std::string& fallback) {
+  const char* env = std::getenv("FSA_INJECTOR");
+  const std::string def = env && env[0] != '\0' ? env : fallback;
+  std::vector<std::string> names = args.get_list("injector", def);
+  for (const auto& name : names) (void)faultsim::make_injector(name);
+  return names;
 }
 
 /// Weights/biases selection with conflict detection: `--weights-only
@@ -144,6 +168,12 @@ int cmd_backends() {
   return 0;
 }
 
+int cmd_injectors() {
+  std::printf("registered fault injectors:\n");
+  for (const auto& name : faultsim::injector_names()) std::printf("  %s\n", name.c_str());
+  return 0;
+}
+
 /// The attacker for one CLI invocation: fsa variants honor --rho/--c/
 /// --verbose solver overrides; everything else comes from the registry.
 std::shared_ptr<const engine::Attacker> cli_attacker(const eval::Args& args,
@@ -200,17 +230,13 @@ int cmd_attack(const eval::Args& args) {
 
 int cmd_sweep(const eval::Args& args) {
   args.expect_only({"dataset", "layers", "method", "norm", "backend", "s-list", "r-list",
-                    "seeds", "weights-only", "biases-only", "json", "csv", "no-acc", "quiet"});
+                    "seeds", "weights-only", "biases-only", "json", "csv", "no-acc", "quiet",
+                    "with-campaign", "injector", "shards"});
   select_backend(args);
   const auto [weights, biases] = surface_flags(args);
 
-  models::ModelZoo zoo;
-  const std::string dataset = args.get("dataset", "digits");
-  if (dataset != "digits" && dataset != "objects")
-    throw std::invalid_argument("unknown --dataset \"" + dataset +
-                                "\" (expected digits or objects)");
-  models::ZooModel& model = dataset == "objects" ? zoo.objects() : zoo.digits();
-
+  // Flag validation (campaign config included) runs BEFORE the model zoo
+  // loads: a typo must fail in milliseconds, not after a model train.
   engine::Sweep sweep;
   sweep.methods(args.get_list("method", method_name(args)))
       .layers(args.get_list("layers", "fc3"))
@@ -220,6 +246,21 @@ int cmd_sweep(const eval::Args& args) {
       .measure_accuracy(!args.has_flag("no-acc"));
   if (!weights) sweep.biases_only();
   if (!biases) sweep.weights_only();
+  if (args.has_flag("with-campaign")) {
+    engine::CampaignConfig cfg;
+    cfg.injectors = injector_list(args, "rowhammer");
+    cfg.shards = static_cast<int>(args.get_int("shards", 1));
+    sweep.with_campaign(cfg);
+  } else if (args.get("injector", "") != "" || args.get_int("shards", 0) != 0) {
+    throw std::invalid_argument("--injector/--shards require --with-campaign (sweep)");
+  }
+
+  models::ModelZoo zoo;
+  const std::string dataset = args.get("dataset", "digits");
+  if (dataset != "digits" && dataset != "objects")
+    throw std::invalid_argument("unknown --dataset \"" + dataset +
+                                "\" (expected digits or objects)");
+  models::ZooModel& model = dataset == "objects" ? zoo.objects() : zoo.digits();
 
   engine::SweepRunner runner(model, zoo.cache_dir(), /*verbose=*/!args.has_flag("quiet"));
   const engine::SweepResult result = runner.run(sweep);
@@ -247,35 +288,49 @@ Tensor load_delta(const eval::Args& args, const Context& ctx) {
 }
 
 int cmd_campaign(const eval::Args& args) {
-  args.expect_only({"dataset", "layers", "delta", "injector"});
+  args.expect_only({"dataset", "layers", "delta", "injector", "shards", "seed", "manifest"});
+  // Validate the injector selection BEFORE touching the model zoo: a typo
+  // must fail in milliseconds, not after a model train.
+  const std::vector<std::string> injectors = injector_list(args, "laser");
+  const int shards = static_cast<int>(args.get_int("shards", 1));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const faultsim::CampaignRunner runner(shards, seed);  // throws on shards < 1
+
   Context ctx(args.get("dataset", "digits"), args.get("layers", "fc3"), true, true);
   const Tensor delta = load_delta(args, ctx);
 
   const faultsim::MemoryLayout layout;
   const auto plan = faultsim::plan_bit_flips(ctx.bench->attack().theta0(), delta, layout);
-  std::printf("plan: %lld params, %lld bit flips, %lld rows\n",
+  std::printf("plan: %lld params, %lld bit flips, %lld rows (%d shard(s), seed %llu)\n",
               static_cast<long long>(plan.params_modified),
               static_cast<long long>(plan.total_bit_flips),
-              static_cast<long long>(plan.rows_touched));
-  const std::string injector = args.get("injector", "laser");
-  if (injector == "rowhammer") {
-    Rng rng(7);
-    const auto rep = faultsim::simulate_rowhammer(plan, faultsim::RowHammerParams{}, layout, rng);
-    std::printf("rowhammer: %lld/%lld bits, %lld attempts, %lld massages, %.2f h, %s\n",
-                static_cast<long long>(rep.bits_flipped),
-                static_cast<long long>(rep.bits_requested),
-                static_cast<long long>(rep.hammer_attempts),
-                static_cast<long long>(rep.massages), rep.seconds / 3600.0,
-                rep.success ? "complete" : "INCOMPLETE");
-  } else if (injector == "laser") {
-    const auto rep = faultsim::simulate_laser(plan, faultsim::LaserParams{}, layout);
-    std::printf("laser: %lld bits, %.2f h\n", static_cast<long long>(rep.bits_flipped),
-                rep.seconds / 3600.0);
-  } else {
-    throw std::invalid_argument("unknown --injector \"" + injector +
-                                "\" (expected laser or rowhammer)");
+              static_cast<long long>(plan.rows_touched), shards,
+              static_cast<unsigned long long>(seed));
+
+  if (const std::string path = args.get("manifest", ""); !path.empty()) {
+    // Shard manifest for out-of-process execution (first selected injector).
+    const faultsim::CampaignPlanner planner(injectors.front(), shards, seed);
+    std::ofstream os(path);
+    os << planner.manifest(plan, layout).dump(2) << "\n";
+    if (!os.good())
+      throw std::runtime_error("failed to write shard manifest to " + path);
+    std::printf("shard manifest written to %s\n", path.c_str());
   }
-  return 0;
+
+  bool all_complete = true;
+  for (const std::string& name : injectors) {
+    const faultsim::InjectorPtr injector = faultsim::make_injector(name);
+    const double estimate = injector->plan_cost(plan, layout);
+    const faultsim::CampaignReport rep = runner.run(*injector, plan, layout);
+    std::printf("%s: %lld/%lld bits, %lld attempts, %lld massages, %.2f h (est %.2f h), %s\n",
+                name.c_str(), static_cast<long long>(rep.bits_flipped),
+                static_cast<long long>(rep.bits_requested),
+                static_cast<long long>(rep.attempts), static_cast<long long>(rep.massages),
+                rep.seconds / 3600.0, estimate / 3600.0,
+                rep.success ? "complete" : "INCOMPLETE");
+    all_complete = all_complete && rep.success;
+  }
+  return all_complete ? 0 : 1;
 }
 
 int cmd_audit(const eval::Args& args) {
@@ -300,6 +355,7 @@ int main(int argc, char** argv) {
     if (args.command() == "info") return cmd_info();
     if (args.command() == "methods") return cmd_methods();
     if (args.command() == "backends") return cmd_backends();
+    if (args.command() == "injectors") return cmd_injectors();
     if (args.command() == "attack") return cmd_attack(args);
     if (args.command() == "sweep") return cmd_sweep(args);
     if (args.command() == "campaign") return cmd_campaign(args);

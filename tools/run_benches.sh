@@ -20,12 +20,34 @@ out_json="$repo_root/BENCH_micro_ops.json"
 run_json="$build_dir/bench_micro_ops_run.json"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j --target bench_micro_ops
+
+# Fail LOUDLY when the bench target is unavailable (google-benchmark not
+# found at configure time, or the build broke): a silent no-op here leaves
+# the BENCH_micro_ops.json trajectory without an entry for this sha, which
+# reads as "no perf change" in review when it actually means "never ran".
+if ! cmake --build "$build_dir" -j --target bench_micro_ops; then
+  echo "run_benches.sh: ERROR: bench_micro_ops failed to build." >&2
+  echo "  If CMake said 'google-benchmark not found; skipping bench_micro_ops'," >&2
+  echo "  install google-benchmark and re-run; no trajectory entry was appended." >&2
+  exit 1
+fi
+if [ ! -x "$build_dir/bench_micro_ops" ]; then
+  echo "run_benches.sh: ERROR: $build_dir/bench_micro_ops is missing." >&2
+  echo "  google-benchmark was not found at configure time, so the bench was" >&2
+  echo "  skipped; install it and re-run. No trajectory entry was appended." >&2
+  exit 1
+fi
 
 "$build_dir/bench_micro_ops" \
   --benchmark_out="$run_json" \
   --benchmark_out_format=json \
   "$@"
+
+if [ ! -s "$run_json" ]; then
+  echo "run_benches.sh: ERROR: bench run produced no JSON at $run_json;" >&2
+  echo "  refusing to append an empty entry to the trajectory." >&2
+  exit 1
+fi
 
 git_sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
 run_date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
