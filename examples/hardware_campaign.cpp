@@ -8,11 +8,17 @@
 //      layout of the parameter array;
 //   3. run every registered injector's Monte-Carlo campaign through the
 //      sharded CampaignRunner (1 vs 8 shards — identical totals) and
-//      report the projected effort next to the planner's estimate.
+//      report the projected effort next to the planner's estimate;
+//   4. replay the same campaign through the multi-process job-directory
+//      protocol (docs/DIST.md) and verify the reduced totals match the
+//      in-process run byte for byte.
 //
 // Run from the repository root:  ./build/examples/hardware_campaign
 #include <cstdio>
+#include <filesystem>
 
+#include "dist/jobs.h"
+#include "dist/reducer.h"
 #include "engine/registry.h"
 #include "eval/attack_bench.h"
 #include "eval/table.h"
@@ -71,6 +77,32 @@ int main() {
                   dur(injector->plan_cost(plan, layout)), rep.success ? "yes" : "no"});
   }
   campaign.print();
+
+  // ---- 4. the same campaign through the dist job protocol ---------------------
+  // A job directory is the whole multi-process coordination state: lay the
+  // rowhammer campaign out as one, execute each shard through the worker
+  // entry (what `fsa_cli campaign --run-shard` / `--workers N` runs in
+  // child processes), and reduce. Zero drift: the merged report equals the
+  // in-process totals exactly.
+  const auto job_path = std::filesystem::temp_directory_path() / "fsa_example_campaign_job";
+  std::filesystem::remove_all(job_path);
+  const faultsim::CampaignPlanner planner("rowhammer", /*shards=*/8, /*campaign_seed=*/99);
+  const dist::JobDir job = dist::create_campaign_job(job_path.string(), planner, plan, layout);
+  const eval::Json manifest = job.manifest();
+  for (int s = 0; s < job.shards(); ++s)
+    job.write_result(s, dist::run_campaign_shard(manifest, s));
+  const faultsim::CampaignReport reduced =
+      faultsim::CampaignReport::from_json(dist::reduce_job(job).at("report"));
+  const faultsim::CampaignReport in_process =
+      sharded.run(*faultsim::make_injector("rowhammer"), plan, layout);
+  std::filesystem::remove_all(job_path);
+  if (reduced.to_json().dump() != in_process.to_json().dump()) {
+    std::printf("BUG: job-directory reduction drifted from the in-process campaign\n");
+    return 1;
+  }
+  std::printf("\ndist job replay: 8 shard workers -> reduced %lld attempts / %.2f h, "
+              "byte-identical to the in-process run\n",
+              static_cast<long long>(reduced.attempts), reduced.seconds / 3600.0);
 
   std::printf(
       "\nEvery parameter the solver left untouched is beam time / hammer time the\n"

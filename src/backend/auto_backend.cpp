@@ -1,0 +1,91 @@
+// auto_backend.cpp — per-call dispatch between the blocked and packed
+// backends.
+//
+// Packing pays off exactly when the B operand no longer fits the L2 the
+// panels are budgeted against: below that the pack/unpack traffic is pure
+// overhead (blocked wins or ties), above it the re-streaming of B from L3
+// dominates (packed wins, ~2.7× at 2048³). The crossover is a property of
+// the SHAPE, so the choice can be made deterministically per call: the B
+// footprint k·n·4 bytes against Packing::l2_bytes. No timing, no state —
+// the same call always dispatches to the same kernels, which keeps the
+// sweep engine's bitwise-determinism contract intact (and makes the choice
+// reportable).
+//
+// Attribution: reports want to know which kernels actually ran, not just
+// "auto". Choices are recorded in a thread-local bitmask — every sweep
+// instance runs its whole solve on one thread (nested parallelism falls
+// back to serial), so begin_attribution()/attribution() bracket exactly
+// one instance's kernel dispatches even when many instances solve
+// concurrently.
+#include "backend/compute_backend.h"
+#include "backend/tiling.h"
+
+namespace fsa::backend {
+
+std::unique_ptr<ComputeBackend> make_blocked_backend();  // blocked_backend.cpp
+std::unique_ptr<ComputeBackend> make_packed_backend();   // packed_backend.cpp
+
+namespace {
+
+thread_local unsigned tl_choices = 0;  // bit 0: blocked dispatched, bit 1: packed
+
+class AutoBackend final : public ComputeBackend {
+ public:
+  AutoBackend() : blocked_(make_blocked_backend()), packed_(make_packed_backend()) {}
+
+  [[nodiscard]] std::string name() const override { return "auto"; }
+
+  void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    pick(k, n).gemm_nn_acc(a, b, c, m, k, n);
+  }
+
+  void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    pick(k, n).gemm_tn_acc(a, b, c, m, k, n);
+  }
+
+  void gemm_nt_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    pick(k, n).gemm_nt_acc(a, b, c, m, k, n);
+  }
+
+  void parallel_rows(std::int64_t count, std::int64_t grain,
+                     const std::function<void(std::int64_t, std::int64_t)>& body) const override {
+    // Both delegates shard rows identically over the shared pool; packing
+    // has no meaning here.
+    blocked_->parallel_rows(count, grain, body);
+  }
+
+  void begin_attribution() const override { tl_choices = 0; }
+
+  [[nodiscard]] std::string attribution() const override {
+    switch (tl_choices) {
+      case 1: return "auto(blocked)";
+      case 2: return "auto(packed)";
+      case 3: return "auto(blocked+packed)";
+      default: return "auto";  // no GEMM dispatched since begin_attribution()
+    }
+  }
+
+ private:
+  /// The whole heuristic: does the k×n B operand spill the L2 the packed
+  /// panels are sized for? All three GEMM variants stream a k·n-element B
+  /// (NT stores it transposed but touches the same bytes), so one rule
+  /// covers them. Pure function of the shape — deterministic by
+  /// construction.
+  const ComputeBackend& pick(std::int64_t k, std::int64_t n) const {
+    const bool spills_l2 = k * n * static_cast<std::int64_t>(sizeof(float)) > Packing::l2_bytes;
+    tl_choices |= spills_l2 ? 2u : 1u;
+    return spills_l2 ? *packed_ : *blocked_;
+  }
+
+  std::unique_ptr<ComputeBackend> blocked_;
+  std::unique_ptr<ComputeBackend> packed_;
+};
+
+}  // namespace
+
+std::unique_ptr<ComputeBackend> make_auto_backend() { return std::make_unique<AutoBackend>(); }
+
+}  // namespace fsa::backend

@@ -11,6 +11,7 @@ namespace fsa::backend {
 std::unique_ptr<ComputeBackend> make_reference_backend();  // reference_backend.cpp
 std::unique_ptr<ComputeBackend> make_blocked_backend();    // blocked_backend.cpp
 std::unique_ptr<ComputeBackend> make_packed_backend();     // packed_backend.cpp
+std::unique_ptr<ComputeBackend> make_auto_backend();       // auto_backend.cpp
 
 namespace {
 
@@ -37,6 +38,7 @@ void seed_builtins_locked(Registry& r) {
   r.factories.emplace("reference", make_reference_backend);
   r.factories.emplace("blocked", make_blocked_backend);
   r.factories.emplace("packed", make_packed_backend);
+  r.factories.emplace("auto", make_auto_backend);
 }
 
 std::string known_names_locked(const Registry& r) {

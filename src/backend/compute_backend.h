@@ -12,6 +12,10 @@
 //   blocked    register-tiled (mr×nr) kernels sharded over the thread pool
 //   packed     blocked + BLIS-style A/B panel packing (kc×mc / kc×nc), for
 //              matrices that spill L2
+//   auto       per-call dispatch between blocked and packed from a
+//              deterministic heuristic (B panel footprint k·n·4 bytes vs
+//              the L2 budget in tiling.h) — records which kernels actually
+//              ran via the attribution hooks below
 //
 // Selection flows through exactly one seam: active() returns the current
 // backend, initialized from the FSA_BACKEND environment variable (default
@@ -62,6 +66,17 @@ class ComputeBackend {
   /// it over the shared thread pool.
   virtual void parallel_rows(std::int64_t count, std::int64_t grain,
                              const std::function<void(std::int64_t, std::int64_t)>& body) const = 0;
+
+  /// Attribution hooks, for reports that name the backend that produced a
+  /// row. Plain backends ARE their attribution, so the defaults do nothing
+  /// and return name(). A dispatching backend ("auto") overrides both:
+  /// begin_attribution() clears the calling thread's choice record and
+  /// attribution() summarizes the kernels dispatched since, e.g.
+  /// "auto(blocked+packed)". The record is thread-local — each sweep
+  /// instance runs (and nests its kernels) on one thread, so per-row
+  /// attribution stays exact under a parallel sweep.
+  virtual void begin_attribution() const {}
+  [[nodiscard]] virtual std::string attribution() const { return name(); }
 };
 
 using BackendFactory = std::function<std::unique_ptr<ComputeBackend>()>;

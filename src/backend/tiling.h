@@ -26,6 +26,10 @@ struct Packing {
   static constexpr std::int64_t kc = 256;   ///< k extent of one packed panel pair
   static constexpr std::int64_t mc = 64;    ///< A rows packed per worker block
   static constexpr std::int64_t nc = 1024;  ///< B columns packed per panel
+  /// The L2 size the panels are budgeted against — also the threshold the
+  /// "auto" backend compares the k×n B footprint to when deciding whether
+  /// packing will pay for itself on a given call.
+  static constexpr std::int64_t l2_bytes = 2 * 1024 * 1024;
 };
 
 }  // namespace fsa::backend

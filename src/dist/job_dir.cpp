@@ -1,0 +1,139 @@
+#include "dist/job_dir.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fsa::dist {
+
+namespace fs = std::filesystem;
+
+void write_json_atomic(const std::string& path, const eval::Json& j) {
+  const fs::path p(path);
+  if (p.has_parent_path()) fs::create_directories(p.parent_path());
+  // Per-process tmp name: concurrent writers of the same path (two
+  // coordinators resuming one job on shared storage) each stage their own
+  // file, and the final renames are last-one-wins with both contents
+  // complete — a reader can never observe a partial document.
+  const fs::path tmp = p.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream os(tmp);
+    os << j.dump(2) << "\n";
+    if (!os.good()) throw std::runtime_error("dist: failed to write " + tmp.string());
+  }
+  fs::rename(tmp, p);  // atomic on POSIX: readers see the old file or the new one
+}
+
+eval::Json read_json_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("dist: cannot read " + path);
+  std::ostringstream text;
+  text << is.rdbuf();
+  try {
+    return eval::Json::parse(text.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error("dist: " + path + ": " + e.what());
+  }
+}
+
+// ---- JobDir ------------------------------------------------------------------
+
+JobDir::JobDir(std::string path, std::string kind, int shards)
+    : path_(std::move(path)), kind_(std::move(kind)), shards_(shards) {}
+
+JobDir JobDir::create(const std::string& path, const std::string& kind, int shards,
+                      const eval::Json& manifest) {
+  if (kind != "campaign" && kind != "sweep")
+    throw std::invalid_argument("JobDir: unknown job kind \"" + kind +
+                                "\" (known: campaign, sweep)");
+  if (shards < 1)
+    throw std::invalid_argument("JobDir: shard count must be >= 1, got " +
+                                std::to_string(shards));
+  if (exists(path))
+    throw std::invalid_argument("JobDir: " + path +
+                                " already holds a job (open it to resume, or remove it)");
+  fs::create_directories(fs::path(path) / "results");
+  fs::create_directories(fs::path(path) / "logs");
+  JobDir job(path, kind, shards);
+  write_json_atomic(job.manifest_path(), manifest);
+  eval::Json spec = eval::Json::object();
+  spec.set("kind", eval::Json::string(kind));
+  spec.set("shards", eval::Json::number(static_cast<std::int64_t>(shards)));
+  // job.json is written LAST: its presence marks a fully laid-out job.
+  write_json_atomic((fs::path(path) / "job.json").string(), spec);
+  return job;
+}
+
+JobDir JobDir::open(const std::string& path) {
+  const eval::Json spec = read_json_file((fs::path(path) / "job.json").string());
+  const std::string kind = spec.get_string("kind", "");
+  const int shards = static_cast<int>(spec.get_int("shards", 0));
+  if ((kind != "campaign" && kind != "sweep") || shards < 1)
+    throw std::runtime_error("JobDir: " + path + "/job.json is malformed");
+  return JobDir(path, kind, shards);
+}
+
+bool JobDir::exists(const std::string& path) {
+  std::error_code ec;
+  return fs::is_regular_file(fs::path(path) / "job.json", ec);
+}
+
+std::string JobDir::manifest_path() const { return (fs::path(path_) / "manifest.json").string(); }
+
+std::string JobDir::reduced_path() const { return (fs::path(path_) / "reduced.json").string(); }
+
+namespace {
+
+std::string shard_file(int shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard_%05d", shard);
+  return buf;
+}
+
+}  // namespace
+
+std::string JobDir::result_path(int shard) const {
+  check_shard(shard);
+  return (fs::path(path_) / "results" / (shard_file(shard) + ".json")).string();
+}
+
+std::string JobDir::log_path(int shard) const {
+  check_shard(shard);
+  return (fs::path(path_) / "logs" / (shard_file(shard) + ".log")).string();
+}
+
+eval::Json JobDir::manifest() const { return read_json_file(manifest_path()); }
+
+bool JobDir::has_result(int shard) const {
+  std::error_code ec;
+  return fs::is_regular_file(result_path(shard), ec);
+}
+
+eval::Json JobDir::result(int shard) const { return read_json_file(result_path(shard)); }
+
+void JobDir::write_result(int shard, const eval::Json& j) const {
+  write_json_atomic(result_path(shard), j);
+}
+
+void JobDir::write_reduced(const eval::Json& j) const { write_json_atomic(reduced_path(), j); }
+
+JobStatus JobDir::status() const {
+  JobStatus st;
+  st.shards = shards_;
+  for (int s = 0; s < shards_; ++s) (has_result(s) ? st.done : st.missing).push_back(s);
+  std::error_code ec;
+  st.reduced = fs::is_regular_file(reduced_path(), ec);
+  return st;
+}
+
+void JobDir::check_shard(int shard) const {
+  if (shard < 0 || shard >= shards_)
+    throw std::out_of_range("JobDir: shard index " + std::to_string(shard) +
+                            " out of range [0, " + std::to_string(shards_) + ")");
+}
+
+}  // namespace fsa::dist

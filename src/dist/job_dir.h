@@ -1,0 +1,84 @@
+// job_dir.h — the file-based coordination protocol for multi-process work.
+//
+// A job is a directory; the directory IS the protocol. Place it on shared
+// storage and any process that can read it can take part:
+//
+//   <job>/
+//     job.json                 {"kind": "campaign"|"sweep", "shards": K}
+//     manifest.json            kind-specific, self-contained work spec
+//     results/shard_00000.json one per completed shard, written atomically
+//     logs/shard_00000.log     worker stdout+stderr, one per shard attempt
+//     reduced.json             the zero-drift reduction over all results
+//
+// Workers never coordinate with each other: shard i's work is a pure
+// function of manifest.json and i (the planner assigned every seed and
+// attribution before slicing — see campaign.h), and a result file either
+// exists completely or not at all (tmp + rename). Status, resume, and
+// reduce therefore need nothing but directory listings: a killed campaign
+// is re-run by spawning workers for the shards whose results are missing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/json.h"
+
+namespace fsa::dist {
+
+/// Write `j` to `path` atomically: dump to `path.tmp`, then rename. The
+/// parent directory is created. Readers never observe a partial file.
+void write_json_atomic(const std::string& path, const eval::Json& j);
+
+/// Parse the JSON document stored at `path` (throws with the path on a
+/// missing or malformed file).
+eval::Json read_json_file(const std::string& path);
+
+/// Snapshot of a job's progress, from directory listings alone.
+struct JobStatus {
+  int shards = 0;
+  std::vector<int> done;     ///< shard indices with a result file
+  std::vector<int> missing;  ///< shard indices without one
+  bool reduced = false;      ///< reduced.json present
+};
+
+class JobDir {
+ public:
+  /// Lay out a fresh job directory: job.json, manifest.json, results/ and
+  /// logs/. Throws if `path` already holds a job (open() it instead — a
+  /// job dir is append-only state, never silently clobbered).
+  static JobDir create(const std::string& path, const std::string& kind, int shards,
+                       const eval::Json& manifest);
+
+  /// Attach to an existing job directory (throws if job.json is absent or
+  /// malformed).
+  static JobDir open(const std::string& path);
+
+  /// True if `path` holds a job (a readable job.json).
+  static bool exists(const std::string& path);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& kind() const { return kind_; }
+  [[nodiscard]] int shards() const { return shards_; }
+
+  [[nodiscard]] std::string manifest_path() const;
+  [[nodiscard]] std::string result_path(int shard) const;
+  [[nodiscard]] std::string log_path(int shard) const;
+  [[nodiscard]] std::string reduced_path() const;
+
+  [[nodiscard]] eval::Json manifest() const;
+  [[nodiscard]] bool has_result(int shard) const;
+  [[nodiscard]] eval::Json result(int shard) const;
+  void write_result(int shard, const eval::Json& j) const;
+  void write_reduced(const eval::Json& j) const;
+  [[nodiscard]] JobStatus status() const;
+
+ private:
+  JobDir(std::string path, std::string kind, int shards);
+  void check_shard(int shard) const;  // throws on out-of-range indices
+
+  std::string path_;
+  std::string kind_;
+  int shards_ = 0;
+};
+
+}  // namespace fsa::dist

@@ -1,0 +1,181 @@
+#include "dist/jobs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "dist/reducer.h"
+#include "dist/worker_pool.h"
+#include "faultsim/profile.h"
+
+namespace fsa::dist {
+
+namespace {
+
+int manifest_shards(const eval::Json& manifest) {
+  const int shards = static_cast<int>(manifest.get_int("shards", 0));
+  if (shards < 1) throw std::runtime_error("dist: manifest has no valid \"shards\" count");
+  return shards;
+}
+
+void check_shard_index(const eval::Json& manifest, int index) {
+  const int shards = manifest_shards(manifest);
+  if (index < 0 || index >= shards)
+    throw std::out_of_range("dist: shard index " + std::to_string(index) +
+                            " out of the manifest's range [0, " + std::to_string(shards) + ")");
+}
+
+/// Contiguous-slice ownership, the same formula CampaignPlanner uses:
+/// item i of n belongs to shard i·K/n — depends only on (i, n, K), never
+/// on which process asks.
+std::size_t owner_of(std::size_t i, std::size_t n, int shards) {
+  if (n == 0) return 0;
+  return std::min(i * static_cast<std::size_t>(shards) / n,
+                  static_cast<std::size_t>(shards) - 1);
+}
+
+}  // namespace
+
+// ---- campaign jobs -----------------------------------------------------------
+
+JobDir create_campaign_job(const std::string& dir, const faultsim::CampaignPlanner& planner,
+                           const faultsim::BitFlipPlan& plan,
+                           const faultsim::MemoryLayout& layout) {
+  return JobDir::create(dir, "campaign", planner.shard_count(), planner.manifest(plan, layout));
+}
+
+eval::Json run_campaign_shard(const eval::Json& manifest, int index) {
+  check_shard_index(manifest, index);
+  if (manifest.has("injector_profile"))
+    faultsim::load_injector_profile(manifest.at("injector_profile"));
+  const std::vector<faultsim::CampaignShard> shards =
+      faultsim::CampaignPlanner::shards_from_manifest(manifest);
+  if (static_cast<int>(shards.size()) != manifest_shards(manifest))
+    throw std::runtime_error("dist: manifest shard_list does not match its shard count");
+  const faultsim::InjectorPtr injector =
+      faultsim::make_injector(manifest.at("injector").as_string());
+  // The layout only matters at planning time (row attribution is already
+  // baked into every flip), so the default suffices here.
+  const faultsim::CampaignReport report =
+      injector->simulate_shard(shards[static_cast<std::size_t>(index)], faultsim::MemoryLayout{});
+
+  eval::Json out = eval::Json::object();
+  out.set("kind", eval::Json::string("campaign"));
+  out.set("shard", eval::Json::number(static_cast<std::int64_t>(index)));
+  out.set("report", report.to_json());
+  return out;
+}
+
+// ---- sweep jobs --------------------------------------------------------------
+
+eval::Json sweep_manifest(const std::string& dataset, const std::string& backend,
+                          const std::vector<engine::SweepSpec>& specs) {
+  if (specs.empty()) throw std::invalid_argument("dist: sweep manifest needs at least one spec");
+  eval::Json j = eval::Json::object();
+  j.set("kind", eval::Json::string("sweep"));
+  j.set("dataset", eval::Json::string(dataset));
+  j.set("backend", eval::Json::string(backend));
+  // One shard per instance: worker-count invariance then needs no slicing
+  // argument at all — every process count executes the same shard set.
+  j.set("shards", eval::Json::number(static_cast<std::int64_t>(specs.size())));
+  if (const eval::Json* profile = faultsim::active_injector_profile())
+    j.set("injector_profile", *profile);
+  eval::Json arr = eval::Json::array();
+  for (const engine::SweepSpec& s : specs) arr.push_back(s.to_json());
+  j.set("specs", std::move(arr));
+  return j;
+}
+
+JobDir create_sweep_job(const std::string& dir, const eval::Json& manifest) {
+  return JobDir::create(dir, "sweep", manifest_shards(manifest), manifest);
+}
+
+eval::Json run_sweep_shard(const eval::Json& manifest, int index, engine::SweepRunner& runner) {
+  check_shard_index(manifest, index);
+  if (manifest.has("injector_profile"))
+    faultsim::load_injector_profile(manifest.at("injector_profile"));
+  const int shards = manifest_shards(manifest);
+  const auto& spec_list = manifest.at("specs").items();
+
+  // This shard's contiguous slice of the instance list (the common case is
+  // one instance per shard, but the formula supports coarser jobs).
+  std::vector<engine::SweepSpec> specs;
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < spec_list.size(); ++i)
+    if (owner_of(i, spec_list.size(), shards) == static_cast<std::size_t>(index)) {
+      specs.push_back(engine::SweepSpec::from_json(spec_list[i]));
+      indices.push_back(i);
+    }
+
+  eval::Json rows = eval::Json::array();
+  if (!specs.empty()) {
+    const engine::SweepResult result = runner.run(specs);
+    for (std::size_t r = 0; r < result.rows.size(); ++r) {
+      eval::Json row = result.rows[r].report.to_json();
+      if (!result.rows[r].spec.tag.empty())
+        row.set("tag", eval::Json::string(result.rows[r].spec.tag));
+      row.set("index", eval::Json::number(static_cast<std::int64_t>(indices[r])));
+      rows.push_back(std::move(row));
+    }
+  }
+  eval::Json out = eval::Json::object();
+  out.set("kind", eval::Json::string("sweep"));
+  out.set("shard", eval::Json::number(static_cast<std::int64_t>(index)));
+  out.set("rows", std::move(rows));
+  return out;
+}
+
+JobDir open_or_create_job(const std::string& dir, const std::string& kind,
+                          const eval::Json& manifest) {
+  if (!JobDir::exists(dir)) return JobDir::create(dir, kind, manifest_shards(manifest), manifest);
+  const JobDir job = JobDir::open(dir);
+  if (job.kind() != kind)
+    throw std::invalid_argument("dist: " + dir + " holds a " + job.kind() + " job, not a " +
+                                kind);
+  if (job.manifest().dump(2) != manifest.dump(2))
+    throw std::invalid_argument(
+        "dist: " + dir +
+        " holds a different " + kind +
+        " job (its manifest does not match this request) — remove the directory or pass a "
+        "different --job to resume it with `dist run` instead");
+  return job;
+}
+
+// ---- coordination ------------------------------------------------------------
+
+eval::Json run_job(const JobDir& job, const std::string& exe, const RunJobOptions& options) {
+  const JobStatus before = job.status();
+  if (!before.missing.empty()) {
+    if (options.verbose)
+      std::fprintf(stderr, "[dist] %s: %zu/%d shard(s) to run on %d worker(s)\n",
+                   job.path().c_str(), before.missing.size(), job.shards(), options.workers);
+    WorkerPool pool({options.workers, options.max_attempts, options.verbose});
+    const auto argv_for = [&](int shard) {
+      std::vector<std::string> argv = {exe,       job.kind(),
+                                       "--run-shard", job.manifest_path(),
+                                       "--shard",     std::to_string(shard),
+                                       "--out",       job.result_path(shard)};
+      argv.insert(argv.end(), options.extra_argv.begin(), options.extra_argv.end());
+      return argv;
+    };
+    const auto log_for = [&](int shard) { return job.log_path(shard); };
+    const std::vector<ShardRun> runs = pool.run(before.missing, argv_for, log_for);
+    std::string failures;
+    for (const ShardRun& r : runs) {
+      const bool wrote = r.exit_code == 0 && job.has_result(r.shard);
+      if (!wrote)
+        failures += (failures.empty() ? "" : "; ") + ("shard " + std::to_string(r.shard) +
+                    " exit " + std::to_string(r.exit_code) + " after " +
+                    std::to_string(r.attempts) + " attempt(s), see " + job.log_path(r.shard));
+    }
+    if (!failures.empty()) throw std::runtime_error("dist: worker failure(s): " + failures);
+  } else if (options.verbose) {
+    std::fprintf(stderr, "[dist] %s: all %d shard result(s) present, reducing\n",
+                 job.path().c_str(), job.shards());
+  }
+  const eval::Json reduced = reduce_job(job);
+  job.write_reduced(reduced);
+  return reduced;
+}
+
+}  // namespace fsa::dist

@@ -1,0 +1,88 @@
+// jobs.h — campaign & sweep jobs over the JobDir protocol.
+//
+// Ties the pieces together: planners produce self-contained manifests,
+// create_*_job lays them out as job directories, run_*_shard is the pure
+// worker entry a child process (fsa_cli's --run-shard mode, or any binary
+// honoring the same contract) executes for one shard, and run_job is the
+// coordinator loop — spawn workers for every shard still missing a
+// result, then reduce.
+//
+// Worker contract (what run_job execs, and what --run-shard implements):
+//
+//   <exe> <kind> --run-shard <job>/manifest.json --shard <i>
+//         --out <job>/results/shard_<i>.json
+//
+// with stdout/stderr appended to <job>/logs/shard_<i>.log. A worker needs
+// nothing else: campaign manifests carry every flip, seed, attribution
+// and calibration profile; sweep manifests carry every instance spec plus
+// the dataset and backend names (the model itself comes from the shared
+// FSA_CACHE_DIR, which the coordinator warms before spawning).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/job_dir.h"
+#include "engine/sweep.h"
+#include "faultsim/campaign.h"
+
+namespace fsa::dist {
+
+// ---- campaign jobs -----------------------------------------------------------
+
+/// Lay `planner`'s manifest for `plan` out as a campaign job directory
+/// with one result slot per planner shard.
+JobDir create_campaign_job(const std::string& dir, const faultsim::CampaignPlanner& planner,
+                           const faultsim::BitFlipPlan& plan,
+                           const faultsim::MemoryLayout& layout);
+
+/// Worker entry: simulate shard `index` of a campaign manifest (as
+/// emitted by CampaignPlanner::manifest) and return the shard result
+/// document. Applies the manifest's embedded calibration profile, so the
+/// cost model matches the planning process exactly. Throws on an index
+/// outside [0, manifest shards).
+eval::Json run_campaign_shard(const eval::Json& manifest, int index);
+
+// ---- sweep jobs --------------------------------------------------------------
+
+/// Self-contained sweep manifest: one shard per instance spec, plus the
+/// dataset/backend names workers need to rebuild the runner and the
+/// active injector calibration profile (when one is loaded).
+eval::Json sweep_manifest(const std::string& dataset, const std::string& backend,
+                          const std::vector<engine::SweepSpec>& specs);
+
+/// Lay a sweep manifest out as a job directory.
+JobDir create_sweep_job(const std::string& dir, const eval::Json& manifest);
+
+/// Worker entry: solve shard `index` of a sweep manifest on `runner` and
+/// return the shard result document ({"rows": [...]}, each row an
+/// AttackReport object carrying its global instance index). The caller
+/// owns the runner so tests drive this with any model; fsa_cli builds one
+/// from the manifest's dataset. Throws on an index outside the manifest.
+eval::Json run_sweep_shard(const eval::Json& manifest, int index, engine::SweepRunner& runner);
+
+/// Resume-or-create: open the job at `dir` if one exists — verifying its
+/// kind AND that its stored manifest is byte-identical to `manifest`, so
+/// a leftover directory from a DIFFERENT request can never be silently
+/// re-served as the answer to this one — or lay out a fresh job. Throws
+/// std::invalid_argument on a kind or manifest mismatch.
+JobDir open_or_create_job(const std::string& dir, const std::string& kind,
+                          const eval::Json& manifest);
+
+// ---- coordination ------------------------------------------------------------
+
+struct RunJobOptions {
+  int workers = 1;
+  int max_attempts = 2;  ///< total tries per shard (1 initial + retries)
+  bool verbose = true;
+  std::vector<std::string> extra_argv;  ///< appended to every worker argv (tests)
+};
+
+/// Coordinator loop: spawn `exe` workers (per the contract above) for
+/// every shard of `job` missing a result, reduce, write reduced.json, and
+/// return the reduced document. Resume-friendly — completed shards are
+/// never re-run. Throws listing shard index, exit code and log path when
+/// a shard still fails after the bounded retries.
+eval::Json run_job(const JobDir& job, const std::string& exe, const RunJobOptions& options);
+
+}  // namespace fsa::dist

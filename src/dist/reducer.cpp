@@ -1,0 +1,131 @@
+#include "dist/reducer.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "faultsim/injector.h"
+#include "faultsim/profile.h"
+
+namespace fsa::dist {
+
+namespace {
+
+// ---- campaign ----------------------------------------------------------------
+
+class CampaignReducer final : public Reducer {
+ public:
+  [[nodiscard]] std::string kind() const override { return "campaign"; }
+
+  [[nodiscard]] eval::Json reduce(const eval::Json& manifest,
+                                  const std::vector<eval::Json>& shard_results) const override {
+    // Replay the calibration the shards ran under: cost_seconds must use
+    // the same parameters on the merged counters.
+    if (manifest.has("injector_profile"))
+      faultsim::load_injector_profile(manifest.at("injector_profile"));
+    const std::string name = manifest.at("injector").as_string();
+    const faultsim::InjectorPtr injector = faultsim::make_injector(name);
+
+    std::vector<faultsim::CampaignReport> parts;
+    parts.reserve(shard_results.size());
+    for (const eval::Json& r : shard_results) {
+      const faultsim::CampaignReport part =
+          faultsim::CampaignReport::from_json(r.has("report") ? r.at("report") : r);
+      if (!part.injector.empty() && part.injector != name)
+        throw std::runtime_error("campaign reduce: shard report from injector \"" +
+                                 part.injector + "\" in a \"" + name + "\" job");
+      parts.push_back(part);
+    }
+    const faultsim::CampaignReport total = injector->merge(parts);
+
+    eval::Json out = eval::Json::object();
+    out.set("kind", eval::Json::string("campaign"));
+    out.set("injector", eval::Json::string(name));
+    out.set("shards", eval::Json::number(manifest.get_int("shards",
+                static_cast<std::int64_t>(shard_results.size()))));
+    out.set("report", total.to_json());
+    return out;
+  }
+};
+
+// ---- sweep -------------------------------------------------------------------
+
+/// Canonical row order: the union key from the issue contract, with the
+/// global instance index as the final tiebreaker so duplicate cells (same
+/// method/surface/S/R/seed added twice) still order deterministically.
+struct RowKey {
+  std::string method, surface, tag;
+  std::int64_t S = 0, R = 0, index = 0;
+  std::uint64_t seed = 0;
+
+  explicit RowKey(const eval::Json& row) {
+    method = row.get_string("method", "");
+    surface = row.get_string("surface", "");
+    tag = row.get_string("tag", "");
+    S = row.get_int("S", 0);
+    R = row.get_int("R", 0);
+    index = row.get_int("index", 0);
+    const std::string s = row.get_string("seed", "0");
+    seed = s.empty() ? 0 : std::stoull(s);
+  }
+
+  [[nodiscard]] auto tie() const { return std::tie(method, surface, S, R, seed, tag, index); }
+};
+
+class SweepReducer final : public Reducer {
+ public:
+  [[nodiscard]] std::string kind() const override { return "sweep"; }
+
+  [[nodiscard]] eval::Json reduce(const eval::Json& manifest,
+                                  const std::vector<eval::Json>& shard_results) const override {
+    std::vector<eval::Json> rows;
+    for (const eval::Json& r : shard_results)
+      if (r.has("rows"))
+        for (const eval::Json& row : r.at("rows").items()) rows.push_back(row);
+    std::sort(rows.begin(), rows.end(),
+              [](const eval::Json& a, const eval::Json& b) { return RowKey(a).tie() < RowKey(b).tie(); });
+
+    eval::Json arr = eval::Json::array();
+    for (eval::Json& row : rows) {
+      // Solve wall time is the one nondeterministic field in a row; zero it
+      // so the reduced document is canonical. (Campaign seconds stay: they
+      // are recomputed from exact integer counters.)
+      row.set("seconds", eval::Json::number(0.0));
+      arr.push_back(std::move(row));
+    }
+
+    eval::Json out = eval::Json::object();
+    out.set("kind", eval::Json::string("sweep"));
+    out.set("dataset", eval::Json::string(manifest.get_string("dataset", "")));
+    out.set("backend", eval::Json::string(manifest.get_string("backend", "")));
+    out.set("shards", eval::Json::number(manifest.get_int("shards",
+                static_cast<std::int64_t>(shard_results.size()))));
+    out.set("rows", std::move(arr));
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Reducer> make_reducer(const std::string& kind) {
+  if (kind == "campaign") return std::make_unique<CampaignReducer>();
+  if (kind == "sweep") return std::make_unique<SweepReducer>();
+  throw std::invalid_argument("unknown reducer kind \"" + kind +
+                              "\" (known: campaign, sweep)");
+}
+
+eval::Json reduce_job(const JobDir& job) {
+  const JobStatus st = job.status();
+  if (!st.missing.empty()) {
+    std::string missing;
+    for (int s : st.missing) missing += (missing.empty() ? "" : ", ") + std::to_string(s);
+    throw std::runtime_error("dist: cannot reduce " + job.path() + ": missing result(s) for shard " +
+                             missing + " (run the workers first, or `dist run` to resume)");
+  }
+  std::vector<eval::Json> results;
+  results.reserve(static_cast<std::size_t>(job.shards()));
+  for (int s = 0; s < job.shards(); ++s) results.push_back(job.result(s));
+  return make_reducer(job.kind())->reduce(job.manifest(), results);
+}
+
+}  // namespace fsa::dist

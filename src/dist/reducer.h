@@ -1,0 +1,60 @@
+// reducer.h — zero-drift reduction of shard results.
+//
+// The whole point of the dist subsystem is that fanning a campaign or a
+// sweep out over N processes must not change a single byte of the final
+// artifact. The reducers deliver that by construction:
+//
+//  * campaign — shard CampaignReports merge through the injector's exact
+//    integer-counter merge (Injector::merge): counters sum associatively
+//    and commutatively, success AND-s, and `seconds` is recomputed from
+//    the merged counters by the (profile-calibrated) cost model — never
+//    accumulated as floating point across shards. Any shard count, any
+//    arrival order, any grouping: identical totals.
+//
+//  * sweep — result rows are an order-independent UNION keyed by
+//    (method, surface, S, R, seed, tag): every instance is solved by
+//    exactly one shard, so the reducer just reassembles the set and sorts
+//    it by that key (global instance index as the final tiebreaker for
+//    duplicate cells). Wall-time fields are scrubbed to zero — they are
+//    the only nondeterministic bytes in a row — so the reduced document is
+//    canonical: bitwise identical for 1 worker, N workers, or a resumed
+//    half-finished job.
+//
+// Reduced documents are plain JSON, so "reduce" can run anywhere the job
+// directory is mounted — it needs no model, no features, no GPU.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/job_dir.h"
+
+namespace fsa::dist {
+
+/// Reduction strategy for one job kind, selected by name like the
+/// engine's Attacker and the backend's ComputeBackend.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  /// The job kind this reducer handles ("campaign", "sweep").
+  [[nodiscard]] virtual std::string kind() const = 0;
+
+  /// Fold shard results (any order) into the canonical reduced document.
+  /// `manifest` is the job's manifest.json — it names the injector /
+  /// dataset and carries the calibration profile the shards ran under.
+  [[nodiscard]] virtual eval::Json reduce(const eval::Json& manifest,
+                                          const std::vector<eval::Json>& shard_results) const = 0;
+};
+
+/// Reducer for `kind`. Throws std::invalid_argument listing the known
+/// kinds when `kind` is unknown.
+std::unique_ptr<Reducer> make_reducer(const std::string& kind);
+
+/// Read every shard result of `job` (throws listing the missing shard
+/// indices if any), reduce them, and return the canonical document. Does
+/// NOT write reduced.json — run_job / the CLI decide where it lands.
+eval::Json reduce_job(const JobDir& job);
+
+}  // namespace fsa::dist

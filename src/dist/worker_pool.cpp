@@ -1,0 +1,150 @@
+#include "dist/worker_pool.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace fsa::dist {
+
+namespace {
+
+/// Spawn one child: redirect stdout+stderr to `log` (append), exec argv.
+/// Runs in the parent; returns the child pid. The child never returns —
+/// exec failure exits 127 (the shell convention), which the pool reports
+/// like any other nonzero status.
+pid_t spawn_child(const std::vector<std::string>& argv, const std::string& log) {
+  if (argv.empty()) throw std::invalid_argument("WorkerPool: empty argv");
+  {
+    const std::filesystem::path p(log);
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error(std::string("WorkerPool: fork failed: ") +
+                                        std::strerror(errno));
+  if (pid > 0) return pid;
+
+  // Child. Only async-signal-safe calls until exec.
+  const int fd = ::open(log.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    if (fd > 2) ::close(fd);
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  // execvP semantics: a bare command name (self_exe's fallback when
+  // /proc/self/exe is unavailable and argv[0] came from PATH) resolves
+  // the same way the original invocation did.
+  ::execvp(cargv[0], cargv.data());
+  ::dprintf(2, "WorkerPool: execvp %s: %s\n", cargv[0], std::strerror(errno));
+  ::_exit(127);
+}
+
+int exit_code_of(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(WorkerOptions options) : options_(options) {
+  if (options_.workers < 1)
+    throw std::invalid_argument("WorkerPool: worker count must be >= 1, got " +
+                                std::to_string(options_.workers));
+  if (options_.max_attempts < 1)
+    throw std::invalid_argument("WorkerPool: max_attempts must be >= 1, got " +
+                                std::to_string(options_.max_attempts));
+}
+
+std::vector<ShardRun> WorkerPool::run(const std::vector<int>& shards,
+                                      const std::function<std::vector<std::string>(int)>& argv_for,
+                                      const std::function<std::string(int)>& log_for) const {
+  struct InFlight {
+    int shard = 0;
+    int attempts = 0;
+  };
+  std::map<pid_t, InFlight> running;
+  std::map<int, ShardRun> finished;
+  std::size_t next = 0;
+
+  const auto spawn = [&](int shard, int attempts) {
+    if (options_.verbose && attempts > 1)
+      std::fprintf(stderr, "[dist] shard %d: retry (attempt %d/%d)\n", shard, attempts,
+                   options_.max_attempts);
+    const pid_t pid = spawn_child(argv_for(shard), log_for(shard));
+    if (options_.verbose)
+      std::fprintf(stderr, "[dist] shard %d: worker pid %d\n", shard, static_cast<int>(pid));
+    running[pid] = {shard, attempts};
+  };
+
+  // Reap ONLY pids this pool spawned — never waitpid(-1), which would
+  // steal (and discard) statuses from an embedding process's own children
+  // or from a second pool on another thread. WNOHANG over the in-flight
+  // set with a short backoff costs microseconds against worker runtimes.
+  const auto reap_one = [&]() -> std::pair<pid_t, int> {
+    for (useconds_t backoff = 500;; backoff = std::min<useconds_t>(backoff * 2, 20000)) {
+      for (const auto& [pid, inflight] : running) {
+        int status = 0;
+        const pid_t got = ::waitpid(pid, &status, WNOHANG);
+        if (got == pid) return {pid, status};
+        if (got < 0 && errno != EINTR)
+          throw std::runtime_error(std::string("WorkerPool: waitpid failed: ") +
+                                   std::strerror(errno));
+      }
+      ::usleep(backoff);
+    }
+  };
+
+  while (next < shards.size() || !running.empty()) {
+    while (next < shards.size() && running.size() < static_cast<std::size_t>(options_.workers))
+      spawn(shards[next++], 1);
+    const auto [pid, status] = reap_one();
+    const auto it = running.find(pid);
+    const InFlight done = it->second;
+    running.erase(it);
+    const int code = exit_code_of(status);
+    if (code != 0 && done.attempts < options_.max_attempts) {
+      spawn(done.shard, done.attempts + 1);  // bounded retry
+      continue;
+    }
+    if (options_.verbose && code != 0)
+      std::fprintf(stderr, "[dist] shard %d: FAILED with exit code %d after %d attempt(s)\n",
+                   done.shard, code, done.attempts);
+    finished[done.shard] = {done.shard, done.attempts, code};
+  }
+
+  std::vector<ShardRun> out;
+  out.reserve(finished.size());
+  for (const auto& [shard, run] : finished) out.push_back(run);  // map iterates sorted
+  return out;
+}
+
+std::string self_exe(const char* argv0) {
+  std::error_code ec;
+  const auto p = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return p.string();
+  if (argv0 && *argv0) {
+    // A path with a slash is resolved against the cwd now (the children
+    // may run elsewhere later); a bare command name is left for the
+    // spawn's execvp to resolve against PATH, exactly like the original
+    // invocation — absolutizing it against the cwd would fabricate a
+    // nonexistent path.
+    const std::string a0 = argv0;
+    return a0.find('/') == std::string::npos ? a0 : std::filesystem::absolute(a0).string();
+  }
+  throw std::runtime_error("dist: cannot determine the worker executable path");
+}
+
+}  // namespace fsa::dist

@@ -16,6 +16,42 @@
 
 namespace fsa::engine {
 
+// ---- CampaignConfig JSON -----------------------------------------------------
+
+eval::Json CampaignConfig::to_json() const {
+  eval::Json j = eval::Json::object();
+  eval::Json inj = eval::Json::array();
+  for (const auto& name : injectors) inj.push_back(eval::Json::string(name));
+  j.set("injectors", std::move(inj));
+  j.set("shards", eval::Json::number(static_cast<std::int64_t>(shards)));
+  // 64-bit values serialize as strings (JSON numbers are doubles, 2^53).
+  j.set("seed", eval::Json::string(std::to_string(seed)));
+  j.set("format", eval::Json::string(faultsim::format_name(format)));
+  eval::Json lay = eval::Json::object();
+  lay.set("base_address", eval::Json::string(std::to_string(layout.base_address)));
+  lay.set("row_bytes", eval::Json::number(static_cast<std::int64_t>(layout.row_bytes)));
+  lay.set("bytes_per_param",
+          eval::Json::number(static_cast<std::int64_t>(layout.bytes_per_param)));
+  j.set("layout", std::move(lay));
+  return j;
+}
+
+CampaignConfig CampaignConfig::from_json(const eval::Json& j) {
+  CampaignConfig c;
+  c.injectors.clear();
+  for (const eval::Json& name : j.at("injectors").items()) c.injectors.push_back(name.as_string());
+  c.shards = static_cast<int>(j.get_int("shards", 1));
+  c.seed = std::stoull(j.get_string("seed", "7"));
+  c.format = faultsim::format_from_name(j.get_string("format", "float32"));
+  if (j.has("layout")) {
+    const eval::Json& lay = j.at("layout");
+    c.layout.base_address = std::stoull(lay.get_string("base_address", "0"));
+    c.layout.row_bytes = static_cast<std::uint64_t>(lay.get_int("row_bytes", 8192));
+    c.layout.bytes_per_param = static_cast<std::uint64_t>(lay.get_int("bytes_per_param", 4));
+  }
+  return c;
+}
+
 // ---- SweepSpec ---------------------------------------------------------------
 
 std::string SweepSpec::surface_key() const {
@@ -23,6 +59,63 @@ std::string SweepSpec::surface_key() const {
   for (const auto& l : layers) key += (key.empty() ? "" : ",") + l;
   if (weights && biases) return key;
   return key + (weights ? "[w]" : "[b]");
+}
+
+namespace {
+
+const char* policy_name(core::TargetPolicy p) {
+  return p == core::TargetPolicy::kNextLabel ? "next-label" : "random";
+}
+
+core::TargetPolicy policy_from_name(const std::string& name) {
+  if (name == "random") return core::TargetPolicy::kRandom;
+  if (name == "next-label") return core::TargetPolicy::kNextLabel;
+  throw std::invalid_argument("unknown target policy \"" + name +
+                              "\" (known: random, next-label)");
+}
+
+}  // namespace
+
+eval::Json SweepSpec::to_json() const {
+  if (attacker)
+    throw std::invalid_argument(
+        "SweepSpec: a pre-configured attacker override is not serializable — dist shard "
+        "manifests carry registry method names only");
+  eval::Json j = eval::Json::object();
+  j.set("method", eval::Json::string(method));
+  eval::Json ls = eval::Json::array();
+  for (const auto& l : layers) ls.push_back(eval::Json::string(l));
+  j.set("layers", std::move(ls));
+  j.set("weights", eval::Json::boolean(weights));
+  j.set("biases", eval::Json::boolean(biases));
+  j.set("S", eval::Json::number(S));
+  j.set("R", eval::Json::number(R));
+  j.set("seed", eval::Json::string(std::to_string(seed)));
+  j.set("policy", eval::Json::string(policy_name(policy)));
+  if (!tag.empty()) j.set("tag", eval::Json::string(tag));
+  j.set("measure_accuracy", eval::Json::boolean(measure_accuracy));
+  if (campaign) j.set("campaign", campaign->to_json());
+  return j;
+}
+
+SweepSpec SweepSpec::from_json(const eval::Json& j) {
+  SweepSpec s;
+  s.method = j.get_string("method", "fsa-l0");
+  if (j.has("layers")) {
+    s.layers.clear();
+    for (const eval::Json& l : j.at("layers").items()) s.layers.push_back(l.as_string());
+  }
+  s.weights = j.get_bool("weights", true);
+  s.biases = j.get_bool("biases", true);
+  s.S = j.get_int("S", 1);
+  s.R = j.get_int("R", 100);
+  s.seed = std::stoull(j.get_string("seed", "1"));
+  s.policy = policy_from_name(j.get_string("policy", "random"));
+  s.tag = j.get_string("tag", "");
+  s.measure_accuracy = j.get_bool("measure_accuracy", true);
+  if (j.has("campaign") && !j.at("campaign").is_null())
+    s.campaign = CampaignConfig::from_json(j.at("campaign"));
+  return s;
 }
 
 // ---- Sweep builder -----------------------------------------------------------
@@ -356,9 +449,11 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
       nn::Sequential net = t.bench->model().net.clone();
       const core::ParamMask mask =
           core::ParamMask::make(net, t.spec->layers, t.spec->weights, t.spec->biases);
+      const backend::ComputeBackend& be = backend::active();
+      be.begin_attribution();  // this instance's kernels all run on this thread
       AttackReport rep = t.attacker->run(net, mask, t.problem);
       rep.seed = t.spec->seed;
-      rep.backend = result.backend;  // which compute backend produced this row
+      rep.backend = be.attribution();  // which kernels produced this row ("auto(...)")
       rep.clean_accuracy = t.bench->clean_test_accuracy();
       if (t.spec->campaign) {
         // Lower δ to hardware: runs BEFORE the accuracy scatter below, while

@@ -43,6 +43,9 @@ struct CampaignConfig {
   std::uint64_t seed = 7;  ///< mixed with each row's spec seed per campaign
   faultsim::StorageFormat format = faultsim::StorageFormat::kFloat32;
   faultsim::MemoryLayout layout;
+
+  [[nodiscard]] eval::Json to_json() const;
+  static CampaignConfig from_json(const eval::Json& j);
 };
 
 /// One attack instance, declaratively: what to run, on which surface.
@@ -63,6 +66,13 @@ struct SweepSpec {
   /// Canonical surface identity, e.g. "fc1,fc2[w]" — keys the per-surface
   /// AttackBench (features/cut) shared by all instances on that surface.
   [[nodiscard]] std::string surface_key() const;
+
+  /// The declarative fields as JSON — what a dist shard manifest carries so
+  /// a worker process can rebuild and solve this exact instance. Throws
+  /// std::invalid_argument when a pre-configured `attacker` override is
+  /// set: instances shipped across processes must name a registry method.
+  [[nodiscard]] eval::Json to_json() const;
+  static SweepSpec from_json(const eval::Json& j);
 };
 
 /// Builder for a grid of SweepSpecs (methods × surfaces × (S,R) × seeds).

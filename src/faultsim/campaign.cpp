@@ -3,6 +3,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "faultsim/profile.h"
 #include "tensor/parallel.h"
 #include "tensor/rng.h"
 
@@ -69,6 +70,10 @@ eval::Json CampaignPlanner::manifest(const BitFlipPlan& plan, const MemoryLayout
   j.set("params_modified", eval::Json::number(plan.params_modified));
   j.set("total_bit_flips", eval::Json::number(plan.total_bit_flips));
   j.set("estimated_seconds", eval::Json::number(make_injector(injector_)->plan_cost(plan, layout)));
+  // Ship the active calibration with the manifest: a shard worker in
+  // another process must cost this campaign with the same parameters.
+  if (const eval::Json* profile = active_injector_profile())
+    j.set("injector_profile", *profile);
   eval::Json arr = eval::Json::array();
   for (const CampaignShard& s : shards(plan, layout)) arr.push_back(s.to_json());
   j.set("shard_list", std::move(arr));

@@ -1,0 +1,157 @@
+#include "faultsim/profile.h"
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "faultsim/injectors.h"
+
+namespace fsa::faultsim {
+
+namespace {
+
+// Parameter overlays: each built-in params struct gets a strict JSON
+// overlay — listed keys replace defaults, unknown keys throw so a typo'd
+// calibration fails loudly instead of silently keeping the default.
+
+[[noreturn]] void unknown_key(const std::string& injector, const std::string& key,
+                              const char* known) {
+  throw std::invalid_argument("injector profile: unknown parameter \"" + key + "\" for " +
+                              injector + " (known: " + known + ")");
+}
+
+RowHammerParams rowhammer_overlay(const eval::Json& j) {
+  RowHammerParams p;
+  for (const auto& [key, v] : j.members()) {
+    if (key == "flip_success_prob") p.flip_success_prob = v.as_number();
+    else if (key == "vulnerable_frac") p.vulnerable_frac = v.as_number();
+    else if (key == "seconds_per_attempt") p.seconds_per_attempt = v.as_number();
+    else if (key == "massage_seconds") p.massage_seconds = v.as_number();
+    else if (key == "massage_success_prob") p.massage_success_prob = v.as_number();
+    else if (key == "max_attempts_per_bit") p.max_attempts_per_bit = v.as_int();
+    else if (key == "max_massages_per_bit") p.max_massages_per_bit = v.as_int();
+    else
+      unknown_key("rowhammer", key,
+                  "flip_success_prob, vulnerable_frac, seconds_per_attempt, massage_seconds, "
+                  "massage_success_prob, max_attempts_per_bit, max_massages_per_bit");
+  }
+  return p;
+}
+
+LaserParams laser_overlay(const eval::Json& j) {
+  LaserParams p;
+  for (const auto& [key, v] : j.members()) {
+    if (key == "locate_seconds") p.locate_seconds = v.as_number();
+    else if (key == "shot_seconds") p.shot_seconds = v.as_number();
+    else if (key == "per_row_setup_seconds") p.per_row_setup_seconds = v.as_number();
+    else
+      unknown_key("laser", key, "locate_seconds, shot_seconds, per_row_setup_seconds");
+  }
+  return p;
+}
+
+ClockGlitchParams clock_glitch_overlay(const eval::Json& j) {
+  ClockGlitchParams p;
+  for (const auto& [key, v] : j.members()) {
+    if (key == "cycle_search_seconds") p.cycle_search_seconds = v.as_number();
+    else if (key == "glitch_seconds") p.glitch_seconds = v.as_number();
+    else if (key == "success_prob_one_bit") p.success_prob_one_bit = v.as_number();
+    else if (key == "per_bit_decay") p.per_bit_decay = v.as_number();
+    else if (key == "max_glitches_per_param") p.max_glitches_per_param = v.as_int();
+    else
+      unknown_key("clock-glitch", key,
+                  "cycle_search_seconds, glitch_seconds, success_prob_one_bit, per_bit_decay, "
+                  "max_glitches_per_param");
+  }
+  return p;
+}
+
+// The retained document, guarded: load/clear are rare control-plane calls.
+struct ProfileState {
+  std::mutex mu;
+  std::unique_ptr<eval::Json> loaded;
+};
+
+ProfileState& state() {
+  static ProfileState s;
+  return s;
+}
+
+}  // namespace
+
+void load_injector_profile(const eval::Json& profile) {
+  if (profile.type() != eval::Json::Type::kObject)
+    throw std::invalid_argument("injector profile: document must be a JSON object");
+  for (const auto& [key, v] : profile.members())
+    if (key != "name" && key != "description" && key != "injectors")
+      throw std::invalid_argument("injector profile: unknown top-level key \"" + key +
+                                  "\" (known: name, description, injectors)");
+  if (!profile.has("injectors"))
+    throw std::invalid_argument("injector profile: missing \"injectors\" object");
+  const eval::Json& injectors = profile.at("injectors");
+  if (injectors.type() != eval::Json::Type::kObject || injectors.size() == 0)
+    throw std::invalid_argument("injector profile: \"injectors\" must be a non-empty object");
+
+  // Validate EVERY overlay before registering ANY, so a bad profile can
+  // never leave the registry half-calibrated.
+  std::vector<std::pair<std::string, InjectorFactory>> staged;
+  for (const auto& [name, overlay] : injectors.members()) {
+    if (name == "rowhammer") {
+      const RowHammerParams p = rowhammer_overlay(overlay);
+      staged.emplace_back(name, [p] { return std::make_unique<RowHammerInjector>(p); });
+    } else if (name == "laser") {
+      const LaserParams p = laser_overlay(overlay);
+      staged.emplace_back(name, [p] { return std::make_unique<LaserInjector>(p); });
+    } else if (name == "clock-glitch") {
+      const ClockGlitchParams p = clock_glitch_overlay(overlay);
+      staged.emplace_back(name, [p] { return std::make_unique<ClockGlitchInjector>(p); });
+    } else {
+      throw std::invalid_argument(
+          "injector profile: \"" + name +
+          "\" is not a calibratable built-in (known: clock-glitch, laser, rowhammer)");
+    }
+  }
+  for (auto& [name, factory] : staged) register_injector(name, std::move(factory));
+
+  ProfileState& s = state();
+  const std::lock_guard lk(s.mu);
+  s.loaded = std::make_unique<eval::Json>(profile);
+}
+
+void load_injector_profile_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    throw std::invalid_argument("injector profile: cannot read \"" + path + "\"");
+  std::ostringstream text;
+  text << is.rdbuf();
+  eval::Json profile;
+  try {
+    profile = eval::Json::parse(text.str());
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("injector profile \"" + path + "\": " + e.what());
+  }
+  try {
+    load_injector_profile(profile);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string(e.what()) + " (in \"" + path + "\")");
+  }
+}
+
+const eval::Json* active_injector_profile() {
+  ProfileState& s = state();
+  const std::lock_guard lk(s.mu);
+  return s.loaded.get();
+}
+
+void clear_injector_profile() {
+  register_injector("rowhammer", [] { return std::make_unique<RowHammerInjector>(); });
+  register_injector("laser", [] { return std::make_unique<LaserInjector>(); });
+  register_injector("clock-glitch", [] { return std::make_unique<ClockGlitchInjector>(); });
+  ProfileState& s = state();
+  const std::lock_guard lk(s.mu);
+  s.loaded.reset();
+}
+
+}  // namespace fsa::faultsim

@@ -1,0 +1,55 @@
+// profile.h — injector calibration profiles.
+//
+// The built-in injector cost models ship with compiled-in default
+// parameters (injectors.h). Real campaigns are calibrated against a
+// target platform — a specific DDR3 module's hammer statistics, a bench
+// laser's positioning time — so one binary must be able to sweep cost
+// models per platform without recompiling. A profile is a JSON document
+// that overrides selected parameters of the built-in injectors:
+//
+//   {
+//     "name": "ddr3_rowhammer",
+//     "description": "measured on the lab's DDR3-1600 module",
+//     "injectors": {
+//       "rowhammer": { "flip_success_prob": 0.35, "massage_seconds": 30.0 }
+//     }
+//   }
+//
+// Loading a profile re-registers each named injector with a factory bound
+// to the overridden parameters, so every later make_injector() — the CLI,
+// the sweep engine's campaign stage, a dist shard worker — uses the
+// calibrated cost model. Unlisted parameters keep their defaults; unknown
+// injector or parameter names throw (same strict style as --backend).
+//
+// Distribution contract: the most recently loaded profile is retained
+// (active_injector_profile) and embedded into campaign manifests, so an
+// out-of-process shard worker replays the exact cost model of the process
+// that planned the campaign — calibration can never drift across workers.
+#pragma once
+
+#include <string>
+
+#include "eval/json.h"
+
+namespace fsa::faultsim {
+
+/// Apply a parsed profile: re-register every injector it names with the
+/// overridden parameters and retain the document for manifest embedding.
+/// Throws std::invalid_argument on unknown injector names, unknown
+/// parameter keys, or a malformed document.
+void load_injector_profile(const eval::Json& profile);
+
+/// Read `path`, parse it, and load_injector_profile() it. Errors mention
+/// the path.
+void load_injector_profile_file(const std::string& path);
+
+/// The most recently loaded profile document, or nullptr when none has
+/// been loaded (or it was cleared). Campaign manifests embed this so shard
+/// workers in other processes apply the same calibration.
+const eval::Json* active_injector_profile();
+
+/// Drop the retained profile and restore the built-in injectors to their
+/// compiled-in defaults (used by tests; a fresh process starts clear).
+void clear_injector_profile();
+
+}  // namespace fsa::faultsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
 
 #include "faultsim/bitflip.h"
 
@@ -91,6 +92,15 @@ const char* format_name(StorageFormat format) {
       return "int8";
   }
   return "?";
+}
+
+StorageFormat format_from_name(const std::string& name) {
+  if (name == "float32") return StorageFormat::kFloat32;
+  if (name == "bfloat16") return StorageFormat::kBfloat16;
+  if (name == "float16") return StorageFormat::kFloat16;
+  if (name == "int8") return StorageFormat::kInt8;
+  throw std::invalid_argument("unknown storage format \"" + name +
+                              "\" (known: float32, bfloat16, float16, int8)");
 }
 
 }  // namespace fsa::faultsim

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "tensor/tensor.h"
 
@@ -37,5 +38,9 @@ float int8_scale(const Tensor& theta);
 
 /// Human-readable format name.
 const char* format_name(StorageFormat format);
+
+/// Inverse of format_name. Throws std::invalid_argument listing the known
+/// names — manifests and CLI flags parse through this.
+StorageFormat format_from_name(const std::string& name);
 
 }  // namespace fsa::faultsim

@@ -50,9 +50,9 @@ std::int64_t worst_ulp(const Tensor& got, const Tensor& want) {
 
 TEST(BackendRegistry, BuiltinsAreRegisteredAndSorted) {
   const auto names = backend_names();
-  for (const char* expected : {"reference", "blocked", "packed"})
+  for (const char* expected : {"reference", "blocked", "packed", "auto"})
     EXPECT_TRUE(has_backend(expected)) << expected;
-  EXPECT_GE(names.size(), 3u);
+  EXPECT_GE(names.size(), 4u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
@@ -150,7 +150,7 @@ TEST_P(BackendParity, PooledBackendsMatchReferenceWithin1Ulp) {
   for (int v = 0; v < 3; ++v) {
     set_backend("reference");
     run_variant(v, A, At, B, Bt, want);
-    for (const char* name : {"blocked", "packed"}) {
+    for (const char* name : {"blocked", "packed", "auto"}) {
       for (int threads : {1, 4}) {
         set_num_threads(threads);
         set_backend(name);
@@ -180,7 +180,7 @@ TEST_P(BackendParity, SparseDeltaRowsMatchReference) {
   want.fill(0.0f);
   set_backend("reference");
   active().gemm_nn_acc(A.data(), B.data(), want.data(), p.m, p.k, p.n);
-  for (const char* name : {"blocked", "packed"}) {
+  for (const char* name : {"blocked", "packed", "auto"}) {
     for (int threads : {1, 4}) {
       set_num_threads(threads);
       set_backend(name);
@@ -292,6 +292,59 @@ TEST(BackendDeterminism, PackedThreadCountInvariant) {
                                  << " threads";
       }
     }
+  }
+}
+
+// ---- the auto backend: deterministic dispatch + attribution -------------------
+
+TEST(BackendAuto, DispatchFollowsBFootprintAndIsAttributed) {
+  BackendGuard guard;
+  set_backend("auto");
+  EXPECT_EQ(active_name(), "auto");
+
+  // Fresh bracket, no GEMM yet → bare name.
+  active().begin_attribution();
+  EXPECT_EQ(active().attribution(), "auto");
+
+  // k·n·4 well under the 2 MiB L2 budget → blocked.
+  Rng rng(77);
+  const Tensor smallA = Tensor::randn(Shape({8, 64}), rng);
+  const Tensor smallB = Tensor::randn(Shape({64, 64}), rng);
+  Tensor smallC = Tensor::zeros(Shape({8, 64}));
+  active().begin_attribution();
+  active().gemm_nn_acc(smallA.data(), smallB.data(), smallC.data(), 8, 64, 64);
+  EXPECT_EQ(active().attribution(), "auto(blocked)");
+
+  // k·n·4 = 640·900·4 ≈ 2.2 MiB > 2 MiB → packed. Keep m tiny so the test
+  // stays cheap.
+  const std::int64_t k = 640, n = 900;
+  ASSERT_GT(k * n * static_cast<std::int64_t>(sizeof(float)), Packing::l2_bytes);
+  const Tensor bigA = Tensor::randn(Shape({2, k}), rng);
+  const Tensor bigB = Tensor::randn(Shape({k, n}), rng);
+  Tensor bigC = Tensor::zeros(Shape({2, n}));
+  active().begin_attribution();
+  active().gemm_nn_acc(bigA.data(), bigB.data(), bigC.data(), 2, k, n);
+  EXPECT_EQ(active().attribution(), "auto(packed)");
+
+  // Both sizes inside one bracket → the union is reported.
+  smallC.fill(0.0f);
+  active().begin_attribution();
+  active().gemm_nn_acc(smallA.data(), smallB.data(), smallC.data(), 8, 64, 64);
+  bigC.fill(0.0f);
+  active().gemm_nn_acc(bigA.data(), bigB.data(), bigC.data(), 2, k, n);
+  EXPECT_EQ(active().attribution(), "auto(blocked+packed)");
+
+  // The result itself matches the reference oracle on the spilling shape.
+  Tensor want = Tensor::zeros(Shape({2, n}));
+  set_backend("reference");
+  active().gemm_nn_acc(bigA.data(), bigB.data(), want.data(), 2, k, n);
+  EXPECT_LE(worst_ulp(bigC, want), 1);
+
+  // Plain backends attribute as themselves.
+  for (const char* name : {"reference", "blocked", "packed"}) {
+    set_backend(name);
+    active().begin_attribution();
+    EXPECT_EQ(active().attribution(), name);
   }
 }
 

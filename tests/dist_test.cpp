@@ -1,0 +1,627 @@
+// dist_test.cpp — the multi-process distribution subsystem.
+//
+// Covers the JobDir protocol, the WorkerPool (REAL child processes: this
+// test binary re-executes itself in fsa_cli's --run-shard worker mode —
+// see main() at the bottom), the zero-drift reducers (associativity /
+// commutativity over shuffled shard orders, canonical row union), the
+// crashed-worker retry path, sweep/campaign spec JSON round-trips, and
+// the injector calibration profiles the manifests embed.
+//
+// The headline guarantee under test: a job reduced from 1 shard, N
+// in-process shards, or N child PROCESSES produces byte-identical
+// reduced JSON.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dist/job_dir.h"
+#include "dist/jobs.h"
+#include "dist/reducer.h"
+#include "dist/worker_pool.h"
+#include "engine/registry.h"
+#include "engine/sweep.h"
+#include "eval/args.h"
+#include "faultsim/bitflip.h"
+#include "faultsim/campaign.h"
+#include "faultsim/injectors.h"
+#include "faultsim/profile.h"
+#include "test_util.h"
+
+namespace fsa::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on destruction.
+struct Scratch {
+  fs::path dir;
+  explicit Scratch(const std::string& name) {
+    dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~Scratch() { fs::remove_all(dir); }
+  [[nodiscard]] std::string sub(const std::string& name) const { return (dir / name).string(); }
+};
+
+/// Restores built-in injector parameters when a profile test returns.
+struct ProfileGuard {
+  ~ProfileGuard() { faultsim::clear_injector_profile(); }
+};
+
+// A small deterministic bit-flip plan: 40 params touched with mixed bit
+// patterns, enough to spread over many shards and DRAM rows.
+faultsim::BitFlipPlan test_plan() {
+  Rng rng(99);
+  const std::int64_t n = 4096;
+  Tensor theta0 = Tensor::randn(Shape({n}), rng);
+  Tensor delta = Tensor::zeros(Shape({n}));
+  for (std::int64_t i = 0; i < n; i += 100)
+    delta[static_cast<std::size_t>(i)] = static_cast<float>(rng.normal());
+  return faultsim::plan_bit_flips(theta0, delta, faultsim::MemoryLayout{});
+}
+
+// ---- JobDir ------------------------------------------------------------------
+
+TEST(JobDir, CreateOpenStatusRoundTrip) {
+  Scratch scratch("fsa_dist_jobdir");
+  eval::Json manifest = eval::Json::object();
+  manifest.set("shards", eval::Json::number(std::int64_t{3}));
+  const JobDir job = JobDir::create(scratch.sub("job"), "campaign", 3, manifest);
+  EXPECT_EQ(job.kind(), "campaign");
+  EXPECT_EQ(job.shards(), 3);
+  EXPECT_TRUE(JobDir::exists(scratch.sub("job")));
+  EXPECT_FALSE(JobDir::exists(scratch.sub("nope")));
+
+  JobStatus st = job.status();
+  EXPECT_EQ(st.shards, 3);
+  EXPECT_TRUE(st.done.empty());
+  EXPECT_EQ(st.missing, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(st.reduced);
+
+  eval::Json result = eval::Json::object();
+  result.set("report", eval::Json::object());
+  job.write_result(1, result);
+  st = job.status();
+  EXPECT_EQ(st.done, (std::vector<int>{1}));
+  EXPECT_EQ(st.missing, (std::vector<int>{0, 2}));
+  EXPECT_TRUE(job.has_result(1));
+  EXPECT_FALSE(job.has_result(0));
+
+  const JobDir reopened = JobDir::open(scratch.sub("job"));
+  EXPECT_EQ(reopened.kind(), "campaign");
+  EXPECT_EQ(reopened.shards(), 3);
+  EXPECT_EQ(reopened.manifest().get_int("shards", 0), 3);
+
+  // Append-only: a laid-out job is never silently clobbered.
+  EXPECT_THROW(JobDir::create(scratch.sub("job"), "campaign", 3, manifest),
+               std::invalid_argument);
+  // Shard indices are range-checked everywhere.
+  EXPECT_THROW((void)job.result_path(3), std::out_of_range);
+  EXPECT_THROW((void)job.log_path(-1), std::out_of_range);
+  // Reducing with missing shards names them.
+  try {
+    (void)reduce_job(job);
+    FAIL() << "expected missing-shard error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("0, 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JobDir, OpenOrCreateResumesOnlyMatchingManifests) {
+  Scratch scratch("fsa_dist_resume_guard");
+  const faultsim::BitFlipPlan plan = test_plan();
+  const faultsim::MemoryLayout layout;
+  const faultsim::CampaignPlanner planner("laser", 2, 7);
+  const eval::Json manifest = planner.manifest(plan, layout);
+
+  const JobDir created = open_or_create_job(scratch.sub("job"), "campaign", manifest);
+  EXPECT_EQ(created.shards(), 2);
+  // Same request → resume.
+  const JobDir resumed = open_or_create_job(scratch.sub("job"), "campaign", manifest);
+  EXPECT_EQ(resumed.shards(), 2);
+  // A leftover dir must never silently answer a DIFFERENT request.
+  const faultsim::CampaignPlanner other("rowhammer", 2, 7);
+  EXPECT_THROW(
+      (void)open_or_create_job(scratch.sub("job"), "campaign", other.manifest(plan, layout)),
+      std::invalid_argument);
+  EXPECT_THROW((void)open_or_create_job(scratch.sub("job"), "sweep", manifest),
+               std::invalid_argument);
+}
+
+// ---- campaign jobs: in-process shard workers ---------------------------------
+
+TEST(CampaignJob, ShardWorkersReduceBitwiseIdenticalForAnyShardCount) {
+  Scratch scratch("fsa_dist_campaign");
+  const faultsim::BitFlipPlan plan = test_plan();
+  const faultsim::MemoryLayout layout;
+
+  // The merged REPORT must not drift by a byte across shard counts (the
+  // top-level "shards" field legitimately records each job's own K).
+  std::string baseline;
+  for (const int shards : {1, 3, 8}) {
+    const std::string dir = scratch.sub("job_k" + std::to_string(shards));
+    const faultsim::CampaignPlanner planner("rowhammer", shards, 7);
+    const JobDir job = create_campaign_job(dir, planner, plan, layout);
+    const eval::Json manifest = job.manifest();
+    for (int s = 0; s < shards; ++s) job.write_result(s, run_campaign_shard(manifest, s));
+    const std::string reduced = reduce_job(job).at("report").dump(2);
+    if (baseline.empty())
+      baseline = reduced;
+    else
+      EXPECT_EQ(reduced, baseline) << shards << " shards drifted";
+  }
+
+  // And the job path matches the in-process CampaignRunner totals.
+  const faultsim::CampaignReport direct =
+      faultsim::CampaignRunner(1, 7).run("rowhammer", plan, layout);
+  const faultsim::CampaignReport merged =
+      faultsim::CampaignReport::from_json(eval::Json::parse(baseline));
+  EXPECT_EQ(merged.attempts, direct.attempts);
+  EXPECT_EQ(merged.massages, direct.massages);
+  EXPECT_EQ(merged.bits_flipped, direct.bits_flipped);
+  EXPECT_EQ(merged.rows_touched, direct.rows_touched);
+  EXPECT_EQ(merged.seconds, direct.seconds);  // bitwise: recomputed, not summed
+}
+
+TEST(CampaignJob, ShardIndexOutOfRangeThrows) {
+  Scratch scratch("fsa_dist_campaign_oob");
+  const faultsim::CampaignPlanner planner("laser", 4, 7);
+  const JobDir job =
+      create_campaign_job(scratch.sub("job"), planner, test_plan(), faultsim::MemoryLayout{});
+  const eval::Json manifest = job.manifest();
+  EXPECT_THROW((void)run_campaign_shard(manifest, -1), std::out_of_range);
+  EXPECT_THROW((void)run_campaign_shard(manifest, 4), std::out_of_range);
+}
+
+// ---- reducer properties ------------------------------------------------------
+
+TEST(CampaignReducer, MergeIsAssociativeAndCommutativeOverShardOrder) {
+  const faultsim::BitFlipPlan plan = test_plan();
+  const faultsim::CampaignPlanner planner("rowhammer", 6, 11);
+  const std::vector<faultsim::CampaignShard> shards =
+      planner.shards(plan, faultsim::MemoryLayout{});
+  const faultsim::InjectorPtr injector = faultsim::make_injector("rowhammer");
+  std::vector<faultsim::CampaignReport> parts;
+  for (const auto& s : shards) parts.push_back(injector->simulate_shard(s, faultsim::MemoryLayout{}));
+
+  const eval::Json flat = injector->merge(parts).to_json();
+  // Commutativity: any permutation of the parts merges identically.
+  std::mt19937 perm_rng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<faultsim::CampaignReport> shuffled = parts;
+    std::shuffle(shuffled.begin(), shuffled.end(), perm_rng);
+    EXPECT_EQ(injector->merge(shuffled).to_json().dump(), flat.dump()) << "trial " << trial;
+  }
+  // Associativity: grouped merges of merged sub-results match the flat merge.
+  const faultsim::CampaignReport left =
+      injector->merge({parts[0], parts[1], parts[2]});
+  const faultsim::CampaignReport right = injector->merge({parts[3], parts[4], parts[5]});
+  EXPECT_EQ(injector->merge({left, right}).to_json().dump(), flat.dump());
+}
+
+/// Fabricated sweep shard results (no model needed): the reducer's row
+/// union must be independent of which shard produced which row and of the
+/// order results are presented in.
+TEST(SweepReducer, RowUnionIsOrderIndependentAndCanonical) {
+  eval::Json manifest = eval::Json::object();
+  manifest.set("kind", eval::Json::string("sweep"));
+  manifest.set("dataset", eval::Json::string("blobs"));
+  manifest.set("backend", eval::Json::string("blocked"));
+  manifest.set("shards", eval::Json::number(std::int64_t{4}));
+
+  const auto make_row = [](const std::string& method, std::int64_t S, std::int64_t R,
+                           std::uint64_t seed, std::int64_t index, double seconds) {
+    engine::AttackReport rep;
+    rep.method = method;
+    rep.surface = "fc2";
+    rep.S = S;
+    rep.R = R;
+    rep.seed = seed;
+    rep.l0 = S * 10;
+    rep.seconds = seconds;  // nondeterministic wall time → must be scrubbed
+    eval::Json row = rep.to_json();
+    row.set("index", eval::Json::number(index));
+    return row;
+  };
+  const auto shard_result = [](std::vector<eval::Json> rows) {
+    eval::Json r = eval::Json::object();
+    r.set("kind", eval::Json::string("sweep"));
+    eval::Json arr = eval::Json::array();
+    for (auto& row : rows) arr.push_back(std::move(row));
+    r.set("rows", std::move(arr));
+    return r;
+  };
+
+  // 4 instances: two methods × two cells, with differing wall times per
+  // "run" and different shard groupings.
+  const auto reducer = make_reducer("sweep");
+  const eval::Json a = reducer->reduce(
+      manifest, {shard_result({make_row("fsa-l0", 1, 8, 3, 0, 0.5)}),
+                 shard_result({make_row("fsa-l0", 2, 12, 3, 1, 1.5)}),
+                 shard_result({make_row("gda", 1, 8, 3, 2, 2.5)}),
+                 shard_result({make_row("gda", 2, 12, 3, 3, 3.5)})});
+  const eval::Json b = reducer->reduce(
+      manifest, {shard_result({make_row("gda", 2, 12, 3, 3, 9.0),
+                               make_row("fsa-l0", 1, 8, 3, 0, 8.0)}),
+                 shard_result({}),
+                 shard_result({make_row("gda", 1, 8, 3, 2, 7.0)}),
+                 shard_result({make_row("fsa-l0", 2, 12, 3, 1, 6.0)})});
+  EXPECT_EQ(a.dump(2), b.dump(2));  // byte-for-byte, wall times scrubbed
+
+  // Canonical order: keyed by (method, surface, S, R, seed), index last.
+  const auto& rows = a.at("rows").items();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].get_string("method", ""), "fsa-l0");
+  EXPECT_EQ(rows[0].get_int("S", 0), 1);
+  EXPECT_EQ(rows[1].get_string("method", ""), "fsa-l0");
+  EXPECT_EQ(rows[1].get_int("S", 0), 2);
+  EXPECT_EQ(rows[2].get_string("method", ""), "gda");
+  for (const auto& row : rows) EXPECT_EQ(row.get_number("seconds", -1.0), 0.0);
+}
+
+TEST(Reducer, UnknownKindThrowsListingKnown) {
+  try {
+    (void)make_reducer("bogus");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("campaign"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sweep"), std::string::npos);
+  }
+}
+
+// ---- sweep jobs on the blob substrate ----------------------------------------
+
+struct BlobFixture {
+  models::ZooModel model;
+  std::string cache_dir;
+
+  BlobFixture() {
+    cache_dir = ::testing::TempDir() + "fsa_dist_blobs";
+    fs::remove_all(cache_dir);
+    model.name = "blobs";
+    model.net = testutil::make_blob_net(6);
+    model.train = testutil::make_blobs(600, 21);
+    model.test = testutil::make_blobs(300, 22);
+    model.attack_pool = testutil::make_blobs(400, 23);
+    model.test_accuracy = testutil::train_blob_net(model.net, model.train, model.test);
+  }
+};
+
+BlobFixture& blob_fixture() {
+  static BlobFixture f;
+  return f;
+}
+
+std::vector<engine::SweepSpec> blob_specs() {
+  engine::Sweep sweep;
+  sweep.methods({"fsa-l0", "gda"}).layers({"fc2"}).sr_pairs({{1, 8}, {2, 12}}).seeds({3});
+  return sweep.build();
+}
+
+TEST(SweepJob, ShardedRunReducesBitwiseIdenticalToSingleShard) {
+  auto& f = blob_fixture();
+  Scratch scratch("fsa_dist_sweepjob");
+  const std::vector<engine::SweepSpec> specs = blob_specs();
+  const eval::Json manifest = sweep_manifest("blobs", "blocked", specs);
+  ASSERT_EQ(manifest.get_int("shards", 0), static_cast<std::int64_t>(specs.size()));
+
+  // N shards, each solved by its own worker entry (fresh runner = fresh
+  // process-local caches), vs ONE worker entry solving a single-shard
+  // manifest of the same specs.
+  const JobDir sharded = create_sweep_job(scratch.sub("sharded"), manifest);
+  for (int s = 0; s < sharded.shards(); ++s) {
+    engine::SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+    sharded.write_result(s, run_sweep_shard(manifest, s, runner));
+  }
+
+  eval::Json one = eval::Json::object();  // single-shard manifest, same specs
+  one.set("kind", eval::Json::string("sweep"));
+  one.set("dataset", eval::Json::string("blobs"));
+  one.set("backend", eval::Json::string("blocked"));
+  one.set("shards", eval::Json::number(std::int64_t{1}));
+  {
+    eval::Json arr = eval::Json::array();
+    for (const auto& s : specs) arr.push_back(s.to_json());
+    one.set("specs", std::move(arr));
+  }
+  const JobDir single = create_sweep_job(scratch.sub("single"), one);
+  {
+    engine::SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+    single.write_result(0, run_sweep_shard(one, 0, runner));
+  }
+
+  const eval::Json sharded_reduced = reduce_job(sharded);
+  const eval::Json single_reduced = reduce_job(single);
+  ASSERT_EQ(sharded_reduced.at("rows").size(), specs.size());
+  // The kind/dataset/backend/rows bytes must match exactly; `shards` is
+  // the one field that legitimately differs, so compare rows directly.
+  EXPECT_EQ(sharded_reduced.at("rows").items().size(), single_reduced.at("rows").items().size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(sharded_reduced.at("rows").at(i).dump(2), single_reduced.at("rows").at(i).dump(2))
+        << "row " << i;
+
+  // Rows carry real solves, canonically ordered and scrubbed.
+  for (const auto& row : sharded_reduced.at("rows").items()) {
+    EXPECT_GT(row.get_int("l0", 0), 0);
+    EXPECT_EQ(row.get_number("seconds", -1.0), 0.0);
+  }
+  engine::SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+  EXPECT_THROW((void)run_sweep_shard(manifest, static_cast<int>(specs.size()), runner),
+               std::out_of_range);
+  EXPECT_THROW((void)run_sweep_shard(manifest, -1, runner), std::out_of_range);
+}
+
+TEST(SweepSpecJson, RoundTripsAllDeclarativeFields) {
+  engine::SweepSpec spec;
+  spec.method = "gda";
+  spec.layers = {"fc1", "fc2"};
+  spec.weights = true;
+  spec.biases = false;
+  spec.S = 3;
+  spec.R = 17;
+  spec.seed = 0xDEADBEEFCAFE1234ULL;  // > 2^53: must survive via string
+  spec.policy = core::TargetPolicy::kNextLabel;
+  spec.tag = "ablation-a";
+  spec.measure_accuracy = false;
+  engine::CampaignConfig cfg;
+  cfg.injectors = {"laser", "clock-glitch"};
+  cfg.shards = 5;
+  cfg.seed = 0xFFFFFFFFFFFFFFFFULL;
+  cfg.format = faultsim::StorageFormat::kBfloat16;
+  cfg.layout.base_address = 0xFFFF000000000000ULL;
+  cfg.layout.row_bytes = 4096;
+  spec.campaign = cfg;
+
+  const engine::SweepSpec back =
+      engine::SweepSpec::from_json(eval::Json::parse(spec.to_json().dump(2)));
+  EXPECT_EQ(back.method, spec.method);
+  EXPECT_EQ(back.layers, spec.layers);
+  EXPECT_EQ(back.weights, spec.weights);
+  EXPECT_EQ(back.biases, spec.biases);
+  EXPECT_EQ(back.S, spec.S);
+  EXPECT_EQ(back.R, spec.R);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.policy, spec.policy);
+  EXPECT_EQ(back.tag, spec.tag);
+  EXPECT_EQ(back.measure_accuracy, spec.measure_accuracy);
+  ASSERT_TRUE(back.campaign.has_value());
+  EXPECT_EQ(back.campaign->injectors, cfg.injectors);
+  EXPECT_EQ(back.campaign->shards, cfg.shards);
+  EXPECT_EQ(back.campaign->seed, cfg.seed);
+  EXPECT_EQ(back.campaign->format, cfg.format);
+  EXPECT_EQ(back.campaign->layout.base_address, cfg.layout.base_address);
+  EXPECT_EQ(back.campaign->layout.row_bytes, cfg.layout.row_bytes);
+
+  // Pre-configured attacker overrides cannot cross a process boundary.
+  engine::SweepSpec with_attacker;
+  with_attacker.attacker = engine::make_attacker("gda");
+  EXPECT_THROW((void)with_attacker.to_json(), std::invalid_argument);
+}
+
+// ---- injector calibration profiles -------------------------------------------
+
+TEST(InjectorProfile, OverridesParametersAndEmbedsIntoManifests) {
+  ProfileGuard guard;
+  const faultsim::BitFlipPlan plan = test_plan();
+  const faultsim::MemoryLayout layout;
+  const double default_cost = faultsim::make_injector("laser")->plan_cost(plan, layout);
+
+  eval::Json profile = eval::Json::parse(R"({
+    "name": "test-bench",
+    "injectors": { "laser": { "locate_seconds": 1000.0 } }
+  })");
+  faultsim::load_injector_profile(profile);
+  ASSERT_NE(faultsim::active_injector_profile(), nullptr);
+  const double calibrated_cost = faultsim::make_injector("laser")->plan_cost(plan, layout);
+  EXPECT_GT(calibrated_cost, default_cost * 10.0);  // 20 s → 1000 s per locate
+
+  // The planner embeds the profile, so a shard worker in a FRESH process
+  // (simulated here by clearing first) replays the calibration exactly.
+  const faultsim::CampaignPlanner planner("laser", 2, 7);
+  const eval::Json manifest = planner.manifest(plan, layout);
+  ASSERT_TRUE(manifest.has("injector_profile"));
+  faultsim::clear_injector_profile();
+  const eval::Json shard0 = run_campaign_shard(manifest, 0);
+  const eval::Json shard1 = run_campaign_shard(manifest, 1);
+  const faultsim::InjectorPtr calibrated = faultsim::make_injector("laser");  // re-registered
+  const faultsim::CampaignReport merged =
+      calibrated->merge({faultsim::CampaignReport::from_json(shard0.at("report")),
+                         faultsim::CampaignReport::from_json(shard1.at("report"))});
+  EXPECT_EQ(merged.seconds,
+            calibrated->cost_seconds(merged));  // costed with locate_seconds = 1000
+  EXPECT_GT(merged.seconds, default_cost * 10.0);
+}
+
+TEST(InjectorProfile, RejectsUnknownInjectorsAndParameters) {
+  ProfileGuard guard;
+  EXPECT_THROW(
+      faultsim::load_injector_profile(eval::Json::parse(R"({"injectors":{"emp":{"x":1}}})")),
+      std::invalid_argument);
+  EXPECT_THROW(faultsim::load_injector_profile(
+                   eval::Json::parse(R"({"injectors":{"laser":{"locate_secondz":1}}})")),
+               std::invalid_argument);
+  EXPECT_THROW(faultsim::load_injector_profile(eval::Json::parse(R"({"injectors":{}})")),
+               std::invalid_argument);
+  EXPECT_THROW(faultsim::load_injector_profile(eval::Json::parse(R"({"typo":{}})")),
+               std::invalid_argument);
+  // A rejected profile must not have been half-applied.
+  EXPECT_EQ(faultsim::active_injector_profile(), nullptr);
+}
+
+TEST(InjectorProfile, ShippedProfilesParseAndLoad) {
+  ProfileGuard guard;
+  for (const char* name : {"ddr3_rowhammer.json", "laser_bench.json"}) {
+    const fs::path repo_profile = fs::path(__FILE__).parent_path().parent_path() / "profiles" / name;
+    if (!fs::exists(repo_profile)) GTEST_SKIP() << "profiles/ not present in this checkout";
+    EXPECT_NO_THROW(faultsim::load_injector_profile_file(repo_profile.string())) << name;
+  }
+}
+
+// ---- WorkerPool: real child processes ----------------------------------------
+
+/// argv for re-running THIS binary as a campaign shard worker (the same
+/// contract fsa_cli's --run-shard mode implements; see worker_main).
+std::vector<std::string> worker_argv(const JobDir& job, int shard,
+                                     const std::vector<std::string>& extra = {}) {
+  std::vector<std::string> argv = {self_exe(),    "campaign",
+                                   "--run-shard", job.manifest_path(),
+                                   "--shard",     std::to_string(shard),
+                                   "--out",       job.result_path(shard)};
+  argv.insert(argv.end(), extra.begin(), extra.end());
+  return argv;
+}
+
+TEST(WorkerPool, MultiProcessCampaignBitwiseIdenticalForAnyWorkerCount) {
+  Scratch scratch("fsa_dist_procs");
+  const faultsim::BitFlipPlan plan = test_plan();
+  const faultsim::MemoryLayout layout;
+  const int shards = 6;
+
+  std::string baseline;
+  for (const int workers : {1, 4, 8}) {
+    const std::string dir = scratch.sub("w" + std::to_string(workers));
+    const faultsim::CampaignPlanner planner("rowhammer", shards, 7);
+    const JobDir job = create_campaign_job(dir, planner, plan, layout);
+    RunJobOptions opts;
+    opts.workers = workers;
+    opts.verbose = false;
+    const eval::Json reduced = run_job(job, self_exe(), opts);
+    // run_job wrote reduced.json too; the file and the return agree.
+    EXPECT_EQ(read_json_file(job.reduced_path()).dump(2), reduced.dump(2));
+    if (baseline.empty())
+      baseline = reduced.dump(2);
+    else
+      EXPECT_EQ(reduced.dump(2), baseline) << workers << " workers drifted";
+  }
+  // And the whole multi-process path matches the in-process thread path.
+  const faultsim::CampaignReport direct =
+      faultsim::CampaignRunner(shards, 7).run("rowhammer", plan, layout);
+  EXPECT_EQ(eval::Json::parse(baseline).at("report").dump(2), direct.to_json().dump(2));
+}
+
+TEST(WorkerPool, CrashedWorkerIsRetriedAndResultDoesNotDrift) {
+  Scratch scratch("fsa_dist_retry");
+  const faultsim::BitFlipPlan plan = test_plan();
+  const faultsim::MemoryLayout layout;
+  const faultsim::CampaignPlanner planner("laser", 3, 7);
+
+  // Clean reference run.
+  const JobDir clean = create_campaign_job(scratch.sub("clean"), planner, plan, layout);
+  RunJobOptions opts;
+  opts.workers = 2;
+  opts.verbose = false;
+  const std::string want = run_job(clean, self_exe(), opts).dump(2);
+
+  // Every worker crashes on its FIRST attempt (--fail-once marker file),
+  // succeeds on the retry; the reduced document must not change a byte.
+  const JobDir flaky = create_campaign_job(scratch.sub("flaky"), planner, plan, layout);
+  RunJobOptions flaky_opts = opts;
+  flaky_opts.max_attempts = 2;
+  flaky_opts.extra_argv = {"--fail-once", scratch.sub("marker")};
+  const eval::Json reduced = run_job(flaky, self_exe(), flaky_opts);
+  EXPECT_EQ(reduced.dump(2), want);
+
+  // Pool-level accounting: a directly driven flaky shard takes 2 attempts.
+  const JobDir counted = create_campaign_job(scratch.sub("counted"), planner, plan, layout);
+  WorkerPool pool({2, 3, false});
+  const std::vector<ShardRun> runs = pool.run(
+      {0, 1, 2},
+      [&](int s) { return worker_argv(counted, s, {"--fail-once", scratch.sub("marker2")}); },
+      [&](int s) { return counted.log_path(s); });
+  ASSERT_EQ(runs.size(), 3u);
+  int retried = 0;
+  for (const ShardRun& r : runs) {
+    EXPECT_EQ(r.exit_code, 0) << "shard " << r.shard;
+    retried += r.attempts > 1 ? 1 : 0;
+  }
+  EXPECT_GE(retried, 1);  // exactly one shard hit the marker race first and crashed
+}
+
+TEST(WorkerPool, PermanentFailureIsReportedWithLogPath) {
+  Scratch scratch("fsa_dist_fail");
+  const faultsim::CampaignPlanner planner("laser", 2, 7);
+  const JobDir job =
+      create_campaign_job(scratch.sub("job"), planner, test_plan(), faultsim::MemoryLayout{});
+  RunJobOptions opts;
+  opts.workers = 2;
+  opts.max_attempts = 2;
+  opts.verbose = false;
+  opts.extra_argv = {"--fail-always"};
+  try {
+    (void)run_job(job, self_exe(), opts);
+    FAIL() << "expected worker-failure error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("exit 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 attempt(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("logs"), std::string::npos) << what;
+  }
+  // Resume after the bug is "fixed": only the missing shards run.
+  const eval::Json reduced = run_job(job, self_exe(), RunJobOptions{2, 2, false, {}});
+  EXPECT_EQ(reduced.get_string("kind", ""), "campaign");
+}
+
+TEST(WorkerPool, RejectsNonPositiveConfiguration) {
+  EXPECT_THROW(WorkerPool({0, 2, false}), std::invalid_argument);
+  EXPECT_THROW(WorkerPool({2, 0, false}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsa::dist
+
+// ---- worker mode -------------------------------------------------------------
+//
+// WorkerPool tests spawn THIS binary with the fsa_cli shard-worker
+// contract (`<exe> campaign --run-shard M --shard I --out F`). Detect that
+// argv shape before gtest sees it and run the worker entry instead.
+// `--fail-once <marker>` / `--fail-always` inject deterministic crashes
+// for the retry tests.
+namespace {
+
+int worker_main(int argc, char** argv) {
+  using namespace fsa;
+  try {
+    const eval::Args args = eval::Args::parse(argc, argv);
+    if (args.command() != "campaign") {
+      std::fprintf(stderr, "dist_test worker: unsupported kind %s\n", args.command().c_str());
+      return 2;
+    }
+    if (args.has_flag("fail-always")) {
+      std::fprintf(stderr, "dist_test worker: injected permanent failure\n");
+      return 3;
+    }
+    if (const std::string marker = args.get("fail-once", ""); !marker.empty()) {
+      // First process to claim the marker crashes; O_EXCL makes the claim
+      // atomic across concurrent workers.
+      if (!std::filesystem::exists(marker)) {
+        std::ofstream os(marker);
+        os << "crashed\n";
+        std::fprintf(stderr, "dist_test worker: injected one-time crash\n");
+        return 3;
+      }
+    }
+    const eval::Json manifest = dist::read_json_file(args.get("run-shard", ""));
+    const auto shard = static_cast<int>(args.get_int("shard", -1));
+    dist::write_json_atomic(args.get("out", ""), dist::run_campaign_shard(manifest, shard));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dist_test worker: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--run-shard") return worker_main(argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -389,7 +389,9 @@ TEST(SweepRunner, JsonReportCarriesAllRows) {
   ASSERT_EQ(j.at("rows").size(), 1u);
   const AttackReport back = AttackReport::from_json(j.at("rows").at(0));
   EXPECT_EQ(back.method, "fsa-l0");
-  EXPECT_EQ(back.backend, backend::active_name());  // per-row attribution
+  // Per-row attribution: the active backend's name, refined by dispatching
+  // backends ("auto" rows record e.g. "auto(blocked)").
+  EXPECT_EQ(back.backend.rfind(backend::active_name(), 0), 0u) << back.backend;
   EXPECT_EQ(back.l0, result.rows[0].report.l0);
   EXPECT_EQ(back.seed, 5u);
 }

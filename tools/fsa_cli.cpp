@@ -16,6 +16,9 @@
 //   campaign  --dataset digits --layers fc3 --delta delta.bin
 //             [--injector rowhammer,laser,clock-glitch] [--shards K]
 //             [--seed N] [--manifest shards.json]
+//             [--workers N [--job dir] [--retries R]]
+//             | --run-shard manifest.json --shard I [--out result.json]
+//   dist      run|reduce|status --job dir [--workers N] [--retries R]
 //   audit     --dataset digits --layers fc3 --delta delta.bin
 //
 // `attack` solves one instance through the engine registry and prints the
@@ -30,13 +33,30 @@
 // "blocked") selects the compute backend that every hot kernel routes
 // through; `--injector` (default: FSA_INJECTOR, else per-command) selects
 // fault injectors the same way — unknown names fail loudly listing the
-// registry.
+// registry. `--injector-profile file.json` (default: FSA_INJECTOR_PROFILE)
+// loads a calibration profile overriding injector cost-model parameters.
+//
+// Multi-process distribution (src/dist/, see docs/DIST.md): `--workers N`
+// routes a campaign or sweep through a job directory — the coordinator
+// writes a self-contained manifest, spawns N copies of this binary in
+// `--run-shard` mode (one shard per child, bounded retries, per-shard
+// logs), and reduces the shard results with the zero-drift reducer, so
+// the reduced JSON is bitwise identical for ANY worker count. `dist
+// run|reduce|status` operates on an existing job directory, which is the
+// whole coordination protocol — put it on shared storage and run workers
+// anywhere.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
 #include "backend/compute_backend.h"
+#include "dist/jobs.h"
+#include "dist/reducer.h"
+#include "dist/worker_pool.h"
 #include "engine/attackers.h"
 #include "engine/registry.h"
 #include "engine/sweep.h"
@@ -45,35 +65,121 @@
 #include "eval/detect.h"
 #include "eval/table.h"
 #include "faultsim/campaign.h"
+#include "faultsim/profile.h"
 #include "tensor/serialize.h"
 
 namespace {
 
 using namespace fsa;
 
+/// argv[0], for re-executing this binary as a shard worker.
+const char* g_argv0 = "fsa_cli";
+
 int usage() {
   std::fputs(
-      "usage: fsa_cli <info|methods|backends|injectors|attack|sweep|campaign|audit> [options]\n"
+      "usage: fsa_cli <info|methods|backends|injectors|attack|sweep|campaign|dist|audit>"
+      " [options]\n"
       "  info\n"
       "  methods\n"
       "  backends\n"
       "  injectors\n"
       "  attack   --dataset digits|objects --layers fc3[,fc2...] --s N --r N\n"
       "           [--method fsa-l0|fsa-l2|fsa-l1|gda|sba] [--norm l0|l2|l1]\n"
-      "           [--backend reference|blocked|packed] [--seed N] [--rho X] [--c X]\n"
+      "           [--backend reference|blocked|packed|auto] [--seed N] [--rho X] [--c X]\n"
       "           [--weights-only|--biases-only] [--save delta.bin] [--verbose]\n"
       "  sweep    --dataset D --layers L --s-list 1,2,4 --r-list 50,100\n"
       "           [--method M1,M2,...] [--seeds 1,2,...] [--norm l0|l2|l1]\n"
-      "           [--backend reference|blocked|packed]\n"
+      "           [--backend reference|blocked|packed|auto]\n"
       "           [--with-campaign] [--injector I1,I2,...] [--shards K]\n"
+      "           [--injector-profile file.json]\n"
       "           [--weights-only|--biases-only] [--json out.json] [--csv out.csv]\n"
       "           [--no-acc] [--quiet]\n"
+      "           [--workers N [--job dir] [--retries R]]\n"
+      "           | --run-shard manifest.json --shard I [--out result.json]\n"
       "  campaign --dataset D --layers L --delta delta.bin\n"
       "           [--injector rowhammer|laser|clock-glitch,...] [--shards K]\n"
-      "           [--seed N] [--manifest shards.json]\n"
+      "           [--seed N] [--manifest shards.json] [--injector-profile file.json]\n"
+      "           [--workers N [--job dir] [--retries R]]\n"
+      "           | --run-shard manifest.json --shard I [--out result.json]\n"
+      "  dist     run    --job dir [--workers N] [--retries R]\n"
+      "           reduce --job dir\n"
+      "           status --job dir\n"
       "  audit    --dataset D --layers L --delta delta.bin\n",
       stderr);
   return 2;
+}
+
+/// Strictly positive integer option: present-but-zero (or negative) is an
+/// error, not a silent default — `--shards 0` / `--workers 0` must fail
+/// loudly before any model loads.
+int positive_int(const eval::Args& args, const std::string& key, int fallback) {
+  if (args.get(key, "").empty() && !args.has_flag(key)) return fallback;
+  const auto v = args.get_int(key, fallback);
+  if (v < 1)
+    throw std::invalid_argument("--" + key + " must be >= 1, got " + args.get(key, "(none)"));
+  return static_cast<int>(v);
+}
+
+/// Load the injector calibration profile, if one is selected:
+/// --injector-profile wins, then FSA_INJECTOR_PROFILE. Re-registers the
+/// profiled injectors so every later make_injector() — including the
+/// sweep engine's campaign stage — uses the calibrated cost model; the
+/// loaded document is embedded into campaign manifests so out-of-process
+/// shard workers replay it exactly.
+void apply_injector_profile(const eval::Args& args) {
+  std::string path = args.get("injector-profile", "");
+  if (path.empty())
+    if (const char* env = std::getenv("FSA_INJECTOR_PROFILE"); env && env[0] != '\0') path = env;
+  if (!path.empty()) faultsim::load_injector_profile_file(path);
+}
+
+/// Shard-worker options shared by campaign/sweep `--workers` mode and
+/// `dist run`.
+dist::RunJobOptions worker_options(const eval::Args& args, bool verbose) {
+  dist::RunJobOptions opts;
+  opts.workers = positive_int(args, "workers", 1);
+  const auto retries = args.get_int("retries", 1);
+  if (retries < 0) throw std::invalid_argument("--retries must be >= 0");
+  opts.max_attempts = 1 + static_cast<int>(retries);
+  opts.verbose = verbose;
+  return opts;
+}
+
+/// Validate a worker-mode shard index against a manifest BEFORE anything
+/// heavy (model load) happens.
+int shard_index(const eval::Args& args, const eval::Json& manifest) {
+  const int shards = static_cast<int>(manifest.get_int("shards", 0));
+  if (shards < 1) throw std::invalid_argument("--run-shard: manifest has no valid shard count");
+  const auto idx = args.get_int("shard", -1);
+  if (idx < 0 || idx >= shards)
+    throw std::invalid_argument("--shard " + args.get("shard", "(missing)") +
+                                " out of the manifest's range [0, " + std::to_string(shards) +
+                                ")");
+  return static_cast<int>(idx);
+}
+
+/// Emit a shard result: --out (atomic, the JobDir contract) or stdout.
+int emit_shard_result(const eval::Args& args, const eval::Json& result) {
+  if (const std::string out = args.get("out", ""); !out.empty()) {
+    dist::write_json_atomic(out, result);
+    std::printf("shard result written to %s\n", out.c_str());
+  } else {
+    std::printf("%s\n", result.dump(2).c_str());
+  }
+  return 0;
+}
+
+/// Job directory for --workers mode: --job resumes/creates at a chosen
+/// path; otherwise a per-process temp dir (removed again on success).
+std::string job_dir_root(const eval::Args& args, const std::string& kind, bool& temporary) {
+  if (const std::string dir = args.get("job", ""); !dir.empty()) {
+    temporary = false;
+    return dir;
+  }
+  temporary = true;
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("fsa_" + kind + "_job_" + std::to_string(::getpid()));
+  return dir.string();
 }
 
 /// Default injector list: --injector wins, then FSA_INJECTOR, then
@@ -204,8 +310,9 @@ int cmd_attack(const eval::Args& args) {
   const std::int64_t r = args.get_int("r", 100);
   const core::AttackSpec spec = ctx.bench->spec(s, r, args.get_int("seed", 1));
 
+  backend::active().begin_attribution();
   engine::AttackReport rep = attacker->run(ctx.model->net, ctx.bench->attack().mask(), spec);
-  rep.backend = backend::active_name();
+  rep.backend = backend::active().attribution();
   const double acc = ctx.bench->test_accuracy_with(rep.delta);
 
   eval::Table table("attack result (" + attacker->name() + ", " + rep.surface + ")");
@@ -228,15 +335,97 @@ int cmd_attack(const eval::Args& args) {
   return rep.all_targets_hit ? 0 : 1;
 }
 
+/// Worker mode: solve one shard of a sweep manifest and emit the result.
+/// Index and manifest validation happen before the model loads.
+int cmd_sweep_run_shard(const eval::Args& args) {
+  const eval::Json manifest = dist::read_json_file(args.get("run-shard", ""));
+  const int shard = shard_index(args, manifest);
+  if (const std::string be = manifest.get_string("backend", ""); !be.empty())
+    backend::set_backend(be);  // the coordinator's backend, not this env's
+
+  const std::string dataset = manifest.get_string("dataset", "digits");
+  if (dataset != "digits" && dataset != "objects")
+    throw std::invalid_argument("sweep manifest: unknown dataset \"" + dataset + "\"");
+  models::ModelZoo zoo;
+  models::ZooModel& model = dataset == "objects" ? zoo.objects() : zoo.digits();
+  engine::SweepRunner runner(model, zoo.cache_dir(), /*verbose=*/true);  // → shard log
+  return emit_shard_result(args, dist::run_sweep_shard(manifest, shard, runner));
+}
+
+/// Coordinator mode: lay the sweep out as a job directory, fan N copies of
+/// this binary out over its shards, and reduce. The reduced JSON is
+/// canonical — bitwise identical for any --workers.
+int cmd_sweep_workers(const eval::Args& args, const engine::Sweep& sweep,
+                      const std::string& dataset, const dist::RunJobOptions& opts) {
+  const std::vector<engine::SweepSpec> specs = sweep.build();
+
+  // Load the model and warm every surface's feature cache BEFORE spawning:
+  // workers read the shared FSA_CACHE_DIR, and N processes racing to train
+  // the same model (or write the same cache file) must never happen.
+  models::ModelZoo zoo;
+  models::ZooModel& model = dataset == "objects" ? zoo.objects() : zoo.digits();
+  engine::SweepRunner warm(model, zoo.cache_dir(), /*verbose=*/false);
+  for (const engine::SweepSpec& s : specs) (void)warm.bench(s.layers, s.weights, s.biases);
+
+  bool temporary = false;
+  const std::string dir = job_dir_root(args, "sweep", temporary);
+  // Resume only a job whose manifest matches THIS request byte-for-byte;
+  // a leftover directory for a different sweep errors instead of serving
+  // stale rows.
+  const dist::JobDir job = dist::open_or_create_job(
+      dir, "sweep", dist::sweep_manifest(dataset, backend::active_name(), specs));
+  const eval::Json reduced = dist::run_job(job, dist::self_exe(g_argv0), opts);
+
+  // Rebuild rows for the human-facing table; the canonical artifact is the
+  // reduced JSON itself.
+  engine::SweepResult result;
+  result.model = model.name;
+  result.backend = reduced.get_string("backend", backend::active_name());
+  result.workers = opts.workers;
+  for (const eval::Json& row : reduced.at("rows").items()) {
+    engine::SweepRow r;
+    r.report = engine::AttackReport::from_json(row);
+    const auto idx = static_cast<std::size_t>(row.get_int("index", 0));
+    if (idx < specs.size()) r.spec = specs[idx];
+    result.rows.push_back(std::move(r));
+  }
+  result.table("sweep (" + dataset + ", " + std::to_string(opts.workers) + " worker process(es))")
+      .print();
+  if (const std::string path = args.get("json", ""); !path.empty()) {
+    dist::write_json_atomic(path, reduced);
+    std::printf("reduced json written to %s\n", path.c_str());
+  }
+  if (const std::string path = args.get("csv", ""); !path.empty())
+    result.table("sweep").write_csv(path);
+  if (temporary)
+    std::filesystem::remove_all(dir);
+  else
+    std::printf("job directory: %s\n", job.path().c_str());
+
+  for (const auto& row : result.rows)
+    if (!row.report.all_targets_hit) return 1;
+  return 0;
+}
+
 int cmd_sweep(const eval::Args& args) {
   args.expect_only({"dataset", "layers", "method", "norm", "backend", "s-list", "r-list",
                     "seeds", "weights-only", "biases-only", "json", "csv", "no-acc", "quiet",
-                    "with-campaign", "injector", "shards"});
+                    "with-campaign", "injector", "shards", "injector-profile", "workers",
+                    "retries", "job", "run-shard", "shard", "out"});
+  apply_injector_profile(args);
+  if (!args.get("run-shard", "").empty()) {
+    if (!args.get("workers", "").empty())
+      throw std::invalid_argument("--run-shard (worker mode) conflicts with --workers");
+    return cmd_sweep_run_shard(args);
+  }
   select_backend(args);
   const auto [weights, biases] = surface_flags(args);
 
-  // Flag validation (campaign config included) runs BEFORE the model zoo
-  // loads: a typo must fail in milliseconds, not after a model train.
+  // Flag validation (campaign config and worker counts included) runs
+  // BEFORE the model zoo loads: a typo must fail in milliseconds, not
+  // after a model train.
+  const bool dist_mode = !args.get("workers", "").empty() || args.has_flag("workers");
+  const dist::RunJobOptions opts = worker_options(args, /*verbose=*/!args.has_flag("quiet"));
   engine::Sweep sweep;
   sweep.methods(args.get_list("method", method_name(args)))
       .layers(args.get_list("layers", "fc3"))
@@ -249,17 +438,19 @@ int cmd_sweep(const eval::Args& args) {
   if (args.has_flag("with-campaign")) {
     engine::CampaignConfig cfg;
     cfg.injectors = injector_list(args, "rowhammer");
-    cfg.shards = static_cast<int>(args.get_int("shards", 1));
+    cfg.shards = positive_int(args, "shards", 1);
     sweep.with_campaign(cfg);
-  } else if (args.get("injector", "") != "" || args.get_int("shards", 0) != 0) {
+  } else if (!args.get("injector", "").empty() || !args.get("shards", "").empty()) {
     throw std::invalid_argument("--injector/--shards require --with-campaign (sweep)");
   }
 
-  models::ModelZoo zoo;
   const std::string dataset = args.get("dataset", "digits");
   if (dataset != "digits" && dataset != "objects")
     throw std::invalid_argument("unknown --dataset \"" + dataset +
                                 "\" (expected digits or objects)");
+  if (dist_mode) return cmd_sweep_workers(args, sweep, dataset, opts);
+
+  models::ModelZoo zoo;
   models::ZooModel& model = dataset == "objects" ? zoo.objects() : zoo.digits();
 
   engine::SweepRunner runner(model, zoo.cache_dir(), /*verbose=*/!args.has_flag("quiet"));
@@ -287,14 +478,44 @@ Tensor load_delta(const eval::Args& args, const Context& ctx) {
   return tensors[0];
 }
 
+void print_campaign_line(const std::string& name, const faultsim::CampaignReport& rep,
+                         double estimate) {
+  std::printf("%s: %lld/%lld bits, %lld attempts, %lld massages, %.2f h (est %.2f h), %s\n",
+              name.c_str(), static_cast<long long>(rep.bits_flipped),
+              static_cast<long long>(rep.bits_requested),
+              static_cast<long long>(rep.attempts), static_cast<long long>(rep.massages),
+              rep.seconds / 3600.0, estimate / 3600.0,
+              rep.success ? "complete" : "INCOMPLETE");
+}
+
+/// Worker mode: simulate one shard of a campaign manifest. Needs no model,
+/// no δ, no dataset — the manifest is self-contained.
+int cmd_campaign_run_shard(const eval::Args& args) {
+  const eval::Json manifest = dist::read_json_file(args.get("run-shard", ""));
+  const int shard = shard_index(args, manifest);
+  return emit_shard_result(args, dist::run_campaign_shard(manifest, shard));
+}
+
 int cmd_campaign(const eval::Args& args) {
-  args.expect_only({"dataset", "layers", "delta", "injector", "shards", "seed", "manifest"});
-  // Validate the injector selection BEFORE touching the model zoo: a typo
-  // must fail in milliseconds, not after a model train.
+  args.expect_only({"dataset", "layers", "delta", "injector", "shards", "seed", "manifest",
+                    "injector-profile", "workers", "retries", "job", "run-shard", "shard",
+                    "out"});
+  apply_injector_profile(args);
+  if (!args.get("run-shard", "").empty()) {
+    if (!args.get("workers", "").empty())
+      throw std::invalid_argument("--run-shard (worker mode) conflicts with --workers");
+    return cmd_campaign_run_shard(args);
+  }
+  // Validate the injector selection and all counts BEFORE touching the
+  // model zoo: a typo must fail in milliseconds, not after a model train.
   const std::vector<std::string> injectors = injector_list(args, "laser");
-  const int shards = static_cast<int>(args.get_int("shards", 1));
+  const bool dist_mode = !args.get("workers", "").empty() || args.has_flag("workers");
+  const dist::RunJobOptions opts = worker_options(args, /*verbose=*/true);
+  // In dist mode an unspecified --shards defaults to the worker count so
+  // every process has work; totals are shard-count invariant either way.
+  const int shards = positive_int(args, "shards", dist_mode ? opts.workers : 1);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
-  const faultsim::CampaignRunner runner(shards, seed);  // throws on shards < 1
+  const faultsim::CampaignRunner runner(shards, seed);
 
   Context ctx(args.get("dataset", "digits"), args.get("layers", "fc3"), true, true);
   const Tensor delta = load_delta(args, ctx);
@@ -310,27 +531,83 @@ int cmd_campaign(const eval::Args& args) {
   if (const std::string path = args.get("manifest", ""); !path.empty()) {
     // Shard manifest for out-of-process execution (first selected injector).
     const faultsim::CampaignPlanner planner(injectors.front(), shards, seed);
-    std::ofstream os(path);
-    os << planner.manifest(plan, layout).dump(2) << "\n";
-    if (!os.good())
-      throw std::runtime_error("failed to write shard manifest to " + path);
+    dist::write_json_atomic(path, planner.manifest(plan, layout));
     std::printf("shard manifest written to %s\n", path.c_str());
   }
 
   bool all_complete = true;
+  if (dist_mode) {
+    // One job directory per injector; shards run in child processes. The
+    // reduced totals are bitwise identical to the in-process path.
+    bool temporary = false;
+    const std::string root = job_dir_root(args, "campaign", temporary);
+    for (const std::string& name : injectors) {
+      const std::string dir =
+          injectors.size() == 1 ? root : (std::filesystem::path(root) / name).string();
+      const faultsim::CampaignPlanner planner(name, shards, seed);
+      const dist::JobDir job =
+          dist::open_or_create_job(dir, "campaign", planner.manifest(plan, layout));
+      const eval::Json reduced = dist::run_job(job, dist::self_exe(g_argv0), opts);
+      const faultsim::CampaignReport rep =
+          faultsim::CampaignReport::from_json(reduced.at("report"));
+      print_campaign_line(name, rep, faultsim::make_injector(name)->plan_cost(plan, layout));
+      all_complete = all_complete && rep.success;
+    }
+    // A worker failure throws out of run_job and leaves the directory (and
+    // its logs) behind for diagnosis; reaching here means every shard ran.
+    if (temporary)
+      std::filesystem::remove_all(root);
+    else
+      std::printf("job directory: %s\n", root.c_str());
+    return all_complete ? 0 : 1;
+  }
+
   for (const std::string& name : injectors) {
     const faultsim::InjectorPtr injector = faultsim::make_injector(name);
     const double estimate = injector->plan_cost(plan, layout);
     const faultsim::CampaignReport rep = runner.run(*injector, plan, layout);
-    std::printf("%s: %lld/%lld bits, %lld attempts, %lld massages, %.2f h (est %.2f h), %s\n",
-                name.c_str(), static_cast<long long>(rep.bits_flipped),
-                static_cast<long long>(rep.bits_requested),
-                static_cast<long long>(rep.attempts), static_cast<long long>(rep.massages),
-                rep.seconds / 3600.0, estimate / 3600.0,
-                rep.success ? "complete" : "INCOMPLETE");
+    print_campaign_line(name, rep, estimate);
     all_complete = all_complete && rep.success;
   }
   return all_complete ? 0 : 1;
+}
+
+/// `dist run|reduce|status --job dir`: operate on an existing job
+/// directory — the whole coordination protocol lives in its files.
+int cmd_dist(const eval::Args& args) {
+  const std::string mode = args.command();
+  if (mode != "run" && mode != "reduce" && mode != "status") return usage();
+  args.expect_only({"job", "workers", "retries"});
+  const std::string dir = args.get("job", "");
+  if (dir.empty()) throw std::invalid_argument("dist " + mode + ": --job <dir> is required");
+  const dist::JobDir job = dist::JobDir::open(dir);
+
+  if (mode == "status") {
+    const dist::JobStatus st = job.status();
+    std::printf("job %s: kind %s, %d shard(s), %zu done, %zu missing, %s\n", job.path().c_str(),
+                job.kind().c_str(), st.shards, st.done.size(), st.missing.size(),
+                st.reduced ? "reduced" : "not reduced");
+    if (!st.missing.empty()) {
+      std::string missing;
+      for (int s : st.missing) missing += (missing.empty() ? "" : ",") + std::to_string(s);
+      std::printf("missing shards: %s\n", missing.c_str());
+    }
+    return st.missing.empty() ? 0 : 1;
+  }
+
+  if (mode == "reduce") {
+    const eval::Json reduced = dist::reduce_job(job);  // throws listing missing shards
+    job.write_reduced(reduced);
+    std::printf("%s\n", reduced.dump(2).c_str());
+    std::printf("reduced json written to %s\n", job.reduced_path().c_str());
+    return 0;
+  }
+
+  const eval::Json reduced = dist::run_job(job, dist::self_exe(g_argv0),
+                                           worker_options(args, /*verbose=*/true));
+  std::printf("%s\n", reduced.dump(2).c_str());
+  std::printf("reduced json written to %s\n", job.reduced_path().c_str());
+  return 0;
 }
 
 int cmd_audit(const eval::Args& args) {
@@ -350,7 +627,12 @@ int cmd_audit(const eval::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 0 && argv[0] && argv[0][0] != '\0') g_argv0 = argv[0];
   try {
+    // `dist` carries a sub-subcommand (run|reduce|status): shift it into
+    // the parser's subcommand slot.
+    if (argc > 1 && std::string(argv[1]) == "dist")
+      return cmd_dist(eval::Args::parse(argc - 1, argv + 1));
     const eval::Args args = eval::Args::parse(argc, argv);
     if (args.command() == "info") return cmd_info();
     if (args.command() == "methods") return cmd_methods();
