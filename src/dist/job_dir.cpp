@@ -58,6 +58,7 @@ JobDir JobDir::create(const std::string& path, const std::string& kind, int shar
                                 " already holds a job (open it to resume, or remove it)");
   fs::create_directories(fs::path(path) / "results");
   fs::create_directories(fs::path(path) / "logs");
+  fs::create_directories(fs::path(path) / "leases");
   JobDir job(path, kind, shards);
   write_json_atomic(job.manifest_path(), manifest);
   eval::Json spec = eval::Json::object();
@@ -74,7 +75,11 @@ JobDir JobDir::open(const std::string& path) {
   const int shards = static_cast<int>(spec.get_int("shards", 0));
   if ((kind != "campaign" && kind != "sweep") || shards < 1)
     throw std::runtime_error("JobDir: " + path + "/job.json is malformed");
-  return JobDir(path, kind, shards);
+  JobDir job(path, kind, shards);
+  // Resume hygiene: crashed writers leave `*.tmp.<pid>` staging files
+  // behind; clear the stale ones so the directory stays clean.
+  job.sweep_orphaned_tmp();
+  return job;
 }
 
 bool JobDir::exists(const std::string& path) {
@@ -106,6 +111,11 @@ std::string JobDir::log_path(int shard) const {
   return (fs::path(path_) / "logs" / (shard_file(shard) + ".log")).string();
 }
 
+std::string JobDir::lease_path(int shard) const {
+  check_shard(shard);
+  return (fs::path(path_) / "leases" / (shard_file(shard) + ".lease")).string();
+}
+
 eval::Json JobDir::manifest() const { return read_json_file(manifest_path()); }
 
 bool JobDir::has_result(int shard) const {
@@ -120,6 +130,49 @@ void JobDir::write_result(int shard, const eval::Json& j) const {
 }
 
 void JobDir::write_reduced(const eval::Json& j) const { write_json_atomic(reduced_path(), j); }
+
+void JobDir::quarantine_result(int shard) const {
+  const std::string path = result_path(shard);
+  std::error_code ec;
+  fs::remove(path + ".bad", ec);  // replace any earlier quarantine
+  fs::rename(path, path + ".bad", ec);
+  if (ec)
+    throw std::runtime_error("JobDir: cannot quarantine " + path + ": " + ec.message());
+}
+
+std::vector<int> JobDir::validate_results() const {
+  std::vector<int> quarantined;
+  for (int s = 0; s < shards_; ++s) {
+    if (!has_result(s)) continue;
+    try {
+      (void)read_json_file(result_path(s));
+    } catch (const std::exception& e) {
+      quarantine_result(s);
+      std::fprintf(stderr, "[dist] %s: quarantined corrupt result for shard %d -> %s.bad (%s)\n",
+                   path_.c_str(), s, result_path(s).c_str(), e.what());
+      quarantined.push_back(s);
+    }
+  }
+  return quarantined;
+}
+
+void JobDir::sweep_orphaned_tmp(std::chrono::seconds min_age) const {
+  const auto cutoff = fs::file_time_type::clock::now() - min_age;
+  for (const fs::path dir : {fs::path(path_), fs::path(path_) / "results", fs::path(path_) / "leases"}) {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      // write_json_atomic stages as `<name>.tmp.<pid>`; reclaim leaves
+      // `<name>.reclaim.<owner>` only transiently, sweep those too.
+      const std::string name = entry.path().filename().string();
+      if (name.find(".tmp.") == std::string::npos && name.find(".reclaim.") == std::string::npos)
+        continue;
+      const auto mtime = entry.last_write_time(ec);
+      if (ec || mtime > cutoff) continue;  // possibly a live writer — leave it
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
 
 JobStatus JobDir::status() const {
   JobStatus st;

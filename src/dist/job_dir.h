@@ -8,6 +8,7 @@
 //     manifest.json            kind-specific, self-contained work spec
 //     results/shard_00000.json one per completed shard, written atomically
 //     logs/shard_00000.log     worker stdout+stderr, one per shard attempt
+//     leases/shard_00000.lease live shard claims (`dist serve`, see lease.h)
 //     reduced.json             the zero-drift reduction over all results
 //
 // Workers never coordinate with each other: shard i's work is a pure
@@ -18,6 +19,7 @@
 // is re-run by spawning workers for the shards whose results are missing.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -63,6 +65,7 @@ class JobDir {
   [[nodiscard]] std::string manifest_path() const;
   [[nodiscard]] std::string result_path(int shard) const;
   [[nodiscard]] std::string log_path(int shard) const;
+  [[nodiscard]] std::string lease_path(int shard) const;
   [[nodiscard]] std::string reduced_path() const;
 
   [[nodiscard]] eval::Json manifest() const;
@@ -71,6 +74,26 @@ class JobDir {
   void write_result(int shard, const eval::Json& j) const;
   void write_reduced(const eval::Json& j) const;
   [[nodiscard]] JobStatus status() const;
+
+  /// Quarantine a corrupt or truncated result: rename it to
+  /// `shard_NNNNN.json.bad` (replacing any earlier quarantine) so the
+  /// shard re-enters the missing set and `dist run`/`serve` re-execute
+  /// it. The worker path can't produce such a file (results are written
+  /// tmp+rename), but a write outside the atomic path — a crashed editor,
+  /// fs corruption, a partial copy — must not abort the whole job.
+  void quarantine_result(int shard) const;
+
+  /// Parse-check every present result file and quarantine the corrupt
+  /// ones. Returns the quarantined shard indices (usually empty). Run
+  /// before status()/reduce on resume so corrupt results count as missing
+  /// instead of poisoning the reduction.
+  std::vector<int> validate_results() const;
+
+  /// Remove orphaned `*.tmp.<pid>` staging files (write_json_atomic
+  /// leftovers from crashed writers) older than `min_age` from the job's
+  /// root, results/ and leases/ directories. The age guard keeps a live
+  /// writer's in-flight tmp safe; open() sweeps automatically.
+  void sweep_orphaned_tmp(std::chrono::seconds min_age = std::chrono::seconds(10)) const;
 
  private:
   JobDir(std::string path, std::string kind, int shards);

@@ -81,8 +81,15 @@ eval::Json sweep_manifest(const std::string& dataset, const std::string& backend
   if (const eval::Json* profile = faultsim::active_injector_profile())
     j.set("injector_profile", *profile);
   eval::Json arr = eval::Json::array();
-  for (const engine::SweepSpec& s : specs) arr.push_back(s.to_json());
+  eval::Json costs = eval::Json::array();
+  for (const engine::SweepSpec& s : specs) {
+    arr.push_back(s.to_json());
+    // Work proxy for longest-first scheduling: the S·R budget dominates a
+    // sweep instance's solve time. Only the ORDER matters, not the scale.
+    costs.push_back(eval::Json::number(static_cast<double>(s.S) * static_cast<double>(s.R)));
+  }
   j.set("specs", std::move(arr));
+  j.set("shard_costs", std::move(costs));
   return j;
 }
 
@@ -141,25 +148,63 @@ JobDir open_or_create_job(const std::string& dir, const std::string& kind,
   return job;
 }
 
+// ---- scheduling --------------------------------------------------------------
+
+std::vector<double> manifest_shard_costs(const eval::Json& manifest) {
+  const int shards = manifest_shards(manifest);
+  std::vector<double> costs(static_cast<std::size_t>(shards), 0.0);
+  if (!manifest.has("shard_costs")) return costs;  // legacy manifest: index order
+  const auto& arr = manifest.at("shard_costs").items();
+  for (std::size_t i = 0; i < arr.size() && i < costs.size(); ++i)
+    costs[i] = arr[i].as_number();
+  return costs;
+}
+
+std::vector<int> schedule_longest_first(std::vector<int> shards, const std::vector<double>& costs) {
+  const auto cost_of = [&](int s) {
+    return (s >= 0 && static_cast<std::size_t>(s) < costs.size()) ? costs[static_cast<std::size_t>(s)]
+                                                                  : 0.0;
+  };
+  std::stable_sort(shards.begin(), shards.end(),
+                   [&](int a, int b) { return cost_of(a) > cost_of(b); });
+  return shards;
+}
+
 // ---- coordination ------------------------------------------------------------
 
 eval::Json run_job(const JobDir& job, const std::string& exe, const RunJobOptions& options) {
-  const JobStatus before = job.status();
-  if (!before.missing.empty()) {
+  const std::vector<double> costs = manifest_shard_costs(job.manifest());
+  const auto argv_for = [&](int shard) {
+    std::vector<std::string> argv = {exe,       job.kind(),
+                                     "--run-shard", job.manifest_path(),
+                                     "--shard",     std::to_string(shard),
+                                     "--out",       job.result_path(shard)};
+    argv.insert(argv.end(), options.extra_argv.begin(), options.extra_argv.end());
+    return argv;
+  };
+  const auto log_for = [&](int shard) { return job.log_path(shard); };
+
+  // The pass loop exists for one reason: a result file that validates as
+  // corrupt is quarantined and its shard re-run. Pass 1 handles a clean or
+  // resumed job outright; later passes only fire when validation keeps
+  // finding corrupt bytes, and the bound turns persistent fs corruption
+  // into an error instead of an infinite loop.
+  const int max_passes = 1 + std::max(1, options.max_attempts);
+  for (int pass = 1;; ++pass) {
+    job.validate_results();  // corrupt results -> .bad, shard back to missing
+    const JobStatus st = job.status();
+    if (st.missing.empty()) break;
+    if (pass > max_passes)
+      throw std::runtime_error("dist: " + job.path() + ": shards keep producing corrupt results after " +
+                               std::to_string(max_passes) + " passes");
     if (options.verbose)
-      std::fprintf(stderr, "[dist] %s: %zu/%d shard(s) to run on %d worker(s)\n",
-                   job.path().c_str(), before.missing.size(), job.shards(), options.workers);
-    WorkerPool pool({options.workers, options.max_attempts, options.verbose});
-    const auto argv_for = [&](int shard) {
-      std::vector<std::string> argv = {exe,       job.kind(),
-                                       "--run-shard", job.manifest_path(),
-                                       "--shard",     std::to_string(shard),
-                                       "--out",       job.result_path(shard)};
-      argv.insert(argv.end(), options.extra_argv.begin(), options.extra_argv.end());
-      return argv;
-    };
-    const auto log_for = [&](int shard) { return job.log_path(shard); };
-    const std::vector<ShardRun> runs = pool.run(before.missing, argv_for, log_for);
+      std::fprintf(stderr, "[dist] %s: %zu/%d shard(s) to run on %d worker(s)%s\n",
+                   job.path().c_str(), st.missing.size(), job.shards(), options.workers,
+                   pass > 1 ? " (re-running quarantined shards)" : "");
+    WorkerPool pool(
+        {options.workers, options.max_attempts, options.verbose, options.retry_backoff_ms});
+    const std::vector<ShardRun> runs =
+        pool.run(schedule_longest_first(st.missing, costs), argv_for, log_for);
     std::string failures;
     for (const ShardRun& r : runs) {
       const bool wrote = r.exit_code == 0 && job.has_result(r.shard);
@@ -169,10 +214,10 @@ eval::Json run_job(const JobDir& job, const std::string& exe, const RunJobOption
                     std::to_string(r.attempts) + " attempt(s), see " + job.log_path(r.shard));
     }
     if (!failures.empty()) throw std::runtime_error("dist: worker failure(s): " + failures);
-  } else if (options.verbose) {
+  }
+  if (options.verbose)
     std::fprintf(stderr, "[dist] %s: all %d shard result(s) present, reducing\n",
                  job.path().c_str(), job.shards());
-  }
   const eval::Json reduced = reduce_job(job);
   job.write_reduced(reduced);
   return reduced;

@@ -69,6 +69,22 @@ eval::Json run_sweep_shard(const eval::Json& manifest, int index, engine::SweepR
 JobDir open_or_create_job(const std::string& dir, const std::string& kind,
                           const eval::Json& manifest);
 
+// ---- scheduling --------------------------------------------------------------
+
+/// Per-shard cost estimates from a manifest's "shard_costs" array
+/// (campaign manifests carry Injector::plan_cost per shard; sweep
+/// manifests a work proxy per spec). Legacy manifests without the array
+/// get all-zero costs — every scheduling decision then degrades to plain
+/// index order.
+std::vector<double> manifest_shard_costs(const eval::Json& manifest);
+
+/// Order `shards` longest-first by `costs` (stable: ties keep ascending
+/// index order, and all-zero costs leave the input order intact). Running
+/// the expensive shards first minimizes the drain tail under any worker
+/// count; the reduction is order-independent, so this is free. Indices
+/// outside `costs` count as zero cost.
+std::vector<int> schedule_longest_first(std::vector<int> shards, const std::vector<double>& costs);
+
 // ---- coordination ------------------------------------------------------------
 
 struct RunJobOptions {
@@ -76,13 +92,17 @@ struct RunJobOptions {
   int max_attempts = 2;  ///< total tries per shard (1 initial + retries)
   bool verbose = true;
   std::vector<std::string> extra_argv;  ///< appended to every worker argv (tests)
+  int retry_backoff_ms = 100;  ///< WorkerOptions::retry_backoff_ms for the pool
 };
 
-/// Coordinator loop: spawn `exe` workers (per the contract above) for
-/// every shard of `job` missing a result, reduce, write reduced.json, and
-/// return the reduced document. Resume-friendly — completed shards are
-/// never re-run. Throws listing shard index, exit code and log path when
-/// a shard still fails after the bounded retries.
+/// Coordinator loop: quarantine corrupt results, spawn `exe` workers (per
+/// the contract above) for every shard of `job` missing a result —
+/// longest-first by the manifest's shard costs — reduce, write
+/// reduced.json, and return the reduced document. Resume-friendly:
+/// completed shards are never re-run, and a corrupt/truncated result file
+/// is moved aside to `.bad` and its shard re-executed instead of aborting
+/// the job. Throws listing shard index, exit code and log path when a
+/// shard still fails after the bounded retries.
 eval::Json run_job(const JobDir& job, const std::string& exe, const RunJobOptions& options);
 
 }  // namespace fsa::dist

@@ -1,0 +1,166 @@
+#include "dist/lease.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace fsa::dist {
+
+namespace fs = std::filesystem;
+
+eval::Json LeaseInfo::to_json() const {
+  eval::Json j = eval::Json::object();
+  j.set("owner", eval::Json::string(owner));
+  j.set("pid", eval::Json::number(pid));
+  j.set("host", eval::Json::string(host));
+  j.set("created_ms", eval::Json::number(created_ms));
+  j.set("heartbeat_ms", eval::Json::number(heartbeat_ms));
+  return j;
+}
+
+LeaseInfo LeaseInfo::from_json(const eval::Json& j) {
+  LeaseInfo info;
+  info.owner = j.get_string("owner", "");
+  info.pid = j.get_int("pid", 0);
+  info.host = j.get_string("host", "");
+  info.created_ms = j.get_int("created_ms", 0);
+  info.heartbeat_ms = j.get_int("heartbeat_ms", 0);
+  return info;
+}
+
+std::int64_t lease_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+std::string hostname() {
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) != 0) return "unknown-host";
+  return buf;
+}
+
+}  // namespace
+
+std::string lease_owner_id() {
+  // A random token guards against pid recycling: a restarted worker must
+  // never believe it owns its dead predecessor's lease.
+  std::random_device rd;
+  std::ostringstream id;
+  id << hostname() << ":" << ::getpid() << ":" << std::hex << rd() << rd();
+  return id.str();
+}
+
+LeaseInfo make_lease(const std::string& owner, std::int64_t now_ms) {
+  LeaseInfo info;
+  info.owner = owner;
+  info.pid = ::getpid();
+  info.host = hostname();
+  info.created_ms = now_ms;
+  info.heartbeat_ms = now_ms;
+  return info;
+}
+
+bool try_claim_lease(const std::string& path, const LeaseInfo& info) {
+  const fs::path p(path);
+  if (p.has_parent_path()) fs::create_directories(p.parent_path());
+  // O_EXCL is the whole claim protocol: the filesystem hands the lease to
+  // exactly one creator, coordinator-free, across every host that mounts
+  // the job directory.
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;
+    throw std::runtime_error("lease: cannot create " + path + ": " + std::strerror(errno));
+  }
+  const std::string text = info.to_json().dump(2) + "\n";
+  // Body lands after the O_EXCL create, so a claimer killed right here
+  // leaves an empty lease — which parses to heartbeat 0, i.e. instantly
+  // reclaimable. No special case needed.
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("lease: cannot write " + path + ": " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+std::optional<LeaseInfo> read_lease(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::ostringstream text;
+  text << is.rdbuf();
+  try {
+    return LeaseInfo::from_json(eval::Json::parse(text.str()));
+  } catch (const std::exception&) {
+    // Present but unparseable (claimer killed mid-write): report it with a
+    // zero heartbeat so expiry logic reclaims it immediately.
+    return LeaseInfo{};
+  }
+}
+
+bool lease_expired(const LeaseInfo& info, std::int64_t expiry_ms, std::int64_t now_ms) {
+  if (now_ms <= info.heartbeat_ms) return false;  // future heartbeat = clock skew, assume alive
+  return now_ms - info.heartbeat_ms > expiry_ms;
+}
+
+bool renew_lease(const std::string& path, const std::string& owner, std::int64_t now_ms) {
+  std::optional<LeaseInfo> cur = read_lease(path);
+  if (!cur || cur->owner != owner) return false;  // reclaimed out from under us
+  cur->heartbeat_ms = now_ms;
+  // Atomic replace: a reader sees the old heartbeat or the new one, never
+  // a torn file. (A reclaimer that renamed the lease aside between our
+  // read and this rename would be resurrected by the rename re-creating
+  // the path — but reclaim only follows expiry, and a renewing owner is by
+  // definition inside its expiry window, so the window is unreachable in
+  // practice; and even then the worst case is duplicate execution.)
+  write_json_atomic(path, cur->to_json());
+  return true;
+}
+
+void release_lease(const std::string& path, const std::string& owner) {
+  const std::optional<LeaseInfo> cur = read_lease(path);
+  if (!cur || cur->owner != owner) return;  // lost to a reclaimer — not ours to unlink
+  std::error_code ec;
+  fs::remove(path, ec);  // ENOENT race with a reclaimer is fine
+}
+
+bool try_reclaim_lease(const std::string& path, const std::string& claimer) {
+  // rename() arbitrates concurrent reclaimers: the stale lease can only be
+  // renamed away once, so exactly one caller wins the right to clear it.
+  // A per-claimer target name keeps the losers from colliding on cleanup.
+  std::string suffix = claimer;
+  for (char& c : suffix)
+    if (c == '/' || c == ':') c = '_';
+  const std::string aside = path + ".reclaim." + suffix;
+  std::error_code ec;
+  fs::rename(path, aside, ec);
+  if (ec) return false;  // someone else already renamed it away
+  fs::remove(aside, ec);
+  return true;
+}
+
+std::vector<std::pair<int, LeaseInfo>> list_leases(const JobDir& job) {
+  std::vector<std::pair<int, LeaseInfo>> out;
+  for (int s = 0; s < job.shards(); ++s)
+    if (std::optional<LeaseInfo> info = read_lease(job.lease_path(s)))
+      out.emplace_back(s, std::move(*info));
+  return out;
+}
+
+}  // namespace fsa::dist

@@ -1,0 +1,95 @@
+// lease.h — crash-tolerant shard claiming over shared storage.
+//
+// A lease is a file: `<job>/leases/shard_NNNNN.lease`, created with
+// O_CREAT|O_EXCL so exactly one worker in the cluster wins each claim, no
+// coordinator required. The file holds the owner's identity and a
+// heartbeat timestamp the owner renews (atomic tmp+rename) on a fixed
+// cadence while its shard runs. Any worker that reads a lease whose
+// heartbeat is older than the configured expiry may RECLAIM it: rename
+// the stale file aside (rename is atomic, so concurrent reclaimers race
+// safely — exactly one rename succeeds), delete it, and claim fresh.
+//
+// Safety does not depend on the lease protocol being airtight. Shard work
+// is a pure function of (manifest, index) and results land via atomic
+// tmp+rename, so the worst a lost race or a wrongly-expired-but-alive
+// owner can cause is DUPLICATE execution — both writers produce the
+// identical result file and the reduction cannot change. Leases exist to
+// make duplicates rare, not to make them impossible. The one clock
+// assumption: hosts sharing a job directory agree on wall time to within
+// the lease expiry (heartbeat comparisons mix the writer's clock and the
+// reader's).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/job_dir.h"
+#include "eval/json.h"
+
+namespace fsa::dist {
+
+/// What a lease file records about its owner. `heartbeat_ms` is wall time
+/// (ms since epoch) of the most recent renewal; a corrupt or half-written
+/// lease parses to heartbeat 0, i.e. already expired and reclaimable.
+struct LeaseInfo {
+  std::string owner;  ///< globally unique worker id (host:pid:token)
+  std::int64_t pid = 0;
+  std::string host;
+  std::int64_t created_ms = 0;
+  std::int64_t heartbeat_ms = 0;
+
+  [[nodiscard]] eval::Json to_json() const;
+  static LeaseInfo from_json(const eval::Json& j);
+};
+
+/// Wall time in milliseconds since the epoch — the clock lease heartbeats
+/// are stamped and judged with.
+std::int64_t lease_now_ms();
+
+/// A fresh globally-unique owner id: `host:pid:token`, where the token is
+/// random, so a restarted worker (same host, recycled pid) never mistakes
+/// a dead predecessor's lease for its own.
+std::string lease_owner_id();
+
+/// A LeaseInfo for `owner` on this host, stamped `now_ms`.
+LeaseInfo make_lease(const std::string& owner, std::int64_t now_ms);
+
+/// Claim `path` with O_CREAT|O_EXCL. True exactly once per lease lifetime
+/// across every process in the cluster; false if the file already exists.
+bool try_claim_lease(const std::string& path, const LeaseInfo& info);
+
+/// Read a lease file. nullopt when absent; a present-but-unparseable file
+/// (a claimer killed between create and write) yields a default LeaseInfo
+/// whose zero heartbeat makes it immediately reclaimable.
+std::optional<LeaseInfo> read_lease(const std::string& path);
+
+/// True when `info`'s heartbeat is more than `expiry_ms` behind `now_ms`
+/// (future heartbeats — clock skew — count as alive).
+bool lease_expired(const LeaseInfo& info, std::int64_t expiry_ms, std::int64_t now_ms);
+
+/// Renew the heartbeat: rewrite the lease atomically with `now_ms` iff it
+/// still names `owner`. Returns false — the lease was lost to a reclaimer
+/// — when the file is gone or owned by someone else; the caller should
+/// finish its shard (the result write is atomic and idempotent) but must
+/// not release a lease it no longer owns.
+bool renew_lease(const std::string& path, const std::string& owner, std::int64_t now_ms);
+
+/// Release `path` iff it still names `owner` (unlink). Releasing a lost
+/// lease is a no-op, never a theft of the new owner's claim.
+void release_lease(const std::string& path, const std::string& owner);
+
+/// Try to win the right to reclaim a stale lease: atomically rename it
+/// aside and delete it. Exactly one of N concurrent reclaimers returns
+/// true (rename succeeds for one, ENOENT for the rest); the winner then
+/// claims normally with try_claim_lease — and may still lose THAT race to
+/// a worker that saw the path empty, which is fine: losing a claim never
+/// loses work. Callers must check lease_expired first.
+bool try_reclaim_lease(const std::string& path, const std::string& claimer);
+
+/// Every live lease of `job`: (shard, info) pairs, sorted by shard.
+/// Unreadable files appear with default (expired) info.
+std::vector<std::pair<int, LeaseInfo>> list_leases(const JobDir& job);
+
+}  // namespace fsa::dist

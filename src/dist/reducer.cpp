@@ -115,6 +115,9 @@ std::unique_ptr<Reducer> make_reducer(const std::string& kind) {
 }
 
 eval::Json reduce_job(const JobDir& job) {
+  // A corrupt result must surface as a MISSING shard (so the caller
+  // re-runs it), not as a parse error mid-reduction.
+  job.validate_results();
   const JobStatus st = job.status();
   if (!st.missing.empty()) {
     std::string missing;

@@ -1,0 +1,298 @@
+#include "dist/serve.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+#include "dist/jobs.h"
+#include "dist/lease.h"
+#include "dist/reducer.h"
+#include "dist/worker_pool.h"
+
+namespace fsa::dist {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// SIGTERM/SIGINT request a graceful drain: finish (never abandon) the
+// in-flight shard, release its lease, claim nothing new, exit.
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+
+struct SignalGuard {
+  struct sigaction old_term = {};
+  struct sigaction old_int = {};
+  SignalGuard() {
+    g_stop = 0;
+    struct sigaction sa = {};
+    sa.sa_handler = handle_stop;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, &old_term);
+    ::sigaction(SIGINT, &sa, &old_int);
+  }
+  ~SignalGuard() {
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    ::sigaction(SIGINT, &old_int, nullptr);
+  }
+};
+
+void sleep_interruptible(int ms) {
+  for (int waited = 0; waited < ms && !g_stop; waited += 20)
+    ::usleep(static_cast<useconds_t>(std::min(20, ms - waited)) * 1000);
+}
+
+/// Local give-up bookkeeping for a shard that keeps failing: exponential
+/// backoff between attempts (so a broken shard never hot-loops fork/exec
+/// across the cluster), a hard local cap after which this worker leaves
+/// the shard to someone else.
+struct ShardBackoff {
+  int failures = 0;
+  std::int64_t not_before_ms = 0;
+};
+
+std::int64_t backoff_delay_ms(int poll_ms, int failures) {
+  const int shift = std::min(failures - 1, 6);
+  return std::min<std::int64_t>(static_cast<std::int64_t>(poll_ms) << shift, 30000);
+}
+
+struct JobState {
+  JobDir job;
+  std::vector<double> costs;    ///< per-shard plan_cost estimates (manifest)
+  std::set<int> validated;      ///< result files already seen parsing clean
+  std::map<int, ShardBackoff> backoff;
+};
+
+void maybe_reduce(const JobDir& job, ServeReport& rep, const ServeOptions& opts) {
+  std::error_code ec;
+  if (fs::is_regular_file(job.reduced_path(), ec)) return;
+  try {
+    // Any worker may reduce: the document is deterministic and the write
+    // is atomic, so concurrent reducers are last-one-wins over identical
+    // bytes.
+    job.write_reduced(reduce_job(job));
+    ++rep.jobs_reduced;
+    if (opts.verbose)
+      std::fprintf(stderr, "[serve] %s: all %d shard(s) done, reduced.json written\n",
+                   job.path().c_str(), job.shards());
+  } catch (const std::exception& e) {
+    // A result was quarantined or vanished between the listing and the
+    // reduce — the next poll cycle re-runs that shard.
+    if (opts.verbose)
+      std::fprintf(stderr, "[serve] %s: reduce deferred: %s\n", job.path().c_str(), e.what());
+  }
+}
+
+/// Run one claimed shard in a child process, renewing the lease heartbeat
+/// until the child exits. Returns true when the child exited 0 and its
+/// result landed. The lease is released iff it is still ours; a lease
+/// lost to a reclaimer (this worker was wedged past the expiry) is left
+/// alone — but the shard is still finished, because the result write is
+/// atomic and duplicate execution is harmless.
+bool run_claimed_shard(const JobDir& job, int shard, const std::string& exe,
+                       const ServeOptions& opts, const std::string& owner, int heartbeat_ms) {
+  std::vector<std::string> argv = {exe,           job.kind(),
+                                   "--run-shard", job.manifest_path(),
+                                   "--shard",     std::to_string(shard),
+                                   "--out",       job.result_path(shard)};
+  argv.insert(argv.end(), opts.extra_argv.begin(), opts.extra_argv.end());
+  const std::string lease = job.lease_path(shard);
+  const pid_t pid = spawn_worker(argv, job.log_path(shard));
+  if (opts.verbose)
+    std::fprintf(stderr, "[serve] %s shard %d: claimed, worker pid %d\n", job.path().c_str(),
+                 shard, static_cast<int>(pid));
+
+  bool ours = true;
+  std::int64_t last_renew = lease_now_ms();
+  int status = 0;
+  for (;;) {
+    const pid_t got = ::waitpid(pid, &status, WNOHANG);
+    if (got == pid) break;
+    if (got < 0 && errno != EINTR)
+      throw std::runtime_error(std::string("serve: waitpid failed: ") + std::strerror(errno));
+    const std::int64_t now = lease_now_ms();
+    if (ours && now - last_renew >= heartbeat_ms) {
+      ours = renew_lease(lease, owner, now);
+      last_renew = now;
+      if (!ours && opts.verbose)
+        std::fprintf(stderr,
+                     "[serve] %s shard %d: lease lost to a reclaimer; finishing anyway\n",
+                     job.path().c_str(), shard);
+    }
+    ::usleep(10 * 1000);
+  }
+
+  const int code = decode_exit_status(status);
+  const bool ok = code == 0 && job.has_result(shard);
+  if (ours) release_lease(lease, owner);
+  if (opts.verbose) {
+    if (ok)
+      std::fprintf(stderr, "[serve] %s shard %d: done\n", job.path().c_str(), shard);
+    else
+      std::fprintf(stderr, "[serve] %s shard %d: FAILED with exit code %d, lease released (see %s)\n",
+                   job.path().c_str(), shard, code, job.log_path(shard).c_str());
+  }
+  return ok;
+}
+
+}  // namespace
+
+ServeReport serve(const ServeOptions& options, const std::string& exe) {
+  if (options.jobs.empty())
+    throw std::invalid_argument("serve: at least one job directory is required");
+  if (options.poll_ms < 1)
+    throw std::invalid_argument("serve: poll interval must be >= 1 ms");
+  if (options.lease_expiry_ms < 2)
+    throw std::invalid_argument("serve: lease expiry must be >= 2 ms");
+  const int heartbeat = options.heartbeat_ms > 0
+                            ? options.heartbeat_ms
+                            : std::max(1, std::min(options.lease_expiry_ms / 4, 5000));
+  if (heartbeat >= options.lease_expiry_ms)
+    throw std::invalid_argument("serve: heartbeat cadence must be shorter than the lease expiry");
+  const std::string owner = options.owner.empty() ? lease_owner_id() : options.owner;
+
+  SignalGuard signals;
+  std::map<std::string, JobState> states;
+  ServeReport rep;
+  if (options.verbose)
+    std::fprintf(stderr, "[serve] worker %s: polling %zu job dir(s), poll %d ms, expiry %d ms\n",
+                 owner.c_str(), options.jobs.size(), options.poll_ms, options.lease_expiry_ms);
+
+  while (!g_stop) {
+    bool attempted = false;        // ran (or tried to run) a shard this cycle
+    bool claimable_later = false;  // unfinished work that could still become ours
+    bool all_done = true;
+
+    for (const std::string& path : options.jobs) {
+      if (g_stop) break;
+      auto it = states.find(path);
+      if (it == states.end()) {
+        if (!JobDir::exists(path)) {
+          // Not laid out yet: a daemon keeps polling for it; a --once
+          // drain has nothing to wait for.
+          all_done = false;
+          if (!options.once) claimable_later = true;
+          continue;
+        }
+        JobDir opened = JobDir::open(path);  // sweeps orphaned tmp files
+        std::vector<double> costs = manifest_shard_costs(opened.manifest());
+        if (static_cast<int>(costs.size()) != opened.shards())
+          costs.assign(static_cast<std::size_t>(opened.shards()), 0.0);
+        it = states.emplace(path, JobState{opened, std::move(costs), {}, {}}).first;
+        if (options.verbose)
+          std::fprintf(stderr, "[serve] %s: %s job, %d shard(s)\n", path.c_str(),
+                       opened.kind().c_str(), opened.shards());
+      }
+      JobState& st = it->second;
+      const JobDir& job = st.job;
+
+      // Quarantine corrupt results so their shards re-enter the queue;
+      // each clean file is parse-checked once, then trusted.
+      for (int s = 0; s < job.shards(); ++s) {
+        if (st.validated.count(s) != 0 || !job.has_result(s)) continue;
+        try {
+          (void)read_json_file(job.result_path(s));
+          st.validated.insert(s);
+        } catch (const std::exception& e) {
+          job.quarantine_result(s);
+          std::fprintf(stderr, "[serve] %s: quarantined corrupt result for shard %d (%s)\n",
+                       job.path().c_str(), s, e.what());
+        }
+      }
+
+      std::vector<int> missing;
+      for (int s = 0; s < job.shards(); ++s)
+        if (!job.has_result(s)) missing.push_back(s);
+      if (missing.empty()) {
+        maybe_reduce(job, rep, options);
+        continue;
+      }
+      all_done = false;
+
+      for (const int shard : schedule_longest_first(missing, st.costs)) {
+        if (g_stop) break;
+        if (job.has_result(shard)) continue;  // landed while we worked this cycle
+        ShardBackoff& slot = st.backoff[shard];
+        if (slot.failures >= options.max_shard_failures) continue;  // someone else's problem now
+        if (lease_now_ms() < slot.not_before_ms) {
+          claimable_later = true;  // backing off, not giving up
+          continue;
+        }
+
+        const std::string lease = job.lease_path(shard);
+        if (std::optional<LeaseInfo> cur = read_lease(lease)) {
+          if (!lease_expired(*cur, options.lease_expiry_ms, lease_now_ms())) continue;
+          if (!try_reclaim_lease(lease, owner)) {
+            claimable_later = true;  // a concurrent reclaimer won; re-check next cycle
+            continue;
+          }
+          ++rep.shards_reclaimed;
+          if (options.verbose)
+            std::fprintf(stderr,
+                         "[serve] %s shard %d: reclaimed stale lease from %s (heartbeat %lld ms old)\n",
+                         job.path().c_str(), shard, cur->owner.empty() ? "(corrupt lease)" : cur->owner.c_str(),
+                         static_cast<long long>(lease_now_ms() - cur->heartbeat_ms));
+        }
+        if (!try_claim_lease(lease, make_lease(owner, lease_now_ms()))) {
+          claimable_later = true;  // lost the claim race — the winner is running it
+          continue;
+        }
+        if (job.has_result(shard)) {  // result landed between the listing and the claim
+          release_lease(lease, owner);
+          continue;
+        }
+
+        attempted = true;
+        if (run_claimed_shard(job, shard, exe, options, owner, heartbeat)) {
+          ++rep.shards_run;
+          st.validated.insert(shard);
+          st.backoff.erase(shard);
+        } else {
+          ++rep.shards_failed;
+          ++slot.failures;
+          slot.not_before_ms = lease_now_ms() + backoff_delay_ms(options.poll_ms, slot.failures);
+          if (slot.failures < options.max_shard_failures)
+            claimable_later = true;
+          else if (options.verbose)
+            std::fprintf(stderr, "[serve] %s shard %d: giving up after %d local failure(s)\n",
+                         job.path().c_str(), shard, slot.failures);
+        }
+        break;  // one shard per job per cycle: refresh status, signals, and the cost order
+      }
+    }
+
+    if (g_stop) break;
+    if (options.max_shards > 0 && rep.shards_run >= options.max_shards) break;
+    if (all_done && (options.once || options.max_shards > 0)) break;
+    if (options.once && !attempted && !claimable_later) break;
+    if (!attempted) sleep_interruptible(options.poll_ms);
+  }
+  if (g_stop) rep.drained = true;
+
+  // Exit housekeeping on every path (drain included): reduce any job
+  // whose final result has landed, so a drained cluster still leaves
+  // reduced.json behind.
+  for (auto& [path, st] : states) {
+    bool complete = true;
+    for (int s = 0; s < st.job.shards() && complete; ++s) complete = st.job.has_result(s);
+    if (complete) maybe_reduce(st.job, rep, options);
+  }
+  if (options.verbose)
+    std::fprintf(stderr,
+                 "[serve] worker %s: exiting%s — %d shard(s) run, %d failed, %d reclaimed, %d job(s) reduced\n",
+                 owner.c_str(), rep.drained ? " (drained on signal)" : "", rep.shards_run,
+                 rep.shards_failed, rep.shards_reclaimed, rep.jobs_reduced);
+  return rep;
+}
+
+}  // namespace fsa::dist

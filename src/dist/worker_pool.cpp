@@ -6,22 +6,18 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <random>
 #include <stdexcept>
 #include <utility>
 
 namespace fsa::dist {
 
-namespace {
-
-/// Spawn one child: redirect stdout+stderr to `log` (append), exec argv.
-/// Runs in the parent; returns the child pid. The child never returns —
-/// exec failure exits 127 (the shell convention), which the pool reports
-/// like any other nonzero status.
-pid_t spawn_child(const std::vector<std::string>& argv, const std::string& log) {
+pid_t spawn_worker(const std::vector<std::string>& argv, const std::string& log) {
   if (argv.empty()) throw std::invalid_argument("WorkerPool: empty argv");
   {
     const std::filesystem::path p(log);
@@ -51,10 +47,18 @@ pid_t spawn_child(const std::vector<std::string>& argv, const std::string& log) 
   ::_exit(127);
 }
 
-int exit_code_of(int status) {
+int decode_exit_status(int status) {
   if (WIFEXITED(status)) return WEXITSTATUS(status);
   if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
   return -1;
+}
+
+namespace {
+
+std::int64_t mono_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -66,6 +70,9 @@ WorkerPool::WorkerPool(WorkerOptions options) : options_(options) {
   if (options_.max_attempts < 1)
     throw std::invalid_argument("WorkerPool: max_attempts must be >= 1, got " +
                                 std::to_string(options_.max_attempts));
+  if (options_.retry_backoff_ms < 0)
+    throw std::invalid_argument("WorkerPool: retry_backoff_ms must be >= 0, got " +
+                                std::to_string(options_.retry_backoff_ms));
 }
 
 std::vector<ShardRun> WorkerPool::run(const std::vector<int>& shards,
@@ -75,15 +82,35 @@ std::vector<ShardRun> WorkerPool::run(const std::vector<int>& shards,
     int shard = 0;
     int attempts = 0;
   };
+  struct PendingRetry {
+    int shard = 0;
+    int attempts = 0;           ///< attempts already consumed
+    std::int64_t ready_ms = 0;  ///< steady-clock instant the respawn unblocks
+  };
   std::map<pid_t, InFlight> running;
   std::map<int, ShardRun> finished;
+  std::vector<PendingRetry> pending;
   std::size_t next = 0;
+
+  // Jittered exponential backoff: attempt k (k >= 2) waits
+  // base * 2^(k-2) * uniform[0.5, 1.5), capped at 10 s. The jitter keeps a
+  // fleet of simultaneously-failed shards from respawning in lockstep.
+  std::mt19937 rng(static_cast<std::uint32_t>(::getpid()) ^
+                   static_cast<std::uint32_t>(mono_ms()));
+  const auto backoff_ms = [&](int attempts_done) -> std::int64_t {
+    if (options_.retry_backoff_ms == 0) return 0;
+    const int shift = std::min(attempts_done - 1, 10);
+    const double base =
+        std::min<double>(static_cast<double>(options_.retry_backoff_ms) * (1u << shift), 10000.0);
+    std::uniform_real_distribution<double> jitter(0.5, 1.5);
+    return static_cast<std::int64_t>(base * jitter(rng));
+  };
 
   const auto spawn = [&](int shard, int attempts) {
     if (options_.verbose && attempts > 1)
       std::fprintf(stderr, "[dist] shard %d: retry (attempt %d/%d)\n", shard, attempts,
                    options_.max_attempts);
-    const pid_t pid = spawn_child(argv_for(shard), log_for(shard));
+    const pid_t pid = spawn_worker(argv_for(shard), log_for(shard));
     if (options_.verbose)
       std::fprintf(stderr, "[dist] shard %d: worker pid %d\n", shard, static_cast<int>(pid));
     running[pid] = {shard, attempts};
@@ -92,31 +119,72 @@ std::vector<ShardRun> WorkerPool::run(const std::vector<int>& shards,
   // Reap ONLY pids this pool spawned — never waitpid(-1), which would
   // steal (and discard) statuses from an embedding process's own children
   // or from a second pool on another thread. WNOHANG over the in-flight
-  // set with a short backoff costs microseconds against worker runtimes.
-  const auto reap_one = [&]() -> std::pair<pid_t, int> {
-    for (useconds_t backoff = 500;; backoff = std::min<useconds_t>(backoff * 2, 20000)) {
-      for (const auto& [pid, inflight] : running) {
-        int status = 0;
-        const pid_t got = ::waitpid(pid, &status, WNOHANG);
-        if (got == pid) return {pid, status};
-        if (got < 0 && errno != EINTR)
-          throw std::runtime_error(std::string("WorkerPool: waitpid failed: ") +
-                                   std::strerror(errno));
-      }
-      ::usleep(backoff);
+  // set keeps the loop free to launch due retries while others run.
+  const auto try_reap = [&]() -> std::pair<pid_t, int> {
+    for (const auto& [pid, inflight] : running) {
+      int status = 0;
+      const pid_t got = ::waitpid(pid, &status, WNOHANG);
+      if (got == pid) return {pid, status};
+      if (got < 0 && errno != EINTR)
+        throw std::runtime_error(std::string("WorkerPool: waitpid failed: ") +
+                                 std::strerror(errno));
     }
+    return {-1, 0};
   };
 
-  while (next < shards.size() || !running.empty()) {
-    while (next < shards.size() && running.size() < static_cast<std::size_t>(options_.workers))
-      spawn(shards[next++], 1);
-    const auto [pid, status] = reap_one();
+  useconds_t idle_backoff = 500;
+  while (next < shards.size() || !running.empty() || !pending.empty()) {
+    // Launch work while slots are free: due retries first (they are the
+    // oldest work), then fresh shards.
+    while (running.size() < static_cast<std::size_t>(options_.workers)) {
+      const std::int64_t now = mono_ms();
+      const auto due = std::find_if(pending.begin(), pending.end(),
+                                    [&](const PendingRetry& p) { return p.ready_ms <= now; });
+      if (due != pending.end()) {
+        const PendingRetry retry = *due;
+        pending.erase(due);
+        spawn(retry.shard, retry.attempts + 1);
+        continue;
+      }
+      if (next < shards.size()) {
+        spawn(shards[next++], 1);
+        continue;
+      }
+      break;
+    }
+
+    if (running.empty()) {
+      // Nothing in flight: only delayed retries remain. Sleep until the
+      // earliest one is due instead of spinning.
+      std::int64_t wake = mono_ms() + 50;
+      for (const PendingRetry& p : pending) wake = std::min(wake, p.ready_ms);
+      const std::int64_t wait = wake - mono_ms();
+      if (wait > 0) ::usleep(static_cast<useconds_t>(std::min<std::int64_t>(wait, 50)) * 1000);
+      continue;
+    }
+
+    const auto [pid, status] = try_reap();
+    if (pid < 0) {
+      ::usleep(idle_backoff);
+      idle_backoff = std::min<useconds_t>(idle_backoff * 2, 20000);
+      continue;
+    }
+    idle_backoff = 500;
+
     const auto it = running.find(pid);
     const InFlight done = it->second;
     running.erase(it);
-    const int code = exit_code_of(status);
+    const int code = decode_exit_status(status);
     if (code != 0 && done.attempts < options_.max_attempts) {
-      spawn(done.shard, done.attempts + 1);  // bounded retry
+      const std::int64_t delay = backoff_ms(done.attempts);
+      if (delay == 0) {
+        spawn(done.shard, done.attempts + 1);  // bounded retry, backoff disabled
+      } else {
+        if (options_.verbose)
+          std::fprintf(stderr, "[dist] shard %d: backing off %lld ms before retry\n", done.shard,
+                       static_cast<long long>(delay));
+        pending.push_back({done.shard, done.attempts, mono_ms() + delay});
+      }
       continue;
     }
     if (options_.verbose && code != 0)

@@ -16,6 +16,8 @@
 // dropped.
 #pragma once
 
+#include <sys/types.h>
+
 #include <functional>
 #include <string>
 #include <vector>
@@ -26,6 +28,11 @@ struct WorkerOptions {
   int workers = 1;       ///< max concurrent child processes
   int max_attempts = 2;  ///< total tries per shard (1 initial + retries)
   bool verbose = false;  ///< narrate spawns/retries/failures to stderr
+  /// Base delay before respawning a failed shard. The k-th retry waits
+  /// base * 2^(k-1), jittered uniformly in [0.5x, 1.5x) and capped at 10 s,
+  /// so a crash-looping shard never hot-loops fork/exec and simultaneous
+  /// retries de-synchronize. 0 disables the delay (immediate respawn).
+  int retry_backoff_ms = 100;
 };
 
 /// Outcome of one shard's (possibly retried) execution.
@@ -52,6 +59,16 @@ class WorkerPool {
  private:
   WorkerOptions options_;
 };
+
+/// Spawn one worker child: redirect stdout+stderr to `log` (append, parent
+/// directories created), exec `argv` (argv[0] is the executable; a bare
+/// name resolves via PATH). Returns the child pid; the child exits 127 on
+/// exec failure. Shared by WorkerPool and the `dist serve` daemon.
+pid_t spawn_worker(const std::vector<std::string>& argv, const std::string& log);
+
+/// Collapse a waitpid status into one exit code: the child's own code,
+/// 128+sig for a signal death, -1 for anything else.
+int decode_exit_status(int status);
 
 /// Absolute path of the running executable (/proc/self/exe when available,
 /// else `argv0` resolved against the cwd) — what a process passes as the

@@ -47,6 +47,28 @@ std::vector<CampaignShard> build_shards(const std::string& injector, int shards,
 
 }  // namespace
 
+double shard_cost(const Injector& injector, const CampaignShard& shard,
+                  const MemoryLayout& layout) {
+  // Fold the shard back into a sub-plan and price it with the same model
+  // that priced the whole campaign. rows_touched counts the shard's
+  // new_row flags (plan-wide first touches), so shard costs sum exactly
+  // to the full plan's estimate — the estimate is a partition, not an
+  // overlapping re-count of shared rows.
+  BitFlipPlan sub;
+  sub.flips.reserve(shard.flips.size());
+  for (const ShardFlip& sf : shard.flips) {
+    sub.flips.push_back(sf.flip);
+    sub.total_bit_flips += sf.flip.bit_count;
+    if (sf.new_row) ++sub.rows_touched;
+    const std::uint32_t mask = sf.flip.xor_mask;
+    sub.sign_bit_flips += (mask >> 31) & 1u;
+    sub.exponent_bit_flips += __builtin_popcount(mask & 0x7F800000u);
+    sub.mantissa_bit_flips += __builtin_popcount(mask & 0x007FFFFFu);
+  }
+  sub.params_modified = static_cast<std::int64_t>(sub.flips.size());
+  return injector.plan_cost(sub, layout);
+}
+
 // ---- CampaignPlanner ---------------------------------------------------------
 
 CampaignPlanner::CampaignPlanner(std::string injector, int shards, std::uint64_t campaign_seed)
@@ -74,9 +96,17 @@ eval::Json CampaignPlanner::manifest(const BitFlipPlan& plan, const MemoryLayout
   // another process must cost this campaign with the same parameters.
   if (const eval::Json* profile = active_injector_profile())
     j.set("injector_profile", *profile);
+  const InjectorPtr inj = make_injector(injector_);
   eval::Json arr = eval::Json::array();
-  for (const CampaignShard& s : shards(plan, layout)) arr.push_back(s.to_json());
+  eval::Json costs = eval::Json::array();
+  for (const CampaignShard& s : shards(plan, layout)) {
+    arr.push_back(s.to_json());
+    // Per-shard cost estimates let `dist run`/`serve` drain the expensive
+    // shards first (see dist/jobs.h: schedule_longest_first).
+    costs.push_back(eval::Json::number(shard_cost(*inj, s, layout)));
+  }
   j.set("shard_list", std::move(arr));
+  j.set("shard_costs", std::move(costs));
   return j;
 }
 

@@ -18,6 +18,14 @@
 
 namespace fsa::faultsim {
 
+/// Expected cost of ONE shard under `injector`'s cost model: the shard's
+/// flips are folded into a sub-plan (bit counts, params, distinct rows)
+/// and priced through Injector::plan_cost, so scheduling sees exactly the
+/// estimate the paper's hardware model would assign that slice. Used to
+/// populate the manifest's "shard_costs" and drive longest-first draining.
+double shard_cost(const Injector& injector, const CampaignShard& shard,
+                  const MemoryLayout& layout);
+
 /// Deterministically splits a BitFlipPlan into self-contained shards for
 /// one injector. The injector name is validated eagerly (throws the
 /// registry's unknown-name error).

@@ -12,17 +12,25 @@
 // reduced JSON.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dist/job_dir.h"
 #include "dist/jobs.h"
+#include "dist/lease.h"
 #include "dist/reducer.h"
+#include "dist/serve.h"
 #include "dist/worker_pool.h"
 #include "engine/registry.h"
 #include "engine/sweep.h"
@@ -571,6 +579,343 @@ TEST(WorkerPool, PermanentFailureIsReportedWithLogPath) {
 TEST(WorkerPool, RejectsNonPositiveConfiguration) {
   EXPECT_THROW(WorkerPool({0, 2, false}), std::invalid_argument);
   EXPECT_THROW(WorkerPool({2, 0, false}), std::invalid_argument);
+  EXPECT_THROW(WorkerPool({2, 2, false, -1}), std::invalid_argument);
+}
+
+TEST(WorkerPool, RetryWaitsOutTheJitteredBackoff) {
+  Scratch scratch("fsa_dist_backoff");
+  const faultsim::CampaignPlanner planner("laser", 1, 7);
+  const JobDir job =
+      create_campaign_job(scratch.sub("job"), planner, test_plan(), faultsim::MemoryLayout{});
+  WorkerPool pool({1, 2, false, 400});  // retry delay in [200, 600) ms
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<ShardRun> runs = pool.run(
+      {0}, [&](int s) { return worker_argv(job, s, {"--fail-once", scratch.sub("marker")}); },
+      [&](int s) { return job.log_path(s); });
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].exit_code, 0);
+  EXPECT_EQ(runs[0].attempts, 2);
+  // The retry cannot have fired before the jitter floor (0.5 x base).
+  EXPECT_GE(elapsed.count(), 150);
+  EXPECT_TRUE(job.has_result(0));
+}
+
+// ---- leases ------------------------------------------------------------------
+
+TEST(Lease, ClaimIsExclusiveAndRoundTrips) {
+  Scratch scratch("fsa_dist_lease");
+  const std::string path = scratch.sub("shard_00000.lease");
+  const std::string owner = lease_owner_id();
+  ASSERT_TRUE(try_claim_lease(path, make_lease(owner, 1000)));
+  EXPECT_FALSE(try_claim_lease(path, make_lease("someone-else", 2000)));  // O_EXCL lost
+
+  const auto info = read_lease(path);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->owner, owner);
+  EXPECT_EQ(info->pid, ::getpid());
+  EXPECT_EQ(info->created_ms, 1000);
+  EXPECT_EQ(info->heartbeat_ms, 1000);
+  EXPECT_FALSE(read_lease(scratch.sub("absent.lease")).has_value());
+
+  // Renewal bumps the heartbeat for the owner, refuses for anyone else.
+  EXPECT_TRUE(renew_lease(path, owner, 5000));
+  EXPECT_EQ(read_lease(path)->heartbeat_ms, 5000);
+  EXPECT_FALSE(renew_lease(path, "someone-else", 9000));
+  EXPECT_EQ(read_lease(path)->heartbeat_ms, 5000);
+
+  // Release is owner-guarded too: a stranger's release is a no-op.
+  release_lease(path, "someone-else");
+  EXPECT_TRUE(read_lease(path).has_value());
+  release_lease(path, owner);
+  EXPECT_FALSE(read_lease(path).has_value());
+}
+
+TEST(Lease, ExpiryReclaimAndCorruptLeases) {
+  Scratch scratch("fsa_dist_lease_expiry");
+  LeaseInfo info = make_lease("w1", 10000);
+  EXPECT_FALSE(lease_expired(info, 1000, 10500));  // inside the window
+  EXPECT_FALSE(lease_expired(info, 1000, 9000));   // future heartbeat = clock skew, alive
+  EXPECT_TRUE(lease_expired(info, 1000, 11001));   // one past the window
+
+  // Reclaim is single-winner: the rename arbitration admits exactly one.
+  const std::string path = scratch.sub("stale.lease");
+  ASSERT_TRUE(try_claim_lease(path, info));
+  EXPECT_TRUE(try_reclaim_lease(path, "w2"));
+  EXPECT_FALSE(try_reclaim_lease(path, "w3"));  // already gone
+  EXPECT_FALSE(read_lease(path).has_value());
+  // The loser's rename target never lingers.
+  EXPECT_FALSE(fs::exists(scratch.sub("stale.lease.reclaim.w2")));
+
+  // A claimer killed between O_EXCL create and body write leaves an empty
+  // or garbage lease: it must parse to heartbeat 0 = instantly reclaimable.
+  const std::string corrupt = scratch.sub("corrupt.lease");
+  { std::ofstream os(corrupt); os << "{not json"; }
+  const auto parsed = read_lease(corrupt);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->heartbeat_ms, 0);
+  EXPECT_TRUE(lease_expired(*parsed, 1000, lease_now_ms()));
+  EXPECT_TRUE(try_reclaim_lease(corrupt, "w4"));
+}
+
+// ---- cost-aware scheduling ---------------------------------------------------
+
+TEST(Scheduler, LongestFirstIsStableAndTolerant) {
+  const std::vector<double> costs = {1.0, 5.0, 2.0, 5.0};
+  EXPECT_EQ(schedule_longest_first({0, 1, 2, 3}, costs), (std::vector<int>{1, 3, 2, 0}));
+  // All-zero costs (legacy manifests) leave the input order intact.
+  EXPECT_EQ(schedule_longest_first({2, 0, 1}, {0.0, 0.0, 0.0}), (std::vector<int>{2, 0, 1}));
+  // Indices beyond the cost table count as zero instead of faulting.
+  EXPECT_EQ(schedule_longest_first({5, 1}, costs), (std::vector<int>{1, 5}));
+}
+
+TEST(Scheduler, ManifestsCarryPerShardCosts) {
+  // Campaign manifests price each shard through the injector cost model.
+  const faultsim::BitFlipPlan plan = test_plan();
+  const faultsim::MemoryLayout layout;
+  const faultsim::CampaignPlanner planner("rowhammer", 5, 7);
+  const eval::Json manifest = planner.manifest(plan, layout);
+  const std::vector<double> costs = manifest_shard_costs(manifest);
+  ASSERT_EQ(costs.size(), 5u);
+  double sum = 0.0;
+  for (double c : costs) {
+    EXPECT_GE(c, 0.0);
+    sum += c;
+  }
+  // Rowhammer's model is linear in the flip counters, so the shard costs
+  // partition the whole-plan estimate.
+  EXPECT_NEAR(sum, manifest.get_number("estimated_seconds", -1.0), 1e-9 * sum);
+
+  // And the per-shard price matches pricing the slice directly.
+  const faultsim::InjectorPtr inj = faultsim::make_injector("rowhammer");
+  const auto shards = faultsim::CampaignPlanner::shards_from_manifest(manifest);
+  for (std::size_t s = 0; s < shards.size(); ++s)
+    EXPECT_DOUBLE_EQ(costs[s], faultsim::shard_cost(*inj, shards[s], layout)) << "shard " << s;
+
+  // Sweep manifests carry the S*R work proxy.
+  const eval::Json sweep = sweep_manifest("blobs", "blocked", blob_specs());
+  const std::vector<double> sweep_costs = manifest_shard_costs(sweep);
+  ASSERT_EQ(sweep_costs.size(), blob_specs().size());
+  for (double c : sweep_costs) EXPECT_GT(c, 0.0);
+
+  // A manifest without the array degrades to all-zero (index order).
+  eval::Json legacy = eval::Json::object();
+  legacy.set("shards", eval::Json::number(std::int64_t{3}));
+  EXPECT_EQ(manifest_shard_costs(legacy), (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+// ---- corrupt-result quarantine & tmp sweep -----------------------------------
+
+TEST(JobDir, CorruptResultIsQuarantinedAndReRun) {
+  Scratch scratch("fsa_dist_quarantine");
+  const faultsim::CampaignPlanner planner("laser", 3, 7);
+  const JobDir job =
+      create_campaign_job(scratch.sub("job"), planner, test_plan(), faultsim::MemoryLayout{});
+  RunJobOptions opts;
+  opts.workers = 2;
+  opts.verbose = false;
+  const std::string want = run_job(job, self_exe(), opts).dump(2);
+
+  // Corrupt shard 1's result outside the atomic write path (truncated junk,
+  // the way a torn copy or fs corruption would leave it).
+  { std::ofstream os(job.result_path(1), std::ios::trunc); os << "{\"kind\": \"camp"; }
+  const std::vector<int> quarantined = job.validate_results();
+  EXPECT_EQ(quarantined, (std::vector<int>{1}));
+  EXPECT_FALSE(job.has_result(1));  // back in the missing set
+  EXPECT_TRUE(fs::exists(job.result_path(1) + ".bad"));
+
+  // run_job re-executes exactly the quarantined shard and the reduction
+  // comes back byte-identical.
+  EXPECT_EQ(run_job(job, self_exe(), opts).dump(2), want);
+  EXPECT_TRUE(job.has_result(1));
+
+  // reduce_job also quarantines on its own rather than aborting the job.
+  { std::ofstream os(job.result_path(0), std::ios::trunc); os << ""; }
+  EXPECT_THROW((void)reduce_job(job), std::runtime_error);  // now reported missing
+  EXPECT_TRUE(fs::exists(job.result_path(0) + ".bad"));
+  EXPECT_EQ(run_job(job, self_exe(), opts).dump(2), want);
+}
+
+TEST(JobDir, OpenSweepsOnlyStaleOrphanedTmpFiles) {
+  Scratch scratch("fsa_dist_tmpsweep");
+  eval::Json manifest = eval::Json::object();
+  manifest.set("shards", eval::Json::number(std::int64_t{1}));
+  { (void)JobDir::create(scratch.sub("job"), "campaign", 1, manifest); }
+
+  const fs::path results = fs::path(scratch.sub("job")) / "results";
+  const fs::path stale = results / "shard_00000.json.tmp.999";
+  const fs::path fresh = results / "shard_00000.json.tmp.1000";
+  { std::ofstream os(stale); os << "{}"; }
+  { std::ofstream os(fresh); os << "{}"; }
+  fs::last_write_time(stale, fs::file_time_type::clock::now() - std::chrono::hours(1));
+
+  const JobDir job = JobDir::open(scratch.sub("job"));
+  EXPECT_FALSE(fs::exists(stale));  // orphan from a crashed writer: swept
+  EXPECT_TRUE(fs::exists(fresh));   // possibly a live writer: kept
+  EXPECT_FALSE(job.has_result(0));  // tmp files never count as results
+}
+
+// ---- dist serve: coordinator-free workers ------------------------------------
+
+ServeOptions serve_opts(const std::vector<std::string>& jobs) {
+  ServeOptions opts;
+  opts.jobs = jobs;
+  opts.poll_ms = 20;
+  opts.lease_expiry_ms = 5000;
+  opts.once = true;
+  opts.verbose = false;
+  return opts;
+}
+
+TEST(Serve, DrainsMultipleJobsAndReduces) {
+  Scratch scratch("fsa_dist_serve");
+  const faultsim::BitFlipPlan plan = test_plan();
+  const faultsim::MemoryLayout layout;
+  const JobDir a = create_campaign_job(scratch.sub("a"),
+                                       faultsim::CampaignPlanner("rowhammer", 4, 7), plan, layout);
+  const JobDir b = create_campaign_job(scratch.sub("b"),
+                                       faultsim::CampaignPlanner("laser", 3, 7), plan, layout);
+
+  const ServeReport rep = serve(serve_opts({a.path(), b.path()}), self_exe());
+  EXPECT_EQ(rep.shards_run, 7);
+  EXPECT_EQ(rep.shards_failed, 0);
+  EXPECT_EQ(rep.jobs_reduced, 2);
+  EXPECT_FALSE(rep.drained);
+  EXPECT_TRUE(a.status().missing.empty());
+  EXPECT_TRUE(b.status().missing.empty());
+
+  // The lease-claimed path cannot drift a byte from the coordinator path.
+  const JobDir ref = create_campaign_job(scratch.sub("ref"),
+                                         faultsim::CampaignPlanner("rowhammer", 4, 7), plan, layout);
+  RunJobOptions ref_opts;
+  ref_opts.verbose = false;
+  EXPECT_EQ(read_json_file(a.reduced_path()).dump(2),
+            run_job(ref, self_exe(), ref_opts).dump(2));
+
+  // A second serve over finished jobs finds nothing claimable and exits.
+  const ServeReport again = serve(serve_opts({a.path(), b.path()}), self_exe());
+  EXPECT_EQ(again.shards_run, 0);
+  EXPECT_EQ(again.jobs_reduced, 0);  // reduced.json already present
+}
+
+TEST(Serve, RespectsLiveLeasesAndReclaimsStaleOnes) {
+  Scratch scratch("fsa_dist_serve_lease");
+  const JobDir job = create_campaign_job(
+      scratch.sub("job"), faultsim::CampaignPlanner("laser", 2, 7), test_plan(),
+      faultsim::MemoryLayout{});
+
+  // Shard 0 is held by a live worker elsewhere: serve must leave it alone
+  // (and --once exits rather than waiting for someone else's shard).
+  ASSERT_TRUE(try_claim_lease(job.lease_path(0), make_lease("other-worker", lease_now_ms())));
+  ServeOptions opts = serve_opts({job.path()});
+  opts.lease_expiry_ms = 60000;
+  const ServeReport rep = serve(opts, self_exe());
+  EXPECT_EQ(rep.shards_run, 1);
+  EXPECT_EQ(rep.shards_reclaimed, 0);
+  EXPECT_TRUE(job.has_result(1));
+  EXPECT_FALSE(job.has_result(0));
+
+  // The holder dies (heartbeat goes stale): the next worker reclaims the
+  // lease and finishes the job.
+  write_json_atomic(job.lease_path(0), make_lease("other-worker", lease_now_ms() - 120000).to_json());
+  opts.lease_expiry_ms = 1000;
+  const ServeReport rescue = serve(opts, self_exe());
+  EXPECT_EQ(rescue.shards_run, 1);
+  EXPECT_GE(rescue.shards_reclaimed, 1);
+  EXPECT_EQ(rescue.jobs_reduced, 1);
+  EXPECT_TRUE(job.status().missing.empty());
+  EXPECT_FALSE(read_lease(job.lease_path(0)).has_value());  // released after the run
+}
+
+TEST(Serve, DrainsLongestShardFirstAndHonorsMaxShards) {
+  Scratch scratch("fsa_dist_serve_order");
+  const JobDir job = create_campaign_job(
+      scratch.sub("job"), faultsim::CampaignPlanner("rowhammer", 3, 7), test_plan(),
+      faultsim::MemoryLayout{});
+  // Doctor the manifest's cost table so shard 1 is the clear tail.
+  eval::Json manifest = job.manifest();
+  eval::Json costs = eval::Json::array();
+  for (double c : {1.0, 50.0, 2.0}) costs.push_back(eval::Json::number(c));
+  manifest.set("shard_costs", std::move(costs));
+  write_json_atomic(job.manifest_path(), manifest);
+
+  ServeOptions opts = serve_opts({job.path()});
+  opts.max_shards = 1;
+  const ServeReport rep = serve(opts, self_exe());
+  EXPECT_EQ(rep.shards_run, 1);
+  EXPECT_TRUE(job.has_result(1));  // the most expensive shard went first
+  EXPECT_FALSE(job.has_result(0));
+  EXPECT_FALSE(job.has_result(2));
+}
+
+TEST(Serve, GivesUpOnPoisonShardsAfterLocalFailures) {
+  Scratch scratch("fsa_dist_serve_poison");
+  const JobDir job = create_campaign_job(
+      scratch.sub("job"), faultsim::CampaignPlanner("laser", 2, 7), test_plan(),
+      faultsim::MemoryLayout{});
+  ServeOptions opts = serve_opts({job.path()});
+  opts.poll_ms = 10;
+  opts.max_shard_failures = 2;
+  opts.extra_argv = {"--fail-always"};
+  const ServeReport rep = serve(opts, self_exe());  // must terminate, not spin
+  EXPECT_EQ(rep.shards_run, 0);
+  EXPECT_EQ(rep.shards_failed, 4);  // 2 shards x 2 local attempts
+  EXPECT_FALSE(job.has_result(0));
+  // Every failed run released its lease — the shards stay claimable for a
+  // (healthier) worker elsewhere.
+  EXPECT_FALSE(read_lease(job.lease_path(0)).has_value());
+  EXPECT_FALSE(read_lease(job.lease_path(1)).has_value());
+}
+
+TEST(Serve, SigtermDrainsInFlightShardAndReleasesLeases) {
+  Scratch scratch("fsa_dist_serve_drain");
+  const JobDir job = create_campaign_job(
+      scratch.sub("job"), faultsim::CampaignPlanner("laser", 3, 7), test_plan(),
+      faultsim::MemoryLayout{});
+
+  // A daemon-mode serve child whose shard workers are slow enough to be
+  // caught in flight.
+  const pid_t pid = spawn_worker({self_exe(), "serve-mode", "--job", job.path(), "--poll-ms",
+                                  "50", "--lease-expiry-ms", "60000", "--sleep-ms", "1500"},
+                                 scratch.sub("serve.log"));
+  // Wait for it to claim a shard...
+  bool claimed = false;
+  for (int i = 0; i < 400 && !claimed; ++i) {
+    for (int s = 0; s < job.shards(); ++s) claimed = claimed || read_lease(job.lease_path(s));
+    if (!claimed) std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_TRUE(claimed) << "serve child never claimed a shard";
+
+  // ...then ask for a graceful drain: the in-flight shard must FINISH (its
+  // result lands), every lease must be released, and nothing new claimed.
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(decode_exit_status(status), 0);
+
+  int results = 0;
+  for (int s = 0; s < job.shards(); ++s) {
+    if (!job.has_result(s)) continue;
+    ++results;
+    EXPECT_NO_THROW((void)job.result(s)) << "shard " << s;  // complete, not torn
+    EXPECT_FALSE(read_lease(job.lease_path(s)).has_value()) << "shard " << s;
+  }
+  EXPECT_GE(results, 1);  // the claimed shard was finished, never abandoned
+  for (int s = 0; s < job.shards(); ++s)
+    EXPECT_FALSE(read_lease(job.lease_path(s)).has_value()) << "abandoned lease on shard " << s;
+}
+
+TEST(Serve, RejectsUnusableOptions) {
+  EXPECT_THROW((void)serve(ServeOptions{}, "exe"), std::invalid_argument);  // no jobs
+  ServeOptions bad;
+  bad.jobs = {"somewhere"};
+  bad.poll_ms = 0;
+  EXPECT_THROW((void)serve(bad, "exe"), std::invalid_argument);
+  bad.poll_ms = 100;
+  bad.heartbeat_ms = 500;
+  bad.lease_expiry_ms = 500;  // heartbeat must be shorter than expiry
+  EXPECT_THROW((void)serve(bad, "exe"), std::invalid_argument);
 }
 
 }  // namespace
@@ -607,6 +952,10 @@ int worker_main(int argc, char** argv) {
         return 3;
       }
     }
+    // Artificial shard duration, so drain/kill tests can reliably catch a
+    // worker in flight.
+    if (const auto sleep_ms = args.get_int("sleep-ms", 0); sleep_ms > 0)
+      ::usleep(static_cast<useconds_t>(sleep_ms) * 1000);
     const eval::Json manifest = dist::read_json_file(args.get("run-shard", ""));
     const auto shard = static_cast<int>(args.get_int("shard", -1));
     dist::write_json_atomic(args.get("out", ""), dist::run_campaign_shard(manifest, shard));
@@ -617,11 +966,35 @@ int worker_main(int argc, char** argv) {
   }
 }
 
+/// `<exe> serve-mode --job dirs [--poll-ms N] [--lease-expiry-ms N]
+/// [--sleep-ms N]`: run a daemon-mode serve() in a child process, with
+/// --sleep-ms forwarded to every shard worker. The drain test SIGTERMs
+/// this process and inspects what it left behind.
+int serve_mode_main(int argc, char** argv) {
+  using namespace fsa;
+  try {
+    const eval::Args args = eval::Args::parse(argc, argv);
+    dist::ServeOptions opts;
+    opts.jobs = args.get_list("job", "");
+    opts.poll_ms = static_cast<int>(args.get_int("poll-ms", 50));
+    opts.lease_expiry_ms = static_cast<int>(args.get_int("lease-expiry-ms", 60000));
+    opts.verbose = true;  // the log is this process's flight recorder
+    if (const std::string sleep_ms = args.get("sleep-ms", ""); !sleep_ms.empty())
+      opts.extra_argv = {"--sleep-ms", sleep_ms};
+    const dist::ServeReport rep = dist::serve(opts, dist::self_exe(argv[0]));
+    return rep.shards_failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dist_test serve-mode: %s\n", e.what());
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::string(argv[i]) == "--run-shard") return worker_main(argc, argv);
+  if (argc > 1 && std::string(argv[1]) == "serve-mode") return serve_mode_main(argc, argv);
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();
 }

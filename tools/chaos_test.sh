@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# chaos_test.sh — crash-tolerance proof for the coordinator-free workers.
+#
+# Lays out one campaign job and one sweep job, points a fleet of
+# `fsa_cli dist serve` workers at BOTH directories, then repeatedly
+# SIGKILLs random workers mid-shard and starts replacements. Dead workers
+# stop renewing their lease heartbeats, so the survivors reclaim the
+# orphaned shards; the run is over when every shard has a result. The
+# acceptance check is the dist subsystem's headline contract: the chaos
+# run's reduced.json must be BYTE-identical to a clean --workers 1 run,
+# for both job kinds.
+#
+# Usage: tools/chaos_test.sh <path-to-fsa_cli> [workdir]
+# Tunables: CHAOS_WORKERS (default 4), CHAOS_CYCLES (kill/restart rounds,
+# default 6), CHAOS_TIMEOUT (drain deadline in seconds, default 300).
+
+set -u
+
+CLI=${1:?usage: chaos_test.sh <path-to-fsa_cli> [workdir]}
+CLI=$(readlink -f "$CLI")
+WORK=${2:-$(mktemp -d /tmp/fsa_chaos.XXXXXX)}
+WORKERS=${CHAOS_WORKERS:-4}
+CYCLES=${CHAOS_CYCLES:-6}
+TIMEOUT=${CHAOS_TIMEOUT:-300}
+
+export FSA_CACHE_DIR="$WORK/cache"
+mkdir -p "$WORK" "$FSA_CACHE_DIR"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  done
+  wait 2>/dev/null
+}
+trap cleanup EXIT
+
+die() { echo "chaos_test: FAIL: $*" >&2; exit 1; }
+say() { echo "chaos_test: $*"; }
+
+# ---- reference artifacts (single worker, no chaos) ---------------------------
+
+say "solving a digits delta for the campaign job"
+"$CLI" attack --dataset digits --layers fc3 --s 1 --r 10 --seed 5 \
+  --save "$WORK/delta.bin" >"$WORK/attack.log" 2>&1 || true  # partial hits are fine
+[ -f "$WORK/delta.bin" ] || { cat "$WORK/attack.log" >&2; die "attack produced no delta"; }
+
+say "reference campaign run (--workers 1)"
+"$CLI" campaign --dataset digits --layers fc3 --delta "$WORK/delta.bin" \
+  --injector rowhammer --shards 12 --seed 7 --workers 1 \
+  --job "$WORK/camp_ref" >"$WORK/camp_ref.log" 2>&1 || true  # incomplete flips are fine
+[ -f "$WORK/camp_ref/reduced.json" ] || { cat "$WORK/camp_ref.log" >&2; die "campaign reference did not reduce"; }
+
+say "reference sweep run (--workers 1, warms the model cache)"
+"$CLI" sweep --dataset digits --layers fc3 --s-list 1 --r-list 10 --seeds 1,2,3 \
+  --no-acc --quiet --workers 1 --job "$WORK/sweep_ref" >"$WORK/sweep_ref.log" 2>&1 || true
+[ -f "$WORK/sweep_ref/reduced.json" ] || { cat "$WORK/sweep_ref.log" >&2; die "sweep reference did not reduce"; }
+
+# ---- chaos jobs: same manifests, fresh empty directories ---------------------
+
+clone_job() {  # clone_job <src> <dst> — manifest first, job.json LAST
+  mkdir -p "$2/results" "$2/logs" "$2/leases"
+  cp "$1/manifest.json" "$2/manifest.json"
+  cp "$1/job.json" "$2/job.json"
+}
+clone_job "$WORK/camp_ref" "$WORK/camp_chaos"
+clone_job "$WORK/sweep_ref" "$WORK/sweep_chaos"
+JOBS="$WORK/camp_chaos,$WORK/sweep_chaos"
+
+start_worker() {
+  local tag=$1
+  "$CLI" dist serve --job "$JOBS" --poll-ms 50 --lease-expiry-ms 1500 \
+    >"$WORK/serve_$tag.log" 2>&1 &
+  pids+=($!)
+  say "worker $tag started (pid $!)"
+}
+
+say "starting $WORKERS serve workers against both chaos jobs"
+for i in $(seq 1 "$WORKERS"); do start_worker "$i"; done
+
+# ---- kill/restart chaos ------------------------------------------------------
+
+for cycle in $(seq 1 "$CYCLES"); do
+  sleep 1
+  victim_idx=$((RANDOM % ${#pids[@]}))
+  victim=${pids[$victim_idx]}
+  if kill -9 "$victim" 2>/dev/null; then
+    say "cycle $cycle: SIGKILLed worker pid $victim mid-shard"
+  else
+    say "cycle $cycle: worker pid $victim already gone"
+  fi
+  wait "$victim" 2>/dev/null
+  unset 'pids[victim_idx]'
+  pids=("${pids[@]}")  # compact
+  sleep 1
+  start_worker "r$cycle"
+done
+
+# ---- drain -------------------------------------------------------------------
+
+say "waiting for both jobs to drain (timeout ${TIMEOUT}s)"
+deadline=$((SECONDS + TIMEOUT))
+while :; do
+  camp_done=0; sweep_done=0
+  "$CLI" dist status --job "$WORK/camp_chaos" >/dev/null 2>&1 && camp_done=1
+  "$CLI" dist status --job "$WORK/sweep_chaos" >/dev/null 2>&1 && sweep_done=1
+  [ "$camp_done" = 1 ] && [ "$sweep_done" = 1 ] && break
+  if [ "$SECONDS" -ge "$deadline" ]; then
+    "$CLI" dist status --job "$WORK/camp_chaos" >&2 || true
+    "$CLI" dist status --job "$WORK/sweep_chaos" >&2 || true
+    tail -n 20 "$WORK"/serve_*.log >&2 || true
+    die "jobs did not drain within ${TIMEOUT}s"
+  fi
+  sleep 2
+done
+say "both jobs drained; retiring the workers (SIGTERM)"
+for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null; done
+for pid in "${pids[@]}"; do wait "$pid" 2>/dev/null; done
+pids=()
+
+# ---- verdict: byte-identical reductions --------------------------------------
+
+# The surviving workers already reduced on completion; re-reducing is
+# idempotent and covers the (unlikely) case every worker died post-drain.
+"$CLI" dist reduce --job "$WORK/camp_chaos" >/dev/null || die "campaign chaos reduce failed"
+"$CLI" dist reduce --job "$WORK/sweep_chaos" >/dev/null || die "sweep chaos reduce failed"
+
+cmp "$WORK/camp_ref/reduced.json" "$WORK/camp_chaos/reduced.json" \
+  || die "campaign reduced.json drifted from the --workers 1 reference"
+cmp "$WORK/sweep_ref/reduced.json" "$WORK/sweep_chaos/reduced.json" \
+  || die "sweep reduced.json drifted from the --workers 1 reference"
+
+reclaims=$(grep -h "reclaimed stale lease" "$WORK"/serve_*.log | wc -l)
+say "PASS: both reductions byte-identical to the single-worker reference"
+say "      ($WORKERS workers, $CYCLES kill/restart cycles, $reclaims lease reclaim(s))"

@@ -55,7 +55,9 @@
 
 #include "backend/compute_backend.h"
 #include "dist/jobs.h"
+#include "dist/lease.h"
 #include "dist/reducer.h"
+#include "dist/serve.h"
 #include "dist/worker_pool.h"
 #include "engine/attackers.h"
 #include "engine/registry.h"
@@ -101,7 +103,9 @@ int usage() {
       "           [--seed N] [--manifest shards.json] [--injector-profile file.json]\n"
       "           [--workers N [--job dir] [--retries R]]\n"
       "           | --run-shard manifest.json --shard I [--out result.json]\n"
-      "  dist     run    --job dir [--workers N] [--retries R]\n"
+      "  dist     run    --job dir [--workers N] [--retries R] [--retry-backoff-ms MS]\n"
+      "           serve  --job dir1[,dir2...] [--poll-ms MS] [--lease-expiry-ms MS]\n"
+      "                  [--heartbeat-ms MS] [--once] [--max-shards N] [--quiet]\n"
       "           reduce --job dir\n"
       "           status --job dir\n"
       "  audit    --dataset D --layers L --delta delta.bin\n",
@@ -141,6 +145,9 @@ dist::RunJobOptions worker_options(const eval::Args& args, bool verbose) {
   const auto retries = args.get_int("retries", 1);
   if (retries < 0) throw std::invalid_argument("--retries must be >= 0");
   opts.max_attempts = 1 + static_cast<int>(retries);
+  const auto backoff = args.get_int("retry-backoff-ms", opts.retry_backoff_ms);
+  if (backoff < 0) throw std::invalid_argument("--retry-backoff-ms must be >= 0");
+  opts.retry_backoff_ms = static_cast<int>(backoff);
   opts.verbose = verbose;
   return opts;
 }
@@ -411,7 +418,7 @@ int cmd_sweep(const eval::Args& args) {
   args.expect_only({"dataset", "layers", "method", "norm", "backend", "s-list", "r-list",
                     "seeds", "weights-only", "biases-only", "json", "csv", "no-acc", "quiet",
                     "with-campaign", "injector", "shards", "injector-profile", "workers",
-                    "retries", "job", "run-shard", "shard", "out"});
+                    "retries", "retry-backoff-ms", "job", "run-shard", "shard", "out"});
   apply_injector_profile(args);
   if (!args.get("run-shard", "").empty()) {
     if (!args.get("workers", "").empty())
@@ -498,8 +505,8 @@ int cmd_campaign_run_shard(const eval::Args& args) {
 
 int cmd_campaign(const eval::Args& args) {
   args.expect_only({"dataset", "layers", "delta", "injector", "shards", "seed", "manifest",
-                    "injector-profile", "workers", "retries", "job", "run-shard", "shard",
-                    "out"});
+                    "injector-profile", "workers", "retries", "retry-backoff-ms", "job",
+                    "run-shard", "shard", "out"});
   apply_injector_profile(args);
   if (!args.get("run-shard", "").empty()) {
     if (!args.get("workers", "").empty())
@@ -572,12 +579,35 @@ int cmd_campaign(const eval::Args& args) {
   return all_complete ? 0 : 1;
 }
 
-/// `dist run|reduce|status --job dir`: operate on an existing job
+/// `dist run|serve|reduce|status --job dir`: operate on an existing job
 /// directory — the whole coordination protocol lives in its files.
 int cmd_dist(const eval::Args& args) {
   const std::string mode = args.command();
-  if (mode != "run" && mode != "reduce" && mode != "status") return usage();
-  args.expect_only({"job", "workers", "retries"});
+  if (mode != "run" && mode != "serve" && mode != "reduce" && mode != "status") return usage();
+
+  if (mode == "serve") {
+    // serve opens its job dirs itself (they may not even exist yet — a
+    // daemon polls until another process lays them out).
+    args.expect_only(
+        {"job", "poll-ms", "lease-expiry-ms", "heartbeat-ms", "once", "max-shards", "quiet"});
+    dist::ServeOptions opts;
+    opts.jobs = args.get_list("job", "");
+    if (opts.jobs.empty())
+      throw std::invalid_argument("dist serve: --job <dir1[,dir2...]> is required");
+    opts.poll_ms = positive_int(args, "poll-ms", opts.poll_ms);
+    opts.lease_expiry_ms = positive_int(args, "lease-expiry-ms", opts.lease_expiry_ms);
+    opts.heartbeat_ms = positive_int(args, "heartbeat-ms", 0);
+    opts.once = args.has_flag("once");
+    opts.max_shards = positive_int(args, "max-shards", 0);
+    opts.verbose = !args.has_flag("quiet");
+    const dist::ServeReport rep = dist::serve(opts, dist::self_exe(g_argv0));
+    std::printf("serve: %d shard(s) run, %d failed, %d lease(s) reclaimed, %d job(s) reduced%s\n",
+                rep.shards_run, rep.shards_failed, rep.shards_reclaimed, rep.jobs_reduced,
+                rep.drained ? " (drained on signal)" : "");
+    return rep.shards_failed == 0 ? 0 : 1;
+  }
+
+  args.expect_only({"job", "workers", "retries", "retry-backoff-ms"});
   const std::string dir = args.get("job", "");
   if (dir.empty()) throw std::invalid_argument("dist " + mode + ": --job <dir> is required");
   const dist::JobDir job = dist::JobDir::open(dir);
@@ -592,6 +622,11 @@ int cmd_dist(const eval::Args& args) {
       for (int s : st.missing) missing += (missing.empty() ? "" : ",") + std::to_string(s);
       std::printf("missing shards: %s\n", missing.c_str());
     }
+    const std::int64_t now = dist::lease_now_ms();
+    for (const auto& [shard, lease] : dist::list_leases(job))
+      std::printf("lease: shard %d held by %s (heartbeat %lld ms ago)\n", shard,
+                  lease.owner.empty() ? "(corrupt lease)" : lease.owner.c_str(),
+                  static_cast<long long>(std::max<std::int64_t>(0, now - lease.heartbeat_ms)));
     return st.missing.empty() ? 0 : 1;
   }
 
