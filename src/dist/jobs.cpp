@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
 
 #include "dist/reducer.h"
 #include "dist/worker_pool.h"
@@ -115,21 +117,27 @@ eval::Json run_sweep_shard(const eval::Json& manifest, int index, engine::SweepR
     }
 
   eval::Json rows = eval::Json::array();
-  if (!specs.empty()) {
-    const engine::SweepResult result = runner.run(specs);
-    for (std::size_t r = 0; r < result.rows.size(); ++r) {
-      eval::Json row = result.rows[r].report.to_json();
-      if (!result.rows[r].spec.tag.empty())
-        row.set("tag", eval::Json::string(result.rows[r].spec.tag));
-      row.set("index", eval::Json::number(static_cast<std::int64_t>(indices[r])));
-      rows.push_back(std::move(row));
-    }
-  }
+  if (!specs.empty()) rows = sweep_rows_json(runner.run(specs), indices);
   eval::Json out = eval::Json::object();
   out.set("kind", eval::Json::string("sweep"));
   out.set("shard", eval::Json::number(static_cast<std::int64_t>(index)));
   out.set("rows", std::move(rows));
   return out;
+}
+
+eval::Json sweep_rows_json(const engine::SweepResult& result,
+                           const std::vector<std::size_t>& indices) {
+  if (result.rows.size() != indices.size())
+    throw std::invalid_argument("dist: sweep_rows_json needs one index per row");
+  eval::Json rows = eval::Json::array();
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    eval::Json row = result.rows[r].report.to_json();
+    if (!result.rows[r].spec.tag.empty())
+      row.set("tag", eval::Json::string(result.rows[r].spec.tag));
+    row.set("index", eval::Json::number(static_cast<std::int64_t>(indices[r])));
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 JobDir open_or_create_job(const std::string& dir, const std::string& kind,
@@ -220,6 +228,20 @@ eval::Json run_job(const JobDir& job, const std::string& exe, const RunJobOption
                  job.path().c_str(), job.shards());
   const eval::Json reduced = reduce_job(job);
   job.write_reduced(reduced);
+  return reduced;
+}
+
+eval::Json run_temp_job(const JobDir& job, const std::string& exe, const RunJobOptions& options) {
+  eval::Json reduced;
+  try {
+    reduced = run_job(job, exe, options);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + " — job directory retained at " +
+                             job.path() + " (resume with `dist run --job " + job.path() +
+                             "`, logs under " + job.path() + "/logs)");
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(job.path(), ec);  // best-effort: the reduction is in hand
   return reduced;
 }
 

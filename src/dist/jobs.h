@@ -61,6 +61,14 @@ JobDir create_sweep_job(const std::string& dir, const eval::Json& manifest);
 /// from the manifest's dataset. Throws on an index outside the manifest.
 eval::Json run_sweep_shard(const eval::Json& manifest, int index, engine::SweepRunner& runner);
 
+/// Format a runner result's rows the way sweep shard results carry them:
+/// one AttackReport object per row, plus "tag" (when the spec has one)
+/// and the caller-supplied global instance index. Shared by
+/// run_sweep_shard and the fsa_serve batched executor so both paths emit
+/// byte-identical rows. `indices` must parallel `result.rows`.
+eval::Json sweep_rows_json(const engine::SweepResult& result,
+                           const std::vector<std::size_t>& indices);
+
 /// Resume-or-create: open the job at `dir` if one exists — verifying its
 /// kind AND that its stored manifest is byte-identical to `manifest`, so
 /// a leftover directory from a DIFFERENT request can never be silently
@@ -104,5 +112,12 @@ struct RunJobOptions {
 /// the job. Throws listing shard index, exit code and log path when a
 /// shard still fails after the bounded retries.
 eval::Json run_job(const JobDir& job, const std::string& exe, const RunJobOptions& options);
+
+/// run_job for a THROWAWAY job directory (the CLI's `--workers` mode
+/// without `--job`): on success the directory is removed; on failure it
+/// is retained — its logs are the only diagnosis trail — and the error
+/// is rethrown with the retained path appended, so an ad-hoc job can
+/// never leak a nameless temp directory silently.
+eval::Json run_temp_job(const JobDir& job, const std::string& exe, const RunJobOptions& options);
 
 }  // namespace fsa::dist

@@ -47,6 +47,7 @@ void dump_number(std::ostream& os, double v) {
 
 struct Parser {
   const std::string& text;
+  int max_depth;
   std::size_t pos = 0;
 
   [[noreturn]] void fail(const std::string& why) const {
@@ -123,7 +124,9 @@ struct Parser {
     }
   }
 
-  Json parse_value() {
+  Json parse_value(int depth) {
+    if (depth > max_depth)
+      fail("nesting deeper than " + std::to_string(max_depth) + " levels");
     const char c = peek();
     if (c == '{') {
       ++pos;
@@ -135,7 +138,7 @@ struct Parser {
       while (true) {
         std::string key = (skip_ws(), parse_string());
         expect(':');
-        obj.set(key, parse_value());
+        obj.set(key, parse_value(depth + 1));
         const char d = peek();
         if (d == ',') {
           ++pos;
@@ -156,7 +159,7 @@ struct Parser {
         return arr;
       }
       while (true) {
-        arr.push_back(parse_value());
+        arr.push_back(parse_value(depth + 1));
         const char d = peek();
         if (d == ',') {
           ++pos;
@@ -251,9 +254,15 @@ std::string Json::dump(int indent) const {
   return os.str();
 }
 
-Json Json::parse(const std::string& text) {
-  Parser p{text};
-  Json out = p.parse_value();
+Json Json::parse(const std::string& text) { return parse(text, ParseLimits{}); }
+
+Json Json::parse(const std::string& text, const ParseLimits& limits) {
+  if (limits.max_bytes > 0 && text.size() > limits.max_bytes)
+    throw std::runtime_error("Json::parse: input of " + std::to_string(text.size()) +
+                             " bytes exceeds the " + std::to_string(limits.max_bytes) +
+                             "-byte limit");
+  Parser p{text, limits.max_depth};
+  Json out = p.parse_value(0);
   p.skip_ws();
   if (p.pos != text.size()) p.fail("trailing characters");
   return out;

@@ -154,8 +154,22 @@ class Json {
   /// pretty-printed with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = -1) const;
 
-  /// Parse JSON text (throws std::runtime_error on malformed input).
+  /// Resource bounds for parsing untrusted input. The parser recurses
+  /// once per container level, so an attacker-controlled "[[[[..." would
+  /// otherwise overflow the stack; `max_depth` bounds that. `max_bytes`
+  /// rejects oversized documents before any work happens (0 = unlimited
+  /// — the internal artifacts reducers re-read can be large).
+  struct ParseLimits {
+    int max_depth = 128;
+    std::size_t max_bytes = 0;
+  };
+
+  /// Parse JSON text (throws std::runtime_error on malformed input,
+  /// including trailing garbage after the document). The single-argument
+  /// form applies the default ParseLimits; network-facing callers pass
+  /// tighter ones.
   static Json parse(const std::string& text);
+  static Json parse(const std::string& text, const ParseLimits& limits);
 
  private:
   void expect(Type t, const char* what) const {

@@ -1,0 +1,199 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fsa::serve {
+
+namespace {
+
+constexpr std::size_t kLatencyWindow = 4096;
+
+/// Percentile over a COPY of the window (nearest-rank on the sorted
+/// sample). Returns 0 for an empty window.
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sample.size() - 1) + 0.5);
+  return sample[std::min(rank, sample.size() - 1)];
+}
+
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(BatcherOptions options, BatchFn fn)
+    : options_(options), fn_(std::move(fn)) {
+  if (options_.max_batch < 1 || options_.max_queue < 1 || options_.executors < 1 ||
+      options_.max_delay_ms < 0)
+    throw std::invalid_argument(
+        "batcher: max_batch, max_queue and executors must be >= 1, max_delay_ms >= 0");
+  latency_window_.reserve(kLatencyWindow);
+  executors_.reserve(static_cast<std::size_t>(options_.executors));
+  for (int i = 0; i < options_.executors; ++i)
+    executors_.emplace_back([this] { executor_loop(); });
+}
+
+DynamicBatcher::~DynamicBatcher() { drain(); }
+
+std::optional<std::future<BatchResponse>> DynamicBatcher::submit(const BatchKey& key,
+                                                                 eval::Json payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_ || total_queued_ >= static_cast<std::size_t>(options_.max_queue)) {
+    ++shed_;
+    return std::nullopt;
+  }
+  ++submitted_;
+  Pending p;
+  p.payload = std::move(payload);
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<BatchResponse> future = p.promise.get_future();
+  queues_[key].waiting.push_back(std::move(p));
+  ++total_queued_;
+  cv_.notify_one();
+  return future;
+}
+
+void DynamicBatcher::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    draining_ = true;
+    cv_.notify_all();
+  }
+  for (std::thread& t : executors_)
+    if (t.joinable()) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  joined_ = true;
+}
+
+bool DynamicBatcher::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::size_t DynamicBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_queued_;
+}
+
+void DynamicBatcher::record_latency(double ms) {
+  // Caller holds mu_. Fixed-size ring: stats stay O(1) memory forever.
+  if (latency_window_.size() < kLatencyWindow) {
+    latency_window_.push_back(ms);
+  } else {
+    latency_window_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+  ++latency_count_;
+}
+
+eval::Json DynamicBatcher::stats_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  eval::Json out = eval::Json::object();
+  out.set("queue_depth", eval::Json::number(static_cast<std::int64_t>(total_queued_)));
+  eval::Json requests = eval::Json::object();
+  requests.set("submitted", eval::Json::number(submitted_));
+  requests.set("completed", eval::Json::number(completed_));
+  requests.set("shed", eval::Json::number(shed_));
+  out.set("requests", std::move(requests));
+
+  eval::Json batches = eval::Json::object();
+  batches.set("count", eval::Json::number(batches_));
+  eval::Json histogram = eval::Json::object();
+  for (const auto& [size, count] : batch_histogram_)
+    histogram.set(std::to_string(size), eval::Json::number(count));
+  batches.set("size_histogram", std::move(histogram));
+  out.set("batches", std::move(batches));
+
+  eval::Json latency = eval::Json::object();
+  latency.set("count", eval::Json::number(latency_count_));
+  latency.set("p50_ms", eval::Json::number(percentile(latency_window_, 0.50)));
+  latency.set("p99_ms", eval::Json::number(percentile(latency_window_, 0.99)));
+  out.set("latency_ms", std::move(latency));
+  return out;
+}
+
+void DynamicBatcher::executor_loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto delay = std::chrono::milliseconds(options_.max_delay_ms);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // A key is ripe when its batch is full, its oldest request has aged
+    // past the deadline, or we're draining (fire everything immediately).
+    const auto now = Clock::now();
+    auto ripe = queues_.end();
+    std::optional<Clock::time_point> next_deadline;
+    for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+      if (it->second.busy || it->second.waiting.empty()) continue;
+      const auto deadline = it->second.waiting.front().enqueued + delay;
+      if (draining_ || it->second.waiting.size() >= static_cast<std::size_t>(options_.max_batch) ||
+          now >= deadline) {
+        ripe = it;
+        break;
+      }
+      if (!next_deadline || deadline < *next_deadline) next_deadline = deadline;
+    }
+
+    if (ripe == queues_.end()) {
+      if (draining_ && total_queued_ == 0) return;  // in-flight keys finish on their executors
+      if (next_deadline)
+        cv_.wait_until(lock, *next_deadline);
+      else
+        cv_.wait(lock);
+      continue;
+    }
+
+    // Claim: mark the key busy and move up to max_batch requests out.
+    KeyQueue& q = ripe->second;
+    q.busy = true;
+    const BatchKey key = ripe->first;
+    const std::size_t n =
+        std::min(q.waiting.size(), static_cast<std::size_t>(options_.max_batch));
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(q.waiting.front()));
+      q.waiting.pop_front();
+    }
+    total_queued_ -= n;
+    ++batches_;
+    ++batch_histogram_[static_cast<int>(n)];
+    lock.unlock();
+
+    std::vector<eval::Json> payloads;
+    payloads.reserve(n);
+    for (Pending& p : batch) payloads.push_back(std::move(p.payload));
+
+    std::vector<BatchResponse> responses;
+    std::string failure;
+    try {
+      responses = fn_(key, payloads);
+      if (responses.size() != n)
+        failure = "batch executor returned " + std::to_string(responses.size()) +
+                  " responses for " + std::to_string(n) + " requests";
+    } catch (const std::exception& e) {
+      failure = e.what();
+    }
+
+    lock.lock();
+    const auto done = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (failure.empty()) {
+        batch[i].promise.set_value(std::move(responses[i]));
+      } else {
+        BatchResponse err;
+        err.status = 500;
+        eval::Json doc = eval::Json::object();
+        doc.set("error", eval::Json::string(failure));
+        err.body = doc.dump(2) + "\n";
+        batch[i].promise.set_value(std::move(err));
+      }
+      ++completed_;
+      record_latency(std::chrono::duration<double, std::milli>(done - batch[i].enqueued).count());
+    }
+    queues_[key].busy = false;
+    cv_.notify_all();
+  }
+}
+
+}  // namespace fsa::serve

@@ -1,0 +1,373 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "eval/json.h"
+
+namespace fsa::serve {
+
+namespace {
+
+std::atomic<std::int64_t> g_connections{0};
+
+std::string to_lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Strip ASCII whitespace from both ends (header values arrive padded).
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+void set_io_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Write all of `data` (short writes retried). False on error/timeout.
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Append up to `want` more bytes into `buf`. Returns false on EOF,
+/// error, or timeout with nothing read.
+bool recv_some(int fd, std::string& buf, std::size_t want = 4096) {
+  char chunk[4096];
+  const ssize_t n = ::recv(fd, chunk, std::min(want, sizeof(chunk)), 0);
+  if (n <= 0) return false;
+  buf.append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+}  // namespace
+
+// ---- messages ----------------------------------------------------------------
+
+std::string status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+std::string render_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_reason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string parse_request_head(const std::string& head, HttpRequest& out) {
+  out = HttpRequest{};
+  std::size_t pos = 0;
+  const auto next_line = [&](std::string& line) {
+    if (pos >= head.size()) return false;
+    const std::size_t eol = head.find("\r\n", pos);
+    line = head.substr(pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? head.size() : eol + 2;
+    return true;
+  };
+
+  std::string line;
+  if (!next_line(line) || line.empty()) return "empty request line";
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || line.find(' ', sp2 + 1) != std::string::npos)
+    return "malformed request line (expected METHOD TARGET VERSION)";
+  out.method = line.substr(0, sp1);
+  out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out.version = line.substr(sp2 + 1);
+  if (out.method.empty() || out.target.empty() || out.target[0] != '/')
+    return "malformed request target (must start with /)";
+  if (out.version.rfind("HTTP/1.", 0) != 0) return "unsupported protocol version";
+
+  while (next_line(line)) {
+    if (line.empty()) continue;  // tolerate a trailing CRLF in the head slice
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) return "malformed header line";
+    out.headers[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+  }
+  return "";
+}
+
+std::string error_body(const std::string& message) {
+  // Escape via Json so embedded quotes/newlines in exception text can't
+  // break the document shape.
+  eval::Json doc = eval::Json::object();
+  doc.set("error", eval::Json::string(message));
+  return doc.dump(2) + "\n";
+}
+
+// ---- server ------------------------------------------------------------------
+
+HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler)
+    : options_(options), handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only, by design
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot bind 127.0.0.1:" + std::to_string(options_.port) +
+                             " (" + std::strerror(errno) + ")");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::int64_t HttpServer::connections_handled() const { return g_connections.load(); }
+
+void HttpServer::start() {
+  if (running_) return;
+  running_ = true;
+  const int n = std::max(1, options_.threads);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) threads_.emplace_back([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_) return;
+  running_ = false;  // accept loops poll this every 100 ms
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
+}
+
+void HttpServer::accept_loop() {
+  // All accept threads poll the same listening fd; whichever wakes first
+  // takes the connection and serves it to completion (Connection: close),
+  // so "threads" is exactly the concurrent-connection budget.
+  while (running_) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (!running_) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;  // another thread won the race, or transient error
+    set_io_timeout(fd, options_.limits.io_timeout_ms);
+    handle_connection(fd);
+    ::close(fd);
+    g_connections.fetch_add(1);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  const HttpLimits& limits = options_.limits;
+  const auto reply = [&](int status, const std::string& message) {
+    HttpResponse r;
+    r.status = status;
+    r.body = error_body(message);
+    (void)send_all(fd, render_response(r));
+  };
+
+  // Buffer until the head terminator; bytes beyond it are body prefix.
+  std::string buf;
+  std::size_t head_end;
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    if (buf.size() > limits.max_head_bytes)
+      return reply(431, "request head exceeds " + std::to_string(limits.max_head_bytes) +
+                            " bytes");
+    if (!recv_some(fd, buf)) return;  // peer gone or stalled past the timeout
+  }
+
+  HttpRequest request;
+  if (const std::string err = parse_request_head(buf.substr(0, head_end), request); !err.empty())
+    return reply(400, err);
+  if (request.method != "GET" && request.method != "POST")
+    return reply(405, "method " + request.method + " not supported (GET, POST)");
+
+  std::size_t content_length = 0;
+  if (const auto it = request.headers.find("content-length"); it != request.headers.end()) {
+    try {
+      content_length = static_cast<std::size_t>(std::stoull(it->second));
+    } catch (const std::exception&) {
+      return reply(400, "malformed Content-Length");
+    }
+  } else if (request.method == "POST") {
+    // No chunked decoding here: length-framed bodies only.
+    return reply(411, "POST requires Content-Length");
+  }
+  if (content_length > limits.max_body_bytes)
+    return reply(413, "body of " + std::to_string(content_length) + " bytes exceeds the " +
+                          std::to_string(limits.max_body_bytes) + "-byte limit");
+
+  request.body = buf.substr(head_end + 4);
+  while (request.body.size() < content_length) {
+    if (!recv_some(fd, request.body, content_length - request.body.size())) return;
+  }
+  request.body.resize(content_length);  // ignore pipelined bytes; we close anyway
+
+  HttpResponse response;
+  try {
+    response = handler_(request);
+  } catch (const std::exception& e) {
+    response.status = 500;
+    response.body = error_body(e.what());
+  }
+  (void)send_all(fd, render_response(response));
+}
+
+// ---- client ------------------------------------------------------------------
+
+HttpResponse http_fetch(const std::string& host, int port, const std::string& method,
+                        const std::string& target, const std::string& body,
+                        const HttpLimits& limits) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http_fetch: socket() failed");
+  set_io_timeout(fd, limits.io_timeout_ms);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("http_fetch: bad numeric host \"" + host + "\"");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("http_fetch: cannot connect to " + host + ":" +
+                             std::to_string(port) + " (" + std::strerror(errno) + ")");
+  }
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host + "\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    throw std::runtime_error("http_fetch: send failed");
+  }
+
+  // The server closes after one response, so read to EOF and parse.
+  std::string raw;
+  while (recv_some(fd, raw)) {
+  }
+  ::close(fd);
+
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos)
+    throw std::runtime_error("http_fetch: truncated response (no header terminator)");
+  const std::string head = raw.substr(0, head_end);
+  const std::size_t eol = head.find("\r\n");
+  const std::string status_line = head.substr(0, eol);
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos || status_line.rfind("HTTP/", 0) != 0)
+    throw std::runtime_error("http_fetch: malformed status line \"" + status_line + "\"");
+  HttpResponse response;
+  try {
+    response.status = std::stoi(status_line.substr(sp + 1));
+  } catch (const std::exception&) {
+    throw std::runtime_error("http_fetch: malformed status line \"" + status_line + "\"");
+  }
+  response.body = raw.substr(head_end + 4);
+  // Honor Content-Length when present (trailing bytes would break diffs).
+  std::size_t lpos = head.find("ontent-Length:");
+  if (lpos != std::string::npos) {
+    const std::size_t vstart = head.find(':', lpos) + 1;
+    const std::size_t vend = head.find("\r\n", vstart);
+    try {
+      const auto n = static_cast<std::size_t>(
+          std::stoull(trim(head.substr(vstart, vend - vstart))));
+      if (response.body.size() < n)
+        throw std::runtime_error("http_fetch: truncated body (" +
+                                 std::to_string(response.body.size()) + " of " +
+                                 std::to_string(n) + " bytes)");
+      response.body.resize(n);
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+  return response;
+}
+
+// ---- graceful shutdown -------------------------------------------------------
+
+namespace {
+volatile std::sig_atomic_t g_drain = 0;
+void on_drain_signal(int) { g_drain = 1; }
+}  // namespace
+
+struct DrainSignalGuard::Impl {
+  struct sigaction old_term = {};
+  struct sigaction old_int = {};
+};
+
+DrainSignalGuard::DrainSignalGuard() : impl_(std::make_unique<Impl>()) {
+  g_drain = 0;
+  struct sigaction sa = {};
+  sa.sa_handler = on_drain_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, &impl_->old_term);
+  ::sigaction(SIGINT, &sa, &impl_->old_int);
+}
+
+DrainSignalGuard::~DrainSignalGuard() {
+  ::sigaction(SIGTERM, &impl_->old_term, nullptr);
+  ::sigaction(SIGINT, &impl_->old_int, nullptr);
+}
+
+bool DrainSignalGuard::stop_requested() { return g_drain != 0; }
+
+}  // namespace fsa::serve

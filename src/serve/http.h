@@ -1,0 +1,143 @@
+// http.h — minimal blocking HTTP/1.1 transport for the attack service.
+//
+// fsa_serve needs exactly one thing from HTTP: carry a JSON request body
+// to a handler and a JSON response body back, on localhost, with no
+// external dependency. So this is HTTP/1.1 reduced to that contract:
+// GET/POST only, Content-Length framing only (no chunked encoding, no
+// keep-alive — every response carries `Connection: close`), loopback
+// bind only. The parser is a pure function over bytes (unit-testable
+// without sockets), the server is N accept threads each handling one
+// connection at a time (the real concurrency lives in the DynamicBatcher
+// behind the handler), and the tiny client exists for loadgen, the tests
+// and the CI soak job.
+//
+// Untrusted-input posture: request heads and bodies are size-capped
+// BEFORE buffering (431/413), POST without Content-Length is rejected
+// (411), and socket reads/writes carry timeouts so a stalled peer cannot
+// pin an accept thread forever. JSON parsing happens in the service layer
+// under eval::Json::ParseLimits — this layer never interprets bodies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fsa::serve {
+
+// ---- messages ----------------------------------------------------------------
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST"
+  std::string target;   ///< request path, e.g. "/v1/sweep"
+  std::string version;  ///< "HTTP/1.1"
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Reason phrase for the status codes this server emits ("OK", "Too Many
+/// Requests", ...); unknown codes get "Status".
+std::string status_reason(int status);
+
+/// Serialize a response with Content-Length and `Connection: close`.
+std::string render_response(const HttpResponse& response);
+
+/// Parse a request head (request line + header lines, WITHOUT the blank
+/// line or body) into `out`. Returns "" on success, else a description of
+/// the malformation. Pure — unit tests feed it adversarial bytes directly.
+std::string parse_request_head(const std::string& head, HttpRequest& out);
+
+/// `{"error": "<message>"}\n` with JSON string escaping — the body shape
+/// every non-2xx response uses.
+std::string error_body(const std::string& message);
+
+// ---- server ------------------------------------------------------------------
+
+struct HttpLimits {
+  std::size_t max_head_bytes = 16 * 1024;        ///< request line + headers (431 beyond)
+  std::size_t max_body_bytes = 8 * 1024 * 1024;  ///< POST body (413 beyond)
+  int io_timeout_ms = 30000;                     ///< per-socket send/recv timeout
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  int port = 0;  ///< 0 → ephemeral; read the bound port back with port()
+  int threads = 4;
+  HttpLimits limits;
+  bool verbose = false;
+};
+
+/// Blocking HTTP/1.1 server bound to 127.0.0.1. The constructor binds and
+/// listens (throwing std::runtime_error if the port is taken), start()
+/// spawns the accept threads, stop() makes them finish their in-flight
+/// connection and join — in-flight responses are completed, nothing new
+/// is accepted. Handler exceptions become 500 responses, never crashes.
+class HttpServer {
+ public:
+  HttpServer(HttpServerOptions options, HttpHandler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The actually-bound port (after an ephemeral `port: 0` bind).
+  [[nodiscard]] int port() const { return port_; }
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Connections fully handled (response written) since start().
+  [[nodiscard]] std::int64_t connections_handled() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  HttpServerOptions options_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool running_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// ---- client ------------------------------------------------------------------
+
+/// One blocking request against a numeric host ("127.0.0.1"). Throws
+/// std::runtime_error on transport errors (refused, timeout, truncated);
+/// HTTP-level errors come back as the response's status.
+HttpResponse http_fetch(const std::string& host, int port, const std::string& method,
+                        const std::string& target, const std::string& body,
+                        const HttpLimits& limits = {});
+
+// ---- graceful shutdown -------------------------------------------------------
+
+/// Scoped SIGTERM/SIGINT handler for the serve CLI, mirroring `dist
+/// serve`: the first signal flips a flag the serve loop polls (finish
+/// in-flight work, drain, exit 0); handlers are restored on destruction.
+class DrainSignalGuard {
+ public:
+  DrainSignalGuard();
+  ~DrainSignalGuard();
+  DrainSignalGuard(const DrainSignalGuard&) = delete;
+  DrainSignalGuard& operator=(const DrainSignalGuard&) = delete;
+
+  /// True once SIGTERM or SIGINT arrived (process-wide).
+  [[nodiscard]] static bool stop_requested();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fsa::serve

@@ -1,0 +1,355 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <iterator>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+#include "backend/compute_backend.h"
+#include "dist/jobs.h"
+#include "dist/reducer.h"
+#include "faultsim/profile.h"
+
+namespace fsa::serve {
+
+namespace {
+
+/// Injector calibration profiles are process-global (profile.h): any
+/// batch that creates injectors must own that state for its whole
+/// execution. One gate for the process, matching the one profile slot.
+std::mutex g_profile_gate;
+
+HttpResponse json_error(int status, const std::string& message) {
+  HttpResponse r;
+  r.status = status;
+  r.body = error_body(message);
+  return r;
+}
+
+/// Strict request-shape check, mirroring the CLI's expect_only: unknown
+/// fields fail loudly instead of being silently ignored (a typo'd
+/// "datset" must not run the default sweep). Returns "" when clean.
+std::string check_keys(const eval::Json& doc, const std::set<std::string>& allowed) {
+  if (doc.type() != eval::Json::Type::kObject) return "request body must be a JSON object";
+  for (const auto& [key, value] : doc.members())
+    if (allowed.count(key) == 0) return "unknown field \"" + key + "\"";
+  return "";
+}
+
+/// Parse and bound-check the request's spec list. Throws
+/// std::invalid_argument with a request-facing message.
+std::vector<engine::SweepSpec> parse_specs(const eval::Json& doc, std::size_t max_specs) {
+  if (!doc.has("specs") || doc.at("specs").type() != eval::Json::Type::kArray)
+    throw std::invalid_argument("\"specs\" must be an array of sweep instance specs");
+  const auto& items = doc.at("specs").items();
+  if (items.empty()) throw std::invalid_argument("\"specs\" must not be empty");
+  if (items.size() > max_specs)
+    throw std::invalid_argument("request carries " + std::to_string(items.size()) +
+                                " specs, more than the " + std::to_string(max_specs) +
+                                " per-request limit");
+  std::vector<engine::SweepSpec> specs;
+  specs.reserve(items.size());
+  for (const eval::Json& item : items) {
+    engine::SweepSpec spec = engine::SweepSpec::from_json(item);
+    if (spec.S < 1 || spec.R < spec.S)
+      throw std::invalid_argument("spec with S=" + std::to_string(spec.S) +
+                                  ", R=" + std::to_string(spec.R) +
+                                  ": need 1 <= S <= R");
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// The minimal sweep "manifest" the reducer reads (dataset, backend,
+/// shards) — built locally instead of via dist::sweep_manifest so no
+/// request path reads the process-global injector-profile slot.
+eval::Json reducer_manifest(const std::string& dataset, const std::string& backend,
+                            std::size_t shards) {
+  eval::Json j = eval::Json::object();
+  j.set("kind", eval::Json::string("sweep"));
+  j.set("dataset", eval::Json::string(dataset));
+  j.set("backend", eval::Json::string(backend));
+  j.set("shards", eval::Json::number(static_cast<std::int64_t>(shards)));
+  return j;
+}
+
+int status_for(const std::exception& e) {
+  return dynamic_cast<const std::invalid_argument*>(&e) != nullptr ? 400 : 500;
+}
+
+}  // namespace
+
+std::string render_json_body(const eval::Json& doc) { return doc.dump(2) + "\n"; }
+
+eval::Json eval_document(engine::SweepRunner& runner, const std::string& model,
+                         const std::string& backend, const std::vector<std::string>& layers,
+                         bool weights, bool biases) {
+  engine::SweepSpec surface;
+  surface.layers = layers;
+  surface.weights = weights;
+  surface.biases = biases;
+  eval::AttackBench& bench = runner.bench(layers, weights, biases);
+
+  eval::Json doc = eval::Json::object();
+  doc.set("kind", eval::Json::string("eval"));
+  doc.set("model", eval::Json::string(model));
+  doc.set("backend", eval::Json::string(backend));
+  doc.set("surface", eval::Json::string(surface.surface_key()));
+  doc.set("params", eval::Json::number(bench.model().net.param_count()));
+  doc.set("surface_params",
+          eval::Json::number(static_cast<std::int64_t>(bench.attack().mask().size())));
+  doc.set("pool_images",
+          eval::Json::number(static_cast<std::int64_t>(bench.pool_preds().size())));
+  doc.set("clean_test_accuracy", eval::Json::number(bench.clean_test_accuracy()));
+  return doc;
+}
+
+// ---- AttackService -----------------------------------------------------------
+
+AttackService::AttackService(ModelHost& host, ServiceOptions options)
+    : host_(host), options_(options), backend_(backend::active_name()) {
+  batcher_ = std::make_unique<DynamicBatcher>(
+      options_.batcher, [this](const BatchKey& key, const std::vector<eval::Json>& payloads) {
+        return execute(key, payloads);
+      });
+}
+
+AttackService::~AttackService() { drain(); }
+
+void AttackService::drain() { batcher_->drain(); }
+
+eval::Json AttackService::stats_json() const {
+  eval::Json out = eval::Json::object();
+  out.set("backend", eval::Json::string(backend_));
+  eval::Json models = eval::Json::array();
+  for (const std::string& name : host_.names()) models.push_back(eval::Json::string(name));
+  out.set("models", std::move(models));
+  out.set("requests_handled", eval::Json::number(requests_.load()));
+  const eval::Json batcher_stats = batcher_->stats_json();
+  for (const auto& [key, value] : batcher_stats.members()) out.set(key, value);
+  return out;
+}
+
+HttpResponse AttackService::handle(const HttpRequest& request) {
+  if (request.method == "GET") return handle_get(request);
+  if (request.method == "POST") return handle_post(request);
+  return json_error(405, "method " + request.method + " not supported");
+}
+
+HttpResponse AttackService::handle_get(const HttpRequest& request) {
+  if (request.target == "/healthz") {
+    eval::Json doc = eval::Json::object();
+    doc.set("status", eval::Json::string("ok"));
+    doc.set("backend", eval::Json::string(backend_));
+    eval::Json models = eval::Json::array();
+    for (const std::string& name : host_.names()) models.push_back(eval::Json::string(name));
+    doc.set("models", std::move(models));
+    return HttpResponse{200, "application/json", render_json_body(doc)};
+  }
+  if (request.target == "/stats")
+    return HttpResponse{200, "application/json", render_json_body(stats_json())};
+  return json_error(404, "no route for GET " + request.target +
+                             " (GET /healthz, GET /stats, POST /v1/{sweep,campaign,eval})");
+}
+
+HttpResponse AttackService::handle_post(const HttpRequest& request) {
+  eval::Json doc;
+  try {
+    doc = eval::Json::parse(request.body, options_.parse_limits);
+  } catch (const std::exception& e) {
+    return json_error(400, std::string("malformed JSON body: ") + e.what());
+  }
+
+  if (request.target == "/v1/sweep") {
+    if (const std::string err =
+            check_keys(doc, {"dataset", "backend", "specs", "injector_profile"});
+        !err.empty())
+      return json_error(400, err);
+    const std::string dataset = doc.get_string("dataset", "");
+    if (!host_.has(dataset)) {
+      std::string known;
+      for (const auto& n : host_.names()) known += (known.empty() ? "" : ", ") + n;
+      return json_error(400, "unknown dataset \"" + dataset + "\" (serving: " + known + ")");
+    }
+    if (const std::string be = doc.get_string("backend", ""); !be.empty() && be != backend_)
+      return json_error(400, "this daemon is pinned to backend \"" + backend_ +
+                                 "\"; request asked for \"" + be + "\"");
+    try {
+      (void)parse_specs(doc, options_.max_specs_per_request);
+    } catch (const std::exception& e) {
+      return json_error(400, e.what());
+    }
+    BatchKey key{"sweep", dataset, backend_,
+                 doc.has("injector_profile") ? doc.at("injector_profile").dump() : ""};
+    return submit_and_wait(key, std::move(doc));
+  }
+
+  if (request.target == "/v1/campaign") {
+    if (doc.type() != eval::Json::Type::kObject)
+      return json_error(400, "request body must be a campaign manifest object");
+    if (!doc.has("injector") || doc.at("injector").type() != eval::Json::Type::kString)
+      return json_error(400, "campaign manifest needs an \"injector\" name");
+    const std::int64_t shards = doc.get_int("shards", 0);
+    if (shards < 1 || shards > options_.max_campaign_shards)
+      return json_error(400, "campaign manifest \"shards\" must be in [1, " +
+                                 std::to_string(options_.max_campaign_shards) + "], got " +
+                                 std::to_string(shards));
+    if (!doc.has("shard_list"))
+      return json_error(400, "campaign manifest needs its \"shard_list\"");
+    BatchKey key{"campaign", "", backend_,
+                 doc.has("injector_profile") ? doc.at("injector_profile").dump() : ""};
+    return submit_and_wait(key, std::move(doc));
+  }
+
+  if (request.target == "/v1/eval") {
+    if (const std::string err =
+            check_keys(doc, {"dataset", "backend", "layers", "weights", "biases"});
+        !err.empty())
+      return json_error(400, err);
+    const std::string dataset = doc.get_string("dataset", "");
+    if (!host_.has(dataset)) return json_error(400, "unknown dataset \"" + dataset + "\"");
+    if (const std::string be = doc.get_string("backend", ""); !be.empty() && be != backend_)
+      return json_error(400, "this daemon is pinned to backend \"" + backend_ +
+                                 "\"; request asked for \"" + be + "\"");
+    if (!doc.has("layers") || doc.at("layers").type() != eval::Json::Type::kArray ||
+        doc.at("layers").items().empty())
+      return json_error(400, "\"layers\" must be a non-empty array of layer names");
+    if (!doc.get_bool("weights", true) && !doc.get_bool("biases", true))
+      return json_error(400, "weights and biases cannot both be false");
+    BatchKey key{"eval", dataset, backend_, ""};
+    return submit_and_wait(key, std::move(doc));
+  }
+
+  return json_error(404, "no route for POST " + request.target +
+                             " (POST /v1/{sweep,campaign,eval})");
+}
+
+HttpResponse AttackService::submit_and_wait(const BatchKey& key, eval::Json payload) {
+  auto future = batcher_->submit(key, std::move(payload));
+  if (!future) {
+    if (batcher_->draining()) return json_error(503, "service is draining");
+    return json_error(429, "request queue is full (" +
+                               std::to_string(batcher_->queue_depth()) + " queued); retry");
+  }
+  const BatchResponse response = future->get();
+  requests_.fetch_add(1);
+  return HttpResponse{response.status, "application/json", response.body};
+}
+
+// ---- batch executors ---------------------------------------------------------
+
+std::vector<BatchResponse> AttackService::execute(const BatchKey& key,
+                                                  const std::vector<eval::Json>& payloads) {
+  if (key.kind == "sweep") return execute_sweep(key, payloads);
+  if (key.kind == "campaign") return execute_campaign(payloads);
+  if (key.kind == "eval") return execute_eval(key, payloads);
+  throw std::runtime_error("serve: unknown batch kind \"" + key.kind + "\"");
+}
+
+std::vector<BatchResponse> AttackService::execute_sweep(const BatchKey& key,
+                                                        const std::vector<eval::Json>& payloads) {
+  // Re-parse each request's specs (admission already validated them) and
+  // concatenate into ONE runner call: per-instance determinism (own clone,
+  // own seed) makes the merged run bitwise identical to per-request runs.
+  std::vector<std::vector<engine::SweepSpec>> per_request;
+  std::vector<engine::SweepSpec> merged;
+  bool needs_injectors = !key.profile.empty();
+  per_request.reserve(payloads.size());
+  for (const eval::Json& doc : payloads) {
+    std::vector<engine::SweepSpec> specs = parse_specs(doc, options_.max_specs_per_request);
+    for (const engine::SweepSpec& s : specs) needs_injectors = needs_injectors || s.campaign;
+    merged.insert(merged.end(), specs.begin(), specs.end());
+    per_request.push_back(std::move(specs));
+  }
+
+  engine::SweepRunner& runner = host_.runner(key.model);
+  engine::SweepResult result;
+  if (needs_injectors) {
+    // Own the global calibration slot for the whole run: load this
+    // batch's profile, or restore built-in defaults when it has none.
+    std::lock_guard<std::mutex> gate(g_profile_gate);
+    if (key.profile.empty())
+      faultsim::clear_injector_profile();
+    else
+      faultsim::load_injector_profile(eval::Json::parse(key.profile));
+    result = runner.run(merged);
+    faultsim::clear_injector_profile();
+  } else {
+    result = runner.run(merged);
+  }
+
+  // Split the merged rows back per request and reduce each one exactly
+  // like the dist path, so response bytes match `sweep --workers --json`.
+  std::vector<BatchResponse> responses;
+  responses.reserve(payloads.size());
+  std::size_t offset = 0;
+  for (const std::vector<engine::SweepSpec>& specs : per_request) {
+    engine::SweepResult slice;
+    slice.rows.assign(std::move_iterator(result.rows.begin() + static_cast<std::ptrdiff_t>(offset)),
+                      std::move_iterator(result.rows.begin() +
+                                         static_cast<std::ptrdiff_t>(offset + specs.size())));
+    offset += specs.size();
+    std::vector<std::size_t> indices(specs.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+    eval::Json shard = eval::Json::object();
+    shard.set("kind", eval::Json::string("sweep"));
+    shard.set("shard", eval::Json::number(static_cast<std::int64_t>(0)));
+    shard.set("rows", dist::sweep_rows_json(slice, indices));
+    const eval::Json reduced = dist::make_reducer("sweep")->reduce(
+        reducer_manifest(key.model, key.backend, specs.size()), {shard});
+    responses.push_back(BatchResponse{200, render_json_body(reduced)});
+  }
+  return responses;
+}
+
+std::vector<BatchResponse> AttackService::execute_campaign(
+    const std::vector<eval::Json>& payloads) {
+  // Campaign manifests are already internally sharded; run each request's
+  // shards in sequence. The whole batch owns the calibration slot: every
+  // manifest either carries its profile (loaded by run_campaign_shard and
+  // the reducer) or runs on the built-in defaults.
+  std::lock_guard<std::mutex> gate(g_profile_gate);
+  std::vector<BatchResponse> responses;
+  responses.reserve(payloads.size());
+  for (const eval::Json& manifest : payloads) {
+    try {
+      faultsim::clear_injector_profile();  // defaults unless THIS manifest overrides
+      const int shards = static_cast<int>(manifest.get_int("shards", 0));
+      std::vector<eval::Json> shard_results;
+      shard_results.reserve(static_cast<std::size_t>(shards));
+      for (int i = 0; i < shards; ++i)
+        shard_results.push_back(dist::run_campaign_shard(manifest, i));
+      const eval::Json reduced =
+          dist::make_reducer("campaign")->reduce(manifest, shard_results);
+      responses.push_back(BatchResponse{200, render_json_body(reduced)});
+    } catch (const std::exception& e) {
+      responses.push_back(BatchResponse{status_for(e), error_body(e.what())});
+    }
+  }
+  faultsim::clear_injector_profile();
+  return responses;
+}
+
+std::vector<BatchResponse> AttackService::execute_eval(const BatchKey& key,
+                                                       const std::vector<eval::Json>& payloads) {
+  engine::SweepRunner& runner = host_.runner(key.model);
+  std::vector<BatchResponse> responses;
+  responses.reserve(payloads.size());
+  for (const eval::Json& doc : payloads) {
+    try {
+      std::vector<std::string> layers;
+      for (const eval::Json& l : doc.at("layers").items()) layers.push_back(l.as_string());
+      const eval::Json out = eval_document(runner, key.model, key.backend, layers,
+                                           doc.get_bool("weights", true),
+                                           doc.get_bool("biases", true));
+      responses.push_back(BatchResponse{200, render_json_body(out)});
+    } catch (const std::exception& e) {
+      responses.push_back(BatchResponse{status_for(e), error_body(e.what())});
+    }
+  }
+  return responses;
+}
+
+}  // namespace fsa::serve

@@ -1,0 +1,114 @@
+// service.h — the attack service: HTTP routes over the dynamic batcher.
+//
+// AttackService is the daemon's brain: it validates untrusted request
+// JSON (bounded parse, strict field checks — a typo'd request fails with
+// a 400 naming the problem, mirroring the CLI's strict flags), folds
+// requests into the DynamicBatcher per execution context, and renders
+// responses whose BYTES match the offline artifacts:
+//
+//   POST /v1/sweep     {"dataset", "specs": [SweepSpec...],
+//                       "injector_profile"?}       → the reduced sweep
+//       document, byte-identical to `fsa_cli sweep --workers N --json`
+//       for the same specs (same reducer, same dump(2) + "\n" format).
+//   POST /v1/campaign  a self-contained campaign manifest (the
+//       CampaignPlanner::manifest document `fsa_cli campaign --manifest`
+//       emits) → the reduced campaign document, byte-identical to the
+//       job directory's reduced.json from `dist run`.
+//   POST /v1/eval      {"dataset", "layers": [...], "weights"?,
+//                       "biases"?} → the deterministic surface-evaluation
+//       document, byte-identical to `fsa_cli eval` for the same surface.
+//   GET  /healthz      liveness + the served model/backend inventory.
+//   GET  /stats        queue depth, request/batch counters, batch-size
+//                      histogram, p50/p99 latency.
+//
+// Batched execution reuses the dist layer's primitives — sweep rows
+// through dist::sweep_rows_json, campaign shards through
+// dist::run_campaign_shard, reduction through dist::make_reducer — so
+// serve-vs-CLI byte-identity holds by construction, not by parallel
+// reimplementation. Injector calibration is process-global state; any
+// batch that touches injectors (campaigns, sweeps with a campaign stage
+// or an explicit profile) loads the REQUEST's profile (or clears to
+// defaults) under a global gate held for the whole batch, so concurrent
+// requests with different calibrations can never contaminate each other.
+//
+// The compute backend is pinned at construction: requests naming a
+// different backend are rejected (400) rather than racing a global
+// backend switch under in-flight kernels.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/http.h"
+#include "serve/zoo.h"
+
+namespace fsa::serve {
+
+struct ServiceOptions {
+  BatcherOptions batcher;
+  /// Bounds for parsing request bodies (attacker bytes).
+  eval::Json::ParseLimits parse_limits{64, 4 * 1024 * 1024};
+  /// Per-request spec-count cap for /v1/sweep (admission control).
+  std::size_t max_specs_per_request = 256;
+  /// Shard-count cap for /v1/campaign manifests.
+  std::int64_t max_campaign_shards = 4096;
+};
+
+class AttackService {
+ public:
+  /// `host` must outlive the service. Pins the active backend name.
+  AttackService(ModelHost& host, ServiceOptions options = {});
+  ~AttackService();
+  AttackService(const AttackService&) = delete;
+  AttackService& operator=(const AttackService&) = delete;
+
+  /// Route one request (the HttpServer handler). Blocks until the
+  /// response is ready — concurrency comes from the server's threads.
+  HttpResponse handle(const HttpRequest& request);
+
+  /// Graceful shutdown: stop admission, finish every queued request.
+  void drain();
+
+  /// Total requests handled (any status) — the `--once` exit condition.
+  [[nodiscard]] std::int64_t requests_handled() const { return requests_.load(); }
+
+  [[nodiscard]] eval::Json stats_json() const;
+  [[nodiscard]] const std::string& backend() const { return backend_; }
+
+ private:
+  HttpResponse handle_get(const HttpRequest& request);
+  HttpResponse handle_post(const HttpRequest& request);
+  HttpResponse submit_and_wait(const BatchKey& key, eval::Json payload);
+  std::vector<BatchResponse> execute(const BatchKey& key,
+                                     const std::vector<eval::Json>& payloads);
+  std::vector<BatchResponse> execute_sweep(const BatchKey& key,
+                                           const std::vector<eval::Json>& payloads);
+  std::vector<BatchResponse> execute_campaign(const std::vector<eval::Json>& payloads);
+  std::vector<BatchResponse> execute_eval(const BatchKey& key,
+                                          const std::vector<eval::Json>& payloads);
+
+  ModelHost& host_;
+  const ServiceOptions options_;
+  const std::string backend_;
+  std::unique_ptr<DynamicBatcher> batcher_;
+  std::atomic<std::int64_t> requests_{0};
+};
+
+/// The deterministic surface-evaluation document behind POST /v1/eval AND
+/// `fsa_cli eval` — one implementation, so CI byte-diffs daemon output
+/// against the CLI. Builds (or reuses) the runner's AttackBench for the
+/// surface.
+eval::Json eval_document(engine::SweepRunner& runner, const std::string& model,
+                         const std::string& backend, const std::vector<std::string>& layers,
+                         bool weights, bool biases);
+
+/// Canonical response-body rendering for every JSON document the service
+/// emits: dump(2) + "\n" — the exact bytes dist::write_json_atomic puts
+/// on disk, so `cmp` against CLI artifacts works.
+std::string render_json_body(const eval::Json& doc);
+
+}  // namespace fsa::serve

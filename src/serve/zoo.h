@@ -1,0 +1,87 @@
+// zoo.h — startup-loaded model registry for the attack service.
+//
+// A long-lived daemon must pay model training/loading and feature-cache
+// derivation ONCE, at startup, never on a request path: the first request
+// after boot must be as fast as the thousandth. ModelHost is the seam the
+// service works against — a name → SweepRunner mapping whose runners are
+// constructed before the server socket opens — and ServeZoo is the
+// production implementation over models::ModelZoo (digits/objects, the
+// paper's two stand-ins), pre-warming each configured attack surface's
+// AttackBench so its feature caches are hot.
+//
+// Handing out SweepRunner& (not const) is deliberate: the runner lazily
+// grows its per-surface bench map, which is NOT thread-safe — the
+// DynamicBatcher serializes execution per (model, backend) key, so each
+// runner only ever runs one batch at a time. Tests implement ModelHost
+// over small blob-trained models (test_util.h) so the full service stack
+// runs in seconds without the zoo.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/sweep.h"
+#include "models/model_zoo.h"
+
+namespace fsa::serve {
+
+/// The service's view of "which models exist": read-only name listing
+/// plus per-model execution handles, all constructed before serving.
+class ModelHost {
+ public:
+  virtual ~ModelHost() = default;
+
+  /// Registered model names, sorted (for /healthz and error messages).
+  [[nodiscard]] virtual std::vector<std::string> names() const = 0;
+
+  /// The model's sweep runner. Throws std::invalid_argument listing the
+  /// registered names when `model` is unknown.
+  virtual engine::SweepRunner& runner(const std::string& model) = 0;
+
+  /// True when `model` is registered.
+  [[nodiscard]] bool has(const std::string& model) const;
+};
+
+struct ServeZooOptions {
+  /// Zoo datasets to load at startup ("digits", "objects"). Loading only
+  /// what a deployment serves keeps boot fast.
+  std::vector<std::string> datasets = {"digits"};
+  /// Surfaces whose AttackBench (features, clean accuracy) is pre-warmed
+  /// per model, one layer-CSV entry each.
+  std::vector<std::string> warm_layers = {"fc3"};
+  bool verbose = true;
+};
+
+/// Production ModelHost: loads/builds every configured zoo model once
+/// (training into FSA_CACHE_DIR on a cold cache) and pre-warms feature
+/// caches, so request workers only ever touch hot state.
+class ServeZoo : public ModelHost {
+ public:
+  explicit ServeZoo(ServeZooOptions options = {});
+
+  [[nodiscard]] std::vector<std::string> names() const override;
+  engine::SweepRunner& runner(const std::string& model) override;
+
+ private:
+  models::ModelZoo zoo_;
+  std::map<std::string, std::unique_ptr<engine::SweepRunner>> runners_;
+};
+
+/// ModelHost over caller-owned (model, runner) pairs — the test seam, and
+/// the building block for serving ad-hoc models without the zoo.
+class StaticModelHost : public ModelHost {
+ public:
+  /// Register `runner` under `name` (replaces an existing entry). The
+  /// runner must outlive this host.
+  void add(const std::string& name, engine::SweepRunner& runner);
+
+  [[nodiscard]] std::vector<std::string> names() const override;
+  engine::SweepRunner& runner(const std::string& model) override;
+
+ private:
+  std::map<std::string, engine::SweepRunner*> runners_;
+};
+
+}  // namespace fsa::serve

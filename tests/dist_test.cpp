@@ -576,6 +576,40 @@ TEST(WorkerPool, PermanentFailureIsReportedWithLogPath) {
   EXPECT_EQ(reduced.get_string("kind", ""), "campaign");
 }
 
+TEST(WorkerPool, TempJobIsRemovedOnSuccessAndNamedOnFailure) {
+  // The CLI's --workers mode without --job runs in a throwaway directory.
+  // Success must remove it; a permanent failure must RETAIN it (the logs
+  // are the only diagnosis trail) and name the retained path in the
+  // error, so the temp directory never leaks silently.
+  Scratch scratch("fsa_dist_tempjob");
+  const faultsim::CampaignPlanner planner("laser", 2, 7);
+  const faultsim::BitFlipPlan plan = test_plan();
+  RunJobOptions opts;
+  opts.workers = 2;
+  opts.verbose = false;
+
+  const std::string ok_dir = scratch.sub("ok");
+  const JobDir ok = create_campaign_job(ok_dir, planner, plan, faultsim::MemoryLayout{});
+  const eval::Json reduced = run_temp_job(ok, self_exe(), opts);
+  EXPECT_EQ(reduced.get_string("kind", ""), "campaign");
+  EXPECT_FALSE(fs::exists(ok_dir)) << "successful temp job must clean up after itself";
+
+  const std::string bad_dir = scratch.sub("bad");
+  const JobDir bad = create_campaign_job(bad_dir, planner, plan, faultsim::MemoryLayout{});
+  RunJobOptions bad_opts = opts;
+  bad_opts.extra_argv = {"--fail-always"};
+  try {
+    (void)run_temp_job(bad, self_exe(), bad_opts);
+    FAIL() << "expected worker-failure error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("retained at " + bad_dir), std::string::npos) << what;
+    EXPECT_NE(what.find("dist run --job"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(fs::exists(bad_dir)) << "failed temp job must be retained for diagnosis";
+  EXPECT_TRUE(fs::exists(bad.log_path(0))) << "retained job keeps its worker logs";
+}
+
 TEST(WorkerPool, RejectsNonPositiveConfiguration) {
   EXPECT_THROW(WorkerPool({0, 2, false}), std::invalid_argument);
   EXPECT_THROW(WorkerPool({2, 0, false}), std::invalid_argument);

@@ -1,14 +1,70 @@
-// eval_test.cpp — table formatting helpers.
+// eval_test.cpp — table formatting helpers and the JSON parser's
+// untrusted-input hardening (the serve daemon feeds it attacker bytes).
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
+#include <string>
 
+#include "eval/json.h"
 #include "eval/stopwatch.h"
 #include "eval/table.h"
 
 namespace fsa::eval {
 namespace {
+
+// ---- Json parse limits (adversarial input) -----------------------------------
+
+TEST(JsonLimits, DeepNestingIsRejectedNotACrash) {
+  // 100k unclosed arrays: without the depth bound this recurses once per
+  // bracket and overflows the stack. The default limit must reject it
+  // with an exception long before that.
+  const std::string bomb(100000, '[');
+  EXPECT_THROW((void)Json::parse(bomb), std::runtime_error);
+
+  // Same shape as objects, and as a properly-closed document.
+  std::string nested;
+  for (int i = 0; i < 5000; ++i) nested += "{\"a\":";
+  nested += "1";
+  for (int i = 0; i < 5000; ++i) nested += "}";
+  EXPECT_THROW((void)Json::parse(nested), std::runtime_error);
+}
+
+TEST(JsonLimits, MaxDepthBoundaryIsExact) {
+  const auto nested_array = [](int levels) {
+    return std::string(static_cast<std::size_t>(levels), '[') + "1" +
+           std::string(static_cast<std::size_t>(levels), ']');
+  };
+  Json::ParseLimits limits;
+  limits.max_depth = 4;
+  EXPECT_NO_THROW((void)Json::parse(nested_array(4), limits));
+  EXPECT_THROW((void)Json::parse(nested_array(5), limits), std::runtime_error);
+  // Scalars sit at depth 0 and always parse.
+  EXPECT_EQ(Json::parse("42", Json::ParseLimits{0, 0}).as_int(), 42);
+}
+
+TEST(JsonLimits, InputSizeCapRejectsBeforeParsing) {
+  Json::ParseLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_EQ(Json::parse("{\"a\": 1}", limits).get_int("a", 0), 1);
+  try {
+    (void)Json::parse("[1, 2, 3, 4, 5, 6, 7, 8]", limits);
+    FAIL() << "expected the size cap to reject";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("16-byte limit"), std::string::npos);
+  }
+  // 0 = unlimited (the default for trusted internal artifacts).
+  limits.max_bytes = 0;
+  EXPECT_NO_THROW((void)Json::parse("[1, 2, 3, 4, 5, 6, 7, 8]", limits));
+}
+
+TEST(JsonLimits, TrailingGarbageIsRejected) {
+  EXPECT_THROW((void)Json::parse("{} {}"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1] x"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("1 2"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("null,"), std::runtime_error);
+  EXPECT_NO_THROW((void)Json::parse(" {\"a\": [1]} \n"));  // whitespace is fine
+}
 
 TEST(Fmt, FixedPrecision) {
   EXPECT_EQ(fmt(0.987654, 3), "0.988");

@@ -59,6 +59,9 @@
 #include "dist/reducer.h"
 #include "dist/serve.h"
 #include "dist/worker_pool.h"
+#include "serve/http.h"
+#include "serve/service.h"
+#include "serve/zoo.h"
 #include "engine/attackers.h"
 #include "engine/registry.h"
 #include "engine/sweep.h"
@@ -79,7 +82,8 @@ const char* g_argv0 = "fsa_cli";
 
 int usage() {
   std::fputs(
-      "usage: fsa_cli <info|methods|backends|injectors|attack|sweep|campaign|dist|audit>"
+      "usage: fsa_cli"
+      " <info|methods|backends|injectors|attack|sweep|campaign|dist|serve|eval|audit>"
       " [options]\n"
       "  info\n"
       "  methods\n"
@@ -108,6 +112,11 @@ int usage() {
       "                  [--heartbeat-ms MS] [--once] [--max-shards N] [--quiet]\n"
       "           reduce --job dir\n"
       "           status --job dir\n"
+      "  serve    [--port P] [--threads N] [--max-batch B] [--max-delay-ms MS]\n"
+      "           [--max-queue Q] [--executors E] [--datasets digits[,objects]]\n"
+      "           [--warm-layers fc3[,fc2...]] [--backend B] [--once] [--quiet]\n"
+      "  eval     --dataset D --layers L [--weights-only|--biases-only]\n"
+      "           [--backend B] [--json out.json]\n"
       "  audit    --dataset D --layers L --delta delta.bin\n",
       stderr);
   return 2;
@@ -381,7 +390,10 @@ int cmd_sweep_workers(const eval::Args& args, const engine::Sweep& sweep,
   // stale rows.
   const dist::JobDir job = dist::open_or_create_job(
       dir, "sweep", dist::sweep_manifest(dataset, backend::active_name(), specs));
-  const eval::Json reduced = dist::run_job(job, dist::self_exe(g_argv0), opts);
+  // Temp-dir jobs go through run_temp_job: removed on success, retained
+  // AND named in the error on permanent failure (the logs are the trail).
+  const eval::Json reduced = temporary ? dist::run_temp_job(job, dist::self_exe(g_argv0), opts)
+                                       : dist::run_job(job, dist::self_exe(g_argv0), opts);
 
   // Rebuild rows for the human-facing table; the canonical artifact is the
   // reduced JSON itself.
@@ -404,10 +416,7 @@ int cmd_sweep_workers(const eval::Args& args, const engine::Sweep& sweep,
   }
   if (const std::string path = args.get("csv", ""); !path.empty())
     result.table("sweep").write_csv(path);
-  if (temporary)
-    std::filesystem::remove_all(dir);
-  else
-    std::printf("job directory: %s\n", job.path().c_str());
+  if (!temporary) std::printf("job directory: %s\n", job.path().c_str());
 
   for (const auto& row : result.rows)
     if (!row.report.all_targets_hit) return 1;
@@ -554,14 +563,18 @@ int cmd_campaign(const eval::Args& args) {
       const faultsim::CampaignPlanner planner(name, shards, seed);
       const dist::JobDir job =
           dist::open_or_create_job(dir, "campaign", planner.manifest(plan, layout));
-      const eval::Json reduced = dist::run_job(job, dist::self_exe(g_argv0), opts);
+      // Temp-dir jobs: removed on success, retained and named in the
+      // error on permanent failure (per-injector sub-jobs individually).
+      const eval::Json reduced = temporary ? dist::run_temp_job(job, dist::self_exe(g_argv0), opts)
+                                           : dist::run_job(job, dist::self_exe(g_argv0), opts);
       const faultsim::CampaignReport rep =
           faultsim::CampaignReport::from_json(reduced.at("report"));
       print_campaign_line(name, rep, faultsim::make_injector(name)->plan_cost(plan, layout));
       all_complete = all_complete && rep.success;
     }
-    // A worker failure throws out of run_job and leaves the directory (and
-    // its logs) behind for diagnosis; reaching here means every shard ran.
+    // A worker failure throws out of run_temp_job naming the retained
+    // directory; reaching here means every shard ran and the per-injector
+    // temp sub-jobs are already gone — sweep the (now empty) root too.
     if (temporary)
       std::filesystem::remove_all(root);
     else
@@ -645,6 +658,95 @@ int cmd_dist(const eval::Args& args) {
   return 0;
 }
 
+/// `eval`: emit the deterministic surface-evaluation document — the SAME
+/// bytes POST /v1/eval returns for the same surface (shared
+/// serve::eval_document), so CI byte-diffs daemon against CLI.
+int cmd_eval(const eval::Args& args) {
+  args.expect_only({"dataset", "layers", "weights-only", "biases-only", "backend", "json"});
+  select_backend(args);
+  const auto [weights, biases] = surface_flags(args);
+  const std::string dataset = args.get("dataset", "digits");
+  if (dataset != "digits" && dataset != "objects")
+    throw std::invalid_argument("unknown --dataset \"" + dataset +
+                                "\" (expected digits or objects)");
+  models::ModelZoo zoo;
+  models::ZooModel& model = dataset == "objects" ? zoo.objects() : zoo.digits();
+  engine::SweepRunner runner(model, zoo.cache_dir(), /*verbose=*/false);
+  const eval::Json doc =
+      serve::eval_document(runner, dataset, backend::active_name(),
+                           eval::split_csv(args.get("layers", "fc3")), weights, biases);
+  if (const std::string path = args.get("json", ""); !path.empty()) {
+    dist::write_json_atomic(path, doc);
+    std::printf("eval json written to %s\n", path.c_str());
+  } else {
+    std::printf("%s\n", doc.dump(2).c_str());
+  }
+  return 0;
+}
+
+/// `serve`: the long-lived attack-service daemon. Loads every configured
+/// model up front, then serves HTTP until SIGTERM/SIGINT (drain: finish
+/// in-flight and queued requests, then exit 0) or, with --once, until the
+/// first work request completes.
+int cmd_serve(const eval::Args& args) {
+  args.expect_only({"port", "threads", "max-batch", "max-delay-ms", "max-queue", "executors",
+                    "datasets", "warm-layers", "backend", "once", "quiet"});
+  select_backend(args);
+  const bool quiet = args.has_flag("quiet");
+
+  serve::ServiceOptions service_options;
+  service_options.batcher.max_batch = positive_int(args, "max-batch", 8);
+  service_options.batcher.max_queue = positive_int(args, "max-queue", 64);
+  service_options.batcher.executors = positive_int(args, "executors", 2);
+  const auto delay = args.get_int("max-delay-ms", service_options.batcher.max_delay_ms);
+  if (delay < 0) throw std::invalid_argument("--max-delay-ms must be >= 0");
+  service_options.batcher.max_delay_ms = static_cast<int>(delay);
+
+  serve::HttpServerOptions server_options;
+  const auto port = args.get_int("port", 0);
+  if (port < 0 || port > 65535)
+    throw std::invalid_argument("--port must be in [0, 65535] (0 = ephemeral)");
+  server_options.port = static_cast<int>(port);
+  server_options.threads = positive_int(args, "threads", 4);
+  server_options.verbose = !quiet;
+
+  // Models load and feature caches warm BEFORE the socket opens: the
+  // first request is as fast as the thousandth.
+  serve::ServeZooOptions zoo_options;
+  zoo_options.datasets = args.get_list("datasets", "digits");
+  zoo_options.warm_layers = args.get_list("warm-layers", "fc3");
+  zoo_options.verbose = !quiet;
+  serve::ServeZoo zoo(zoo_options);
+  serve::AttackService service(zoo, service_options);
+
+  serve::HttpServer server(server_options,
+                           [&service](const serve::HttpRequest& r) { return service.handle(r); });
+  const serve::DrainSignalGuard guard;
+  server.start();
+  // Scripts (loadgen, CI) parse this line for the ephemeral port.
+  std::printf("fsa_serve listening on 127.0.0.1:%d (backend %s)\n", server.port(),
+              service.backend().c_str());
+  std::fflush(stdout);
+
+  const bool once = args.has_flag("once");
+  while (!serve::DrainSignalGuard::stop_requested()) {
+    if (once && service.requests_handled() >= 1) break;
+    usleep(50 * 1000);
+  }
+  // Graceful drain, mirroring `dist serve`: stop accepting, complete
+  // every accepted and queued request, then report.
+  server.stop();
+  service.drain();
+  const eval::Json stats = service.stats_json();
+  if (!quiet)
+    std::printf("serve: %lld request(s) handled, %lld batch(es), %lld shed%s\n",
+                static_cast<long long>(service.requests_handled()),
+                static_cast<long long>(stats.at("batches").get_int("count", 0)),
+                static_cast<long long>(stats.at("requests").get_int("shed", 0)),
+                serve::DrainSignalGuard::stop_requested() ? " (drained on signal)" : "");
+  return 0;
+}
+
 int cmd_audit(const eval::Args& args) {
   args.expect_only({"dataset", "layers", "delta"});
   Context ctx(args.get("dataset", "digits"), args.get("layers", "fc3"), true, true);
@@ -676,6 +778,8 @@ int main(int argc, char** argv) {
     if (args.command() == "attack") return cmd_attack(args);
     if (args.command() == "sweep") return cmd_sweep(args);
     if (args.command() == "campaign") return cmd_campaign(args);
+    if (args.command() == "serve") return cmd_serve(args);
+    if (args.command() == "eval") return cmd_eval(args);
     if (args.command() == "audit") return cmd_audit(args);
     return usage();
   } catch (const std::exception& e) {

@@ -1,0 +1,201 @@
+// loadgen.cpp — concurrent load driver for the fsa_serve daemon.
+//
+//   loadgen --port P [--host 127.0.0.1] [--clients 16] [--iterations 4]
+//           [--get /healthz[,/stats...]]
+//           [--post /v1/eval=payload.json[,/v1/sweep=other.json...]]
+//           [--save-dir dir] [--json] [--expect-status 200]
+//
+// Spawns --clients threads; each runs --iterations passes over the full
+// request list (GETs first, then POSTs, in flag order), recording every
+// response's status, latency and body. After the run it:
+//
+//   * verifies BYTE-IDENTITY: for each request slot, every response body
+//     across all clients × iterations must be identical — the serve
+//     determinism contract under concurrency and dynamic batching;
+//   * writes each slot's reference body to --save-dir/response_<i>.json
+//     (exact bytes, so CI can `cmp` them against CLI artifacts);
+//   * prints throughput and p50/p99 latency — human table by default,
+//     a single JSON object with --json (consumed by run_benches.sh).
+//
+// Exit code: 0 only when every response matched --expect-status AND all
+// bodies were byte-identical per slot.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/args.h"
+#include "eval/json.h"
+#include "serve/http.h"
+
+namespace {
+
+using namespace fsa;
+
+struct RequestSpec {
+  std::string method;
+  std::string target;
+  std::string body;
+};
+
+struct Sample {
+  std::size_t slot = 0;
+  int status = 0;
+  double ms = 0.0;
+  std::string body;
+  std::string transport_error;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) throw std::runtime_error("loadgen: cannot read payload file " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sample.size() - 1) + 0.5);
+  return sample[std::min(rank, sample.size() - 1)];
+}
+
+int run(const eval::Args& args) {
+  args.expect_only({"host", "port", "clients", "iterations", "get", "post", "save-dir", "json",
+                    "expect-status"});
+  const std::string host = args.get("host", "127.0.0.1");
+  const int port = static_cast<int>(args.get_int("port", 0));
+  if (port < 1) throw std::invalid_argument("--port is required");
+  const int clients = static_cast<int>(args.get_int("clients", 16));
+  const int iterations = static_cast<int>(args.get_int("iterations", 4));
+  if (clients < 1 || iterations < 1)
+    throw std::invalid_argument("--clients and --iterations must be >= 1");
+  const int expect_status = static_cast<int>(args.get_int("expect-status", 200));
+
+  std::vector<RequestSpec> specs;
+  for (const std::string& target : args.get_list("get", ""))
+    specs.push_back({"GET", target, ""});
+  for (const std::string& pair : args.get_list("post", "")) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= pair.size())
+      throw std::invalid_argument("--post expects /path=payload.json pairs, got \"" + pair +
+                                  "\"");
+    specs.push_back({"POST", pair.substr(0, eq), slurp(pair.substr(eq + 1))});
+  }
+  if (specs.empty())
+    throw std::invalid_argument("nothing to send: pass --get and/or --post request specs");
+
+  // Every client runs the same request sequence; samples land in a
+  // preallocated per-client slice (no locking, no reordering).
+  const std::size_t per_client = specs.size() * static_cast<std::size_t>(iterations);
+  std::vector<std::vector<Sample>> all(static_cast<std::size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<Sample>& mine = all[static_cast<std::size_t>(c)];
+      mine.reserve(per_client);
+      for (int it = 0; it < iterations; ++it)
+        for (std::size_t s = 0; s < specs.size(); ++s) {
+          Sample sample;
+          sample.slot = s;
+          const auto a = std::chrono::steady_clock::now();
+          try {
+            const serve::HttpResponse r =
+                serve::http_fetch(host, port, specs[s].method, specs[s].target, specs[s].body);
+            sample.status = r.status;
+            sample.body = r.body;
+          } catch (const std::exception& e) {
+            sample.transport_error = e.what();
+          }
+          sample.ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - a)
+                          .count();
+          mine.push_back(std::move(sample));
+        }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // ---- verify: status codes and per-slot byte-identity -----------------------
+  std::int64_t errors = 0;
+  std::vector<double> latencies;
+  std::vector<std::string> reference(specs.size());
+  std::vector<bool> have_reference(specs.size(), false);
+  bool identical = true;
+  for (const auto& client_samples : all)
+    for (const Sample& s : client_samples) {
+      latencies.push_back(s.ms);
+      if (!s.transport_error.empty() || s.status != expect_status) {
+        ++errors;
+        if (!s.transport_error.empty())
+          std::fprintf(stderr, "loadgen: %s %s: %s\n", specs[s.slot].method.c_str(),
+                       specs[s.slot].target.c_str(), s.transport_error.c_str());
+        continue;
+      }
+      // /stats is live counters — exclude it from the identity check.
+      if (specs[s.slot].target == "/stats") continue;
+      if (!have_reference[s.slot]) {
+        reference[s.slot] = s.body;
+        have_reference[s.slot] = true;
+      } else if (s.body != reference[s.slot]) {
+        identical = false;
+        std::fprintf(stderr, "loadgen: DIVERGENT response for %s %s (%zu vs %zu bytes)\n",
+                     specs[s.slot].method.c_str(), specs[s.slot].target.c_str(), s.body.size(),
+                     reference[s.slot].size());
+      }
+    }
+
+  if (const std::string dir = args.get("save-dir", ""); !dir.empty()) {
+    std::filesystem::create_directories(dir);
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      if (!have_reference[s]) continue;
+      std::ofstream f(dir + "/response_" + std::to_string(s) + ".json", std::ios::binary);
+      f << reference[s];
+    }
+  }
+
+  const auto total = static_cast<std::int64_t>(latencies.size());
+  eval::Json out = eval::Json::object();
+  out.set("requests", eval::Json::number(total));
+  out.set("errors", eval::Json::number(errors));
+  out.set("clients", eval::Json::number(static_cast<std::int64_t>(clients)));
+  out.set("seconds", eval::Json::number(elapsed));
+  out.set("throughput_rps",
+          eval::Json::number(elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0));
+  out.set("p50_ms", eval::Json::number(percentile(latencies, 0.50)));
+  out.set("p99_ms", eval::Json::number(percentile(latencies, 0.99)));
+  out.set("byte_identical", eval::Json::boolean(identical));
+
+  if (args.has_flag("json")) {
+    std::printf("%s\n", out.dump(2).c_str());
+  } else {
+    std::printf("loadgen: %lld request(s) from %d client(s) in %.2f s — %.1f req/s, "
+                "p50 %.2f ms, p99 %.2f ms, %lld error(s), bodies %s\n",
+                static_cast<long long>(total), clients, elapsed,
+                out.get_number("throughput_rps", 0.0), out.get_number("p50_ms", 0.0),
+                out.get_number("p99_ms", 0.0), static_cast<long long>(errors),
+                identical ? "byte-identical" : "DIVERGENT");
+  }
+  return errors == 0 && identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(fsa::eval::Args::parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: %s\n", e.what());
+    return 2;
+  }
+}

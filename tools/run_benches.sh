@@ -147,3 +147,96 @@ if rows:
         print(f"  packed speedup over blocked at the L2-spilling 2048^3: "
               f"{blocked / packed:.2f}x")
 EOF
+
+# ---- serve soak: fold daemon throughput/latency into the same entry ---------
+# Start the HTTP daemon (fsa_serve), drive it with tools/loadgen (16
+# concurrent clients of mixed sweep/eval traffic, byte-identity enforced
+# by loadgen's exit code), and append {"serve": {throughput_rps, p50_ms,
+# p99_ms}} to the trajectory entry written above — so the serving path
+# accumulates a perf history alongside the GEMM numbers. Fails loudly:
+# a missing serve datapoint must not read as "no change".
+echo ""
+echo "serve soak (fsa_serve + loadgen)..."
+if ! cmake --build "$build_dir" -j --target fsa_cli loadgen; then
+  echo "run_benches.sh: ERROR: fsa_cli/loadgen failed to build; no serve entry." >&2
+  exit 1
+fi
+
+serve_log="$build_dir/serve_bench.log"
+loadgen_json="$build_dir/loadgen_run.json"
+printf '%s\n' '{"dataset": "digits", "specs": [{"method": "gda", "layers": ["fc3"], "S": 1, "R": 4, "seed": "3"}]}' > "$build_dir/serve_sweep_req.json"
+printf '%s\n' '{"dataset": "digits", "layers": ["fc3"]}' > "$build_dir/serve_eval_req.json"
+
+# Run from the repo root so the daemon shares .fsa_cache/ (a cold cache
+# trains the digits model once, ~2 min; later runs boot in seconds). All
+# later paths are absolute, so changing the script's cwd here is safe —
+# and $! must be the daemon itself for the SIGTERM below to reach it.
+cd "$repo_root"
+"$build_dir/fsa_cli" serve --port 0 --max-batch 8 \
+    --max-delay-ms 5 --datasets digits --warm-layers fc3 > "$serve_log" 2>&1 &
+serve_pid=$!
+port=""
+i=0
+while [ "$i" -lt 240 ]; do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$serve_log" 2>/dev/null || true)
+  [ -n "$port" ] && break
+  if ! kill -0 "$serve_pid" 2>/dev/null; then
+    echo "run_benches.sh: ERROR: fsa_serve exited before listening:" >&2
+    cat "$serve_log" >&2
+    exit 1
+  fi
+  sleep 1
+  i=$((i + 1))
+done
+if [ -z "$port" ]; then
+  echo "run_benches.sh: ERROR: fsa_serve never printed its port; log:" >&2
+  cat "$serve_log" >&2
+  kill -TERM "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+
+soak_rc=0
+"$build_dir/loadgen" --port "$port" --clients 16 --iterations 4 \
+    --get /healthz \
+    --post "/v1/sweep=$build_dir/serve_sweep_req.json,/v1/eval=$build_dir/serve_eval_req.json" \
+    --json > "$loadgen_json" || soak_rc=$?
+kill -TERM "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+if [ "$soak_rc" -ne 0 ] || [ ! -s "$loadgen_json" ]; then
+  echo "run_benches.sh: ERROR: loadgen soak failed (rc=$soak_rc); serve log:" >&2
+  cat "$serve_log" >&2
+  exit 1
+fi
+
+python3 - "$loadgen_json" "$out_json" <<'EOF'
+import json, sys
+
+load_path, out_path = sys.argv[1:3]
+with open(load_path) as f:
+    load = json.load(f)
+with open(out_path) as f:
+    trajectory = json.load(f)
+
+entry = trajectory["runs"][-1]
+entry["serve"] = {
+    "clients": load.get("clients", 0),
+    "requests": load.get("requests", 0),
+    "throughput_rps": load.get("throughput_rps", 0.0),
+    "p50_ms": load.get("p50_ms", 0.0),
+    "p99_ms": load.get("p99_ms", 0.0),
+    "byte_identical": load.get("byte_identical", False),
+}
+with open(out_path, "w") as f:
+    json.dump(trajectory, f, indent=1)
+    f.write("\n")
+
+previous = next((r["serve"] for r in reversed(trajectory["runs"][:-1]) if "serve" in r), None)
+s = entry["serve"]
+print(f"serve: {s['throughput_rps']:.1f} req/s, p50 {s['p50_ms']:.2f} ms, "
+      f"p99 {s['p99_ms']:.2f} ms ({s['clients']} clients, "
+      f"bodies {'byte-identical' if s['byte_identical'] else 'DIVERGENT'})")
+if previous and previous.get("throughput_rps"):
+    change = (s["throughput_rps"] - previous["throughput_rps"]) / previous["throughput_rps"] * 100.0
+    flag = "  <-- regression?" if change < -10.0 else ""
+    print(f"serve throughput vs previous entry: {change:+.1f}%{flag}")
+EOF
