@@ -1,0 +1,212 @@
+// bench_compile.cpp — forward-pass compiler throughput: compiled vs
+// uncompiled sweeps on a multi-layer conv model.
+//
+// A sweep's per-instance overhead is clone + plan work, not GEMM flops:
+// every instance deep-copies the whole network and re-derives im2col
+// geometry, workspaces, and packed panels, even though it only ever
+// perturbs a small FC head. This bench builds a conv model with a fat
+// shared prefix (conv stack + wide FC layers, ~200k parameters) and a tiny
+// attacked head (fc3, ~1.3k parameters), then measures:
+//
+//   1. Sweep throughput (rows/s) with FSA_COMPILE off vs on, at 4 threads
+//      on the packed backend — the acceptance bar is >= 1.5x.
+//   2. Clone cost (us): Sequential::clone (O(all params)) vs
+//      CompiledModel::instance_net (O(head params)).
+//
+// Human-readable progress goes to stderr; stdout carries exactly one JSON
+// document, which tools/run_benches.sh folds into the BENCH_micro_ops.json
+// trajectory with regression deltas.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "backend/compute_backend.h"
+#include "compile/compile.h"
+#include "compile/model_compiler.h"
+#include "core/param_mask.h"
+#include "engine/sweep.h"
+#include "eval/json.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+#include "optim/adam.h"
+#include "optim/trainer.h"
+#include "tensor/parallel.h"
+
+namespace {
+
+using namespace fsa;
+
+constexpr std::int64_t kSide = 12;     // 1x12x12 "images"
+constexpr std::int64_t kClasses = 10;
+constexpr int kThreads = 4;
+constexpr std::int64_t kSeeds = 48;    // sweep instances
+
+/// 10-class synthetic images: a fixed random 12x12 template per class plus
+/// Gaussian noise — enough structure to train on in seconds, deterministic.
+data::Dataset make_images(std::int64_t n, std::uint64_t seed, double spread = 0.25) {
+  Rng rng(seed);
+  std::vector<Tensor> templates;
+  Rng template_rng(424242);
+  for (std::int64_t c = 0; c < kClasses; ++c)
+    templates.push_back(Tensor::randn(Shape({kSide * kSide}), template_rng, 0.0f, 1.0f));
+  Tensor images(Shape({n, 1, kSide, kSide}));
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<std::int64_t>(rng.uniform_int(kClasses));
+    labels[static_cast<std::size_t>(i)] = cls;
+    for (std::int64_t d = 0; d < kSide * kSide; ++d)
+      images[static_cast<std::size_t>(i * kSide * kSide + d)] =
+          templates[static_cast<std::size_t>(cls)][static_cast<std::size_t>(d)] +
+          static_cast<float>(rng.normal(0.0, spread));
+  }
+  return data::Dataset(std::move(images), std::move(labels), kClasses);
+}
+
+/// conv(1->8)+relu -> conv(8->16)+relu -> pool -> flatten(256) ->
+/// fc1(256->512)+relu -> fc2(512->128)+relu -> fc3(128->10). The prefix
+/// below fc3 holds ~200k parameters; the attacked fc3 head holds ~1.3k.
+nn::Sequential make_conv_net(std::uint64_t seed = 77) {
+  Rng rng(seed);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Conv2D>("conv1", 1, 8, 3, rng));   // -> 8x10x10
+  net.add(std::make_unique<nn::ReLU>("relu1"));
+  net.add(std::make_unique<nn::Conv2D>("conv2", 8, 16, 3, rng));  // -> 16x8x8
+  net.add(std::make_unique<nn::ReLU>("relu2"));
+  net.add(std::make_unique<nn::MaxPool2D>("pool"));               // -> 16x4x4
+  net.add(std::make_unique<nn::Flatten>("flatten"));              // -> 256
+  net.add(std::make_unique<nn::Dense>("fc1", 256, 512, rng));
+  net.add(std::make_unique<nn::ReLU>("relu3"));
+  net.add(std::make_unique<nn::Dense>("fc2", 512, 128, rng));
+  net.add(std::make_unique<nn::ReLU>("relu4"));
+  net.add(std::make_unique<nn::Dense>("fc3", 128, kClasses, rng));
+  return net;
+}
+
+engine::Sweep bench_sweep() {
+  std::vector<std::uint64_t> seeds;
+  for (std::int64_t s = 1; s <= kSeeds; ++s) seeds.push_back(static_cast<std::uint64_t>(s));
+  engine::Sweep sweep;
+  // Cheap per-instance solves (sba, R=8) keep the clone/plan overhead the
+  // dominant cost — exactly the regime sweeps at paper scale live in.
+  sweep.methods({"sba"}).layers({"fc3"}).sr_pairs({{1, 8}}).seeds(seeds).measure_accuracy(false);
+  return sweep;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-2 sweep wall time on a fresh runner per rep (fresh runner =
+/// per-run compile, but the warmed disk cache serves the features).
+double best_sweep_seconds(models::ZooModel& model, const std::string& cache_dir, bool compiled) {
+  compile::set_enabled(compiled);
+  double best = 1e300;
+  for (int rep = 0; rep < 2; ++rep) {
+    engine::SweepRunner runner(model, cache_dir, /*verbose=*/false);
+    const engine::SweepResult result = runner.run(bench_sweep());
+    best = std::min(best, result.seconds);
+    if (result.compiled != compiled) {
+      std::fprintf(stderr, "[bench_compile] FATAL: path attribution mismatch\n");
+      std::exit(1);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  backend::set_backend("packed");
+  set_num_threads(kThreads);
+
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "fsa_bench_compile").string();
+  std::filesystem::remove_all(cache_dir);
+
+  std::fprintf(stderr, "[bench_compile] training the conv model...\n");
+  models::ZooModel model;
+  model.name = "convbench";
+  model.net = make_conv_net();
+  model.train = make_images(512, 1001);
+  model.test = make_images(256, 1002);
+  model.attack_pool = make_images(256, 1003);
+  {
+    optim::Adam opt(model.net.params(), 2e-3);
+    optim::Trainer trainer(model.net, opt);
+    optim::TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.batch_size = 32;
+    trainer.fit(model.train, cfg);
+    model.test_accuracy = optim::Trainer::accuracy(model.net, model.test);
+  }
+  std::fprintf(stderr, "[bench_compile] test accuracy %.1f%%, %lld params\n",
+               model.test_accuracy * 100.0, static_cast<long long>(model.net.param_count()));
+
+  // Warm the per-surface feature cache (disk-backed, shared by every
+  // runner below) so neither timed path pays for it.
+  {
+    compile::set_enabled(false);
+    engine::SweepRunner warm(model, cache_dir, /*verbose=*/false);
+    engine::Sweep tiny;
+    tiny.methods({"sba"}).layers({"fc3"}).sr_pairs({{1, 4}}).seeds({99}).measure_accuracy(false);
+    (void)warm.run(tiny);
+  }
+
+  std::fprintf(stderr, "[bench_compile] timing %lld-row sweeps at %d threads (packed)...\n",
+               static_cast<long long>(kSeeds), kThreads);
+  const double off_seconds = best_sweep_seconds(model, cache_dir, /*compiled=*/false);
+  const double on_seconds = best_sweep_seconds(model, cache_dir, /*compiled=*/true);
+  const double rows = static_cast<double>(kSeeds);
+  const double speedup = off_seconds / on_seconds;
+
+  // Clone cost: the uncompiled path's per-instance Sequential::clone vs
+  // the compiled path's instance_net. Sum a fold over the results so the
+  // optimizer cannot drop the loop bodies.
+  compile::set_enabled(true);
+  compile::CompiledModel plan(model.net);
+  const std::size_t cut = core::ParamMask::make(model.net, {"fc3"}, true, true).cut();
+  constexpr int kCloneReps = 256;
+  float sink = 0.0f;
+  const double deep_t0 = now_seconds();
+  for (int i = 0; i < kCloneReps; ++i) {
+    nn::Sequential c = model.net.clone();
+    sink += (*c.layer(cut).params()[0]).value()[0];
+  }
+  const double deep_us = (now_seconds() - deep_t0) / kCloneReps * 1e6;
+  const double inst_t0 = now_seconds();
+  for (int i = 0; i < kCloneReps; ++i) {
+    nn::Sequential c = plan.instance_net(cut);
+    sink += (*c.layer(cut).params()[0]).value()[0];
+  }
+  const double inst_us = (now_seconds() - inst_t0) / kCloneReps * 1e6;
+  std::fprintf(stderr, "[bench_compile] sink %.3f (ignore)\n", static_cast<double>(sink));
+
+  engine::SweepRunner describe_runner(model, cache_dir, /*verbose=*/false);
+  const std::size_t fused = describe_runner.warm_compile()->fused_nodes();
+  compile::set_enabled(false);
+
+  std::fprintf(stderr,
+               "[bench_compile] off %.3fs (%.1f rows/s)  on %.3fs (%.1f rows/s)  speedup %.2fx\n",
+               off_seconds, rows / off_seconds, on_seconds, rows / on_seconds, speedup);
+  std::fprintf(stderr, "[bench_compile] clone %.1fus  instance_net %.1fus  (%.1fx)\n", deep_us,
+               inst_us, deep_us / inst_us);
+
+  eval::Json j = eval::Json::object();
+  j.set("model", eval::Json::string("convbench"));
+  j.set("backend", eval::Json::string("packed"));
+  j.set("threads", eval::Json::number(static_cast<std::int64_t>(kThreads)));
+  j.set("rows", eval::Json::number(static_cast<std::int64_t>(kSeeds)));
+  j.set("fused_nodes", eval::Json::number(static_cast<std::int64_t>(fused)));
+  j.set("rows_per_sec_off", eval::Json::number(rows / off_seconds));
+  j.set("rows_per_sec_on", eval::Json::number(rows / on_seconds));
+  j.set("speedup", eval::Json::number(speedup));
+  j.set("clone_us_deep", eval::Json::number(deep_us));
+  j.set("clone_us_instance", eval::Json::number(inst_us));
+  std::printf("%s\n", j.dump(2).c_str());
+
+  std::filesystem::remove_all(cache_dir);
+  return speedup >= 1.0 ? 0 : 1;  // regression guard: compiled must not be slower
+}

@@ -26,166 +26,40 @@
 // (tests/backend_property_test.cpp). Edge tiles are zero-padded into the
 // packed panels; padded lanes compute into discarded accumulator slots, so
 // in-bounds outputs see exactly the same operation sequence.
+//
+// The micro-kernel, B-pack loop, and three-loop driver live in
+// packed_kernels.h, shared with the forward-pass compiler's pack-once
+// weight panels (pack_b / gemm_nn_acc_prepacked): here B is packed into
+// scratch per call; there it is packed once and reused read-only. Both
+// routes run the same code, so their outputs are bitwise identical.
 #include <algorithm>
 #include <vector>
 
 #include "backend/compute_backend.h"
-#include "backend/tiling.h"
-#include "tensor/parallel.h"
+#include "backend/packed_kernels.h"
 
 namespace fsa::backend {
 
 namespace {
 
-constexpr std::int64_t kMR = Blocking::mr;
-constexpr std::int64_t kNR = Blocking::nr;
-constexpr std::int64_t kKC = Packing::kc;
-constexpr std::int64_t kMC = Packing::mc;
-constexpr std::int64_t kNC = Packing::nc;
+using namespace packdetail;
 
-std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
-
-/// mr×nr register block over packed panels: ap is mr×kb (k-major, lane r at
-/// ap[p·mr + r]), bp is kb×nr (row p contiguous). Identical accumulation
-/// structure to the blocked backend's block_rows_4, but both operand
-/// streams are now contiguous. mv×nv is the in-bounds part of the tile;
-/// full tiles load/store C directly, edge tiles go through zeroed slots
-/// that are simply not written back.
-void micro_kernel(const float* ap, const float* bp, float* c, std::int64_t ldc, std::int64_t kb,
-                  std::int64_t mv, std::int64_t nv) {
-  float acc0[kNR], acc1[kNR], acc2[kNR], acc3[kNR];
-  const bool full = mv == kMR && nv == kNR;
-  if (full) {
-    for (std::int64_t j = 0; j < kNR; ++j) {
-      acc0[j] = c[0 * ldc + j];
-      acc1[j] = c[1 * ldc + j];
-      acc2[j] = c[2 * ldc + j];
-      acc3[j] = c[3 * ldc + j];
-    }
-  } else {
-    for (std::int64_t j = 0; j < kNR; ++j) acc0[j] = acc1[j] = acc2[j] = acc3[j] = 0.0f;
-    for (std::int64_t r = 0; r < mv; ++r) {
-      float* acc = r == 0 ? acc0 : r == 1 ? acc1 : r == 2 ? acc2 : acc3;
-      for (std::int64_t j = 0; j < nv; ++j) acc[j] = c[r * ldc + j];
-    }
-  }
-  for (std::int64_t p = 0; p < kb; ++p) {
-    const float* a = ap + p * kMR;
-    const float x0 = a[0], x1 = a[1], x2 = a[2], x3 = a[3];
-    if (x0 == 0.0f && x1 == 0.0f && x2 == 0.0f && x3 == 0.0f) continue;
-    const float* b = bp + p * kNR;
-    for (std::int64_t j = 0; j < kNR; ++j) {
-      const float bj = b[j];
-      acc0[j] += x0 * bj;
-      acc1[j] += x1 * bj;
-      acc2[j] += x2 * bj;
-      acc3[j] += x3 * bj;
-    }
-  }
-  if (full) {
-    for (std::int64_t j = 0; j < kNR; ++j) {
-      c[0 * ldc + j] = acc0[j];
-      c[1 * ldc + j] = acc1[j];
-      c[2 * ldc + j] = acc2[j];
-      c[3 * ldc + j] = acc3[j];
-    }
-  } else {
-    for (std::int64_t r = 0; r < mv; ++r) {
-      const float* acc = r == 0 ? acc0 : r == 1 ? acc1 : r == 2 ? acc2 : acc3;
-      for (std::int64_t j = 0; j < nv; ++j) c[r * ldc + j] = acc[j];
-    }
-  }
-}
-
-/// The shared three-loop driver. load_a(i, p) / load_b(p, j) gather from
-/// the operands' storage layouts at pack time; everything after packing is
-/// layout-agnostic.
+/// Per-call route: pack each (jc, pc) block of B into a scratch buffer as
+/// the driver reaches it. The buffer is sized for the largest block and
+/// reused across the whole sweep (blocks are consumed before the next one
+/// is packed — the pc loop is sequential).
 template <typename LoadA, typename LoadB>
 void gemm_packed(LoadA&& load_a, LoadB&& load_b, float* c, std::int64_t m, std::int64_t k,
                  std::int64_t n) {
   if (m <= 0 || k <= 0 || n <= 0) return;
   std::vector<float> bbuf(static_cast<std::size_t>(kKC * ceil_div(std::min(n, kNC), kNR) * kNR));
-  for (std::int64_t jc = 0; jc < n; jc += kNC) {
-    const std::int64_t nb = std::min(kNC, n - jc);
-    const std::int64_t jpanels = ceil_div(nb, kNR);
-    for (std::int64_t pc = 0; pc < k; pc += kKC) {
-      const std::int64_t kb = std::min(kKC, k - pc);
-      // Pack B[pc:pc+kb, jc:jc+nb] into kb×nr micro-panels (zero-padded
-      // past nb). Panels are disjoint, so the shard is exact.
-      float* bbase = bbuf.data();
-      parallel_for(0, jpanels, 4, [&](std::int64_t g0, std::int64_t g1) {
-        for (std::int64_t jp = g0; jp < g1; ++jp) {
-          float* dst = bbase + jp * kb * kNR;
-          const std::int64_t j0 = jc + jp * kNR;
-          const std::int64_t nv = std::min(kNR, jc + nb - j0);
-          for (std::int64_t p = 0; p < kb; ++p) {
-            float* row = dst + p * kNR;
-            for (std::int64_t j = 0; j < nv; ++j) row[j] = load_b(pc + p, j0 + j);
-            for (std::int64_t j = nv; j < kNR; ++j) row[j] = 0.0f;
-          }
-        }
-      });
-      // One worker per mc-row block: pack its A panel once (counting
-      // nonzeros on the way), then sweep the whole packed B panel
-      // (pack-once, reuse-across-jr).
-      parallel_for(0, ceil_div(m, kMC), 1, [&](std::int64_t b0, std::int64_t b1) {
-        thread_local std::vector<float> abuf;
-        abuf.resize(static_cast<std::size_t>(kMC * kKC));
-        for (std::int64_t blk = b0; blk < b1; ++blk) {
-          const std::int64_t ic = blk * kMC;
-          const std::int64_t mb = std::min(kMC, m - ic);
-          const std::int64_t ipanels = ceil_div(mb, kMR);
-          std::int64_t nnz = 0;
-          for (std::int64_t ip = 0; ip < ipanels; ++ip) {
-            float* dst = abuf.data() + ip * kb * kMR;
-            const std::int64_t i0 = ic + ip * kMR;
-            const std::int64_t mv = std::min(kMR, ic + mb - i0);
-            for (std::int64_t p = 0; p < kb; ++p) {
-              float* lane = dst + p * kMR;
-              for (std::int64_t r = 0; r < mv; ++r) {
-                lane[r] = load_a(i0 + r, pc + p);
-                nnz += lane[r] != 0.0f;
-              }
-              for (std::int64_t r = mv; r < kMR; ++r) lane[r] = 0.0f;
-            }
-          }
-          // Mostly-zero A panel (a δ-sized operand): skip the dense jr
-          // sweep and stream only the nonzero entries through the packed B
-          // panels, row by row. Each C element still accumulates in
-          // ascending-k order, so the result matches the dense path; the
-          // decision depends only on the data, never on the worker count.
-          if (nnz * 8 < mb * kb) {
-            for (std::int64_t r = 0; r < mb; ++r) {
-              const float* arow = abuf.data() + (r / kMR) * kb * kMR + (r % kMR);
-              float* crow = c + (ic + r) * n;
-              for (std::int64_t p = 0; p < kb; ++p) {
-                const float av = arow[p * kMR];
-                if (av == 0.0f) continue;
-                for (std::int64_t jp = 0; jp < jpanels; ++jp) {
-                  const float* brow = bbase + jp * kb * kNR + p * kNR;
-                  const std::int64_t j0 = jc + jp * kNR;
-                  const std::int64_t nv = std::min(kNR, jc + nb - j0);
-                  float* cj = crow + j0;
-                  for (std::int64_t j = 0; j < nv; ++j) cj[j] += av * brow[j];
-                }
-              }
-            }
-            continue;
-          }
-          for (std::int64_t jp = 0; jp < jpanels; ++jp) {
-            const float* bp = bbase + jp * kb * kNR;
-            const std::int64_t j0 = jc + jp * kNR;
-            const std::int64_t nv = std::min(kNR, jc + nb - j0);
-            for (std::int64_t ip = 0; ip < ipanels; ++ip) {
-              const std::int64_t i0 = ic + ip * kMR;
-              const std::int64_t mv = std::min(kMR, ic + mb - i0);
-              micro_kernel(abuf.data() + ip * kb * kMR, bp, c + i0 * n + j0, n, kb, mv, nv);
-            }
-          }
-        }
-      });
-    }
-  }
+  gemm_driver(load_a,
+              [&](std::int64_t, std::int64_t, std::int64_t jc, std::int64_t nb, std::int64_t pc,
+                  std::int64_t kb, std::int64_t jpanels) {
+                pack_b_block(load_b, bbuf.data(), jc, nb, pc, kb, jpanels);
+                return static_cast<const float*>(bbuf.data());
+              },
+              c, m, k, n);
 }
 
 class PackedBackend final : public ComputeBackend {

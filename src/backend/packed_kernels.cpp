@@ -1,0 +1,56 @@
+// packed_kernels.cpp — ahead-of-time B packing for the packed backend.
+//
+// pack_b materializes the full (jc, pc) grid of micro-panel blocks using
+// the SAME pack_b_block loop the per-call route runs into scratch, and
+// gemm_nn_acc_prepacked replays the shared driver with those blocks
+// supplied read-only — so a weight matrix packed once at model compile
+// time produces bit-for-bit the outputs of the pack-every-call backend.
+#include "backend/packed_kernels.h"
+
+#include <stdexcept>
+
+namespace fsa::backend {
+
+using namespace packdetail;
+
+PackedB pack_b(const float* b, std::int64_t k, std::int64_t n) {
+  if (k <= 0 || n <= 0) throw std::invalid_argument("pack_b: operand dimensions must be positive");
+  PackedB pb;
+  pb.k = k;
+  pb.n = n;
+  pb.pc_blocks = ceil_div(k, kKC);
+  const std::int64_t jc_blocks = ceil_div(n, kNC);
+  pb.offsets.reserve(static_cast<std::size_t>(jc_blocks * pb.pc_blocks));
+  std::size_t total = 0;
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nb = std::min(kNC, n - jc);
+    const std::int64_t jpanels = ceil_div(nb, kNR);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kb = std::min(kKC, k - pc);
+      pb.offsets.push_back(total);
+      total += static_cast<std::size_t>(jpanels * kb * kNR);
+    }
+  }
+  pb.data.resize(total);
+  std::size_t idx = 0;
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nb = std::min(kNC, n - jc);
+    const std::int64_t jpanels = ceil_div(nb, kNR);
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kb = std::min(kKC, k - pc);
+      pack_b_block([=](std::int64_t p, std::int64_t j) { return b[p * n + j]; },
+                   pb.data.data() + pb.offsets[idx++], jc, nb, pc, kb, jpanels);
+    }
+  }
+  return pb;
+}
+
+void gemm_nn_acc_prepacked(const float* a, const PackedB& pb, float* c, std::int64_t m) {
+  const std::int64_t k = pb.k, n = pb.n;
+  gemm_driver([=](std::int64_t i, std::int64_t p) { return a[i * k + p]; },
+              [&](std::int64_t jc_idx, std::int64_t pc_idx, std::int64_t, std::int64_t,
+                  std::int64_t, std::int64_t, std::int64_t) { return pb.block(jc_idx, pc_idx); },
+              c, m, k, n);
+}
+
+}  // namespace fsa::backend

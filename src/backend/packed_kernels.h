@@ -1,0 +1,218 @@
+// packed_kernels.h — the packed backend's micro-kernel and three-loop
+// driver, factored so the B operand can be packed per call (the
+// ComputeBackend route) or exactly once ahead of time (the forward-pass
+// compiler's pack-once weight panels) while sharing every line of packing
+// and accumulation arithmetic. Bitwise identity between the two routes is
+// by construction: the prepacked path stores the same kc×nr micro-panels
+// the per-call path builds into its scratch buffer, and both feed the same
+// A-pack / sparse-row-skip / micro-kernel sweep.
+//
+// See packed_backend.cpp for the cache-blocking rationale and the
+// determinism argument (sequential pc loop, one owner per C element).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "backend/tiling.h"
+#include "tensor/parallel.h"
+
+namespace fsa::backend {
+
+namespace packdetail {
+
+constexpr std::int64_t kMR = Blocking::mr;
+constexpr std::int64_t kNR = Blocking::nr;
+constexpr std::int64_t kKC = Packing::kc;
+constexpr std::int64_t kMC = Packing::mc;
+constexpr std::int64_t kNC = Packing::nc;
+
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+/// mr×nr register block over packed panels: ap is mr×kb (k-major, lane r at
+/// ap[p·mr + r]), bp is kb×nr (row p contiguous). Identical accumulation
+/// structure to the blocked backend's block_rows_4, but both operand
+/// streams are now contiguous. mv×nv is the in-bounds part of the tile;
+/// full tiles load/store C directly, edge tiles go through zeroed slots
+/// that are simply not written back.
+inline void micro_kernel(const float* ap, const float* bp, float* c, std::int64_t ldc,
+                         std::int64_t kb, std::int64_t mv, std::int64_t nv) {
+  float acc0[kNR], acc1[kNR], acc2[kNR], acc3[kNR];
+  const bool full = mv == kMR && nv == kNR;
+  if (full) {
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      acc0[j] = c[0 * ldc + j];
+      acc1[j] = c[1 * ldc + j];
+      acc2[j] = c[2 * ldc + j];
+      acc3[j] = c[3 * ldc + j];
+    }
+  } else {
+    for (std::int64_t j = 0; j < kNR; ++j) acc0[j] = acc1[j] = acc2[j] = acc3[j] = 0.0f;
+    for (std::int64_t r = 0; r < mv; ++r) {
+      float* acc = r == 0 ? acc0 : r == 1 ? acc1 : r == 2 ? acc2 : acc3;
+      for (std::int64_t j = 0; j < nv; ++j) acc[j] = c[r * ldc + j];
+    }
+  }
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const float* a = ap + p * kMR;
+    const float x0 = a[0], x1 = a[1], x2 = a[2], x3 = a[3];
+    if (x0 == 0.0f && x1 == 0.0f && x2 == 0.0f && x3 == 0.0f) continue;
+    const float* b = bp + p * kNR;
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      const float bj = b[j];
+      acc0[j] += x0 * bj;
+      acc1[j] += x1 * bj;
+      acc2[j] += x2 * bj;
+      acc3[j] += x3 * bj;
+    }
+  }
+  if (full) {
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      c[0 * ldc + j] = acc0[j];
+      c[1 * ldc + j] = acc1[j];
+      c[2 * ldc + j] = acc2[j];
+      c[3 * ldc + j] = acc3[j];
+    }
+  } else {
+    for (std::int64_t r = 0; r < mv; ++r) {
+      const float* acc = r == 0 ? acc0 : r == 1 ? acc1 : r == 2 ? acc2 : acc3;
+      for (std::int64_t j = 0; j < nv; ++j) c[r * ldc + j] = acc[j];
+    }
+  }
+}
+
+/// Pack B[pc:pc+kb, jc:jc+nb] into kb×nr micro-panels at `bbase`
+/// (zero-padded past nb). Panels are disjoint, so the shard is exact.
+/// Both the per-call scratch pack and the ahead-of-time PackedB pack run
+/// this exact loop, which is what makes their panel bytes identical.
+template <typename LoadB>
+void pack_b_block(LoadB&& load_b, float* bbase, std::int64_t jc, std::int64_t nb, std::int64_t pc,
+                  std::int64_t kb, std::int64_t jpanels) {
+  parallel_for(0, jpanels, 4, [&](std::int64_t g0, std::int64_t g1) {
+    for (std::int64_t jp = g0; jp < g1; ++jp) {
+      float* dst = bbase + jp * kb * kNR;
+      const std::int64_t j0 = jc + jp * kNR;
+      const std::int64_t nv = std::min(kNR, jc + nb - j0);
+      for (std::int64_t p = 0; p < kb; ++p) {
+        float* row = dst + p * kNR;
+        for (std::int64_t j = 0; j < nv; ++j) row[j] = load_b(pc + p, j0 + j);
+        for (std::int64_t j = nv; j < kNR; ++j) row[j] = 0.0f;
+      }
+    }
+  });
+}
+
+/// The shared three-loop driver. load_a(i, p) gathers from A's storage
+/// layout at pack time; acquire_b(jc_idx, pc_idx, jc, nb, pc, kb, jpanels)
+/// returns the base of that (jc, pc) block's packed micro-panels —
+/// whether it packs into scratch on the spot or points into an immutable
+/// PackedB is invisible to everything downstream.
+template <typename LoadA, typename AcquireB>
+void gemm_driver(LoadA&& load_a, AcquireB&& acquire_b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  std::int64_t jc_idx = 0;
+  for (std::int64_t jc = 0; jc < n; jc += kNC, ++jc_idx) {
+    const std::int64_t nb = std::min(kNC, n - jc);
+    const std::int64_t jpanels = ceil_div(nb, kNR);
+    std::int64_t pc_idx = 0;
+    for (std::int64_t pc = 0; pc < k; pc += kKC, ++pc_idx) {
+      const std::int64_t kb = std::min(kKC, k - pc);
+      const float* bbase = acquire_b(jc_idx, pc_idx, jc, nb, pc, kb, jpanels);
+      // One worker per mc-row block: pack its A panel once (counting
+      // nonzeros on the way), then sweep the whole packed B panel
+      // (pack-once, reuse-across-jr).
+      parallel_for(0, ceil_div(m, kMC), 1, [&](std::int64_t b0, std::int64_t b1) {
+        thread_local std::vector<float> abuf;
+        abuf.resize(static_cast<std::size_t>(kMC * kKC));
+        for (std::int64_t blk = b0; blk < b1; ++blk) {
+          const std::int64_t ic = blk * kMC;
+          const std::int64_t mb = std::min(kMC, m - ic);
+          const std::int64_t ipanels = ceil_div(mb, kMR);
+          std::int64_t nnz = 0;
+          for (std::int64_t ip = 0; ip < ipanels; ++ip) {
+            float* dst = abuf.data() + ip * kb * kMR;
+            const std::int64_t i0 = ic + ip * kMR;
+            const std::int64_t mv = std::min(kMR, ic + mb - i0);
+            for (std::int64_t p = 0; p < kb; ++p) {
+              float* lane = dst + p * kMR;
+              for (std::int64_t r = 0; r < mv; ++r) {
+                lane[r] = load_a(i0 + r, pc + p);
+                nnz += lane[r] != 0.0f;
+              }
+              for (std::int64_t r = mv; r < kMR; ++r) lane[r] = 0.0f;
+            }
+          }
+          // Mostly-zero A panel (a δ-sized operand): skip the dense jr
+          // sweep and stream only the nonzero entries through the packed B
+          // panels, row by row. Each C element still accumulates in
+          // ascending-k order, so the result matches the dense path; the
+          // decision depends only on the data, never on the worker count.
+          if (nnz * 8 < mb * kb) {
+            for (std::int64_t r = 0; r < mb; ++r) {
+              const float* arow = abuf.data() + (r / kMR) * kb * kMR + (r % kMR);
+              float* crow = c + (ic + r) * n;
+              for (std::int64_t p = 0; p < kb; ++p) {
+                const float av = arow[p * kMR];
+                if (av == 0.0f) continue;
+                for (std::int64_t jp = 0; jp < jpanels; ++jp) {
+                  const float* brow = bbase + jp * kb * kNR + p * kNR;
+                  const std::int64_t j0 = jc + jp * kNR;
+                  const std::int64_t nv = std::min(kNR, jc + nb - j0);
+                  float* cj = crow + j0;
+                  for (std::int64_t j = 0; j < nv; ++j) cj[j] += av * brow[j];
+                }
+              }
+            }
+            continue;
+          }
+          for (std::int64_t jp = 0; jp < jpanels; ++jp) {
+            const float* bp = bbase + jp * kb * kNR;
+            const std::int64_t j0 = jc + jp * kNR;
+            const std::int64_t nv = std::min(kNR, jc + nb - j0);
+            for (std::int64_t ip = 0; ip < ipanels; ++ip) {
+              const std::int64_t i0 = ic + ip * kMR;
+              const std::int64_t mv = std::min(kMR, ic + mb - i0);
+              micro_kernel(abuf.data() + ip * kb * kMR, bp, c + i0 * n + j0, n, kb, mv, nv);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace packdetail
+
+/// An immutable, ahead-of-time packed B operand: the full (jc, pc) grid of
+/// kc×nr micro-panel blocks the packed backend would otherwise rebuild in
+/// scratch on every gemm call. Built once per weight matrix at model
+/// compile time and shared read-only (shared_ptr) across every sweep
+/// instance; never mutated after pack_b returns.
+struct PackedB {
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  std::int64_t pc_blocks = 0;          // blocks along k (ceil(k / kc))
+  std::vector<float> data;             // all blocks, (jc outer, pc inner) order
+  std::vector<std::size_t> offsets;    // block base: offsets[jc_idx · pc_blocks + pc_idx]
+
+  [[nodiscard]] bool empty() const { return data.empty(); }
+  [[nodiscard]] std::size_t bytes() const { return data.size() * sizeof(float); }
+  [[nodiscard]] const float* block(std::int64_t jc_idx, std::int64_t pc_idx) const {
+    return data.data() + offsets[static_cast<std::size_t>(jc_idx * pc_blocks + pc_idx)];
+  }
+};
+
+/// Pack a row-major B (k×n) into the packed backend's exact micro-panel
+/// layout, for reuse across any number of gemm_nn_acc_prepacked calls.
+PackedB pack_b(const float* b, std::int64_t k, std::int64_t n);
+
+/// C (m×n) += A (m×k, row-major) · B, with B supplied pre-packed. Runs the
+/// same driver, A-pack, sparse route, and micro-kernel as the packed
+/// backend's gemm_nn_acc — results are bitwise identical to packing B per
+/// call, for any thread count.
+void gemm_nn_acc_prepacked(const float* a, const PackedB& pb, float* c, std::int64_t m);
+
+}  // namespace fsa::backend

@@ -1,0 +1,32 @@
+#include "compile/compile.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fsa::compile {
+
+namespace {
+
+// -1 = not yet resolved, 0 = off, 1 = on. Plain int: resolution happens on
+// the main thread (CLI flag parsing / first SweepRunner) before workers.
+int g_state = -1;
+
+int read_env() {
+  const char* v = std::getenv("FSA_COMPILE");
+  if (v == nullptr) return 0;
+  return (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+          std::strcmp(v, "yes") == 0)
+             ? 1
+             : 0;
+}
+
+}  // namespace
+
+bool enabled() {
+  if (g_state < 0) g_state = read_env();
+  return g_state == 1;
+}
+
+void set_enabled(bool on) { g_state = on ? 1 : 0; }
+
+}  // namespace fsa::compile

@@ -1,0 +1,25 @@
+// compile.h — the FSA_COMPILE on/off seam.
+//
+// The forward-pass compiler (model_compiler.h) is strictly an execution
+// optimization: compiled and uncompiled paths produce bitwise-identical
+// tensors for every backend and thread count (docs/COMPILE.md states the
+// guarantee; tests/compile_test.cpp enforces it). This seam is what lets
+// the uncompiled path stay alive as the parity oracle — every consumer
+// (SweepRunner, serve warm-up, fsa_cli) branches on enabled() instead of
+// hard-wiring the compiled route.
+//
+// Resolution order: set_enabled() (the CLI's --compile flag, or a dist
+// shard manifest) wins; otherwise the FSA_COMPILE environment variable
+// ("on"/"1"/"true"/"yes", case-sensitive, enables); default off.
+#pragma once
+
+namespace fsa::compile {
+
+/// Is the compiled forward path selected for this process?
+[[nodiscard]] bool enabled();
+
+/// Override the environment (idempotent, process-wide). Callers that fork
+/// workers must ALSO export FSA_COMPILE so children inherit the choice.
+void set_enabled(bool on);
+
+}  // namespace fsa::compile

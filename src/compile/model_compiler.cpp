@@ -1,0 +1,270 @@
+#include "compile/model_compiler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "backend/compute_backend.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+#include "tensor/ops.h"
+
+namespace fsa::compile {
+
+namespace {
+
+/// The execution plan addresses concrete layers; an instance net's shared
+/// prefix wraps them in SharedLayer, so classification looks through it.
+nn::Layer* unwrap(nn::Layer& layer) {
+  if (auto* shared = dynamic_cast<SharedLayer*>(&layer)) return shared->inner().get();
+  return &layer;
+}
+
+/// Fused bias[+ReLU] epilogue over a GEMM output, row-parallel. The per
+/// element ops are exactly ops::add_row_bias (v += b) then ops::relu
+/// (std::max(v, 0.0f)) — one pass instead of three, identical bits.
+void bias_epilogue(Tensor& out, const Tensor& bias, bool relu) {
+  const std::int64_t rows = out.dim(0), cols = out.dim(1);
+  const float* bp = bias.data();
+  float* base = out.data();
+  backend::active().parallel_rows(rows, 8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t r = b; r < e; ++r) {
+      float* row = base + r * cols;
+      if (relu) {
+        for (std::int64_t c = 0; c < cols; ++c) row[c] = std::max(row[c] + bp[c], 0.0f);
+      } else {
+        for (std::int64_t c = 0; c < cols; ++c) row[c] += bp[c];
+      }
+    }
+  });
+}
+
+}  // namespace
+
+CompiledModel::CompiledModel(nn::Sequential& net) {
+  shared_layers_.reserve(net.size());
+  layers_.reserve(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    shared_layers_.push_back(std::shared_ptr<nn::Layer>(net.layer(i).clone()));
+    layers_.push_back(shared_layers_.back().get());
+  }
+  build_nodes();
+  if (backend::active_name() == "packed") pack_panels();
+}
+
+void CompiledModel::build_nodes() {
+  nodes_.clear();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    nn::Layer* layer = unwrap(*layers_[i]);
+    Node nd;
+    nd.first = i;
+    nd.layer = layer;
+    const bool next_is_relu =
+        i + 1 < layers_.size() && dynamic_cast<nn::ReLU*>(unwrap(*layers_[i + 1])) != nullptr;
+    if (dynamic_cast<nn::Dense*>(layer) != nullptr) {
+      nd.kind = Node::Kind::kDense;
+    } else if (dynamic_cast<nn::Conv2D*>(layer) != nullptr) {
+      nd.kind = Node::Kind::kConv;
+    } else {
+      nodes_.push_back(std::move(nd));  // opaque: delegates to Layer::forward
+      continue;
+    }
+    if (next_is_relu) {
+      nd.relu = true;
+      nd.count = 2;
+      ++i;
+    }
+    nodes_.push_back(std::move(nd));
+  }
+}
+
+void CompiledModel::pack_panels() {
+  for (Node& nd : nodes_) {
+    nn::Parameter* w = nullptr;
+    if (nd.kind == Node::Kind::kDense) w = &static_cast<nn::Dense*>(nd.layer)->weight();
+    if (nd.kind == Node::Kind::kConv) w = &static_cast<nn::Conv2D*>(nd.layer)->weight();
+    if (w == nullptr) continue;
+    const Tensor& v = w->value();
+    nd.panels = std::make_shared<const backend::PackedB>(backend::pack_b(v.data(), v.dim(0), v.dim(1)));
+    nd.packed_version = w->version();
+  }
+}
+
+void CompiledModel::gemm_into(Node& nd, nn::Parameter& weight, const Tensor& a, Tensor& out) {
+  if (backend::active_name() == "packed") {
+    if (!nd.panels || nd.packed_version != weight.version()) {
+      // Copy-on-write: this weight was mutated (or was never packed under
+      // the packed backend) — repack privately. Other plans sharing the
+      // old panels keep them; only this node's shared_ptr is replaced.
+      const Tensor& v = weight.value();
+      nd.panels = std::make_shared<const backend::PackedB>(backend::pack_b(v.data(), v.dim(0), v.dim(1)));
+      nd.packed_version = weight.version();
+    }
+    backend::gemm_nn_acc_prepacked(a.data(), *nd.panels, out.data(), a.dim(0));
+    return;
+  }
+  // Other backends have no prepack format; run their gemm unchanged (this
+  // also keeps the auto backend's per-call dispatch attribution intact).
+  ops::matmul_acc(a, weight.value(), out);
+}
+
+Tensor CompiledModel::run_node(Node& nd, const Tensor& x) {
+  switch (nd.kind) {
+    case Node::Kind::kOpaque:
+      return nd.layer->forward(x, /*train=*/false);
+    case Node::Kind::kDense: {
+      auto* dense = static_cast<nn::Dense*>(nd.layer);
+      (void)dense->output_shape(x.shape());  // same validation as Dense::forward
+      Tensor out(Shape({x.dim(0), dense->out_features()}));
+      gemm_into(nd, dense->weight(), x, out);
+      bias_epilogue(out, dense->bias().value(), nd.relu);
+      return out;
+    }
+    case Node::Kind::kConv: {
+      auto* conv = static_cast<nn::Conv2D*>(nd.layer);
+      if (x.shape() != nd.in_shape) {
+        nd.out_shape = conv->output_shape(x.shape());  // geometry derived once per shape
+        nd.in_shape = x.shape();
+      }
+      conv->im2col_into(x, nd.out_shape, nd.cols_ws);
+      const std::int64_t out_c = conv->out_channels();
+      const Shape flat_shape({nd.cols_ws.dim(0), out_c});
+      if (nd.flat_ws.shape() != flat_shape) nd.flat_ws = Tensor(flat_shape);
+      nd.flat_ws.fill(0.0f);
+      gemm_into(nd, conv->weight(), nd.cols_ws, nd.flat_ws);
+      // Fused epilogue: bias[+ReLU] applied inside the NCHW rearrange,
+      // while each flat row is hot — the same adds and max as
+      // add_row_bias followed by the ReLU layer, in one pass.
+      const std::int64_t n = nd.out_shape.dim(0), oh = nd.out_shape.dim(2),
+                         ow = nd.out_shape.dim(3);
+      Tensor out(nd.out_shape);
+      const float* src = nd.flat_ws.data();
+      const float* bp = conv->bias().value().data();
+      float* dst = out.data();
+      const bool relu = nd.relu;
+      backend::active().parallel_rows(n, 1, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t img = b; img < e; ++img)
+          for (std::int64_t oy = 0; oy < oh; ++oy)
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const float* row = src + ((img * oh + oy) * ow + ox) * out_c;
+              for (std::int64_t c = 0; c < out_c; ++c) {
+                const float v = row[c] + bp[c];
+                dst[((img * out_c + c) * oh + oy) * ow + ox] = relu ? std::max(v, 0.0f) : v;
+              }
+            }
+      });
+      return out;
+    }
+  }
+  throw std::logic_error("CompiledModel: unreachable node kind");
+}
+
+Tensor CompiledModel::forward_from(std::size_t from, const Tensor& input) {
+  if (from > layers_.size())
+    throw std::out_of_range("CompiledModel::forward_from: layer index out of range");
+  std::size_t ni = 0;
+  while (ni < nodes_.size() && nodes_[ni].first < from) ++ni;
+  if (from < layers_.size() && (ni == nodes_.size() || nodes_[ni].first != from)) {
+    // `from` lands inside a fused node (a cut between a layer and its
+    // fused ReLU): run the suffix layer by layer, exactly like the
+    // uncompiled Sequential. Correctness first; such cuts do not occur in
+    // practice (attack surfaces start at parameterized layers, which are
+    // always node starts).
+    Tensor x = input;
+    for (std::size_t i = from; i < layers_.size(); ++i) x = layers_[i]->forward(x, false);
+    return x;
+  }
+  Tensor x = input;
+  for (; ni < nodes_.size(); ++ni) x = run_node(nodes_[ni], x);
+  return x;
+}
+
+nn::Sequential CompiledModel::instance_net(std::size_t cut) const {
+  if (shared_layers_.size() != layers_.size())
+    throw std::logic_error("CompiledModel::instance_net: only the primary plan owns snapshots");
+  if (cut > shared_layers_.size())
+    throw std::out_of_range("CompiledModel::instance_net: cut out of range");
+  nn::Sequential out;
+  for (std::size_t i = 0; i < shared_layers_.size(); ++i) {
+    if (i < cut)
+      out.add(std::make_unique<SharedLayer>(shared_layers_[i]));
+    else
+      out.add(shared_layers_[i]->clone());
+  }
+  return out;
+}
+
+CompiledModel CompiledModel::rebind(nn::Sequential& net) const {
+  if (net.size() != layers_.size())
+    throw std::invalid_argument("CompiledModel::rebind: layer count differs from the plan");
+  CompiledModel out;
+  out.layers_.reserve(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) out.layers_.push_back(unwrap(net.layer(i)));
+  out.build_nodes();
+  if (out.nodes_.size() != nodes_.size())
+    throw std::invalid_argument("CompiledModel::rebind: node structure differs from the plan");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& plan = nodes_[i];
+    Node& nd = out.nodes_[i];
+    if (nd.kind != plan.kind || nd.first != plan.first || nd.count != plan.count)
+      throw std::invalid_argument("CompiledModel::rebind: node structure differs from the plan");
+    // Share the plan's pack-once panels; the version check in gemm_into
+    // turns them copy-on-write the moment this instance mutates a weight.
+    nd.panels = plan.panels;
+    nd.packed_version = plan.packed_version;
+  }
+  return out;
+}
+
+std::size_t CompiledModel::fused_nodes() const {
+  std::size_t n = 0;
+  for (const Node& nd : nodes_)
+    if (nd.kind != Node::Kind::kOpaque) ++n;
+  return n;
+}
+
+std::vector<NodeInfo> CompiledModel::describe() const {
+  std::vector<NodeInfo> out;
+  out.reserve(nodes_.size());
+  for (const Node& nd : nodes_) {
+    NodeInfo info;
+    info.name = nd.layer->name();
+    info.kind = nd.kind == Node::Kind::kDense ? "dense"
+                : nd.kind == Node::Kind::kConv ? "conv"
+                                               : "opaque";
+    info.first = nd.first;
+    info.layers = nd.count;
+    info.fused_relu = nd.relu;
+    info.has_panels = nd.panels != nullptr;
+    info.panel_refs = nd.panels ? static_cast<long>(nd.panels.use_count()) : 0;
+    info.panel_id = nd.panels.get();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> head_predictions(CompiledModel& cm, std::size_t cut,
+                                           const Tensor& features, std::int64_t batch_size) {
+  const std::int64_t n = features.dim(0);
+  std::vector<std::int64_t> pred;
+  pred.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t begin = 0; begin < n; begin += batch_size) {
+    const std::int64_t end = std::min(n, begin + batch_size);
+    const Tensor logits = cm.forward_from(cut, features.slice0(begin, end));
+    for (auto p : ops::argmax_rows(logits)) pred.push_back(p);
+  }
+  return pred;
+}
+
+double head_accuracy(CompiledModel& cm, std::size_t cut, const Tensor& features,
+                     const std::vector<std::int64_t>& labels, std::int64_t batch_size) {
+  const auto pred = head_predictions(cm, cut, features, batch_size);
+  if (pred.size() != labels.size())
+    throw std::invalid_argument("compile::head_accuracy: label count mismatch");
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == labels[i]) ++correct;
+  return pred.empty() ? 0.0 : static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+}  // namespace fsa::compile

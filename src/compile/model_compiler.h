@@ -1,0 +1,160 @@
+// model_compiler.h — ahead-of-time lowering of a Sequential into a plan of
+// fused execution nodes with pack-once shared weight panels.
+//
+// Sweeps clone the network per (method, surface, S, R, seed) instance and
+// re-derive im2col geometry, GEMM workspaces, and packed-B panels on every
+// forward call, so per-instance cost is dominated by redundant plan work
+// rather than GEMM flops. CompiledModel runs three passes over the stack
+// at construction:
+//
+//   1. FUSION — Conv2D+bias[+ReLU] and Dense+bias[+ReLU] collapse into one
+//      node each; the bias add and ReLU clamp are applied while the GEMM
+//      output tile is still hot (for conv, inside the NCHW rearrange), in
+//      exactly the float-op order of the unfused layers, so outputs are
+//      bitwise identical. Layers the compiler does not understand become
+//      opaque nodes that delegate to Layer::forward unchanged.
+//   2. PLAN CACHING — each node owns its im2col/GEMM workspaces and the
+//      geometry derived from the last input shape; steady-state forwards
+//      allocate nothing and redo no shape math.
+//   3. PACK-ONCE PANELS — when the packed backend is active, every fused
+//      weight matrix is packed into the backend's exact micro-panel layout
+//      once, held as shared_ptr<const PackedB>, and shared read-only by
+//      every rebind() of the plan. A Parameter version counter makes the
+//      sharing copy-on-write: an instance whose attack mutates a weight
+//      repacks that layer privately on its next forward; all other
+//      instances (and other layers of the same instance) keep the shared
+//      panels. gemm_nn_acc_prepacked runs the same driver as the per-call
+//      pack, so this is invisible in the output bits.
+//
+// instance_net(cut) extends pack-once to the parameters themselves: sweep
+// instances only ever forward/perturb layers at or after the surface cut,
+// so the prefix [0, cut) is shared read-only via SharedLayer wrappers and
+// only the head [cut, end) is deep-copied — cloning costs O(δ-surface),
+// not O(weights). Callers must not forward shared prefix layers from a
+// rebound instance concurrently (sweeps never do: features are cached).
+//
+// Determinism contract: for every backend and thread count, a compiled
+// forward is bitwise identical to the uncompiled Sequential. The
+// uncompiled path stays routable (FSA_COMPILE=off) as the parity oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/packed_kernels.h"
+#include "nn/sequential.h"
+
+namespace fsa::compile {
+
+/// A layer facade that shares (rather than owns) its implementation.
+/// clone() re-shares, so copying a network whose prefix is SharedLayers
+/// never copies the underlying parameters. Forwarding a SharedLayer
+/// mutates the shared implementation's caches — only safe from one thread
+/// at a time, which is why sweep instances never forward below their cut.
+class SharedLayer final : public nn::Layer {
+ public:
+  explicit SharedLayer(std::shared_ptr<nn::Layer> inner) : inner_(std::move(inner)) {}
+
+  Tensor forward(const Tensor& input, bool train) override { return inner_->forward(input, train); }
+  Tensor backward(const Tensor& grad_output) override { return inner_->backward(grad_output); }
+  std::vector<nn::Parameter*> params() override { return inner_->params(); }
+  [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
+    return std::make_unique<SharedLayer>(inner_);
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override {
+    return inner_->output_shape(input);
+  }
+
+  [[nodiscard]] const std::shared_ptr<nn::Layer>& inner() const { return inner_; }
+
+ private:
+  std::shared_ptr<nn::Layer> inner_;
+};
+
+/// Per-node introspection for tests, /stats, and docs.
+struct NodeInfo {
+  std::string name;          // primary layer's name
+  std::string kind;          // "dense" | "conv" | "opaque"
+  std::size_t first = 0;     // index of the node's first layer
+  std::size_t layers = 1;    // layers covered (2 when a ReLU is fused in)
+  bool fused_relu = false;
+  bool has_panels = false;   // pack-once weight panels present
+  long panel_refs = 0;       // shared_ptr use_count of those panels
+  const void* panel_id = nullptr;  // identity: equal ⇔ panels are shared
+};
+
+class CompiledModel {
+ public:
+  /// Compile `net`: snapshot every layer (shared copies), fuse, cache
+  /// plans, and — when the packed backend is active — pack weight panels.
+  /// The plan is self-contained; `net` may outlive or predecease it.
+  explicit CompiledModel(nn::Sequential& net);
+
+  /// Forward through all nodes / through nodes covering layers [from, end).
+  /// A `from` that lands inside a fused node (between a layer and its
+  /// fused ReLU) falls back to layer-by-layer execution for the suffix.
+  Tensor forward(const Tensor& input) { return forward_from(0, input); }
+  Tensor forward_from(std::size_t from, const Tensor& input);
+
+  /// Sweep-instance network: layers [0, cut) share this plan's layer
+  /// snapshots read-only (SharedLayer), layers [cut, end) are deep copies
+  /// the instance may mutate freely. O(head params), not O(all params).
+  [[nodiscard]] nn::Sequential instance_net(std::size_t cut) const;
+
+  /// A compiled view over `net` — an instance_net() or any clone of the
+  /// compiled architecture — sharing this plan's packed panels
+  /// copy-on-write. Throws if `net`'s structure does not match the plan.
+  [[nodiscard]] CompiledModel rebind(nn::Sequential& net) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  /// Number of fused (dense/conv) execution nodes — the compile
+  /// attribution figure sweep rows and /stats report.
+  [[nodiscard]] std::size_t fused_nodes() const;
+  [[nodiscard]] std::vector<NodeInfo> describe() const;
+
+ private:
+  struct Node {
+    enum class Kind { kOpaque, kDense, kConv };
+    Kind kind = Kind::kOpaque;
+    std::size_t first = 0;   // first layer index covered
+    std::size_t count = 1;   // layers covered
+    nn::Layer* layer = nullptr;  // primary layer (borrowed, SharedLayer-unwrapped)
+    bool relu = false;           // trailing ReLU fused into the epilogue
+    // Pack-once weight panels (packed backend only). Shared across
+    // rebinds; valid while the weight Parameter's version still equals
+    // packed_version, repacked privately (copy-on-write) otherwise.
+    std::shared_ptr<const backend::PackedB> panels;
+    std::uint64_t packed_version = 0;
+    // Plan cache: geometry + workspaces from the last input shape.
+    Shape in_shape;
+    Shape out_shape;
+    Tensor cols_ws;  // conv im2col workspace
+    Tensor flat_ws;  // conv GEMM output workspace
+  };
+
+  CompiledModel() = default;
+  void build_nodes();
+  void pack_panels();
+  Tensor run_node(Node& nd, const Tensor& x);
+  void gemm_into(Node& nd, nn::Parameter& weight, const Tensor& a, Tensor& out);
+
+  // Layer snapshots (owning, primary plan) and the execution view over
+  // them (borrowed; re-pointed at the target net's layers in a rebind).
+  std::vector<std::shared_ptr<nn::Layer>> shared_layers_;
+  std::vector<nn::Layer*> layers_;
+  std::vector<Node> nodes_;
+};
+
+/// Compiled equivalents of models::head_predictions / head_accuracy: the
+/// same batch slicing and argmax over cm.forward_from(cut, ·), so the
+/// resulting predictions are bitwise those of the uncompiled helpers.
+std::vector<std::int64_t> head_predictions(CompiledModel& cm, std::size_t cut,
+                                           const Tensor& features, std::int64_t batch_size = 256);
+double head_accuracy(CompiledModel& cm, std::size_t cut, const Tensor& features,
+                     const std::vector<std::int64_t>& labels, std::int64_t batch_size = 256);
+
+}  // namespace fsa::compile

@@ -45,6 +45,8 @@ void ParamMask::scatter_values(const Tensor& flat) const {
   for (const auto& seg : segments_) {
     auto& v = seg.param->value();
     std::copy(flat.data() + seg.offset, flat.data() + seg.offset + v.numel(), v.data());
+    // Invalidate any compiled packed panels built from the old values.
+    seg.param->bump_version();
   }
 }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "compile/compile.h"
 #include "dist/reducer.h"
 #include "dist/worker_pool.h"
 #include "faultsim/profile.h"
@@ -80,6 +81,10 @@ eval::Json sweep_manifest(const std::string& dataset, const std::string& backend
   // One shard per instance: worker-count invariance then needs no slicing
   // argument at all — every process count executes the same shard set.
   j.set("shards", eval::Json::number(static_cast<std::int64_t>(specs.size())));
+  // The manifest pins the execution path like it pins the backend: shard
+  // workers apply it in run_sweep_shard, so a job's rows come from one
+  // path no matter which process (or env) drains its shards.
+  j.set("compiled", eval::Json::boolean(compile::enabled()));
   if (const eval::Json* profile = faultsim::active_injector_profile())
     j.set("injector_profile", *profile);
   eval::Json arr = eval::Json::array();
@@ -103,6 +108,7 @@ eval::Json run_sweep_shard(const eval::Json& manifest, int index, engine::SweepR
   check_shard_index(manifest, index);
   if (manifest.has("injector_profile"))
     faultsim::load_injector_profile(manifest.at("injector_profile"));
+  if (manifest.has("compiled")) compile::set_enabled(manifest.get_bool("compiled", false));
   const int shards = manifest_shards(manifest);
   const auto& spec_list = manifest.at("specs").items();
 

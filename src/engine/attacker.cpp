@@ -60,6 +60,11 @@ eval::Json AttackReport::to_json() const {
         test_accuracy < 0.0 ? eval::Json::null() : eval::Json::number(test_accuracy));
   j.set("clean_accuracy",
         clean_accuracy < 0.0 ? eval::Json::null() : eval::Json::number(clean_accuracy));
+  // Compile attribution: which execution path produced this row. The
+  // compiled path is bitwise-identical, so byte-comparisons between
+  // compiled and uncompiled artifacts scrub this field first (the same
+  // way reducers scrub wall times).
+  j.set("compiled", eval::Json::boolean(compiled));
   if (campaign) j.set("campaign", campaign->to_json());
   return j;
 }
@@ -89,6 +94,7 @@ AttackReport AttackReport::from_json(const eval::Json& j) {
   r.seconds = j.get_number("seconds", 0.0);
   r.test_accuracy = j.get_number("test_accuracy", -1.0);
   r.clean_accuracy = j.get_number("clean_accuracy", -1.0);
+  r.compiled = j.get_bool("compiled", false);
   if (j.has("campaign") && !j.at("campaign").is_null())
     r.campaign = CampaignSummary::from_json(j.at("campaign"));
   return r;

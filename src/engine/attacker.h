@@ -69,6 +69,7 @@ struct AttackReport {
   double seconds = 0.0;          ///< solve wall time
   double test_accuracy = -1.0;   ///< full-test-set accuracy with δ applied; < 0 = not measured
   double clean_accuracy = -1.0;  ///< clean accuracy at the same cut; < 0 = not measured
+  bool compiled = false;         ///< produced by the compiled forward path (FSA_COMPILE)
   std::optional<CampaignSummary> campaign;  ///< hardware stage (when the sweep asked for one)
   Tensor delta;                  ///< modification over the surface's flat space (not serialized)
 

@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "backend/compute_backend.h"
+#include "compile/compile.h"
+#include "compile/model_compiler.h"
 #include "engine/registry.h"
 #include "eval/stopwatch.h"
 #include "models/feature_cache.h"
@@ -301,6 +303,8 @@ eval::Json SweepResult::to_json() const {
   j.set("backend", eval::Json::string(backend));
   j.set("workers", eval::Json::number(static_cast<std::int64_t>(workers)));
   j.set("seconds", eval::Json::number(seconds));
+  j.set("compiled", eval::Json::boolean(compiled));
+  if (compiled) j.set("fused_nodes", eval::Json::number(fused_nodes));
   eval::Json arr = eval::Json::array();
   for (const auto& r : rows) {
     eval::Json obj = r.report.to_json();
@@ -382,6 +386,21 @@ eval::Table SweepResult::table(const std::string& title) const {
 SweepRunner::SweepRunner(models::ZooModel& model, std::string cache_dir, bool verbose)
     : model_(&model), cache_dir_(std::move(cache_dir)), verbose_(verbose) {}
 
+SweepRunner::~SweepRunner() = default;
+
+const compile::CompiledModel* SweepRunner::warm_compile() {
+  if (!compile::enabled()) return nullptr;
+  if (!compiled_) {
+    compiled_ = std::make_unique<compile::CompiledModel>(model_->net);
+    if (verbose_)
+      std::printf("[sweep] compiled %s: %zu node(s), %zu fused\n", model_->name.c_str(),
+                  compiled_->node_count(), compiled_->fused_nodes());
+  }
+  return compiled_.get();
+}
+
+std::size_t SweepRunner::fused_nodes() const { return compiled_ ? compiled_->fused_nodes() : 0; }
+
 eval::AttackBench& SweepRunner::bench(const std::vector<std::string>& layers, bool weights,
                                       bool biases) {
   SweepSpec key_spec;
@@ -412,7 +431,9 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
     eval::AttackBench* bench = nullptr;
     std::shared_ptr<const Attacker> attacker;
     core::AttackSpec problem;
+    std::size_t cut = 0;  ///< surface cut (compiled path: shared-prefix boundary)
   };
+  const compile::CompiledModel* plan = warm_compile();  // nullptr when FSA_COMPILE=off
   std::vector<Task> tasks(static_cast<std::size_t>(n));
   std::map<std::string, std::shared_ptr<const Attacker>> method_cache;
   for (std::int64_t i = 0; i < n; ++i) {
@@ -427,6 +448,9 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
       t.attacker = cached;
     }
     t.problem = t.bench->spec(t.spec->S, t.spec->R, t.spec->seed, t.spec->policy);
+    if (plan != nullptr)
+      t.cut = core::ParamMask::make(model_->net, t.spec->layers, t.spec->weights, t.spec->biases)
+                  .cut();
   }
 
   // Parallel phase: one task per instance, each on its own network clone.
@@ -440,13 +464,19 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
   result.model = model_->name;
   result.backend = backend::active_name();
   result.workers = num_threads();
+  result.compiled = plan != nullptr;
+  result.fused_nodes = plan != nullptr ? static_cast<std::int64_t>(plan->fused_nodes()) : 0;
   result.rows.resize(static_cast<std::size_t>(n));
   std::atomic<std::int64_t> next{0};
   const std::int64_t lanes = std::min<std::int64_t>(n, num_threads());
   parallel_for(0, lanes, 1, [&](std::int64_t, std::int64_t) {
     for (std::int64_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       const Task& t = tasks[static_cast<std::size_t>(i)];
-      nn::Sequential net = t.bench->model().net.clone();
+      // Compiled: O(δ-surface) instance — the prefix below the cut is
+      // shared read-only with every other instance, only the attacked
+      // head is deep-copied. Uncompiled: full deep clone (parity oracle).
+      nn::Sequential net =
+          plan != nullptr ? plan->instance_net(t.cut) : t.bench->model().net.clone();
       const core::ParamMask mask =
           core::ParamMask::make(net, t.spec->layers, t.spec->weights, t.spec->biases);
       const backend::ComputeBackend& be = backend::active();
@@ -455,6 +485,7 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
       rep.seed = t.spec->seed;
       rep.backend = be.attribution();  // which kernels produced this row ("auto(...)")
       rep.clean_accuracy = t.bench->clean_test_accuracy();
+      rep.compiled = plan != nullptr;
       if (t.spec->campaign) {
         // Lower δ to hardware: runs BEFORE the accuracy scatter below, while
         // the surface still holds θ0. The campaign seed mixes the config
@@ -480,9 +511,18 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
       if (t.spec->measure_accuracy) {
         Tensor theta = mask.gather_values();  // == θ0: run() restored the surface
         theta += rep.delta;
-        mask.scatter_values(theta);
-        rep.test_accuracy = models::head_accuracy(net, mask.cut(), t.bench->test_features(),
-                                                  t.bench->model().test.labels());
+        mask.scatter_values(theta);  // bumps surface param versions (panel COW)
+        if (plan != nullptr) {
+          // Fused head evaluation sharing the plan's pack-once panels;
+          // panels of mutated surface layers repack privately on first
+          // use (copy-on-write), so the result is bitwise the oracle's.
+          compile::CompiledModel cm = plan->rebind(net);
+          rep.test_accuracy = compile::head_accuracy(cm, mask.cut(), t.bench->test_features(),
+                                                     t.bench->model().test.labels());
+        } else {
+          rep.test_accuracy = models::head_accuracy(net, mask.cut(), t.bench->test_features(),
+                                                    t.bench->model().test.labels());
+        }
       }
       if (verbose_)
         std::printf("[sweep %lld/%lld] %s %s S=%lld R=%lld seed=%llu: l0=%lld targets %lld/%lld"

@@ -30,6 +30,10 @@
 #include "faultsim/campaign.h"
 #include "faultsim/quantize.h"
 
+namespace fsa::compile {
+class CompiledModel;
+}
+
 namespace fsa::engine {
 
 /// Configuration of the optional end-to-end campaign stage appended to
@@ -141,6 +145,8 @@ struct SweepResult {
   std::string backend;          ///< compute backend active during the run
   double seconds = 0.0;         ///< sweep wall time
   int workers = 1;              ///< thread-pool size during the run
+  bool compiled = false;        ///< rows ran through the compiled forward path
+  std::int64_t fused_nodes = 0; ///< fused execution nodes in the plan (0 uncompiled)
 
   /// First row matching (method, S, R) and, when non-empty, tag. Throws if absent.
   [[nodiscard]] const SweepRow& row(const std::string& method, std::int64_t S, std::int64_t R,
@@ -164,12 +170,22 @@ struct SweepResult {
 class SweepRunner {
  public:
   SweepRunner(models::ZooModel& model, std::string cache_dir, bool verbose = true);
+  ~SweepRunner();
 
   /// The shared AttackBench for a surface (created on first use). Benches
   /// that post-process results (defense/faultsim/detect) use this to avoid
   /// re-deriving features the runner already cached.
   eval::AttackBench& bench(const std::vector<std::string>& layers, bool weights = true,
                            bool biases = true);
+
+  /// When compile::enabled(), build (once) and return the model's
+  /// CompiledPlan; nullptr when the compiled path is off. run() calls this
+  /// lazily; the serve daemon calls it at zoo warm-up so compilation
+  /// happens before the socket opens.
+  const compile::CompiledModel* warm_compile();
+  /// Fused-node count of the plan (0 when not compiled) — the compile
+  /// attribution figure /stats reports per model.
+  [[nodiscard]] std::size_t fused_nodes() const;
 
   SweepResult run(const Sweep& sweep) { return run(sweep.build()); }
   SweepResult run(const std::vector<SweepSpec>& specs);
@@ -179,6 +195,7 @@ class SweepRunner {
   std::string cache_dir_;
   bool verbose_;
   std::map<std::string, std::unique_ptr<eval::AttackBench>> benches_;
+  std::unique_ptr<compile::CompiledModel> compiled_;  ///< built on first compiled run
 };
 
 }  // namespace fsa::engine

@@ -34,8 +34,7 @@ Shape Conv2D::output_shape(const Shape& input) const {
   return Shape({input.dim(0), out_c_, oh, ow});
 }
 
-void Conv2D::im2col_into(const Tensor& input, Tensor& cols) const {
-  const Shape out_shape = output_shape(input.shape());
+void Conv2D::im2col_into(const Tensor& input, const Shape& out_shape, Tensor& cols) const {
   const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
   const std::int64_t oh = out_shape.dim(2), ow = out_shape.dim(3);
   const std::int64_t patch = in_c_ * k_ * k_;
@@ -105,9 +104,15 @@ Tensor Conv2D::col2im(const Tensor& cols, const Shape& input_shape) const {
 }
 
 Tensor Conv2D::forward(const Tensor& input, bool /*train*/) {
-  const Shape out_shape = output_shape(input.shape());
-  cached_input_shape_ = input.shape();
-  im2col_into(input, cached_cols_);
+  // Geometry plan: derived (and validated) once per distinct input shape,
+  // then reused — consecutive same-geometry calls skip the shape math and
+  // keep the im2col/GEMM workspaces allocated below warm.
+  if (input.shape() != cached_input_shape_) {
+    cached_out_shape_ = output_shape(input.shape());
+    cached_input_shape_ = input.shape();
+  }
+  const Shape& out_shape = cached_out_shape_;
+  im2col_into(input, out_shape, cached_cols_);
   // [N·OH·OW, patch] · [patch, out_c] → [N·OH·OW, out_c]
   const Shape flat_shape({cached_cols_.dim(0), out_c_});
   if (flat_ws_.shape() != flat_shape) flat_ws_ = Tensor(flat_shape);

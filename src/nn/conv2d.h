@@ -19,6 +19,21 @@ class Conv2D final : public Layer {
   Conv2D(std::string name, std::int64_t in_channels, std::int64_t out_channels,
          std::int64_t kernel, Rng& rng, std::int64_t stride = 1, std::int64_t padding = 0);
 
+  /// Copies parameters and geometry but NOT the im2col/GEMM workspaces or
+  /// forward caches — a clone is forward-fresh, so cloning a trained layer
+  /// costs O(params) instead of O(params + batch workspaces). backward()
+  /// on a clone therefore requires a preceding forward() on that clone.
+  Conv2D(const Conv2D& other)
+      : name_(other.name_),
+        in_c_(other.in_c_),
+        out_c_(other.out_c_),
+        k_(other.k_),
+        stride_(other.stride_),
+        pad_(other.pad_),
+        weight_(other.weight_),
+        bias_(other.bias_) {}
+  Conv2D& operator=(const Conv2D&) = delete;
+
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
 
@@ -32,12 +47,19 @@ class Conv2D final : public Layer {
   [[nodiscard]] std::int64_t in_channels() const { return in_c_; }
   [[nodiscard]] std::int64_t out_channels() const { return out_c_; }
   [[nodiscard]] std::int64_t kernel() const { return k_; }
+  [[nodiscard]] std::int64_t stride() const { return stride_; }
+  [[nodiscard]] std::int64_t padding() const { return pad_; }
+  [[nodiscard]] Parameter& weight() { return weight_; }
+  [[nodiscard]] Parameter& bias() { return bias_; }
 
- private:
   /// Unfold input [N,C,H,W] into `cols` [N·OH·OW, C·k·k]. `cols` is a
   /// reusable workspace: it is only reallocated when the shape changes, so
-  /// steady-state forward passes do no im2col allocation.
-  void im2col_into(const Tensor& input, Tensor& cols) const;
+  /// steady-state forward passes do no im2col allocation. Public so the
+  /// forward-pass compiler can drive the same unfold into its own plan
+  /// workspace; `out_shape` must be output_shape(input.shape()).
+  void im2col_into(const Tensor& input, const Shape& out_shape, Tensor& cols) const;
+
+ private:
   /// Fold a column-matrix gradient back to input layout (adjoint of im2col).
   Tensor col2im(const Tensor& cols, const Shape& input_shape) const;
 
@@ -48,6 +70,7 @@ class Conv2D final : public Layer {
   Tensor cached_cols_;  // im2col workspace, also read by backward
   Tensor flat_ws_;      // [N·OH·OW, out_c] GEMM output workspace
   Shape cached_input_shape_;
+  Shape cached_out_shape_;  // geometry plan for cached_input_shape_, derived once
 };
 
 }  // namespace fsa::nn

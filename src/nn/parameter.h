@@ -7,6 +7,7 @@
 // a Kind tag.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "tensor/tensor.h"
@@ -31,11 +32,21 @@ class Parameter {
   void zero_grad() { grad_.fill(0.0f); }
   [[nodiscard]] std::int64_t numel() const { return value_.numel(); }
 
+  /// Monotonic mutation counter, bumped by the bulk write paths
+  /// (ParamMask::scatter_values, Sequential::load_params). The compiled
+  /// forward path compares it against the version its packed weight panels
+  /// were built from and repacks copy-on-write when they diverge; anything
+  /// that mutates value() outside those paths must call bump_version()
+  /// itself before a compiled forward may observe the change.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  void bump_version() { ++version_; }
+
  private:
   std::string name_;
   Tensor value_;
   Tensor grad_;
   Kind kind_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace fsa::nn

@@ -66,6 +66,7 @@ void Sequential::load_params(const std::string& path) {
     if (values[i].shape() != ps[i]->value().shape())
       throw std::runtime_error("Sequential::load_params: shape mismatch for " + ps[i]->name());
     ps[i]->value() = values[i];
+    ps[i]->bump_version();
   }
 }
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "backend/compute_backend.h"
+#include "compile/compile.h"
 #include "dist/jobs.h"
 #include "dist/reducer.h"
 #include "faultsim/profile.h"
@@ -126,6 +127,19 @@ eval::Json AttackService::stats_json() const {
   for (const std::string& name : host_.names()) models.push_back(eval::Json::string(name));
   out.set("models", std::move(models));
   out.set("requests_handled", eval::Json::number(requests_.load()));
+  // Compile attribution: which forward path this daemon runs, and — when
+  // compiled — each model's fused-node count, so served artifacts record
+  // the execution path the same way sweep rows do ("compiled" per row).
+  eval::Json comp = eval::Json::object();
+  comp.set("enabled", eval::Json::boolean(compile::enabled()));
+  if (compile::enabled()) {
+    eval::Json fused = eval::Json::object();
+    for (const std::string& name : host_.names())
+      fused.set(name,
+                eval::Json::number(static_cast<std::int64_t>(host_.runner(name).fused_nodes())));
+    comp.set("fused_nodes", std::move(fused));
+  }
+  out.set("compile", std::move(comp));
   const eval::Json batcher_stats = batcher_->stats_json();
   for (const auto& [key, value] : batcher_stats.members()) out.set(key, value);
   return out;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "compile/compile.h"
+#include "compile/model_compiler.h"
 #include "eval/args.h"
 
 namespace fsa::serve {
@@ -41,6 +43,13 @@ ServeZoo::ServeZoo(ServeZooOptions options) : zoo_(models::ZooConfig{.verbose = 
     // derived (and disk-cached) now, so no request pays for them.
     for (const std::string& layers_csv : options.warm_layers)
       (void)runner->bench(eval::split_csv(layers_csv));
+    // Compile before the socket opens: fusion, plan caches, and pack-once
+    // weight panels are built here, so the first request already runs the
+    // compiled path at steady-state cost. No-op when FSA_COMPILE=off.
+    if (const compile::CompiledModel* plan = runner->warm_compile();
+        plan != nullptr && options.verbose)
+      std::fprintf(stderr, "[serve] model %s compiled: %zu fused node(s)\n", name.c_str(),
+                   plan->fused_nodes());
     runners_.emplace(name, std::move(runner));
     if (options.verbose)
       std::fprintf(stderr, "[serve] model %s ready (%.1f%% test accuracy)\n", name.c_str(),

@@ -1,0 +1,312 @@
+// compile_test.cpp — the forward-pass compiler's three contracts:
+//
+//   1. Parity: a compiled forward (fused bias/ReLU epilogues, cached
+//      plans, pack-once panels) is BITWISE identical to the uncompiled
+//      Sequential, for every backend and thread count, for full forwards
+//      and for every forward_from cut (including cuts inside fused nodes).
+//   2. Pack-once / copy-on-write: packed-backend weight panels are built
+//      once, shared read-only across rebinds, and invalidated per-node by
+//      Parameter version bumps — a mutated instance repacks privately
+//      while every other instance keeps the shared panels.
+//   3. O(δ-surface) cloning: instance_net shares prefix parameters by
+//      pointer and deep-copies only the attacked head.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "backend/compute_backend.h"
+#include "compile/compile.h"
+#include "compile/model_compiler.h"
+#include "core/param_mask.h"
+#include "models/feature_cache.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+#include "nn/sequential.h"
+#include "tensor/parallel.h"
+
+namespace fsa::compile {
+namespace {
+
+/// Restores the active backend and the pool size when a test body returns.
+struct BackendGuard {
+  std::string saved = backend::active_name();
+  ~BackendGuard() {
+    backend::set_backend(saved);
+    set_num_threads(0);
+  }
+};
+
+/// conv1+relu → conv2+relu → flatten → fc1+relu → fc2 (no trailing ReLU):
+/// exercises both fused-conv and fused-dense nodes, an opaque node, and a
+/// dense node WITHOUT a ReLU epilogue. Random weights suffice — parity is
+/// a property of the kernels, not of trained parameters.
+nn::Sequential make_conv_net(std::uint64_t seed = 11) {
+  Rng rng(seed);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Conv2D>("conv1", 1, 4, 3, rng));  // [N,1,8,8] -> [N,4,6,6]
+  net.add(std::make_unique<nn::ReLU>("relu1"));
+  net.add(std::make_unique<nn::Conv2D>("conv2", 4, 6, 3, rng));  // -> [N,6,4,4]
+  net.add(std::make_unique<nn::ReLU>("relu2"));
+  net.add(std::make_unique<nn::Flatten>("flatten"));             // -> [N,96]
+  net.add(std::make_unique<nn::Dense>("fc1", 96, 24, rng));
+  net.add(std::make_unique<nn::ReLU>("relu3"));
+  net.add(std::make_unique<nn::Dense>("fc2", 24, 10, rng));
+  return net;
+}
+
+Tensor make_input(std::int64_t n = 5, std::uint64_t seed = 17) {
+  Rng rng(seed);
+  return Tensor::randn(Shape({n, 1, 8, 8}), rng, 0.0f, 1.0f);
+}
+
+const NodeInfo& node_named(const std::vector<NodeInfo>& nodes, const std::string& name) {
+  for (const NodeInfo& n : nodes)
+    if (n.name == name) return n;
+  throw std::out_of_range("no node named " + name);
+}
+
+// ---- structure ---------------------------------------------------------------
+
+TEST(CompiledModel, FusesConvAndDenseNodesAndDelegatesOpaque) {
+  BackendGuard guard;
+  backend::set_backend("reference");
+  nn::Sequential net = make_conv_net();
+  CompiledModel cm(net);
+
+  EXPECT_EQ(cm.layer_count(), 8u);
+  EXPECT_EQ(cm.node_count(), 5u);  // conv1+r, conv2+r, flatten, fc1+r, fc2
+  EXPECT_EQ(cm.fused_nodes(), 4u);
+
+  const std::vector<NodeInfo> nodes = cm.describe();
+  ASSERT_EQ(nodes.size(), 5u);
+  EXPECT_EQ(node_named(nodes, "conv1").kind, "conv");
+  EXPECT_TRUE(node_named(nodes, "conv1").fused_relu);
+  EXPECT_EQ(node_named(nodes, "conv1").layers, 2u);
+  EXPECT_EQ(node_named(nodes, "flatten").kind, "opaque");
+  EXPECT_EQ(node_named(nodes, "fc1").kind, "dense");
+  EXPECT_TRUE(node_named(nodes, "fc1").fused_relu);
+  EXPECT_EQ(node_named(nodes, "fc2").kind, "dense");
+  EXPECT_FALSE(node_named(nodes, "fc2").fused_relu);  // no trailing ReLU
+  EXPECT_EQ(node_named(nodes, "fc2").first, 7u);
+  // Reference backend: no panels packed.
+  for (const NodeInfo& n : nodes) EXPECT_FALSE(n.has_panels) << n.name;
+}
+
+// ---- parity ------------------------------------------------------------------
+
+TEST(CompiledModel, ForwardBitwiseMatchesUncompiledAcrossBackendsAndThreads) {
+  BackendGuard guard;
+  nn::Sequential net = make_conv_net();
+  const Tensor x = make_input();
+
+  // Uncompiled intermediate activations, one per layer boundary: the
+  // oracle for every forward_from cut (including cuts INSIDE fused nodes,
+  // which must fall back to layer-by-layer execution).
+  backend::set_backend("reference");
+  std::vector<Tensor> acts = {x};
+  for (std::size_t i = 0; i < net.size(); ++i)
+    acts.push_back(net.layer(i).forward(acts.back(), /*train=*/false));
+
+  for (const char* name : {"reference", "blocked", "packed", "auto"}) {
+    for (int threads : {1, 4}) {
+      backend::set_backend(name);
+      set_num_threads(threads);
+      const std::string where = std::string(name) + " @ " + std::to_string(threads) + " threads";
+
+      // The oracle under THIS backend: kernels are accumulation-order
+      // identical across backends, so this equals the reference acts too —
+      // but compare against a same-backend fresh run to isolate the
+      // compiled-vs-uncompiled property.
+      nn::Sequential oracle = net.clone();
+      const Tensor want = oracle.forward(x, /*train=*/false);
+
+      CompiledModel cm(net);  // packs panels iff backend == packed
+      EXPECT_EQ(cm.forward(x), want) << where;
+      EXPECT_EQ(cm.forward(x), want) << where << " (second call: cached plan)";
+      for (std::size_t from = 0; from <= net.size(); ++from)
+        EXPECT_EQ(cm.forward_from(from, acts[from]), acts[net.size()])
+            << where << ", from=" << from;
+    }
+  }
+}
+
+TEST(CompiledModel, PlanSurvivesInputGeometryChanges) {
+  BackendGuard guard;
+  backend::set_backend("packed");
+  nn::Sequential net = make_conv_net();
+  CompiledModel cm(net);
+  // Alternate batch sizes: the per-node plan cache must re-derive geometry
+  // when the shape changes and still match the uncompiled path bitwise.
+  for (std::int64_t n : {3, 7, 3, 1}) {
+    const Tensor x = make_input(n, 100 + static_cast<std::uint64_t>(n));
+    nn::Sequential oracle = net.clone();
+    EXPECT_EQ(cm.forward(x), oracle.forward(x, false)) << "batch " << n;
+  }
+}
+
+// ---- pack-once panels + copy-on-write ----------------------------------------
+
+TEST(CompiledModel, PanelsPackOnceAndShareAcrossRebinds) {
+  BackendGuard guard;
+  backend::set_backend("packed");
+  nn::Sequential net = make_conv_net();
+  CompiledModel cm(net);
+
+  for (const NodeInfo& n : cm.describe())
+    if (n.kind != "opaque") {
+      EXPECT_TRUE(n.has_panels) << n.name;
+      EXPECT_EQ(n.panel_refs, 1) << n.name;
+    }
+
+  nn::Sequential clone1 = net.clone();
+  nn::Sequential clone2 = net.clone();
+  CompiledModel r1 = cm.rebind(clone1);
+  CompiledModel r2 = cm.rebind(clone2);
+
+  const std::vector<NodeInfo> plan_nodes = cm.describe();
+  const std::vector<NodeInfo> r1_nodes = r1.describe();
+  for (const NodeInfo& n : plan_nodes)
+    if (n.kind != "opaque") {
+      EXPECT_EQ(n.panel_refs, 3) << n.name;  // plan + two rebinds
+      EXPECT_EQ(node_named(r1_nodes, n.name).panel_id, n.panel_id) << n.name;
+    }
+
+  const Tensor x = make_input();
+  nn::Sequential oracle = net.clone();
+  const Tensor want = oracle.forward(x, false);
+  EXPECT_EQ(r1.forward(x), want);
+  EXPECT_EQ(r2.forward(x), want);
+}
+
+TEST(CompiledModel, CowRepacksOnlyTheMutatedLayer) {
+  BackendGuard guard;
+  backend::set_backend("packed");
+  nn::Sequential net = make_conv_net();
+  CompiledModel cm(net);
+
+  nn::Sequential instance = net.clone();
+  CompiledModel rebound = cm.rebind(instance);
+
+  // Attack-style mutation: scatter through a ParamMask bumps the weight's
+  // version, invalidating the shared fc2 panels for THIS instance only.
+  const core::ParamMask mask = core::ParamMask::make(instance, {"fc2"}, true, false);
+  Tensor theta = mask.gather_values();
+  theta[0] += 0.5f;
+  mask.scatter_values(theta);
+
+  const Tensor x = make_input();
+  nn::Sequential oracle = instance.clone();  // carries the mutated weights
+  EXPECT_EQ(rebound.forward(x), oracle.forward(x, false));  // bitwise, repacked privately
+
+  const std::vector<NodeInfo> plan_nodes = cm.describe();
+  const std::vector<NodeInfo> inst_nodes = rebound.describe();
+  // fc2 diverged; every other fused node still shares the plan's panels.
+  EXPECT_NE(node_named(inst_nodes, "fc2").panel_id, node_named(plan_nodes, "fc2").panel_id);
+  for (const char* name : {"conv1", "conv2", "fc1"})
+    EXPECT_EQ(node_named(inst_nodes, name).panel_id, node_named(plan_nodes, name).panel_id)
+        << name;
+
+  // The primary plan is untouched: same panels, same (pre-mutation) output.
+  nn::Sequential pristine = net.clone();
+  EXPECT_EQ(cm.forward(x), pristine.forward(x, false));
+}
+
+// ---- O(δ-surface) instance networks ------------------------------------------
+
+TEST(CompiledModel, InstanceNetSharesPrefixParamsAndClonesHead) {
+  BackendGuard guard;
+  backend::set_backend("packed");
+  nn::Sequential net = make_conv_net();
+  CompiledModel cm(net);
+  const std::size_t cut = 7;  // fc2
+
+  nn::Sequential inst1 = cm.instance_net(cut);
+  nn::Sequential inst2 = cm.instance_net(cut);
+  ASSERT_EQ(inst1.size(), net.size());
+
+  // Prefix layers share the plan's snapshots: parameter IDENTITY is equal
+  // across instances. Head parameters are private per instance.
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const std::vector<nn::Parameter*> p1 = inst1.layer(i).params();
+    const std::vector<nn::Parameter*> p2 = inst2.layer(i).params();
+    ASSERT_EQ(p1.size(), p2.size()) << "layer " << i;
+    for (std::size_t k = 0; k < p1.size(); ++k) {
+      if (i < cut)
+        EXPECT_EQ(p1[k], p2[k]) << "layer " << i << " param " << k;
+      else
+        EXPECT_NE(p1[k], p2[k]) << "layer " << i << " param " << k;
+    }
+  }
+
+  // Forward parity against the full deep clone, and mutation isolation:
+  // perturbing inst1's head must not leak into inst2 or the plan.
+  const Tensor x = make_input();
+  nn::Sequential oracle = net.clone();
+  const Tensor want = oracle.forward(x, false);
+  EXPECT_EQ(inst1.forward(x, false), want);
+  EXPECT_EQ(inst2.forward(x, false), want);
+
+  const core::ParamMask mask = core::ParamMask::make(inst1, {"fc2"}, true, true);
+  Tensor theta = mask.gather_values();
+  for (std::size_t i = 0; i < theta.size(); ++i) theta[i] += 0.25f;
+  mask.scatter_values(theta);
+  EXPECT_NE(inst1.forward(x, false), want);
+  EXPECT_EQ(inst2.forward(x, false), want);
+  EXPECT_EQ(cm.forward(x), want);
+}
+
+TEST(CompiledModel, RebindRejectsForeignStructures) {
+  BackendGuard guard;
+  backend::set_backend("reference");
+  nn::Sequential net = make_conv_net();
+  CompiledModel cm(net);
+
+  Rng rng(3);
+  nn::Sequential other;
+  other.add(std::make_unique<nn::Flatten>("flatten"));
+  other.add(std::make_unique<nn::Dense>("fc1", 64, 10, rng));
+  EXPECT_THROW((void)cm.rebind(other), std::invalid_argument);
+
+  // Rebound plans hold no layer snapshots, so they cannot mint instances.
+  nn::Sequential clone = net.clone();
+  CompiledModel rebound = cm.rebind(clone);
+  EXPECT_THROW((void)rebound.instance_net(7), std::logic_error);
+}
+
+// ---- head helpers ------------------------------------------------------------
+
+TEST(CompileHeadHelpers, MatchUncompiledModelsHelpers) {
+  BackendGuard guard;
+  backend::set_backend("packed");
+  nn::Sequential net = make_conv_net();
+  CompiledModel cm(net);
+  const std::size_t cut = 5;  // features feed fc1
+
+  // 300 rows > the 256 batch size: exercises the batch loop's tail.
+  Rng rng(29);
+  const Tensor features = Tensor::randn(Shape({300, 96}), rng, 0.0f, 1.0f);
+  std::vector<std::int64_t> labels(300);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<std::int64_t>(rng.uniform_int(10));
+
+  nn::Sequential oracle = net.clone();
+  EXPECT_EQ(head_predictions(cm, cut, features), models::head_predictions(oracle, cut, features));
+  EXPECT_EQ(head_accuracy(cm, cut, features, labels),
+            models::head_accuracy(oracle, cut, features, labels));
+}
+
+// ---- the FSA_COMPILE seam ----------------------------------------------------
+
+TEST(CompileSeam, SetEnabledOverridesEnvironment) {
+  const bool saved = enabled();
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  set_enabled(saved);
+}
+
+}  // namespace
+}  // namespace fsa::compile

@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "backend/compute_backend.h"
+#include "compile/compile.h"
 #include "engine/attackers.h"
 #include "engine/registry.h"
 #include "engine/sweep.h"
@@ -394,6 +395,53 @@ TEST(SweepRunner, JsonReportCarriesAllRows) {
   EXPECT_EQ(back.backend.rfind(backend::active_name(), 0), 0u) << back.backend;
   EXPECT_EQ(back.l0, result.rows[0].report.l0);
   EXPECT_EQ(back.seed, 5u);
+}
+
+TEST(SweepRunner, CompiledSweepJsonByteIdenticalToUncompiled) {
+  // The forward-pass compiler's acceptance contract: FSA_COMPILE=on rows
+  // are BYTE-identical to FSA_COMPILE=off rows — same δ floats, same
+  // accuracies, same counts — once the path-attribution fields
+  // ("compiled"/"fused_nodes") and wall time ("seconds") are scrubbed.
+  // Everything the paper reads from a sweep must not depend on the path.
+  struct ScrubKeys {
+    static eval::Json apply(const eval::Json& j) {
+      if (j.type() == eval::Json::Type::kObject) {
+        eval::Json out = eval::Json::object();
+        for (const auto& [key, value] : j.members()) {
+          if (key == "seconds" || key == "compiled" || key == "fused_nodes") continue;
+          out.set(key, apply(value));
+        }
+        return out;
+      }
+      if (j.type() == eval::Json::Type::kArray) {
+        eval::Json out = eval::Json::array();
+        for (const auto& item : j.items()) out.push_back(apply(item));
+        return out;
+      }
+      return j;
+    }
+  };
+  struct Restore {
+    bool saved = compile::enabled();
+    ~Restore() { compile::set_enabled(saved); }
+  } restore;
+
+  auto& f = fixture();
+  compile::set_enabled(false);
+  SweepRunner off_runner(f.model, f.cache_dir, /*verbose=*/false);
+  const SweepResult off = off_runner.run(small_sweep());
+  EXPECT_FALSE(off.compiled);
+  EXPECT_EQ(off.fused_nodes, 0);
+
+  compile::set_enabled(true);
+  SweepRunner on_runner(f.model, f.cache_dir, /*verbose=*/false);
+  const SweepResult on = on_runner.run(small_sweep());
+  EXPECT_TRUE(on.compiled);
+  EXPECT_GT(on.fused_nodes, 0);  // blob net: fc1+relu, fc2
+  for (const auto& row : on.rows) EXPECT_TRUE(row.report.compiled);
+  for (const auto& row : off.rows) EXPECT_FALSE(row.report.compiled);
+
+  EXPECT_EQ(ScrubKeys::apply(on.to_json()).dump(2), ScrubKeys::apply(off.to_json()).dump(2));
 }
 
 TEST(SweepRunner, EmptySweepThrows) {

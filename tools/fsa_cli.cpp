@@ -54,6 +54,7 @@
 #include <string>
 
 #include "backend/compute_backend.h"
+#include "compile/compile.h"
 #include "dist/jobs.h"
 #include "dist/lease.h"
 #include "dist/reducer.h"
@@ -95,7 +96,7 @@ int usage() {
       "           [--weights-only|--biases-only] [--save delta.bin] [--verbose]\n"
       "  sweep    --dataset D --layers L --s-list 1,2,4 --r-list 50,100\n"
       "           [--method M1,M2,...] [--seeds 1,2,...] [--norm l0|l2|l1]\n"
-      "           [--backend reference|blocked|packed|auto]\n"
+      "           [--backend reference|blocked|packed|auto] [--compile on|off]\n"
       "           [--with-campaign] [--injector I1,I2,...] [--shards K]\n"
       "           [--injector-profile file.json]\n"
       "           [--weights-only|--biases-only] [--json out.json] [--csv out.csv]\n"
@@ -114,7 +115,8 @@ int usage() {
       "           status --job dir\n"
       "  serve    [--port P] [--threads N] [--max-batch B] [--max-delay-ms MS]\n"
       "           [--max-queue Q] [--executors E] [--datasets digits[,objects]]\n"
-      "           [--warm-layers fc3[,fc2...]] [--backend B] [--once] [--quiet]\n"
+      "           [--warm-layers fc3[,fc2...]] [--backend B] [--compile on|off]\n"
+      "           [--once] [--quiet]\n"
       "  eval     --dataset D --layers L [--weights-only|--biases-only]\n"
       "           [--backend B] [--json out.json]\n"
       "  audit    --dataset D --layers L --delta delta.bin\n",
@@ -225,6 +227,19 @@ std::pair<bool, bool> surface_flags(const eval::Args& args) {
 void select_backend(const eval::Args& args) {
   if (const std::string name = args.get("backend", ""); !name.empty())
     backend::set_backend(name);
+}
+
+/// Select the forward-path compiler for this invocation: --compile on|off
+/// wins over FSA_COMPILE. Also exported into the environment so re-exec'd
+/// shard workers (`--workers N`) inherit the choice — the sweep manifest
+/// pins it too, but export keeps single-shot children consistent.
+void select_compile(const eval::Args& args) {
+  const std::string mode = args.get("compile", "");
+  if (mode.empty()) return;
+  if (mode != "on" && mode != "off")
+    throw std::invalid_argument("unknown --compile \"" + mode + "\" (expected on or off)");
+  compile::set_enabled(mode == "on");
+  setenv("FSA_COMPILE", mode.c_str(), 1);
 }
 
 /// Map --norm (validated) and --method onto a registry key. --method wins;
@@ -424,9 +439,9 @@ int cmd_sweep_workers(const eval::Args& args, const engine::Sweep& sweep,
 }
 
 int cmd_sweep(const eval::Args& args) {
-  args.expect_only({"dataset", "layers", "method", "norm", "backend", "s-list", "r-list",
-                    "seeds", "weights-only", "biases-only", "json", "csv", "no-acc", "quiet",
-                    "with-campaign", "injector", "shards", "injector-profile", "workers",
+  args.expect_only({"dataset", "layers", "method", "norm", "backend", "compile", "s-list",
+                    "r-list", "seeds", "weights-only", "biases-only", "json", "csv", "no-acc",
+                    "quiet", "with-campaign", "injector", "shards", "injector-profile", "workers",
                     "retries", "retry-backoff-ms", "job", "run-shard", "shard", "out"});
   apply_injector_profile(args);
   if (!args.get("run-shard", "").empty()) {
@@ -435,6 +450,7 @@ int cmd_sweep(const eval::Args& args) {
     return cmd_sweep_run_shard(args);
   }
   select_backend(args);
+  select_compile(args);
   const auto [weights, biases] = surface_flags(args);
 
   // Flag validation (campaign config and worker counts included) runs
@@ -690,8 +706,9 @@ int cmd_eval(const eval::Args& args) {
 /// first work request completes.
 int cmd_serve(const eval::Args& args) {
   args.expect_only({"port", "threads", "max-batch", "max-delay-ms", "max-queue", "executors",
-                    "datasets", "warm-layers", "backend", "once", "quiet"});
+                    "datasets", "warm-layers", "backend", "compile", "once", "quiet"});
   select_backend(args);
+  select_compile(args);
   const bool quiet = args.has_flag("quiet");
 
   serve::ServiceOptions service_options;

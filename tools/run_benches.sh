@@ -240,3 +240,64 @@ if previous and previous.get("throughput_rps"):
     flag = "  <-- regression?" if change < -10.0 else ""
     print(f"serve throughput vs previous entry: {change:+.1f}%{flag}")
 EOF
+
+# ---- compile stage: compiled-vs-uncompiled sweep throughput -----------------
+# bench_compile times the same 48-row sweep with the forward-pass compiler
+# off and on (packed backend, 4 threads) plus the per-instance clone cost
+# (Sequential::clone vs CompiledModel::instance_net), and emits one JSON
+# document on stdout. Folded into the trajectory entry as {"compile": ...}
+# with a delta against the previous entry; a speedup below the 1.5x
+# acceptance bar is flagged. Fails loudly, like the serve stage.
+echo ""
+echo "compile bench (compiled vs uncompiled sweeps)..."
+if ! cmake --build "$build_dir" -j --target bench_compile; then
+  echo "run_benches.sh: ERROR: bench_compile failed to build; no compile entry." >&2
+  exit 1
+fi
+
+compile_json="$build_dir/bench_compile_run.json"
+if ! "$build_dir/bench_compile" > "$compile_json"; then
+  echo "run_benches.sh: ERROR: bench_compile failed (compiled sweep slower than uncompiled?)" >&2
+  exit 1
+fi
+if [ ! -s "$compile_json" ]; then
+  echo "run_benches.sh: ERROR: bench_compile produced no JSON; no compile entry." >&2
+  exit 1
+fi
+
+python3 - "$compile_json" "$out_json" <<'EOF'
+import json, sys
+
+comp_path, out_path = sys.argv[1:3]
+with open(comp_path) as f:
+    comp = json.load(f)
+with open(out_path) as f:
+    trajectory = json.load(f)
+
+entry = trajectory["runs"][-1]
+entry["compile"] = {
+    "threads": comp.get("threads", 0),
+    "rows": comp.get("rows", 0),
+    "fused_nodes": comp.get("fused_nodes", 0),
+    "rows_per_sec_off": comp.get("rows_per_sec_off", 0.0),
+    "rows_per_sec_on": comp.get("rows_per_sec_on", 0.0),
+    "speedup": comp.get("speedup", 0.0),
+    "clone_us_deep": comp.get("clone_us_deep", 0.0),
+    "clone_us_instance": comp.get("clone_us_instance", 0.0),
+}
+with open(out_path, "w") as f:
+    json.dump(trajectory, f, indent=1)
+    f.write("\n")
+
+c = entry["compile"]
+bar = "" if c["speedup"] >= 1.5 else "  <-- BELOW the 1.5x acceptance bar"
+print(f"compile: sweep {c['rows_per_sec_off']:.0f} -> {c['rows_per_sec_on']:.0f} rows/s "
+      f"({c['speedup']:.2f}x at {c['threads']} threads){bar}")
+print(f"compile: clone {c['clone_us_deep']:.1f} us -> instance_net "
+      f"{c['clone_us_instance']:.1f} us")
+previous = next((r["compile"] for r in reversed(trajectory["runs"][:-1]) if "compile" in r), None)
+if previous and previous.get("rows_per_sec_on"):
+    change = (c["rows_per_sec_on"] - previous["rows_per_sec_on"]) / previous["rows_per_sec_on"] * 100.0
+    flag = "  <-- regression?" if change < -10.0 else ""
+    print(f"compile throughput vs previous entry: {change:+.1f}%{flag}")
+EOF
