@@ -1,0 +1,99 @@
+// bench_arena.cpp — the attack↔defense arena on the paper's bench.
+//
+// Crosses the vanilla and detection-aware fault sneaking attacks against
+// the deployed defenses on the digits fc3 surface (S=2, R=100 — the
+// paper's headline budget) and reduces the rows into the evasion
+// frontier. Emits one JSON document on stdout for run_benches.sh to fold
+// into the BENCH trajectory: {rows, seconds, rows_per_sec, detect_rate,
+// evasion_rate, overhead_bytes, frontier}. Progress and the human-facing
+// frontier go to stderr.
+//
+// Exit code doubles as the acceptance guard for the detection-aware
+// solver: under the strict range deployment, fsa-l2-evasive must evade
+// strictly more often than vanilla fsa-l2 at the same (S, R) budget.
+#include <chrono>
+#include <cstdio>
+
+#include "backend/compute_backend.h"
+#include "dist/jobs.h"
+#include "dist/reducer.h"
+#include "engine/arena.h"
+#include "engine/sweep.h"
+#include "models/model_zoo.h"
+
+int main() {
+  using namespace fsa;
+  models::ZooConfig zc;
+  zc.verbose = false;  // stdout carries exactly one JSON document
+  models::ModelZoo zoo(zc);
+  engine::SweepRunner runner(zoo.digits(), zoo.cache_dir(), /*verbose=*/false);
+
+  engine::ArenaConfig cfg;
+  cfg.methods = {"fsa-l0", "fsa-l2", "fsa-l0-evasive", "fsa-l2-evasive"};
+  cfg.defenses = {defense::parse_defense("checksum/64"), defense::parse_defense("range/201/0.10"),
+                  defense::parse_defense("range/16/0")};
+  cfg.layer_sets = {{"fc3"}};
+  cfg.sr_pairs = {{2, 100}};
+  cfg.seeds = {9600};
+  const std::vector<engine::SweepSpec> specs = engine::arena_specs(cfg);
+
+  std::fprintf(stderr, "[bench_arena] %zu cells (4 methods x 3 defenses, S=2 R=100)...\n",
+               specs.size());
+  const auto start = std::chrono::steady_clock::now();
+  const engine::SweepResult result = runner.run(specs);
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start).count();
+
+  // Reduce through the arena reducer — the same canonical rows + frontier
+  // a job directory or the serve daemon would produce.
+  std::vector<std::size_t> indices(specs.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  eval::Json shard = eval::Json::object();
+  shard.set("kind", eval::Json::string("arena"));
+  shard.set("shard", eval::Json::number(std::int64_t{0}));
+  shard.set("rows", dist::sweep_rows_json(result, indices));
+  const eval::Json manifest = dist::arena_manifest("digits", backend::active_name(), specs);
+  const eval::Json reduced = dist::make_reducer("arena")->reduce(manifest, {shard});
+
+  std::int64_t detected = 0, evaded = 0, overhead = 0;
+  double vanilla_l2_evasion = 0.0, evasive_l2_evasion = 0.0;
+  for (const eval::Json& e : reduced.at("frontier").items()) {
+    detected += e.get_int("detected", 0);
+    evaded += e.get_int("evaded", 0);
+    overhead += e.get_int("overhead_bytes", 0);
+    std::fprintf(stderr, "[bench_arena] %s vs %s: detect %.0f%% evade %.0f%% (l0 %.0f, l2 %.3f)\n",
+                 e.get_string("method", "").c_str(), e.get_string("defense", "").c_str(),
+                 e.get_number("detect_rate", 0.0) * 100.0,
+                 e.get_number("evasion_rate", 0.0) * 100.0, e.get_number("mean_l0", 0.0),
+                 e.get_number("mean_l2", 0.0));
+    if (e.get_string("defense", "") == "range/16/0") {
+      if (e.get_string("method", "") == "fsa-l2")
+        vanilla_l2_evasion = e.get_number("evasion_rate", 0.0);
+      if (e.get_string("method", "") == "fsa-l2-evasive")
+        evasive_l2_evasion = e.get_number("evasion_rate", 0.0);
+    }
+  }
+  const auto rows = static_cast<std::int64_t>(reduced.at("rows").size());
+  const double n = static_cast<double>(rows);
+
+  eval::Json j = eval::Json::object();
+  j.set("rows", eval::Json::number(rows));
+  j.set("seconds", eval::Json::number(seconds));
+  j.set("rows_per_sec", eval::Json::number(n / seconds));
+  j.set("detect_rate", eval::Json::number(static_cast<double>(detected) / n));
+  j.set("evasion_rate", eval::Json::number(static_cast<double>(evaded) / n));
+  j.set("overhead_bytes", eval::Json::number(overhead));
+  j.set("frontier", reduced.at("frontier"));
+  std::printf("%s\n", j.dump(2).c_str());
+
+  std::fprintf(stderr, "[bench_arena] %lld rows in %.1fs (%.2f rows/s)\n",
+               static_cast<long long>(rows), seconds, n / seconds);
+  if (evasive_l2_evasion <= vanilla_l2_evasion) {
+    std::fprintf(stderr,
+                 "[bench_arena] FAIL: fsa-l2-evasive evasion %.2f <= vanilla %.2f under "
+                 "range/16/0 — the detection-aware solver lost its edge\n",
+                 evasive_l2_evasion, vanilla_l2_evasion);
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,10 @@ AdmmResult AdmmSolver::solve(const AttackSpec& spec, const AdmmConfig& cfg) {
   if (cfg.iterations <= 0) throw std::invalid_argument("AdmmSolver: iterations must be positive");
   const ParamMask& mask = grad_.mask();
   const std::int64_t d = mask.size();
+  if (cfg.evasion && cfg.evasion->has_box() &&
+      (static_cast<std::int64_t>(cfg.evasion->lo.numel()) != d ||
+       static_cast<std::int64_t>(cfg.evasion->hi.numel()) != d))
+    throw std::invalid_argument("AdmmSolver: evasion box must match the mask size");
   const std::int64_t r = spec.R();
   const double alpha = cfg.alpha > 0.0 ? cfg.alpha : cfg.rho / static_cast<double>(std::max<std::int64_t>(r, 1));
   const double denom = alpha * static_cast<double>(r) + cfg.rho;
@@ -42,6 +46,14 @@ AdmmResult AdmmSolver::solve(const AttackSpec& spec, const AdmmConfig& cfg) {
       case NormKind::kL1:
         z = prox_l1(v, cfg.rho);
         break;
+    }
+    // Detection-aware z-step: budget first (pick blocks from the raw
+    // prox output), then box (the kept coordinates land in the accepted
+    // envelope), so the early-stop candidate θ0+z is always evasive.
+    if (cfg.evasion) {
+      const EvasionConstraint& ev = *cfg.evasion;
+      if (ev.has_budget()) z = project_block_budget(z, ev.block_params, ev.max_blocks);
+      if (ev.has_box()) z = project_box(z, ev.lo, ev.hi);
     }
 
     // ---- δ-step (eq. 22) ----------------------------------------------------

@@ -12,6 +12,7 @@
 // ℓ0 and ℓ2 objectives; only the prox operator differs.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/head_gradient.h"
@@ -22,6 +23,27 @@ enum class NormKind {
   kL0,  ///< number of modified parameters (paper eq. 16)
   kL2,  ///< modification magnitude (paper eq. 18)
   kL1,  ///< extension: convex sparse surrogate (soft threshold)
+};
+
+/// Detection-aware constraint folded into the ADMM z-step (and honored by
+/// the refinement phase): keeps δ inside a deployed defense's accepted
+/// set DURING the solve instead of hoping post hoc. Both parts compose —
+/// the z-step applies the flip budget first, then the box.
+struct EvasionConstraint {
+  /// Per-coordinate δ box (flat mask space; empty = no box), from a
+  /// RangeGuard's widened group envelope: lo[i] = group_lo − θ0[i],
+  /// hi[i] = group_hi − θ0[i], so any in-box δ leaves θ0+δ in range and
+  /// sanitization never bites. Each interval must contain 0.
+  Tensor lo, hi;
+  /// Flip budget at checksum granularity: after the prox, keep only the
+  /// `max_blocks` contiguous blocks of `block_params` coordinates with
+  /// the highest energy (0 = unbudgeted), minimizing integrity regions
+  /// the attack trips.
+  std::int64_t block_params = 0;
+  std::int64_t max_blocks = 0;
+
+  [[nodiscard]] bool has_box() const { return lo.numel() > 0; }
+  [[nodiscard]] bool has_budget() const { return block_params > 0 && max_blocks > 0; }
 };
 
 struct AdmmConfig {
@@ -56,6 +78,11 @@ struct AdmmConfig {
   std::int64_t check_every = 25;  ///< evaluate the sparse candidate θ0+z
   std::int64_t patience = 2;      ///< consecutive satisfied checks → early stop
   bool verbose = false;
+  /// Optional detection-aware constraint (shared: AdmmConfig is copied
+  /// freely during escalation and the box tensors are large). Null for
+  /// the vanilla attack — the solve path is then bitwise identical to
+  /// pre-evasion builds.
+  std::shared_ptr<const EvasionConstraint> evasion;
 };
 
 struct AdmmResult {

@@ -1,5 +1,6 @@
 #include "core/fault_sneaking.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -42,8 +43,16 @@ Tensor FaultSneakingAttack::refine(const Tensor& delta, const AttackSpec& spec,
         res.eval.total_g == 0.0)
       break;  // all constraints hold with the demanded confidence margin
     const double lr = cfg.refine_lr / std::sqrt(1.0 + static_cast<double>(step) / 50.0);
+    // When the solve carried an evasion box, refinement must stay inside
+    // it — otherwise the gradient walk would undo the z-step's guarantee
+    // on the very last pass. (The budget survives for free: support is
+    // frozen to z's nonzeros, which already honor it.)
+    const EvasionConstraint* ev = cfg.admm.evasion.get();
+    const bool boxed = ev != nullptr && ev->has_box();
     for (std::size_t i : support) {
-      cur[i] -= static_cast<float>(lr * res.grad[i]);
+      float next = cur[i] - static_cast<float>(lr * res.grad[i]);
+      if (boxed) next = std::clamp(next, ev->lo[i], ev->hi[i]);
+      cur[i] = next;
       theta[i] = theta0_[i] + cur[i];
     }
   }

@@ -1,7 +1,10 @@
 #include "core/prox.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "backend/compute_backend.h"
 #include "tensor/ops.h"
@@ -46,6 +49,60 @@ Tensor prox_l2(const Tensor& v, double rho) {
   if (norm < 1.0 / rho) return Tensor::zeros(v.shape());
   const float shrink = static_cast<float>(1.0 - 1.0 / (rho * norm));
   return ops::scale(v, shrink);
+}
+
+Tensor project_block_budget(const Tensor& v, std::int64_t block_params, std::int64_t max_blocks) {
+  if (block_params <= 0) throw std::invalid_argument("project_block_budget: block_params must be > 0");
+  if (max_blocks <= 0) throw std::invalid_argument("project_block_budget: max_blocks must be > 0");
+  const auto n = static_cast<std::int64_t>(v.size());
+  const std::int64_t blocks = (n + block_params - 1) / block_params;
+  if (blocks <= max_blocks) return v;
+
+  // Serial over blocks: the block count is tiny next to n, and double
+  // accumulation in index order keeps energies bit-stable.
+  std::vector<std::pair<double, std::int64_t>> energy;
+  energy.reserve(static_cast<std::size_t>(blocks));
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const std::int64_t begin = b * block_params;
+    const std::int64_t end = std::min(n, begin + block_params);
+    double e = 0.0;
+    for (std::int64_t i = begin; i < end; ++i) {
+      const double vi = v[static_cast<std::size_t>(i)];
+      e += vi * vi;
+    }
+    energy.emplace_back(e, b);
+  }
+  std::sort(energy.begin(), energy.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  std::vector<char> keep(static_cast<std::size_t>(blocks), 0);
+  for (std::int64_t r = 0; r < max_blocks; ++r)
+    keep[static_cast<std::size_t>(energy[static_cast<std::size_t>(r)].second)] = 1;
+
+  Tensor z(v.shape());
+  backend::active().parallel_rows(n, 16384, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      z[ui] = keep[static_cast<std::size_t>(i / block_params)] ? v[ui] : 0.0f;
+    }
+  });
+  return z;
+}
+
+Tensor project_box(const Tensor& v, const Tensor& lo, const Tensor& hi) {
+  if (lo.size() != v.size() || hi.size() != v.size())
+    throw std::invalid_argument("project_box: bounds must match v's length");
+  Tensor z(v.shape());
+  backend::active().parallel_rows(static_cast<std::int64_t>(v.size()), 16384,
+                                  [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      z[ui] = std::clamp(v[ui], lo[ui], hi[ui]);
+    }
+  });
+  return z;
 }
 
 }  // namespace fsa::core

@@ -24,4 +24,15 @@ Tensor prox_l2(const Tensor& v, double rho);
 /// (sparse like ℓ0, convex like ℓ2), exposed as an extension.
 Tensor prox_l1(const Tensor& v, double rho);
 
+/// Flip-budget projection for checksum-granularity evasion: zero every
+/// coordinate outside the `max_blocks` contiguous blocks of
+/// `block_params` entries with the highest energy (Σv², accumulated in
+/// double; ties break toward the lower block index, so the result is
+/// deterministic for any thread count).
+Tensor project_block_budget(const Tensor& v, std::int64_t block_params, std::int64_t max_blocks);
+
+/// Elementwise projection of v onto the box [lo, hi]. The bounds must
+/// match v's length.
+Tensor project_box(const Tensor& v, const Tensor& lo, const Tensor& hi);
+
 }  // namespace fsa::core

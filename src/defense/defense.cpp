@@ -1,0 +1,202 @@
+#include "defense/defense.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "defense/defenses.h"
+
+namespace fsa::defense {
+
+namespace {
+
+/// Per-defense default granularity — the values the seed benches used, so
+/// "range" and "range/201" name the same deployment.
+std::int64_t default_granularity(const std::string& name) {
+  if (name == "checksum") return 64;
+  if (name == "range") return 201;
+  if (name == "canary") return 32;
+  return 0;
+}
+
+/// Canonical slack rendering: shortest round-trip form ("%g"), so key()
+/// strings are byte-stable across processes and locales never interfere.
+std::string slack_text(double slack) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", slack);
+  return buf;
+}
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, DefenseFactory> factories;
+
+  Registry() {
+    factories["checksum"] = [](const DefenseConfig& cfg) -> DefensePtr {
+      return std::make_unique<ChecksumDefense>(
+          cfg.granularity > 0 ? cfg.granularity : default_granularity("checksum"));
+    };
+    factories["range"] = [](const DefenseConfig& cfg) -> DefensePtr {
+      return std::make_unique<RangeDefense>(
+          cfg.granularity > 0 ? cfg.granularity : default_granularity("range"), cfg.slack);
+    };
+    factories["canary"] = [](const DefenseConfig& cfg) -> DefensePtr {
+      return std::make_unique<CanaryDefense>(
+          cfg.granularity > 0 ? cfg.granularity : default_granularity("canary"));
+    };
+    factories["ensemble"] = [](const DefenseConfig& cfg) -> DefensePtr {
+      std::vector<DefensePtr> members;
+      members.reserve(cfg.members.size());
+      for (const DefenseConfig& m : cfg.members) members.push_back(make_defense(m));
+      return std::make_unique<EnsembleDefense>(std::move(members));
+    };
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void validate(const DefenseConfig& config) {
+  if (config.granularity < 0)
+    throw std::invalid_argument("defense \"" + config.name + "\": granularity must be >= 0 (0 = default), got " +
+                                std::to_string(config.granularity));
+  if (config.slack < 0.0)
+    throw std::invalid_argument("defense \"" + config.name + "\": slack must be >= 0");
+  if (config.name == "ensemble") {
+    if (config.members.empty())
+      throw std::invalid_argument("defense \"ensemble\" needs at least one member config");
+  } else if (!config.members.empty()) {
+    throw std::invalid_argument("defense \"" + config.name +
+                                "\" takes no member configs (only \"ensemble\" composes)");
+  }
+}
+
+}  // namespace
+
+std::string DefenseConfig::key() const {
+  if (name == "ensemble") {
+    std::string out;
+    for (const DefenseConfig& m : members) out += (out.empty() ? "" : "+") + m.key();
+    return out;
+  }
+  const std::int64_t g = granularity > 0 ? granularity : default_granularity(name);
+  std::string out = name + "/" + std::to_string(g);
+  if (name == "range") out += "/" + slack_text(slack);
+  return out;
+}
+
+eval::Json DefenseConfig::to_json() const {
+  eval::Json j = eval::Json::object();
+  j.set("name", eval::Json::string(name));
+  if (granularity > 0) j.set("granularity", eval::Json::number(granularity));
+  if (name == "range") j.set("slack", eval::Json::number(slack));
+  if (!members.empty()) {
+    eval::Json arr = eval::Json::array();
+    for (const DefenseConfig& m : members) arr.push_back(m.to_json());
+    j.set("members", std::move(arr));
+  }
+  return j;
+}
+
+DefenseConfig DefenseConfig::from_json(const eval::Json& j) {
+  DefenseConfig c;
+  c.name = j.get_string("name", "range");
+  c.granularity = j.get_int("granularity", 0);
+  c.slack = j.get_number("slack", 0.10);
+  if (j.has("members"))
+    for (const eval::Json& m : j.at("members").items()) c.members.push_back(from_json(m));
+  return c;
+}
+
+DefenseConfig parse_defense(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("empty defense config");
+
+  // "+"-joined configs compose an ensemble.
+  if (text.find('+') != std::string::npos) {
+    DefenseConfig ensemble;
+    ensemble.name = "ensemble";
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+      const std::size_t plus = text.find('+', begin);
+      const std::size_t end = plus == std::string::npos ? text.size() : plus;
+      ensemble.members.push_back(parse_defense(text.substr(begin, end - begin)));
+      if (plus == std::string::npos) break;
+      begin = plus + 1;
+    }
+    return ensemble;
+  }
+
+  DefenseConfig c;
+  c.slack = 0.10;
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t slash = text.find('/', begin);
+    const std::size_t end = slash == std::string::npos ? text.size() : slash;
+    parts.push_back(text.substr(begin, end - begin));
+    if (slash == std::string::npos) break;
+    begin = slash + 1;
+  }
+  if (parts.empty() || parts.size() > 3 || parts[0].empty())
+    throw std::invalid_argument("malformed defense config \"" + text +
+                                "\" (expected name[/granularity[/slack]])");
+  c.name = parts[0];
+  try {
+    if (parts.size() > 1) c.granularity = std::stoll(parts[1]);
+    if (parts.size() > 2) c.slack = std::stod(parts[2]);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("malformed defense config \"" + text +
+                                "\" (granularity must be an integer, slack a number)");
+  }
+  // Fail on unknown names (and bad knobs) NOW — before any model loads.
+  (void)make_defense(c);
+  return c;
+}
+
+void register_defense(const std::string& name, DefenseFactory factory) {
+  if (name.empty()) throw std::invalid_argument("register_defense: empty name");
+  if (!factory) throw std::invalid_argument("register_defense: null factory");
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  r.factories[name] = std::move(factory);
+}
+
+DefensePtr make_defense(const DefenseConfig& config) {
+  validate(config);
+  DefenseFactory factory;
+  {
+    Registry& r = registry();
+    std::lock_guard lk(r.mu);
+    const auto it = r.factories.find(config.name);
+    if (it == r.factories.end()) {
+      std::string known;
+      for (const auto& [k, v] : r.factories) known += (known.empty() ? "" : ", ") + k;
+      throw std::invalid_argument("unknown defense \"" + config.name + "\" (known: " + known +
+                                  ")");
+    }
+    factory = it->second;
+  }
+  // Build outside the lock: the ensemble factory recurses into
+  // make_defense for its members.
+  return factory(config);
+}
+
+bool has_defense(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  return r.factories.count(name) > 0;
+}
+
+std::vector<std::string> defense_names() {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.factories.size());
+  for (const auto& [k, v] : r.factories) out.push_back(k);
+  return out;
+}
+
+}  // namespace fsa::defense

@@ -1,0 +1,119 @@
+// defense.h — the unified defense interface and registry.
+//
+// The paper's §2.3 countermeasures (integrity checks, range sanitization)
+// lived as two orphaned classes only a bench ever touched. Defense is the
+// seam that makes them first-class citizens of the engine, mirroring
+// Attacker/Injector/ComputeBackend: one polymorphic interface selected by
+// a string-keyed lazy registry, so the arena can cross every attacker
+// against every defense configuration without knowing concrete types.
+//
+// Lifecycle: make_defense(config) builds an UNARMED guard; snapshot(θ0)
+// arms it against the deployment-time parameters. verify() is const and
+// side-effect free — many sweep instances can share nothing and still
+// audit concurrently — and sanitize() is the repair pass (clamp/restore),
+// a no-op for detection-only guards like checksums.
+//
+// Costs are reported as deterministic ABSTRACT work, never wall time:
+// overhead_bytes() is the defender's storage bill and verify_cost() the
+// per-check work units (words hashed / compared). Both flow into sweep
+// rows and must be byte-stable across thread and worker counts, which
+// wall-clock numbers can never be.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/json.h"
+#include "tensor/tensor.h"
+
+namespace fsa::defense {
+
+/// Result of one verification pass over tampered parameters.
+struct VerifyOutcome {
+  bool detected = false;            ///< any check tripped
+  std::int64_t regions_flagged = 0; ///< blocks/groups/sentinels that tripped
+  std::int64_t violations = 0;      ///< parameter-level violations seen
+};
+
+/// A deployed parameter-integrity defense, selectable at runtime.
+class Defense {
+ public:
+  virtual ~Defense() = default;
+
+  /// Registry key of this defense ("checksum", "range", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Arm the guard against the deployment-time parameters. Must be called
+  /// exactly once before verify()/sanitize(); verify() throws otherwise.
+  virtual void snapshot(const Tensor& params) = 0;
+
+  /// Audit `params` against the snapshot. Const — auditing a shared
+  /// compiled prefix must never trigger Parameter-version COW repacks.
+  [[nodiscard]] virtual VerifyOutcome verify(const Tensor& params) const = 0;
+
+  /// Repair pass: project `params` back toward the accepted set in place
+  /// and return the number of entries repaired. Detection-only guards
+  /// (checksum) keep the default no-op — they know THAT memory changed,
+  /// not what it held.
+  virtual std::int64_t sanitize(Tensor& params) const {
+    (void)params;
+    return 0;
+  }
+
+  /// Defender's storage bill in bytes (snapshot metadata).
+  [[nodiscard]] virtual std::int64_t overhead_bytes() const = 0;
+
+  /// Abstract per-verification work units (words hashed / compared) — a
+  /// deterministic cost model, NOT wall time, so it reduces byte-stably.
+  [[nodiscard]] virtual std::int64_t verify_cost() const = 0;
+};
+
+using DefensePtr = std::unique_ptr<Defense>;
+
+/// Declarative defense selection: what a sweep spec / arena row carries.
+/// `granularity` is the defense's size knob (checksum block params, range
+/// group params, canary sentinel count); 0 selects the registered
+/// default. `slack` only matters to range-style guards. `members`
+/// composes an "ensemble" (its own granularity/slack are then unused).
+struct DefenseConfig {
+  std::string name = "range";
+  std::int64_t granularity = 0;
+  double slack = 0.10;
+  std::vector<DefenseConfig> members;
+
+  /// Canonical identity, e.g. "range/201/0.10" or
+  /// "checksum/64+range/201/0.10" (ensemble) — used as the arena row tag,
+  /// so it must be stable across processes.
+  [[nodiscard]] std::string key() const;
+
+  [[nodiscard]] eval::Json to_json() const;
+  static DefenseConfig from_json(const eval::Json& j);
+};
+
+/// Parse the CLI spelling of a defense config:
+///   name[/granularity[/slack]]            e.g. "checksum/64", "range/201/0.10"
+///   cfg+cfg[+cfg...]                      ensemble of the joined configs
+/// Throws std::invalid_argument (naming the registry) on unknown names or
+/// malformed numbers — strict, so a typo fails before any model loads.
+DefenseConfig parse_defense(const std::string& text);
+
+using DefenseFactory = std::function<DefensePtr(const DefenseConfig&)>;
+
+/// Register (or replace) a defense under `name`.
+void register_defense(const std::string& name, DefenseFactory factory);
+
+/// Build the (unarmed) defense for `config`. Throws std::invalid_argument
+/// listing the known defenses when the name is unknown, and validates the
+/// config (granularity ≥ 0, slack ≥ 0, ensembles non-empty) eagerly.
+DefensePtr make_defense(const DefenseConfig& config);
+
+/// True if `name` is registered.
+bool has_defense(const std::string& name);
+
+/// All registered defense names, sorted.
+std::vector<std::string> defense_names();
+
+}  // namespace fsa::defense

@@ -1,0 +1,179 @@
+#include "defense/defenses.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+
+#include "tensor/rng.h"
+
+namespace fsa::defense {
+
+namespace {
+
+/// Exact float identity, bit-for-bit: sentinel checks must see the same
+/// tampering a memory integrity check would, so value comparison goes
+/// through the stored bits (a -0.0f overwrite of 0.0f IS tampering).
+std::uint32_t float_bits(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+[[noreturn]] void throw_unarmed(const char* name) {
+  throw std::logic_error(std::string(name) + ": snapshot() must run before verify()/sanitize()");
+}
+
+}  // namespace
+
+// ---- ChecksumDefense ---------------------------------------------------------
+
+void ChecksumDefense::snapshot(const Tensor& params) {
+  total_params_ = params.numel();
+  guard_.emplace(params, block_params_);
+}
+
+VerifyOutcome ChecksumDefense::verify(const Tensor& params) const {
+  if (!guard_) throw_unarmed("ChecksumDefense");
+  const ChecksumGuard::VerifyResult res = guard_->verify(params);
+  VerifyOutcome out;
+  out.detected = res.detected;
+  out.regions_flagged = res.blocks_flagged;
+  out.violations = res.blocks_flagged;  // a CRC localizes to blocks, not params
+  return out;
+}
+
+std::int64_t ChecksumDefense::overhead_bytes() const {
+  if (!guard_) throw_unarmed("ChecksumDefense");
+  return guard_->overhead_bytes();
+}
+
+// ---- RangeDefense ------------------------------------------------------------
+
+void RangeDefense::snapshot(const Tensor& params) {
+  total_params_ = params.numel();
+  guard_.emplace(params, group_params_, slack_);
+}
+
+const RangeGuard& RangeDefense::guard() const {
+  if (!guard_) throw_unarmed("RangeDefense");
+  return *guard_;
+}
+
+VerifyOutcome RangeDefense::verify(const Tensor& params) const {
+  if (!guard_) throw_unarmed("RangeDefense");
+  const RangeGuard::SanitizeResult res = guard_->check(params);
+  VerifyOutcome out;
+  out.detected = res.alarm;
+  out.regions_flagged = res.groups_flagged;
+  out.violations = res.out_of_range;
+  return out;
+}
+
+std::int64_t RangeDefense::sanitize(Tensor& params) const {
+  if (!guard_) throw_unarmed("RangeDefense");
+  return guard_->sanitize(params, /*clamp=*/true).clamped;
+}
+
+std::int64_t RangeDefense::overhead_bytes() const {
+  if (!guard_) throw_unarmed("RangeDefense");
+  return guard_->overhead_bytes();
+}
+
+// ---- CanaryDefense -----------------------------------------------------------
+
+void CanaryDefense::snapshot(const Tensor& params) {
+  if (sentinels_ <= 0) throw std::invalid_argument("CanaryDefense: sentinel count must be > 0");
+  total_params_ = params.numel();
+  const auto n = static_cast<std::uint64_t>(total_params_);
+  const std::int64_t k = std::min<std::int64_t>(sentinels_, total_params_);
+
+  // Sentinel placement is a pure function of (K, n): every process —
+  // coordinator, shard worker, serve daemon — audits the same positions,
+  // which the reduced-JSON byte-identity contract requires.
+  SplitMix64 mix(0xCA4A12F00DULL ^ (n << 16) ^ static_cast<std::uint64_t>(k));
+  std::set<std::int64_t> chosen;
+  while (static_cast<std::int64_t>(chosen.size()) < k)
+    chosen.insert(static_cast<std::int64_t>(mix.next() % n));
+
+  indices_.assign(chosen.begin(), chosen.end());
+  reference_.clear();
+  reference_.reserve(indices_.size());
+  for (const std::int64_t i : indices_)
+    reference_.push_back(float_bits(params[static_cast<std::size_t>(i)]));
+}
+
+VerifyOutcome CanaryDefense::verify(const Tensor& params) const {
+  if (reference_.empty() && indices_.empty()) throw_unarmed("CanaryDefense");
+  if (params.numel() != total_params_)
+    throw std::invalid_argument("CanaryDefense::verify: parameter count changed");
+  VerifyOutcome out;
+  for (std::size_t s = 0; s < indices_.size(); ++s) {
+    if (float_bits(params[static_cast<std::size_t>(indices_[s])]) != reference_[s]) {
+      out.detected = true;
+      ++out.regions_flagged;
+      ++out.violations;
+    }
+  }
+  return out;
+}
+
+std::int64_t CanaryDefense::sanitize(Tensor& params) const {
+  if (reference_.empty() && indices_.empty()) throw_unarmed("CanaryDefense");
+  if (params.numel() != total_params_)
+    throw std::invalid_argument("CanaryDefense::sanitize: parameter count changed");
+  std::int64_t restored = 0;
+  for (std::size_t s = 0; s < indices_.size(); ++s) {
+    float& v = params[static_cast<std::size_t>(indices_[s])];
+    if (float_bits(v) != reference_[s]) {
+      std::memcpy(&v, &reference_[s], sizeof(float));
+      ++restored;
+    }
+  }
+  return restored;
+}
+
+// ---- EnsembleDefense ---------------------------------------------------------
+
+EnsembleDefense::EnsembleDefense(std::vector<DefensePtr> members)
+    : members_(std::move(members)) {
+  if (members_.empty())
+    throw std::invalid_argument("EnsembleDefense: needs at least one member");
+  for (const DefensePtr& m : members_)
+    if (!m) throw std::invalid_argument("EnsembleDefense: null member");
+}
+
+void EnsembleDefense::snapshot(const Tensor& params) {
+  for (const DefensePtr& m : members_) m->snapshot(params);
+}
+
+VerifyOutcome EnsembleDefense::verify(const Tensor& params) const {
+  VerifyOutcome out;
+  for (const DefensePtr& m : members_) {
+    const VerifyOutcome part = m->verify(params);
+    out.detected = out.detected || part.detected;
+    out.regions_flagged += part.regions_flagged;
+    out.violations += part.violations;
+  }
+  return out;
+}
+
+std::int64_t EnsembleDefense::sanitize(Tensor& params) const {
+  std::int64_t total = 0;
+  for (const DefensePtr& m : members_) total += m->sanitize(params);
+  return total;
+}
+
+std::int64_t EnsembleDefense::overhead_bytes() const {
+  std::int64_t total = 0;
+  for (const DefensePtr& m : members_) total += m->overhead_bytes();
+  return total;
+}
+
+std::int64_t EnsembleDefense::verify_cost() const {
+  std::int64_t total = 0;
+  for (const DefensePtr& m : members_) total += m->verify_cost();
+  return total;
+}
+
+}  // namespace fsa::defense

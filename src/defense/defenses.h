@@ -1,0 +1,122 @@
+// defenses.h — the built-in Defense adapters.
+//
+// Checksum and Range adapt the seed guards (checksum_guard.h,
+// range_guard.h) behind the unified interface; Canary is a new
+// weight-sentinel guard (spot-check K pseudo-random parameters instead of
+// hashing everything — the cheap end of the detection/cost frontier); and
+// Ensemble composes any of them with OR-detection and summed costs.
+// Concrete classes are exposed (not just the registry) so tests and
+// benches can configure one directly.
+#pragma once
+
+#include <optional>
+
+#include "defense/checksum_guard.h"
+#include "defense/defense.h"
+#include "defense/range_guard.h"
+
+namespace fsa::defense {
+
+/// CRC32 integrity blocks (registry key "checksum"). Detects ANY stored
+/// change; the granularity knob trades localization against overhead.
+/// Detection-only: a hash knows memory changed, not what it held, so
+/// sanitize() is the inherited no-op.
+class ChecksumDefense final : public Defense {
+ public:
+  explicit ChecksumDefense(std::int64_t block_params) : block_params_(block_params) {}
+
+  [[nodiscard]] std::string name() const override { return "checksum"; }
+  void snapshot(const Tensor& params) override;
+  [[nodiscard]] VerifyOutcome verify(const Tensor& params) const override;
+  [[nodiscard]] std::int64_t overhead_bytes() const override;
+  [[nodiscard]] std::int64_t verify_cost() const override { return total_params_; }
+
+  /// Integrity-block granularity — detection-aware attackers match their
+  /// flip budget to it.
+  [[nodiscard]] std::int64_t block_params() const { return block_params_; }
+
+ private:
+  std::int64_t block_params_;
+  std::int64_t total_params_ = 0;
+  std::optional<ChecksumGuard> guard_;
+};
+
+/// Per-group value-range sanitization (registry key "range"). Blind to
+/// in-range modifications — the paper's sobering result — but the only
+/// built-in defense that can REPAIR: sanitize() clamps violators back
+/// onto the trained envelope.
+class RangeDefense final : public Defense {
+ public:
+  RangeDefense(std::int64_t group_params, double slack)
+      : group_params_(group_params), slack_(slack) {}
+
+  [[nodiscard]] std::string name() const override { return "range"; }
+  void snapshot(const Tensor& params) override;
+  [[nodiscard]] VerifyOutcome verify(const Tensor& params) const override;
+  std::int64_t sanitize(Tensor& params) const override;
+  [[nodiscard]] std::int64_t overhead_bytes() const override;
+  [[nodiscard]] std::int64_t verify_cost() const override { return total_params_; }
+
+  /// The armed guard (throws if snapshot() has not run) — detection-aware
+  /// attackers read its per-group bounds to build their evasion box.
+  [[nodiscard]] const RangeGuard& guard() const;
+
+ private:
+  std::int64_t group_params_;
+  double slack_;
+  std::int64_t total_params_ = 0;
+  std::optional<RangeGuard> guard_;
+};
+
+/// Weight sentinels (registry key "canary"): remember the exact bits of K
+/// pseudo-randomly placed parameters and spot-check only those. O(K)
+/// verification instead of O(params) — the defender's cheap periodic
+/// check — at the price of probabilistic coverage: a sparse δ that misses
+/// every sentinel is invisible. Sentinel placement derives from (K,
+/// param count) alone, so every process audits the same positions.
+class CanaryDefense final : public Defense {
+ public:
+  explicit CanaryDefense(std::int64_t sentinels) : sentinels_(sentinels) {}
+
+  [[nodiscard]] std::string name() const override { return "canary"; }
+  void snapshot(const Tensor& params) override;
+  [[nodiscard]] VerifyOutcome verify(const Tensor& params) const override;
+  std::int64_t sanitize(Tensor& params) const override;
+  /// One 8-byte index plus one 4-byte value per sentinel.
+  [[nodiscard]] std::int64_t overhead_bytes() const override {
+    return static_cast<std::int64_t>(indices_.size()) * 12;
+  }
+  [[nodiscard]] std::int64_t verify_cost() const override {
+    return static_cast<std::int64_t>(indices_.size());
+  }
+
+  [[nodiscard]] const std::vector<std::int64_t>& sentinel_indices() const { return indices_; }
+
+ private:
+  std::int64_t sentinels_;
+  std::int64_t total_params_ = 0;
+  std::vector<std::int64_t> indices_;    ///< sorted sentinel positions
+  std::vector<std::uint32_t> reference_; ///< exact float bits at snapshot
+};
+
+/// OR-composition (registry key "ensemble"): detected if ANY member
+/// detects, sanitize passes run in member order, storage and verify
+/// costs sum — the defender's layered deployment as one Defense.
+class EnsembleDefense final : public Defense {
+ public:
+  explicit EnsembleDefense(std::vector<DefensePtr> members);
+
+  [[nodiscard]] std::string name() const override { return "ensemble"; }
+  void snapshot(const Tensor& params) override;
+  [[nodiscard]] VerifyOutcome verify(const Tensor& params) const override;
+  std::int64_t sanitize(Tensor& params) const override;
+  [[nodiscard]] std::int64_t overhead_bytes() const override;
+  [[nodiscard]] std::int64_t verify_cost() const override;
+
+  [[nodiscard]] const std::vector<DefensePtr>& members() const { return members_; }
+
+ private:
+  std::vector<DefensePtr> members_;
+};
+
+}  // namespace fsa::defense

@@ -26,25 +26,39 @@ RangeGuard::RangeGuard(const Tensor& params, std::int64_t group_params, double s
 }
 
 RangeGuard::SanitizeResult RangeGuard::sanitize(Tensor& params, bool clamp) const {
+  return scan(params, clamp ? &params : nullptr);
+}
+
+RangeGuard::SanitizeResult RangeGuard::check(const Tensor& params) const {
+  return scan(params, nullptr);
+}
+
+// Shared audit loop: counts violations against the recorded ranges and,
+// when `clamp_into` is non-null, projects violators back onto the group
+// boundary in place. `clamp_into`, when given, aliases `params`.
+RangeGuard::SanitizeResult RangeGuard::scan(const Tensor& params, Tensor* clamp_into) const {
   if (params.numel() != total_params_)
-    throw std::invalid_argument("RangeGuard::sanitize: parameter count changed");
+    throw std::invalid_argument("RangeGuard: parameter count changed");
   SanitizeResult out;
   for (std::int64_t b = 0; b < group_count(); ++b) {
     const std::int64_t begin = b * group_params_;
     const std::int64_t end = std::min(total_params_, begin + group_params_);
     const float lo = lo_[static_cast<std::size_t>(b)];
     const float hi = hi_[static_cast<std::size_t>(b)];
+    bool group_hit = false;
     for (std::int64_t i = begin; i < end; ++i) {
-      float& v = params[static_cast<std::size_t>(i)];
+      const float v = params[static_cast<std::size_t>(i)];
       if (v < lo || v > hi) {
         ++out.out_of_range;
         out.alarm = true;
-        if (clamp) {
-          v = std::clamp(v, lo, hi);
+        group_hit = true;
+        if (clamp_into != nullptr) {
+          (*clamp_into)[static_cast<std::size_t>(i)] = std::clamp(v, lo, hi);
           ++out.clamped;
         }
       }
     }
+    if (group_hit) ++out.groups_flagged;
   }
   return out;
 }

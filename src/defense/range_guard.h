@@ -24,23 +24,40 @@ class RangeGuard {
   RangeGuard(const Tensor& params, std::int64_t group_params, double slack = 0.10);
 
   struct SanitizeResult {
-    std::int64_t out_of_range = 0;  ///< entries outside their group range
-    std::int64_t clamped = 0;       ///< == out_of_range when clamping enabled
-    bool alarm = false;             ///< any violation seen
+    std::int64_t out_of_range = 0;   ///< entries outside their group range
+    std::int64_t clamped = 0;        ///< == out_of_range when clamping enabled
+    std::int64_t groups_flagged = 0; ///< groups containing a violation
+    bool alarm = false;              ///< any violation seen
   };
 
   /// Check `params` against the recorded ranges; if `clamp` is true,
   /// project violating entries back onto the range boundary in place.
   SanitizeResult sanitize(Tensor& params, bool clamp = true) const;
 
+  /// Audit-only path: identical counts to sanitize(params, false) but
+  /// const all the way down, so a guard can audit a shared compiled
+  /// prefix without triggering Parameter-version COW repacks.
+  [[nodiscard]] SanitizeResult check(const Tensor& params) const;
+
   [[nodiscard]] std::int64_t group_count() const {
     return static_cast<std::int64_t>(lo_.size());
   }
+  [[nodiscard]] std::int64_t group_params() const { return group_params_; }
+
+  /// Recorded (slack-widened) bounds of group `g` — detection-aware
+  /// attackers fold these into the ADMM prox step as a δ box.
+  [[nodiscard]] float group_lo(std::int64_t g) const { return lo_[static_cast<std::size_t>(g)]; }
+  [[nodiscard]] float group_hi(std::int64_t g) const { return hi_[static_cast<std::size_t>(g)]; }
+
+  /// The group that owns flat parameter index `i`.
+  [[nodiscard]] std::int64_t group_of(std::int64_t i) const { return i / group_params_; }
 
   /// Defense storage overhead in bytes (two floats per group).
   [[nodiscard]] std::int64_t overhead_bytes() const { return group_count() * 8; }
 
  private:
+  SanitizeResult scan(const Tensor& params, Tensor* clamp_into) const;
+
   std::int64_t total_params_;
   std::int64_t group_params_;
   std::vector<float> lo_, hi_;

@@ -47,9 +47,9 @@ JobDir::JobDir(std::string path, std::string kind, int shards)
 
 JobDir JobDir::create(const std::string& path, const std::string& kind, int shards,
                       const eval::Json& manifest) {
-  if (kind != "campaign" && kind != "sweep")
+  if (kind != "arena" && kind != "campaign" && kind != "sweep")
     throw std::invalid_argument("JobDir: unknown job kind \"" + kind +
-                                "\" (known: campaign, sweep)");
+                                "\" (known: arena, campaign, sweep)");
   if (shards < 1)
     throw std::invalid_argument("JobDir: shard count must be >= 1, got " +
                                 std::to_string(shards));
@@ -73,7 +73,7 @@ JobDir JobDir::open(const std::string& path) {
   const eval::Json spec = read_json_file((fs::path(path) / "job.json").string());
   const std::string kind = spec.get_string("kind", "");
   const int shards = static_cast<int>(spec.get_int("shards", 0));
-  if ((kind != "campaign" && kind != "sweep") || shards < 1)
+  if ((kind != "arena" && kind != "campaign" && kind != "sweep") || shards < 1)
     throw std::runtime_error("JobDir: " + path + "/job.json is malformed");
   JobDir job(path, kind, shards);
   // Resume hygiene: crashed writers leave `*.tmp.<pid>` staging files

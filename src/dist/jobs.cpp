@@ -100,6 +100,16 @@ eval::Json sweep_manifest(const std::string& dataset, const std::string& backend
   return j;
 }
 
+eval::Json arena_manifest(const std::string& dataset, const std::string& backend,
+                          const std::vector<engine::SweepSpec>& specs) {
+  for (const engine::SweepSpec& s : specs)
+    if (!s.defense)
+      throw std::invalid_argument("dist: arena manifest requires a defense on every spec");
+  eval::Json j = sweep_manifest(dataset, backend, specs);
+  j.set("kind", eval::Json::string("arena"));
+  return j;
+}
+
 JobDir create_sweep_job(const std::string& dir, const eval::Json& manifest) {
   return JobDir::create(dir, "sweep", manifest_shards(manifest), manifest);
 }
@@ -125,7 +135,9 @@ eval::Json run_sweep_shard(const eval::Json& manifest, int index, engine::SweepR
   eval::Json rows = eval::Json::array();
   if (!specs.empty()) rows = sweep_rows_json(runner.run(specs), indices);
   eval::Json out = eval::Json::object();
-  out.set("kind", eval::Json::string("sweep"));
+  // Arena jobs run the same worker path; the shard result echoes the
+  // manifest's kind so the job directory stays self-describing.
+  out.set("kind", eval::Json::string(manifest.get_string("kind", "sweep")));
   out.set("shard", eval::Json::number(static_cast<std::int64_t>(index)));
   out.set("rows", std::move(rows));
   return out;

@@ -51,6 +51,12 @@ eval::Json run_campaign_shard(const eval::Json& manifest, int index);
 eval::Json sweep_manifest(const std::string& dataset, const std::string& backend,
                           const std::vector<engine::SweepSpec>& specs);
 
+/// A sweep manifest with kind "arena": same shard layout and worker
+/// behavior (run_sweep_shard serves both kinds), but the reducer also
+/// aggregates the evasion frontier. Every spec must carry a defense.
+eval::Json arena_manifest(const std::string& dataset, const std::string& backend,
+                          const std::vector<engine::SweepSpec>& specs);
+
 /// Lay a sweep manifest out as a job directory.
 JobDir create_sweep_job(const std::string& dir, const eval::Json& manifest);
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "engine/arena.h"
 #include "faultsim/injector.h"
 #include "faultsim/profile.h"
 
@@ -72,35 +73,59 @@ struct RowKey {
   [[nodiscard]] auto tie() const { return std::tie(method, surface, S, R, seed, tag, index); }
 };
 
+/// Shared row reduction for sweep-shaped jobs: union every shard's rows,
+/// sort canonically, scrub the nondeterministic solve wall time.
+eval::Json reduce_rows(const char* kind, const eval::Json& manifest,
+                       const std::vector<eval::Json>& shard_results) {
+  std::vector<eval::Json> rows;
+  for (const eval::Json& r : shard_results)
+    if (r.has("rows"))
+      for (const eval::Json& row : r.at("rows").items()) rows.push_back(row);
+  std::sort(rows.begin(), rows.end(),
+            [](const eval::Json& a, const eval::Json& b) { return RowKey(a).tie() < RowKey(b).tie(); });
+
+  eval::Json arr = eval::Json::array();
+  for (eval::Json& row : rows) {
+    // Solve wall time is the one nondeterministic field in a row; zero it
+    // so the reduced document is canonical. (Campaign seconds stay: they
+    // are recomputed from exact integer counters.)
+    row.set("seconds", eval::Json::number(0.0));
+    arr.push_back(std::move(row));
+  }
+
+  eval::Json out = eval::Json::object();
+  out.set("kind", eval::Json::string(kind));
+  out.set("dataset", eval::Json::string(manifest.get_string("dataset", "")));
+  out.set("backend", eval::Json::string(manifest.get_string("backend", "")));
+  out.set("shards", eval::Json::number(manifest.get_int("shards",
+              static_cast<std::int64_t>(shard_results.size()))));
+  out.set("rows", std::move(arr));
+  return out;
+}
+
 class SweepReducer final : public Reducer {
  public:
   [[nodiscard]] std::string kind() const override { return "sweep"; }
 
   [[nodiscard]] eval::Json reduce(const eval::Json& manifest,
                                   const std::vector<eval::Json>& shard_results) const override {
-    std::vector<eval::Json> rows;
-    for (const eval::Json& r : shard_results)
-      if (r.has("rows"))
-        for (const eval::Json& row : r.at("rows").items()) rows.push_back(row);
-    std::sort(rows.begin(), rows.end(),
-              [](const eval::Json& a, const eval::Json& b) { return RowKey(a).tie() < RowKey(b).tie(); });
+    return reduce_rows("sweep", manifest, shard_results);
+  }
+};
 
-    eval::Json arr = eval::Json::array();
-    for (eval::Json& row : rows) {
-      // Solve wall time is the one nondeterministic field in a row; zero it
-      // so the reduced document is canonical. (Campaign seconds stay: they
-      // are recomputed from exact integer counters.)
-      row.set("seconds", eval::Json::number(0.0));
-      arr.push_back(std::move(row));
-    }
+// ---- arena -------------------------------------------------------------------
 
-    eval::Json out = eval::Json::object();
-    out.set("kind", eval::Json::string("sweep"));
-    out.set("dataset", eval::Json::string(manifest.get_string("dataset", "")));
-    out.set("backend", eval::Json::string(manifest.get_string("backend", "")));
-    out.set("shards", eval::Json::number(manifest.get_int("shards",
-                static_cast<std::int64_t>(shard_results.size()))));
-    out.set("rows", std::move(arr));
+/// Sweep reduction plus the evasion frontier, aggregated from the
+/// CANONICAL row order so the frontier is as worker-count-invariant as
+/// the rows it summarizes.
+class ArenaReducer final : public Reducer {
+ public:
+  [[nodiscard]] std::string kind() const override { return "arena"; }
+
+  [[nodiscard]] eval::Json reduce(const eval::Json& manifest,
+                                  const std::vector<eval::Json>& shard_results) const override {
+    eval::Json out = reduce_rows("arena", manifest, shard_results);
+    out.set("frontier", engine::arena_frontier(out.at("rows")));
     return out;
   }
 };
@@ -108,10 +133,11 @@ class SweepReducer final : public Reducer {
 }  // namespace
 
 std::unique_ptr<Reducer> make_reducer(const std::string& kind) {
+  if (kind == "arena") return std::make_unique<ArenaReducer>();
   if (kind == "campaign") return std::make_unique<CampaignReducer>();
   if (kind == "sweep") return std::make_unique<SweepReducer>();
   throw std::invalid_argument("unknown reducer kind \"" + kind +
-                              "\" (known: campaign, sweep)");
+                              "\" (known: arena, campaign, sweep)");
 }
 
 eval::Json reduce_job(const JobDir& job) {

@@ -1,0 +1,88 @@
+#include "engine/arena.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "engine/registry.h"
+
+namespace fsa::engine {
+
+std::vector<SweepSpec> arena_specs(const ArenaConfig& config) {
+  if (config.methods.empty()) throw std::invalid_argument("arena: empty method list");
+  if (config.defenses.empty())
+    throw std::invalid_argument("arena: needs at least one deployed defense");
+  if (config.layer_sets.empty()) throw std::invalid_argument("arena: empty layer-set list");
+  if (config.sr_pairs.empty()) throw std::invalid_argument("arena: empty (S,R) pair list");
+  if (config.seeds.empty()) throw std::invalid_argument("arena: empty seed list");
+  for (const std::string& m : config.methods)
+    (void)make_attacker(m);  // throws listing known methods
+  for (const defense::DefenseConfig& d : config.defenses) (void)defense::make_defense(d);
+
+  std::vector<SweepSpec> out;
+  for (const std::string& method : config.methods)
+    for (const defense::DefenseConfig& d : config.defenses)
+      for (const std::vector<std::string>& layers : config.layer_sets)
+        for (const auto& [s, r] : config.sr_pairs)
+          for (const std::uint64_t seed : config.seeds) {
+            SweepSpec spec;
+            spec.method = method;
+            spec.layers = layers;
+            spec.weights = config.weights;
+            spec.biases = config.biases;
+            spec.S = s;
+            spec.R = r;
+            spec.seed = seed;
+            spec.policy = config.policy;
+            spec.tag = d.key();
+            spec.measure_accuracy = config.measure_accuracy;
+            spec.campaign = config.campaign;
+            spec.defense = d;
+            out.push_back(std::move(spec));
+          }
+  return out;
+}
+
+eval::Json arena_frontier(const eval::Json& rows) {
+  struct Agg {
+    std::int64_t rows = 0, detected = 0, evaded = 0;
+    std::int64_t overhead_bytes = 0, verify_cost = 0;
+    double sum_l0 = 0.0, sum_l2 = 0.0;
+  };
+  // std::map iterates sorted by (method, defense), which fixes the
+  // frontier's entry order; per-group sums accumulate in row order, which
+  // the canonical row sort fixes — so the aggregation is byte-stable.
+  std::map<std::pair<std::string, std::string>, Agg> groups;
+  for (const eval::Json& row : rows.items()) {
+    if (!row.has("defense") || row.at("defense").is_null()) continue;
+    const eval::Json& d = row.at("defense");
+    Agg& g = groups[{row.get_string("method", ""), d.get_string("defense", "")}];
+    ++g.rows;
+    if (d.get_bool("detected", false)) ++g.detected;
+    if (d.get_bool("evaded", false)) ++g.evaded;
+    g.overhead_bytes = d.get_int("overhead_bytes", 0);
+    g.verify_cost = d.get_int("verify_cost", 0);
+    g.sum_l0 += static_cast<double>(row.get_int("l0", 0));
+    g.sum_l2 += row.get_number("l2", 0.0);
+  }
+
+  eval::Json out = eval::Json::array();
+  for (const auto& [key, g] : groups) {
+    eval::Json e = eval::Json::object();
+    e.set("method", eval::Json::string(key.first));
+    e.set("defense", eval::Json::string(key.second));
+    e.set("rows", eval::Json::number(g.rows));
+    e.set("detected", eval::Json::number(g.detected));
+    e.set("evaded", eval::Json::number(g.evaded));
+    const double n = static_cast<double>(g.rows);
+    e.set("detect_rate", eval::Json::number(static_cast<double>(g.detected) / n));
+    e.set("evasion_rate", eval::Json::number(static_cast<double>(g.evaded) / n));
+    e.set("mean_l0", eval::Json::number(g.sum_l0 / n));
+    e.set("mean_l2", eval::Json::number(g.sum_l2 / n));
+    e.set("overhead_bytes", eval::Json::number(g.overhead_bytes));
+    e.set("verify_cost", eval::Json::number(g.verify_cost));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace fsa::engine

@@ -1,0 +1,54 @@
+// arena.h — the attack↔defense arena.
+//
+// The paper evaluates attacks against two countermeasures one bench at a
+// time; the arena closes the loop as a first-class grid: every attack
+// method meets every deployed defense on every (surface × (S,R) × seed)
+// cell, each row's realized δ is audited/sanitized by the row's guard
+// (engine/sweep.cpp's defense pass), and the reduced rows aggregate into
+// the evasion frontier — per (method × defense) detect/evasion rates
+// against defender storage and verification costs. Arena grids ride the
+// sweep machinery end to end (SweepRunner locally, "arena" dist jobs
+// across processes), so they inherit the determinism contract: reduced
+// documents are byte-identical for any worker or thread count.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "defense/defense.h"
+#include "engine/sweep.h"
+
+namespace fsa::engine {
+
+/// Declarative attack↔defense cross.
+struct ArenaConfig {
+  std::vector<std::string> methods = {"fsa-l0", "fsa-l2"};
+  std::vector<defense::DefenseConfig> defenses;  ///< deployed guards (>= 1 required)
+  std::vector<std::vector<std::string>> layer_sets = {{"fc3"}};
+  bool weights = true, biases = true;
+  std::vector<std::pair<std::int64_t, std::int64_t>> sr_pairs = {{2, 100}};
+  std::vector<std::uint64_t> seeds = {1};
+  core::TargetPolicy policy = core::TargetPolicy::kRandom;
+  bool measure_accuracy = false;  ///< rates, not accuracy, are the arena's output
+  std::optional<CampaignConfig> campaign;  ///< lower δ through a storage format first
+};
+
+/// Expand the cross into SweepSpecs — method → defense → surface → (S,R)
+/// → seed, with each row tagged by its defense's canonical key so the
+/// deployment survives the dist round trip inside the row sort key.
+/// Validates every method and defense name eagerly (throws the registry
+/// unknown-name errors before any model loads).
+std::vector<SweepSpec> arena_specs(const ArenaConfig& config);
+
+/// Aggregate arena rows (a JSON array of AttackReport objects carrying
+/// "defense" outcomes) into the evasion frontier: one entry per (method ×
+/// defense), sorted by that pair, with rows/detected/evaded counts,
+/// detect_rate/evasion_rate, mean realized ‖δ‖₀/‖δ‖₂, and the defender's
+/// overhead_bytes/verify_cost. A pure function of the row set — reduced
+/// documents present rows canonically sorted, so every worker count
+/// reproduces the frontier byte-identically.
+eval::Json arena_frontier(const eval::Json& rows);
+
+}  // namespace fsa::engine

@@ -36,6 +36,36 @@ CampaignSummary CampaignSummary::from_json(const eval::Json& j) {
   return c;
 }
 
+eval::Json DefenseOutcome::to_json() const {
+  eval::Json j = eval::Json::object();
+  j.set("defense", eval::Json::string(defense));
+  j.set("detected_pre", eval::Json::boolean(detected_pre));
+  j.set("detected_post", eval::Json::boolean(detected_post));
+  j.set("detected", eval::Json::boolean(detected));
+  j.set("evaded", eval::Json::boolean(evaded));
+  j.set("regions_flagged", eval::Json::number(regions_flagged));
+  j.set("sanitize_clamped", eval::Json::number(sanitize_clamped));
+  j.set("faults_after_sanitize", eval::Json::number(faults_after_sanitize));
+  j.set("overhead_bytes", eval::Json::number(overhead_bytes));
+  j.set("verify_cost", eval::Json::number(verify_cost));
+  return j;
+}
+
+DefenseOutcome DefenseOutcome::from_json(const eval::Json& j) {
+  DefenseOutcome d;
+  d.defense = j.get_string("defense", "");
+  d.detected_pre = j.get_bool("detected_pre", false);
+  d.detected_post = j.get_bool("detected_post", false);
+  d.detected = j.get_bool("detected", false);
+  d.evaded = j.get_bool("evaded", false);
+  d.regions_flagged = j.get_int("regions_flagged", 0);
+  d.sanitize_clamped = j.get_int("sanitize_clamped", 0);
+  d.faults_after_sanitize = j.get_int("faults_after_sanitize", 0);
+  d.overhead_bytes = j.get_int("overhead_bytes", 0);
+  d.verify_cost = j.get_int("verify_cost", 0);
+  return d;
+}
+
 eval::Json AttackReport::to_json() const {
   eval::Json j = eval::Json::object();
   j.set("method", eval::Json::string(method));
@@ -66,6 +96,7 @@ eval::Json AttackReport::to_json() const {
   // way reducers scrub wall times).
   j.set("compiled", eval::Json::boolean(compiled));
   if (campaign) j.set("campaign", campaign->to_json());
+  if (defense) j.set("defense", defense->to_json());
   return j;
 }
 
@@ -97,6 +128,8 @@ AttackReport AttackReport::from_json(const eval::Json& j) {
   r.compiled = j.get_bool("compiled", false);
   if (j.has("campaign") && !j.at("campaign").is_null())
     r.campaign = CampaignSummary::from_json(j.at("campaign"));
+  if (j.has("defense") && !j.at("defense").is_null())
+    r.defense = DefenseOutcome::from_json(j.at("defense"));
   return r;
 }
 

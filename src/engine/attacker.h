@@ -49,6 +49,28 @@ struct CampaignSummary {
   static CampaignSummary from_json(const eval::Json& j);
 };
 
+/// Optional defense stage of an attack report: one deployed Defense
+/// (defense/defense.h) audited the attacked parameters both before and
+/// after storage-format lowering (quantization realization counts — a δ
+/// that rounds away in int8 can't trip a checksum), then ran its
+/// sanitize pass, and the surviving faults were re-measured. This is the
+/// arena's per-row ground truth for the evasion frontier.
+struct DefenseOutcome {
+  std::string defense;                   ///< DefenseConfig::key() of the deployed guard
+  bool detected_pre = false;             ///< alarm on θ0 + δ (pre-lowering)
+  bool detected_post = false;            ///< alarm on the stored (lowered) parameters
+  bool detected = false;                 ///< detected_pre || detected_post
+  bool evaded = false;                   ///< undetected AND all S faults survive sanitization
+  std::int64_t regions_flagged = 0;      ///< guard regions flagged on the stored parameters
+  std::int64_t sanitize_clamped = 0;     ///< entries repaired by the sanitize pass
+  std::int64_t faults_after_sanitize = 0;///< targets still hit after sanitization (of S)
+  std::int64_t overhead_bytes = 0;       ///< defender storage cost
+  std::int64_t verify_cost = 0;          ///< abstract verification work (parameters audited)
+
+  [[nodiscard]] eval::Json to_json() const;
+  static DefenseOutcome from_json(const eval::Json& j);
+};
+
 /// Unified result of one attack instance, independent of method.
 struct AttackReport {
   std::string method;            ///< registry key ("fsa-l0", "gda", ...)
@@ -71,6 +93,7 @@ struct AttackReport {
   double clean_accuracy = -1.0;  ///< clean accuracy at the same cut; < 0 = not measured
   bool compiled = false;         ///< produced by the compiled forward path (FSA_COMPILE)
   std::optional<CampaignSummary> campaign;  ///< hardware stage (when the sweep asked for one)
+  std::optional<DefenseOutcome> defense;    ///< defense stage (when a guard was deployed)
   Tensor delta;                  ///< modification over the surface's flat space (not serialized)
 
   /// Scalar fields as a JSON object (`delta` is intentionally excluded —

@@ -1,8 +1,11 @@
 #include "engine/attackers.h"
 
+#include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "baseline/sba.h"
+#include "defense/defenses.h"
 #include "core/head_gradient.h"
 #include "nn/dense.h"
 #include "tensor/ops.h"
@@ -30,6 +33,74 @@ void fill_satisfaction(AttackReport& r, std::int64_t hit, std::int64_t kept) {
   r.all_maintained = kept == r.R - r.S;
 }
 
+/// The fault sneaking pipeline shared by the vanilla and evasive
+/// adapters: only the AdmmConfig (and thus the evasion constraint)
+/// differs between them.
+AttackReport run_fsa(const core::FaultSneakingConfig& cfg, const std::string& name,
+                     nn::Sequential& net, const core::ParamMask& mask,
+                     const core::AttackSpec& spec) {
+  core::FaultSneakingAttack attack(net, mask);
+  const core::FaultSneakingResult res = attack.run(spec, cfg);
+
+  AttackReport r = base_report(name, mask, spec);
+  r.delta = res.delta;
+  r.l0 = res.l0;
+  r.l2 = res.l2;
+  fill_satisfaction(r, res.targets_hit, res.maintained);
+  r.attempts = res.attempts;
+  r.iterations = res.admm_iterations;
+  r.seconds = res.seconds;
+  return r;
+}
+
+/// Make sure the constraint has a box to intersect into; until a guard
+/// contributes a bound, every coordinate is effectively free.
+void ensure_box(core::EvasionConstraint& ev, std::int64_t d) {
+  if (ev.has_box()) return;
+  ev.lo = Tensor(Shape({d}));
+  ev.hi = Tensor(Shape({d}));
+  for (std::int64_t i = 0; i < d; ++i) {
+    ev.lo[static_cast<std::size_t>(i)] = -3.0e38f;
+    ev.hi[static_cast<std::size_t>(i)] = 3.0e38f;
+  }
+}
+
+/// Translate one armed guard into constraint terms, recursing through
+/// ensembles. Range → δ box from the widened group envelope; checksum →
+/// flip budget at block granularity; canary → sentinel coordinates
+/// pinned to δ = 0 (their positions are a pure function of the surface,
+/// so the attacker predicts them exactly).
+void fold_constraint(const defense::Defense& guard, const Tensor& theta0,
+                     std::int64_t block_budget, core::EvasionConstraint& ev, bool& any) {
+  const auto d = static_cast<std::int64_t>(theta0.numel());
+  if (const auto* range = dynamic_cast<const defense::RangeDefense*>(&guard)) {
+    const defense::RangeGuard& g = range->guard();
+    ensure_box(ev, d);
+    for (std::int64_t i = 0; i < d; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const std::int64_t grp = g.group_of(i);
+      ev.lo[ui] = std::max(ev.lo[ui], g.group_lo(grp) - theta0[ui]);
+      ev.hi[ui] = std::min(ev.hi[ui], g.group_hi(grp) - theta0[ui]);
+    }
+    any = true;
+  } else if (const auto* ck = dynamic_cast<const defense::ChecksumDefense*>(&guard)) {
+    ev.block_params = ck->block_params();
+    ev.max_blocks = block_budget;
+    any = true;
+  } else if (const auto* canary = dynamic_cast<const defense::CanaryDefense*>(&guard)) {
+    ensure_box(ev, d);
+    for (const std::int64_t i : canary->sentinel_indices()) {
+      const auto ui = static_cast<std::size_t>(i);
+      ev.lo[ui] = 0.0f;
+      ev.hi[ui] = 0.0f;
+    }
+    any = true;
+  } else if (const auto* ens = dynamic_cast<const defense::EnsembleDefense*>(&guard)) {
+    for (const defense::DefensePtr& m : ens->members())
+      fold_constraint(*m, theta0, block_budget, ev, any);
+  }
+}
+
 }  // namespace
 
 // ---- FsaAttacker -------------------------------------------------------------
@@ -45,18 +116,39 @@ std::string FsaAttacker::default_name(core::NormKind norm) {
 
 AttackReport FsaAttacker::run(nn::Sequential& net, const core::ParamMask& mask,
                               const core::AttackSpec& spec) const {
-  core::FaultSneakingAttack attack(net, mask);
-  const core::FaultSneakingResult res = attack.run(spec, cfg_);
+  return run_fsa(cfg_, name_, net, mask, spec);
+}
 
-  AttackReport r = base_report(name_, mask, spec);
-  r.delta = res.delta;
-  r.l0 = res.l0;
-  r.l2 = res.l2;
-  fill_satisfaction(r, res.targets_hit, res.maintained);
-  r.attempts = res.attempts;
-  r.iterations = res.admm_iterations;
-  r.seconds = res.seconds;
-  return r;
+// ---- EvasiveFsaAttacker ------------------------------------------------------
+
+EvasiveFsaAttacker::EvasiveFsaAttacker(core::FaultSneakingConfig cfg,
+                                       defense::DefenseConfig target, std::string name,
+                                       std::int64_t block_budget)
+    : cfg_(std::move(cfg)), target_(std::move(target)), name_(std::move(name)),
+      block_budget_(block_budget) {
+  if (block_budget_ <= 0)
+    throw std::invalid_argument("EvasiveFsaAttacker: block budget must be > 0");
+  // Fail on an unknown target now, like parse_defense — before a solve.
+  if (!target_.name.empty()) (void)defense::make_defense(target_);
+}
+
+AttackReport EvasiveFsaAttacker::run(nn::Sequential& net, const core::ParamMask& mask,
+                                     const core::AttackSpec& spec) const {
+  core::FaultSneakingConfig cfg = cfg_;
+  if (!target_.name.empty()) {
+    const Tensor theta0 = mask.gather_values();
+    defense::DefensePtr guard = defense::make_defense(target_);
+    guard->snapshot(theta0);
+    auto ev = std::make_shared<core::EvasionConstraint>();
+    bool any = false;
+    fold_constraint(*guard, theta0, block_budget_, *ev, any);
+    if (any) cfg.admm.evasion = std::move(ev);
+  }
+  return run_fsa(cfg, name_, net, mask, spec);
+}
+
+AttackerPtr EvasiveFsaAttacker::retargeted(defense::DefenseConfig target) const {
+  return std::make_unique<EvasiveFsaAttacker>(cfg_, std::move(target), name_, block_budget_);
 }
 
 // ---- GdaAttacker -------------------------------------------------------------

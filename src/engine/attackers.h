@@ -10,6 +10,7 @@
 
 #include "baseline/gda.h"
 #include "core/fault_sneaking.h"
+#include "defense/defense.h"
 #include "engine/attacker.h"
 
 namespace fsa::engine {
@@ -33,6 +34,38 @@ class FsaAttacker final : public Attacker {
  private:
   core::FaultSneakingConfig cfg_;
   std::string name_;
+};
+
+/// Detection-aware fault sneaking (registry keys "fsa-l2-evasive" /
+/// "fsa-l0-evasive"): before solving, derives an EvasionConstraint from
+/// the TARGET defense against the live surface — a range guard's widened
+/// group envelope becomes a δ box folded into the ADMM prox step, a
+/// checksum's block granularity becomes a per-block flip budget, and
+/// canary sentinels are pinned untouched. An empty target name derives
+/// nothing, leaving the solve path bitwise identical to FsaAttacker (the
+/// parity tests rely on this).
+class EvasiveFsaAttacker final : public Attacker {
+ public:
+  EvasiveFsaAttacker(core::FaultSneakingConfig cfg, defense::DefenseConfig target,
+                     std::string name, std::int64_t block_budget = 2);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] AttackReport run(nn::Sequential& net, const core::ParamMask& mask,
+                                 const core::AttackSpec& spec) const override;
+
+  [[nodiscard]] const defense::DefenseConfig& target() const { return target_; }
+  [[nodiscard]] const core::FaultSneakingConfig& config() const { return cfg_; }
+
+  /// A copy aimed at `target` — the sweep runner retargets evasive
+  /// methods at each arena row's deployed defense so the constraint
+  /// matches THE guard the row faces.
+  [[nodiscard]] AttackerPtr retargeted(defense::DefenseConfig target) const;
+
+ private:
+  core::FaultSneakingConfig cfg_;
+  defense::DefenseConfig target_;
+  std::string name_;
+  std::int64_t block_budget_;
 };
 
 /// ICCAD'17 Gradient Descent Attack baseline (no stealth constraint; the

@@ -25,6 +25,20 @@ struct Registry {
     factories["fsa-l0"] = fsa_with(core::NormKind::kL0);
     factories["fsa-l2"] = fsa_with(core::NormKind::kL2);
     factories["fsa-l1"] = fsa_with(core::NormKind::kL1);
+    // Detection-aware variants ship aimed at the paper-default deployment
+    // of the defense class they dodge; make_attacker_for retargets them
+    // at whatever guard an arena row actually faces.
+    auto evasive_with = [](core::NormKind norm, const char* target, const char* name) {
+      return [norm, target, name] {
+        core::FaultSneakingConfig cfg;
+        cfg.admm.norm = norm;
+        defense::DefenseConfig t;
+        t.name = target;
+        return std::make_unique<EvasiveFsaAttacker>(cfg, t, name);
+      };
+    };
+    factories["fsa-l2-evasive"] = evasive_with(core::NormKind::kL2, "range", "fsa-l2-evasive");
+    factories["fsa-l0-evasive"] = evasive_with(core::NormKind::kL0, "checksum", "fsa-l0-evasive");
     factories["gda"] = [] { return std::make_unique<GdaAttacker>(); };
     factories["sba"] = [] { return std::make_unique<SbaAttacker>(); };
   }
@@ -55,6 +69,13 @@ AttackerPtr make_attacker(const std::string& name) {
     throw std::invalid_argument("unknown attack method \"" + name + "\" (known: " + known + ")");
   }
   return it->second();
+}
+
+AttackerPtr make_attacker_for(const std::string& name, const defense::DefenseConfig& defense) {
+  AttackerPtr a = make_attacker(name);
+  if (const auto* ev = dynamic_cast<const EvasiveFsaAttacker*>(a.get()))
+    return ev->retargeted(defense);
+  return a;
 }
 
 bool has_attacker(const std::string& name) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "defense/defense.h"
 #include "engine/attacker.h"
 
 namespace fsa::engine {
@@ -24,6 +25,12 @@ void register_attacker(const std::string& name, AttackerFactory factory);
 /// Instantiate the method registered under `name`. Throws
 /// std::invalid_argument listing the known methods when `name` is unknown.
 AttackerPtr make_attacker(const std::string& name);
+
+/// Instantiate `name` retargeted at a specific deployed defense: the
+/// detection-aware variants rebuild their evasion constraint against THE
+/// guard an arena row faces; defense-unaware methods come back exactly
+/// as make_attacker returns them.
+AttackerPtr make_attacker_for(const std::string& name, const defense::DefenseConfig& defense);
 
 /// True if `name` is registered.
 bool has_attacker(const std::string& name);

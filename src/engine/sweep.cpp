@@ -10,6 +10,8 @@
 #include "backend/compute_backend.h"
 #include "compile/compile.h"
 #include "compile/model_compiler.h"
+#include "core/head_gradient.h"
+#include "core/margin_loss.h"
 #include "engine/registry.h"
 #include "eval/stopwatch.h"
 #include "models/feature_cache.h"
@@ -97,6 +99,7 @@ eval::Json SweepSpec::to_json() const {
   if (!tag.empty()) j.set("tag", eval::Json::string(tag));
   j.set("measure_accuracy", eval::Json::boolean(measure_accuracy));
   if (campaign) j.set("campaign", campaign->to_json());
+  if (defense) j.set("defense", defense->to_json());
   return j;
 }
 
@@ -117,6 +120,8 @@ SweepSpec SweepSpec::from_json(const eval::Json& j) {
   s.measure_accuracy = j.get_bool("measure_accuracy", true);
   if (j.has("campaign") && !j.at("campaign").is_null())
     s.campaign = CampaignConfig::from_json(j.at("campaign"));
+  if (j.has("defense") && !j.at("defense").is_null())
+    s.defense = defense::DefenseConfig::from_json(j.at("defense"));
   return s;
 }
 
@@ -230,6 +235,13 @@ Sweep& Sweep::with_campaign(CampaignConfig config) {
   return *this;
 }
 
+Sweep& Sweep::with_defense(defense::DefenseConfig config) {
+  // Unknown names / bad knobs fail here, not inside the parallel phase.
+  (void)defense::make_defense(config);
+  defense_ = std::move(config);
+  return *this;
+}
+
 Sweep& Sweep::add(SweepSpec spec) {
   explicit_.push_back(std::move(spec));
   return *this;
@@ -276,6 +288,9 @@ std::vector<SweepSpec> Sweep::build() const {
   if (campaign_)
     for (auto& spec : out)
       if (!spec.campaign) spec.campaign = campaign_;
+  if (defense_)
+    for (auto& spec : out)
+      if (!spec.defense) spec.defense = defense_;
   return out;
 }
 
@@ -338,9 +353,17 @@ eval::Table SweepResult::table(const std::string& title) const {
       for (const auto& c : r.report.campaign->reports)
         if (std::find(injectors.begin(), injectors.end(), c.injector) == injectors.end())
           injectors.push_back(c.injector);
+  bool any_defense = false;
+  for (const auto& r : rows)
+    if (r.report.defense) any_defense = true;
   eval::Table t(title);
   std::vector<std::string> header = {"method", "backend", "surface", "S", "R", "seed", "l0",
                                      "l2", "faults", "anchors", "test acc", "time"};
+  if (any_defense) {
+    header.push_back("defense");
+    header.push_back("det");
+    header.push_back("evaded");
+  }
   if (!injectors.empty()) {
     header.push_back("bits");
     for (const auto& name : injectors) {
@@ -360,6 +383,11 @@ eval::Table SweepResult::table(const std::string& title) const {
         std::to_string(rep.maintained) + "/" + std::to_string(rep.R - rep.S),
         rep.test_accuracy < 0.0 ? "-" : eval::pct(rep.test_accuracy),
         eval::fmt(rep.seconds, 1) + "s"};
+    if (any_defense) {
+      cells.push_back(rep.defense ? rep.defense->defense : "-");
+      cells.push_back(!rep.defense ? "-" : (rep.defense->detected ? "yes" : "no"));
+      cells.push_back(!rep.defense ? "-" : (rep.defense->evaded ? "yes" : "no"));
+    }
     if (!injectors.empty()) {
       cells.push_back(rep.campaign ? std::to_string(rep.campaign->total_bit_flips) : "-");
       for (const auto& name : injectors) {
@@ -442,6 +470,13 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
     t.bench = &bench(t.spec->layers, t.spec->weights, t.spec->biases);
     if (t.spec->attacker) {
       t.attacker = t.spec->attacker;
+    } else if (t.spec->defense) {
+      // Detection-aware methods retarget at THE guard this row faces, so
+      // cache per (method, deployed defense); unaware methods come back
+      // unchanged but keying them the same way is harmless.
+      auto& cached = method_cache[t.spec->method + "@" + t.spec->defense->key()];
+      if (!cached) cached = make_attacker_for(t.spec->method, *t.spec->defense);
+      t.attacker = cached;
     } else {
       auto& cached = method_cache[t.spec->method];
       if (!cached) cached = make_attacker(t.spec->method);  // throws on unknown name
@@ -507,6 +542,45 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
         for (const std::string& injector : cfg.injectors)
           summary.reports.push_back(campaign_runner.run(injector, plan, cfg.layout));
         rep.campaign = std::move(summary);
+      }
+      if (t.spec->defense) {
+        // Audit the row's δ with the deployed guard: arm on θ0, verify
+        // the attacked parameters both before and after storage-format
+        // lowering (quantization realization counts — a δ absorbed by
+        // int8 rounding can't trip a checksum), sanitize, and re-measure
+        // the S faults on the repaired parameters. Runs while the
+        // surface still holds θ0; the clone is task-local, so
+        // logits_at's scatter can't race.
+        const Tensor theta0 = mask.gather_values();
+        const defense::DefensePtr guard = defense::make_defense(*t.spec->defense);
+        guard->snapshot(theta0);
+        Tensor attacked = theta0;
+        attacked += rep.delta;
+        const defense::VerifyOutcome pre = guard->verify(attacked);
+        const auto format = t.spec->campaign ? t.spec->campaign->format
+                                             : faultsim::StorageFormat::kFloat32;
+        Tensor stored = theta0;
+        stored += faultsim::realize_in_format(theta0, rep.delta, format);
+        const defense::VerifyOutcome post = guard->verify(stored);
+        Tensor repaired = stored;
+        const std::int64_t clamped = guard->sanitize(repaired);
+        core::HeadGradient grad(net, mask);
+        const Tensor logits = grad.logits_at(repaired, t.problem);
+        const auto [hit, kept] = core::count_satisfied(logits, t.problem);
+        (void)kept;
+        mask.scatter_values(theta0);
+        DefenseOutcome dout;
+        dout.defense = t.spec->defense->key();
+        dout.detected_pre = pre.detected;
+        dout.detected_post = post.detected;
+        dout.detected = pre.detected || post.detected;
+        dout.regions_flagged = post.regions_flagged;
+        dout.sanitize_clamped = clamped;
+        dout.faults_after_sanitize = hit;
+        dout.evaded = !dout.detected && t.spec->S > 0 && hit == t.spec->S;
+        dout.overhead_bytes = guard->overhead_bytes();
+        dout.verify_cost = guard->verify_cost();
+        rep.defense = std::move(dout);
       }
       if (t.spec->measure_accuracy) {
         Tensor theta = mask.gather_values();  // == θ0: run() restored the surface

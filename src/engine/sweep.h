@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "defense/defense.h"
 #include "engine/attacker.h"
 #include "eval/attack_bench.h"
 #include "eval/table.h"
@@ -66,6 +67,7 @@ struct SweepSpec {
   std::shared_ptr<const Attacker> attacker; ///< pre-configured method override
   bool measure_accuracy = true;             ///< evaluate full-test-set accuracy with δ
   std::optional<CampaignConfig> campaign;   ///< lower δ to hardware campaigns per row
+  std::optional<defense::DefenseConfig> defense;  ///< deploy a guard against this row's δ
 
   /// Canonical surface identity, e.g. "fc1,fc2[w]" — keys the per-surface
   /// AttackBench (features/cut) shared by all instances on that surface.
@@ -109,6 +111,9 @@ class Sweep {
   /// Append the hardware-campaign stage to every instance. Injector names
   /// are validated eagerly (throws the registry's unknown-name error).
   Sweep& with_campaign(CampaignConfig config);
+  /// Deploy a defense against every instance's realized δ. The config is
+  /// validated eagerly (throws the defense registry's unknown-name error).
+  Sweep& with_defense(defense::DefenseConfig config);
   /// Append one fully-specified instance.
   Sweep& add(SweepSpec spec);
 
@@ -129,6 +134,7 @@ class Sweep {
   std::shared_ptr<const Attacker> attacker_;
   bool measure_accuracy_ = true;
   std::optional<CampaignConfig> campaign_;
+  std::optional<defense::DefenseConfig> defense_;
   bool cartesian_touched_ = false;
   std::vector<SweepSpec> explicit_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
 
@@ -62,13 +63,37 @@ std::vector<engine::SweepSpec> parse_specs(const eval::Json& doc, std::size_t ma
   return specs;
 }
 
-/// The minimal sweep "manifest" the reducer reads (dataset, backend,
-/// shards) — built locally instead of via dist::sweep_manifest so no
-/// request path reads the process-global injector-profile slot.
-eval::Json reducer_manifest(const std::string& dataset, const std::string& backend,
-                            std::size_t shards) {
+/// Arena request specs: parsed like a sweep's, with the request's
+/// top-level "defense" (a config object or the CLI's string spelling)
+/// folded into specs lacking one. Every spec must end up with a deployed
+/// defense, validated against the defense registry — all before the
+/// request is admitted to a batch.
+std::vector<engine::SweepSpec> parse_arena_specs(const eval::Json& doc, std::size_t max_specs) {
+  std::vector<engine::SweepSpec> specs = parse_specs(doc, max_specs);
+  std::optional<defense::DefenseConfig> shared;
+  if (doc.has("defense") && !doc.at("defense").is_null()) {
+    const eval::Json& d = doc.at("defense");
+    shared = d.type() == eval::Json::Type::kString ? defense::parse_defense(d.as_string())
+                                                   : defense::DefenseConfig::from_json(d);
+  }
+  for (engine::SweepSpec& s : specs) {
+    if (!s.defense) s.defense = shared;
+    if (!s.defense)
+      throw std::invalid_argument(
+          "arena specs need a deployed \"defense\" (per spec, or top-level for all)");
+    (void)defense::make_defense(*s.defense);  // unknown name/bad knobs → 400
+    if (s.tag.empty()) s.tag = s.defense->key();
+  }
+  return specs;
+}
+
+/// The minimal sweep/arena "manifest" the reducer reads (dataset,
+/// backend, shards) — built locally instead of via dist::sweep_manifest
+/// so no request path reads the process-global injector-profile slot.
+eval::Json reducer_manifest(const std::string& kind, const std::string& dataset,
+                            const std::string& backend, std::size_t shards) {
   eval::Json j = eval::Json::object();
-  j.set("kind", eval::Json::string("sweep"));
+  j.set("kind", eval::Json::string(kind));
   j.set("dataset", eval::Json::string(dataset));
   j.set("backend", eval::Json::string(backend));
   j.set("shards", eval::Json::number(static_cast<std::int64_t>(shards)));
@@ -164,7 +189,7 @@ HttpResponse AttackService::handle_get(const HttpRequest& request) {
   if (request.target == "/stats")
     return HttpResponse{200, "application/json", render_json_body(stats_json())};
   return json_error(404, "no route for GET " + request.target +
-                             " (GET /healthz, GET /stats, POST /v1/{sweep,campaign,eval})");
+                             " (GET /healthz, GET /stats, POST /v1/{sweep,arena,campaign,eval})");
 }
 
 HttpResponse AttackService::handle_post(const HttpRequest& request) {
@@ -175,10 +200,11 @@ HttpResponse AttackService::handle_post(const HttpRequest& request) {
     return json_error(400, std::string("malformed JSON body: ") + e.what());
   }
 
-  if (request.target == "/v1/sweep") {
-    if (const std::string err =
-            check_keys(doc, {"dataset", "backend", "specs", "injector_profile"});
-        !err.empty())
+  if (request.target == "/v1/sweep" || request.target == "/v1/arena") {
+    const bool arena = request.target == "/v1/arena";
+    std::set<std::string> allowed = {"dataset", "backend", "specs", "injector_profile"};
+    if (arena) allowed.insert("defense");
+    if (const std::string err = check_keys(doc, allowed); !err.empty())
       return json_error(400, err);
     const std::string dataset = doc.get_string("dataset", "");
     if (!host_.has(dataset)) {
@@ -190,11 +216,14 @@ HttpResponse AttackService::handle_post(const HttpRequest& request) {
       return json_error(400, "this daemon is pinned to backend \"" + backend_ +
                                  "\"; request asked for \"" + be + "\"");
     try {
-      (void)parse_specs(doc, options_.max_specs_per_request);
+      if (arena)
+        (void)parse_arena_specs(doc, options_.max_specs_per_request);
+      else
+        (void)parse_specs(doc, options_.max_specs_per_request);
     } catch (const std::exception& e) {
       return json_error(400, e.what());
     }
-    BatchKey key{"sweep", dataset, backend_,
+    BatchKey key{arena ? "arena" : "sweep", dataset, backend_,
                  doc.has("injector_profile") ? doc.at("injector_profile").dump() : ""};
     return submit_and_wait(key, std::move(doc));
   }
@@ -236,7 +265,7 @@ HttpResponse AttackService::handle_post(const HttpRequest& request) {
   }
 
   return json_error(404, "no route for POST " + request.target +
-                             " (POST /v1/{sweep,campaign,eval})");
+                             " (POST /v1/{sweep,arena,campaign,eval})");
 }
 
 HttpResponse AttackService::submit_and_wait(const BatchKey& key, eval::Json payload) {
@@ -255,7 +284,7 @@ HttpResponse AttackService::submit_and_wait(const BatchKey& key, eval::Json payl
 
 std::vector<BatchResponse> AttackService::execute(const BatchKey& key,
                                                   const std::vector<eval::Json>& payloads) {
-  if (key.kind == "sweep") return execute_sweep(key, payloads);
+  if (key.kind == "sweep" || key.kind == "arena") return execute_sweep(key, payloads);
   if (key.kind == "campaign") return execute_campaign(payloads);
   if (key.kind == "eval") return execute_eval(key, payloads);
   throw std::runtime_error("serve: unknown batch kind \"" + key.kind + "\"");
@@ -266,12 +295,16 @@ std::vector<BatchResponse> AttackService::execute_sweep(const BatchKey& key,
   // Re-parse each request's specs (admission already validated them) and
   // concatenate into ONE runner call: per-instance determinism (own clone,
   // own seed) makes the merged run bitwise identical to per-request runs.
+  // Arena batches (key.kind "arena") take the same path with the arena
+  // parser and reducer, so responses carry the evasion frontier.
   std::vector<std::vector<engine::SweepSpec>> per_request;
   std::vector<engine::SweepSpec> merged;
   bool needs_injectors = !key.profile.empty();
   per_request.reserve(payloads.size());
   for (const eval::Json& doc : payloads) {
-    std::vector<engine::SweepSpec> specs = parse_specs(doc, options_.max_specs_per_request);
+    std::vector<engine::SweepSpec> specs =
+        key.kind == "arena" ? parse_arena_specs(doc, options_.max_specs_per_request)
+                            : parse_specs(doc, options_.max_specs_per_request);
     for (const engine::SweepSpec& s : specs) needs_injectors = needs_injectors || s.campaign;
     merged.insert(merged.end(), specs.begin(), specs.end());
     per_request.push_back(std::move(specs));
@@ -308,11 +341,11 @@ std::vector<BatchResponse> AttackService::execute_sweep(const BatchKey& key,
     for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
 
     eval::Json shard = eval::Json::object();
-    shard.set("kind", eval::Json::string("sweep"));
+    shard.set("kind", eval::Json::string(key.kind));
     shard.set("shard", eval::Json::number(static_cast<std::int64_t>(0)));
     shard.set("rows", dist::sweep_rows_json(slice, indices));
-    const eval::Json reduced = dist::make_reducer("sweep")->reduce(
-        reducer_manifest(key.model, key.backend, specs.size()), {shard});
+    const eval::Json reduced = dist::make_reducer(key.kind)->reduce(
+        reducer_manifest(key.kind, key.model, key.backend, specs.size()), {shard});
     responses.push_back(BatchResponse{200, render_json_body(reduced)});
   }
   return responses;

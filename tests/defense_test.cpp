@@ -1,7 +1,12 @@
-// defense_test.cpp — integrity and sanitization guards.
+// defense_test.cpp — integrity and sanitization guards, plus the unified
+// Defense interface/registry the arena deploys them through.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "defense/checksum_guard.h"
+#include "defense/defense.h"
+#include "defense/defenses.h"
 #include "defense/range_guard.h"
 #include "tensor/ops.h"
 
@@ -144,6 +149,148 @@ TEST(RangeGuard, RejectsBadConfig) {
   Tensor params = Tensor::from_vector({0.0f});
   EXPECT_THROW(RangeGuard(params, 0), std::invalid_argument);
   EXPECT_THROW(RangeGuard(params, 1, -0.5), std::invalid_argument);
+}
+
+TEST(RangeGuard, CheckMatchesDetectOnlySanitizeAndLeavesValues) {
+  Rng rng(9);
+  Tensor params = Tensor::randn(Shape({256}), rng);
+  const RangeGuard guard(params, 32, 0.0);
+  Tensor attacked = params;
+  attacked[3] = 100.0f;
+  attacked[40] = -100.0f;
+  attacked[41] = 100.0f;
+  Tensor audit_copy = attacked;
+  const auto checked = guard.check(attacked);
+  const auto detect_only = guard.sanitize(audit_copy, /*clamp=*/false);
+  EXPECT_EQ(checked.out_of_range, detect_only.out_of_range);
+  EXPECT_EQ(checked.groups_flagged, detect_only.groups_flagged);
+  EXPECT_EQ(checked.clamped, 0);
+  EXPECT_EQ(checked.alarm, detect_only.alarm);
+  EXPECT_EQ(checked.out_of_range, 3);
+  EXPECT_EQ(checked.groups_flagged, 2);
+  EXPECT_FLOAT_EQ(attacked[3], 100.0f);  // check() never mutates
+}
+
+// ---- the Defense registry -----------------------------------------------------
+
+TEST(DefenseRegistry, BuiltinsAndStrictUnknownName) {
+  for (const char* name : {"canary", "checksum", "ensemble", "range"})
+    EXPECT_TRUE(has_defense(name)) << name;
+  EXPECT_GE(defense_names().size(), 4u);
+  DefenseConfig bad;
+  bad.name = "does-not-exist";
+  try {
+    (void)make_defense(bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("does-not-exist"), std::string::npos);
+    EXPECT_NE(msg.find("range"), std::string::npos);  // lists known defenses
+  }
+}
+
+TEST(DefenseConfig, CanonicalKeysApplyRegisteredDefaults) {
+  EXPECT_EQ(parse_defense("checksum").key(), "checksum/64");
+  EXPECT_EQ(parse_defense("checksum/16").key(), "checksum/16");
+  EXPECT_EQ(parse_defense("range").key(), "range/201/0.1");
+  EXPECT_EQ(parse_defense("range/8/0").key(), "range/8/0");
+  EXPECT_EQ(parse_defense("canary/5").key(), "canary/5");
+  // Ensembles join member keys; "0.10" and "0.1" canonicalize identically.
+  EXPECT_EQ(parse_defense("checksum/64+range/201/0.10").key(), "checksum/64+range/201/0.1");
+}
+
+TEST(DefenseConfig, ParseRejectsMalformedAndUnknown) {
+  EXPECT_THROW(parse_defense(""), std::invalid_argument);
+  EXPECT_THROW(parse_defense("nope"), std::invalid_argument);
+  EXPECT_THROW(parse_defense("range/abc"), std::invalid_argument);
+  EXPECT_THROW(parse_defense("range/8/x"), std::invalid_argument);
+  EXPECT_THROW(parse_defense("range/8/0.1/9"), std::invalid_argument);
+  EXPECT_THROW(parse_defense("checksum+nope"), std::invalid_argument);
+  DefenseConfig lone = parse_defense("checksum");
+  lone.members.push_back(parse_defense("range"));  // only "ensemble" composes
+  EXPECT_THROW((void)make_defense(lone), std::invalid_argument);
+}
+
+TEST(DefenseConfig, JsonRoundTripPreservesKey) {
+  const DefenseConfig c = parse_defense("checksum/16+range/8/0.25");
+  const DefenseConfig back = DefenseConfig::from_json(eval::Json::parse(c.to_json().dump(2)));
+  EXPECT_EQ(back.name, "ensemble");
+  ASSERT_EQ(back.members.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.members[1].slack, 0.25);
+  EXPECT_EQ(back.key(), c.key());
+}
+
+TEST(DefenseLifecycle, VerifyBeforeSnapshotThrows) {
+  const DefensePtr d = make_defense(parse_defense("checksum"));
+  EXPECT_THROW((void)d->verify(Tensor(Shape({4}))), std::logic_error);
+}
+
+TEST(CanaryDefense, DetectsSentinelHitsAndRestoresThem) {
+  Rng rng(10);
+  const Tensor params = Tensor::randn(Shape({200}), rng);
+  CanaryDefense canary(8);
+  canary.snapshot(params);
+  ASSERT_EQ(canary.sentinel_indices().size(), 8u);
+  EXPECT_EQ(canary.overhead_bytes(), 8 * 12);
+  EXPECT_EQ(canary.verify_cost(), 8);
+  EXPECT_FALSE(canary.verify(params).detected);
+
+  // Tamper with one watched and one unwatched parameter: only the
+  // sentinel hit is visible (probabilistic coverage is the price of O(K)).
+  const std::int64_t watched = canary.sentinel_indices()[3];
+  std::int64_t unwatched = 0;
+  while (std::count(canary.sentinel_indices().begin(), canary.sentinel_indices().end(),
+                    unwatched) > 0)
+    ++unwatched;
+  Tensor tampered = params;
+  tampered[static_cast<std::size_t>(watched)] += 0.5f;
+  tampered[static_cast<std::size_t>(unwatched)] += 0.5f;
+  const VerifyOutcome res = canary.verify(tampered);
+  EXPECT_TRUE(res.detected);
+  EXPECT_EQ(res.violations, 1);
+
+  EXPECT_EQ(canary.sanitize(tampered), 1);  // restores the sentinel only
+  EXPECT_FLOAT_EQ(tampered[static_cast<std::size_t>(watched)],
+                  params[static_cast<std::size_t>(watched)]);
+  EXPECT_FALSE(canary.verify(tampered).detected);
+}
+
+TEST(CanaryDefense, PlacementIsAPureFunctionOfShape) {
+  Rng rng(11);
+  const Tensor a = Tensor::randn(Shape({300}), rng);
+  const Tensor b = Tensor::randn(Shape({300}), rng);  // different values, same n
+  CanaryDefense ca(16), cb(16);
+  ca.snapshot(a);
+  cb.snapshot(b);
+  EXPECT_EQ(ca.sentinel_indices(), cb.sentinel_indices());
+}
+
+TEST(EnsembleDefense, OrDetectionAndSummedCosts) {
+  Rng rng(12);
+  const Tensor params = Tensor::randn(Shape({256}), rng);
+  const DefensePtr ensemble = make_defense(parse_defense("checksum/64+range/64/0"));
+  ensemble->snapshot(params);
+  EXPECT_FALSE(ensemble->verify(params).detected);
+
+  ChecksumDefense checksum(64);
+  RangeDefense range(64, 0.0);
+  checksum.snapshot(params);
+  range.snapshot(params);
+  EXPECT_EQ(ensemble->overhead_bytes(), checksum.overhead_bytes() + range.overhead_bytes());
+  EXPECT_EQ(ensemble->verify_cost(), checksum.verify_cost() + range.verify_cost());
+
+  // An IN-RANGE modification: invisible to range, caught by checksum — the
+  // ensemble's OR catches it.
+  Tensor tampered = params;
+  tampered[10] = tampered[11];
+  EXPECT_FALSE(range.verify(tampered).detected);
+  EXPECT_TRUE(checksum.verify(tampered).detected);
+  EXPECT_TRUE(ensemble->verify(tampered).detected);
+
+  // An OUT-of-range modification: ensemble sanitize clamps it (via range).
+  tampered[20] = 1.0e6f;
+  EXPECT_GE(ensemble->sanitize(tampered), 1);
+  EXPECT_LE(tampered[20], 1.0e5f);
 }
 
 }  // namespace

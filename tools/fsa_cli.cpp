@@ -5,6 +5,7 @@
 //   methods                       list registered attack methods
 //   backends                      list registered compute backends
 //   injectors                     list registered fault injectors
+//   defenses                      list registered defenses
 //   attack    --dataset digits --layers fc3 --s 2 --r 100 --method fsa-l0
 //             [--norm l0|l2|l1] [--backend reference|blocked|packed]
 //             [--seed N] [--rho X] [--c X]
@@ -13,6 +14,11 @@
 //             --s-list 1,2,4 --r-list 50,100 [--seeds 1,2] [--backend B]
 //             [--with-campaign] [--injector I1,I2] [--shards K]
 //             [--json out.json] [--csv out.csv] [--no-acc]
+//   arena     --dataset digits --layers fc3 --method fsa-l0,fsa-l2-evasive
+//             --defense checksum/64,range/201/0.10 --s-list 2 --r-list 100
+//             [--seeds 1,2] [--with-campaign [--format bf16] ...]
+//             [--json out.json] [--workers N ...]
+//             | --run-shard manifest.json --shard I [--out result.json]
 //   campaign  --dataset digits --layers fc3 --delta delta.bin
 //             [--injector rowhammer,laser,clock-glitch] [--shards K]
 //             [--seed N] [--manifest shards.json]
@@ -22,7 +28,11 @@
 //   audit     --dataset digits --layers fc3 --delta delta.bin
 //
 // `attack` solves one instance through the engine registry and prints the
-// scorecard; `sweep` expands method × S × R × seed and runs all instances
+// scorecard; `arena` crosses attack methods against deployed defenses
+// (src/defense/, see docs/DEFENSE.md) and reduces the rows into the
+// evasion frontier — `--defense` names parse strictly through the defense
+// registry BEFORE any model loads; `sweep` expands method × S × R × seed
+// and runs all instances
 // concurrently on the thread pool (FSA_NUM_THREADS controls the worker
 // count; results are identical for any value), and `--with-campaign`
 // appends a hardware-campaign stage (δ → bit flips → sharded injector
@@ -55,6 +65,7 @@
 
 #include "backend/compute_backend.h"
 #include "compile/compile.h"
+#include "defense/defense.h"
 #include "dist/jobs.h"
 #include "dist/lease.h"
 #include "dist/reducer.h"
@@ -63,6 +74,7 @@
 #include "serve/http.h"
 #include "serve/service.h"
 #include "serve/zoo.h"
+#include "engine/arena.h"
 #include "engine/attackers.h"
 #include "engine/registry.h"
 #include "engine/sweep.h"
@@ -72,6 +84,7 @@
 #include "eval/table.h"
 #include "faultsim/campaign.h"
 #include "faultsim/profile.h"
+#include "faultsim/quantize.h"
 #include "tensor/serialize.h"
 
 namespace {
@@ -84,12 +97,13 @@ const char* g_argv0 = "fsa_cli";
 int usage() {
   std::fputs(
       "usage: fsa_cli"
-      " <info|methods|backends|injectors|attack|sweep|campaign|dist|serve|eval|audit>"
-      " [options]\n"
+      " <info|methods|backends|injectors|defenses|attack|sweep|arena|campaign|dist|serve|eval|"
+      "audit> [options]\n"
       "  info\n"
       "  methods\n"
       "  backends\n"
       "  injectors\n"
+      "  defenses\n"
       "  attack   --dataset digits|objects --layers fc3[,fc2...] --s N --r N\n"
       "           [--method fsa-l0|fsa-l2|fsa-l1|gda|sba] [--norm l0|l2|l1]\n"
       "           [--backend reference|blocked|packed|auto] [--seed N] [--rho X] [--c X]\n"
@@ -99,8 +113,17 @@ int usage() {
       "           [--backend reference|blocked|packed|auto] [--compile on|off]\n"
       "           [--with-campaign] [--injector I1,I2,...] [--shards K]\n"
       "           [--injector-profile file.json]\n"
+      "           [--with-defense] [--defense name[/gran[/slack]]]\n"
       "           [--weights-only|--biases-only] [--json out.json] [--csv out.csv]\n"
       "           [--no-acc] [--quiet]\n"
+      "           [--workers N [--job dir] [--retries R]]\n"
+      "           | --run-shard manifest.json --shard I [--out result.json]\n"
+      "  arena    --dataset D --layers L --s-list 2 --r-list 100\n"
+      "           [--method fsa-l0,fsa-l2,fsa-l0-evasive,fsa-l2-evasive]\n"
+      "           [--defense checksum/64,range/201/0.10,canary/32,c1+c2]\n"
+      "           [--seeds 1,2,...] [--backend B] [--compile on|off] [--acc]\n"
+      "           [--with-campaign] [--injector I1,...] [--shards K] [--format f32|bf16|f16|int8]\n"
+      "           [--weights-only|--biases-only] [--json out.json] [--csv out.csv] [--quiet]\n"
       "           [--workers N [--job dir] [--retries R]]\n"
       "           | --run-shard manifest.json --shard I [--out result.json]\n"
       "  campaign --dataset D --layers L --delta delta.bin\n"
@@ -311,6 +334,12 @@ int cmd_injectors() {
   return 0;
 }
 
+int cmd_defenses() {
+  std::printf("registered defenses (--defense name[/granularity[/slack]], + composes):\n");
+  for (const auto& name : defense::defense_names()) std::printf("  %s\n", name.c_str());
+  return 0;
+}
+
 /// The attacker for one CLI invocation: fsa variants honor --rho/--c/
 /// --verbose solver overrides; everything else comes from the registry.
 std::shared_ptr<const engine::Attacker> cli_attacker(const eval::Args& args,
@@ -441,8 +470,9 @@ int cmd_sweep_workers(const eval::Args& args, const engine::Sweep& sweep,
 int cmd_sweep(const eval::Args& args) {
   args.expect_only({"dataset", "layers", "method", "norm", "backend", "compile", "s-list",
                     "r-list", "seeds", "weights-only", "biases-only", "json", "csv", "no-acc",
-                    "quiet", "with-campaign", "injector", "shards", "injector-profile", "workers",
-                    "retries", "retry-backoff-ms", "job", "run-shard", "shard", "out"});
+                    "quiet", "with-campaign", "injector", "shards", "injector-profile",
+                    "with-defense", "defense", "workers", "retries", "retry-backoff-ms", "job",
+                    "run-shard", "shard", "out"});
   apply_injector_profile(args);
   if (!args.get("run-shard", "").empty()) {
     if (!args.get("workers", "").empty())
@@ -475,6 +505,12 @@ int cmd_sweep(const eval::Args& args) {
   } else if (!args.get("injector", "").empty() || !args.get("shards", "").empty()) {
     throw std::invalid_argument("--injector/--shards require --with-campaign (sweep)");
   }
+  // Deploy one guard against every row's δ. parse_defense is strict (it
+  // builds the guard through the registry), so a typo'd name or malformed
+  // granularity fails here — before any model loads.
+  if (args.has_flag("with-defense") || !args.get("defense", "").empty()) {
+    sweep.with_defense(defense::parse_defense(args.get("defense", "range")));
+  }
 
   const std::string dataset = args.get("dataset", "digits");
   if (dataset != "digits" && dataset != "objects")
@@ -498,6 +534,137 @@ int cmd_sweep(const eval::Args& args) {
 
   for (const auto& row : result.rows)
     if (!row.report.all_targets_hit) return 1;
+  return 0;
+}
+
+/// Render the reduced arena document's evasion frontier (one line per
+/// method × defense pairing).
+void print_arena_frontier(const eval::Json& reduced) {
+  eval::Table table("evasion frontier (method × defense)");
+  table.header({"method", "defense", "rows", "detect", "evade", "mean l0", "mean l2",
+                "overhead B", "verify cost"});
+  for (const eval::Json& e : reduced.at("frontier").items())
+    table.row({e.get_string("method", ""), e.get_string("defense", ""),
+               std::to_string(e.get_int("rows", 0)), eval::pct(e.get_number("detect_rate", 0.0)),
+               eval::pct(e.get_number("evasion_rate", 0.0)),
+               eval::fmt(e.get_number("mean_l0", 0.0), 1), eval::fmt(e.get_number("mean_l2", 0.0)),
+               std::to_string(e.get_int("overhead_bytes", 0)),
+               std::to_string(e.get_int("verify_cost", 0))});
+  table.print();
+}
+
+/// `arena`: cross attack methods against deployed defenses and reduce the
+/// rows into the evasion frontier. All three modes — in-process,
+/// `--workers` coordinator, `--run-shard` worker — funnel through the
+/// arena reducer, so the reduced JSON (rows AND frontier) is
+/// byte-identical for any worker or thread count. Exit code is 0 when the
+/// grid ran: a detected or incomplete attack is a data point on the
+/// frontier, not a CLI failure.
+int cmd_arena(const eval::Args& args) {
+  args.expect_only({"dataset", "layers", "method", "defense", "backend", "compile", "s-list",
+                    "r-list", "seeds", "weights-only", "biases-only", "acc", "json", "csv",
+                    "quiet", "with-campaign", "injector", "shards", "format", "injector-profile",
+                    "workers", "retries", "retry-backoff-ms", "job", "run-shard", "shard", "out"});
+  apply_injector_profile(args);
+  if (!args.get("run-shard", "").empty()) {
+    if (!args.get("workers", "").empty())
+      throw std::invalid_argument("--run-shard (worker mode) conflicts with --workers");
+    return cmd_sweep_run_shard(args);  // kind-agnostic: the manifest says "arena"
+  }
+  select_backend(args);
+  select_compile(args);
+  const auto [weights, biases] = surface_flags(args);
+
+  // The whole grid — methods, defenses, campaign config, worker counts —
+  // validates BEFORE the model zoo loads: a typo'd defense spelling must
+  // fail in milliseconds, not after a model train.
+  engine::ArenaConfig cfg;
+  cfg.methods = args.get_list("method", "fsa-l0,fsa-l2");
+  for (const std::string& d : args.get_list("defense", "checksum,range"))
+    cfg.defenses.push_back(defense::parse_defense(d));
+  cfg.layer_sets = {eval::split_csv(args.get("layers", "fc3"))};
+  cfg.weights = weights;
+  cfg.biases = biases;
+  cfg.sr_pairs.clear();
+  for (const std::int64_t s : args.get_int_list("s-list", "2"))
+    for (const std::int64_t r : args.get_int_list("r-list", "100")) cfg.sr_pairs.emplace_back(s, r);
+  cfg.seeds = args.get_u64_list("seeds", "1");
+  cfg.measure_accuracy = args.has_flag("acc");
+  if (args.has_flag("with-campaign")) {
+    engine::CampaignConfig camp;
+    camp.injectors = injector_list(args, "rowhammer");
+    camp.shards = positive_int(args, "shards", 1);
+    if (const std::string f = args.get("format", ""); !f.empty())
+      camp.format = faultsim::format_from_name(f);
+    cfg.campaign = camp;
+  } else if (!args.get("injector", "").empty() || !args.get("shards", "").empty() ||
+             !args.get("format", "").empty()) {
+    throw std::invalid_argument("--injector/--shards/--format require --with-campaign (arena)");
+  }
+  const std::vector<engine::SweepSpec> specs = engine::arena_specs(cfg);
+
+  const bool dist_mode = !args.get("workers", "").empty() || args.has_flag("workers");
+  const dist::RunJobOptions opts = worker_options(args, /*verbose=*/!args.has_flag("quiet"));
+  const std::string dataset = args.get("dataset", "digits");
+  if (dataset != "digits" && dataset != "objects")
+    throw std::invalid_argument("unknown --dataset \"" + dataset +
+                                "\" (expected digits or objects)");
+
+  models::ModelZoo zoo;
+  models::ZooModel& model = dataset == "objects" ? zoo.objects() : zoo.digits();
+  const eval::Json manifest = dist::arena_manifest(dataset, backend::active_name(), specs);
+
+  eval::Json reduced;
+  std::string job_path;
+  if (dist_mode) {
+    // Warm every surface's feature cache BEFORE spawning: workers share
+    // FSA_CACHE_DIR, and N processes must never race to train one model.
+    engine::SweepRunner warm(model, zoo.cache_dir(), /*verbose=*/false);
+    for (const engine::SweepSpec& s : specs) (void)warm.bench(s.layers, s.weights, s.biases);
+    bool temporary = false;
+    const std::string dir = job_dir_root(args, "arena", temporary);
+    const dist::JobDir job = dist::open_or_create_job(dir, "arena", manifest);
+    reduced = temporary ? dist::run_temp_job(job, dist::self_exe(g_argv0), opts)
+                        : dist::run_job(job, dist::self_exe(g_argv0), opts);
+    if (!temporary) job_path = job.path();
+  } else {
+    // In-process: solve the whole grid on the thread pool, then push the
+    // rows through the SAME arena reducer a job directory uses — the
+    // reduced JSON matches any --workers run byte for byte.
+    engine::SweepRunner runner(model, zoo.cache_dir(), /*verbose=*/!args.has_flag("quiet"));
+    const engine::SweepResult result = runner.run(specs);
+    std::vector<std::size_t> indices(specs.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    eval::Json shard = eval::Json::object();
+    shard.set("kind", eval::Json::string("arena"));
+    shard.set("shard", eval::Json::number(static_cast<std::int64_t>(0)));
+    shard.set("rows", dist::sweep_rows_json(result, indices));
+    reduced = dist::make_reducer("arena")->reduce(manifest, {shard});
+  }
+
+  // Rebuild the row table for the human; the canonical artifact is the
+  // reduced JSON itself.
+  engine::SweepResult view;
+  view.model = model.name;
+  view.backend = reduced.get_string("backend", backend::active_name());
+  view.workers = dist_mode ? opts.workers : 1;
+  for (const eval::Json& row : reduced.at("rows").items()) {
+    engine::SweepRow r;
+    r.report = engine::AttackReport::from_json(row);
+    const auto idx = static_cast<std::size_t>(row.get_int("index", 0));
+    if (idx < specs.size()) r.spec = specs[idx];
+    view.rows.push_back(std::move(r));
+  }
+  view.table("arena (" + dataset + ", " + std::to_string(specs.size()) + " cell(s))").print();
+  print_arena_frontier(reduced);
+
+  if (const std::string path = args.get("json", ""); !path.empty()) {
+    dist::write_json_atomic(path, reduced);
+    std::printf("reduced json written to %s\n", path.c_str());
+  }
+  if (const std::string path = args.get("csv", ""); !path.empty())
+    view.table("arena").write_csv(path);
+  if (!job_path.empty()) std::printf("job directory: %s\n", job_path.c_str());
   return 0;
 }
 
@@ -792,8 +959,10 @@ int main(int argc, char** argv) {
     if (args.command() == "methods") return cmd_methods();
     if (args.command() == "backends") return cmd_backends();
     if (args.command() == "injectors") return cmd_injectors();
+    if (args.command() == "defenses") return cmd_defenses();
     if (args.command() == "attack") return cmd_attack(args);
     if (args.command() == "sweep") return cmd_sweep(args);
+    if (args.command() == "arena") return cmd_arena(args);
     if (args.command() == "campaign") return cmd_campaign(args);
     if (args.command() == "serve") return cmd_serve(args);
     if (args.command() == "eval") return cmd_eval(args);

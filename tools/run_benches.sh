@@ -301,3 +301,65 @@ if previous and previous.get("rows_per_sec_on"):
     flag = "  <-- regression?" if change < -10.0 else ""
     print(f"compile throughput vs previous entry: {change:+.1f}%{flag}")
 EOF
+
+# ---- arena stage: attack↔defense evasion frontier ---------------------------
+# bench_arena crosses the vanilla and detection-aware attacks against the
+# deployed defenses (checksum/64, range/201/0.10, range/16/0) on digits
+# fc3 at the paper's S=2 R=100 budget, reduces the rows through the arena
+# reducer, and emits one JSON document on stdout. Its exit code enforces
+# the acceptance bar: fsa-l2-evasive must evade strictly more often than
+# vanilla fsa-l2 under the strict range deployment. Folded into the
+# trajectory entry as {"arena": ...} with a delta against the previous
+# entry; fails loudly, like the serve and compile stages.
+echo ""
+echo "arena bench (attack vs defense evasion frontier)..."
+if ! cmake --build "$build_dir" -j --target bench_arena; then
+  echo "run_benches.sh: ERROR: bench_arena failed to build; no arena entry." >&2
+  exit 1
+fi
+
+arena_json="$build_dir/bench_arena_run.json"
+if ! "$build_dir/bench_arena" > "$arena_json"; then
+  echo "run_benches.sh: ERROR: bench_arena failed (detection-aware attack lost to vanilla?)" >&2
+  exit 1
+fi
+if [ ! -s "$arena_json" ]; then
+  echo "run_benches.sh: ERROR: bench_arena produced no JSON; no arena entry." >&2
+  exit 1
+fi
+
+python3 - "$arena_json" "$out_json" <<'EOF'
+import json, sys
+
+arena_path, out_path = sys.argv[1:3]
+with open(arena_path) as f:
+    arena = json.load(f)
+with open(out_path) as f:
+    trajectory = json.load(f)
+
+entry = trajectory["runs"][-1]
+entry["arena"] = {
+    "rows": arena.get("rows", 0),
+    "rows_per_sec": arena.get("rows_per_sec", 0.0),
+    "detect_rate": arena.get("detect_rate", 0.0),
+    "evasion_rate": arena.get("evasion_rate", 0.0),
+    "overhead_bytes": arena.get("overhead_bytes", 0),
+}
+with open(out_path, "w") as f:
+    json.dump(trajectory, f, indent=1)
+    f.write("\n")
+
+a = entry["arena"]
+print(f"arena: {a['rows']} cells at {a['rows_per_sec']:.2f} rows/s, "
+      f"detect {a['detect_rate'] * 100.0:.0f}%, evade {a['evasion_rate'] * 100.0:.0f}%, "
+      f"defense overhead {a['overhead_bytes']} B")
+previous = next((r["arena"] for r in reversed(trajectory["runs"][:-1]) if "arena" in r), None)
+if previous:
+    if previous.get("rows_per_sec"):
+        change = (a["rows_per_sec"] - previous["rows_per_sec"]) / previous["rows_per_sec"] * 100.0
+        flag = "  <-- regression?" if change < -10.0 else ""
+        print(f"arena throughput vs previous entry: {change:+.1f}%{flag}")
+    dshift = (a["evasion_rate"] - previous.get("evasion_rate", 0.0)) * 100.0
+    flag = "  <-- frontier moved?" if abs(dshift) > 0.5 else ""
+    print(f"arena evasion rate vs previous entry: {dshift:+.1f} pp{flag}")
+EOF
