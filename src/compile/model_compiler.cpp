@@ -7,6 +7,8 @@
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace fsa::compile {
@@ -42,6 +44,8 @@ void bias_epilogue(Tensor& out, const Tensor& bias, bool relu) {
 }  // namespace
 
 CompiledModel::CompiledModel(nn::Sequential& net) {
+  OBS_SPAN("compile.build");
+  obs::Registry::global().counter("fsa_compile_builds_total").inc();
   shared_layers_.reserve(net.size());
   layers_.reserve(net.size());
   for (std::size_t i = 0; i < net.size(); ++i) {
@@ -79,6 +83,7 @@ void CompiledModel::build_nodes() {
 }
 
 void CompiledModel::pack_panels() {
+  OBS_SPAN("compile.pack_panels");
   for (Node& nd : nodes_) {
     nn::Parameter* w = nullptr;
     if (nd.kind == Node::Kind::kDense) w = &static_cast<nn::Dense*>(nd.layer)->weight();
@@ -96,6 +101,10 @@ void CompiledModel::gemm_into(Node& nd, nn::Parameter& weight, const Tensor& a, 
       // Copy-on-write: this weight was mutated (or was never packed under
       // the packed backend) — repack privately. Other plans sharing the
       // old panels keep them; only this node's shared_ptr is replaced.
+      OBS_SPAN("compile.repack");
+      static obs::Counter& repacks_metric =
+          obs::Registry::global().counter("fsa_compile_repacks_total");
+      repacks_metric.inc();
       const Tensor& v = weight.value();
       nd.panels = std::make_shared<const backend::PackedB>(backend::pack_b(v.data(), v.dim(0), v.dim(1)));
       nd.packed_version = weight.version();
@@ -195,6 +204,7 @@ nn::Sequential CompiledModel::instance_net(std::size_t cut) const {
 }
 
 CompiledModel CompiledModel::rebind(nn::Sequential& net) const {
+  OBS_SPAN("compile.rebind");
   if (net.size() != layers_.size())
     throw std::invalid_argument("CompiledModel::rebind: layer count differs from the plan");
   CompiledModel out;

@@ -1,10 +1,13 @@
 #include "core/admm.h"
 
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
 #include "backend/compute_backend.h"
 #include "core/prox.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace fsa::core {
@@ -32,46 +35,72 @@ AdmmResult AdmmSolver::solve(const AttackSpec& spec, const AdmmConfig& cfg) {
   out.g_history.reserve(static_cast<std::size_t>(cfg.iterations));
   std::int64_t satisfied_checks = 0;
 
+  OBS_SPAN("admm.solve");
+  static obs::Counter& solves_metric = obs::Registry::global().counter("fsa_admm_solves_total");
+  static obs::Counter& iters_metric = obs::Registry::global().counter("fsa_admm_iterations_total");
+  static obs::Counter& early_metric =
+      obs::Registry::global().counter("fsa_admm_early_stops_total");
+  solves_metric.inc();
+
+  // Convergence recording keeps zᵏ around for the dual residual; the copy
+  // and the two reductions only run when asked for.
+  const bool record = cfg.record_convergence;
+  Tensor z_prev;
+  if (record) {
+    z_prev = z;
+    out.convergence.objective.reserve(static_cast<std::size_t>(cfg.iterations));
+    out.convergence.primal.reserve(static_cast<std::size_t>(cfg.iterations));
+    out.convergence.dual.reserve(static_cast<std::size_t>(cfg.iterations));
+  }
+
   for (std::int64_t k = 0; k < cfg.iterations; ++k) {
     // ---- z-step (eq. 13): prox of D at v = δᵏ − sᵏ -------------------------
-    Tensor v = delta;
-    v -= s;
-    switch (cfg.norm) {
-      case NormKind::kL0:
-        z = prox_l0(v, cfg.rho);
-        break;
-      case NormKind::kL2:
-        z = prox_l2(v, cfg.rho);
-        break;
-      case NormKind::kL1:
-        z = prox_l1(v, cfg.rho);
-        break;
-    }
-    // Detection-aware z-step: budget first (pick blocks from the raw
-    // prox output), then box (the kept coordinates land in the accepted
-    // envelope), so the early-stop candidate θ0+z is always evasive.
-    if (cfg.evasion) {
-      const EvasionConstraint& ev = *cfg.evasion;
-      if (ev.has_budget()) z = project_block_budget(z, ev.block_params, ev.max_blocks);
-      if (ev.has_box()) z = project_box(z, ev.lo, ev.hi);
+    {
+      OBS_SPAN("admm.z_step");
+      Tensor v = delta;
+      v -= s;
+      switch (cfg.norm) {
+        case NormKind::kL0:
+          z = prox_l0(v, cfg.rho);
+          break;
+        case NormKind::kL2:
+          z = prox_l2(v, cfg.rho);
+          break;
+        case NormKind::kL1:
+          z = prox_l1(v, cfg.rho);
+          break;
+      }
+      // Detection-aware z-step: budget first (pick blocks from the raw
+      // prox output), then box (the kept coordinates land in the accepted
+      // envelope), so the early-stop candidate θ0+z is always evasive.
+      if (cfg.evasion) {
+        const EvasionConstraint& ev = *cfg.evasion;
+        if (ev.has_budget()) z = project_block_budget(z, ev.block_params, ev.max_blocks);
+        if (ev.has_box()) z = project_box(z, ev.lo, ev.hi);
+      }
     }
 
     // ---- δ-step (eq. 22) ----------------------------------------------------
-    theta = theta0;
-    theta += delta;
-    auto res = grad_.eval(theta, spec, cfg.c, cfg.kappa, /*want_grad=*/true, cfg.anchor_weight);
-    out.g_history.push_back(res.eval.total_g);
-    // δ ← (ρ(z+s) + αRδ − Σ∇g) / (αR+ρ), computed in place. Elementwise,
-    // so the backend shards it exactly (serially on "reference").
-    backend::active().parallel_rows(d, 8192, [&](std::int64_t b, std::int64_t e) {
-      for (std::int64_t i = b; i < e; ++i) {
-        const auto ui = static_cast<std::size_t>(i);
-        const double num = cfg.rho * (static_cast<double>(z[ui]) + s[ui]) +
-                           alpha * static_cast<double>(r) * delta[ui] -
-                           static_cast<double>(res.grad[ui]);
-        delta[ui] = static_cast<float>(num / denom);
-      }
-    });
+    double objective = 0.0;
+    {
+      OBS_SPAN("admm.delta_step");
+      theta = theta0;
+      theta += delta;
+      auto res = grad_.eval(theta, spec, cfg.c, cfg.kappa, /*want_grad=*/true, cfg.anchor_weight);
+      objective = res.eval.total_g;
+      out.g_history.push_back(res.eval.total_g);
+      // δ ← (ρ(z+s) + αRδ − Σ∇g) / (αR+ρ), computed in place. Elementwise,
+      // so the backend shards it exactly (serially on "reference").
+      backend::active().parallel_rows(d, 8192, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto ui = static_cast<std::size_t>(i);
+          const double num = cfg.rho * (static_cast<double>(z[ui]) + s[ui]) +
+                             alpha * static_cast<double>(r) * delta[ui] -
+                             static_cast<double>(res.grad[ui]);
+          delta[ui] = static_cast<float>(num / denom);
+        }
+      });
+    }
 
     // ---- s-step (eq. 12): s ← s + z − δ, elementwise ------------------------
     backend::active().parallel_rows(d, 8192, [&](std::int64_t b, std::int64_t e) {
@@ -84,15 +113,32 @@ AdmmResult AdmmSolver::solve(const AttackSpec& spec, const AdmmConfig& cfg) {
 
     out.iterations_run = k + 1;
 
+    if (record) {
+      double primal_sq = 0.0;
+      double dual_sq = 0.0;
+      for (std::int64_t i = 0; i < d; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const double pr = static_cast<double>(z[ui]) - static_cast<double>(delta[ui]);
+        const double du = static_cast<double>(z[ui]) - static_cast<double>(z_prev[ui]);
+        primal_sq += pr * pr;
+        dual_sq += du * du;
+      }
+      out.convergence.objective.push_back(objective);
+      out.convergence.primal.push_back(std::sqrt(primal_sq));
+      out.convergence.dual.push_back(cfg.rho * std::sqrt(dual_sq));
+      z_prev = z;
+    }
+
     // ---- early stop: the SPARSE candidate must satisfy the constraints ------
     if (cfg.check_every > 0 && (k + 1) % cfg.check_every == 0) {
+      OBS_SPAN("admm.check");
       theta = theta0;
       theta += z;
       const Tensor logits = grad_.logits_at(theta, spec);
       const auto [hit, kept] = count_satisfied(logits, spec);
       if (cfg.verbose)
         std::printf("[admm] iter %4lld: g=%.3f targets %lld/%lld kept %lld/%lld l0(z)=%lld\n",
-                    static_cast<long long>(k + 1), res.eval.total_g, static_cast<long long>(hit),
+                    static_cast<long long>(k + 1), objective, static_cast<long long>(hit),
                     static_cast<long long>(spec.S), static_cast<long long>(kept),
                     static_cast<long long>(r - spec.S),
                     static_cast<long long>(ops::l0_norm(z)));
@@ -108,6 +154,8 @@ AdmmResult AdmmSolver::solve(const AttackSpec& spec, const AdmmConfig& cfg) {
   }
 
   mask.scatter_values(theta0);  // leave the network unmodified
+  iters_metric.inc(out.iterations_run);
+  if (out.early_stopped) early_metric.inc();
   out.delta = std::move(delta);
   out.z = std::move(z);
   return out;

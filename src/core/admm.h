@@ -78,11 +78,29 @@ struct AdmmConfig {
   std::int64_t check_every = 25;  ///< evaluate the sparse candidate θ0+z
   std::int64_t patience = 2;      ///< consecutive satisfied checks → early stop
   bool verbose = false;
+  /// Record per-iteration objective/primal/dual residuals into
+  /// AdmmResult::convergence. Off by default: the extra O(d) passes and
+  /// the zᵏ copy only run when someone asked to watch the solve (the
+  /// engine sets this from the trace flag), so the untraced solve path
+  /// is untouched.
+  bool record_convergence = false;
   /// Optional detection-aware constraint (shared: AdmmConfig is copied
   /// freely during escalation and the box tensors are large). Null for
   /// the vanilla attack — the solve path is then bitwise identical to
   /// pre-evasion builds.
   std::shared_ptr<const EvasionConstraint> evasion;
+};
+
+/// Per-iteration solver diagnostics — the convergence curves behind the
+/// paper's experiments section. All three vectors are index-aligned
+/// (entry k = iteration k): objective Σcᵢgᵢ, primal residual ‖zᵏ⁺¹−δᵏ⁺¹‖₂
+/// and dual residual ρ‖zᵏ⁺¹−zᵏ‖₂ (the standard ADMM stopping pair).
+struct ConvergenceTrace {
+  std::vector<double> objective;
+  std::vector<double> primal;
+  std::vector<double> dual;
+
+  [[nodiscard]] bool empty() const { return objective.empty(); }
 };
 
 struct AdmmResult {
@@ -91,6 +109,7 @@ struct AdmmResult {
   std::int64_t iterations_run = 0;
   bool early_stopped = false;
   std::vector<double> g_history;  ///< Σcᵢgᵢ at each iteration (diagnostics)
+  ConvergenceTrace convergence;   ///< filled only when cfg.record_convergence
 };
 
 class AdmmSolver {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace fsa::core {
@@ -25,6 +26,7 @@ void FaultSneakingAttack::apply(const Tensor& delta) {
 
 Tensor FaultSneakingAttack::refine(const Tensor& delta, const AttackSpec& spec,
                                    const FaultSneakingConfig& cfg) {
+  OBS_SPAN("fsa.refine");
   HeadGradient grad(*net_, mask_);
   // Freeze the support: only coordinates already nonzero may move. This is
   // what keeps refinement from undoing the sparsity the z-step bought.
@@ -71,6 +73,7 @@ FaultSneakingResult FaultSneakingAttack::run(const AttackSpec& spec,
 
   AdmmConfig admm_cfg = cfg.admm;
   for (std::int64_t attempt = 0; attempt <= cfg.escalations; ++attempt) {
+    OBS_SPAN("fsa.attempt");
     // Re-establish θ0 in the live network: the previous attempt's
     // refinement/measurement evaluations leave θ0 + δ scattered into the
     // masked parameters, and solve() gathers whatever the network holds as
@@ -97,6 +100,7 @@ FaultSneakingResult FaultSneakingAttack::run(const AttackSpec& spec,
     cand.all_maintained = kept == spec.R() - spec.S;
     cand.admm_iterations = admm.iterations_run;
     cand.attempts = attempt + 1;
+    cand.convergence = admm.convergence;
 
     if (cfg.verbose)
       std::printf("[fsa] attempt %lld (c=%.1f): targets %lld/%lld kept %lld/%lld l0=%lld l2=%.3f\n",

@@ -45,6 +45,8 @@ struct FaultSneakingResult {
   std::int64_t admm_iterations = 0;
   std::int64_t attempts = 0;        ///< escalation attempts used
   double seconds = 0.0;
+  ConvergenceTrace convergence;     ///< best attempt's per-iteration curves
+                                    ///< (empty unless admm.record_convergence)
 };
 
 class FaultSneakingAttack {

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace fsa::dist {
 
 namespace fs = std::filesystem;
@@ -116,6 +118,13 @@ std::string JobDir::lease_path(int shard) const {
   return (fs::path(path_) / "leases" / (shard_file(shard) + ".lease")).string();
 }
 
+std::string JobDir::telemetry_sidecar_path(int shard) const {
+  check_shard(shard);
+  return (fs::path(path_) / "results" / (shard_file(shard) + ".telemetry.json")).string();
+}
+
+std::string JobDir::telemetry_path() const { return (fs::path(path_) / "telemetry.json").string(); }
+
 eval::Json JobDir::manifest() const { return read_json_file(manifest_path()); }
 
 bool JobDir::has_result(int shard) const {
@@ -181,6 +190,26 @@ JobStatus JobDir::status() const {
   std::error_code ec;
   st.reduced = fs::is_regular_file(reduced_path(), ec);
   return st;
+}
+
+int merge_job_telemetry(const JobDir& job) {
+  eval::Json merged;
+  int folded = 0;
+  for (int s = 0; s < job.shards(); ++s) {
+    const std::string sidecar = job.telemetry_sidecar_path(s);
+    std::error_code ec;
+    if (!fs::is_regular_file(sidecar, ec)) continue;
+    eval::Json doc;
+    try {
+      doc = read_json_file(sidecar);
+    } catch (const std::exception&) {
+      continue;  // telemetry is best-effort: a torn sidecar never fails a job
+    }
+    merged = folded == 0 ? std::move(doc) : obs::merge_telemetry(merged, doc);
+    ++folded;
+  }
+  if (folded > 0) write_json_atomic(job.telemetry_path(), merged);
+  return folded;
 }
 
 void JobDir::check_shard(int shard) const {

@@ -7,9 +7,12 @@
 //     job.json                 {"kind": "campaign"|"sweep", "shards": K}
 //     manifest.json            kind-specific, self-contained work spec
 //     results/shard_00000.json one per completed shard, written atomically
+//     results/shard_00000.telemetry.json
+//                              optional metrics sidecar (FSA_METRICS on)
 //     logs/shard_00000.log     worker stdout+stderr, one per shard attempt
 //     leases/shard_00000.lease live shard claims (`dist serve`, see lease.h)
 //     reduced.json             the zero-drift reduction over all results
+//     telemetry.json           merged sidecars — always OUTSIDE reduced.json
 //
 // Workers never coordinate with each other: shard i's work is a pure
 // function of manifest.json and i (the planner assigned every seed and
@@ -67,6 +70,11 @@ class JobDir {
   [[nodiscard]] std::string log_path(int shard) const;
   [[nodiscard]] std::string lease_path(int shard) const;
   [[nodiscard]] std::string reduced_path() const;
+  /// Optional per-shard metrics sidecar (a worker writes its registry
+  /// snapshot here when FSA_METRICS is on). Never part of the reduction.
+  [[nodiscard]] std::string telemetry_sidecar_path(int shard) const;
+  /// Job-level merge target for the sidecars: `<job>/telemetry.json`.
+  [[nodiscard]] std::string telemetry_path() const;
 
   [[nodiscard]] eval::Json manifest() const;
   [[nodiscard]] bool has_result(int shard) const;
@@ -103,5 +111,13 @@ class JobDir {
   std::string kind_;
   int shards_ = 0;
 };
+
+/// Merge every present per-shard telemetry sidecar into
+/// `<job>/telemetry.json` (counters add, gauges take the max — see
+/// obs::merge_telemetry) and return how many sidecars were folded in.
+/// Telemetry is best-effort by design: missing or corrupt sidecars are
+/// skipped, zero sidecars writes nothing, and reduced.json is never
+/// touched — it must stay byte-identical with telemetry on or off.
+int merge_job_telemetry(const JobDir& job);
 
 }  // namespace fsa::dist

@@ -246,6 +246,9 @@ eval::Json run_job(const JobDir& job, const std::string& exe, const RunJobOption
                  job.path().c_str(), job.shards());
   const eval::Json reduced = reduce_job(job);
   job.write_reduced(reduced);
+  // Fold any per-shard telemetry sidecars (workers run with FSA_METRICS)
+  // into <job>/telemetry.json — separate from reduced.json by contract.
+  merge_job_telemetry(job);
   return reduced;
 }
 

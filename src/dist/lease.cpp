@@ -12,7 +12,19 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace fsa::dist {
+
+namespace {
+
+/// Lease lifecycle counters — the coordinator-free protocol's pulse.
+/// Registered once; every claim/renew/reclaim/release path ticks them.
+obs::Counter& lease_metric(const char* event) {
+  return obs::Registry::global().counter(std::string("fsa_lease_") + event + "_total");
+}
+
+}  // namespace
 
 namespace fs = std::filesystem;
 
@@ -79,9 +91,13 @@ bool try_claim_lease(const std::string& path, const LeaseInfo& info) {
   // the job directory.
   const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
   if (fd < 0) {
-    if (errno == EEXIST) return false;
+    if (errno == EEXIST) {
+      lease_metric("claim_conflicts").inc();
+      return false;
+    }
     throw std::runtime_error("lease: cannot create " + path + ": " + std::strerror(errno));
   }
+  lease_metric("claims").inc();
   const std::string text = info.to_json().dump(2) + "\n";
   // Body lands after the O_EXCL create, so a claimer killed right here
   // leaves an empty lease — which parses to heartbeat 0, i.e. instantly
@@ -130,6 +146,7 @@ bool renew_lease(const std::string& path, const std::string& owner, std::int64_t
   // definition inside its expiry window, so the window is unreachable in
   // practice; and even then the worst case is duplicate execution.)
   write_json_atomic(path, cur->to_json());
+  lease_metric("renews").inc();
   return true;
 }
 
@@ -138,6 +155,7 @@ void release_lease(const std::string& path, const std::string& owner) {
   if (!cur || cur->owner != owner) return;  // lost to a reclaimer — not ours to unlink
   std::error_code ec;
   fs::remove(path, ec);  // ENOENT race with a reclaimer is fine
+  if (!ec) lease_metric("releases").inc();
 }
 
 bool try_reclaim_lease(const std::string& path, const std::string& claimer) {
@@ -152,6 +170,7 @@ bool try_reclaim_lease(const std::string& path, const std::string& claimer) {
   fs::rename(path, aside, ec);
   if (ec) return false;  // someone else already renamed it away
   fs::remove(aside, ec);
+  lease_metric("reclaims").inc();
   return true;
 }
 

@@ -90,6 +90,10 @@ eval::Json reduce_rows(const char* kind, const eval::Json& manifest,
     // so the reduced document is canonical. (Campaign seconds stay: they
     // are recomputed from exact integer counters.)
     row.set("seconds", eval::Json::number(0.0));
+    // Convergence curves exist only when the worker ran with FSA_TRACE on;
+    // strip them so reduced bytes are identical with telemetry on or off.
+    // (They remain available in the per-shard results and via --out rows.)
+    row.remove("convergence");
     arr.push_back(std::move(row));
   }
 

@@ -18,6 +18,8 @@
 #include "dist/lease.h"
 #include "dist/reducer.h"
 #include "dist/worker_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fsa::dist {
 
@@ -82,9 +84,17 @@ void maybe_reduce(const JobDir& job, ServeReport& rep, const ServeOptions& opts)
     // bytes.
     job.write_reduced(reduce_job(job));
     ++rep.jobs_reduced;
-    if (opts.verbose)
+    obs::Registry::global().counter("fsa_dist_jobs_reduced_total").inc();
+    // Sidecars ride along when the shard workers ran with FSA_METRICS on;
+    // merging them never touches reduced.json (byte-identity contract).
+    const int telemetry = merge_job_telemetry(job);
+    if (opts.verbose) {
       std::fprintf(stderr, "[serve] %s: all %d shard(s) done, reduced.json written\n",
                    job.path().c_str(), job.shards());
+      if (telemetry > 0)
+        std::fprintf(stderr, "[serve] %s: merged %d telemetry sidecar(s) into telemetry.json\n",
+                     job.path().c_str(), telemetry);
+    }
   } catch (const std::exception& e) {
     // A result was quarantined or vanished between the listing and the
     // reduce — the next poll cycle re-runs that shard.
@@ -101,6 +111,9 @@ void maybe_reduce(const JobDir& job, ServeReport& rep, const ServeOptions& opts)
 /// atomic and duplicate execution is harmless.
 bool run_claimed_shard(const JobDir& job, int shard, const std::string& exe,
                        const ServeOptions& opts, const std::string& owner, int heartbeat_ms) {
+  OBS_SPAN("dist.shard", !obs::trace_enabled()
+                             ? std::string()
+                             : job.kind() + " shard=" + std::to_string(shard));
   std::vector<std::string> argv = {exe,           job.kind(),
                                    "--run-shard", job.manifest_path(),
                                    "--shard",     std::to_string(shard),
@@ -134,6 +147,9 @@ bool run_claimed_shard(const JobDir& job, int shard, const std::string& exe,
 
   const int code = decode_exit_status(status);
   const bool ok = code == 0 && job.has_result(shard);
+  obs::Registry::global()
+      .counter(ok ? "fsa_dist_shards_run_total" : "fsa_dist_shards_failed_total")
+      .inc();
   if (ours) release_lease(lease, owner);
   if (opts.verbose) {
     if (ok)

@@ -97,6 +97,18 @@ eval::Json AttackReport::to_json() const {
   j.set("compiled", eval::Json::boolean(compiled));
   if (campaign) j.set("campaign", campaign->to_json());
   if (defense) j.set("defense", defense->to_json());
+  if (!convergence.empty()) {
+    eval::Json conv = eval::Json::object();
+    const auto series = [](const std::vector<double>& v) {
+      eval::Json arr = eval::Json::array();
+      for (const double x : v) arr.push_back(eval::Json::number(x));
+      return arr;
+    };
+    conv.set("objective", series(convergence.objective));
+    conv.set("primal", series(convergence.primal));
+    conv.set("dual", series(convergence.dual));
+    j.set("convergence", std::move(conv));
+  }
   return j;
 }
 
@@ -130,6 +142,16 @@ AttackReport AttackReport::from_json(const eval::Json& j) {
     r.campaign = CampaignSummary::from_json(j.at("campaign"));
   if (j.has("defense") && !j.at("defense").is_null())
     r.defense = DefenseOutcome::from_json(j.at("defense"));
+  if (j.has("convergence") && !j.at("convergence").is_null()) {
+    const eval::Json& conv = j.at("convergence");
+    const auto series = [&](const char* key, std::vector<double>& out) {
+      if (!conv.has(key)) return;
+      for (const eval::Json& x : conv.at(key).items()) out.push_back(x.as_number());
+    };
+    series("objective", r.convergence.objective);
+    series("primal", r.convergence.primal);
+    series("dual", r.convergence.dual);
+  }
   return r;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/admm.h"
 #include "core/attack_spec.h"
 #include "core/param_mask.h"
 #include "eval/json.h"
@@ -94,6 +95,10 @@ struct AttackReport {
   bool compiled = false;         ///< produced by the compiled forward path (FSA_COMPILE)
   std::optional<CampaignSummary> campaign;  ///< hardware stage (when the sweep asked for one)
   std::optional<DefenseOutcome> defense;    ///< defense stage (when a guard was deployed)
+  /// Per-iteration solver curves (objective/primal/dual), present only
+  /// when FSA_TRACE was on during the solve. Reducers strip this block —
+  /// reduced.json stays byte-identical with telemetry on or off.
+  core::ConvergenceTrace convergence;
   Tensor delta;                  ///< modification over the surface's flat space (not serialized)
 
   /// Scalar fields as a JSON object (`delta` is intentionally excluded —

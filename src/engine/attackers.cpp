@@ -8,6 +8,7 @@
 #include "defense/defenses.h"
 #include "core/head_gradient.h"
 #include "nn/dense.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace fsa::engine {
@@ -39,8 +40,13 @@ void fill_satisfaction(AttackReport& r, std::int64_t hit, std::int64_t kept) {
 AttackReport run_fsa(const core::FaultSneakingConfig& cfg, const std::string& name,
                      nn::Sequential& net, const core::ParamMask& mask,
                      const core::AttackSpec& spec) {
+  core::FaultSneakingConfig traced_cfg = cfg;
+  // Convergence curves ride the trace flag: the extra per-iteration work
+  // only happens when someone asked to watch, and reducers strip the
+  // block so reduced artifacts stay byte-identical either way.
+  traced_cfg.admm.record_convergence = obs::trace_enabled();
   core::FaultSneakingAttack attack(net, mask);
-  const core::FaultSneakingResult res = attack.run(spec, cfg);
+  const core::FaultSneakingResult res = attack.run(spec, traced_cfg);
 
   AttackReport r = base_report(name, mask, spec);
   r.delta = res.delta;
@@ -50,6 +56,7 @@ AttackReport run_fsa(const core::FaultSneakingConfig& cfg, const std::string& na
   r.attempts = res.attempts;
   r.iterations = res.admm_iterations;
   r.seconds = res.seconds;
+  r.convergence = res.convergence;
   return r;
 }
 

@@ -15,6 +15,8 @@
 #include "engine/registry.h"
 #include "eval/stopwatch.h"
 #include "models/feature_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/parallel.h"
 #include "tensor/rng.h"
 
@@ -449,6 +451,10 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
   if (specs.empty()) throw std::invalid_argument("SweepRunner: empty sweep");
   const std::int64_t n = static_cast<std::int64_t>(specs.size());
   const eval::Stopwatch total;
+  OBS_SPAN("sweep.run");
+  static obs::Counter& rows_metric = obs::Registry::global().counter("fsa_sweep_rows_total");
+  static obs::Histogram& row_ms_metric = obs::Registry::global().histogram(
+      "fsa_sweep_row_ms", obs::exponential_bounds(1.0, 4.0, 12));
 
   // Serial prologue: per-surface benches (feature caches hit disk), attack
   // problem instances, and one shared Attacker per method. Everything the
@@ -464,6 +470,8 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
   const compile::CompiledModel* plan = warm_compile();  // nullptr when FSA_COMPILE=off
   std::vector<Task> tasks(static_cast<std::size_t>(n));
   std::map<std::string, std::shared_ptr<const Attacker>> method_cache;
+  std::optional<obs::TraceSpan> prologue_span;
+  prologue_span.emplace("sweep.prologue");
   for (std::int64_t i = 0; i < n; ++i) {
     Task& t = tasks[static_cast<std::size_t>(i)];
     t.spec = &specs[static_cast<std::size_t>(i)];
@@ -502,11 +510,34 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
   result.compiled = plan != nullptr;
   result.fused_nodes = plan != nullptr ? static_cast<std::int64_t>(plan->fused_nodes()) : 0;
   result.rows.resize(static_cast<std::size_t>(n));
+  prologue_span.reset();
   std::atomic<std::int64_t> next{0};
   const std::int64_t lanes = std::min<std::int64_t>(n, num_threads());
   parallel_for(0, lanes, 1, [&](std::int64_t, std::int64_t) {
     for (std::int64_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       const Task& t = tasks[static_cast<std::size_t>(i)];
+      const eval::Stopwatch row_watch;
+      // Attribution tag only materializes when tracing is on — and is
+      // built with one allocation, not a concatenation chain: rows can be
+      // tens of microseconds, so per-row telemetry cost must stay in the
+      // noise (run_benches.sh gates the traced path at 3%).
+      std::string row_tag;
+      if (obs::trace_enabled()) {
+        row_tag.reserve(96);
+        row_tag += t.spec->method;
+        row_tag += ' ';
+        row_tag += t.spec->surface_key();
+        row_tag += " S=";
+        row_tag += std::to_string(t.spec->S);
+        row_tag += " R=";
+        row_tag += std::to_string(t.spec->R);
+        row_tag += " seed=";
+        row_tag += std::to_string(t.spec->seed);
+        row_tag += " backend=";
+        row_tag += backend::active_name();
+        if (plan != nullptr) row_tag += " compiled";
+      }
+      OBS_SPAN("sweep.row", std::move(row_tag));
       // Compiled: O(δ-surface) instance — the prefix below the cut is
       // shared read-only with every other instance, only the attacked
       // head is deep-copied. Uncompiled: full deep clone (parity oracle).
@@ -610,6 +641,8 @@ SweepResult SweepRunner::run(const std::vector<SweepSpec>& specs) {
       SweepRow& row = result.rows[static_cast<std::size_t>(i)];
       row.spec = *t.spec;
       row.report = std::move(rep);
+      rows_metric.inc();
+      row_ms_metric.observe(row_watch.seconds() * 1000.0);
     }
   });
 

@@ -139,6 +139,18 @@ class Json {
     return *this;
   }
 
+  /// Drop an object member if present (no-op otherwise, preserves the
+  /// order of the remaining members).
+  Json& remove(const std::string& key) {
+    expect(Type::kObject, "object");
+    for (auto it = members_.begin(); it != members_.end(); ++it)
+      if (it->first == key) {
+        members_.erase(it);
+        return *this;
+      }
+    return *this;
+  }
+
   [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const {
     expect(Type::kObject, "object");
     return members_;

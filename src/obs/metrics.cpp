@@ -1,0 +1,332 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace fsa::obs {
+
+namespace {
+
+std::atomic<int> g_metrics_state{-1};
+
+int read_metrics_env() {
+  const char* v = std::getenv("FSA_METRICS");
+  if (v == nullptr) return 0;
+  if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+      std::strcmp(v, "yes") == 0)
+    return 1;
+  return 0;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Split "base{label=...}" into base and the label body (no braces).
+void split_labels(const std::string& name, std::string& base, std::string& labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    base = name;
+    labels.clear();
+    return;
+  }
+  base = name.substr(0, brace);
+  labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  int s = g_metrics_state.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = read_metrics_env();
+    g_metrics_state.store(s, std::memory_order_relaxed);
+  }
+  return s == 1;
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ---- Gauge -------------------------------------------------------------------
+
+std::uint64_t Gauge::pack(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::unpack(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+void Gauge::add(double d) {
+  std::uint64_t old = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(old, pack(unpack(old) + d), std::memory_order_relaxed)) {
+  }
+}
+
+// ---- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("obs: histogram needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument("obs: histogram bounds must be strictly ascending");
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + v),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Histogram::bucket_count(std::size_t i) const {
+  if (i > bounds_.size()) throw std::out_of_range("obs: histogram bucket index");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::quantile(double q) const {
+  const std::int64_t total = count();
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const double c = static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (cum + c >= target && c > 0.0) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow: clamp
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = (target - cum) / c;
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += c;
+  }
+  return bounds_.back();
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> exponential_bounds(double start, double factor, int count) {
+  if (start <= 0.0 || factor <= 1.0 || count < 1)
+    throw std::invalid_argument("obs: exponential_bounds needs start > 0, factor > 1, count >= 1");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i, v *= factor) out.push_back(v);
+  return out;
+}
+
+std::vector<double> linear_bounds(double start, double step, int count) {
+  if (step <= 0.0 || count < 1)
+    throw std::invalid_argument("obs: linear_bounds needs step > 0, count >= 1");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(start + step * i);
+  return out;
+}
+
+// ---- Registry ----------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: metrics outlive exiting threads
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = Entry::Kind::kCounter;
+    e.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(name, std::move(e)).first;
+  }
+  if (it->second.kind != Entry::Kind::kCounter)
+    throw std::invalid_argument("obs: metric " + name + " already registered as a different kind");
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = Entry::Kind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(name, std::move(e)).first;
+  }
+  if (it->second.kind != Entry::Kind::kGauge)
+    throw std::invalid_argument("obs: metric " + name + " already registered as a different kind");
+  return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = Entry::Kind::kHistogram;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = metrics_.emplace(name, std::move(e)).first;
+  }
+  if (it->second.kind != Entry::Kind::kHistogram)
+    throw std::invalid_argument("obs: metric " + name + " already registered as a different kind");
+  return *it->second.histogram;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_family;
+  for (const auto& [name, entry] : metrics_) {
+    std::string base, labels;
+    split_labels(name, base, labels);
+    if (base != last_family) {
+      const char* type = entry.kind == Entry::Kind::kCounter  ? "counter"
+                         : entry.kind == Entry::Kind::kGauge ? "gauge"
+                                                             : "histogram";
+      out += "# TYPE " + base + " " + type + "\n";
+      last_family = base;
+    }
+    switch (entry.kind) {
+      case Entry::Kind::kCounter:
+        out += name + " " + std::to_string(entry.counter->value()) + "\n";
+        break;
+      case Entry::Kind::kGauge:
+        out += name + " " + format_double(entry.gauge->value()) + "\n";
+        break;
+      case Entry::Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        const std::string prefix = labels.empty() ? "" : labels + ",";
+        std::int64_t cum = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cum += h.bucket_count(i);
+          out += base + "_bucket{" + prefix + "le=\"" + format_double(h.bounds()[i]) + "\"} " +
+                 std::to_string(cum) + "\n";
+        }
+        cum += h.bucket_count(h.bounds().size());
+        out += base + "_bucket{" + prefix + "le=\"+Inf\"} " + std::to_string(cum) + "\n";
+        const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+        out += base + "_sum" + suffix + " " + format_double(h.sum()) + "\n";
+        out += base + "_count" + suffix + " " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+eval::Json Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  eval::Json counters = eval::Json::object();
+  eval::Json gauges = eval::Json::object();
+  eval::Json histograms = eval::Json::object();
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Entry::Kind::kCounter:
+        counters.set(name, eval::Json::number(entry.counter->value()));
+        break;
+      case Entry::Kind::kGauge:
+        gauges.set(name, eval::Json::number(entry.gauge->value()));
+        break;
+      case Entry::Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        eval::Json doc = eval::Json::object();
+        eval::Json bounds = eval::Json::array();
+        for (const double b : h.bounds()) bounds.push_back(eval::Json::number(b));
+        eval::Json counts = eval::Json::array();
+        for (std::size_t i = 0; i <= h.bounds().size(); ++i)
+          counts.push_back(eval::Json::number(h.bucket_count(i)));
+        doc.set("bounds", std::move(bounds));
+        doc.set("counts", std::move(counts));
+        doc.set("sum", eval::Json::number(h.sum()));
+        doc.set("count", eval::Json::number(h.count()));
+        histograms.set(name, std::move(doc));
+        break;
+      }
+    }
+  }
+  eval::Json out = eval::Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Entry::Kind::kCounter: entry.counter->reset(); break;
+      case Entry::Kind::kGauge: entry.gauge->reset(); break;
+      case Entry::Kind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+eval::Json merge_telemetry(const eval::Json& a, const eval::Json& b) {
+  // Returns a REFERENCE (not a value): the range-for loops below iterate
+  // the section's members, and a by-value return would be a temporary
+  // destroyed before the loop body runs.
+  static const eval::Json kEmpty = eval::Json::object();
+  const auto section = [](const eval::Json& doc, const char* key) -> const eval::Json& {
+    return doc.has(key) ? doc.at(key) : kEmpty;
+  };
+
+  eval::Json counters = eval::Json::object();
+  for (const auto& [k, v] : section(a, "counters").members()) counters.set(k, v);
+  for (const auto& [k, v] : section(b, "counters").members())
+    counters.set(k, eval::Json::number(counters.get_number(k, 0.0) + v.as_number()));
+
+  eval::Json gauges = eval::Json::object();
+  for (const auto& [k, v] : section(a, "gauges").members()) gauges.set(k, v);
+  for (const auto& [k, v] : section(b, "gauges").members())
+    gauges.set(k, eval::Json::number(std::max(gauges.get_number(k, v.as_number()), v.as_number())));
+
+  eval::Json histograms = eval::Json::object();
+  for (const auto& [k, v] : section(a, "histograms").members()) histograms.set(k, v);
+  for (const auto& [k, v] : section(b, "histograms").members()) {
+    if (!histograms.has(k)) {
+      histograms.set(k, v);
+      continue;
+    }
+    const eval::Json& have = histograms.at(k);
+    if (have.at("bounds").dump() != v.at("bounds").dump()) continue;  // mismatched: keep a's
+    eval::Json merged = eval::Json::object();
+    merged.set("bounds", have.at("bounds"));
+    eval::Json counts = eval::Json::array();
+    for (std::size_t i = 0; i < have.at("counts").size(); ++i)
+      counts.push_back(eval::Json::number(have.at("counts").at(i).as_number() +
+                                          v.at("counts").at(i).as_number()));
+    merged.set("counts", std::move(counts));
+    merged.set("sum", eval::Json::number(have.get_number("sum", 0.0) + v.get_number("sum", 0.0)));
+    merged.set("count",
+               eval::Json::number(have.get_number("count", 0.0) + v.get_number("count", 0.0)));
+    histograms.set(k, std::move(merged));
+  }
+
+  eval::Json out = eval::Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace fsa::obs

@@ -1,0 +1,145 @@
+// metrics.h — process-wide metrics registry (counters, gauges,
+// fixed-bucket histograms).
+//
+// The hot path is lock-free: a Counter::inc is one relaxed fetch_add, a
+// Histogram::observe is a bucket scan plus two fetch_adds. The registry
+// mutex is taken only at registration (and at scrape time), so call sites
+// cache the returned reference — typically in a function-local static or
+// a member initialized at construction:
+//
+//   static obs::Counter& rows = obs::Registry::global().counter("fsa_sweep_rows_total");
+//   rows.inc();
+//
+// Names follow Prometheus conventions (`fsa_<area>_<what>[_total]`) and
+// may carry a label set inline: `fsa_batcher_batches_total{batcher="0"}`.
+// The registry renders everything as Prometheus text exposition format
+// (the serve daemon's GET /metrics) and as a JSON document (the
+// `telemetry.json` sidecar dist shard workers emit, merged per job by
+// merge_telemetry — always OUTSIDE reduced.json, which must stay
+// byte-identical with telemetry on or off).
+//
+// Collection is always on (the atomics cost nothing worth gating);
+// FSA_METRICS / --metrics gate EMISSION — whether workers write sidecars
+// and the CLI dumps a registry snapshot on exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eval/json.h"
+
+namespace fsa::obs {
+
+/// Emission gate. First call reads FSA_METRICS (on/1/true/yes → enabled);
+/// set_metrics_enabled overrides it (CLI --metrics does this).
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
+  void add(double d);
+  [[nodiscard]] double value() const { return unpack(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t pack(double v);
+  static double unpack(std::uint64_t b);
+  std::atomic<std::uint64_t> bits_{0};  // IEEE bits of 0.0
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// an implicit +Inf bucket catches the rest. Bucket i holds observations
+/// v <= bounds[i] (and > bounds[i-1]); counts are stored NON-cumulative
+/// and rendered cumulative for Prometheus.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count for bucket i, i in [0, bounds().size()] — the
+  /// last index is the +Inf overflow bucket.
+  [[nodiscard]] std::int64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// selected bucket — the standard Prometheus histogram_quantile rule.
+  /// Returns 0 when empty; clamps to the highest finite bound for
+  /// observations in the overflow bucket.
+  [[nodiscard]] double quantile(double q) const;
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+};
+
+/// `count` exponential upper bounds: start, start*factor, ...
+std::vector<double> exponential_bounds(double start, double factor, int count);
+/// `count` linear upper bounds: start, start+step, ...
+std::vector<double> linear_bounds(double start, double step, int count);
+
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Get-or-create. Re-requesting an existing name returns the same
+  /// object (histogram bounds are fixed by the first registration); a
+  /// name registered as a different kind throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Prometheus text exposition format, families sorted by name, one
+  /// `# TYPE` line per family (label variants share it).
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// JSON snapshot: {"counters":{name:value}, "gauges":{...},
+  /// "histograms":{name:{"bounds":[...],"counts":[...],"sum":s,"count":n}}}.
+  [[nodiscard]] eval::Json to_json() const;
+
+  /// Zero every metric (registrations persist). Test isolation.
+  void reset_all();
+
+ private:
+  Registry() = default;
+
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;  // sorted → deterministic output
+};
+
+/// Merge two registry JSON snapshots: counters and histogram buckets/sums
+/// add, gauges take the max (a merged telemetry doc answers "how much work
+/// happened across the job", and peak gauge is the useful aggregate).
+/// Histograms with mismatched bounds keep `a`'s document unchanged.
+eval::Json merge_telemetry(const eval::Json& a, const eval::Json& b);
+
+}  // namespace fsa::obs

@@ -1,0 +1,206 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace fsa::obs {
+
+namespace {
+
+/// Same lazy env idiom as compile::enabled(): -1 = unread, else 0/1.
+/// Atomic because spans open on worker threads before any CLI override.
+std::atomic<int> g_trace_state{-1};
+
+int read_trace_env() {
+  const char* v = std::getenv("FSA_TRACE");
+  if (v == nullptr) return 0;
+  if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+      std::strcmp(v, "yes") == 0)
+    return 1;
+  return 0;
+}
+
+/// Monotonic microseconds since the first tracer touch — small positive
+/// timestamps keep the JSON compact and Perfetto's viewport sane.
+std::int64_t now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               epoch)
+      .count();
+}
+
+/// Per-thread span sink. Bounded: a runaway trace drops (and counts)
+/// instead of eating the heap. Owned jointly by the thread (thread_local
+/// shared_ptr) and the global registry, so spans from exited threads
+/// survive until the flush.
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+  std::uint64_t dropped = 0;
+  std::vector<SpanRecord> spans;
+};
+
+constexpr std::size_t kMaxSpansPerThread = 1u << 18;  // ~16 MB/thread worst case
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* r = new BufferRegistry();  // leaked: outlives exiting threads
+  return *r;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  int s = g_trace_state.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = read_trace_env();
+    g_trace_state.store(s, std::memory_order_relaxed);
+  }
+  return s == 1;
+}
+
+void set_trace_enabled(bool on) { g_trace_state.store(on ? 1 : 0, std::memory_order_relaxed); }
+
+void TraceSpan::begin(const char* name) {
+  ThreadBuffer& buf = thread_buffer();
+  armed_ = true;
+  name_ = name;
+  depth_ = buf.depth++;
+  start_us_ = now_us();
+}
+
+void TraceSpan::end() {
+  const std::int64_t dur = now_us() - start_us_;
+  ThreadBuffer& buf = thread_buffer();
+  if (buf.depth > 0) --buf.depth;
+  if (buf.spans.size() >= kMaxSpansPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  SpanRecord rec;
+  rec.name = name_;
+  rec.tag = std::move(tag_);
+  rec.start_us = start_us_;
+  rec.dur_us = dur;
+  rec.tid = buf.tid;
+  rec.depth = depth_;
+  buf.spans.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> snapshot_spans() {
+  std::vector<SpanRecord> out;
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.buffers) out.insert(out.end(), b->spans.begin(), b->spans.end());
+  return out;
+}
+
+std::size_t span_count() {
+  std::size_t n = 0;
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.buffers) n += b->spans.size();
+  return n;
+}
+
+std::uint64_t dropped_span_count() {
+  std::uint64_t n = 0;
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.buffers) n += b->dropped;
+  return n;
+}
+
+void clear_spans() {
+  BufferRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.buffers) {
+    b->spans.clear();
+    b->dropped = 0;
+  }
+}
+
+std::string chrome_trace_json() {
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  const long pid = static_cast<long>(::getpid());
+  std::string out;
+  out.reserve(spans.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"args\":{\"name\":\"fsa\"}}";
+  char num[64];
+  for (const SpanRecord& s : spans) {
+    out += ",\n{\"name\":\"";
+    json_escape_into(out, s.name);
+    out += "\",\"cat\":\"fsa\",\"ph\":\"X\",\"ts\":";
+    std::snprintf(num, sizeof(num), "%lld", static_cast<long long>(s.start_us));
+    out += num;
+    out += ",\"dur\":";
+    std::snprintf(num, sizeof(num), "%lld", static_cast<long long>(s.dur_us));
+    out += num;
+    out += ",\"pid\":" + std::to_string(pid) + ",\"tid\":" + std::to_string(s.tid);
+    if (!s.tag.empty()) {
+      out += ",\"args\":{\"tag\":\"";
+      json_escape_into(out, s.tag.c_str());
+      out += "\"}";
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("obs: cannot open trace output " + path);
+  os << chrome_trace_json();
+  if (!os.good()) throw std::runtime_error("obs: failed to write trace output " + path);
+}
+
+}  // namespace fsa::obs

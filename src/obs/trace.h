@@ -1,0 +1,96 @@
+// trace.h — low-overhead span tracer for the attack stack.
+//
+// Every layer of the stack (ADMM phases, sweep rows, compile passes,
+// batcher batches, dist shards, serve requests) brackets its hot seams
+// with OBS_SPAN("name"). When tracing is off — the default — a span is a
+// single relaxed atomic load and a dead branch, cheap enough to leave in
+// the ADMM inner loop (the run_benches.sh trace-overhead stage holds the
+// disabled path to <= 3% on bench_compile rows/s). When FSA_TRACE (or
+// --trace) turns it on, spans append to per-thread ring buffers — no
+// locks, no allocation past the first span on a thread — and flush to
+// Chrome-trace-event JSON that Perfetto / chrome://tracing load directly.
+//
+// Span names must be string literals (or otherwise outlive the process):
+// the tracer stores the pointer, not a copy. The optional tag IS copied —
+// it carries per-span attribution (method, backend, shard index) and only
+// costs anything when tracing is enabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsa::obs {
+
+/// Tracing gate. First call reads FSA_TRACE (on/1/true/yes → enabled);
+/// set_trace_enabled overrides it either way (CLI --trace does this).
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+/// One completed span, as stored in a thread's buffer. Times are
+/// microseconds since the process's trace epoch (first tracer touch).
+struct SpanRecord {
+  const char* name = nullptr;  ///< static storage — the OBS_SPAN literal
+  std::string tag;             ///< optional attribution ("" = none)
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+  std::uint32_t tid = 0;    ///< tracer-assigned dense thread id
+  std::uint32_t depth = 0;  ///< nesting depth on its thread at open time
+};
+
+/// RAII span guard. Construction stamps the start (when tracing is on),
+/// destruction appends the completed record to the calling thread's
+/// buffer. Use through OBS_SPAN, not directly.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_enabled()) begin(name);
+  }
+  TraceSpan(const char* name, std::string tag) {
+    if (trace_enabled()) {
+      tag_ = std::move(tag);
+      begin(name);
+    }
+  }
+  ~TraceSpan() {
+    if (armed_) end();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  bool armed_ = false;
+  const char* name_ = nullptr;
+  std::int64_t start_us_ = 0;
+  std::uint32_t depth_ = 0;
+  std::string tag_;
+};
+
+#define FSA_OBS_CAT2(a, b) a##b
+#define FSA_OBS_CAT(a, b) FSA_OBS_CAT2(a, b)
+/// OBS_SPAN("admm.z_step") or OBS_SPAN("sweep.row", tag_string).
+#define OBS_SPAN(...) ::fsa::obs::TraceSpan FSA_OBS_CAT(fsa_obs_span_, __LINE__)(__VA_ARGS__)
+
+/// Completed spans across all threads (copies; open spans not included).
+std::vector<SpanRecord> snapshot_spans();
+
+/// Spans recorded / dropped (per-thread buffer full) so far.
+std::size_t span_count();
+std::uint64_t dropped_span_count();
+
+/// Discard every recorded span (buffers stay registered). Test isolation
+/// and between-run hygiene for long-lived daemons.
+void clear_spans();
+
+/// Render all completed spans as a Chrome trace-event JSON document
+/// ({"traceEvents":[{"ph":"X",...}]}) — loadable in Perfetto.
+std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path` (throws std::runtime_error on IO
+/// failure).
+void write_chrome_trace(const std::string& path);
+
+}  // namespace fsa::obs

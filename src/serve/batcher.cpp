@@ -1,21 +1,20 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+
+#include "obs/trace.h"
 
 namespace fsa::serve {
 
 namespace {
 
-constexpr std::size_t kLatencyWindow = 4096;
-
-/// Percentile over a COPY of the window (nearest-rank on the sorted
-/// sample). Returns 0 for an empty window.
-double percentile(std::vector<double> sample, double p) {
-  if (sample.empty()) return 0.0;
-  std::sort(sample.begin(), sample.end());
-  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sample.size() - 1) + 0.5);
-  return sample[std::min(rank, sample.size() - 1)];
+/// Distinct label set per batcher instance, so a process hosting several
+/// batchers (the test binary, most notably) keeps their series apart.
+std::string batcher_label() {
+  static std::atomic<int> next{0};
+  return "{batcher=\"" + std::to_string(next.fetch_add(1)) + "\"}";
 }
 
 }  // namespace
@@ -26,7 +25,21 @@ DynamicBatcher::DynamicBatcher(BatcherOptions options, BatchFn fn)
       options_.max_delay_ms < 0)
     throw std::invalid_argument(
         "batcher: max_batch, max_queue and executors must be >= 1, max_delay_ms >= 0");
-  latency_window_.reserve(kLatencyWindow);
+  const std::string label = batcher_label();
+  obs::Registry& reg = obs::Registry::global();
+  submitted_metric_ = &reg.counter("fsa_batcher_requests_submitted_total" + label);
+  shed_metric_ = &reg.counter("fsa_batcher_requests_shed_total" + label);
+  completed_metric_ = &reg.counter("fsa_batcher_requests_completed_total" + label);
+  batches_metric_ = &reg.counter("fsa_batcher_batches_total" + label);
+  queue_depth_metric_ = &reg.gauge("fsa_batcher_queue_depth" + label);
+  // One bucket per exact batch size: the /stats size_histogram (exact
+  // size → count) reconstructs losslessly from non-cumulative buckets.
+  batch_size_metric_ = &reg.histogram("fsa_batcher_batch_size" + label,
+                                      obs::linear_bounds(1.0, 1.0, options_.max_batch));
+  // 0.5ms .. ~4s exponential: sweep solves live in the upper decades,
+  // healthz-sized batches in the lower ones.
+  latency_metric_ = &reg.histogram("fsa_batcher_request_latency_ms" + label,
+                                   obs::exponential_bounds(0.5, 2.0, 14));
   executors_.reserve(static_cast<std::size_t>(options_.executors));
   for (int i = 0; i < options_.executors; ++i)
     executors_.emplace_back([this] { executor_loop(); });
@@ -38,16 +51,17 @@ std::optional<std::future<BatchResponse>> DynamicBatcher::submit(const BatchKey&
                                                                  eval::Json payload) {
   std::lock_guard<std::mutex> lock(mu_);
   if (draining_ || total_queued_ >= static_cast<std::size_t>(options_.max_queue)) {
-    ++shed_;
+    shed_metric_->inc();
     return std::nullopt;
   }
-  ++submitted_;
+  submitted_metric_->inc();
   Pending p;
   p.payload = std::move(payload);
   p.enqueued = std::chrono::steady_clock::now();
   std::future<BatchResponse> future = p.promise.get_future();
   queues_[key].waiting.push_back(std::move(p));
   ++total_queued_;
+  queue_depth_metric_->set(static_cast<double>(total_queued_));
   cv_.notify_one();
   return future;
 }
@@ -75,39 +89,33 @@ std::size_t DynamicBatcher::queue_depth() const {
   return total_queued_;
 }
 
-void DynamicBatcher::record_latency(double ms) {
-  // Caller holds mu_. Fixed-size ring: stats stay O(1) memory forever.
-  if (latency_window_.size() < kLatencyWindow) {
-    latency_window_.push_back(ms);
-  } else {
-    latency_window_[latency_next_] = ms;
-    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-  }
-  ++latency_count_;
-}
-
 eval::Json DynamicBatcher::stats_json() const {
   std::lock_guard<std::mutex> lock(mu_);
   eval::Json out = eval::Json::object();
   out.set("queue_depth", eval::Json::number(static_cast<std::int64_t>(total_queued_)));
   eval::Json requests = eval::Json::object();
-  requests.set("submitted", eval::Json::number(submitted_));
-  requests.set("completed", eval::Json::number(completed_));
-  requests.set("shed", eval::Json::number(shed_));
+  requests.set("submitted", eval::Json::number(submitted_metric_->value()));
+  requests.set("completed", eval::Json::number(completed_metric_->value()));
+  requests.set("shed", eval::Json::number(shed_metric_->value()));
   out.set("requests", std::move(requests));
 
   eval::Json batches = eval::Json::object();
-  batches.set("count", eval::Json::number(batches_));
+  batches.set("count", eval::Json::number(batches_metric_->value()));
   eval::Json histogram = eval::Json::object();
-  for (const auto& [size, count] : batch_histogram_)
-    histogram.set(std::to_string(size), eval::Json::number(count));
+  // Bucket i covers exactly size i+1 (bounds are 1, 2, ..., max_batch and
+  // a batch never exceeds max_batch); emit only observed sizes, matching
+  // the sparse map this histogram replaced.
+  for (std::size_t i = 0; i < batch_size_metric_->bounds().size(); ++i) {
+    const std::int64_t count = batch_size_metric_->bucket_count(i);
+    if (count > 0) histogram.set(std::to_string(i + 1), eval::Json::number(count));
+  }
   batches.set("size_histogram", std::move(histogram));
   out.set("batches", std::move(batches));
 
   eval::Json latency = eval::Json::object();
-  latency.set("count", eval::Json::number(latency_count_));
-  latency.set("p50_ms", eval::Json::number(percentile(latency_window_, 0.50)));
-  latency.set("p99_ms", eval::Json::number(percentile(latency_window_, 0.99)));
+  latency.set("count", eval::Json::number(latency_metric_->count()));
+  latency.set("p50_ms", eval::Json::number(latency_metric_->quantile(0.50)));
+  latency.set("p99_ms", eval::Json::number(latency_metric_->quantile(0.99)));
   out.set("latency_ms", std::move(latency));
   return out;
 }
@@ -156,23 +164,27 @@ void DynamicBatcher::executor_loop() {
       q.waiting.pop_front();
     }
     total_queued_ -= n;
-    ++batches_;
-    ++batch_histogram_[static_cast<int>(n)];
+    queue_depth_metric_->set(static_cast<double>(total_queued_));
+    batches_metric_->inc();
+    batch_size_metric_->observe(static_cast<double>(n));
     lock.unlock();
-
-    std::vector<eval::Json> payloads;
-    payloads.reserve(n);
-    for (Pending& p : batch) payloads.push_back(std::move(p.payload));
 
     std::vector<BatchResponse> responses;
     std::string failure;
-    try {
-      responses = fn_(key, payloads);
-      if (responses.size() != n)
-        failure = "batch executor returned " + std::to_string(responses.size()) +
-                  " responses for " + std::to_string(n) + " requests";
-    } catch (const std::exception& e) {
-      failure = e.what();
+    {
+      OBS_SPAN("serve.batch", obs::trace_enabled() ? key.kind + " n=" + std::to_string(n)
+                                                   : std::string());
+      std::vector<eval::Json> payloads;
+      payloads.reserve(n);
+      for (Pending& p : batch) payloads.push_back(std::move(p.payload));
+      try {
+        responses = fn_(key, payloads);
+        if (responses.size() != n)
+          failure = "batch executor returned " + std::to_string(responses.size()) +
+                    " responses for " + std::to_string(n) + " requests";
+      } catch (const std::exception& e) {
+        failure = e.what();
+      }
     }
 
     lock.lock();
@@ -188,8 +200,9 @@ void DynamicBatcher::executor_loop() {
         err.body = doc.dump(2) + "\n";
         batch[i].promise.set_value(std::move(err));
       }
-      ++completed_;
-      record_latency(std::chrono::duration<double, std::milli>(done - batch[i].enqueued).count());
+      completed_metric_->inc();
+      latency_metric_->observe(
+          std::chrono::duration<double, std::milli>(done - batch[i].enqueued).count());
     }
     queues_[key].busy = false;
     cv_.notify_all();

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "eval/json.h"
+#include "obs/metrics.h"
 
 namespace fsa::serve {
 
@@ -105,7 +106,11 @@ class DynamicBatcher {
 
   /// Counters for GET /stats: queue depth, totals, the batch-size
   /// histogram, and p50/p99 of request latency (submit → response ready,
-  /// execution included) over a sliding window of recent requests.
+  /// execution included). All of it reads from this batcher's metrics on
+  /// the process-wide obs registry — GET /metrics reports the same
+  /// numbers from the same source (the /stats JSON shape is unchanged;
+  /// p50/p99 are now histogram-interpolated estimates rather than
+  /// nearest-rank over a sample window).
   [[nodiscard]] eval::Json stats_json() const;
 
  private:
@@ -120,7 +125,6 @@ class DynamicBatcher {
   };
 
   void executor_loop();
-  void record_latency(double ms);
 
   const BatcherOptions options_;
   const BatchFn fn_;
@@ -132,15 +136,17 @@ class DynamicBatcher {
   bool draining_ = false;
   bool joined_ = false;
 
-  // stats (guarded by mu_)
-  std::int64_t submitted_ = 0;
-  std::int64_t shed_ = 0;
-  std::int64_t completed_ = 0;
-  std::int64_t batches_ = 0;
-  std::map<int, std::int64_t> batch_histogram_;
-  std::vector<double> latency_window_;  ///< ring buffer of recent latencies (ms)
-  std::size_t latency_next_ = 0;
-  std::int64_t latency_count_ = 0;
+  // Stats live on the process-wide obs registry (one source of truth for
+  // /stats and /metrics). Each batcher instance gets its own label set —
+  // `{batcher="N"}` — so concurrent batchers (tests, embedded services)
+  // never cross-count. Pointers are registry-owned and process-lived.
+  obs::Counter* submitted_metric_ = nullptr;
+  obs::Counter* shed_metric_ = nullptr;
+  obs::Counter* completed_metric_ = nullptr;
+  obs::Counter* batches_metric_ = nullptr;
+  obs::Gauge* queue_depth_metric_ = nullptr;
+  obs::Histogram* batch_size_metric_ = nullptr;  ///< exact bounds 1..max_batch
+  obs::Histogram* latency_metric_ = nullptr;     ///< latency ms, exponential buckets
 
   std::vector<std::thread> executors_;
 };

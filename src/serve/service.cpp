@@ -12,6 +12,8 @@
 #include "dist/jobs.h"
 #include "dist/reducer.h"
 #include "faultsim/profile.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fsa::serve {
 
@@ -170,10 +172,38 @@ eval::Json AttackService::stats_json() const {
   return out;
 }
 
+namespace {
+
+/// Bounded label space for per-route counters: unknown targets collapse
+/// to "other" so a scanner can't grow the registry without bound.
+const char* route_label(const std::string& target) {
+  static const char* known[] = {"/healthz", "/stats",       "/metrics",    "/v1/sweep",
+                                "/v1/arena", "/v1/campaign", "/v1/eval"};
+  for (const char* r : known)
+    if (target == r) return r;
+  return "other";
+}
+
+}  // namespace
+
 HttpResponse AttackService::handle(const HttpRequest& request) {
-  if (request.method == "GET") return handle_get(request);
-  if (request.method == "POST") return handle_post(request);
-  return json_error(405, "method " + request.method + " not supported");
+  OBS_SPAN("serve.request", obs::trace_enabled() ? request.method + " " + request.target
+                                                 : std::string());
+  obs::Registry::global()
+      .counter("fsa_serve_requests_total{route=\"" + std::string(route_label(request.target)) +
+               "\"}")
+      .inc();
+  HttpResponse response;
+  if (request.method == "GET")
+    response = handle_get(request);
+  else if (request.method == "POST")
+    response = handle_post(request);
+  else
+    response = json_error(405, "method " + request.method + " not supported");
+  obs::Registry::global()
+      .counter("fsa_serve_responses_total{status=\"" + std::to_string(response.status) + "\"}")
+      .inc();
+  return response;
 }
 
 HttpResponse AttackService::handle_get(const HttpRequest& request) {
@@ -188,8 +218,15 @@ HttpResponse AttackService::handle_get(const HttpRequest& request) {
   }
   if (request.target == "/stats")
     return HttpResponse{200, "application/json", render_json_body(stats_json())};
+  // Prometheus text exposition of the process-wide metrics registry — the
+  // same counters/histograms /stats reads, plus everything the engine,
+  // compile, and dist layers record in-process.
+  if (request.target == "/metrics")
+    return HttpResponse{200, "text/plain; version=0.0.4",
+                        obs::Registry::global().prometheus_text()};
   return json_error(404, "no route for GET " + request.target +
-                             " (GET /healthz, GET /stats, POST /v1/{sweep,arena,campaign,eval})");
+                             " (GET /healthz, GET /stats, GET /metrics, POST "
+                             "/v1/{sweep,arena,campaign,eval})");
 }
 
 HttpResponse AttackService::handle_post(const HttpRequest& request) {

@@ -21,11 +21,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "defense/defense.h"
 #include "dist/job_dir.h"
 #include "dist/jobs.h"
 #include "dist/lease.h"
@@ -39,6 +41,8 @@
 #include "faultsim/campaign.h"
 #include "faultsim/injectors.h"
 #include "faultsim/profile.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "test_util.h"
 
 namespace fsa::dist {
@@ -364,6 +368,94 @@ TEST(SweepJob, ShardedRunReducesBitwiseIdenticalToSingleShard) {
   EXPECT_THROW((void)run_sweep_shard(manifest, static_cast<int>(specs.size()), runner),
                std::out_of_range);
   EXPECT_THROW((void)run_sweep_shard(manifest, -1, runner), std::out_of_range);
+}
+
+// ---- telemetry byte-identity -------------------------------------------------
+
+/// Restores the process-global observability state on scope exit.
+struct ObsGuard {
+  ~ObsGuard() {
+    obs::set_trace_enabled(false);
+    obs::set_metrics_enabled(false);
+    obs::clear_spans();
+  }
+};
+
+/// The reduced document must not contain a single byte of telemetry: the
+/// tracer records spans, ADMM records convergence traces, the registry
+/// ticks counters — and reduced.json for sweep, arena, and campaign jobs
+/// still comes out bitwise identical to a run with everything off.
+TEST(Telemetry, ReducedBytesIdenticalWithTraceAndMetricsOnVsOff) {
+  auto& f = blob_fixture();
+  Scratch scratch("fsa_dist_telemetry_identity");
+  ObsGuard obs_guard;
+
+  const auto run_all = [&](const std::string& tag) {
+    std::map<std::string, std::string> reduced;
+    // Fresh per-run row cache: a shared cache would satisfy the "on" run
+    // from rows the "off" run computed and the solver would never execute
+    // with tracing live — exactly the path this test must exercise.
+    const std::string cache = scratch.sub("cache_" + tag);
+
+    const eval::Json sweep_m = sweep_manifest("blobs", "blocked", blob_specs());
+    const JobDir sweep_job = create_sweep_job(scratch.sub("sweep_" + tag), sweep_m);
+    for (int s = 0; s < sweep_job.shards(); ++s) {
+      engine::SweepRunner runner(f.model, cache, /*verbose=*/false);
+      sweep_job.write_result(s, run_sweep_shard(sweep_m, s, runner));
+    }
+    reduced["sweep"] = reduce_job(sweep_job).dump(2);
+
+    std::vector<engine::SweepSpec> specs = blob_specs();
+    for (engine::SweepSpec& s : specs) s.defense = defense::parse_defense("range");
+    const eval::Json arena_m = arena_manifest("blobs", "blocked", specs);
+    const JobDir arena_job =
+        JobDir::create(scratch.sub("arena_" + tag), "arena",
+                       static_cast<int>(arena_m.get_int("shards", 0)), arena_m);
+    for (int s = 0; s < arena_job.shards(); ++s) {
+      engine::SweepRunner runner(f.model, cache, /*verbose=*/false);
+      arena_job.write_result(s, run_sweep_shard(arena_m, s, runner));
+    }
+    reduced["arena"] = reduce_job(arena_job).dump(2);
+
+    const faultsim::CampaignPlanner planner("laser", 3, 7);
+    const JobDir camp_job =
+        create_campaign_job(scratch.sub("camp_" + tag), planner, test_plan(),
+                            faultsim::MemoryLayout{});
+    for (int s = 0; s < camp_job.shards(); ++s)
+      camp_job.write_result(s, run_campaign_shard(camp_job.manifest(), s));
+    reduced["campaign"] = reduce_job(camp_job).dump(2);
+    return reduced;
+  };
+
+  const auto off = run_all("off");
+  obs::set_trace_enabled(true);
+  obs::set_metrics_enabled(true);
+  const auto on = run_all("on");
+
+  EXPECT_EQ(off.at("sweep"), on.at("sweep"));
+  EXPECT_EQ(off.at("arena"), on.at("arena"));
+  EXPECT_EQ(off.at("campaign"), on.at("campaign"));
+
+  // Identity is a scrub, not an accident: with tracing on the SHARD rows
+  // carry the ADMM convergence block (the fsa solver records it), and the
+  // reducer strips it before the canonical document forms.
+  const JobDir traced = JobDir::open(scratch.sub("sweep_on"));
+  bool saw_convergence = false;
+  for (int s = 0; s < traced.shards(); ++s) {
+    const eval::Json shard_result = traced.result(s);  // keep alive across the loop
+    for (const eval::Json& row : shard_result.at("rows").items())
+      if (row.has("convergence")) {
+        saw_convergence = true;
+        const eval::Json& c = row.at("convergence");
+        EXPECT_GT(c.at("objective").items().size(), 0u);
+        EXPECT_EQ(c.at("objective").items().size(), c.at("primal").items().size());
+        EXPECT_EQ(c.at("objective").items().size(), c.at("dual").items().size());
+      }
+  }
+  EXPECT_TRUE(saw_convergence);
+  const eval::Json reduced_on = eval::Json::parse(on.at("sweep"));
+  for (const eval::Json& row : reduced_on.at("rows").items())
+    EXPECT_FALSE(row.has("convergence"));
 }
 
 TEST(SweepSpecJson, RoundTripsAllDeclarativeFields) {

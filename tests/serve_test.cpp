@@ -15,7 +15,9 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <cmath>
 #include <future>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -463,6 +465,68 @@ TEST(Service, RequestValidationFailsLoudly) {
   const eval::Json doc = eval::Json::parse(s.body);
   EXPECT_TRUE(doc.has("queue_depth"));
   EXPECT_TRUE(doc.has("latency_ms"));
+}
+
+TEST(Service, MetricsEndpointServesPrometheusText) {
+  auto& f = fixture();
+  engine::SweepRunner runner(f.model, f.cache_dir, /*verbose=*/false);
+  StaticModelHost host;
+  host.add("blobs", runner);
+  AttackService service(host);
+
+  // Tick the request counters so the families below exist regardless of
+  // which tests ran before this one.
+  HttpRequest health;
+  health.method = "GET";
+  health.target = "/healthz";
+  ASSERT_EQ(service.handle(health).status, 200);
+  HttpRequest bad;
+  bad.method = "POST";
+  bad.target = "/v1/sweep";
+  bad.body = "{nope";
+  ASSERT_EQ(service.handle(bad).status, 400);
+
+  HttpRequest metrics;
+  metrics.method = "GET";
+  metrics.target = "/metrics";
+  const HttpResponse m = service.handle(metrics);
+  EXPECT_EQ(m.status, 200);
+  EXPECT_EQ(m.content_type, "text/plain; version=0.0.4");
+
+  // Every line must be Prometheus text exposition: a comment or
+  // `name{labels} value` with a finite parseable value.
+  std::size_t samples = 0;
+  std::istringstream lines(m.body);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# TYPE ", 0) == 0 || line.rfind("# HELP ", 0) == 0) << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    EXPECT_FALSE(name.empty()) << line;
+    std::size_t parsed = 0;
+    const double value = std::stod(line.substr(space + 1), &parsed);
+    EXPECT_EQ(parsed, line.size() - space - 1) << line;
+    EXPECT_FALSE(std::isnan(value)) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+
+  // The families the daemon promises: request/response counters with
+  // bounded route/status labels, and the batcher's registry-backed stats.
+  for (const char* needle :
+       {"# TYPE fsa_serve_requests_total counter",
+        "fsa_serve_requests_total{route=\"/healthz\"}",
+        "fsa_serve_requests_total{route=\"/metrics\"}",
+        "fsa_serve_requests_total{route=\"/v1/sweep\"}",
+        "fsa_serve_responses_total{status=\"400\"}",
+        "fsa_batcher_requests_submitted_total", "fsa_batcher_batches_total",
+        "fsa_batcher_queue_depth", "# TYPE fsa_batcher_request_latency_ms histogram",
+        "fsa_batcher_request_latency_ms_bucket", "fsa_batcher_batch_size_sum"})
+    EXPECT_NE(m.body.find(needle), std::string::npos) << "missing: " << needle;
 }
 
 TEST(Service, OneClientAndSixteenClientsGetByteIdenticalResponses) {

@@ -85,6 +85,8 @@
 #include "faultsim/campaign.h"
 #include "faultsim/profile.h"
 #include "faultsim/quantize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/serialize.h"
 
 namespace {
@@ -135,14 +137,21 @@ int usage() {
       "           serve  --job dir1[,dir2...] [--poll-ms MS] [--lease-expiry-ms MS]\n"
       "                  [--heartbeat-ms MS] [--once] [--max-shards N] [--quiet]\n"
       "           reduce --job dir\n"
-      "           status --job dir\n"
+      "           status --job dir [--json]\n"
       "  serve    [--port P] [--threads N] [--max-batch B] [--max-delay-ms MS]\n"
       "           [--max-queue Q] [--executors E] [--datasets digits[,objects]]\n"
       "           [--warm-layers fc3[,fc2...]] [--backend B] [--compile on|off]\n"
       "           [--once] [--quiet]\n"
       "  eval     --dataset D --layers L [--weights-only|--biases-only]\n"
       "           [--backend B] [--json out.json]\n"
-      "  audit    --dataset D --layers L --delta delta.bin\n",
+      "  audit    --dataset D --layers L --delta delta.bin\n"
+      "\n"
+      "observability (docs/OBSERVABILITY.md): most commands also take\n"
+      "  --trace [out.json]     span tracer on; Chrome-trace JSON written on exit\n"
+      "  --metrics [out.json]   metric emission on; registry snapshot written on exit\n"
+      "(FSA_TRACE / FSA_METRICS env enable collection without an output file;\n"
+      " both are inherited by --workers shard children, which then write\n"
+      " results/shard_NNNNN.telemetry.json sidecars merged into <job>/telemetry.json)\n",
       stderr);
   return 2;
 }
@@ -204,6 +213,18 @@ int emit_shard_result(const eval::Args& args, const eval::Json& result) {
   if (const std::string out = args.get("out", ""); !out.empty()) {
     dist::write_json_atomic(out, result);
     std::printf("shard result written to %s\n", out.c_str());
+    // Metrics sidecar (FSA_METRICS inherited from the coordinator): a
+    // registry snapshot NEXT TO the result — merged into the job's
+    // telemetry.json, never into the result or the reduction.
+    if (obs::metrics_enabled()) {
+      const std::string suffix = ".json";
+      const bool json_named = out.size() > suffix.size() &&
+                              out.compare(out.size() - suffix.size(), suffix.size(), suffix) == 0;
+      const std::string sidecar =
+          (json_named ? out.substr(0, out.size() - suffix.size()) : out) + ".telemetry.json";
+      dist::write_json_atomic(sidecar, obs::Registry::global().to_json());
+      std::printf("telemetry sidecar written to %s\n", sidecar.c_str());
+    }
   } else {
     std::printf("%s\n", result.dump(2).c_str());
   }
@@ -263,6 +284,45 @@ void select_compile(const eval::Args& args) {
     throw std::invalid_argument("unknown --compile \"" + mode + "\" (expected on or off)");
   compile::set_enabled(mode == "on");
   setenv("FSA_COMPILE", mode.c_str(), 1);
+}
+
+/// Output paths for the end-of-run observability flush (empty = no flush).
+std::string g_trace_path;    // NOLINT
+std::string g_metrics_path;  // NOLINT
+
+/// Turn trace/metrics emission on for this invocation: `--trace [path]`
+/// enables the span tracer and writes a Chrome-trace JSON (Perfetto /
+/// chrome://tracing) on exit; `--metrics [path]` enables metric emission
+/// and dumps a registry snapshot the same way. Both are exported into the
+/// environment (FSA_TRACE / FSA_METRICS) so re-exec'd shard workers
+/// inherit the choice — a worker with FSA_METRICS on writes a
+/// `telemetry.json` sidecar next to its shard result, merged per job,
+/// never into reduced.json. Env-only activation (no flag) enables
+/// collection without an output file.
+void select_observability(const eval::Args& args) {
+  if (args.has_flag("trace") || !args.get("trace", "").empty()) {
+    g_trace_path = args.get("trace", "trace.json");
+    obs::set_trace_enabled(true);
+    setenv("FSA_TRACE", "on", 1);
+  }
+  if (args.has_flag("metrics") || !args.get("metrics", "").empty()) {
+    g_metrics_path = args.get("metrics", "metrics.json");
+    obs::set_metrics_enabled(true);
+    setenv("FSA_METRICS", "on", 1);
+  }
+}
+
+/// Flush requested observability artifacts after the command ran.
+void flush_observability() {
+  if (!g_trace_path.empty()) {
+    obs::write_chrome_trace(g_trace_path);
+    std::printf("trace written to %s (%zu span(s); load in Perfetto or chrome://tracing)\n",
+                g_trace_path.c_str(), obs::span_count());
+  }
+  if (!g_metrics_path.empty()) {
+    dist::write_json_atomic(g_metrics_path, obs::Registry::global().to_json());
+    std::printf("metrics written to %s\n", g_metrics_path.c_str());
+  }
 }
 
 /// Map --norm (validated) and --method onto a registry key. --method wins;
@@ -359,8 +419,9 @@ std::shared_ptr<const engine::Attacker> cli_attacker(const eval::Args& args,
 
 int cmd_attack(const eval::Args& args) {
   args.expect_only({"dataset", "layers", "s", "r", "method", "norm", "backend", "seed", "rho",
-                    "c", "weights-only", "biases-only", "save", "verbose"});
+                    "c", "weights-only", "biases-only", "save", "verbose", "trace", "metrics"});
   select_backend(args);
+  select_observability(args);
   const auto [weights, biases] = surface_flags(args);
   const std::string method = method_name(args);
   const auto attacker = cli_attacker(args, method);
@@ -472,8 +533,9 @@ int cmd_sweep(const eval::Args& args) {
                     "r-list", "seeds", "weights-only", "biases-only", "json", "csv", "no-acc",
                     "quiet", "with-campaign", "injector", "shards", "injector-profile",
                     "with-defense", "defense", "workers", "retries", "retry-backoff-ms", "job",
-                    "run-shard", "shard", "out"});
+                    "run-shard", "shard", "out", "trace", "metrics"});
   apply_injector_profile(args);
+  select_observability(args);
   if (!args.get("run-shard", "").empty()) {
     if (!args.get("workers", "").empty())
       throw std::invalid_argument("--run-shard (worker mode) conflicts with --workers");
@@ -564,8 +626,10 @@ int cmd_arena(const eval::Args& args) {
   args.expect_only({"dataset", "layers", "method", "defense", "backend", "compile", "s-list",
                     "r-list", "seeds", "weights-only", "biases-only", "acc", "json", "csv",
                     "quiet", "with-campaign", "injector", "shards", "format", "injector-profile",
-                    "workers", "retries", "retry-backoff-ms", "job", "run-shard", "shard", "out"});
+                    "workers", "retries", "retry-backoff-ms", "job", "run-shard", "shard", "out",
+                    "trace", "metrics"});
   apply_injector_profile(args);
+  select_observability(args);
   if (!args.get("run-shard", "").empty()) {
     if (!args.get("workers", "").empty())
       throw std::invalid_argument("--run-shard (worker mode) conflicts with --workers");
@@ -698,8 +762,9 @@ int cmd_campaign_run_shard(const eval::Args& args) {
 int cmd_campaign(const eval::Args& args) {
   args.expect_only({"dataset", "layers", "delta", "injector", "shards", "seed", "manifest",
                     "injector-profile", "workers", "retries", "retry-backoff-ms", "job",
-                    "run-shard", "shard", "out"});
+                    "run-shard", "shard", "out", "trace", "metrics"});
   apply_injector_profile(args);
+  select_observability(args);
   if (!args.get("run-shard", "").empty()) {
     if (!args.get("workers", "").empty())
       throw std::invalid_argument("--run-shard (worker mode) conflicts with --workers");
@@ -784,8 +849,9 @@ int cmd_dist(const eval::Args& args) {
   if (mode == "serve") {
     // serve opens its job dirs itself (they may not even exist yet — a
     // daemon polls until another process lays them out).
-    args.expect_only(
-        {"job", "poll-ms", "lease-expiry-ms", "heartbeat-ms", "once", "max-shards", "quiet"});
+    args.expect_only({"job", "poll-ms", "lease-expiry-ms", "heartbeat-ms", "once", "max-shards",
+                      "quiet", "trace", "metrics"});
+    select_observability(args);
     dist::ServeOptions opts;
     opts.jobs = args.get_list("job", "");
     if (opts.jobs.empty())
@@ -803,13 +869,48 @@ int cmd_dist(const eval::Args& args) {
     return rep.shards_failed == 0 ? 0 : 1;
   }
 
-  args.expect_only({"job", "workers", "retries", "retry-backoff-ms"});
+  args.expect_only({"job", "workers", "retries", "retry-backoff-ms", "json", "trace", "metrics"});
+  select_observability(args);
   const std::string dir = args.get("job", "");
   if (dir.empty()) throw std::invalid_argument("dist " + mode + ": --job <dir> is required");
   const dist::JobDir job = dist::JobDir::open(dir);
 
   if (mode == "status") {
     const dist::JobStatus st = job.status();
+    if (args.has_flag("json")) {
+      // Structured status for scripts/dashboards: everything the human
+      // rendering shows, plus lease owners with heartbeat ages.
+      eval::Json doc = eval::Json::object();
+      doc.set("job", eval::Json::string(job.path()));
+      doc.set("kind", eval::Json::string(job.kind()));
+      doc.set("shards", eval::Json::number(static_cast<std::int64_t>(st.shards)));
+      eval::Json done = eval::Json::array();
+      for (const int s : st.done) done.push_back(eval::Json::number(static_cast<std::int64_t>(s)));
+      doc.set("done", std::move(done));
+      eval::Json missing = eval::Json::array();
+      for (const int s : st.missing)
+        missing.push_back(eval::Json::number(static_cast<std::int64_t>(s)));
+      doc.set("missing", std::move(missing));
+      doc.set("reduced", eval::Json::boolean(st.reduced));
+      std::error_code ec;
+      doc.set("telemetry",
+              eval::Json::boolean(std::filesystem::is_regular_file(job.telemetry_path(), ec)));
+      const std::int64_t now = dist::lease_now_ms();
+      eval::Json leases = eval::Json::array();
+      for (const auto& [shard, lease] : dist::list_leases(job)) {
+        eval::Json l = eval::Json::object();
+        l.set("shard", eval::Json::number(static_cast<std::int64_t>(shard)));
+        l.set("owner", eval::Json::string(lease.owner));
+        l.set("host", eval::Json::string(lease.host));
+        l.set("pid", eval::Json::number(static_cast<std::int64_t>(lease.pid)));
+        l.set("heartbeat_age_ms",
+              eval::Json::number(std::max<std::int64_t>(0, now - lease.heartbeat_ms)));
+        leases.push_back(std::move(l));
+      }
+      doc.set("leases", std::move(leases));
+      std::printf("%s\n", doc.dump(2).c_str());
+      return st.missing.empty() ? 0 : 1;
+    }
     std::printf("job %s: kind %s, %d shard(s), %zu done, %zu missing, %s\n", job.path().c_str(),
                 job.kind().c_str(), st.shards, st.done.size(), st.missing.size(),
                 st.reduced ? "reduced" : "not reduced");
@@ -845,8 +946,10 @@ int cmd_dist(const eval::Args& args) {
 /// bytes POST /v1/eval returns for the same surface (shared
 /// serve::eval_document), so CI byte-diffs daemon against CLI.
 int cmd_eval(const eval::Args& args) {
-  args.expect_only({"dataset", "layers", "weights-only", "biases-only", "backend", "json"});
+  args.expect_only(
+      {"dataset", "layers", "weights-only", "biases-only", "backend", "json", "trace", "metrics"});
   select_backend(args);
+  select_observability(args);
   const auto [weights, biases] = surface_flags(args);
   const std::string dataset = args.get("dataset", "digits");
   if (dataset != "digits" && dataset != "objects")
@@ -873,9 +976,11 @@ int cmd_eval(const eval::Args& args) {
 /// first work request completes.
 int cmd_serve(const eval::Args& args) {
   args.expect_only({"port", "threads", "max-batch", "max-delay-ms", "max-queue", "executors",
-                    "datasets", "warm-layers", "backend", "compile", "once", "quiet"});
+                    "datasets", "warm-layers", "backend", "compile", "once", "quiet", "trace",
+                    "metrics"});
   select_backend(args);
   select_compile(args);
+  select_observability(args);
   const bool quiet = args.has_flag("quiet");
 
   serve::ServiceOptions service_options;
@@ -945,29 +1050,37 @@ int cmd_audit(const eval::Args& args) {
   return 0;
 }
 
+int dispatch(int argc, char** argv) {
+  // `dist` carries a sub-subcommand (run|reduce|status): shift it into
+  // the parser's subcommand slot.
+  if (argc > 1 && std::string(argv[1]) == "dist")
+    return cmd_dist(eval::Args::parse(argc - 1, argv + 1));
+  const eval::Args args = eval::Args::parse(argc, argv);
+  if (args.command() == "info") return cmd_info();
+  if (args.command() == "methods") return cmd_methods();
+  if (args.command() == "backends") return cmd_backends();
+  if (args.command() == "injectors") return cmd_injectors();
+  if (args.command() == "defenses") return cmd_defenses();
+  if (args.command() == "attack") return cmd_attack(args);
+  if (args.command() == "sweep") return cmd_sweep(args);
+  if (args.command() == "arena") return cmd_arena(args);
+  if (args.command() == "campaign") return cmd_campaign(args);
+  if (args.command() == "serve") return cmd_serve(args);
+  if (args.command() == "eval") return cmd_eval(args);
+  if (args.command() == "audit") return cmd_audit(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 0 && argv[0] && argv[0][0] != '\0') g_argv0 = argv[0];
   try {
-    // `dist` carries a sub-subcommand (run|reduce|status): shift it into
-    // the parser's subcommand slot.
-    if (argc > 1 && std::string(argv[1]) == "dist")
-      return cmd_dist(eval::Args::parse(argc - 1, argv + 1));
-    const eval::Args args = eval::Args::parse(argc, argv);
-    if (args.command() == "info") return cmd_info();
-    if (args.command() == "methods") return cmd_methods();
-    if (args.command() == "backends") return cmd_backends();
-    if (args.command() == "injectors") return cmd_injectors();
-    if (args.command() == "defenses") return cmd_defenses();
-    if (args.command() == "attack") return cmd_attack(args);
-    if (args.command() == "sweep") return cmd_sweep(args);
-    if (args.command() == "arena") return cmd_arena(args);
-    if (args.command() == "campaign") return cmd_campaign(args);
-    if (args.command() == "serve") return cmd_serve(args);
-    if (args.command() == "eval") return cmd_eval(args);
-    if (args.command() == "audit") return cmd_audit(args);
-    return usage();
+    const int rc = dispatch(argc, argv);
+    // Trace/metrics artifacts flush on success AND on a nonzero exit
+    // (a failed attack's trace is exactly the one worth looking at).
+    flush_observability();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fsa_cli: %s\n", e.what());
     return 2;

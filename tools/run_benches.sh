@@ -302,6 +302,70 @@ if previous and previous.get("rows_per_sec_on"):
     print(f"compile throughput vs previous entry: {change:+.1f}%{flag}")
 EOF
 
+# ---- trace-overhead stage: span tracer cost on the hot sweep path -----------
+# Re-run bench_compile with FSA_TRACE=on and compare rows/s against the
+# untraced run above (same binary, same machine, back to back). The sweep
+# rows here use the sba method, so the delta isolates the span tracer
+# itself (OBS_SPAN in sweep.run/sweep.row/compile.*) rather than the
+# ADMM convergence recording that also rides the trace flag. Folded into
+# the trajectory entry as {"trace_overhead": ...}; the stage FAILS if
+# tracing costs more than 3% of compiled-sweep throughput — the tracer's
+# documented ceiling (docs/OBSERVABILITY.md).
+echo ""
+echo "trace-overhead bench (bench_compile with FSA_TRACE=on)..."
+# Best-of-3 per variant, interleaved: single invocations on a shared CI
+# box jitter by +-5%, which would make a 3% gate flaky; the best of 3
+# warm runs is stable to ~1%.
+rep=1
+while [ "$rep" -le 3 ]; do
+  if ! "$build_dir/bench_compile" > "$build_dir/bench_compile_off_$rep.json"; then
+    echo "run_benches.sh: ERROR: untraced bench_compile rep $rep failed." >&2
+    exit 1
+  fi
+  if ! FSA_TRACE=on "$build_dir/bench_compile" > "$build_dir/bench_compile_on_$rep.json"; then
+    echo "run_benches.sh: ERROR: traced bench_compile rep $rep failed." >&2
+    exit 1
+  fi
+  rep=$((rep + 1))
+done
+
+python3 - "$build_dir" "$out_json" <<'EOF'
+import json, sys
+
+build_dir, out_path = sys.argv[1:3]
+
+def best(variant):
+    rates = []
+    for rep in (1, 2, 3):
+        with open(f"{build_dir}/bench_compile_{variant}_{rep}.json") as f:
+            rates.append(json.load(f).get("rows_per_sec_on", 0.0))
+    return max(rates)
+
+off = best("off")  # compiled sweep, tracing off
+on = best("on")    # compiled sweep, tracing on
+overhead = (off - on) / off * 100.0 if off > 0 else 0.0
+
+with open(out_path) as f:
+    trajectory = json.load(f)
+
+entry = trajectory["runs"][-1]
+entry["trace_overhead"] = {
+    "rows_per_sec_untraced": off,
+    "rows_per_sec_traced": on,
+    "overhead_pct": overhead,
+}
+with open(out_path, "w") as f:
+    json.dump(trajectory, f, indent=1)
+    f.write("\n")
+
+print(f"trace overhead: {off:.0f} -> {on:.0f} rows/s with FSA_TRACE=on "
+      f"({overhead:+.1f}%)")
+if overhead > 3.0:
+    print(f"run_benches.sh: ERROR: span tracing costs {overhead:.1f}% of compiled-sweep "
+          f"throughput, above the 3% ceiling", file=sys.stderr)
+    sys.exit(1)
+EOF
+
 # ---- arena stage: attack↔defense evasion frontier ---------------------------
 # bench_arena crosses the vanilla and detection-aware attacks against the
 # deployed defenses (checksum/64, range/201/0.10, range/16/0) on digits
